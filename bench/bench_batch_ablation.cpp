@@ -1,0 +1,70 @@
+// Ablation: the N2 batching axis in isolation (the zoom behind Figs 6–8
+// and Section IV-B). Fixed N, N1; sweep N2 over powers of two and report
+// modeled time, message counts, and the two mechanisms separately:
+// latency amortization (alpha * messages) and memory-stream amortization
+// (adjacency traversed 2^k / N2 times).
+//
+// Also measures *host wall time* of the kernel, which shows the real cache
+// effect of batching on this machine, independent of the model.
+//
+//   ./bench_batch_ablation [--n=2000] [--k=8] [--ranks=8] [--n1=4]
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 2000));
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const int n1 = static_cast<int>(args.get_int("n1", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::print_figure_header("Section IV-B ablation",
+                             "message batching (N2) in isolation");
+  gf::GF256 field;
+  const auto ds = bench::make_dataset("random", n, seed);
+  const auto model = bench::scaled_model(ds, args);
+  const auto part = partition::bfs_partition(ds.graph, n1);
+  Table table({"N2", "phases", "vtime_ms", "wall_ms", "messages",
+               "avg_msg_bytes", "compute%", "memory%", "comm%", "wait%"});
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  for (std::uint32_t n2 = 1; n2 <= iters; n2 *= 4) {
+    core::MidasOptions opt;
+    opt.k = k;
+    opt.seed = seed;
+    opt.max_rounds = 1;
+    opt.early_exit = false;
+    opt.n_ranks = ranks;
+    opt.n1 = n1;
+    opt.n2 = n2;
+    opt.model = model;
+    const auto res = core::midas_kpath(ds.graph, part, opt, field);
+    const double avg_msg =
+        res.total_stats.messages_sent
+            ? static_cast<double>(res.total_stats.bytes_sent) /
+                  static_cast<double>(res.total_stats.messages_sent)
+            : 0.0;
+    const auto& ts = res.total_stats;
+    const double total =
+        ts.t_compute + ts.t_memory + ts.t_comm + ts.t_wait + 1e-300;
+    auto pct = [&](double x) { return Table::cell(100.0 * x / total, 3); };
+    table.add_row(
+        {Table::cell(std::int64_t{n2}),
+         Table::cell((iters + n2 - 1) / n2),
+         Table::cell(res.vtime * 1e3, 5), Table::cell(res.wall_s * 1e3, 4),
+         Table::cell(ts.messages_sent), Table::cell(avg_msg, 5),
+         pct(ts.t_compute), pct(ts.t_memory), pct(ts.t_comm),
+         pct(ts.t_wait)});
+  }
+  table.print("random dataset, N=" + std::to_string(ranks) +
+              " N1=" + std::to_string(n1) +
+              " (byte volume is constant; only batching changes)");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks of the finite-field substrate (google-benchmark): the
+// per-operation costs behind the cost model's c1, and the batched
+// (N2-wide) kernels whose streaming behaviour Section IV-B exploits.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gf/gf256.hpp"
+#include "gf/gf64.hpp"
+#include "gf/gfsmall.hpp"
+#include "gf/zmod.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace midas;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+void BM_GF256_Mul(benchmark::State& state) {
+  gf::GF256 f;
+  const auto a = random_bytes(4096, 1);
+  const auto b = random_bytes(4096, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GF256_Mul);
+
+void BM_GF256_MulAddPointwise(benchmark::State& state) {
+  gf::GF256 f;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_bytes(n, 3);
+  const auto b = random_bytes(n, 4);
+  std::vector<std::uint8_t> dst(n, 0);
+  for (auto _ : state) {
+    f.mul_add_pointwise(dst.data(), a.data(), b.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GF256_MulAddPointwise)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_GF256_Axpy(benchmark::State& state) {
+  gf::GF256 f;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto b = random_bytes(n, 5);
+  std::vector<std::uint8_t> dst(n, 0);
+  for (auto _ : state) {
+    f.axpy(dst.data(), 0x37, b.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GF256_Axpy)->Arg(1024)->Arg(65536);
+
+void BM_GFSmall_Mul(benchmark::State& state) {
+  gf::GFSmall f(static_cast<int>(state.range(0)));
+  Xoshiro256 rng(6);
+  const auto mask = static_cast<std::uint16_t>(f.order() - 1);
+  std::vector<std::uint16_t> a(4096), b(4096);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint16_t>(rng()) & mask;
+    b[i] = static_cast<std::uint16_t>(rng()) & mask;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GFSmall_Mul)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_GF64_Mul(benchmark::State& state) {
+  gf::GF64 f;
+  Xoshiro256 rng(7);
+  std::vector<std::uint64_t> a(4096), b(4096);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng();
+    b[i] = rng();
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.mul(a[i & 4095], b[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_GF64_Mul);
+
+void BM_ZMod2e_MulAdd(benchmark::State& state) {
+  gf::ZMod2e ring(19);  // k = 18
+  Xoshiro256 rng(8);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint32_t> a(n), b(n), dst(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::uint32_t>(rng()) & ring.mask();
+    b[i] = static_cast<std::uint32_t>(rng()) & ring.mask();
+  }
+  for (auto _ : state) {
+    ring.mul_add_pointwise(dst.data(), a.data(), b.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ZMod2e_MulAdd)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Ablation: partitioning schemes (the paper uses a "naive" scheme and
+// notes better partitioners as future leverage). For each dataset and
+// scheme: MAXLOAD, MAXDEG, edge cut, and the end-to-end modeled k-path
+// time the partition induces.
+//
+//   ./bench_partition_quality [--n=2000] [--k=8] [--ranks=8] [--seed=1]
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 2000));
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::print_figure_header(
+      "Ablation", "partitioning scheme vs cut quality vs end-to-end time");
+  gf::GF256 field;
+
+  for (const auto& ds : bench::all_datasets(n, seed)) {
+    const auto model = bench::scaled_model(ds, args);
+    Table table({"scheme", "MAXLOAD", "MAXDEG", "edge_cut", "vtime_ms",
+                 "msgs", "bytes"});
+    for (const std::string scheme : {"block", "random", "bfs", "ldg",
+                                     "ldg+lp", "multilevel"}) {
+      partition::Partition part;
+      Xoshiro256 prng(seed + 2);
+      if (scheme == "block") part = partition::block_partition(ds.graph,
+                                                               ranks);
+      else if (scheme == "random")
+        part = partition::random_partition(ds.graph, ranks, prng);
+      else if (scheme == "bfs") part = partition::bfs_partition(ds.graph,
+                                                                ranks);
+      else if (scheme == "ldg") part = partition::ldg_partition(ds.graph,
+                                                                ranks);
+      else if (scheme == "multilevel")
+        part = partition::multilevel_partition(ds.graph, ranks);
+      else {
+        part = partition::ldg_partition(ds.graph, ranks);
+        partition::label_propagation_refine(ds.graph, part, 4);
+      }
+      const auto metrics = partition::compute_metrics(ds.graph, part);
+      core::MidasOptions opt;
+      opt.k = k;
+      opt.seed = seed;
+      opt.max_rounds = 1;
+      opt.early_exit = false;
+      opt.n_ranks = ranks;
+      opt.n1 = ranks;
+      opt.n2 = 32;
+      opt.model = model;
+      const auto res = core::midas_kpath(ds.graph, part, opt, field);
+      table.add_row({scheme, Table::cell(metrics.max_load),
+                     Table::cell(metrics.max_deg),
+                     Table::cell(metrics.edge_cut),
+                     Table::cell(res.vtime * 1e3, 5),
+                     Table::cell(res.total_stats.messages_sent),
+                     Table::cell(res.total_stats.bytes_sent)});
+    }
+    table.print("dataset " + ds.name + " (N = N1 = " +
+                std::to_string(ranks) + ")");
+    std::printf("\n");
+  }
+  return 0;
+}

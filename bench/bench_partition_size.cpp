@@ -1,0 +1,72 @@
+// Figures 3–8: k-path total runtime vs the partition count N1, for the
+// three datasets, at N2 = 1 (Figs 3–5, "BS1") and N2 = 2^k N1 / N
+// (Figs 6–8, "BSMax" — one fully batched phase per group).
+//
+// The paper's observation to reproduce: with N fixed, the modeled runtime
+// has an interior optimum in N1 — pure iteration parallelism (N1 small)
+// wastes ranks once groups outnumber phases, pure graph parallelism
+// (N1 = N) pays maximal communication — and batching (BSMax) strictly
+// improves on BS1 by amortizing per-message latency.
+//
+//   ./bench_partition_size [--n=2000] [--k=8] [--ranks=32] [--seed=1]
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 2000));
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int ranks = static_cast<int>(args.get_int("ranks", 32));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::print_figure_header(
+      "Figures 3-8", "k-path runtime vs N1 at N2=1 (BS1) and N2=max "
+                     "(BSMax)");
+  gf::GF256 field;
+
+  for (const auto& ds : bench::all_datasets(n, seed)) {
+    const runtime::CostModel model = bench::scaled_model(ds, args);
+    Table table({"dataset", "k", "N", "N1", "mode", "N2", "vtime_ms",
+                 "messages", "bytes", "maxdeg"});
+    for (int n1 = 1; n1 <= ranks; n1 *= 2) {
+      const auto part = partition::bfs_partition(ds.graph, n1);
+      const auto metrics = partition::compute_metrics(ds.graph, part);
+      for (int mode = 0; mode < 2; ++mode) {
+        const std::uint64_t iters = std::uint64_t{1} << k;
+        const std::uint32_t n2 =
+            mode == 0 ? 1
+                      : static_cast<std::uint32_t>(
+                            std::max<std::uint64_t>(1,
+                                                    iters * n1 / ranks));
+        core::MidasOptions opt;
+        opt.k = k;
+        opt.seed = seed;
+        opt.max_rounds = 1;
+        opt.early_exit = false;
+        opt.n_ranks = ranks;
+        opt.n1 = n1;
+        opt.n2 = n2;
+        opt.model = model;
+        const auto res = core::midas_kpath(ds.graph, part, opt, field);
+        table.add_row(
+            {ds.name, Table::cell(k), Table::cell(ranks), Table::cell(n1),
+             mode == 0 ? "BS1" : "BSMax", Table::cell(std::int64_t{n2}),
+             Table::cell(res.vtime * 1e3, 5),
+             Table::cell(res.total_stats.messages_sent),
+             Table::cell(res.total_stats.bytes_sent),
+             Table::cell(metrics.max_deg)});
+      }
+    }
+    table.print("dataset " + ds.name +
+                " (modeled parallel runtime, one round)");
+    std::printf("\n");
+  }
+  return 0;
+}

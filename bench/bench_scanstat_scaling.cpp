@@ -1,0 +1,62 @@
+// Figure 12: strong scaling of the scan-statistics engine with N1 = N,
+// across the three datasets — "considerable strong scalability similar to
+// k-Path" is the claim to reproduce.
+//
+// Scan statistics is far heavier per vertex than k-path (the (size,
+// weight) DP), so the default sizes are small; the scaling *shape* is the
+// point.
+//
+//   ./bench_scanstat_scaling [--n=200] [--k=4] [--wmax=2] [--maxranks=16]
+#include <cstdio>
+#include <map>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 200));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const auto wmax = static_cast<std::uint32_t>(args.get_int("wmax", 2));
+  const int maxranks = static_cast<int>(args.get_int("maxranks", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::print_figure_header(
+      "Figure 12", "scan statistics strong scaling with N1 = N");
+  gf::GF256 field;
+  Table table({"N", "random", "orkut", "miami"});
+  std::map<std::string, double> base;
+  const auto datasets = bench::all_datasets(n, seed);
+
+  for (int ranks = 1; ranks <= maxranks; ranks *= 2) {
+    std::vector<std::string> row{Table::cell(ranks)};
+    for (const auto& ds : datasets) {
+      Xoshiro256 rng(seed + 7);
+      std::vector<std::uint32_t> weights(ds.graph.num_vertices());
+      for (auto& w : weights)
+        w = static_cast<std::uint32_t>(rng.below(wmax + 1));
+      const auto model = bench::scaled_model(ds, args);
+      const auto part = partition::bfs_partition(ds.graph, ranks);
+      core::MidasOptions opt;
+      opt.k = k;
+      opt.seed = seed;
+      opt.max_rounds = 1;
+      opt.early_exit = false;
+      opt.n_ranks = ranks;
+      opt.n1 = ranks;
+      opt.n2 = 8;
+      opt.model = model;
+      const auto res = core::midas_scan(ds.graph, part, weights, opt, field);
+      if (ranks == 1) base[ds.name] = res.vtime;
+      row.push_back(Table::cell(base[ds.name] / res.vtime, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print("speedup over N=1 (modeled time)");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figures 9 & 10: strong scaling of MIDAS k-path.
+//
+// Fig. 9 — fix N1 and grow N (more phase groups): speedup(N) =
+// vtime(N_min) / vtime(N) for N1 in {1, 4, 16}, plus the "N1 = Best" line
+// that picks the optimal N1 per N.
+// Fig. 10 — N1 = N (a single phase group; classic graph-parallel strong
+// scaling) over the three datasets.
+//
+//   ./bench_strong_scaling [--n=2000] [--k=8] [--maxranks=64] [--seed=1]
+#include <cstdio>
+#include <map>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double run_config(const midas::graph::Graph& g,
+                  const midas::runtime::CostModel& model, int k, int ranks,
+                  int n1, std::uint64_t seed) {
+  using namespace midas;
+  const auto part = partition::bfs_partition(g, n1);
+  core::MidasOptions opt;
+  opt.k = k;
+  opt.seed = seed;
+  opt.max_rounds = 1;
+  opt.early_exit = false;
+  opt.n_ranks = ranks;
+  opt.n1 = n1;
+  // One fully batched phase per group (the regime Figs 9-10 run in).
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  opt.n2 = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, iters * n1 / ranks));
+  opt.model = model;
+  gf::GF256 field;
+  return core::midas_kpath(g, part, opt, field).vtime;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 2000));
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int maxranks = static_cast<int>(args.get_int("maxranks", 64));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // -- Fig. 9: fixed N1, growing N, on the random dataset ------------------
+  bench::print_figure_header("Figure 9",
+                             "k-path speedup vs N for fixed N1 (random)");
+  {
+    const auto ds = bench::make_dataset("random", n, seed);
+    const auto model = bench::scaled_model(ds, args);
+    Table table({"N", "N1=1", "N1=4", "N1=16", "N1=Best", "best_N1"});
+    std::map<int, std::map<int, double>> vtime;  // [n1][N]
+    std::vector<int> n1_values{1, 4, 16};
+    for (int ranks = 1; ranks <= maxranks; ranks *= 2) {
+      for (int n1 : n1_values) {
+        if (n1 > ranks || ranks % n1 != 0) continue;
+        vtime[n1][ranks] = run_config(ds.graph, model, k, ranks, n1, seed);
+      }
+      // Best over all admissible N1 (powers of two dividing ranks).
+      double best = 1e300;
+      int best_n1 = 1;
+      for (int n1 = 1; n1 <= ranks; n1 *= 2) {
+        const double t = vtime.count(n1) && vtime[n1].count(ranks)
+                             ? vtime[n1][ranks]
+                             : run_config(ds.graph, model, k, ranks, n1,
+                                          seed);
+        vtime[n1][ranks] = t;
+        if (t < best) {
+          best = t;
+          best_n1 = n1;
+        }
+      }
+      vtime[-1][ranks] = best;  // the Best line
+      auto speedup = [&](int n1) -> std::string {
+        if (!vtime.count(n1) || !vtime[n1].count(ranks)) return "-";
+        const double base = vtime[n1].begin()->second;
+        return Table::cell(base / vtime[n1][ranks], 4);
+      };
+      table.add_row({Table::cell(ranks), speedup(1), speedup(4),
+                     speedup(16), speedup(-1), Table::cell(best_n1)});
+    }
+    table.print("speedup relative to each line's smallest N");
+  }
+
+  // -- Fig. 10: N1 = N over all datasets ------------------------------------
+  bench::print_figure_header("Figure 10",
+                             "classic strong scaling (N1 = N) per dataset");
+  {
+    Table table({"N", "random", "orkut", "miami"});
+    std::map<std::string, std::map<int, double>> vtime;
+    const auto datasets = bench::all_datasets(n, seed);
+    for (int ranks = 1; ranks <= maxranks; ranks *= 2) {
+      std::vector<std::string> row{Table::cell(ranks)};
+      for (const auto& ds : datasets) {
+        const auto model = bench::scaled_model(ds, args);
+        vtime[ds.name][ranks] =
+            run_config(ds.graph, model, k, ranks, ranks, seed);
+        const double base = vtime[ds.name].begin()->second;
+        row.push_back(Table::cell(base / vtime[ds.name][ranks], 4));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print("speedup over N=1 (modeled time; N1=N)");
+  }
+  return 0;
+}

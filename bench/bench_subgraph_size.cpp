@@ -1,0 +1,83 @@
+// Section VI-C: scalability with subgraph size and network size.
+//
+// Two claims to verify: total runtime grows as 2^k in the subgraph size
+// (the ratio column should hover near 2 per +1 in k), and linearly in the
+// network size m at fixed k.
+//
+//   ./bench_subgraph_size [--n=600] [--kmax=14] [--ranks=8] [--seed=1]
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 600));
+  const int kmax = static_cast<int>(args.get_int("kmax", 14));
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  gf::GF256 field;
+
+  bench::print_figure_header("Section VI-C",
+                             "runtime vs subgraph size k (2^k growth)");
+  {
+    const auto ds = bench::make_dataset("random", n, seed);
+    const auto model = bench::scaled_model(ds, args);
+    const auto part = partition::bfs_partition(ds.graph, ranks);
+    Table table({"k", "vtime_ms", "ratio_vs_prev_k"});
+    double prev = 0;
+    for (int k = 6; k <= kmax; ++k) {
+      core::MidasOptions opt;
+      opt.k = k;
+      opt.seed = seed;
+      opt.max_rounds = 1;
+      opt.early_exit = false;
+      opt.n_ranks = ranks;
+      opt.n1 = ranks;
+      opt.n2 = 64;
+      opt.model = model;
+      const auto res = core::midas_kpath(ds.graph, part, opt, field);
+      table.add_row({Table::cell(k), Table::cell(res.vtime * 1e3, 5),
+                     prev > 0 ? Table::cell(res.vtime / prev, 3) : "-"});
+      prev = res.vtime;
+    }
+    table.print("random dataset, N = N1 = " + std::to_string(ranks) +
+                " (expect ratio ~2)");
+  }
+
+  bench::print_figure_header("Section VI-C (cont.)",
+                             "runtime vs network size at fixed k (linear)");
+  {
+    Table table({"n", "m", "vtime_ms", "ms_per_kedge"});
+    const int k = 8;
+    for (graph::VertexId size : {400u, 800u, 1600u, 3200u}) {
+      const auto ds = bench::make_dataset("random", size, seed);
+      const auto model = bench::scaled_model(ds, args);
+      const auto part = partition::bfs_partition(ds.graph, ranks);
+      core::MidasOptions opt;
+      opt.k = k;
+      opt.seed = seed;
+      opt.max_rounds = 1;
+      opt.early_exit = false;
+      opt.n_ranks = ranks;
+      opt.n1 = ranks;
+      opt.n2 = 64;
+      opt.model = model;
+      const auto res = core::midas_kpath(ds.graph, part, opt, field);
+      table.add_row(
+          {Table::cell(std::int64_t{size}),
+           Table::cell(ds.graph.num_edges()),
+           Table::cell(res.vtime * 1e3, 5),
+           Table::cell(res.vtime * 1e3 /
+                           (static_cast<double>(ds.graph.num_edges()) / 1e3),
+                       3)});
+    }
+    table.print("k = 8 (expect ms_per_kedge roughly constant)");
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// k-tree detection across template shapes (paper Section V-A / Lemma 2:
+// cost scales with |T| = 2k - 1 subtemplates; communication with the
+// number of child2 subtemplates, which depends on the template's shape).
+//
+//   ./bench_tree_templates [--n=600] [--k=10] [--ranks=8] [--seed=1]
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "baseline/color_coding.hpp"
+#include "core/detect_par.hpp"
+#include "core/tree_template.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using midas::graph::Graph;
+using midas::graph::GraphBuilder;
+using midas::graph::VertexId;
+
+/// Balanced binary tree on k vertices.
+Graph balanced_tree(int k) {
+  GraphBuilder b(static_cast<VertexId>(k));
+  for (int v = 1; v < k; ++v)
+    b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>((v - 1) / 2));
+  return b.build();
+}
+
+/// Spider: three legs of ~equal length from a center.
+Graph spider(int k) {
+  GraphBuilder b(static_cast<VertexId>(k));
+  int v = 1;
+  for (int leg = 0; leg < 3 && v < k; ++leg) {
+    VertexId prev = 0;
+    for (int step = 0; step < (k - 1 + 2 - leg) / 3 && v < k; ++step) {
+      b.add_edge(prev, static_cast<VertexId>(v));
+      prev = static_cast<VertexId>(v);
+      ++v;
+    }
+  }
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 600));
+  const int k = static_cast<int>(args.get_int("k", 10));
+  const int ranks = static_cast<int>(args.get_int("ranks", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::print_figure_header(
+      "k-tree ablation (Lemma 2)",
+      "runtime and traffic across template shapes at fixed k");
+  const auto ds = bench::make_dataset("orkut", n, seed);
+  const auto model = bench::scaled_model(ds, args);
+  const auto part = partition::bfs_partition(ds.graph, ranks);
+  gf::GF256 field;
+
+  Table table({"template", "k", "subtemplates", "exchanged", "found",
+               "midas_vtime_ms", "messages", "colorcoding_wall_ms"});
+  struct Shape {
+    const char* name;
+    Graph g;
+  };
+  for (Shape shape :
+       {Shape{"path", graph::path_graph(static_cast<VertexId>(k))},
+        Shape{"star", graph::star_graph(static_cast<VertexId>(k))},
+        Shape{"balanced", balanced_tree(k)}, Shape{"spider", spider(k)}}) {
+    core::TreeDecomposition td(shape.g, 0);
+    int exchanged = 0;
+    for (const auto& sub : td.subtemplates())
+      if (sub.child1 >= 0) ++exchanged;  // one child2 per internal node
+    core::MidasOptions opt;
+    opt.k = k;
+    opt.seed = seed;
+    opt.max_rounds = 1;
+    opt.early_exit = false;
+    opt.n_ranks = ranks;
+    opt.n1 = ranks;
+    opt.n2 = 64;
+    opt.model = model;
+    const auto res = core::midas_ktree(ds.graph, part, td, opt, field);
+    // Color coding's subset convolution depends on the split sizes, so its
+    // per-iteration cost is shape-sensitive — unlike MIDAS, whose |T| and
+    // exchange count are 2k-1 and k-1 for every tree.
+    baseline::ColorCodingOptions cc;
+    cc.k = k;
+    cc.iterations = 1;
+    cc.seed = seed;
+    Timer t;
+    (void)baseline::color_coding_trees(ds.graph, td, cc);
+    const double cc_ms = t.elapsed_ms();
+    table.add_row({shape.name, Table::cell(k), Table::cell(td.count()),
+                   Table::cell(exchanged), res.found ? "yes" : "no",
+                   Table::cell(res.vtime * 1e3, 5),
+                   Table::cell(res.total_stats.messages_sent),
+                   Table::cell(cc_ms, 5)});
+  }
+  table.print("orkut(BA) host graph, N = N1 = " + std::to_string(ranks) +
+              " — MIDAS cost is shape-invariant (|T| = 2k-1, k-1 "
+              "exchanges for any tree); color coding's subset convolution "
+              "is not");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Generic k-multilinear detection over a user-defined polynomial — the
+// paper's Problem 3 without any graph at all.
+//
+//   ./polynomial_detection [--seed=5]
+//
+// Builds the paper's own Section III example polynomial
+//   P(x1..x6) = x1^2 x2 + x2 x3 x4 + x3 x4 x5 + x5 x6
+// as an arithmetic circuit and asks, for each k, whether P has a
+// square-free monomial of degree exactly k. Then demonstrates a circuit
+// with shared subexpressions (a DAG, not a tree).
+#include <cstdio>
+
+#include "midas.hpp"
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  gf::GF256 field;
+
+  // --- The paper's example polynomial -----------------------------------
+  core::Circuit paper(6);
+  auto mono = [&paper](std::initializer_list<std::uint32_t> vars) {
+    std::vector<core::Circuit::GateId> leaves;
+    for (auto v : vars) leaves.push_back(paper.var(v));
+    return paper.mul_many(leaves);
+  };
+  paper.set_output(paper.add_many({mono({0, 0, 1}), mono({1, 2, 3}),
+                                   mono({2, 3, 4}), mono({4, 5})}));
+  std::printf("P(x1..x6) = x1^2*x2 + x2*x3*x4 + x3*x4*x5 + x5*x6   (%zu "
+              "gates, max monomial degree 3)\n",
+              paper.num_gates());
+  // Problem 3's precondition: every monomial must have degree <= k, so the
+  // admissible queries here are k = 3 and k = 4.
+  for (int k = 3; k <= 4; ++k) {
+    core::DetectOptions opt;
+    opt.k = k;
+    opt.epsilon = 1e-4;
+    opt.seed = seed;
+    const auto res = core::detect_multilinear(paper, k, opt, field);
+    std::printf("  degree-%d multilinear term: %s  (%d rounds, %llu "
+                "evaluations)\n",
+                k, res.found ? "YES" : "no", res.rounds_run,
+                static_cast<unsigned long long>(res.iterations));
+  }
+  std::printf("expected: degree 3 YES (x2*x3*x4 and x3*x4*x5 are square-"
+              "free; x1^2*x2 is not), degree 4 no (nothing reaches 4)\n\n");
+
+  // --- A DAG with shared subexpressions ----------------------------------
+  // Q = S * x4 + S * x5 with S = x0*x1*x2 + x0^2*x3 shared.
+  core::Circuit dag(6);
+  const auto s_clean =
+      dag.mul_many({dag.var(0), dag.var(1), dag.var(2)});
+  const auto s_square = dag.mul_many({dag.var(0), dag.var(0), dag.var(3)});
+  const auto shared = dag.add(s_clean, s_square);
+  dag.set_output(dag.add(dag.mul(shared, dag.var(4)),
+                         dag.mul(shared, dag.var(5))));
+  std::printf("Q = S*x5 + S*x6 with shared S = x1*x2*x3 + x1^2*x4   (%zu "
+              "gates)\n",
+              dag.num_gates());
+  core::DetectOptions opt;
+  opt.k = 4;
+  opt.epsilon = 1e-4;
+  opt.seed = seed;
+  const auto res = core::detect_multilinear(dag, 4, opt, field);
+  std::printf("  degree-4 multilinear term: %s (x1*x2*x3 * x5|x6 is "
+              "square-free; the x1^2*x4 branch never is)\n",
+              res.found ? "YES" : "no");
+  return 0;
+}

@@ -1,0 +1,313 @@
+#include "baseline/brute_force.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+#include "util/require.hpp"
+
+namespace midas::baseline {
+
+namespace {
+
+/// DFS over simple vertex sequences of length k; `stop_at_first` short-
+/// circuits for the decision problem. Returns the number of directed
+/// sequences found (2x the path count for k >= 2).
+std::uint64_t dfs_paths(const Graph& g, int k, bool stop_at_first,
+                        std::vector<VertexId>* witness) {
+  MIDAS_REQUIRE(k >= 1, "k must be positive");
+  const VertexId n = g.num_vertices();
+  std::uint64_t sequences = 0;
+  std::vector<bool> used(n, false);
+  std::vector<VertexId> stack_path;
+  stack_path.reserve(static_cast<std::size_t>(k));
+
+  std::function<bool(VertexId)> extend = [&](VertexId v) -> bool {
+    used[v] = true;
+    stack_path.push_back(v);
+    bool done = false;
+    if (static_cast<int>(stack_path.size()) == k) {
+      ++sequences;
+      if (witness && witness->empty()) *witness = stack_path;
+      done = stop_at_first;
+    } else {
+      for (VertexId u : g.neighbors(v)) {
+        if (!used[u] && extend(u)) {
+          done = true;
+          break;
+        }
+      }
+    }
+    used[v] = false;
+    stack_path.pop_back();
+    return done;
+  };
+
+  for (VertexId s = 0; s < n; ++s) {
+    if (extend(s) && stop_at_first) break;
+  }
+  return sequences;
+}
+
+}  // namespace
+
+bool has_kpath(const Graph& g, int k) {
+  return dfs_paths(g, k, /*stop_at_first=*/true, nullptr) > 0;
+}
+
+std::uint64_t count_kpaths(const Graph& g, int k) {
+  const std::uint64_t sequences =
+      dfs_paths(g, k, /*stop_at_first=*/false, nullptr);
+  return k == 1 ? sequences : sequences / 2;
+}
+
+std::optional<std::vector<VertexId>> find_kpath(const Graph& g, int k) {
+  std::vector<VertexId> witness;
+  dfs_paths(g, k, /*stop_at_first=*/true, &witness);
+  if (static_cast<int>(witness.size()) == k) return witness;
+  return std::nullopt;
+}
+
+namespace {
+
+std::uint64_t dfs_directed_paths(const graph::DiGraph& g, int k,
+                                 bool stop_at_first) {
+  MIDAS_REQUIRE(k >= 1, "k must be positive");
+  const VertexId n = g.num_vertices();
+  std::uint64_t count = 0;
+  std::vector<bool> used(n, false);
+  std::function<bool(VertexId, int)> extend = [&](VertexId v,
+                                                  int depth) -> bool {
+    used[v] = true;
+    bool done = false;
+    if (depth == k) {
+      ++count;
+      done = stop_at_first;
+    } else {
+      for (VertexId u : g.out_neighbors(v)) {
+        if (!used[u] && extend(u, depth + 1)) {
+          done = true;
+          break;
+        }
+      }
+    }
+    used[v] = false;
+    return done;
+  };
+  for (VertexId s = 0; s < n; ++s) {
+    if (extend(s, 1) && stop_at_first) break;
+  }
+  return count;
+}
+
+}  // namespace
+
+bool has_directed_kpath(const graph::DiGraph& g, int k) {
+  return dfs_directed_paths(g, k, /*stop_at_first=*/true) > 0;
+}
+
+std::uint64_t count_directed_kpaths(const graph::DiGraph& g, int k) {
+  return dfs_directed_paths(g, k, /*stop_at_first=*/false);
+}
+
+std::optional<std::uint32_t> max_weight_kpath(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int k) {
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  const VertexId n = g.num_vertices();
+  std::optional<std::uint32_t> best;
+  std::vector<bool> used(n, false);
+  std::function<void(VertexId, int, std::uint32_t)> extend =
+      [&](VertexId v, int depth, std::uint32_t weight) {
+        used[v] = true;
+        weight += weights[v];
+        if (depth == k) {
+          if (!best || weight > *best) best = weight;
+        } else {
+          for (VertexId u : g.neighbors(v))
+            if (!used[u]) extend(u, depth + 1, weight);
+        }
+        used[v] = false;
+      };
+  for (VertexId s = 0; s < n; ++s) extend(s, 1, 0);
+  return best;
+}
+
+namespace {
+
+/// Backtracking count of injective homomorphisms from `tree` into g.
+std::uint64_t tree_embeddings(const Graph& g, const Graph& tree,
+                              bool stop_at_first) {
+  const VertexId kt = tree.num_vertices();
+  MIDAS_REQUIRE(kt >= 1, "template must be nonempty");
+  MIDAS_REQUIRE(graph::num_components(tree) == 1,
+                "template must be connected");
+  // BFS order of template vertices so each has a mapped neighbor before it.
+  std::vector<VertexId> order;
+  std::vector<int> parent_pos(kt, -1);  // position in `order` of a mapped nbr
+  {
+    std::vector<bool> seen(kt, false);
+    std::vector<VertexId> queue{0};
+    seen[0] = true;
+    std::vector<int> pos_of(kt, -1);
+    while (!queue.empty()) {
+      const VertexId t = queue.front();
+      queue.erase(queue.begin());
+      pos_of[t] = static_cast<int>(order.size());
+      order.push_back(t);
+      for (VertexId u : tree.neighbors(t)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (std::size_t p = 1; p < order.size(); ++p) {
+      for (VertexId u : tree.neighbors(order[p])) {
+        if (pos_of[u] >= 0 && pos_of[u] < static_cast<int>(p)) {
+          parent_pos[order[p]] = pos_of[u];
+          break;
+        }
+      }
+    }
+  }
+
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> image(kt, 0);
+  std::vector<bool> used(n, false);
+  std::uint64_t count = 0;
+
+  std::function<bool(std::size_t)> place = [&](std::size_t p) -> bool {
+    if (p == order.size()) {
+      ++count;
+      return stop_at_first;
+    }
+    const VertexId t = order[p];
+    // Candidates: neighbors of the image of t's already-mapped neighbor.
+    const VertexId anchor = image[order[static_cast<std::size_t>(
+        parent_pos[t])]];
+    for (VertexId cand : g.neighbors(anchor)) {
+      if (used[cand]) continue;
+      // Check all template edges from t to earlier-mapped vertices.
+      bool ok = true;
+      for (VertexId u : tree.neighbors(t)) {
+        bool u_mapped = false;
+        VertexId u_image = 0;
+        for (std::size_t q = 0; q < p; ++q) {
+          if (order[q] == u) {
+            u_mapped = true;
+            u_image = image[u];
+            break;
+          }
+        }
+        if (u_mapped && !g.has_edge(cand, u_image)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      image[t] = cand;
+      used[cand] = true;
+      const bool done = place(p + 1);
+      used[cand] = false;
+      if (done) return true;
+    }
+    return false;
+  };
+
+  for (VertexId root_image = 0; root_image < n; ++root_image) {
+    image[order[0]] = root_image;
+    used[root_image] = true;
+    const bool done = place(1);
+    used[root_image] = false;
+    if (done && stop_at_first) break;
+  }
+  return count;
+}
+
+}  // namespace
+
+bool has_tree_embedding(const Graph& g, const Graph& tree) {
+  return tree_embeddings(g, tree, /*stop_at_first=*/true) > 0;
+}
+
+std::uint64_t count_tree_embeddings(const Graph& g, const Graph& tree) {
+  return tree_embeddings(g, tree, /*stop_at_first=*/false);
+}
+
+void enumerate_connected_subsets(
+    const Graph& g, int k,
+    const std::function<void(const std::vector<VertexId>&)>& visit) {
+  MIDAS_REQUIRE(k >= 1, "k must be positive");
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> subset;
+  std::unordered_set<VertexId> in_subset, in_closed;
+
+  // ESU (Wernicke): enumerate each connected subset with a fixed minimum
+  // vertex exactly once by only ever extending with vertices > root that
+  // are exclusive neighbors of the newest member.
+  std::function<void(VertexId, std::vector<VertexId>&)> extend =
+      [&](VertexId root, std::vector<VertexId>& ext) {
+        std::vector<VertexId> sorted(subset);
+        std::sort(sorted.begin(), sorted.end());
+        visit(sorted);
+        if (static_cast<int>(subset.size()) == k) return;
+        while (!ext.empty()) {
+          const VertexId w = ext.back();
+          ext.pop_back();
+          std::vector<VertexId> ext2(ext);
+          std::vector<VertexId> newly_closed;
+          for (VertexId u : g.neighbors(w)) {
+            if (u > root && !in_subset.count(u) && !in_closed.count(u)) {
+              ext2.push_back(u);
+              in_closed.insert(u);
+              newly_closed.push_back(u);
+            }
+          }
+          subset.push_back(w);
+          in_subset.insert(w);
+          extend(root, ext2);  // note: drains ext2
+          in_subset.erase(w);
+          subset.pop_back();
+          for (VertexId u : newly_closed) in_closed.erase(u);
+        }
+      };
+
+  for (VertexId v = 0; v < n; ++v) {
+    subset = {v};
+    in_subset = {v};
+    in_closed = {v};
+    std::vector<VertexId> ext;
+    for (VertexId u : g.neighbors(v)) {
+      if (u > v) {
+        ext.push_back(u);
+        in_closed.insert(u);
+      }
+    }
+    extend(v, ext);
+  }
+}
+
+std::vector<std::vector<bool>> connected_subgraph_feasibility(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int k) {
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  std::uint32_t wmax = 0;
+  {
+    std::vector<std::uint32_t> sorted(weights);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i)
+      wmax += sorted[static_cast<std::size_t>(i)];
+  }
+  std::vector<std::vector<bool>> feasible(
+      static_cast<std::size_t>(k) + 1, std::vector<bool>(wmax + 1, false));
+  enumerate_connected_subsets(
+      g, k, [&](const std::vector<VertexId>& subset) {
+        std::uint32_t z = 0;
+        for (VertexId v : subset) z += weights[v];
+        feasible[subset.size()][z] = true;
+      });
+  return feasible;
+}
+
+}  // namespace midas::baseline

@@ -1,0 +1,66 @@
+// Exact brute-force oracles.
+//
+// These are the ground truth for the randomized detectors in tests and for
+// small-scale sanity checks in benches: exhaustive DFS over simple paths,
+// backtracking search for tree embeddings, and enumeration of connected
+// vertex subsets for the scan-statistics feasibility table. Exponential in
+// k by design — only run them on small instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/digraph.hpp"
+
+namespace midas::baseline {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Does g contain a simple path on exactly k vertices?
+[[nodiscard]] bool has_kpath(const Graph& g, int k);
+
+/// Number of simple k-vertex paths (each undirected path counted once).
+[[nodiscard]] std::uint64_t count_kpaths(const Graph& g, int k);
+
+/// An actual k-vertex simple path, if one exists.
+[[nodiscard]] std::optional<std::vector<VertexId>> find_kpath(const Graph& g,
+                                                              int k);
+
+/// Does the digraph contain a directed simple path on exactly k vertices?
+[[nodiscard]] bool has_directed_kpath(const graph::DiGraph& g, int k);
+
+/// Number of directed simple k-vertex paths.
+[[nodiscard]] std::uint64_t count_directed_kpaths(const graph::DiGraph& g,
+                                                  int k);
+
+/// Exact maximum total vertex weight over simple k-vertex paths, or
+/// nullopt when no k-path exists.
+[[nodiscard]] std::optional<std::uint32_t> max_weight_kpath(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int k);
+
+/// Does g contain a non-induced embedding of the template tree? (An
+/// injective mapping of template vertices to graph vertices such that every
+/// template edge maps to a graph edge.)
+[[nodiscard]] bool has_tree_embedding(const Graph& g, const Graph& tree);
+
+/// Number of non-induced embeddings (injective homomorphisms) of the tree.
+[[nodiscard]] std::uint64_t count_tree_embeddings(const Graph& g,
+                                                  const Graph& tree);
+
+/// Exact (size, weight) feasibility of connected subgraphs: result[j][z] is
+/// true iff a connected subgraph with exactly j vertices and total weight z
+/// exists, for j in [1, k]. result[0] is unused.
+[[nodiscard]] std::vector<std::vector<bool>> connected_subgraph_feasibility(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int k);
+
+/// Enumerate all connected vertex subsets of size <= k, invoking `visit`
+/// once per subset (sorted vertex ids). Used by exact scan optimization.
+void enumerate_connected_subsets(
+    const Graph& g, int k,
+    const std::function<void(const std::vector<VertexId>&)>& visit);
+
+}  // namespace midas::baseline

@@ -1,0 +1,225 @@
+#include "baseline/color_coding.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "runtime/comm.hpp"
+#include "util/rng.hpp"
+
+namespace midas::baseline {
+
+namespace {
+
+/// k! / k^k — the probability that a fixed k-vertex subgraph is colorful.
+double colorful_probability(int k) {
+  double p = 1.0;
+  for (int i = 1; i <= k; ++i) p *= static_cast<double>(i) / k;
+  return p;
+}
+
+std::vector<std::uint8_t> random_coloring(graph::VertexId n, int k,
+                                          Xoshiro256& rng) {
+  std::vector<std::uint8_t> c(n);
+  for (auto& x : c)
+    x = static_cast<std::uint8_t>(rng.below(static_cast<std::uint64_t>(k)));
+  return c;
+}
+
+}  // namespace
+
+int ColorCodingOptions::iterations_for_epsilon(int k, double epsilon) {
+  MIDAS_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+  const double p = colorful_probability(k);
+  return static_cast<int>(std::ceil(std::log(1.0 / epsilon) / p));
+}
+
+ColorCodingResult color_coding_paths(const Graph& g,
+                                     const ColorCodingOptions& opt) {
+  const int k = opt.k;
+  MIDAS_REQUIRE(k >= 1 && k <= 24, "color coding supports k in [1,24]");
+  MIDAS_REQUIRE(opt.iterations >= 1, "need at least one iteration");
+  const graph::VertexId n = g.num_vertices();
+  const std::size_t nsets = std::size_t{1} << k;
+
+  ColorCodingResult res;
+  res.iterations = opt.iterations;
+  if (n == 0) return res;
+
+  Xoshiro256 rng(opt.seed);
+  // cnt[S * n + i]: colorful directed paths ending at i with color set S.
+  // This full 2^k x n table is the memory wall of Figure 11.
+  std::vector<double> cnt(nsets * n);
+  res.table_bytes = cnt.size() * sizeof(double);
+  const double p_colorful = colorful_probability(k);
+  double estimate_sum = 0.0;
+
+  for (int iter = 0; iter < opt.iterations; ++iter) {
+    const auto color = random_coloring(n, k, rng);
+    std::fill(cnt.begin(), cnt.end(), 0.0);
+    for (graph::VertexId i = 0; i < n; ++i)
+      cnt[(std::size_t{1} << color[i]) * n + i] = 1.0;
+    for (int j = 2; j <= k; ++j) {
+      for (std::size_t s = 0; s < nsets; ++s) {
+        if (std::popcount(s) != j) continue;
+        double* row = cnt.data() + s * n;
+        for (graph::VertexId i = 0; i < n; ++i) {
+          const std::size_t ci = std::size_t{1} << color[i];
+          if (!(s & ci)) continue;
+          const double* prev = cnt.data() + (s ^ ci) * n;
+          double acc = 0.0;
+          for (graph::VertexId u : g.neighbors(i)) acc += prev[u];
+          row[i] = acc;
+        }
+      }
+    }
+    double colorful_sequences = 0.0;
+    const double* full = cnt.data() + (nsets - 1) * n;
+    for (graph::VertexId i = 0; i < n; ++i) colorful_sequences += full[i];
+    const double colorful_paths =
+        k >= 2 ? colorful_sequences / 2.0 : colorful_sequences;
+    res.colorful = static_cast<std::uint64_t>(colorful_paths);
+    if (colorful_paths > 0) res.found = true;
+    estimate_sum += colorful_paths / p_colorful;
+  }
+  res.estimate = estimate_sum / opt.iterations;
+  return res;
+}
+
+ColorCodingResult color_coding_trees(const Graph& g,
+                                     const core::TreeDecomposition& td,
+                                     const ColorCodingOptions& opt) {
+  const int k = td.k();
+  MIDAS_REQUIRE(k >= 1 && k <= 24, "color coding supports k in [1,24]");
+  MIDAS_REQUIRE(opt.iterations >= 1, "need at least one iteration");
+  const graph::VertexId n = g.num_vertices();
+  const std::size_t nsets = std::size_t{1} << k;
+  const auto& subs = td.subtemplates();
+
+  ColorCodingResult res;
+  res.iterations = opt.iterations;
+  if (n == 0) return res;
+
+  Xoshiro256 rng(opt.seed);
+  const double p_colorful = colorful_probability(k);
+  double estimate_sum = 0.0;
+
+  // One 2^k x n table per live subtemplate; children are freed once the
+  // parent is computed (FASCIA's table-lifetime optimization).
+  std::vector<std::vector<double>> tables(subs.size());
+  std::vector<int> pending_uses(subs.size(), 0);
+  for (const auto& sub : subs) {
+    if (sub.child1 >= 0) {
+      pending_uses[static_cast<std::size_t>(sub.child1)]++;
+      pending_uses[static_cast<std::size_t>(sub.child2)]++;
+    }
+  }
+
+  for (int iter = 0; iter < opt.iterations; ++iter) {
+    const auto color = random_coloring(n, k, rng);
+    std::size_t live_bytes = 0;
+    auto uses = pending_uses;
+
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+      const auto& sub = subs[s];
+      tables[s].assign(nsets * n, 0.0);
+      live_bytes += tables[s].size() * sizeof(double);
+      res.table_bytes = std::max(res.table_bytes, live_bytes);
+      if (sub.child1 < 0) {
+        for (graph::VertexId i = 0; i < n; ++i)
+          tables[s][(std::size_t{1} << color[i]) * n + i] = 1.0;
+      } else {
+        const auto& own = tables[static_cast<std::size_t>(sub.child1)];
+        const auto& oth = tables[static_cast<std::size_t>(sub.child2)];
+        const int size1 = subs[static_cast<std::size_t>(sub.child1)].size;
+        for (std::size_t set = 0; set < nsets; ++set) {
+          if (std::popcount(set) != sub.size) continue;
+          double* row = tables[s].data() + set * n;
+          // Enumerate S1 subset of set with |S1| = size1; S2 = set \ S1.
+          for (std::size_t s1 = set;; s1 = (s1 - 1) & set) {
+            if (std::popcount(s1) == size1) {
+              const std::size_t s2 = set ^ s1;
+              const double* own_row = own.data() + s1 * n;
+              const double* oth_row = oth.data() + s2 * n;
+              for (graph::VertexId i = 0; i < n; ++i) {
+                if (own_row[i] == 0.0) continue;
+                double acc = 0.0;
+                for (graph::VertexId u : g.neighbors(i)) acc += oth_row[u];
+                row[i] += own_row[i] * acc;
+              }
+            }
+            if (s1 == 0) break;
+          }
+        }
+        // Release children no longer needed.
+        for (int child : {sub.child1, sub.child2}) {
+          auto& remaining = uses[static_cast<std::size_t>(child)];
+          if (--remaining == 0) {
+            live_bytes -=
+                tables[static_cast<std::size_t>(child)].size() *
+                sizeof(double);
+            tables[static_cast<std::size_t>(child)] = {};
+          }
+        }
+      }
+    }
+    double colorful = 0.0;
+    const auto& root =
+        tables[static_cast<std::size_t>(td.root_id())];
+    const double* full = root.data() + (nsets - 1) * n;
+    for (graph::VertexId i = 0; i < n; ++i) colorful += full[i];
+    tables[static_cast<std::size_t>(td.root_id())] = {};
+    res.colorful = static_cast<std::uint64_t>(colorful);
+    if (colorful > 0) res.found = true;
+    estimate_sum += colorful / p_colorful;
+  }
+  res.estimate = estimate_sum / opt.iterations;
+  return res;
+}
+
+ParColorCodingResult color_coding_paths_par(const Graph& g,
+                                            const ColorCodingOptions& opt,
+                                            int n_ranks) {
+  MIDAS_REQUIRE(n_ranks >= 1, "need at least one rank");
+  ParColorCodingResult out;
+  // Iterations are dealt round-robin; every rank owns a full graph copy
+  // and a full 2^k x n table (the replication is the point: there is no
+  // cheap way to partition the color-set dimension).
+  std::vector<ColorCodingResult> per_rank(
+      static_cast<std::size_t>(n_ranks));
+  auto spmd = runtime::run_spmd(n_ranks, [&](runtime::Comm& comm) {
+    ColorCodingOptions mine = opt;
+    const int base = opt.iterations / comm.size();
+    const int extra = opt.iterations % comm.size();
+    mine.iterations = base + (comm.rank() < extra ? 1 : 0);
+    mine.seed = opt.seed + 0x9E37u * static_cast<std::uint64_t>(comm.rank());
+    ColorCodingResult res;
+    if (mine.iterations > 0) res = color_coding_paths(g, mine);
+    // Charge the DP cost to the virtual clock: ~2^k * 2m ops per coloring.
+    comm.charge_compute(static_cast<std::uint64_t>(mine.iterations) *
+                        (std::uint64_t{1} << opt.k) * 2 * g.num_edges());
+    per_rank[static_cast<std::size_t>(comm.rank())] = res;
+    // Combine found-flags and estimates.
+    std::vector<std::uint64_t> found{res.found ? 1u : 0u};
+    comm.allreduce_sum(std::span<std::uint64_t>(found));
+    comm.barrier();
+  });
+  out.vtime = spmd.makespan;
+  double estimate_sum = 0;
+  int total_iters = 0;
+  for (const auto& res : per_rank) {
+    if (res.iterations == 0) continue;
+    estimate_sum += res.estimate * res.iterations;
+    total_iters += res.iterations;
+    out.combined.found |= res.found;
+    out.combined.colorful = std::max(out.combined.colorful, res.colorful);
+    out.table_bytes_per_rank =
+        std::max(out.table_bytes_per_rank, res.table_bytes);
+  }
+  out.combined.iterations = total_iters;
+  if (total_iters > 0) out.combined.estimate = estimate_sum / total_iters;
+  return out;
+}
+
+}  // namespace midas::baseline

@@ -1,0 +1,37 @@
+#include "core/circuit.hpp"
+
+#include "graph/csr.hpp"
+
+namespace midas::core {
+
+Circuit kpath_circuit(const graph::Graph& g, int k) {
+  MIDAS_REQUIRE(k >= 1, "k must be positive");
+  const graph::VertexId n = g.num_vertices();
+  Circuit c(n);
+  // P(i, 1) = x_i.
+  std::vector<Circuit::GateId> prev(n), cur(n);
+  for (graph::VertexId i = 0; i < n; ++i) prev[i] = c.var(i);
+  // P(i, j) = x_i * sum_{u in Nbr(i)} P(u, j-1). A fresh occurrence of x_i
+  // per level keeps witnesses of different walks distinct monomials.
+  for (int j = 2; j <= k; ++j) {
+    for (graph::VertexId i = 0; i < n; ++i) {
+      std::vector<Circuit::GateId> terms;
+      terms.reserve(g.degree(i));
+      for (graph::VertexId u : g.neighbors(i)) terms.push_back(prev[u]);
+      if (terms.empty()) {
+        // Isolated vertex: no walk of length >= 2 ends here; encode the
+        // zero polynomial as x_i + x_i (char 2).
+        const auto leaf = c.var(i);
+        cur[i] = c.add(leaf, leaf);
+      } else {
+        cur[i] = c.mul(c.var(i), c.add_many(terms));
+      }
+    }
+    std::swap(prev, cur);
+  }
+  std::vector<Circuit::GateId> all(prev.begin(), prev.end());
+  c.set_output(c.add_many(all));
+  return c;
+}
+
+}  // namespace midas::core

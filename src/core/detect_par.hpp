@@ -1,0 +1,795 @@
+// MIDAS — the distributed multilinear detection engine (paper Section IV).
+//
+// Structure (Fig. 1): N ranks are split into a = N/N1 phase groups of N1
+// ranks; each group owns a full copy of the graph partition (rank g*N1+s
+// owns part s) and processes every a-th phase. A phase evaluates N2
+// consecutive iterations at once: per-vertex DP values become contiguous
+// N2-wide vectors, and each of the k-1 halo exchanges per phase ships one
+// batched message per neighboring part instead of N2 small ones — the
+// batching/cache optimization of Section IV-B.
+//
+// Every rank's compute and communication are charged to its virtual clock
+// (see runtime/cost_model.hpp), so the returned makespan is the modeled
+// parallel runtime; results are bit-identical to the sequential detectors
+// for the same seed because all randomness is hash-derived and the final
+// accumulator is an XOR (order-independent) allreduce.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "core/detect_seq.hpp"
+#include "core/hashrand.hpp"
+#include "core/schedule.hpp"
+#include "core/tree_template.hpp"
+#include "gf/field.hpp"
+#include "graph/csr.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "runtime/comm.hpp"
+#include "util/require.hpp"
+#include "util/timer.hpp"
+
+namespace midas::core {
+
+struct MidasOptions {
+  int k = 4;
+  double epsilon = 0.05;
+  std::uint64_t seed = 1;
+  int n_ranks = 4;        // N
+  int n1 = 2;             // ranks per phase group = graph parts
+  std::uint32_t n2 = 16;  // iterations per phase (message batching)
+  int max_rounds = 0;     // override epsilon-derived round count if > 0
+  bool early_exit = true;
+  runtime::CostModel model{};
+
+  [[nodiscard]] int rounds() const {
+    return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
+  }
+};
+
+struct MidasResult {
+  bool found = false;
+  int rounds_run = 0;
+  int found_round = -1;
+  double vtime = 0.0;   // modeled parallel makespan (seconds)
+  double wall_s = 0.0;  // host wall-clock of the whole SPMD run
+  runtime::CommStats total_stats;
+  std::vector<double> vclocks;  // per rank
+};
+
+namespace detail {
+
+/// Exchange one DP level: for each neighboring part, pack the batch-wide
+/// values of the boundary vertices, alltoallv within the phase group, and
+/// scatter incoming values into the ghost array.
+template <typename V>
+void halo_exchange(runtime::Comm& comm, const partition::PartView& view,
+                   const std::vector<V>& local_vals,
+                   std::vector<V>& ghost_vals, std::size_t batch) {
+  const int p = comm.size();
+  std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(p));
+  for (int t = 0; t < p; ++t) {
+    const auto& list = view.send_to[static_cast<std::size_t>(t)];
+    if (list.empty()) continue;
+    auto& buf = send[static_cast<std::size_t>(t)];
+    buf.resize(list.size() * batch * sizeof(V));
+    std::byte* out = buf.data();
+    for (std::uint32_t li : list) {
+      std::memcpy(out, local_vals.data() + li * batch, batch * sizeof(V));
+      out += batch * sizeof(V);
+    }
+  }
+  auto recv = comm.alltoallv(send);
+  for (int t = 0; t < p; ++t) {
+    const auto& targets = view.recv_from[static_cast<std::size_t>(t)];
+    if (targets.empty()) continue;
+    const auto& buf = recv[static_cast<std::size_t>(t)];
+    MIDAS_ASSERT(buf.size() == targets.size() * batch * sizeof(V),
+                 "halo message size mismatch");
+    const std::byte* in = buf.data();
+    for (std::uint32_t gi : targets) {
+      std::memcpy(ghost_vals.data() + gi * batch, in, batch * sizeof(V));
+      in += batch * sizeof(V);
+    }
+  }
+}
+
+/// Sum over local vertices and batch lanes, XORed into `total`.
+template <gf::GaloisField F>
+void accumulate_level(const F& f, const std::vector<typename F::value_type>& vals,
+                      std::size_t count, typename F::value_type& total) {
+  for (std::size_t idx = 0; idx < count; ++idx) total = f.add(total, vals[idx]);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// k-path
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+/// Shared k-path engine: runs the distributed walk DP over prebuilt part
+/// views. Undirected and directed fronts build their views differently
+/// (symmetric halos vs in-neighbor halos) but share everything else.
+template <gf::GaloisField F>
+MidasResult kpath_engine(const std::vector<partition::PartView>& views,
+                         const MidasOptions& opt, const F& f) {
+  using V = typename F::value_type;
+  const Schedule sched =
+      make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
+  const int k = opt.k;
+
+  MidasResult result;
+  Timer wall;
+  // Shared flags written once per round under an allreduce barrier.
+  std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
+
+  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, [&](runtime::Comm&
+                                                                world) {
+    const int group_color = world.rank() / opt.n1;
+    runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
+    const auto& view = views[static_cast<std::size_t>(group.rank())];
+    const std::uint32_t nl = view.num_local();
+    const std::uint32_t ng = view.num_ghosts();
+
+    std::vector<std::uint32_t> v(nl);
+    std::vector<V> r(static_cast<std::size_t>(k) * nl);
+    std::vector<V> cur, next, ghost;
+
+    for (int round = 0; round < opt.rounds(); ++round) {
+      for (std::uint32_t li = 0; li < nl; ++li) {
+        const graph::VertexId gid = view.vertices[li];
+        v[li] = v_vector(opt.seed, round, gid, k);
+        for (int j = 1; j <= k; ++j)
+          r[static_cast<std::size_t>(j - 1) * nl + li] = field_coeff(
+              f, opt.seed, round, gid, static_cast<std::uint32_t>(j));
+      }
+      V total = f.zero();
+      for (std::uint64_t phase = group_color; phase < sched.phases();
+           phase += sched.groups()) {
+        const auto [q0, q1] = sched.phase_range(phase);
+        const std::size_t batch = q1 - q0;
+        cur.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+        next.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+        ghost.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+
+        // Memory model: each level streams the local adjacency plus the
+        // active state arrays; the resident working set decides hot/cold.
+        const std::uint64_t adj_bytes =
+            view.adj.size() * sizeof(partition::NbrRef) +
+            view.adj_offsets.size() * sizeof(std::uint64_t);
+        const std::uint64_t state_bytes =
+            (static_cast<std::uint64_t>(nl) * 2 + ng) * batch * sizeof(V);
+        const std::uint64_t working_set =
+            adj_bytes + state_bytes + r.size() * sizeof(V);
+
+        // Base case P(i, q, 1).
+        for (std::uint32_t li = 0; li < nl; ++li) {
+          V* row = cur.data() + static_cast<std::size_t>(li) * batch;
+          const V r1 = r[li];
+          for (std::size_t b = 0; b < batch; ++b) {
+            const auto q = static_cast<std::uint32_t>(q0 + b);
+            row[b] = inner_product_odd(v[li], q) ? f.zero() : r1;
+          }
+        }
+        world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+
+        // Inductive steps with one halo exchange per level.
+        for (int j = 2; j <= k; ++j) {
+          detail::halo_exchange(group, view, cur, ghost, batch);
+          const V* rj = r.data() + static_cast<std::size_t>(j - 1) * nl;
+          std::uint64_t ops = 0;
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            V* out = next.data() + static_cast<std::size_t>(li) * batch;
+            // Accumulate neighbor values lane-wise.
+            std::fill(out, out + batch, f.zero());
+            const auto begin = view.adj_offsets[li];
+            const auto end = view.adj_offsets[li + 1];
+            for (auto e = begin; e < end; ++e) {
+              const auto ref = view.adj[e];
+              const V* src =
+                  ref.is_ghost()
+                      ? ghost.data() +
+                            static_cast<std::size_t>(ref.index()) * batch
+                      : cur.data() +
+                            static_cast<std::size_t>(ref.index()) * batch;
+              for (std::size_t b = 0; b < batch; ++b)
+                out[b] = f.add(out[b], src[b]);
+            }
+            ops += (end - begin) * batch;
+            // Gate by liveness and scale by the level coefficient.
+            const V rji = rj[li];
+            for (std::size_t b = 0; b < batch; ++b) {
+              const auto q = static_cast<std::uint32_t>(q0 + b);
+              out[b] = inner_product_odd(v[li], q) ? f.zero()
+                                                   : f.mul(rji, out[b]);
+            }
+            ops += batch;
+          }
+          world.charge_compute(ops);
+          // Kernel traffic: every adjacency entry pulls a batch-wide row of
+          // neighbor state (random access), plus one pass over adjacency.
+          world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+          std::swap(cur, next);
+        }
+        detail::accumulate_level(f, cur,
+                                 static_cast<std::size_t>(nl) * batch, total);
+        world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+      }
+      // Combine partial sums across all ranks (paper's MPIREDUCE).
+      V buf = total;
+      world.allreduce<V>(std::span<V>(&buf, 1),
+                         [&f](V& a, const V& b) { a = f.add(a, b); });
+      if (world.rank() == 0 && buf != f.zero())
+        round_found[static_cast<std::size_t>(round)] = 1;
+      world.barrier();
+      if (opt.early_exit && buf != f.zero()) break;
+    }
+  });
+
+  result.wall_s = wall.elapsed_s();
+  result.vtime = spmd.makespan;
+  result.total_stats = spmd.total;
+  result.vclocks = spmd.vclocks;
+  for (int round = 0; round < opt.rounds(); ++round) {
+    ++result.rounds_run;
+    if (round_found[static_cast<std::size_t>(round)]) {
+      result.found = true;
+      result.found_round = round;
+      break;
+    }
+  }
+  if (!opt.early_exit) result.rounds_run = opt.rounds();
+  return result;
+}
+
+}  // namespace detail
+
+/// Distributed k-path detection. `part` must have exactly opt.n1 parts.
+template <gf::GaloisField F>
+MidasResult midas_kpath(const graph::Graph& g,
+                        const partition::Partition& part,
+                        const MidasOptions& opt, const F& f = F{}) {
+  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  return detail::kpath_engine(partition::build_part_views(g, part), opt, f);
+}
+
+/// Distributed *directed* k-path detection: the same engine over
+/// in-neighbor halo views (see partition::build_dipart_views).
+template <gf::GaloisField F>
+MidasResult midas_kpath_directed(const graph::DiGraph& g,
+                                 const partition::Partition& part,
+                                 const MidasOptions& opt, const F& f = F{}) {
+  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  return detail::kpath_engine(partition::build_dipart_views(g, part), opt,
+                              f);
+}
+
+// ---------------------------------------------------------------------------
+// k-tree
+// ---------------------------------------------------------------------------
+
+/// Distributed k-tree detection for a template decomposition.
+template <gf::GaloisField F>
+MidasResult midas_ktree(const graph::Graph& g,
+                        const partition::Partition& part,
+                        const TreeDecomposition& td, const MidasOptions& opt,
+                        const F& f = F{}) {
+  using V = typename F::value_type;
+  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  MIDAS_REQUIRE(td.k() == opt.k, "template size must equal opt.k");
+  const Schedule sched =
+      make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
+  const int k = opt.k;
+  const auto views = partition::build_part_views(g, part);
+  const auto& subs = td.subtemplates();
+
+  // Which subtemplates ever appear as a child2 (their values cross parts).
+  std::vector<bool> needs_exchange(subs.size(), false);
+  for (const auto& sub : subs)
+    if (sub.child1 >= 0)
+      needs_exchange[static_cast<std::size_t>(sub.child2)] = true;
+
+  MidasResult result;
+  Timer wall;
+  std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
+
+  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, [&](runtime::Comm&
+                                                                world) {
+    const int group_color = world.rank() / opt.n1;
+    runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
+    const auto& view = views[static_cast<std::size_t>(group.rank())];
+    const std::uint32_t nl = view.num_local();
+    const std::uint32_t ng = view.num_ghosts();
+
+    std::vector<std::uint32_t> v(nl);
+    std::vector<std::vector<V>> vals(subs.size());
+    std::vector<std::vector<V>> ghost(subs.size());
+
+    for (int round = 0; round < opt.rounds(); ++round) {
+      for (std::uint32_t li = 0; li < nl; ++li)
+        v[li] = v_vector(opt.seed, round, view.vertices[li], k);
+      V total = f.zero();
+      for (std::uint64_t phase = group_color; phase < sched.phases();
+           phase += sched.groups()) {
+        const auto [q0, q1] = sched.phase_range(phase);
+        const std::size_t batch = q1 - q0;
+        const std::uint64_t adj_bytes =
+            view.adj.size() * sizeof(partition::NbrRef) +
+            view.adj_offsets.size() * sizeof(std::uint64_t);
+        const std::uint64_t working_set =
+            adj_bytes + static_cast<std::uint64_t>(subs.size()) * nl *
+                            batch * sizeof(V);
+
+        for (std::size_t s = 0; s < subs.size(); ++s) {
+          const auto& sub = subs[s];
+          auto& out = vals[s];
+          out.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+          std::uint64_t ops = 0;
+          if (sub.child1 < 0) {
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const V coeff =
+                  field_coeff(f, opt.seed, round, view.vertices[li],
+                              static_cast<std::uint32_t>(s));
+              V* row = out.data() + static_cast<std::size_t>(li) * batch;
+              for (std::size_t b = 0; b < batch; ++b) {
+                const auto q = static_cast<std::uint32_t>(q0 + b);
+                row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
+              }
+            }
+            ops = static_cast<std::uint64_t>(nl) * batch;
+          } else {
+            const auto& own = vals[static_cast<std::size_t>(sub.child1)];
+            const auto& oth = vals[static_cast<std::size_t>(sub.child2)];
+            const auto& oth_ghost =
+                ghost[static_cast<std::size_t>(sub.child2)];
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              V* row = out.data() + static_cast<std::size_t>(li) * batch;
+              const auto begin = view.adj_offsets[li];
+              const auto end = view.adj_offsets[li + 1];
+              for (auto e = begin; e < end; ++e) {
+                const auto ref = view.adj[e];
+                const V* src =
+                    ref.is_ghost()
+                        ? oth_ghost.data() +
+                              static_cast<std::size_t>(ref.index()) * batch
+                        : oth.data() +
+                              static_cast<std::size_t>(ref.index()) * batch;
+                for (std::size_t b = 0; b < batch; ++b)
+                  row[b] = f.add(row[b], src[b]);
+              }
+              ops += (end - begin) * batch;
+              const V* own_row =
+                  own.data() + static_cast<std::size_t>(li) * batch;
+              for (std::size_t b = 0; b < batch; ++b)
+                row[b] = f.mul(own_row[b], row[b]);
+              ops += batch;
+            }
+          }
+          world.charge_compute(ops);
+          world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+          if (needs_exchange[s]) {
+            auto& gbuf = ghost[s];
+            gbuf.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+            detail::halo_exchange(group, view, out, gbuf, batch);
+          }
+        }
+        detail::accumulate_level(
+            f, vals[static_cast<std::size_t>(td.root_id())],
+            static_cast<std::size_t>(nl) * batch, total);
+        world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+      }
+      V buf = total;
+      world.allreduce<V>(std::span<V>(&buf, 1),
+                         [&f](V& a, const V& b) { a = f.add(a, b); });
+      if (world.rank() == 0 && buf != f.zero())
+        round_found[static_cast<std::size_t>(round)] = 1;
+      world.barrier();
+      if (opt.early_exit && buf != f.zero()) break;
+    }
+  });
+
+  result.wall_s = wall.elapsed_s();
+  result.vtime = spmd.makespan;
+  result.total_stats = spmd.total;
+  result.vclocks = spmd.vclocks;
+  for (int round = 0; round < opt.rounds(); ++round) {
+    ++result.rounds_run;
+    if (round_found[static_cast<std::size_t>(round)]) {
+      result.found = true;
+      result.found_round = round;
+      break;
+    }
+  }
+  if (!opt.early_exit) result.rounds_run = opt.rounds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Scan statistics
+// ---------------------------------------------------------------------------
+
+struct MidasScanResult {
+  FeasibilityTable table;
+  double vtime = 0.0;
+  double wall_s = 0.0;
+  runtime::CommStats total_stats;
+  std::vector<double> vclocks;
+};
+
+/// Distributed (size, weight) feasibility for connected subgraphs — the
+/// parallel form of Algorithm 5. Messages carry the whole weight axis, so a
+/// phase ships (W+1) * N2 values per boundary vertex per size step.
+template <gf::GaloisField F>
+MidasScanResult midas_scan(const graph::Graph& g,
+                           const partition::Partition& part,
+                           const std::vector<std::uint32_t>& weights,
+                           const MidasOptions& opt, const F& f = F{}) {
+  using V = typename F::value_type;
+  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  const Schedule sched =
+      make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
+  const int k = opt.k;
+  const auto views = partition::build_part_views(g, part);
+
+  std::uint32_t wmax = 0;
+  {
+    std::vector<std::uint32_t> sorted(weights);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i)
+      wmax += sorted[static_cast<std::size_t>(i)];
+  }
+  const std::uint32_t width = wmax + 1;
+
+  MidasScanResult result;
+  result.table.k = k;
+  result.table.max_weight = wmax;
+  result.table.feasible.assign(static_cast<std::size_t>(k) + 1,
+                               std::vector<bool>(width, false));
+  Timer wall;
+  // Per-round detection table gathered at world rank 0 via allreduce; one
+  // slot per (round, j, z).
+  std::vector<std::uint8_t> found_cells(
+      static_cast<std::size_t>(opt.rounds()) * (k + 1) * width, 0);
+
+  runtime::SpmdResult spmd = runtime::run_spmd(
+      opt.n_ranks, opt.model, [&](runtime::Comm& world) {
+        const int group_color = world.rank() / opt.n1;
+        runtime::Comm group =
+            world.split(group_color, world.rank() % opt.n1);
+        const auto& view = views[static_cast<std::size_t>(group.rank())];
+        const std::uint32_t nl = view.num_local();
+        const std::uint32_t ng = view.num_ghosts();
+
+        std::vector<std::uint32_t> v(nl);
+        // vals[j][(li * width + z) * batch + b] — vertex-major so that one
+        // vertex's whole (weight x batch) block is a contiguous message
+        // payload; ghost mirrors the layout with ghost indices.
+        std::vector<std::vector<V>> vals(static_cast<std::size_t>(k) + 1);
+        std::vector<std::vector<V>> ghost(static_cast<std::size_t>(k) + 1);
+        // accum[j][z]: XOR over phases/iterations of sum_i P(i,q,j,z).
+        std::vector<V> accum(static_cast<std::size_t>(k + 1) * width);
+
+        for (int round = 0; round < opt.rounds(); ++round) {
+          for (std::uint32_t li = 0; li < nl; ++li)
+            v[li] = v_vector(opt.seed, round, view.vertices[li], k);
+          std::fill(accum.begin(), accum.end(), f.zero());
+
+          for (std::uint64_t phase = group_color; phase < sched.phases();
+               phase += sched.groups()) {
+            const auto [q0, q1] = sched.phase_range(phase);
+            const std::size_t batch = q1 - q0;
+            for (int j = 1; j <= k; ++j) {
+              vals[static_cast<std::size_t>(j)].assign(
+                  static_cast<std::size_t>(width) * nl * batch, f.zero());
+              ghost[static_cast<std::size_t>(j)].assign(
+                  static_cast<std::size_t>(width) * ng * batch, f.zero());
+            }
+            const std::uint64_t adj_bytes =
+                view.adj.size() * sizeof(partition::NbrRef) +
+                view.adj_offsets.size() * sizeof(std::uint64_t);
+            const std::uint64_t working_set =
+                adj_bytes + static_cast<std::uint64_t>(k) * (nl + ng) *
+                                width * batch * sizeof(V);
+
+            // Base case.
+            auto& base = vals[1];
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const graph::VertexId gid = view.vertices[li];
+              const V coeff = field_coeff(f, opt.seed, round, gid, 1);
+              V* row = base.data() +
+                       (static_cast<std::size_t>(li) * width +
+                        weights[gid]) *
+                           batch;
+              for (std::size_t b = 0; b < batch; ++b) {
+                const auto q = static_cast<std::uint32_t>(q0 + b);
+                row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
+              }
+            }
+            world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+            detail::halo_exchange(group, view, vals[1], ghost[1],
+                                  batch * width);
+
+            for (int j = 2; j <= k; ++j) {
+              auto& out = vals[static_cast<std::size_t>(j)];
+              std::uint64_t ops = 0;
+              for (std::uint32_t li = 0; li < nl; ++li) {
+                const graph::VertexId gid = view.vertices[li];
+                const auto begin = view.adj_offsets[li];
+                const auto end = view.adj_offsets[li + 1];
+                for (auto e = begin; e < end; ++e) {
+                  const auto ref = view.adj[e];
+                  const bool is_ghost = ref.is_ghost();
+                  const std::uint32_t idx = ref.index();
+                  const graph::VertexId u_gid =
+                      is_ghost ? view.ghosts[idx] : view.vertices[idx];
+                  const V sig =
+                      sigma_coeff(f, opt.seed, round, gid, u_gid,
+                                  static_cast<std::uint32_t>(j));
+                  for (int j1 = 1; j1 <= j - 1; ++j1) {
+                    const auto& own = vals[static_cast<std::size_t>(j1)];
+                    const auto& oth_local =
+                        vals[static_cast<std::size_t>(j - j1)];
+                    const auto& oth_ghost =
+                        ghost[static_cast<std::size_t>(j - j1)];
+                    const V* oth_vertex =
+                        (is_ghost ? oth_ghost.data() : oth_local.data()) +
+                        static_cast<std::size_t>(idx) * width * batch;
+                    const V* own_vertex =
+                        own.data() +
+                        static_cast<std::size_t>(li) * width * batch;
+                    V* out_vertex =
+                        out.data() +
+                        static_cast<std::size_t>(li) * width * batch;
+                    for (std::uint32_t z = 0; z < width; ++z) {
+                      V* row = out_vertex + static_cast<std::size_t>(z) * batch;
+                      for (std::uint32_t z1 = 0; z1 <= z; ++z1) {
+                        const V* a =
+                            own_vertex + static_cast<std::size_t>(z1) * batch;
+                        const V* bvals =
+                            oth_vertex +
+                            static_cast<std::size_t>(z - z1) * batch;
+                        for (std::size_t b = 0; b < batch; ++b) {
+                          if (a[b] == f.zero()) continue;
+                          row[b] = f.add(
+                              row[b], f.mul(sig, f.mul(a[b], bvals[b])));
+                        }
+                        ops += batch;
+                      }
+                    }
+                  }
+                }
+              }
+              world.charge_compute(ops);
+              world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+              if (j < k)
+                detail::halo_exchange(group, view,
+                                      vals[static_cast<std::size_t>(j)],
+                                      ghost[static_cast<std::size_t>(j)],
+                                      batch * width);
+            }
+            // Accumulate per-(j,z) sums. As in the sequential detector,
+            // size-j sums only fold iterations q < 2^j (degree-j detection
+            // lives in the 2^j-element subgroup; folding all 2^k iterations
+            // would cancel every size < k).
+            for (int j = 1; j <= k; ++j) {
+              const std::uint64_t jlimit = std::uint64_t{1} << j;
+              if (q0 >= jlimit) continue;
+              const std::size_t bmax =
+                  std::min<std::uint64_t>(batch, jlimit - q0);
+              const auto& layer = vals[static_cast<std::size_t>(j)];
+              V* acc_row = accum.data() + static_cast<std::size_t>(j) * width;
+              for (std::uint32_t li = 0; li < nl; ++li) {
+                const V* vertex_block =
+                    layer.data() + static_cast<std::size_t>(li) * width * batch;
+                for (std::uint32_t z = 0; z < width; ++z) {
+                  const V* row =
+                      vertex_block + static_cast<std::size_t>(z) * batch;
+                  for (std::size_t b = 0; b < bmax; ++b)
+                    acc_row[z] = f.add(acc_row[z], row[b]);
+                }
+              }
+            }
+            world.charge_compute(static_cast<std::uint64_t>(nl) * batch * k);
+          }
+          // Combine the accumulator across all ranks.
+          std::vector<V> buf(accum);
+          world.allreduce<V>(std::span<V>(buf),
+                             [&f](V& a, const V& b) { a = f.add(a, b); });
+          if (world.rank() == 0) {
+            for (int j = 1; j <= k; ++j)
+              for (std::uint32_t z = 0; z < width; ++z)
+                if (buf[static_cast<std::size_t>(j) * width + z] != f.zero())
+                  found_cells[(static_cast<std::size_t>(round) * (k + 1) +
+                               static_cast<std::size_t>(j)) *
+                                  width +
+                              z] = 1;
+          }
+          world.barrier();
+        }
+      });
+
+  result.wall_s = wall.elapsed_s();
+  result.vtime = spmd.makespan;
+  result.total_stats = spmd.total;
+  result.vclocks = spmd.vclocks;
+  for (int round = 0; round < opt.rounds(); ++round)
+    for (int j = 1; j <= k; ++j)
+      for (std::uint32_t z = 0; z < width; ++z)
+        if (found_cells[(static_cast<std::size_t>(round) * (k + 1) +
+                         static_cast<std::size_t>(j)) *
+                            width +
+                        z])
+          result.table.feasible[static_cast<std::size_t>(j)][z] = true;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Weighted k-path (max-weight variant), distributed
+// ---------------------------------------------------------------------------
+
+struct MidasWeightedResult {
+  std::vector<bool> feasible_weight;  // achievable k-path weights
+  std::optional<std::uint32_t> max_weight;
+  double vtime = 0.0;
+  double wall_s = 0.0;
+  runtime::CommStats total_stats;
+};
+
+/// Distributed maximum-weight k-path: the path DP with a weight dimension
+/// (paper Problem 3 part 2). Messages carry the whole weight axis, like
+/// the scan engine.
+template <gf::GaloisField F>
+MidasWeightedResult midas_weighted_kpath(
+    const graph::Graph& g, const partition::Partition& part,
+    const std::vector<std::uint32_t>& weights, const MidasOptions& opt,
+    const F& f = F{}) {
+  using V = typename F::value_type;
+  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  const Schedule sched =
+      make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
+  const int k = opt.k;
+  const auto views = partition::build_part_views(g, part);
+
+  std::uint32_t wmax = 0;
+  {
+    std::vector<std::uint32_t> sorted(weights);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i)
+      wmax += sorted[static_cast<std::size_t>(i)];
+  }
+  const std::uint32_t width = wmax + 1;
+
+  MidasWeightedResult result;
+  result.feasible_weight.assign(width, false);
+  Timer wall;
+  std::vector<std::uint8_t> found_cells(
+      static_cast<std::size_t>(opt.rounds()) * width, 0);
+
+  runtime::SpmdResult spmd = runtime::run_spmd(
+      opt.n_ranks, opt.model, [&](runtime::Comm& world) {
+        const int group_color = world.rank() / opt.n1;
+        runtime::Comm group =
+            world.split(group_color, world.rank() % opt.n1);
+        const auto& view = views[static_cast<std::size_t>(group.rank())];
+        const std::uint32_t nl = view.num_local();
+        const std::uint32_t ng = view.num_ghosts();
+
+        std::vector<std::uint32_t> v(nl);
+        // Layout: (li * width + z) * batch + b (vertex-major, as in scan).
+        std::vector<V> cur, next, ghost;
+        std::vector<V> accum(width);
+
+        for (int round = 0; round < opt.rounds(); ++round) {
+          for (std::uint32_t li = 0; li < nl; ++li)
+            v[li] = v_vector(opt.seed, round, view.vertices[li], k);
+          std::fill(accum.begin(), accum.end(), f.zero());
+
+          for (std::uint64_t phase = group_color; phase < sched.phases();
+               phase += sched.groups()) {
+            const auto [q0, q1] = sched.phase_range(phase);
+            const std::size_t batch = q1 - q0;
+            const std::size_t stride =
+                static_cast<std::size_t>(width) * batch;
+            cur.assign(stride * nl, f.zero());
+            next.assign(stride * nl, f.zero());
+            ghost.assign(stride * ng, f.zero());
+            const std::uint64_t adj_bytes =
+                view.adj.size() * sizeof(partition::NbrRef) +
+                view.adj_offsets.size() * sizeof(std::uint64_t);
+            const std::uint64_t working_set =
+                adj_bytes + (stride * nl + stride * ng) * sizeof(V);
+
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const graph::VertexId gid = view.vertices[li];
+              const V coeff = field_coeff(f, opt.seed, round, gid, 1);
+              V* row = cur.data() + li * stride +
+                       static_cast<std::size_t>(weights[gid]) * batch;
+              for (std::size_t b = 0; b < batch; ++b) {
+                const auto q = static_cast<std::uint32_t>(q0 + b);
+                row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
+              }
+            }
+            world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+
+            for (int j = 2; j <= k; ++j) {
+              detail::halo_exchange(group, view, cur, ghost,
+                                    batch * width);
+              std::fill(next.begin(), next.end(), f.zero());
+              std::uint64_t ops = 0;
+              for (std::uint32_t li = 0; li < nl; ++li) {
+                const graph::VertexId gid = view.vertices[li];
+                const std::uint32_t wi = weights[gid];
+                const V rj = field_coeff(f, opt.seed, round, gid,
+                                         static_cast<std::uint32_t>(j));
+                V* out_vertex = next.data() + li * stride;
+                const auto begin = view.adj_offsets[li];
+                const auto end = view.adj_offsets[li + 1];
+                for (std::uint32_t z = wi; z < width; ++z) {
+                  V* row = out_vertex + static_cast<std::size_t>(z) * batch;
+                  for (auto e = begin; e < end; ++e) {
+                    const auto ref = view.adj[e];
+                    const V* src =
+                        (ref.is_ghost() ? ghost.data() : cur.data()) +
+                        static_cast<std::size_t>(ref.index()) * stride +
+                        static_cast<std::size_t>(z - wi) * batch;
+                    for (std::size_t b = 0; b < batch; ++b)
+                      row[b] = f.add(row[b], src[b]);
+                  }
+                  ops += (end - begin) * batch;
+                  for (std::size_t b = 0; b < batch; ++b) {
+                    const auto q = static_cast<std::uint32_t>(q0 + b);
+                    row[b] = inner_product_odd(v[li], q)
+                                 ? f.zero()
+                                 : f.mul(rj, row[b]);
+                  }
+                  ops += batch;
+                }
+              }
+              world.charge_compute(ops);
+              world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+              std::swap(cur, next);
+            }
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const V* vertex_block = cur.data() + li * stride;
+              for (std::uint32_t z = 0; z < width; ++z) {
+                const V* row =
+                    vertex_block + static_cast<std::size_t>(z) * batch;
+                for (std::size_t b = 0; b < batch; ++b)
+                  accum[z] = f.add(accum[z], row[b]);
+              }
+            }
+            world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+          }
+          std::vector<V> buf(accum);
+          world.allreduce<V>(std::span<V>(buf),
+                             [&f](V& a, const V& b) { a = f.add(a, b); });
+          if (world.rank() == 0) {
+            for (std::uint32_t z = 0; z < width; ++z)
+              if (buf[z] != f.zero())
+                found_cells[static_cast<std::size_t>(round) * width + z] =
+                    1;
+          }
+          world.barrier();
+        }
+      });
+
+  result.wall_s = wall.elapsed_s();
+  result.vtime = spmd.makespan;
+  result.total_stats = spmd.total;
+  for (int round = 0; round < opt.rounds(); ++round)
+    for (std::uint32_t z = 0; z < width; ++z)
+      if (found_cells[static_cast<std::size_t>(round) * width + z])
+        result.feasible_weight[z] = true;
+  for (std::uint32_t z = 0; z < width; ++z)
+    if (result.feasible_weight[z]) result.max_weight = z;
+  return result;
+}
+
+}  // namespace midas::core

@@ -1,0 +1,345 @@
+// Sequential multilinear detection (paper Section III, Algorithm 1, and the
+// per-application polynomials of Sections III-D and V).
+//
+// All three detectors share the same skeleton: per round, draw hash-derived
+// randomness (v_i in Z2^k per vertex; field coefficients per template
+// position); for each iteration t in [0, 2^k) evaluate the application's
+// polynomial with x_i replaced by its iteration value and XOR the result
+// into a round accumulator; a nonzero accumulator proves a multilinear
+// (square-free) degree-k term, i.e. the subgraph exists. "No" answers are
+// always correct; "yes" is produced with probability >= 1/5 per round
+// (Theorem 1), driven below epsilon by running multiple rounds.
+//
+// Implementation note (documented in DESIGN.md): we implement Williams'
+// GF(2^l) refinement — the variant the paper says it implements. The
+// iteration value of x_i is the indicator [<v_i, t> = 0] scaled by a fresh
+// coefficient per (vertex, template position); the factor-2 of the integer
+// matrix representation ("1 + (-1)^{v*t}") is dropped because it is the
+// characteristic. The per-position coefficients are what break the
+// direction/automorphism pairing of witnesses that would otherwise cancel
+// in characteristic 2.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/hashrand.hpp"
+#include "core/schedule.hpp"
+#include "core/tree_template.hpp"
+#include "gf/field.hpp"
+#include "graph/csr.hpp"
+#include "util/require.hpp"
+
+namespace midas::core {
+
+struct DetectOptions {
+  int k = 4;                 // subgraph size (path/tree vertices)
+  double epsilon = 0.05;     // failure probability bound for "yes" instances
+  std::uint64_t seed = 1;    // randomness seed; fixes the whole run
+  int max_rounds = 0;        // if > 0, overrides the epsilon-derived count
+  bool early_exit = true;    // stop after the first successful round
+
+  [[nodiscard]] int rounds() const {
+    return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
+  }
+};
+
+struct DetectResult {
+  bool found = false;
+  int rounds_run = 0;
+  int found_round = -1;          // first round that returned nonzero
+  std::uint64_t iterations = 0;  // total polynomial evaluations performed
+};
+
+// ---------------------------------------------------------------------------
+// k-path
+// ---------------------------------------------------------------------------
+
+/// Decide whether `g` contains a simple path on exactly k vertices.
+template <gf::GaloisField F>
+DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
+                              const F& f = F{}) {
+  const int k = opt.k;
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
+  const graph::VertexId n = g.num_vertices();
+  DetectResult res;
+  if (n == 0) return res;
+  if (k == 1) {  // any vertex is a 1-path
+    res.found = n > 0;
+    res.found_round = 0;
+    return res;
+  }
+
+  using V = typename F::value_type;
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  std::vector<std::uint32_t> v(n);
+  std::vector<V> cur(n), next(n);
+  // r[j * n + i] is the coefficient of vertex i at path level j (1-based).
+  std::vector<V> r(static_cast<std::size_t>(k) * n);
+
+  for (int round = 0; round < opt.rounds(); ++round) {
+    for (graph::VertexId i = 0; i < n; ++i) {
+      v[i] = v_vector(opt.seed, round, i, k);
+      for (int j = 1; j <= k; ++j)
+        r[static_cast<std::size_t>(j - 1) * n + i] =
+            field_coeff(f, opt.seed, round, i,
+                        static_cast<std::uint32_t>(j));
+    }
+    V total = f.zero();
+    for (std::uint64_t t = 0; t < iters; ++t) {
+      for (graph::VertexId i = 0; i < n; ++i) {
+        const bool live =
+            !inner_product_odd(v[i], static_cast<std::uint32_t>(t));
+        cur[i] = live ? r[i] : f.zero();
+      }
+      for (int j = 2; j <= k; ++j) {
+        const V* rj = r.data() + static_cast<std::size_t>(j - 1) * n;
+        for (graph::VertexId i = 0; i < n; ++i) {
+          if (inner_product_odd(v[i], static_cast<std::uint32_t>(t))) {
+            next[i] = f.zero();  // x_i evaluates to 0 this iteration
+            continue;
+          }
+          V acc = f.zero();
+          for (graph::VertexId u : g.neighbors(i)) acc = f.add(acc, cur[u]);
+          next[i] = f.mul(rj[i], acc);
+        }
+        std::swap(cur, next);
+      }
+      V sum = f.zero();
+      for (graph::VertexId i = 0; i < n; ++i) sum = f.add(sum, cur[i]);
+      total = f.add(total, sum);
+      ++res.iterations;
+    }
+    ++res.rounds_run;
+    if (total != f.zero()) {
+      res.found = true;
+      res.found_round = round;
+      if (opt.early_exit) return res;
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// k-tree
+// ---------------------------------------------------------------------------
+
+/// Decide whether `g` contains a (non-induced) embedding of the template
+/// tree described by `td`.
+template <gf::GaloisField F>
+DetectResult detect_ktree_seq(const graph::Graph& g,
+                              const TreeDecomposition& td,
+                              const DetectOptions& opt, const F& f = F{}) {
+  const int k = td.k();
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "template size must be in [1,28]");
+  const graph::VertexId n = g.num_vertices();
+  DetectResult res;
+  if (n == 0) return res;
+
+  using V = typename F::value_type;
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  const auto& subs = td.subtemplates();
+  std::vector<std::uint32_t> v(n);
+  // vals[s][i]: polynomial value of subtemplate s at vertex i.
+  std::vector<std::vector<V>> vals(subs.size(), std::vector<V>(n));
+
+  for (int round = 0; round < opt.rounds(); ++round) {
+    for (graph::VertexId i = 0; i < n; ++i)
+      v[i] = v_vector(opt.seed, round, i, k);
+    V total = f.zero();
+    for (std::uint64_t t = 0; t < iters; ++t) {
+      for (std::size_t s = 0; s < subs.size(); ++s) {
+        const auto& sub = subs[s];
+        auto& out = vals[s];
+        if (sub.child1 < 0) {
+          // Leaf: x_i scaled by a coefficient unique to this template
+          // position (leaf ids are unique within the decomposition).
+          for (graph::VertexId i = 0; i < n; ++i) {
+            const bool live =
+                !inner_product_odd(v[i], static_cast<std::uint32_t>(t));
+            out[i] = live ? field_coeff(f, opt.seed, round, i,
+                                        static_cast<std::uint32_t>(s))
+                          : f.zero();
+          }
+        } else {
+          const auto& own = vals[static_cast<std::size_t>(sub.child1)];
+          const auto& nbr = vals[static_cast<std::size_t>(sub.child2)];
+          for (graph::VertexId i = 0; i < n; ++i) {
+            if (own[i] == f.zero()) {
+              out[i] = f.zero();
+              continue;
+            }
+            V acc = f.zero();
+            for (graph::VertexId u : g.neighbors(i)) acc = f.add(acc, nbr[u]);
+            out[i] = f.mul(own[i], acc);
+          }
+        }
+      }
+      V sum = f.zero();
+      const auto& root_vals = vals[static_cast<std::size_t>(td.root_id())];
+      for (graph::VertexId i = 0; i < n; ++i) sum = f.add(sum, root_vals[i]);
+      total = f.add(total, sum);
+      ++res.iterations;
+    }
+    ++res.rounds_run;
+    if (total != f.zero()) {
+      res.found = true;
+      res.found_round = round;
+      if (opt.early_exit) return res;
+    }
+  }
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Scan statistics feasibility (paper Section V-B, Algorithm 5)
+// ---------------------------------------------------------------------------
+
+/// feasible[j][z] == true  =>  g has a connected subgraph of exactly j
+/// vertices with total (rounded) weight exactly z. "true" entries are
+/// always correct ("no" entries may be false negatives with prob <= eps).
+struct FeasibilityTable {
+  int k = 0;
+  std::uint32_t max_weight = 0;
+  std::vector<std::vector<bool>> feasible;  // [j][z], j in [1,k]
+
+  [[nodiscard]] bool at(int j, std::uint32_t z) const {
+    return j >= 1 && j <= k && z <= max_weight &&
+           feasible[static_cast<std::size_t>(j)][z];
+  }
+};
+
+struct ScanOptions {
+  int k = 4;               // maximum subgraph size
+  double epsilon = 0.05;
+  std::uint64_t seed = 1;
+  int max_rounds = 0;
+  /// If watch_j > 0, stop as soon as cell (watch_j, watch_z) is feasible —
+  /// the witness-extraction oracle only needs one cell, and a "yes" needs
+  /// ~log(5/4)^-1 expected rounds rather than the full amplification.
+  int watch_j = 0;
+  std::uint32_t watch_z = 0;
+
+  [[nodiscard]] int rounds() const {
+    return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
+  }
+};
+
+/// Build the (size, weight) feasibility table for connected subgraphs of up
+/// to `k` vertices, where vertex i contributes integer weight weights[i].
+template <gf::GaloisField F>
+FeasibilityTable detect_scan_seq(const graph::Graph& g,
+                                 const std::vector<std::uint32_t>& weights,
+                                 const ScanOptions& opt, const F& f = F{}) {
+  const int k = opt.k;
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
+  const graph::VertexId n = g.num_vertices();
+  MIDAS_REQUIRE(weights.size() == n, "one weight per vertex required");
+
+  // Maximum achievable weight of a k-subset bounds the table width.
+  std::uint32_t wmax = 0;
+  {
+    std::vector<std::uint32_t> sorted(weights);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i)
+      wmax += sorted[static_cast<std::size_t>(i)];
+  }
+
+  FeasibilityTable table;
+  table.k = k;
+  table.max_weight = wmax;
+  table.feasible.assign(static_cast<std::size_t>(k) + 1,
+                        std::vector<bool>(wmax + 1, false));
+  if (n == 0) return table;
+
+  using V = typename F::value_type;
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  const std::uint32_t width = wmax + 1;
+  std::vector<std::uint32_t> v(n);
+  // vals[j][z * n + i]: value of P(i, j, z) at the current iteration.
+  std::vector<std::vector<V>> vals(static_cast<std::size_t>(k) + 1);
+  for (int j = 1; j <= k; ++j)
+    vals[static_cast<std::size_t>(j)].assign(
+        static_cast<std::size_t>(width) * n, f.zero());
+  // accum[j][z]: XOR over iterations of sum_i P(i, j, z).
+  std::vector<std::vector<V>> accum(static_cast<std::size_t>(k) + 1,
+                                    std::vector<V>(width, f.zero()));
+
+  for (int round = 0; round < opt.rounds(); ++round) {
+    for (graph::VertexId i = 0; i < n; ++i)
+      v[i] = v_vector(opt.seed, round, i, k);
+    for (auto& a : accum) std::fill(a.begin(), a.end(), f.zero());
+
+    for (std::uint64_t t = 0; t < iters; ++t) {
+      // Base case: P(i, 1, w(i)) = r_i * [v_i ⟂ t].
+      auto& base = vals[1];
+      std::fill(base.begin(), base.end(), f.zero());
+      for (graph::VertexId i = 0; i < n; ++i) {
+        const bool live =
+            !inner_product_odd(v[i], static_cast<std::uint32_t>(t));
+        if (live)
+          base[static_cast<std::size_t>(weights[i]) * n + i] =
+              field_coeff(f, opt.seed, round, i, 1);
+      }
+      // Inductive step over sizes.
+      for (int j = 2; j <= k; ++j) {
+        auto& out = vals[static_cast<std::size_t>(j)];
+        std::fill(out.begin(), out.end(), f.zero());
+        for (graph::VertexId i = 0; i < n; ++i) {
+          for (graph::VertexId u : g.neighbors(i)) {
+            const V sig = sigma_coeff(f, opt.seed, round, i, u,
+                                      static_cast<std::uint32_t>(j));
+            for (int j1 = 1; j1 <= j - 1; ++j1) {
+              const auto& own = vals[static_cast<std::size_t>(j1)];
+              const auto& oth = vals[static_cast<std::size_t>(j - j1)];
+              for (std::uint32_t z = 0; z < width; ++z) {
+                V acc = f.zero();
+                for (std::uint32_t z1 = 0; z1 <= z; ++z1) {
+                  const V a = own[static_cast<std::size_t>(z1) * n + i];
+                  if (a == f.zero()) continue;
+                  const V b =
+                      oth[static_cast<std::size_t>(z - z1) * n + u];
+                  acc = f.add(acc, f.mul(a, b));
+                }
+                if (acc != f.zero()) {
+                  auto& cell = out[static_cast<std::size_t>(z) * n + i];
+                  cell = f.add(cell, f.mul(sig, acc));
+                }
+              }
+            }
+          }
+        }
+      }
+      // Accumulate sums over vertices for every (j, z). Size-j detection
+      // needs its monomials counted over a 2^j-element subgroup: summing a
+      // degree-j term over all 2^k iterations counts it 2^{k-rank} times
+      // with rank <= j < k — always even, i.e. it always cancels. So the
+      // size-j accumulator only folds iterations t < 2^j, for which the
+      // inner products <v_i, t> see exactly the low j bits of v_i; this is
+      // degree-j detection with j-dimensional vectors at no extra cost.
+      // (The paper's Algorithm 5 sidesteps this by only returning size k.)
+      for (int j = 1; j <= k; ++j) {
+        if (t >= (std::uint64_t{1} << j)) continue;
+        const auto& layer = vals[static_cast<std::size_t>(j)];
+        auto& acc = accum[static_cast<std::size_t>(j)];
+        for (std::uint32_t z = 0; z < width; ++z) {
+          V sum = f.zero();
+          for (graph::VertexId i = 0; i < n; ++i)
+            sum = f.add(sum, layer[static_cast<std::size_t>(z) * n + i]);
+          acc[z] = f.add(acc[z], sum);
+        }
+      }
+    }
+    // Fold this round's detections into the table (true entries stay true).
+    for (int j = 1; j <= k; ++j)
+      for (std::uint32_t z = 0; z < width; ++z)
+        if (accum[static_cast<std::size_t>(j)][z] != f.zero())
+          table.feasible[static_cast<std::size_t>(j)][z] = true;
+    if (opt.watch_j > 0 && table.at(opt.watch_j, opt.watch_z)) break;
+  }
+  return table;
+}
+
+}  // namespace midas::core

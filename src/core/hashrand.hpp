@@ -1,0 +1,88 @@
+// Hash-derived randomness for the algebraic detection.
+//
+// Every random quantity the algorithm needs — the vector v_i in Z2^k per
+// vertex, the per-(vertex, level) field coefficients r_{i,j}, and the
+// per-(vertex, neighbor, size) extension coefficients sigma used by the
+// scan-statistics polynomial — is a pure function of (seed, round, indices),
+// computed by hashing. This has two payoffs in the distributed setting:
+// no rank ever has to broadcast random tables (each recomputes exactly the
+// values it touches), and the sequential and parallel implementations are
+// bit-identical by construction, which the tests exploit.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace midas::core {
+
+/// Mix an arbitrary number of 64-bit words into one hash.
+inline std::uint64_t mix(std::uint64_t h) noexcept {
+  SplitMix64 sm(h);
+  return sm.next();
+}
+
+inline std::uint64_t hash_words(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c = 0x1234,
+                                std::uint64_t d = 0x5678,
+                                std::uint64_t e = 0x9abc) noexcept {
+  std::uint64_t h = a;
+  h = mix(h ^ (b + 0x9e3779b97f4a7c15ULL));
+  h = mix(h ^ (c + 0xc2b2ae3d27d4eb4fULL));
+  h = mix(h ^ (d + 0x165667b19e3779f9ULL));
+  h = mix(h ^ (e + 0x27d4eb2f165667c5ULL));
+  return h;
+}
+
+/// The random vector v_i in Z2^k for vertex i (low k bits of the hash).
+inline std::uint32_t v_vector(std::uint64_t seed, int round, std::uint32_t i,
+                              int k) noexcept {
+  const std::uint64_t h = hash_words(seed, 0x76656374 /*'vect'*/,
+                                     static_cast<std::uint64_t>(round), i);
+  return static_cast<std::uint32_t>(h) & ((k >= 32) ? 0xFFFFFFFFu
+                                                    : ((1u << k) - 1u));
+}
+
+/// <v, t> over GF(2): parity of the AND of the two bit vectors.
+inline bool inner_product_odd(std::uint32_t v, std::uint32_t t) noexcept {
+  return (__builtin_popcount(v & t) & 1) != 0;
+}
+
+/// Nonzero field coefficient r_{i,level} for a leaf use of vertex i.
+/// `F` is any DetectionAlgebra; the value is folded into the field's range
+/// and bumped to 1 if it lands on zero (a 2^-l bias, irrelevant here).
+template <typename F>
+typename F::value_type field_coeff(const F& f, std::uint64_t seed, int round,
+                                   std::uint32_t i,
+                                   std::uint32_t level) noexcept {
+  const std::uint64_t h = hash_words(seed, 0x636f6566 /*'coef'*/,
+                                     static_cast<std::uint64_t>(round), i,
+                                     level);
+  using V = typename F::value_type;
+  const int bits = f.bits();
+  const auto mask = (bits >= 64) ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << bits) - 1);
+  auto v = static_cast<V>(h & mask);
+  if (v == f.zero()) v = f.one();
+  return v;
+}
+
+/// Nonzero extension coefficient sigma_{i,u,size} for the scan-statistics
+/// recurrence (attaching a subtree rooted at u to i when forming size j).
+template <typename F>
+typename F::value_type sigma_coeff(const F& f, std::uint64_t seed, int round,
+                                   std::uint32_t i, std::uint32_t u,
+                                   std::uint32_t size) noexcept {
+  const std::uint64_t h =
+      hash_words(seed, 0x7369676d /*'sigm'*/,
+                 (static_cast<std::uint64_t>(round) << 32) | size, i, u);
+  using V = typename F::value_type;
+  const int bits = f.bits();
+  const auto mask = (bits >= 64) ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << bits) - 1);
+  auto v = static_cast<V>(h & mask);
+  if (v == f.zero()) v = f.one();
+  return v;
+}
+
+}  // namespace midas::core

@@ -1,0 +1,103 @@
+// Koutis' integer formulation — a faithful transcription of the paper's
+// Algorithm 1 (MULTILINEARDETECTPATH), provided as an executable reference.
+//
+// Iteration t assigns x_i = 1 + (-1)^{<v_i, t>} in {0, 2} and evaluates the
+// walk polynomial over Z / 2^{k+1} Z. Summed over the 2^k iterations, a
+// monomial containing a square contributes a multiple of 2^{k+1} (zero),
+// and a multilinear monomial with linearly independent v's contributes
+// exactly 2^k — so a nonzero total certifies a multilinear term.
+//
+// KNOWN LIMITATION (why the paper itself implements the GF(2^l) variant,
+// and why this reproduction's production detectors live in detect_seq.hpp):
+// with Z2 coefficients the total is 2^k * (number of surviving multilinear
+// walk-witnesses mod 2). On an undirected graph every simple k-path appears
+// as two directed walks, so witness counts pair up and the total vanishes —
+// Algorithm 1 as printed answers "no" on every undirected instance with
+// k >= 2. It remains correct and useful for (a) demonstrating the square-
+// annihilation identity, (b) instances with odd witness counts (e.g.
+// counting walks from a fixed start on directed-style reductions), and the
+// tests pin down both behaviours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hashrand.hpp"
+#include "gf/zmod.hpp"
+#include "graph/csr.hpp"
+#include "util/require.hpp"
+
+namespace midas::core {
+
+struct KoutisResult {
+  std::uint32_t total = 0;  // final P mod 2^{k+1}
+  bool nonzero = false;     // the algorithm's "yes"
+};
+
+/// One round of Algorithm 1, verbatim: random v_i from `seed`, evaluate the
+/// k-path walk polynomial over Z / 2^{k+1} Z across all 2^k iterations.
+[[nodiscard]] inline KoutisResult koutis_kpath_round(const graph::Graph& g,
+                                                     int k,
+                                                     std::uint64_t seed) {
+  MIDAS_REQUIRE(k >= 1 && k <= 24, "k must be in [1,24]");
+  const graph::VertexId n = g.num_vertices();
+  const gf::ZMod2e ring(k + 1);
+  using V = gf::ZMod2e::value_type;
+
+  std::vector<std::uint32_t> v(n);
+  for (graph::VertexId i = 0; i < n; ++i) v[i] = v_vector(seed, 0, i, k);
+
+  V total = 0;
+  std::vector<V> cur(n), next(n);
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  for (std::uint64_t t = 0; t < iters; ++t) {
+    // Base case: P(i,1) = 1 + (-1)^{<v_i, t>}.
+    for (graph::VertexId i = 0; i < n; ++i)
+      cur[i] = inner_product_odd(v[i], static_cast<std::uint32_t>(t)) ? 0 : 2;
+    // Inductive step: P(i,j) = x_i * sum_u P(u, j-1).
+    for (int j = 2; j <= k; ++j) {
+      for (graph::VertexId i = 0; i < n; ++i) {
+        V acc = 0;
+        for (graph::VertexId u : g.neighbors(i)) acc = ring.add(acc, cur[u]);
+        const V xi =
+            inner_product_odd(v[i], static_cast<std::uint32_t>(t)) ? 0 : 2;
+        next[i] = ring.mul(xi, acc);
+      }
+      std::swap(cur, next);
+    }
+    V sum = 0;
+    for (graph::VertexId i = 0; i < n; ++i) sum = ring.add(sum, cur[i]);
+    total = ring.add(total, sum);
+  }
+  return {total, total != 0};
+}
+
+/// Evaluate a single monomial prod_i x_i^{e_i} over all 2^k iterations —
+/// the building block of the square-annihilation property tests.
+/// `exponents[i]` is e_i; the degree must be <= k.
+[[nodiscard]] inline std::uint32_t koutis_monomial_sum(
+    const std::vector<std::uint32_t>& exponents, int k, std::uint64_t seed) {
+  std::uint32_t degree = 0;
+  for (auto e : exponents) degree += e;
+  MIDAS_REQUIRE(degree <= static_cast<std::uint32_t>(k),
+                "monomial degree exceeds k");
+  const gf::ZMod2e ring(k + 1);
+  std::vector<std::uint32_t> v(exponents.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = v_vector(seed, 0, static_cast<std::uint32_t>(i), k);
+  std::uint32_t total = 0;
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  for (std::uint64_t t = 0; t < iters; ++t) {
+    std::uint32_t prod = 1;
+    for (std::size_t i = 0; i < exponents.size(); ++i) {
+      const std::uint32_t xi =
+          inner_product_odd(v[i], static_cast<std::uint32_t>(t)) ? 0 : 2;
+      for (std::uint32_t e = 0; e < exponents[i]; ++e)
+        prod = ring.mul(prod, xi);
+    }
+    total = ring.add(total, prod);
+  }
+  return total;
+}
+
+}  // namespace midas::core

@@ -1,0 +1,85 @@
+// The N / N1 / N2 scheduling arithmetic of MIDAS (paper Fig. 1, Table I).
+//
+// A run consists of `rounds` independent repetitions. Each round evaluates
+// the polynomial for 2^k iterations. Iterations are grouped into *phases*
+// of N2 consecutive iterations whose communication is batched into one
+// message. The N ranks are split into a = N / N1 *phase groups* of N1 ranks
+// each; group g processes phases g, g + a, g + 2a, ... so all groups finish
+// within one phase of each other. A *batch* is one simultaneous wave of a
+// phases (the paper's term); batches = ceil(phases / a).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace midas::core {
+
+/// Number of independent rounds needed for failure probability <= epsilon,
+/// given the per-round success probability of 1/5 (paper Theorem 1):
+/// ceil(log(1/eps) / log(5/4)).
+[[nodiscard]] inline int rounds_for_epsilon(double epsilon) {
+  MIDAS_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+  return static_cast<int>(
+      std::ceil(std::log(1.0 / epsilon) / std::log(5.0 / 4.0)));
+}
+
+struct Schedule {
+  int k = 0;             // subgraph size
+  int rounds = 1;        // repetitions (epsilon driven)
+  int n_ranks = 1;       // N
+  int n1 = 1;            // ranks per phase group (graph parts)
+  std::uint32_t n2 = 1;  // iterations per phase (batched communication)
+
+  [[nodiscard]] std::uint64_t iterations() const noexcept {
+    return std::uint64_t{1} << k;
+  }
+  [[nodiscard]] int groups() const noexcept { return n_ranks / n1; }
+  [[nodiscard]] std::uint64_t phases() const noexcept {
+    return (iterations() + n2 - 1) / n2;
+  }
+  [[nodiscard]] std::uint64_t batches() const noexcept {
+    const auto a = static_cast<std::uint64_t>(groups());
+    return (phases() + a - 1) / a;
+  }
+  /// Number of phases assigned to group g (groups may differ by one when
+  /// a does not divide the phase count).
+  [[nodiscard]] std::uint64_t phases_of_group(int g) const noexcept {
+    const auto a = static_cast<std::uint64_t>(groups());
+    const auto p = phases();
+    return p / a + ((static_cast<std::uint64_t>(g) < p % a) ? 1 : 0);
+  }
+  /// Iteration range [first, last) of phase number `t`.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> phase_range(
+      std::uint64_t t) const noexcept {
+    const std::uint64_t first = t * n2;
+    const std::uint64_t last = std::min(iterations(), first + n2);
+    return {first, last};
+  }
+};
+
+/// Validate and build a schedule. Unlike the paper's exposition (which
+/// assumes N1 | N and N2 | 2^k), non-divisible configurations are accepted:
+/// the last phase is short and groups take a near-equal share of phases.
+[[nodiscard]] inline Schedule make_schedule(int k, double epsilon,
+                                            int n_ranks, int n1,
+                                            std::uint32_t n2) {
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
+  MIDAS_REQUIRE(n_ranks >= 1, "N must be positive");
+  MIDAS_REQUIRE(n1 >= 1 && n1 <= n_ranks, "N1 must be in [1,N]");
+  MIDAS_REQUIRE(n_ranks % n1 == 0, "N1 must divide N");
+  MIDAS_REQUIRE(n2 >= 1, "N2 must be positive");
+  Schedule s;
+  s.k = k;
+  s.rounds = rounds_for_epsilon(epsilon);
+  s.n_ranks = n_ranks;
+  s.n1 = n1;
+  s.n2 = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(n2, s.iterations()));
+  return s;
+}
+
+}  // namespace midas::core

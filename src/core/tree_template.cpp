@@ -1,0 +1,83 @@
+#include "core/tree_template.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+#include "util/require.hpp"
+
+namespace midas::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+TreeDecomposition::TreeDecomposition(const Graph& tree, VertexId root) {
+  const VertexId n = tree.num_vertices();
+  MIDAS_REQUIRE(n >= 1, "template tree must be nonempty");
+  MIDAS_REQUIRE(root < n, "root out of range");
+  MIDAS_REQUIRE(tree.num_edges() == n - 1, "template must have n-1 edges");
+  MIDAS_REQUIRE(graph::num_components(tree) == 1,
+                "template must be connected");
+  k_ = static_cast<int>(n);
+  std::vector<VertexId> all(n);
+  for (VertexId v = 0; v < n; ++v) all[v] = v;
+  subs_.reserve(2 * n - 1);
+  decompose(tree, all, root);
+  MIDAS_ASSERT(static_cast<int>(subs_.size()) == 2 * k_ - 1,
+               "decomposition must yield 2k-1 subtemplates");
+}
+
+int TreeDecomposition::decompose(const Graph& tree,
+                                 const std::vector<VertexId>& vertices,
+                                 VertexId root) {
+  if (vertices.size() == 1) {
+    SubTemplate leaf;
+    leaf.size = 1;
+    leaf.template_vertex = root;
+    subs_.push_back(leaf);
+    return static_cast<int>(subs_.size()) - 1;
+  }
+  std::unordered_set<VertexId> members(vertices.begin(), vertices.end());
+  // Pick u: the smallest neighbor of root inside this subtree.
+  VertexId u = graph::kUnreachable;
+  for (VertexId nbr : tree.neighbors(root)) {
+    if (members.count(nbr)) {
+      u = nbr;
+      break;
+    }
+  }
+  MIDAS_ASSERT(u != graph::kUnreachable,
+               "root of a multi-vertex subtree has no neighbor in it");
+  // H2 = component of u after removing edge (root, u), within the subtree.
+  std::unordered_set<VertexId> h2{u};
+  std::vector<VertexId> stack{u};
+  while (!stack.empty()) {
+    const VertexId x = stack.back();
+    stack.pop_back();
+    for (VertexId y : tree.neighbors(x)) {
+      if (x == u && y == root) continue;  // the removed edge
+      if (members.count(y) && !h2.count(y) && y != root) {
+        h2.insert(y);
+        stack.push_back(y);
+      }
+    }
+  }
+  std::vector<VertexId> h1_vertices, h2_vertices;
+  for (VertexId v : vertices) {
+    if (h2.count(v))
+      h2_vertices.push_back(v);
+    else
+      h1_vertices.push_back(v);
+  }
+  const int id1 = decompose(tree, h1_vertices, root);
+  const int id2 = decompose(tree, h2_vertices, u);
+  SubTemplate node;
+  node.size = static_cast<int>(vertices.size());
+  node.child1 = id1;
+  node.child2 = id2;
+  node.template_vertex = root;
+  subs_.push_back(node);
+  return static_cast<int>(subs_.size()) - 1;
+}
+
+}  // namespace midas::core

@@ -1,0 +1,57 @@
+// Tree-template decomposition (paper Section V-A, Fig. 2).
+//
+// A k-vertex template tree H is rooted and recursively split: removing the
+// edge between ROOT(H) and one of its neighbors u yields children H1
+// (containing the root) and H2 (rooted at u). Splitting continues until
+// every subtemplate is a single node, giving exactly 2k - 1 subtemplates.
+// The decomposition drives the k-tree dynamic program: the polynomial of an
+// internal subtemplate combines its children's polynomials over graph edges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace midas::core {
+
+struct SubTemplate {
+  int size = 1;        // number of template vertices covered
+  int child1 = -1;     // subtemplate id sharing this root (-1 for leaves)
+  int child2 = -1;     // subtemplate id rooted at the split neighbor
+  /// For leaves: the template vertex this leaf stands for (unique per leaf,
+  /// so each template position carries its own random coefficient).
+  graph::VertexId template_vertex = 0;
+};
+
+/// The full decomposition of a template tree. Subtemplates are stored in
+/// evaluation order: every child precedes its parent, and the last entry is
+/// the whole template H.
+class TreeDecomposition {
+ public:
+  /// Decompose `tree` (must be connected and acyclic) rooted at `root`.
+  /// Throws std::invalid_argument if the graph is not a tree.
+  TreeDecomposition(const graph::Graph& tree, graph::VertexId root);
+
+  [[nodiscard]] const std::vector<SubTemplate>& subtemplates() const noexcept {
+    return subs_;
+  }
+  [[nodiscard]] int root_id() const noexcept {
+    return static_cast<int>(subs_.size()) - 1;
+  }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  /// Number of subtemplates, |T| = 2k - 1.
+  [[nodiscard]] int count() const noexcept {
+    return static_cast<int>(subs_.size());
+  }
+
+ private:
+  int decompose(const graph::Graph& tree,
+                const std::vector<graph::VertexId>& vertices,
+                graph::VertexId root);
+
+  std::vector<SubTemplate> subs_;
+  int k_ = 0;
+};
+
+}  // namespace midas::core

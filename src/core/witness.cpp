@@ -1,0 +1,377 @@
+#include "core/witness.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "gf/gf256.hpp"
+#include "graph/algorithms.hpp"
+#include "util/require.hpp"
+
+namespace midas::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+/// Vertices currently alive, as a list.
+std::vector<VertexId> alive_list(const std::vector<bool>& alive) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < alive.size(); ++v)
+    if (alive[v]) out.push_back(v);
+  return out;
+}
+
+/// Exact DFS for a simple k-path inside a (small) graph.
+std::optional<std::vector<VertexId>> dfs_kpath(const Graph& g, int k) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> used(n, false);
+  std::vector<VertexId> path;
+  std::function<bool(VertexId)> extend = [&](VertexId v) -> bool {
+    used[v] = true;
+    path.push_back(v);
+    if (static_cast<int>(path.size()) == k) return true;
+    for (VertexId u : g.neighbors(v)) {
+      if (!used[u] && extend(u)) return true;
+    }
+    used[v] = false;
+    path.pop_back();
+    return false;
+  };
+  for (VertexId s = 0; s < n; ++s) {
+    if (extend(s)) return path;
+  }
+  return std::nullopt;
+}
+
+/// Exact search for a connected subset of exactly `j` vertices with weight
+/// `z` inside a (small) graph. Grows connected sets by DFS over frontiers.
+std::optional<std::vector<VertexId>> dfs_connected_jz(
+    const Graph& g, const std::vector<std::uint32_t>& w, int j,
+    std::uint32_t z) {
+  const VertexId n = g.num_vertices();
+  std::vector<bool> in_set(n, false), banned(n, false);
+  std::vector<VertexId> subset;
+  std::uint32_t weight = 0;
+
+  // Enumerate connected subsets whose minimum vertex is `root`.
+  std::function<bool(std::vector<VertexId>&, VertexId)> grow =
+      [&](std::vector<VertexId>& frontier, VertexId root) -> bool {
+    if (static_cast<int>(subset.size()) == j) return weight == z;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      std::vector<VertexId> next(frontier);
+      std::vector<VertexId> closed_here;
+      for (VertexId u : g.neighbors(v)) {
+        if (u > root && !in_set[u] && !banned[u]) {
+          next.push_back(u);
+          banned[u] = true;
+          closed_here.push_back(u);
+        }
+      }
+      in_set[v] = true;
+      subset.push_back(v);
+      weight += w[v];
+      if (grow(next, root)) return true;
+      weight -= w[v];
+      subset.pop_back();
+      in_set[v] = false;
+      for (VertexId u : closed_here) banned[u] = false;
+    }
+    return false;
+  };
+
+  for (VertexId root = 0; root < n; ++root) {
+    subset = {root};
+    weight = w[root];
+    std::fill(in_set.begin(), in_set.end(), false);
+    std::fill(banned.begin(), banned.end(), false);
+    in_set[root] = true;
+    banned[root] = true;
+    if (static_cast<int>(subset.size()) == j && weight == z) return subset;
+    std::vector<VertexId> frontier;
+    for (VertexId u : g.neighbors(root)) {
+      if (u > root) {
+        frontier.push_back(u);
+        banned[u] = true;
+      }
+    }
+    if (j > 1 && grow(frontier, root)) return subset;
+  }
+  return std::nullopt;
+}
+
+/// Chunked peeling: repeatedly try to delete *groups* of candidate
+/// vertices (halving the group size down to singletons), keeping the
+/// removal whenever the oracle still answers "yes" on the residual graph.
+/// Equivalent to one-at-a-time peeling (the final single-vertex pass is
+/// exactly that) but typically needs O(j log n) oracle calls on much
+/// smaller residual graphs instead of n calls on near-full ones.
+void chunked_peel(VertexId n,
+                  const std::function<bool(const std::vector<VertexId>&)>&
+                      feasible_on,
+                  std::vector<bool>& alive) {
+  for (std::size_t chunk = std::max<std::size_t>(1, n / 2);;
+       chunk /= 2) {
+    const auto candidates = alive_list(alive);
+    for (std::size_t begin = 0; begin < candidates.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, candidates.size());
+      std::vector<VertexId> keep;
+      keep.reserve(candidates.size());
+      for (VertexId v : alive_list(alive)) {
+        const bool removed =
+            std::binary_search(candidates.begin() + static_cast<long>(begin),
+                               candidates.begin() + static_cast<long>(end),
+                               v);
+        if (!removed) keep.push_back(v);
+      }
+      if (feasible_on(keep)) {
+        for (std::size_t i = begin; i < end; ++i)
+          alive[candidates[i]] = false;
+      }
+    }
+    if (chunk == 1) break;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> extract_kpath(
+    const Graph& g, int k, const WitnessOptions& opt) {
+  gf::GF256 f;
+  DetectOptions d;
+  d.k = k;
+  d.epsilon = opt.epsilon;
+  d.seed = opt.seed;
+  if (!detect_kpath_seq(g, d, f).found) return std::nullopt;
+
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  chunked_peel(
+      g.num_vertices(),
+      [&](const std::vector<VertexId>& keep) {
+        const auto sub = graph::induced_subgraph(g, keep);
+        DetectOptions dv = d;
+        dv.seed = opt.seed + 1 + (++call);  // fresh randomness per call
+        return detect_kpath_seq(sub.graph, dv, f).found;
+      },
+      alive);
+  const auto survivors = alive_list(alive);
+  const auto sub = graph::induced_subgraph(g, survivors);
+  auto local = dfs_kpath(sub.graph, k);
+  if (!local) return std::nullopt;  // oracle misses left an invalid core
+  std::vector<VertexId> path;
+  path.reserve(local->size());
+  for (VertexId v : *local) path.push_back(sub.to_original[v]);
+  return path;
+}
+
+std::optional<std::vector<VertexId>> extract_connected_subgraph(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int j,
+    std::uint32_t z, const WitnessOptions& opt) {
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  gf::GF256 f;
+  ScanOptions s;
+  s.k = j;
+  s.epsilon = opt.epsilon;
+  s.seed = opt.seed;
+  s.watch_j = j;  // the oracle only cares about cell (j, z)
+  s.watch_z = z;
+  auto remap = [&](const std::vector<VertexId>& keep) {
+    auto sub = graph::induced_subgraph(g, keep);
+    std::vector<std::uint32_t> w(sub.to_original.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = weights[sub.to_original[i]];
+    return std::make_pair(std::move(sub), std::move(w));
+  };
+
+  {
+    auto [sub, w] = remap(alive_list(std::vector<bool>(g.num_vertices(),
+                                                       true)));
+    if (!detect_scan_seq(sub.graph, w, s, f).at(j, z)) return std::nullopt;
+  }
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  chunked_peel(
+      g.num_vertices(),
+      [&](const std::vector<VertexId>& keep) {
+        auto [sub, w] = remap(keep);
+        ScanOptions sv = s;
+        sv.seed = opt.seed + 1 + (++call);
+        return detect_scan_seq(sub.graph, w, sv, f).at(j, z);
+      },
+      alive);
+  auto [sub, w] = remap(alive_list(alive));
+  auto local = dfs_connected_jz(sub.graph, w, j, z);
+  if (!local) return std::nullopt;
+  std::vector<VertexId> subset;
+  subset.reserve(local->size());
+  for (VertexId v : *local) subset.push_back(sub.to_original[v]);
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+std::optional<std::vector<VertexId>> extract_directed_kpath(
+    const graph::DiGraph& g, int k, const WitnessOptions& opt) {
+  gf::GF256 f;
+  DetectOptions d;
+  d.k = k;
+  d.epsilon = opt.epsilon;
+  d.seed = opt.seed;
+  // Induced sub-digraph on a kept set, with the id mapping.
+  auto induced = [&](const std::vector<VertexId>& keep) {
+    std::vector<VertexId> sorted(keep);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<VertexId> new_id(g.num_vertices(), graph::kUnreachable);
+    for (VertexId i = 0; i < sorted.size(); ++i) new_id[sorted[i]] = i;
+    graph::DiGraphBuilder b(static_cast<VertexId>(sorted.size()));
+    for (VertexId u : sorted)
+      for (VertexId w : g.out_neighbors(u))
+        if (new_id[w] != graph::kUnreachable) b.add_edge(new_id[u],
+                                                         new_id[w]);
+    return std::make_pair(b.build(), std::move(sorted));
+  };
+  {
+    std::vector<VertexId> all(g.num_vertices());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+    auto [sub, _] = induced(all);
+    if (!detect_kpath_directed_seq(sub, d, f).found) return std::nullopt;
+  }
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  chunked_peel(
+      g.num_vertices(),
+      [&](const std::vector<VertexId>& keep) {
+        auto [sub, _] = induced(keep);
+        DetectOptions dv = d;
+        dv.seed = opt.seed + 1 + (++call);
+        return detect_kpath_directed_seq(sub, dv, f).found;
+      },
+      alive);
+  auto [sub, to_original] = induced(alive_list(alive));
+  // Exact DFS over directed simple paths in the (small) survivor graph.
+  std::vector<bool> used(sub.num_vertices(), false);
+  std::vector<VertexId> path;
+  std::function<bool(VertexId)> extend = [&](VertexId v) -> bool {
+    used[v] = true;
+    path.push_back(v);
+    if (static_cast<int>(path.size()) == k) return true;
+    for (VertexId u : sub.out_neighbors(v)) {
+      if (!used[u] && extend(u)) return true;
+    }
+    used[v] = false;
+    path.pop_back();
+    return false;
+  };
+  for (VertexId s = 0; s < sub.num_vertices(); ++s) {
+    if (extend(s)) {
+      std::vector<VertexId> out;
+      out.reserve(path.size());
+      for (VertexId v : path) out.push_back(to_original[v]);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<VertexId>> extract_tree_embedding(
+    const Graph& g, const Graph& tree, const WitnessOptions& opt) {
+  const int k = static_cast<int>(tree.num_vertices());
+  TreeDecomposition td(tree, 0);
+  gf::GF256 f;
+  DetectOptions d;
+  d.k = k;
+  d.epsilon = opt.epsilon;
+  d.seed = opt.seed;
+  if (!detect_ktree_seq(g, td, d, f).found) return std::nullopt;
+
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  chunked_peel(
+      g.num_vertices(),
+      [&](const std::vector<VertexId>& keep) {
+        const auto sub = graph::induced_subgraph(g, keep);
+        DetectOptions dv = d;
+        dv.seed = opt.seed + 1 + (++call);
+        return detect_ktree_seq(sub.graph, td, dv, f).found;
+      },
+      alive);
+
+  // Exact backtracking embedding inside the (small) survivor set: map
+  // template vertices in BFS order, each anchored on a mapped neighbor.
+  const auto sub = graph::induced_subgraph(g, alive_list(alive));
+  const auto& h = sub.graph;
+  std::vector<VertexId> order;
+  std::vector<int> anchor(k, -1);  // index into `order` of a mapped nbr
+  {
+    std::vector<bool> seen(static_cast<std::size_t>(k), false);
+    std::vector<VertexId> queue{0};
+    seen[0] = true;
+    std::vector<int> pos(static_cast<std::size_t>(k), -1);
+    while (!queue.empty()) {
+      const VertexId t = queue.front();
+      queue.erase(queue.begin());
+      pos[t] = static_cast<int>(order.size());
+      order.push_back(t);
+      for (VertexId u : tree.neighbors(t)) {
+        if (!seen[u]) {
+          seen[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    for (std::size_t p = 1; p < order.size(); ++p) {
+      for (VertexId u : tree.neighbors(order[p])) {
+        if (pos[u] >= 0 && pos[u] < static_cast<int>(p)) {
+          anchor[order[p]] = pos[u];
+          break;
+        }
+      }
+    }
+  }
+  std::vector<VertexId> image(static_cast<std::size_t>(k), 0);
+  std::vector<bool> used(h.num_vertices(), false);
+  std::function<bool(std::size_t)> place = [&](std::size_t p) -> bool {
+    if (p == order.size()) return true;
+    const VertexId t = order[p];
+    const VertexId anchored =
+        image[order[static_cast<std::size_t>(anchor[t])]];
+    for (VertexId cand : h.neighbors(anchored)) {
+      if (used[cand]) continue;
+      bool ok = true;
+      for (VertexId u : tree.neighbors(t)) {
+        for (std::size_t q = 0; q < p; ++q) {
+          if (order[q] == u && !h.has_edge(cand, image[u])) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (!ok) continue;
+      image[t] = cand;
+      used[cand] = true;
+      if (place(p + 1)) return true;
+      used[cand] = false;
+    }
+    return false;
+  };
+  for (VertexId root_image = 0; root_image < h.num_vertices();
+       ++root_image) {
+    image[order[0]] = root_image;
+    used[root_image] = true;
+    if (place(1)) {
+      std::vector<VertexId> mapped(static_cast<std::size_t>(k));
+      for (int t = 0; t < k; ++t)
+        mapped[static_cast<std::size_t>(t)] =
+            sub.to_original[image[static_cast<std::size_t>(t)]];
+      return mapped;
+    }
+    used[root_image] = false;
+  }
+  return std::nullopt;
+}
+
+}  // namespace midas::core

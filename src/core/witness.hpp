@@ -1,0 +1,61 @@
+// Witness extraction by oracle self-reduction.
+//
+// Multilinear detection is a decision procedure; applications (e.g. the
+// congestion case study of Section VI-F) want the actual subgraph. We
+// recover one by peeling: repeatedly delete a vertex and re-run detection
+// on the residual graph — if the answer stays "yes" the vertex was not
+// essential. When no vertex can be deleted, the survivors are exactly the
+// vertices of one witness (for k-path: the path's k vertices; for scan: the
+// detected (j, z) subgraph), because any two distinct witnesses would let
+// us delete a vertex unique to one of them. A final exact search inside
+// the (tiny) survivor set orders/validates the witness.
+//
+// Detection is one-sided: "yes" may be missed with probability <= epsilon
+// per call. Oracle misses are benign here — a missed "yes" merely keeps a
+// removable vertex, and the final exact search tolerates extra survivors —
+// so the default epsilon is a loose 1e-2 (few rounds per call).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/detect_directed.hpp"
+#include "core/detect_seq.hpp"
+#include "graph/csr.hpp"
+
+namespace midas::core {
+
+struct WitnessOptions {
+  double epsilon = 1e-2;   // per-oracle-call failure bound (misses are benign:
+                           // a kept removable vertex, fixed by the final
+                           // exact search)
+  std::uint64_t seed = 1;
+};
+
+/// Find an actual simple path on k vertices, or nullopt if none is found.
+/// The returned sequence is a valid path in g (verified exactly).
+[[nodiscard]] std::optional<std::vector<graph::VertexId>> extract_kpath(
+    const graph::Graph& g, int k, const WitnessOptions& opt = {});
+
+/// Find an actual connected subgraph with exactly j vertices and total
+/// weight z (under `weights`), or nullopt. Verified exactly on return.
+[[nodiscard]] std::optional<std::vector<graph::VertexId>>
+extract_connected_subgraph(const graph::Graph& g,
+                           const std::vector<std::uint32_t>& weights, int j,
+                           std::uint32_t z, const WitnessOptions& opt = {});
+
+/// Directed variant of extract_kpath: the returned sequence is a valid
+/// directed path (edges from each vertex to its successor).
+[[nodiscard]] std::optional<std::vector<graph::VertexId>>
+extract_directed_kpath(const graph::DiGraph& g, int k,
+                       const WitnessOptions& opt = {});
+
+/// Find an actual embedding of the template tree: the returned vector maps
+/// template vertex -> graph vertex (injective, edge-preserving; verified
+/// exactly on return). nullopt if no embedding is found.
+[[nodiscard]] std::optional<std::vector<graph::VertexId>>
+extract_tree_embedding(const graph::Graph& g, const graph::Graph& tree,
+                       const WitnessOptions& opt = {});
+
+}  // namespace midas::core

@@ -1,0 +1,56 @@
+// Field concepts shared by the finite-field implementations.
+//
+// MIDAS evaluates polynomials over GF(2^l) with l = 3 + ceil(log2 k)
+// (Williams' refinement) or over the integer ring Z / 2^{k+1} Z (Koutis'
+// original). Both expose the same instance interface so the detection
+// kernels are written once and instantiated per algebra. Field objects are
+// cheap to copy (a pointer to shared tables at most) and all operations are
+// const, so one instance can be shared across ranks/threads.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+
+namespace midas::gf {
+
+/// An algebra usable by the multilinear detection kernels: value_type is an
+/// unsigned integer type; zero/one are the additive and multiplicative
+/// identities; add and mul the ring operations. Addition must make every
+/// element 2-torsion-friendly in the sense the detection math requires
+/// (char 2 for the GF types; mod 2^{k+1} for the Koutis ring).
+template <typename F>
+concept DetectionAlgebra =
+    std::copyable<F> &&
+    requires(const F f, typename F::value_type a, typename F::value_type b) {
+      typename F::value_type;
+      requires std::unsigned_integral<typename F::value_type>;
+      { f.zero() } -> std::same_as<typename F::value_type>;
+      { f.one() } -> std::same_as<typename F::value_type>;
+      { f.add(a, b) } -> std::same_as<typename F::value_type>;
+      { f.mul(a, b) } -> std::same_as<typename F::value_type>;
+    };
+
+/// A DetectionAlgebra that is also a field (has inverses) — true for the
+/// GF(2^l) types, false for Z / 2^{k+1} Z.
+template <typename F>
+concept GaloisField =
+    DetectionAlgebra<F> && requires(const F f, typename F::value_type a) {
+      { f.inv(a) } -> std::same_as<typename F::value_type>;
+    };
+
+/// Exponentiation by squaring, valid for any DetectionAlgebra.
+template <DetectionAlgebra F>
+[[nodiscard]] constexpr typename F::value_type pow(const F& f,
+                                                   typename F::value_type a,
+                                                   std::uint64_t e) {
+  typename F::value_type acc = f.one();
+  typename F::value_type base = a;
+  while (e != 0) {
+    if (e & 1u) acc = f.mul(acc, base);
+    base = f.mul(base, base);
+    e >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace midas::gf

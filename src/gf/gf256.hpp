@@ -1,0 +1,106 @@
+// GF(2^8) with compile-time log/antilog tables.
+//
+// This is MIDAS's default field: Williams' refinement uses GF(2^l) with
+// l = 3 + ceil(log2 k), so every subgraph size up to k = 32 fits in one
+// byte. One-byte values are exactly the cache-friendly layout the paper's
+// Section IV-B exploits: a vertex's N2-iteration batch is a contiguous run
+// of N2 bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "gf/polynomials.hpp"
+
+namespace midas::gf {
+
+namespace detail256 {
+
+/// Multiply in GF(2^8) by shift-and-reduce (used only to build the tables).
+constexpr std::uint8_t slow_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint32_t acc = 0;
+  std::uint32_t aa = a;
+  for (int i = 0; i < 8; ++i) {
+    if (b & (1u << i)) acc ^= aa << i;
+  }
+  // Reduce modulo x^8 + x^4 + x^3 + x + 1.
+  for (int bit = 15; bit >= 8; --bit) {
+    if (acc & (1u << bit)) acc ^= irreducible_poly(8) << (bit - 8);
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+struct Tables {
+  // exp_ has 510 entries so mul can index log[a]+log[b] without a mod.
+  std::array<std::uint8_t, 510> exp{};
+  std::array<std::uint8_t, 256> log{};
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = x;
+    t.exp[static_cast<std::size_t>(i) + 255] = x;
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x = slow_mul(x, 0x03);  // 0x03 generates GF(2^8)* for the AES polynomial
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = build_tables();
+
+}  // namespace detail256
+
+/// GF(2^8), stateless; all operations are table lookups.
+class GF256 {
+ public:
+  using value_type = std::uint8_t;
+
+  [[nodiscard]] constexpr value_type zero() const noexcept { return 0; }
+  [[nodiscard]] constexpr value_type one() const noexcept { return 1; }
+  [[nodiscard]] constexpr int bits() const noexcept { return 8; }
+
+  [[nodiscard]] constexpr value_type add(value_type a,
+                                         value_type b) const noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] constexpr value_type mul(value_type a,
+                                         value_type b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    const auto& t = detail256::kTables;
+    return t.exp[static_cast<std::size_t>(t.log[a]) + t.log[b]];
+  }
+
+  /// Multiplicative inverse; precondition a != 0.
+  [[nodiscard]] constexpr value_type inv(value_type a) const noexcept {
+    const auto& t = detail256::kTables;
+    return t.exp[255 - t.log[a]];
+  }
+
+  /// dst[q] += a[q] * b[q] for q in [0, n) — the hot loop of the batched
+  /// (N2-wide) polynomial evaluation.
+  void mul_add_pointwise(value_type* dst, const value_type* a,
+                         const value_type* b, std::size_t n) const noexcept {
+    const auto& t = detail256::kTables;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (a[q] != 0 && b[q] != 0)
+        dst[q] ^= t.exp[static_cast<std::size_t>(t.log[a[q]]) + t.log[b[q]]];
+    }
+  }
+
+  /// dst[q] += s * b[q] for a scalar s — used when a vertex's base value is
+  /// constant across the batch.
+  void axpy(value_type* dst, value_type s, const value_type* b,
+            std::size_t n) const noexcept {
+    if (s == 0) return;
+    const auto& t = detail256::kTables;
+    const std::size_t ls = t.log[s];
+    for (std::size_t q = 0; q < n; ++q) {
+      if (b[q] != 0) dst[q] ^= t.exp[ls + t.log[b[q]]];
+    }
+  }
+};
+
+}  // namespace midas::gf

@@ -1,0 +1,59 @@
+// GF(2^64) via carry-less multiplication.
+//
+// Not used by the core MIDAS loop (one byte suffices), but provided for
+// property tests that want negligible Schwartz–Zippel failure probability
+// and for users detecting very large multilinear structures.
+#pragma once
+
+#include <cstdint>
+
+#include "gf/field.hpp"
+#include "gf/polynomials.hpp"
+
+namespace midas::gf {
+
+class GF64 {
+ public:
+  using value_type = std::uint64_t;
+
+  [[nodiscard]] constexpr value_type zero() const noexcept { return 0; }
+  [[nodiscard]] constexpr value_type one() const noexcept { return 1; }
+  [[nodiscard]] constexpr int bits() const noexcept { return 64; }
+
+  [[nodiscard]] constexpr value_type add(value_type a,
+                                         value_type b) const noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] constexpr value_type mul(value_type a,
+                                         value_type b) const noexcept {
+    unsigned __int128 prod = clmul64(a, b);
+    // Reduce modulo x^64 + x^4 + x^3 + x + 1. Two folding steps suffice
+    // because deg(poly_low) = 4 < 32.
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 64);
+    std::uint64_t lo = static_cast<std::uint64_t>(prod);
+    unsigned __int128 fold = clmul64(hi, kGF64PolyLow);
+    hi = static_cast<std::uint64_t>(fold >> 64);
+    lo ^= static_cast<std::uint64_t>(fold);
+    lo ^= static_cast<std::uint64_t>(clmul64(hi, kGF64PolyLow));
+    return lo;
+  }
+
+  /// Multiplicative inverse via a^(2^64 - 2); precondition a != 0.
+  [[nodiscard]] constexpr value_type inv(value_type a) const noexcept {
+    // 2^64 - 2 = 0xFFFFFFFFFFFFFFFE.
+    value_type acc = 1;
+    value_type base = a;
+    std::uint64_t e = ~0ULL - 1;
+    while (e != 0) {
+      if (e & 1u) acc = mul(acc, base);
+      base = mul(base, base);
+      e >>= 1;
+    }
+    return acc;
+  }
+};
+
+static_assert(GaloisField<GF64>);
+
+}  // namespace midas::gf

@@ -1,0 +1,71 @@
+#include "gf/gfsmall.hpp"
+
+#include <array>
+#include <mutex>
+
+#include "gf/polynomials.hpp"
+#include "util/require.hpp"
+
+namespace midas::gf {
+
+namespace {
+
+/// Shift-and-reduce multiply used only while building the tables.
+std::uint32_t slow_mul(std::uint32_t a, std::uint32_t b, int l,
+                       std::uint32_t poly) {
+  std::uint32_t acc = 0;
+  for (int i = 0; i < l; ++i) {
+    if (b & (1u << i)) acc ^= a << i;
+  }
+  for (int bit = 2 * l - 2; bit >= l; --bit) {
+    if (acc & (1u << bit)) acc ^= poly << (bit - l);
+  }
+  return acc;
+}
+
+/// Find a multiplicative generator of GF(2^l)* by trial: an element g is a
+/// generator iff its powers enumerate all 2^l - 1 nonzero elements. Field
+/// sizes here are tiny (<= 65536), so brute force is fine and runs once.
+std::uint32_t find_generator(int l, std::uint32_t poly) {
+  const std::uint32_t order = (1u << l) - 1;
+  for (std::uint32_t g = 2; g < (1u << l); ++g) {
+    std::uint32_t x = 1;
+    std::uint32_t steps = 0;
+    do {
+      x = slow_mul(x, g, l, poly);
+      ++steps;
+    } while (x != 1);
+    if (steps == order) return g;
+  }
+  MIDAS_REQUIRE(false, "no generator found (field construction bug)");
+  return 0;
+}
+
+}  // namespace
+
+GFSmall::GFSmall(int l) : l_(l), tables_(tables_for(l)) {}
+
+const GFSmall::Tables* GFSmall::tables_for(int l) {
+  MIDAS_REQUIRE(l >= 2 && l <= 16, "GFSmall supports l in [2,16]");
+  static std::array<std::unique_ptr<Tables>, 17> cache;
+  static std::array<std::once_flag, 17> flags;
+  std::call_once(flags[static_cast<std::size_t>(l)], [l] {
+    const std::uint32_t poly = irreducible_poly(l);
+    const std::uint32_t order = 1u << l;
+    const std::uint32_t g = find_generator(l, poly);
+    auto t = std::make_unique<Tables>();
+    t->exp.assign(2 * (order - 1), 0);
+    t->log.assign(order, 0);
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < order - 1; ++i) {
+      t->exp[i] = static_cast<value_type>(x);
+      t->exp[i + order - 1] = static_cast<value_type>(x);
+      t->log[x] = static_cast<value_type>(i);
+      x = slow_mul(x, g, l, poly);
+    }
+    cache[static_cast<std::size_t>(l)] = std::move(t);
+  });
+  return cache[static_cast<std::size_t>(l)].get();
+}
+
+}  // namespace midas::gf

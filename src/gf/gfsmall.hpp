@@ -1,0 +1,67 @@
+// GF(2^l) for runtime-chosen l in [2, 16], via shared log/antilog tables.
+//
+// MIDAS uses l = 3 + ceil(log2 k); this class lets the detection kernels be
+// exercised over every admissible field width (tests sweep l), and supports
+// l in [9, 16] when extra Schwartz–Zippel headroom is wanted. Tables for a
+// given l are built once per process and shared; a GFSmall value is a
+// pointer plus the width, so it is cheap to copy into every rank.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace midas::gf {
+
+class GFSmall {
+ public:
+  using value_type = std::uint16_t;
+
+  /// Construct the field GF(2^l). Throws std::invalid_argument unless
+  /// 2 <= l <= 16.
+  explicit GFSmall(int l);
+
+  [[nodiscard]] value_type zero() const noexcept { return 0; }
+  [[nodiscard]] value_type one() const noexcept { return 1; }
+  [[nodiscard]] int bits() const noexcept { return l_; }
+  /// Number of field elements, 2^l.
+  [[nodiscard]] std::uint32_t order() const noexcept { return 1u << l_; }
+
+  [[nodiscard]] value_type add(value_type a, value_type b) const noexcept {
+    return a ^ b;
+  }
+
+  [[nodiscard]] value_type mul(value_type a, value_type b) const noexcept {
+    if (a == 0 || b == 0) return 0;
+    return tables_->exp[static_cast<std::size_t>(tables_->log[a]) +
+                        tables_->log[b]];
+  }
+
+  /// Multiplicative inverse; precondition a != 0.
+  [[nodiscard]] value_type inv(value_type a) const noexcept {
+    return tables_->exp[order() - 1 - tables_->log[a]];
+  }
+
+  /// dst[q] += a[q] * b[q] for q in [0, n).
+  void mul_add_pointwise(value_type* dst, const value_type* a,
+                         const value_type* b, std::size_t n) const noexcept {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (a[q] != 0 && b[q] != 0)
+        dst[q] ^= tables_->exp[static_cast<std::size_t>(tables_->log[a[q]]) +
+                               tables_->log[b[q]]];
+    }
+  }
+
+ private:
+  struct Tables {
+    std::vector<value_type> exp;  // 2*(order-1) entries: index without mod
+    std::vector<value_type> log;  // order entries; log[0] unused
+  };
+
+  static const Tables* tables_for(int l);
+
+  int l_;
+  const Tables* tables_;
+};
+
+}  // namespace midas::gf

@@ -1,0 +1,57 @@
+// Registry of irreducible polynomials over GF(2) used as field moduli.
+//
+// For GF(2^l) the modulus is a degree-l polynomial irreducible over GF(2),
+// stored with the leading bit included (e.g. x^8+x^4+x^3+x+1 -> 0x11B).
+// These are the standard Conway/low-weight choices.
+#pragma once
+
+#include <cstdint>
+
+#include "util/require.hpp"
+
+namespace midas::gf {
+
+/// Irreducible modulus for GF(2^l), 1 <= l <= 16, leading bit included.
+[[nodiscard]] constexpr std::uint32_t irreducible_poly(int l) {
+  constexpr std::uint32_t kPolys[17] = {
+      0,       // unused
+      0x3,     // x + 1
+      0x7,     // x^2 + x + 1
+      0xB,     // x^3 + x + 1
+      0x13,    // x^4 + x + 1
+      0x25,    // x^5 + x^2 + 1
+      0x43,    // x^6 + x + 1
+      0x83,    // x^7 + x + 1
+      0x11B,   // x^8 + x^4 + x^3 + x + 1 (AES polynomial)
+      0x203,   // x^9 + x + 1
+      0x409,   // x^10 + x^3 + 1
+      0x805,   // x^11 + x^2 + 1
+      0x1053,  // x^12 + x^6 + x^4 + x + 1
+      0x201B,  // x^13 + x^4 + x^3 + x + 1
+      0x4143,  // x^14 + x^8 + x^6 + x + 1
+      0x8003,  // x^15 + x + 1
+      0x1002D  // x^16 + x^5 + x^3 + x^2 + 1
+  };
+  MIDAS_REQUIRE(l >= 1 && l <= 16, "irreducible_poly supports l in [1,16]");
+  return kPolys[l];
+}
+
+/// Modulus for GF(2^64): x^64 + x^4 + x^3 + x + 1, low part only (the x^64
+/// term is implicit in the reduction routine).
+inline constexpr std::uint64_t kGF64PolyLow = 0x1BULL;
+
+/// Carry-less (polynomial over GF(2)) multiplication of two 64-bit
+/// polynomials, 128-bit result. Portable shift-and-add implementation.
+[[nodiscard]] constexpr unsigned __int128 clmul64(std::uint64_t a,
+                                                  std::uint64_t b) noexcept {
+  unsigned __int128 acc = 0;
+  unsigned __int128 aa = a;
+  while (b != 0) {
+    acc ^= aa * static_cast<unsigned __int128>(b & 1u);
+    aa <<= 1;
+    b >>= 1;
+  }
+  return acc;
+}
+
+}  // namespace midas::gf

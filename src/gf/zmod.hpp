@@ -1,0 +1,58 @@
+// The ring Z / 2^e Z, for Koutis' original integer formulation.
+//
+// Algorithm 1 of the paper evaluates the k-path polynomial over the integers
+// modulo 2^{k+1}: iteration t assigns x_i = 1 + (-1)^{<v_i, t>} in {0, 2},
+// and a degree-k multilinear monomial with linearly independent v's sums to
+// exactly 2^k over the 2^k iterations, while every monomial containing a
+// square sums to a multiple of 2^{k+1}. e = k + 1 <= 31 keeps a product of
+// two reduced values inside uint64, so mul is one multiply and one mask.
+#pragma once
+
+#include <cstdint>
+
+#include "gf/field.hpp"
+#include "util/require.hpp"
+
+namespace midas::gf {
+
+class ZMod2e {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Construct Z / 2^e Z. Requires 1 <= e <= 31.
+  explicit ZMod2e(int e) : e_(e), mask_((e == 31) ? 0x7FFFFFFFu
+                                                  : ((1u << e) - 1u)) {
+    MIDAS_REQUIRE(e >= 1 && e <= 31, "ZMod2e supports e in [1,31]");
+  }
+
+  [[nodiscard]] value_type zero() const noexcept { return 0; }
+  [[nodiscard]] value_type one() const noexcept { return 1; }
+  [[nodiscard]] int bits() const noexcept { return e_; }
+  [[nodiscard]] value_type mask() const noexcept { return mask_; }
+
+  [[nodiscard]] value_type add(value_type a, value_type b) const noexcept {
+    return (a + b) & mask_;
+  }
+
+  [[nodiscard]] value_type mul(value_type a, value_type b) const noexcept {
+    return static_cast<value_type>(
+        (static_cast<std::uint64_t>(a) * b) & mask_);
+  }
+
+  /// dst[q] = (dst[q] + a[q] * b[q]) mod 2^e for q in [0, n).
+  void mul_add_pointwise(value_type* dst, const value_type* a,
+                         const value_type* b, std::size_t n) const noexcept {
+    for (std::size_t q = 0; q < n; ++q) {
+      dst[q] = static_cast<value_type>(
+          (dst[q] + static_cast<std::uint64_t>(a[q]) * b[q]) & mask_);
+    }
+  }
+
+ private:
+  int e_;
+  value_type mask_;
+};
+
+static_assert(DetectionAlgebra<ZMod2e>);
+
+}  // namespace midas::gf

@@ -1,0 +1,66 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace midas::graph {
+
+bool Graph::has_edge(VertexId u, VertexId v) const noexcept {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::uint32_t Graph::max_degree() const noexcept {
+  std::uint32_t d = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) d = std::max(d, degree(v));
+  return d;
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edge_list() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+GraphBuilder::GraphBuilder(VertexId n) : n_(n) {}
+
+void GraphBuilder::reserve(EdgeId m) { edges_.reserve(m); }
+
+void GraphBuilder::add_edge(VertexId u, VertexId v) {
+  MIDAS_REQUIRE(u < n_ && v < n_, "edge endpoint out of range");
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  // Symmetrize: store both directions, dropping self-loops.
+  std::vector<std::pair<VertexId, VertexId>> directed;
+  directed.reserve(edges_.size() * 2);
+  for (auto [u, v] : edges_) {
+    if (u == v) continue;
+    directed.emplace_back(u, v);
+    directed.emplace_back(v, u);
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  std::sort(directed.begin(), directed.end());
+  directed.erase(std::unique(directed.begin(), directed.end()),
+                 directed.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (auto [u, v] : directed) g.offsets_[u + 1]++;
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+  g.adjacency_.reserve(directed.size());
+  for (auto [u, v] : directed) g.adjacency_.push_back(v);
+  return g;
+}
+
+}  // namespace midas::graph

@@ -1,0 +1,84 @@
+// Compressed sparse row (CSR) graph.
+//
+// All MIDAS algorithms consume undirected simple graphs in CSR form:
+// adjacency of vertex v is the contiguous range neighbors(v). Construction
+// goes through GraphBuilder, which symmetrizes, sorts, and deduplicates the
+// edge list and strips self-loops, so a constructed Graph is always a simple
+// undirected graph with sorted adjacency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace midas::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Number of vertices.
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges (each stored twice internally).
+  [[nodiscard]] EdgeId num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  /// Degree of v.
+  [[nodiscard]] std::uint32_t degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbors of v.
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const noexcept {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Binary-search adjacency; O(log deg(u)).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const noexcept;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+
+  /// All undirected edges as (u, v) pairs with u < v, in sorted order.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edge_list() const;
+
+ private:
+  friend class GraphBuilder;
+  std::vector<EdgeId> offsets_;      // size n+1
+  std::vector<VertexId> adjacency_;  // size 2m, sorted per vertex
+};
+
+/// Accumulates an edge list and produces a canonical Graph.
+class GraphBuilder {
+ public:
+  /// n is the (fixed) number of vertices; edges outside [0, n) are rejected.
+  explicit GraphBuilder(VertexId n);
+
+  /// Add an undirected edge. Self-loops and duplicates are tolerated here
+  /// and removed in build().
+  void add_edge(VertexId u, VertexId v);
+
+  /// Reserve space for `m` undirected edges.
+  void reserve(EdgeId m);
+
+  /// Number of edges added so far (before dedup).
+  [[nodiscard]] EdgeId pending_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Produce the canonical CSR graph; the builder is left empty.
+  [[nodiscard]] Graph build();
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace midas::graph

@@ -1,0 +1,107 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/require.hpp"
+
+namespace midas::graph {
+
+bool DiGraph::has_edge(VertexId from, VertexId to) const noexcept {
+  const auto nbrs = out_neighbors(from);
+  return std::binary_search(nbrs.begin(), nbrs.end(), to);
+}
+
+std::vector<std::pair<VertexId, VertexId>> DiGraph::edge_list() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges());
+  for (VertexId v = 0; v < num_vertices(); ++v)
+    for (VertexId u : out_neighbors(v)) edges.emplace_back(v, u);
+  return edges;
+}
+
+DiGraphBuilder::DiGraphBuilder(VertexId n) : n_(n) {}
+
+void DiGraphBuilder::add_edge(VertexId from, VertexId to) {
+  MIDAS_REQUIRE(from < n_ && to < n_, "edge endpoint out of range");
+  edges_.emplace_back(from, to);
+}
+
+DiGraph DiGraphBuilder::build() {
+  std::vector<std::pair<VertexId, VertexId>> fwd;
+  fwd.reserve(edges_.size());
+  for (auto [a, b] : edges_) {
+    if (a != b) fwd.emplace_back(a, b);
+  }
+  edges_.clear();
+  std::sort(fwd.begin(), fwd.end());
+  fwd.erase(std::unique(fwd.begin(), fwd.end()), fwd.end());
+
+  DiGraph g;
+  g.out_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  g.in_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (auto [a, b] : fwd) {
+    g.out_offsets_[a + 1]++;
+    g.in_offsets_[b + 1]++;
+  }
+  for (std::size_t i = 1; i < g.out_offsets_.size(); ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_adj_.resize(fwd.size());
+  g.in_adj_.resize(fwd.size());
+  std::vector<EdgeId> out_cursor(g.out_offsets_.begin(),
+                                 g.out_offsets_.end() - 1);
+  std::vector<EdgeId> in_cursor(g.in_offsets_.begin(),
+                                g.in_offsets_.end() - 1);
+  for (auto [a, b] : fwd) {
+    g.out_adj_[out_cursor[a]++] = b;
+    g.in_adj_[in_cursor[b]++] = a;
+  }
+  // in_adj built from edges sorted by source, so per-target lists need a
+  // sort to be binary-searchable/canonical.
+  for (VertexId v = 0; v < n_; ++v)
+    std::sort(g.in_adj_.begin() + static_cast<long>(g.in_offsets_[v]),
+              g.in_adj_.begin() + static_cast<long>(g.in_offsets_[v + 1]));
+  return g;
+}
+
+DiGraph to_digraph(const Graph& g) {
+  DiGraphBuilder b(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId u : g.neighbors(v)) b.add_edge(v, u);
+  return b.build();
+}
+
+DiGraph random_digraph(VertexId n, EdgeId m, Xoshiro256& rng) {
+  MIDAS_REQUIRE(n >= 2, "random_digraph requires n >= 2");
+  const auto max_edges = static_cast<EdgeId>(n) * (n - 1);
+  MIDAS_REQUIRE(m <= max_edges, "too many directed edges requested");
+  DiGraphBuilder b(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto a = static_cast<VertexId>(rng.below(n));
+    const auto c = static_cast<VertexId>(rng.below(n));
+    if (a == c) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | c;
+    if (seen.insert(key).second) b.add_edge(a, c);
+  }
+  return b.build();
+}
+
+DiGraph directed_path(VertexId n) {
+  DiGraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+DiGraph directed_cycle(VertexId n) {
+  MIDAS_REQUIRE(n >= 2, "directed cycle requires n >= 2");
+  DiGraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+}  // namespace midas::graph

@@ -1,0 +1,84 @@
+// Directed graphs in dual-CSR form (out- and in-adjacency).
+//
+// The k-path reduction extends verbatim to digraphs: a directed walk
+// ending at i extends a walk ending at an in-neighbor of i, so the DP
+// consumes in-neighbors. Directed witnesses have a single orientation —
+// historically the setting Williams' algorithm was stated in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace midas::graph {
+
+class DiGraph {
+ public:
+  DiGraph() = default;
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(out_offsets_.empty()
+                                     ? 0
+                                     : out_offsets_.size() - 1);
+  }
+  /// Number of directed edges.
+  [[nodiscard]] EdgeId num_edges() const noexcept { return out_adj_.size(); }
+
+  [[nodiscard]] std::span<const VertexId> out_neighbors(
+      VertexId v) const noexcept {
+    return {out_adj_.data() + out_offsets_[v],
+            out_adj_.data() + out_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const VertexId> in_neighbors(
+      VertexId v) const noexcept {
+    return {in_adj_.data() + in_offsets_[v],
+            in_adj_.data() + in_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t out_degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+  [[nodiscard]] std::uint32_t in_degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+  /// Binary-search the out-adjacency.
+  [[nodiscard]] bool has_edge(VertexId from, VertexId to) const noexcept;
+
+  /// Directed edges (from, to) in sorted order.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edge_list() const;
+
+ private:
+  friend class DiGraphBuilder;
+  std::vector<EdgeId> out_offsets_, in_offsets_;
+  std::vector<VertexId> out_adj_, in_adj_;
+};
+
+/// Accumulates directed edges; build() deduplicates, sorts, and drops
+/// self-loops.
+class DiGraphBuilder {
+ public:
+  explicit DiGraphBuilder(VertexId n);
+  void add_edge(VertexId from, VertexId to);
+  [[nodiscard]] DiGraph build();
+
+ private:
+  VertexId n_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+/// The symmetric closure viewed as a digraph (u->v and v->u per edge).
+[[nodiscard]] DiGraph to_digraph(const Graph& g);
+
+/// Uniform random simple digraph with exactly m directed edges.
+[[nodiscard]] DiGraph random_digraph(VertexId n, EdgeId m, Xoshiro256& rng);
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+[[nodiscard]] DiGraph directed_path(VertexId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+[[nodiscard]] DiGraph directed_cycle(VertexId n);
+
+}  // namespace midas::graph

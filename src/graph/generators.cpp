@@ -1,0 +1,227 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace midas::graph {
+
+namespace {
+
+/// Pack an undirected edge into one key for dedup during generation.
+std::uint64_t edge_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi_gnm(VertexId n, EdgeId m, Xoshiro256& rng) {
+  MIDAS_REQUIRE(n >= 2, "G(n,m) requires n >= 2");
+  const auto max_edges =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  MIDAS_REQUIRE(m <= max_edges, "G(n,m): m exceeds n choose 2");
+  GraphBuilder b(n);
+  b.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (u == v) continue;
+    if (seen.insert(edge_key(u, v)).second) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph erdos_renyi_gnp(VertexId n, double p, Xoshiro256& rng) {
+  MIDAS_REQUIRE(n >= 1, "G(n,p) requires n >= 1");
+  MIDAS_REQUIRE(p >= 0.0 && p <= 1.0, "G(n,p) requires p in [0,1]");
+  GraphBuilder b(n);
+  if (p <= 0.0) return b.build();
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping over the lexicographic edge enumeration.
+  const double log1mp = std::log1p(-p);
+  std::uint64_t v = 1, w = static_cast<std::uint64_t>(-1);
+  while (v < n) {
+    const double r = std::max(rng.uniform(), 1e-300);
+    w += 1 + static_cast<std::uint64_t>(std::floor(std::log(r) / log1mp));
+    while (w >= v && v < n) {
+      w -= v;
+      ++v;
+    }
+    if (v < n)
+      b.add_edge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+  }
+  return b.build();
+}
+
+Graph barabasi_albert(VertexId n, std::uint32_t attach, Xoshiro256& rng) {
+  MIDAS_REQUIRE(attach >= 1, "BA requires attach >= 1");
+  MIDAS_REQUIRE(n > attach, "BA requires n > attach");
+  GraphBuilder b(n);
+  // repeated_targets holds every edge endpoint once per incidence, so a
+  // uniform draw from it is a degree-proportional draw.
+  std::vector<VertexId> repeated_targets;
+  repeated_targets.reserve(static_cast<std::size_t>(n) * attach * 2);
+  // Seed: a small clique on attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      b.add_edge(u, v);
+      repeated_targets.push_back(u);
+      repeated_targets.push_back(v);
+    }
+  }
+  for (VertexId v = attach + 1; v < n; ++v) {
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < attach) {
+      const VertexId t =
+          repeated_targets[rng.below(repeated_targets.size())];
+      chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      b.add_edge(v, t);
+      repeated_targets.push_back(v);
+      repeated_targets.push_back(t);
+    }
+  }
+  return b.build();
+}
+
+Graph road_network(VertexId n, double keep, Xoshiro256& rng) {
+  MIDAS_REQUIRE(n >= 4, "road_network requires n >= 4");
+  MIDAS_REQUIRE(keep > 0.0 && keep <= 1.0, "keep must be in (0,1]");
+  const auto side = static_cast<VertexId>(std::ceil(std::sqrt(double(n))));
+  GraphBuilder b(n);
+  auto id = [side](VertexId r, VertexId c) { return r * side + c; };
+  for (VertexId r = 0; r < side; ++r) {
+    for (VertexId c = 0; c < side; ++c) {
+      const VertexId u = id(r, c);
+      if (u >= n) continue;
+      if (c + 1 < side && id(r, c + 1) < n && rng.bernoulli(keep))
+        b.add_edge(u, id(r, c + 1));
+      if (r + 1 < side && id(r + 1, c) < n && rng.bernoulli(keep))
+        b.add_edge(u, id(r + 1, c));
+    }
+  }
+  // Sparse long-range "highways": ~n/100 shortcuts.
+  const EdgeId highways = std::max<EdgeId>(1, n / 100);
+  for (EdgeId i = 0; i < highways; ++i) {
+    const auto u = static_cast<VertexId>(rng.below(n));
+    const auto v = static_cast<VertexId>(rng.below(n));
+    if (u != v) b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+Graph rmat(VertexId scale, EdgeId edges_per_vertex, double a, double b,
+           double c, Xoshiro256& rng) {
+  MIDAS_REQUIRE(scale >= 1 && scale <= 30, "rmat scale in [1,30]");
+  const double d = 1.0 - a - b - c;
+  MIDAS_REQUIRE(a >= 0 && b >= 0 && c >= 0 && d >= 0,
+                "rmat probabilities must be a valid distribution");
+  const VertexId n = VertexId{1} << scale;
+  const EdgeId m = static_cast<EdgeId>(n) * edges_per_vertex;
+  GraphBuilder builder(n);
+  builder.reserve(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    for (VertexId bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u != v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph random_tree(VertexId n, Xoshiro256& rng) {
+  MIDAS_REQUIRE(n >= 1, "random_tree requires n >= 1");
+  GraphBuilder b(n);
+  if (n == 1) return b.build();
+  if (n == 2) {
+    b.add_edge(0, 1);
+    return b.build();
+  }
+  // Prüfer decoding: uniform over all n^(n-2) labeled trees.
+  std::vector<VertexId> prufer(n - 2);
+  for (auto& x : prufer) x = static_cast<VertexId>(rng.below(n));
+  std::vector<std::uint32_t> degree(n, 1);
+  for (VertexId x : prufer) degree[x]++;
+  std::vector<VertexId> leaves;
+  for (VertexId v = 0; v < n; ++v)
+    if (degree[v] == 1) leaves.push_back(v);
+  std::make_heap(leaves.begin(), leaves.end(), std::greater<>());
+  for (VertexId x : prufer) {
+    std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+    const VertexId leaf = leaves.back();
+    leaves.pop_back();
+    b.add_edge(leaf, x);
+    if (--degree[x] == 1) {
+      leaves.push_back(x);
+      std::push_heap(leaves.begin(), leaves.end(), std::greater<>());
+    }
+  }
+  std::pop_heap(leaves.begin(), leaves.end(), std::greater<>());
+  const VertexId u = leaves.back();
+  leaves.pop_back();
+  b.add_edge(u, leaves.front());
+  return b.build();
+}
+
+Graph path_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph cycle_graph(VertexId n) {
+  MIDAS_REQUIRE(n >= 3, "cycle requires n >= 3");
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph star_graph(VertexId n) {
+  MIDAS_REQUIRE(n >= 2, "star requires n >= 2");
+  GraphBuilder b(n);
+  for (VertexId v = 1; v < n; ++v) b.add_edge(0, v);
+  return b.build();
+}
+
+Graph complete_graph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph grid_graph(VertexId rows, VertexId cols) {
+  MIDAS_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dims");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+}  // namespace midas::graph

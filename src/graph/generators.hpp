@@ -1,0 +1,53 @@
+// Synthetic graph generators.
+//
+// These supply the structural analogs of the paper's datasets (Table II):
+//   - erdos_renyi_gnm with m = n ln n     ->  random-1e6 / random-1e7
+//   - barabasi_albert                      ->  com-Orkut (heavy-tailed social)
+//   - road_network (jittered lattice)      ->  miami (planar road mesh)
+// plus standard shapes (path, cycle, star, complete, grid, random tree,
+// R-MAT) used by tests and by the tree-template workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace midas::graph {
+
+/// G(n, m): n vertices and exactly m distinct undirected edges, uniform over
+/// all simple graphs with those parameters (rejection sampling).
+[[nodiscard]] Graph erdos_renyi_gnm(VertexId n, EdgeId m, Xoshiro256& rng);
+
+/// G(n, p): each of the n-choose-2 edges present independently with
+/// probability p. Uses geometric skipping, O(n + m) expected time.
+[[nodiscard]] Graph erdos_renyi_gnp(VertexId n, double p, Xoshiro256& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree. Produces the
+/// heavy-tailed degree distribution of social networks like com-Orkut.
+[[nodiscard]] Graph barabasi_albert(VertexId n, std::uint32_t attach,
+                                    Xoshiro256& rng);
+
+/// Road-network analog: vertices on a jittered sqrt(n) x sqrt(n) lattice,
+/// edges to the 4 lattice neighbors each kept with probability `keep`, plus
+/// a few random "highway" shortcuts. Planar-ish, low max degree, large
+/// diameter — the structural profile of the miami dataset.
+[[nodiscard]] Graph road_network(VertexId n, double keep, Xoshiro256& rng);
+
+/// R-MAT (Chakrabarti et al.) recursive-matrix generator; partition
+/// probabilities (a, b, c) with d = 1 - a - b - c. Duplicate edges dropped.
+[[nodiscard]] Graph rmat(VertexId scale, EdgeId edges_per_vertex, double a,
+                         double b, double c, Xoshiro256& rng);
+
+/// Uniform random labeled tree on n vertices (Prüfer sequence).
+[[nodiscard]] Graph random_tree(VertexId n, Xoshiro256& rng);
+
+/// Deterministic shapes.
+[[nodiscard]] Graph path_graph(VertexId n);
+[[nodiscard]] Graph cycle_graph(VertexId n);
+[[nodiscard]] Graph star_graph(VertexId n);
+[[nodiscard]] Graph complete_graph(VertexId n);
+[[nodiscard]] Graph grid_graph(VertexId rows, VertexId cols);
+
+}  // namespace midas::graph

@@ -1,0 +1,97 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace midas::graph {
+
+Graph read_edge_list(std::istream& in, VertexId n_hint) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long u = -1, v = -1;
+    const bool parsed = static_cast<bool>(ls >> u >> v);
+    MIDAS_REQUIRE(parsed && u >= 0 && v >= 0,
+                  "malformed edge-list line: " + line);
+    edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    max_id = std::max({max_id, static_cast<VertexId>(u),
+                       static_cast<VertexId>(v)});
+  }
+  const VertexId n = n_hint > 0 ? n_hint : (edges.empty() ? 0 : max_id + 1);
+  GraphBuilder b(n);
+  b.reserve(edges.size());
+  for (auto [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph load_edge_list(const std::string& path, VertexId n_hint) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open graph file: " + path);
+  return read_edge_list(f, n_hint);
+}
+
+void write_edge_list(const Graph& g, std::ostream& out) {
+  for (auto [u, v] : g.edge_list()) out << u << ' ' << v << '\n';
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot write graph file: " + path);
+  write_edge_list(g, f);
+}
+
+namespace {
+constexpr char kBinaryMagic[8] = {'M', 'I', 'D', 'A', 'S', 'G', 'R', '1'};
+}  // namespace
+
+void save_binary(const Graph& g, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot write graph file: " + path);
+  f.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t m = g.num_edges();
+  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  f.write(reinterpret_cast<const char*>(&m), sizeof(m));
+  for (auto [u, v] : g.edge_list()) {
+    f.write(reinterpret_cast<const char*>(&u), sizeof(u));
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  MIDAS_REQUIRE(static_cast<bool>(f), "short write to " + path);
+}
+
+Graph load_binary(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("cannot open graph file: " + path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  MIDAS_REQUIRE(static_cast<bool>(f) &&
+                    std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0,
+                "not a MIDAS binary graph file: " + path);
+  std::uint64_t n = 0, m = 0;
+  f.read(reinterpret_cast<char*>(&n), sizeof(n));
+  f.read(reinterpret_cast<char*>(&m), sizeof(m));
+  MIDAS_REQUIRE(static_cast<bool>(f) && n <= 0xFFFFFFFFull,
+                "corrupt binary graph header: " + path);
+  GraphBuilder b(static_cast<VertexId>(n));
+  b.reserve(m);
+  for (std::uint64_t e = 0; e < m; ++e) {
+    VertexId u = 0, v = 0;
+    f.read(reinterpret_cast<char*>(&u), sizeof(u));
+    f.read(reinterpret_cast<char*>(&v), sizeof(v));
+    MIDAS_REQUIRE(static_cast<bool>(f), "truncated binary graph: " + path);
+    b.add_edge(u, v);
+  }
+  return b.build();
+}
+
+}  // namespace midas::graph

@@ -1,0 +1,35 @@
+// Edge-list I/O.
+//
+// Text format: one "u v" pair per line; lines starting with '#' or '%' are
+// comments (SNAP / Matrix-Market-edge conventions). Vertex ids must be
+// non-negative; the graph size is max id + 1 unless an explicit n is given.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace midas::graph {
+
+/// Parse an edge list from a stream. If n_hint > 0, the vertex count is
+/// fixed to n_hint (ids must be < n_hint); otherwise inferred.
+[[nodiscard]] Graph read_edge_list(std::istream& in, VertexId n_hint = 0);
+
+/// Load from a file path. Throws std::runtime_error if unreadable.
+[[nodiscard]] Graph load_edge_list(const std::string& path,
+                                   VertexId n_hint = 0);
+
+/// Write "u v" lines (u < v once per undirected edge).
+void write_edge_list(const Graph& g, std::ostream& out);
+
+/// Save to a file path. Throws std::runtime_error if unwritable.
+void save_edge_list(const Graph& g, const std::string& path);
+
+/// Compact binary format ("MIDASGR1" magic, little-endian u64 n/m, then m
+/// u32 edge pairs). ~5x smaller and ~20x faster to load than text for
+/// large graphs.
+void save_binary(const Graph& g, const std::string& path);
+[[nodiscard]] Graph load_binary(const std::string& path);
+
+}  // namespace midas::graph

@@ -1,0 +1,215 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace midas::partition {
+
+std::vector<VertexId> Partition::members(int p) const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < owner.size(); ++v)
+    if (owner[v] == p) out.push_back(v);
+  return out;
+}
+
+std::vector<std::uint64_t> Partition::loads() const {
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(parts), 0);
+  for (int o : owner) load[static_cast<std::size_t>(o)]++;
+  return load;
+}
+
+namespace {
+
+void check_args(const Graph& g, int parts) {
+  MIDAS_REQUIRE(parts >= 1, "need at least one part");
+  MIDAS_REQUIRE(g.num_vertices() >= static_cast<VertexId>(parts),
+                "more parts than vertices");
+}
+
+}  // namespace
+
+Partition block_partition(const Graph& g, int parts) {
+  check_args(g, parts);
+  const VertexId n = g.num_vertices();
+  Partition p{parts, std::vector<int>(n)};
+  // The first n % parts blocks get one extra vertex, so every part is
+  // nonempty and loads differ by at most one.
+  const VertexId q = n / static_cast<VertexId>(parts);
+  const VertexId r = n % static_cast<VertexId>(parts);
+  const VertexId split = (q + 1) * r;  // first vertex of the small blocks
+  for (VertexId v = 0; v < n; ++v) {
+    p.owner[v] = v < split ? static_cast<int>(v / (q + 1))
+                           : static_cast<int>(r + (v - split) / q);
+  }
+  return p;
+}
+
+Partition random_partition(const Graph& g, int parts, Xoshiro256& rng) {
+  check_args(g, parts);
+  const VertexId n = g.num_vertices();
+  Partition p{parts, std::vector<int>(n)};
+  // Random balanced assignment: shuffle ids, then deal round-robin, so all
+  // loads differ by at most one (matches Lemma 1's equal-size assumption).
+  std::vector<VertexId> ids(n);
+  for (VertexId v = 0; v < n; ++v) ids[v] = v;
+  for (VertexId i = n; i > 1; --i)
+    std::swap(ids[i - 1], ids[rng.below(i)]);
+  for (VertexId i = 0; i < n; ++i)
+    p.owner[ids[i]] = static_cast<int>(i % static_cast<VertexId>(parts));
+  return p;
+}
+
+Partition bfs_partition(const Graph& g, int parts) {
+  check_args(g, parts);
+  const VertexId n = g.num_vertices();
+  Partition p{parts, std::vector<int>(n, -1)};
+  const VertexId target = (n + parts - 1) / parts;
+  VertexId next_seed = 0;
+  for (int part = 0; part < parts; ++part) {
+    VertexId filled = 0;
+    std::deque<VertexId> queue;
+    while (filled < target) {
+      if (queue.empty()) {
+        while (next_seed < n && p.owner[next_seed] != -1) ++next_seed;
+        if (next_seed >= n) break;
+        queue.push_back(next_seed);
+        p.owner[next_seed] = part;
+        ++filled;
+        if (filled >= target) break;
+      }
+      const VertexId u = queue.front();
+      queue.pop_front();
+      for (VertexId v : g.neighbors(u)) {
+        if (p.owner[v] == -1) {
+          p.owner[v] = part;
+          queue.push_back(v);
+          if (++filled >= target) break;
+        }
+      }
+    }
+    if (next_seed >= n && filled == 0) {
+      // All vertices assigned before reaching this part; steal one vertex
+      // per remaining part from the largest part to keep all parts nonempty.
+      break;
+    }
+  }
+  // Any stragglers (possible when BFS exhausted components early).
+  for (VertexId v = 0; v < n; ++v)
+    if (p.owner[v] == -1) p.owner[v] = parts - 1;
+  // Ensure no empty part: steal vertices from the largest parts.
+  auto load = p.loads();
+  for (int part = 0; part < parts; ++part) {
+    if (load[static_cast<std::size_t>(part)] > 0) continue;
+    const int donor = static_cast<int>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    for (VertexId v = 0; v < n; ++v) {
+      if (p.owner[v] == donor) {
+        p.owner[v] = part;
+        load[static_cast<std::size_t>(donor)]--;
+        load[static_cast<std::size_t>(part)]++;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+Partition ldg_partition(const Graph& g, int parts) {
+  check_args(g, parts);
+  const VertexId n = g.num_vertices();
+  Partition p{parts, std::vector<int>(n, -1)};
+  std::vector<std::uint64_t> load(static_cast<std::size_t>(parts), 0);
+  const double capacity =
+      static_cast<double>(n) / parts * 1.1 + 1.0;  // 10% slack
+  std::vector<std::uint32_t> nbr_count(static_cast<std::size_t>(parts));
+  for (VertexId v = 0; v < n; ++v) {
+    std::fill(nbr_count.begin(), nbr_count.end(), 0);
+    for (VertexId u : g.neighbors(v))
+      if (p.owner[u] >= 0) nbr_count[static_cast<std::size_t>(p.owner[u])]++;
+    int best = 0;
+    double best_score = -1.0;
+    for (int part = 0; part < parts; ++part) {
+      const auto sp = static_cast<std::size_t>(part);
+      const double penalty = 1.0 - static_cast<double>(load[sp]) / capacity;
+      if (penalty <= 0) continue;
+      const double score = (1.0 + nbr_count[sp]) * penalty;
+      if (score > best_score) {
+        best_score = score;
+        best = part;
+      }
+    }
+    p.owner[v] = best;
+    load[static_cast<std::size_t>(best)]++;
+  }
+  // Guarantee nonempty parts (LDG can starve a part on tiny inputs).
+  for (int part = 0; part < parts; ++part) {
+    if (load[static_cast<std::size_t>(part)] > 0) continue;
+    const int donor = static_cast<int>(
+        std::max_element(load.begin(), load.end()) - load.begin());
+    for (VertexId v = 0; v < n; ++v) {
+      if (p.owner[v] == donor) {
+        p.owner[v] = part;
+        load[static_cast<std::size_t>(donor)]--;
+        load[static_cast<std::size_t>(part)]++;
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+void label_propagation_refine(const Graph& g, Partition& p, int sweeps) {
+  const VertexId n = g.num_vertices();
+  MIDAS_REQUIRE(p.owner.size() == n, "partition size mismatch");
+  auto load = p.loads();
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(static_cast<double>(n) / p.parts * 1.1) + 1;
+  std::vector<std::uint32_t> nbr_count(static_cast<std::size_t>(p.parts));
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    bool moved = false;
+    for (VertexId v = 0; v < n; ++v) {
+      std::fill(nbr_count.begin(), nbr_count.end(), 0);
+      for (VertexId u : g.neighbors(v))
+        nbr_count[static_cast<std::size_t>(p.owner[u])]++;
+      const int cur = p.owner[v];
+      int best = cur;
+      for (int part = 0; part < p.parts; ++part) {
+        if (part == cur) continue;
+        const auto sp = static_cast<std::size_t>(part);
+        if (load[sp] + 1 > capacity) continue;
+        if (nbr_count[sp] > nbr_count[static_cast<std::size_t>(best)])
+          best = part;
+      }
+      if (best != cur &&
+          load[static_cast<std::size_t>(cur)] > 1) {  // keep parts nonempty
+        p.owner[v] = best;
+        load[static_cast<std::size_t>(cur)]--;
+        load[static_cast<std::size_t>(best)]++;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+Metrics compute_metrics(const Graph& g, const Partition& p) {
+  Metrics m;
+  m.load = p.loads();
+  m.deg.assign(static_cast<std::size_t>(p.parts), 0);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (p.owner[u] != p.owner[v]) {
+        m.deg[static_cast<std::size_t>(p.owner[u])]++;
+        if (u < v) m.edge_cut++;
+      }
+    }
+  }
+  for (auto l : m.load) m.max_load = std::max(m.max_load, l);
+  for (auto d : m.deg) m.max_deg = std::max(m.max_deg, d);
+  return m;
+}
+
+}  // namespace midas::partition

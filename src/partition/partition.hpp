@@ -1,0 +1,66 @@
+// Vertex partitioning for MIDAS.
+//
+// MIDAS partitions G into N1 parts; Theorem 2 bounds compute by
+// MAXLOAD = max_j |G^j| and communication by MAXDEG = max_j DEG(j), where
+// DEG(j) counts edges leaving part j. This header provides the partitioners
+// used in the paper's experiments ("even with a naive partitioning scheme")
+// plus better ones for ablations, and the metric computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace midas::partition {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// A partition assigns every vertex an owner part in [0, parts).
+struct Partition {
+  int parts = 0;
+  std::vector<int> owner;  // size n
+
+  /// Vertices of part p, in increasing global id order.
+  [[nodiscard]] std::vector<VertexId> members(int p) const;
+  /// Sizes of all parts.
+  [[nodiscard]] std::vector<std::uint64_t> loads() const;
+};
+
+/// Contiguous ranges of vertex ids — the paper's "naive" scheme; great for
+/// generators that have locality in the id space (road lattices), terrible
+/// for random ids.
+[[nodiscard]] Partition block_partition(const Graph& g, int parts);
+
+/// Uniformly random owner per vertex — the scheme analyzed in Lemma 1.
+[[nodiscard]] Partition random_partition(const Graph& g, int parts,
+                                         Xoshiro256& rng);
+
+/// BFS-grown partition: repeatedly grow a part from an unassigned seed by
+/// breadth-first search until it reaches ceil(n/parts) vertices. Produces
+/// connected, low-cut parts on meshes.
+[[nodiscard]] Partition bfs_partition(const Graph& g, int parts);
+
+/// Linear Deterministic Greedy streaming partitioner (Stanton–Kliot): each
+/// vertex goes to the part with the most already-assigned neighbors, scaled
+/// by a load penalty (1 - load/capacity).
+[[nodiscard]] Partition ldg_partition(const Graph& g, int parts);
+
+/// One refinement sweep of label propagation under balance constraints:
+/// move a vertex to the neighboring part with most neighbors if that part
+/// is below capacity. Improves any initial partition's cut.
+void label_propagation_refine(const Graph& g, Partition& p, int sweeps = 3);
+
+/// Partition quality metrics, in the paper's notation.
+struct Metrics {
+  std::uint64_t max_load = 0;   // MAXLOAD = max_j |G^j|
+  std::uint64_t max_deg = 0;    // MAXDEG  = max_j DEG(j)
+  std::uint64_t edge_cut = 0;   // undirected edges crossing parts
+  std::vector<std::uint64_t> load;  // |G^j| per part
+  std::vector<std::uint64_t> deg;   // DEG(j) per part
+};
+[[nodiscard]] Metrics compute_metrics(const Graph& g, const Partition& p);
+
+}  // namespace midas::partition

@@ -1,0 +1,503 @@
+#include "runtime/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+#include "util/require.hpp"
+
+namespace midas::runtime {
+
+namespace {
+struct Message {
+  std::vector<std::byte> data;
+  double send_clock = 0.0;  // sender's virtual clock when the send completed
+};
+}  // namespace
+
+/// Shared state of one communicator (world or split sub-group).
+class Group {
+ public:
+  Group(World* world, int id, std::vector<int> members)
+      : world_(world), id_(id), members_(std::move(members)) {
+    stage_ptr_.assign(members_.size(), nullptr);
+    stage_len_.assign(members_.size(), 0);
+    split_colors_.assign(members_.size(), {0, 0});
+    boxes_ = std::vector<MailboxShard>(members_.size());
+  }
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(members_.size());
+  }
+  [[nodiscard]] int world_rank_of(int r) const noexcept {
+    return members_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int id() const noexcept { return id_; }
+
+  /// Generation barrier. `completion` (if any) runs on the last arriver
+  /// while all others are blocked — safe for cross-rank bookkeeping.
+  void barrier_sync(const std::function<void()>& completion = {});
+
+  // Staging area for collectives: any rank may publish a pointer/length,
+  // valid between the surrounding barrier_sync calls.
+  void publish(int rank, const void* p, std::size_t n) {
+    stage_ptr_[static_cast<std::size_t>(rank)] = p;
+    stage_len_[static_cast<std::size_t>(rank)] = n;
+  }
+  [[nodiscard]] const void* staged_ptr(int rank) const {
+    return stage_ptr_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] std::size_t staged_len(int rank) const {
+    return stage_len_[static_cast<std::size_t>(rank)];
+  }
+
+  // Split bookkeeping (guarded by the barrier protocol).
+  void publish_split(int rank, int color, int key) {
+    split_colors_[static_cast<std::size_t>(rank)] = {color, key};
+  }
+  [[nodiscard]] std::pair<int, int> split_choice(int rank) const {
+    return split_colors_[static_cast<std::size_t>(rank)];
+  }
+  std::map<int, std::shared_ptr<Group>> split_groups_;
+
+  // Point-to-point mailboxes, one shard per receiver rank in this group.
+  struct MailboxShard {
+    std::mutex m;
+    std::condition_variable cv;
+    std::map<std::pair<int, int>, std::deque<Message>> queues;  // (src,tag)
+
+    MailboxShard() = default;
+    MailboxShard(const MailboxShard&) {}  // shards are never copied live
+  };
+  std::vector<MailboxShard> boxes_;
+
+  World* world_;
+
+ private:
+  int id_;
+  std::vector<int> members_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<const void*> stage_ptr_;
+  std::vector<std::size_t> stage_len_;
+  std::vector<std::pair<int, int>> split_colors_;
+};
+
+/// Whole-program state shared by all ranks.
+class World {
+ public:
+  World(int size, const CostModel& model)
+      : size_(size),
+        model_(model),
+        clocks_(static_cast<std::size_t>(size), 0.0),
+        stats_(static_cast<std::size_t>(size)) {}
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] const CostModel& model() const noexcept { return model_; }
+
+  double& clock(int world_rank) {
+    return clocks_[static_cast<std::size_t>(world_rank)];
+  }
+  CommStats& stats(int world_rank) {
+    return stats_[static_cast<std::size_t>(world_rank)];
+  }
+  [[nodiscard]] const std::vector<double>& clocks() const noexcept {
+    return clocks_;
+  }
+  [[nodiscard]] const std::vector<CommStats>& all_stats() const noexcept {
+    return stats_;
+  }
+
+  int next_group_id() { return group_counter_.fetch_add(1) + 1; }
+
+ private:
+  int size_;
+  CostModel model_;
+  std::vector<double> clocks_;
+  std::vector<CommStats> stats_;
+  std::atomic<int> group_counter_{0};
+};
+
+void Group::barrier_sync(const std::function<void()>& completion) {
+  std::unique_lock lk(m_);
+  const std::uint64_t gen = generation_;
+  if (++arrived_ == size()) {
+    arrived_ = 0;
+    // Synchronize virtual clocks to the member max plus the barrier cost;
+    // each member's catch-up is accounted as barrier wait.
+    double mx = 0.0;
+    for (int r = 0; r < size(); ++r)
+      mx = std::max(mx, world_->clock(world_rank_of(r)));
+    const double cost = world_->model().barrier_cost(size());
+    for (int r = 0; r < size(); ++r) {
+      auto& st = world_->stats(world_rank_of(r));
+      st.t_wait += mx - world_->clock(world_rank_of(r));
+      st.t_comm += cost;
+      world_->clock(world_rank_of(r)) = mx + cost;
+    }
+    if (completion) completion();
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lk, [&] { return generation_ != gen; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Comm
+// ---------------------------------------------------------------------------
+
+int Comm::size() const noexcept { return group_->size(); }
+
+void Comm::send(int dest, int tag, std::span<const std::byte> data) {
+  MIDAS_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
+  auto& my_clock = world_->clock(world_rank_);
+  my_clock += world_->model().message_cost(data.size());
+  auto& st = world_->stats(world_rank_);
+  st.t_comm += world_->model().message_cost(data.size());
+  st.messages_sent++;
+  st.bytes_sent += data.size();
+
+  Message msg{std::vector<std::byte>(data.begin(), data.end()), my_clock};
+  auto& box = group_->boxes_[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard lk(box.m);
+    box.queues[{rank_, tag}].push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Comm::recv(int src, int tag) {
+  MIDAS_REQUIRE(src >= 0 && src < size(), "recv: bad source rank");
+  auto& box = group_->boxes_[static_cast<std::size_t>(rank_)];
+  Message msg;
+  {
+    std::unique_lock lk(box.m);
+    auto& q = box.queues[{src, tag}];
+    box.cv.wait(lk, [&] { return !q.empty(); });
+    msg = std::move(q.front());
+    q.pop_front();
+  }
+  auto& my_clock = world_->clock(world_rank_);
+  auto& st = world_->stats(world_rank_);
+  if (msg.send_clock > my_clock) {
+    st.t_wait += msg.send_clock - my_clock;
+    my_clock = msg.send_clock;
+  }
+  st.messages_received++;
+  st.bytes_received += msg.data.size();
+  return std::move(msg.data);
+}
+
+void Comm::barrier() {
+  world_->stats(world_rank_).barriers++;
+  group_->barrier_sync();
+}
+
+void Comm::allreduce_raw(
+    void* data, std::size_t elem_size, std::size_t count,
+    const std::function<void(void*, const void*)>& combine) {
+  const std::size_t bytes = elem_size * count;
+  world_->stats(world_rank_).allreduces++;
+  world_->stats(world_rank_).t_comm +=
+      world_->model().allreduce_cost(size(), bytes);
+  world_->clock(world_rank_) +=
+      world_->model().allreduce_cost(size(), bytes);
+
+  group_->publish(rank_, data, bytes);
+  group_->barrier_sync();
+  // Reduce every rank's contribution, in rank order, into a private buffer.
+  std::vector<std::byte> acc(bytes);
+  std::memcpy(acc.data(), group_->staged_ptr(0), bytes);
+  for (int r = 1; r < size(); ++r) {
+    const auto* src = static_cast<const std::byte*>(group_->staged_ptr(r));
+    for (std::size_t i = 0; i < count; ++i)
+      combine(acc.data() + i * elem_size, src + i * elem_size);
+  }
+  group_->barrier_sync();  // everyone is done reading the staged inputs
+  std::memcpy(data, acc.data(), bytes);
+}
+
+void Comm::reduce_raw(
+    int root, void* data, std::size_t elem_size, std::size_t count,
+    const std::function<void(void*, const void*)>& combine) {
+  MIDAS_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
+  const std::size_t bytes = elem_size * count;
+  world_->stats(world_rank_).allreduces++;
+  world_->stats(world_rank_).t_comm +=
+      world_->model().allreduce_cost(size(), bytes);
+  world_->clock(world_rank_) += world_->model().allreduce_cost(size(),
+                                                               bytes);
+  group_->publish(rank_, data, bytes);
+  group_->barrier_sync();
+  if (rank_ == root) {
+    std::vector<std::byte> acc(bytes);
+    std::memcpy(acc.data(), group_->staged_ptr(0), bytes);
+    for (int r = 1; r < size(); ++r) {
+      const auto* src = static_cast<const std::byte*>(group_->staged_ptr(r));
+      for (std::size_t i = 0; i < count; ++i)
+        combine(acc.data() + i * elem_size, src + i * elem_size);
+    }
+    group_->barrier_sync();
+    std::memcpy(data, acc.data(), bytes);
+  } else {
+    group_->barrier_sync();
+  }
+}
+
+std::vector<std::byte> Comm::scatter(
+    int root, const std::vector<std::vector<std::byte>>& chunks) {
+  MIDAS_REQUIRE(root >= 0 && root < size(), "scatter: bad root");
+  if (rank_ == root)
+    MIDAS_REQUIRE(static_cast<int>(chunks.size()) == size(),
+                  "scatter: root must provide one chunk per rank");
+  group_->publish(rank_, &chunks, 0);
+  group_->barrier_sync();
+  const auto* root_chunks =
+      static_cast<const std::vector<std::vector<std::byte>>*>(
+          group_->staged_ptr(root));
+  std::vector<std::byte> mine =
+      (*root_chunks)[static_cast<std::size_t>(rank_)];
+  auto& st = world_->stats(world_rank_);
+  if (rank_ != root && !mine.empty()) {
+    world_->clock(world_rank_) += world_->model().message_cost(mine.size());
+    st.t_comm += world_->model().message_cost(mine.size());
+    st.messages_received++;
+    st.bytes_received += mine.size();
+  } else if (rank_ == root) {
+    double send_time = 0;
+    for (int d = 0; d < size(); ++d) {
+      if (d == root || chunks[static_cast<std::size_t>(d)].empty())
+        continue;
+      send_time +=
+          world_->model().message_cost(chunks[static_cast<std::size_t>(d)]
+                                           .size());
+      st.messages_sent++;
+      st.bytes_sent += chunks[static_cast<std::size_t>(d)].size();
+    }
+    world_->clock(world_rank_) += send_time;
+    st.t_comm += send_time;
+  }
+  group_->barrier_sync();
+  return mine;
+}
+
+std::vector<std::byte> Comm::sendrecv(int dest, int src, int tag,
+                                      std::span<const std::byte> data) {
+  send(dest, tag, data);
+  return recv(src, tag);
+}
+
+void Comm::allreduce_sum(std::span<std::uint64_t> inout) {
+  allreduce<std::uint64_t>(
+      inout, [](std::uint64_t& a, const std::uint64_t& b) { a += b; });
+}
+
+void Comm::allreduce_xor(std::span<std::uint8_t> inout) {
+  allreduce<std::uint8_t>(
+      inout, [](std::uint8_t& a, const std::uint8_t& b) { a ^= b; });
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoallv(
+    const std::vector<std::vector<std::byte>>& send) {
+  MIDAS_REQUIRE(static_cast<int>(send.size()) == size(),
+                "alltoallv: send vector arity != communicator size");
+  auto& st = world_->stats(world_rank_);
+  const auto& model = world_->model();
+
+  // Charge the duplex max of send and receive volumes; receive volume is
+  // known only after staging, so charge sends now and top up below.
+  double send_time = 0.0;
+  for (int d = 0; d < size(); ++d) {
+    if (d == rank_ || send[static_cast<std::size_t>(d)].empty()) continue;
+    send_time += model.message_cost(send[static_cast<std::size_t>(d)].size());
+    st.messages_sent++;
+    st.bytes_sent += send[static_cast<std::size_t>(d)].size();
+  }
+
+  group_->publish(rank_, &send, 0);
+  group_->barrier_sync();
+
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+  double recv_time = 0.0;
+  for (int s = 0; s < size(); ++s) {
+    const auto* peer_send =
+        static_cast<const std::vector<std::vector<std::byte>>*>(
+            group_->staged_ptr(s));
+    const auto& payload = (*peer_send)[static_cast<std::size_t>(rank_)];
+    out[static_cast<std::size_t>(s)] = payload;
+    if (s != rank_ && !payload.empty()) {
+      recv_time += model.message_cost(payload.size());
+      st.messages_received++;
+      st.bytes_received += payload.size();
+    }
+  }
+  world_->clock(world_rank_) += std::max(send_time, recv_time);
+  st.t_comm += std::max(send_time, recv_time);
+  group_->barrier_sync();  // all reads of staged buffers complete
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Comm::gather(
+    int root, std::span<const std::byte> data) {
+  MIDAS_REQUIRE(root >= 0 && root < size(), "gather: bad root");
+  auto& st = world_->stats(world_rank_);
+  const auto& model = world_->model();
+  group_->publish(rank_, data.data(), data.size());
+  group_->barrier_sync();
+  std::vector<std::vector<std::byte>> out;
+  if (rank_ == root) {
+    out.resize(static_cast<std::size_t>(size()));
+    double recv_time = 0.0;
+    for (int s = 0; s < size(); ++s) {
+      const auto* p = static_cast<const std::byte*>(group_->staged_ptr(s));
+      const std::size_t n = group_->staged_len(s);
+      out[static_cast<std::size_t>(s)].assign(p, p + n);
+      if (s != rank_ && n > 0) {
+        recv_time += model.message_cost(n);
+        st.messages_received++;
+        st.bytes_received += n;
+      }
+    }
+    world_->clock(world_rank_) += recv_time;
+    st.t_comm += recv_time;
+  } else if (!data.empty()) {
+    world_->clock(world_rank_) += model.message_cost(data.size());
+    st.t_comm += model.message_cost(data.size());
+    st.messages_sent++;
+    st.bytes_sent += data.size();
+  }
+  group_->barrier_sync();
+  return out;
+}
+
+void Comm::bcast(int root, std::span<std::byte> data) {
+  MIDAS_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
+  group_->publish(rank_, data.data(), data.size());
+  group_->barrier_sync();
+  if (rank_ != root) {
+    const auto* p = static_cast<const std::byte*>(group_->staged_ptr(root));
+    MIDAS_REQUIRE(group_->staged_len(root) == data.size(),
+                  "bcast: buffer size mismatch across ranks");
+    std::memcpy(data.data(), p, data.size());
+    world_->stats(world_rank_).messages_received++;
+    world_->stats(world_rank_).bytes_received += data.size();
+  }
+  // A tree broadcast costs log2(P) message times on every rank.
+  world_->clock(world_rank_) +=
+      world_->model().allreduce_cost(size(), data.size());
+  world_->stats(world_rank_).t_comm +=
+      world_->model().allreduce_cost(size(), data.size());
+  group_->barrier_sync();
+}
+
+Comm Comm::split(int color, int key) {
+  group_->publish_split(rank_, color, key);
+  Group* g = group_.get();
+  World* w = world_;
+  g->barrier_sync([g, w] {
+    // Runs on the last arriver while everyone else is blocked.
+    g->split_groups_.clear();
+    std::map<int, std::vector<std::tuple<int, int, int>>> by_color;
+    for (int r = 0; r < g->size(); ++r) {
+      auto [color_r, key_r] = g->split_choice(r);
+      by_color[color_r].emplace_back(key_r, r, g->world_rank_of(r));
+    }
+    for (auto& [c, tuples] : by_color) {
+      std::sort(tuples.begin(), tuples.end());
+      std::vector<int> members;
+      members.reserve(tuples.size());
+      for (auto& [key_r, r, wr] : tuples) members.push_back(wr);
+      g->split_groups_[c] =
+          std::make_shared<Group>(w, w->next_group_id(), std::move(members));
+    }
+  });
+  std::shared_ptr<Group> mine = group_->split_groups_.at(color);
+  int new_rank = -1;
+  for (int r = 0; r < mine->size(); ++r) {
+    if (mine->world_rank_of(r) == world_rank_) {
+      new_rank = r;
+      break;
+    }
+  }
+  MIDAS_ASSERT(new_rank >= 0, "rank missing from its own split group");
+  group_->barrier_sync();  // everyone picked up their group
+  return Comm(world_, std::move(mine), new_rank, world_rank_);
+}
+
+void Comm::charge_compute(std::uint64_t ops) {
+  world_->clock(world_rank_) += world_->model().compute_cost(ops);
+  world_->stats(world_rank_).compute_ops += ops;
+  world_->stats(world_rank_).t_compute += world_->model().compute_cost(ops);
+}
+
+void Comm::charge_memory(std::uint64_t bytes, std::uint64_t working_set) {
+  const double cost = world_->model().memory_cost(bytes, working_set);
+  world_->clock(world_rank_) += cost;
+  world_->stats(world_rank_).mem_bytes_streamed += bytes;
+  world_->stats(world_rank_).t_memory += cost;
+}
+
+double Comm::vclock() const noexcept { return world_->clock(world_rank_); }
+
+const CommStats& Comm::stats() const noexcept {
+  return world_->stats(world_rank_);
+}
+
+const CostModel& Comm::model() const noexcept { return world_->model(); }
+
+// ---------------------------------------------------------------------------
+// run_spmd
+// ---------------------------------------------------------------------------
+
+SpmdResult run_spmd(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body) {
+  MIDAS_REQUIRE(nranks >= 1, "run_spmd requires at least one rank");
+  World world(nranks, model);
+  std::vector<int> members(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) members[static_cast<std::size_t>(r)] = r;
+  auto root = std::make_shared<Group>(&world, 0, std::move(members));
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<Comm> comms;
+  comms.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) comms.push_back(Comm(&world, root, r, r));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm& comm = comms[static_cast<std::size_t>(r)];
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A failed rank would deadlock peers blocked in collectives; abort
+        // the whole process state by rethrowing after join is not possible
+        // if others never return, so we terminate the run by detaching the
+        // barrier: simplest robust policy is to std::terminate on a rank
+        // failure *unless* this is the only rank. For testability, ranks
+        // that fail before any collective simply return.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+
+  SpmdResult result;
+  result.stats = world.all_stats();
+  result.vclocks = world.clocks();
+  for (double c : result.vclocks) result.makespan = std::max(result.makespan, c);
+  for (const auto& s : result.stats) result.total += s;
+  return result;
+}
+
+SpmdResult run_spmd(int nranks, const std::function<void(Comm&)>& body) {
+  return run_spmd(nranks, CostModel{}, body);
+}
+
+}  // namespace midas::runtime

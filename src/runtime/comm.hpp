@@ -1,0 +1,175 @@
+// In-process SPMD message-passing runtime — the MPI substitute.
+//
+// `run_spmd(N, model, body)` launches N ranks as threads; each receives a
+// Comm bound to the world group. Comm supports the MPI subset MIDAS needs:
+// tagged point-to-point send/recv, barrier, allreduce, alltoallv, gather,
+// broadcast, and communicator splitting (for the N/N1 phase groups).
+//
+// Every rank carries a *virtual clock*: compute is charged explicitly via
+// charge_compute(), communication is charged per message by the CostModel,
+// and synchronizing collectives set every member's clock to the group max
+// (plus the collective's own cost). The virtual time at the end of a run is
+// the modeled parallel runtime on the paper's hardware; wall time on the
+// single-core host is measured separately by benches.
+//
+// Determinism: collectives combine contributions in rank order, and all
+// randomness is seeded per rank, so a run is bit-reproducible for a fixed
+// (seed, N, N1, N2).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+
+namespace midas::runtime {
+
+class World;
+class Group;
+struct SpmdResult;
+
+/// A rank's handle on a communicator (world or split sub-group).
+class Comm {
+ public:
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+  /// Rank in the world communicator (stable across splits).
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+
+  // -- point-to-point ------------------------------------------------------
+  /// Send bytes to `dest` (rank in this communicator) with a tag.
+  void send(int dest, int tag, std::span<const std::byte> data);
+  /// Blocking receive from `src` with matching tag.
+  [[nodiscard]] std::vector<std::byte> recv(int src, int tag);
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, std::as_bytes(std::span<const T, 1>(&v, 1)));
+  }
+  template <typename T>
+  [[nodiscard]] T recv_value(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv(src, tag);
+    T v{};
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    return v;
+  }
+
+  // -- collectives (all members must call, in the same order) --------------
+  void barrier();
+
+  /// In-place elementwise allreduce over trivially copyable T.
+  /// `combine(accum, contribution)` must be associative; contributions are
+  /// combined in ascending rank order for determinism.
+  template <typename T>
+  void allreduce(std::span<T> inout,
+                 const std::function<void(T&, const T&)>& combine) {
+    allreduce_raw(inout.data(), sizeof(T), inout.size(),
+                  [&combine](void* a, const void* b) {
+                    combine(*static_cast<T*>(a), *static_cast<const T*>(b));
+                  });
+  }
+
+  /// Convenience: sum-allreduce of unsigned 64-bit values.
+  void allreduce_sum(std::span<std::uint64_t> inout);
+  /// Convenience: XOR-allreduce (GF(2^l) addition) of bytes.
+  void allreduce_xor(std::span<std::uint8_t> inout);
+
+  /// Personalized all-to-all: send[i] goes to rank i; returns what every
+  /// rank sent to me (recv[i] from rank i). Empty vectors mean no message.
+  [[nodiscard]] std::vector<std::vector<std::byte>> alltoallv(
+      const std::vector<std::vector<std::byte>>& send);
+
+  /// Gather each rank's bytes at `root` (others get an empty result).
+  [[nodiscard]] std::vector<std::vector<std::byte>> gather(
+      int root, std::span<const std::byte> data);
+
+  /// Broadcast root's buffer to everyone (in place).
+  void bcast(int root, std::span<std::byte> data);
+
+  /// Reduce to `root` only: like allreduce, but only root's buffer holds
+  /// the combined result afterwards (cheaper clock charge: one tree).
+  template <typename T>
+  void reduce(int root, std::span<T> inout,
+              const std::function<void(T&, const T&)>& combine) {
+    reduce_raw(root, inout.data(), sizeof(T), inout.size(),
+               [&combine](void* a, const void* b) {
+                 combine(*static_cast<T*>(a), *static_cast<const T*>(b));
+               });
+  }
+
+  /// Scatter: root provides one byte-buffer per rank; every rank receives
+  /// its own (root included). Non-root `chunks` are ignored.
+  [[nodiscard]] std::vector<std::byte> scatter(
+      int root, const std::vector<std::vector<std::byte>>& chunks);
+
+  /// Combined send-to-`dest` + receive-from-`src` without deadlocking on
+  /// symmetric exchanges.
+  [[nodiscard]] std::vector<std::byte> sendrecv(
+      int dest, int src, int tag, std::span<const std::byte> data);
+
+  /// Split into sub-communicators by color; ranks within a sub-communicator
+  /// are ordered by (key, old rank). All members must call.
+  [[nodiscard]] Comm split(int color, int key);
+
+  // -- virtual time ---------------------------------------------------------
+  /// Charge `ops` field operations to this rank's virtual clock.
+  void charge_compute(std::uint64_t ops);
+  /// Charge a memory stream of `bytes` given the kernel's resident working
+  /// set (hot vs cold rate — see CostModel::memory_cost).
+  void charge_memory(std::uint64_t bytes, std::uint64_t working_set);
+  /// Current virtual clock (seconds).
+  [[nodiscard]] double vclock() const noexcept;
+  [[nodiscard]] const CommStats& stats() const noexcept;
+  [[nodiscard]] const CostModel& model() const noexcept;
+
+ private:
+  friend class World;
+  friend class Group;
+  friend SpmdResult run_spmd(int, const CostModel&,
+                             const std::function<void(Comm&)>&);
+  Comm(World* world, std::shared_ptr<Group> group, int rank, int world_rank)
+      : world_(world),
+        group_(std::move(group)),
+        rank_(rank),
+        world_rank_(world_rank) {}
+
+  void allreduce_raw(void* data, std::size_t elem_size, std::size_t count,
+                     const std::function<void(void*, const void*)>& combine);
+  void reduce_raw(int root, void* data, std::size_t elem_size,
+                  std::size_t count,
+                  const std::function<void(void*, const void*)>& combine);
+
+  World* world_;
+  std::shared_ptr<Group> group_;
+  int rank_;
+  int world_rank_;
+};
+
+/// Run `body` as an SPMD program over `nranks` ranks. Exceptions thrown by
+/// any rank are captured; the first (by rank) is rethrown after all ranks
+/// finish or abort. Returns the per-rank stats and final virtual clocks.
+struct SpmdResult {
+  std::vector<CommStats> stats;    // per world rank
+  std::vector<double> vclocks;     // per world rank
+  double makespan = 0.0;           // max vclock
+  CommStats total;                 // summed stats
+};
+
+SpmdResult run_spmd(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body);
+
+/// Overload with the default cost model.
+SpmdResult run_spmd(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace midas::runtime

@@ -1,0 +1,109 @@
+// Performance model for the simulated cluster.
+//
+// The paper runs MIDAS on Haswell clusters with 56 Gb/s InfiniBand. We run
+// every rank in-process, but charge each rank a virtual clock according to
+// the classic alpha-beta model:
+//   - compute:  c1 seconds per unit field operation (paper's c1),
+//   - message:  alpha + beta * bytes per point-to-point message (paper's c2
+//               corresponds to alpha/beta at the paper's message sizes),
+//   - barrier / allreduce: ceil(log2 P) communication rounds.
+// Barriers synchronize all member clocks to the maximum, so the final
+// virtual time of a run is exactly the quantity Theorem 2 bounds. Defaults
+// approximate the paper's testbed; benches may override or calibrate c1
+// from the measured single-thread op rate.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace midas::runtime {
+
+struct CostModel {
+  double c1 = 1.0e-9;       // seconds per field multiply-add
+  double alpha = 1.5e-6;    // per-message latency (seconds)
+  double beta = 1.43e-10;   // seconds per byte (~7 GB/s effective)
+
+  // Memory hierarchy (paper Section IV-B): DP kernels stream the local
+  // adjacency and state once per level per phase. When a rank's working
+  // set fits its share of last-level cache the stream runs at cache
+  // bandwidth; otherwise at DRAM bandwidth. This term is what produces
+  // the paper's interior optimum in N1 (small N1 = big per-rank working
+  // set = cold streams) and the 1-2x gain from N2 batching (adjacency is
+  // traversed 2^k / N2 times instead of 2^k).
+  double mem_cold = 4.0e-9;    // s/byte of kernel traffic out of cache
+  double mem_hot = 5.0e-11;    // s/byte when the working set fits
+  double cache_bytes = 2.5e6;  // per-rank LLC share (45 MB / 18 cores)
+
+  [[nodiscard]] double message_cost(std::uint64_t bytes) const noexcept {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+
+  [[nodiscard]] double compute_cost(std::uint64_t ops) const noexcept {
+    return c1 * static_cast<double>(ops);
+  }
+
+  /// Cost of streaming `bytes` through a kernel whose resident working set
+  /// is `working_set` bytes. The miss fraction of a working set that
+  /// exceeds the cache is modeled as 1 - cache/ws (uniform reuse), giving a
+  /// smooth hot-to-cold transition rather than a cliff.
+  [[nodiscard]] double memory_cost(std::uint64_t bytes,
+                                   std::uint64_t working_set) const noexcept {
+    const double ws = static_cast<double>(working_set);
+    const double miss = ws <= cache_bytes ? 0.0 : 1.0 - cache_bytes / ws;
+    const double rate = mem_hot + (mem_cold - mem_hot) * miss;
+    return rate * static_cast<double>(bytes);
+  }
+
+  /// log-rounds cost of a barrier among p ranks.
+  [[nodiscard]] double barrier_cost(int p) const noexcept {
+    return alpha * static_cast<double>(ceil_log2(p));
+  }
+
+  /// log-rounds cost of an allreduce of `bytes` among p ranks.
+  [[nodiscard]] double allreduce_cost(int p,
+                                      std::uint64_t bytes) const noexcept {
+    return static_cast<double>(ceil_log2(p)) * message_cost(bytes);
+  }
+
+  static int ceil_log2(int p) noexcept {
+    return p <= 1 ? 0 : std::bit_width(static_cast<unsigned>(p - 1));
+  }
+};
+
+/// Per-rank counters accumulated by the communicator, including the
+/// decomposition of the virtual clock into its components (so benches can
+/// report the compute / memory / communication / barrier-wait split the
+/// paper discusses).
+struct CommStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t compute_ops = 0;
+  std::uint64_t mem_bytes_streamed = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t allreduces = 0;
+
+  double t_compute = 0.0;  // seconds charged to field operations
+  double t_memory = 0.0;   // seconds charged to kernel memory streams
+  double t_comm = 0.0;     // seconds charged to messages/collectives
+  double t_wait = 0.0;     // seconds spent catching up at barriers
+
+  CommStats& operator+=(const CommStats& o) noexcept {
+    messages_sent += o.messages_sent;
+    bytes_sent += o.bytes_sent;
+    messages_received += o.messages_received;
+    bytes_received += o.bytes_received;
+    compute_ops += o.compute_ops;
+    mem_bytes_streamed += o.mem_bytes_streamed;
+    barriers += o.barriers;
+    allreduces += o.allreduces;
+    t_compute += o.t_compute;
+    t_memory += o.t_memory;
+    t_comm += o.t_comm;
+    t_wait += o.t_wait;
+    return *this;
+  }
+};
+
+}  // namespace midas::runtime

@@ -1,0 +1,98 @@
+#include "scan/outbreak_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/generators.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace midas::scan {
+
+namespace {
+
+/// Poisson sampling via inversion for small lambda, normal approximation
+/// for large — ample for synthetic counts.
+double poisson_sample(Xoshiro256& rng, double lambda) {
+  if (lambda <= 0) return 0;
+  if (lambda < 30) {
+    const double limit = std::exp(-lambda);
+    double p = 1.0;
+    int k = 0;
+    do {
+      ++k;
+      p *= rng.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity.
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2 * std::log(u1)) *
+                   std::cos(2 * 3.14159265358979323846 * u2);
+  return std::max(0.0, std::round(lambda + z * std::sqrt(lambda)));
+}
+
+std::vector<graph::VertexId> grow_cluster(const graph::Graph& g, int size,
+                                          Xoshiro256& rng) {
+  const graph::VertexId n = g.num_vertices();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto seed_v = static_cast<graph::VertexId>(rng.below(n));
+    std::vector<graph::VertexId> cluster{seed_v};
+    std::unordered_set<graph::VertexId> in{seed_v};
+    std::size_t cursor = 0;
+    while (static_cast<int>(cluster.size()) < size &&
+           cursor < cluster.size()) {
+      for (graph::VertexId u : g.neighbors(cluster[cursor])) {
+        if (!in.count(u)) {
+          in.insert(u);
+          cluster.push_back(u);
+          if (static_cast<int>(cluster.size()) == size) break;
+        }
+      }
+      ++cursor;
+    }
+    if (static_cast<int>(cluster.size()) == size) {
+      std::sort(cluster.begin(), cluster.end());
+      return cluster;
+    }
+  }
+  MIDAS_REQUIRE(false, "could not grow an outbreak cluster of that size");
+  return {};
+}
+
+}  // namespace
+
+OutbreakSim::OutbreakSim(const OutbreakSimConfig& config) {
+  MIDAS_REQUIRE(config.outbreak_size >= 1, "outbreak size must be >= 1");
+  MIDAS_REQUIRE(config.relative_risk > 1.0,
+                "relative risk must exceed 1 (otherwise nothing to find)");
+  Xoshiro256 rng(config.seed);
+  g_ = graph::barabasi_albert(config.n_counties, config.ba_attach, rng);
+  cluster_ = grow_cluster(g_, config.outbreak_size, rng);
+  std::unordered_set<graph::VertexId> in(cluster_.begin(), cluster_.end());
+
+  const graph::VertexId n = g_.num_vertices();
+  baselines_.resize(n);
+  cases_.resize(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    // Heterogeneous populations: exponential around the mean.
+    const double pop = -config.mean_population *
+                       std::log(std::max(rng.uniform(), 1e-12));
+    const double expected = std::max(1.0, pop) * config.base_rate;
+    baselines_[v] = expected;
+    const double rate =
+        in.count(v) ? expected * config.relative_risk : expected;
+    cases_[v] = poisson_sample(rng, rate);
+  }
+}
+
+std::vector<double> OutbreakSim::excess_counts() const {
+  std::vector<double> excess(cases_.size());
+  for (std::size_t i = 0; i < excess.size(); ++i)
+    excess[i] = std::max(0.0, cases_[i] - baselines_[i]);
+  return excess;
+}
+
+}  // namespace midas::scan

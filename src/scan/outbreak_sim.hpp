@@ -1,0 +1,58 @@
+// Synthetic disease-outbreak workload — the biosurveillance application
+// the paper's introduction motivates (county-level case counts, Kulldorff
+// scan statistics).
+//
+// Nodes are "counties" on a contact/adjacency network. Each county has a
+// baseline population b(v); under the null, case counts are Poisson with
+// rate proportional to b(v). An outbreak elevates the rate by
+// `relative_risk` inside a connected cluster. The parametric scan
+// statistics (Kulldorff / expectation-based Poisson) are the matched
+// detectors; ground truth is the injected cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace midas::scan {
+
+struct OutbreakSimConfig {
+  graph::VertexId n_counties = 200;
+  double mean_population = 50.0;   // baseline b(v) ~ Exp-ish around this
+  double base_rate = 0.08;         // cases per unit population (null)
+  double relative_risk = 4.0;      // rate multiplier inside the outbreak
+  int outbreak_size = 6;           // injected connected cluster size
+  std::uint32_t ba_attach = 3;     // contact-network attachment density
+  std::uint64_t seed = 1;
+};
+
+class OutbreakSim {
+ public:
+  explicit OutbreakSim(const OutbreakSimConfig& config);
+
+  [[nodiscard]] const graph::Graph& network() const noexcept { return g_; }
+  /// Injected outbreak counties (sorted) — the ground truth.
+  [[nodiscard]] const std::vector<graph::VertexId>& outbreak_cluster()
+      const noexcept {
+    return cluster_;
+  }
+  /// Observed case counts w(v).
+  [[nodiscard]] const std::vector<double>& cases() const noexcept {
+    return cases_;
+  }
+  /// Baseline counts b(v) (expected cases under the null).
+  [[nodiscard]] const std::vector<double>& baselines() const noexcept {
+    return baselines_;
+  }
+  /// Excess counts max(w(v) - b(v), 0) — the natural event weights for
+  /// the (size, weight) feasibility scan.
+  [[nodiscard]] std::vector<double> excess_counts() const;
+
+ private:
+  graph::Graph g_;
+  std::vector<graph::VertexId> cluster_;
+  std::vector<double> cases_, baselines_;
+};
+
+}  // namespace midas::scan

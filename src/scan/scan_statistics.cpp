@@ -1,0 +1,196 @@
+#include "scan/scan_statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gf/gf256.hpp"
+#include "util/rng.hpp"
+#include "util/require.hpp"
+
+namespace midas::scan {
+
+double kulldorff(double w, double b, double w_total, double b_total) {
+  MIDAS_REQUIRE(b > 0 && b_total > b, "kulldorff requires 0 < b < b_total");
+  MIDAS_REQUIRE(w >= 0 && w_total >= w, "kulldorff requires 0 <= w <= total");
+  const double w_out = w_total - w;
+  const double b_out = b_total - b;
+  if (w / b <= w_out / b_out) return 0.0;  // not elevated
+  auto xlogr = [](double x, double r) { return x > 0 ? x * std::log(r) : 0.0; };
+  return xlogr(w, w / b) + xlogr(w_out, w_out / b_out) -
+         xlogr(w_total, w_total / b_total);
+}
+
+double expectation_based_poisson(double w, double b) {
+  MIDAS_REQUIRE(b > 0, "EBP requires b > 0");
+  if (w <= b) return 0.0;
+  return w * std::log(w / b) - (w - b);
+}
+
+double elevated_mean(double w, double b) {
+  MIDAS_REQUIRE(b > 0, "elevated_mean requires b > 0");
+  return (w - b) / std::sqrt(b);
+}
+
+double berk_jones(double n_alpha, double n, double alpha) {
+  MIDAS_REQUIRE(n > 0, "berk_jones requires n > 0");
+  MIDAS_REQUIRE(alpha > 0 && alpha < 1, "alpha in (0,1)");
+  const double frac = std::min(1.0, n_alpha / n);
+  if (frac <= alpha) return 0.0;  // not elevated
+  auto term = [](double p, double q) {
+    if (p <= 0) return 0.0;
+    return p * std::log(p / q);
+  };
+  return n * (term(frac, alpha) + term(1 - frac, 1 - alpha));
+}
+
+std::string to_string(Statistic s) {
+  switch (s) {
+    case Statistic::kKulldorff: return "kulldorff";
+    case Statistic::kEBPoisson: return "eb-poisson";
+    case Statistic::kElevatedMean: return "elevated-mean";
+    case Statistic::kBerkJones: return "berk-jones";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> round_weights(std::span<const double> w,
+                                         double step) {
+  MIDAS_REQUIRE(step > 0, "rounding step must be positive");
+  std::vector<std::uint32_t> out(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    MIDAS_REQUIRE(w[i] >= 0, "event counts must be non-negative");
+    out[i] = static_cast<std::uint32_t>(std::llround(w[i] / step));
+  }
+  return out;
+}
+
+double step_for_total(std::span<const double> w, std::uint32_t target_total) {
+  MIDAS_REQUIRE(target_total > 0, "target_total must be positive");
+  double total = 0;
+  for (double x : w) total += x;
+  if (total <= 0) return 1.0;
+  return total / target_total;
+}
+
+double score_cell(const ScanProblem& problem, int size, std::uint32_t weight,
+                  double w_total, double b_total) {
+  // Back to the unrounded scale: cell weight z stands for ~z*step events.
+  const double w = static_cast<double>(weight) * problem.weight_step;
+  // With unit baselines, B(S) = |S|.
+  const double b = static_cast<double>(size);
+  switch (problem.statistic) {
+    case Statistic::kKulldorff:
+      return kulldorff(w, b, w_total, b_total);
+    case Statistic::kEBPoisson:
+      return expectation_based_poisson(w, b);
+    case Statistic::kElevatedMean:
+      return elevated_mean(w, b);
+    case Statistic::kBerkJones:
+      // Weights are exceedance indicators: z = N_alpha(S), |S| = n.
+      return berk_jones(static_cast<double>(weight) * problem.weight_step,
+                        static_cast<double>(size), problem.alpha);
+  }
+  return 0.0;
+}
+
+namespace {
+
+ScanOptimum maximize_over_table(const ScanProblem& problem,
+                                core::FeasibilityTable table, double w_total,
+                                double b_total) {
+  ScanOptimum best;
+  for (int j = 1; j <= table.k; ++j) {
+    for (std::uint32_t z = 0; z <= table.max_weight; ++z) {
+      if (!table.at(j, z)) continue;
+      const double score = score_cell(problem, j, z, w_total, b_total);
+      if (score > best.score) {
+        best.score = score;
+        best.size = j;
+        best.weight = z;
+      }
+    }
+  }
+  best.table = std::move(table);
+  return best;
+}
+
+void check_problem(const graph::Graph& g, const ScanProblem& problem) {
+  MIDAS_REQUIRE(problem.event.size() == g.num_vertices(),
+                "one event count per vertex required");
+  MIDAS_REQUIRE(problem.baseline.empty() ||
+                    problem.baseline.size() == g.num_vertices(),
+                "baseline must be empty (unit) or one entry per vertex");
+}
+
+double total_baseline(const graph::Graph& g, const ScanProblem& problem) {
+  if (problem.baseline.empty()) return static_cast<double>(g.num_vertices());
+  double total = 0;
+  for (double b : problem.baseline) total += b;
+  return total;
+}
+
+}  // namespace
+
+ScanOptimum optimize_scan_seq(const graph::Graph& g,
+                              const ScanProblem& problem,
+                              const core::ScanOptions& opt) {
+  check_problem(g, problem);
+  const auto weights = round_weights(std::span<const double>(problem.event),
+                                     problem.weight_step);
+  gf::GF256 f;
+  auto table = core::detect_scan_seq(g, weights, opt, f);
+  double w_total = 0;
+  for (double w : problem.event) w_total += w;
+  return maximize_over_table(problem, std::move(table), w_total,
+                             total_baseline(g, problem));
+}
+
+ScanOptimum optimize_scan_midas(const graph::Graph& g,
+                                const partition::Partition& part,
+                                const ScanProblem& problem,
+                                const core::MidasOptions& opt) {
+  check_problem(g, problem);
+  const auto weights = round_weights(std::span<const double>(problem.event),
+                                     problem.weight_step);
+  gf::GF256 f;
+  auto result = core::midas_scan(g, part, weights, opt, f);
+  double w_total = 0;
+  for (double w : problem.event) w_total += w;
+  return maximize_over_table(problem, std::move(result.table), w_total,
+                             total_baseline(g, problem));
+}
+
+SignificanceResult significance_test(const graph::Graph& g,
+                                     const ScanProblem& problem,
+                                     const core::ScanOptions& opt,
+                                     int replicates,
+                                     std::uint64_t permutation_seed) {
+  MIDAS_REQUIRE(replicates >= 1, "need at least one null replicate");
+  SignificanceResult out;
+  out.replicates = replicates;
+  out.observed_score = optimize_scan_seq(g, problem, opt).score;
+
+  Xoshiro256 rng(permutation_seed);
+  int null_wins = 0;
+  double null_sum = 0.0;
+  for (int rep = 0; rep < replicates; ++rep) {
+    ScanProblem null_problem = problem;
+    // Fisher–Yates permutation of event counts across vertices.
+    auto& w = null_problem.event;
+    for (std::size_t i = w.size(); i > 1; --i)
+      std::swap(w[i - 1], w[rng.below(i)]);
+    core::ScanOptions null_opt = opt;
+    null_opt.seed = opt.seed + 1000003ull * static_cast<std::uint64_t>(
+                                   rep + 1);
+    const double score = optimize_scan_seq(g, null_problem, null_opt).score;
+    null_sum += score;
+    out.null_max = std::max(out.null_max, score);
+    if (score >= out.observed_score) ++null_wins;
+  }
+  out.null_mean = null_sum / replicates;
+  out.p_value =
+      static_cast<double>(null_wins + 1) / static_cast<double>(replicates + 1);
+  return out;
+}
+
+}  // namespace midas::scan

@@ -1,0 +1,117 @@
+// Graph scan statistics (paper Section II-A2, V-B, VI-F).
+//
+// A scan statistic scores a vertex set S by F(W(S), B(S), theta), where
+// W(S) is the event count and B(S) the baseline count. MIDAS reduces the
+// constrained maximization (Problem 2) to (size, weight) feasibility: the
+// algebraic detector reports every achievable (|S|, W(S)) pair for
+// connected S, and the statistic is then maximized over that table in
+// O(k * Wmax) — this covers every statistic that depends on S only through
+// (W(S), B(S)), both parametric (Kulldorff, expectation-based Poisson,
+// elevated mean) and non-parametric (Berk–Jones over p-value exceedances),
+// exactly the class the paper claims.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detect_par.hpp"
+#include "core/detect_seq.hpp"
+#include "graph/csr.hpp"
+
+namespace midas::scan {
+
+// -- statistic functions ----------------------------------------------------
+
+/// Kulldorff's Poisson log-likelihood ratio. `w` and `b` are the in-set
+/// event/baseline counts, `w_total`/`b_total` the global ones. 0 when the
+/// set is not elevated (w/b <= (w_total-w)/(b_total-b)).
+[[nodiscard]] double kulldorff(double w, double b, double w_total,
+                               double b_total);
+
+/// Expectation-based Poisson statistic: w*log(w/b) - (w - b) for w > b,
+/// else 0.
+[[nodiscard]] double expectation_based_poisson(double w, double b);
+
+/// Elevated-mean scan statistic: (w - b) / sqrt(b).
+[[nodiscard]] double elevated_mean(double w, double b);
+
+/// Berk–Jones non-parametric statistic: n_alpha significant p-values out of
+/// n, significance level alpha. n * KL(n_alpha/n || alpha), 0 if not
+/// elevated.
+[[nodiscard]] double berk_jones(double n_alpha, double n, double alpha);
+
+/// The statistics available to the optimizer.
+enum class Statistic { kKulldorff, kEBPoisson, kElevatedMean, kBerkJones };
+
+[[nodiscard]] std::string to_string(Statistic s);
+
+// -- weight rounding (Knapsack-style scaling, Section V-B) -------------------
+
+/// Round real-valued event counts to small integers: w'(v) =
+/// round(w(v) / step). Smaller steps mean a finer (slower) DP; the paper
+/// notes this standard trick keeps W(V) polynomial.
+[[nodiscard]] std::vector<std::uint32_t> round_weights(
+    std::span<const double> w, double step);
+
+/// A step size that caps the total rounded weight near `target_total`.
+[[nodiscard]] double step_for_total(std::span<const double> w,
+                                    std::uint32_t target_total);
+
+// -- optimization on top of the feasibility table ----------------------------
+
+struct ScanProblem {
+  std::vector<double> event;     // w(v) >= 0
+  std::vector<double> baseline;  // b(v) > 0; empty means all-ones
+  Statistic statistic = Statistic::kKulldorff;
+  double alpha = 0.05;           // Berk–Jones significance level
+  int k = 5;                     // max subgraph size (B(S) <= k with unit b)
+  double weight_step = 1.0;      // rounding granularity for event counts
+};
+
+struct ScanOptimum {
+  double score = 0.0;
+  int size = 0;                  // |S| of the maximizing cell
+  std::uint32_t weight = 0;      // rounded W(S) of the maximizing cell
+  core::FeasibilityTable table;  // full feasibility table (for inspection)
+};
+
+/// Maximize the statistic over connected subgraphs of size <= k using the
+/// sequential detector.
+[[nodiscard]] ScanOptimum optimize_scan_seq(const graph::Graph& g,
+                                            const ScanProblem& problem,
+                                            const core::ScanOptions& opt);
+
+/// Same, using the distributed MIDAS engine.
+[[nodiscard]] ScanOptimum optimize_scan_midas(
+    const graph::Graph& g, const partition::Partition& part,
+    const ScanProblem& problem, const core::MidasOptions& opt);
+
+/// Score one (size, weight) cell under a problem definition — exposed so
+/// tests and benches can evaluate the same objective the optimizer uses.
+[[nodiscard]] double score_cell(const ScanProblem& problem, int size,
+                                std::uint32_t weight, double w_total,
+                                double b_total);
+
+// -- significance (the hypothesis test of Section II-A2) ---------------------
+
+/// Monte-Carlo p-value of an observed optimum score: permute the event
+/// counts across vertices (which preserves their marginal distribution but
+/// destroys spatial clustering — the null H0), re-optimize, and count how
+/// often the null beats the observation. Returns (#null >= observed + 1) /
+/// (replicates + 1), the standard plus-one randomization estimator.
+struct SignificanceResult {
+  double p_value = 1.0;
+  double observed_score = 0.0;
+  double null_mean = 0.0;   // mean best score under H0
+  double null_max = 0.0;    // largest null score seen
+  int replicates = 0;
+};
+[[nodiscard]] SignificanceResult significance_test(
+    const graph::Graph& g, const ScanProblem& problem,
+    const core::ScanOptions& opt, int replicates,
+    std::uint64_t permutation_seed);
+
+}  // namespace midas::scan

@@ -1,0 +1,130 @@
+#include "scan/traffic_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace midas::scan {
+
+namespace {
+
+double normal_sample(Xoshiro256& rng, double mu, double sigma) {
+  // Box–Muller; one draw per call is fine at this scale.
+  const double u1 = std::max(rng.uniform(), 1e-12);
+  const double u2 = rng.uniform();
+  return mu + sigma * std::sqrt(-2.0 * std::log(u1)) *
+                  std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+/// Grow a random connected cluster of the requested size by BFS from a
+/// random seed (retry from new seeds on small components).
+std::vector<graph::VertexId> random_connected_cluster(const graph::Graph& g,
+                                                      int size,
+                                                      Xoshiro256& rng) {
+  const graph::VertexId n = g.num_vertices();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto seed = static_cast<graph::VertexId>(rng.below(n));
+    std::vector<graph::VertexId> cluster{seed};
+    std::unordered_set<graph::VertexId> chosen{seed};
+    std::vector<graph::VertexId> frontier{seed};
+    while (static_cast<int>(cluster.size()) < size && !frontier.empty()) {
+      const auto idx = rng.below(frontier.size());
+      const graph::VertexId v = frontier[idx];
+      bool grew = false;
+      for (graph::VertexId u : g.neighbors(v)) {
+        if (!chosen.count(u)) {
+          chosen.insert(u);
+          cluster.push_back(u);
+          frontier.push_back(u);
+          grew = true;
+          break;
+        }
+      }
+      if (!grew) frontier.erase(frontier.begin() + static_cast<long>(idx));
+    }
+    if (static_cast<int>(cluster.size()) == size) {
+      std::sort(cluster.begin(), cluster.end());
+      return cluster;
+    }
+  }
+  MIDAS_REQUIRE(false, "could not grow a connected cluster (graph too "
+                       "fragmented for the requested size)");
+  return {};
+}
+
+}  // namespace
+
+TrafficSim::TrafficSim(const TrafficSimConfig& config) {
+  MIDAS_REQUIRE(config.history_snapshots >= 2,
+                "need at least two history snapshots");
+  MIDAS_REQUIRE(config.congestion_size >= 1, "cluster size must be >= 1");
+  Xoshiro256 rng(config.seed);
+  g_ = graph::road_network(config.n_sensors, config.lattice_keep, rng);
+  const graph::VertexId n = g_.num_vertices();
+  cluster_ = random_connected_cluster(
+      g_, config.congestion_size, rng);
+
+  // Per-sensor typical speed.
+  std::vector<double> typical(n);
+  for (auto& t : typical)
+    t = normal_sample(rng, config.base_speed, config.sensor_spread);
+
+  // History: estimate each sensor's own mean/stddev from noisy snapshots.
+  mean_.assign(n, 0.0);
+  stddev_.assign(n, 0.0);
+  for (graph::VertexId i = 0; i < n; ++i) {
+    RunningStats stats;
+    for (int s = 0; s < config.history_snapshots; ++s)
+      stats.add(normal_sample(rng, typical[i], config.noise_stddev));
+    mean_[i] = stats.mean();
+    stddev_[i] = std::max(stats.stddev(), 1e-3);
+  }
+
+  // Current snapshot: normal everywhere except the injected cluster.
+  current_.assign(n, 0.0);
+  std::unordered_set<graph::VertexId> in_cluster(cluster_.begin(),
+                                                 cluster_.end());
+  for (graph::VertexId i = 0; i < n; ++i) {
+    const double mu =
+        in_cluster.count(i) ? typical[i] - config.congestion_drop
+                            : typical[i];
+    current_[i] = normal_sample(rng, mu, config.noise_stddev);
+  }
+}
+
+std::vector<double> TrafficSim::p_values() const {
+  std::vector<double> p(current_.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = normal_cdf((current_[i] - mean_[i]) / stddev_[i]);
+  return p;
+}
+
+std::vector<double> TrafficSim::exceedance_weights(double alpha) const {
+  const auto p = p_values();
+  std::vector<double> w(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) w[i] = p[i] <= alpha ? 1.0 : 0.0;
+  return w;
+}
+
+DetectionQuality evaluate_detection(
+    const std::vector<graph::VertexId>& detected,
+    const std::vector<graph::VertexId>& truth) {
+  DetectionQuality q;
+  if (detected.empty() || truth.empty()) return q;
+  std::unordered_set<graph::VertexId> truth_set(truth.begin(), truth.end());
+  std::size_t hits = 0;
+  for (graph::VertexId v : detected) hits += truth_set.count(v);
+  q.precision = static_cast<double>(hits) / detected.size();
+  q.recall = static_cast<double>(hits) / truth.size();
+  if (q.precision + q.recall > 0)
+    q.f1 = 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+}  // namespace midas::scan

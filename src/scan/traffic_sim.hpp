@@ -1,0 +1,79 @@
+// Synthetic road-sensor workload — the stand-in for the PEMS Los Angeles
+// dataset of Section VI-F (the real feed is not redistributable).
+//
+// Sensors sit on a road-like network (jittered lattice with shortcuts).
+// Each sensor has its own typical speed; `history_snapshots` past readings
+// estimate a per-sensor mean/stddev, exactly as the paper does. The current
+// snapshot carries an injected *congestion cluster*: a connected set of
+// sensors whose speed drops well below their own norm. The p-value of a
+// sensor is the lower-tail normal CDF of its current reading against its
+// own history, so the congested cluster — and only it — shows tiny
+// p-values. Detection quality can be scored against the injected ground
+// truth, which the real dataset cannot provide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace midas::scan {
+
+struct TrafficSimConfig {
+  graph::VertexId n_sensors = 400;
+  int history_snapshots = 60;   // past 30-minute windows used as baseline
+  double base_speed = 60.0;     // network-wide typical speed (mph)
+  double sensor_spread = 8.0;   // across-sensor variation of typical speed
+  double noise_stddev = 4.0;    // within-sensor snapshot noise
+  int congestion_size = 8;      // injected connected cluster size
+  double congestion_drop = 20.0;  // mean speed drop inside the cluster
+  double lattice_keep = 0.95;   // road edge survival probability
+  std::uint64_t seed = 1;
+};
+
+class TrafficSim {
+ public:
+  explicit TrafficSim(const TrafficSimConfig& config);
+
+  [[nodiscard]] const graph::Graph& network() const noexcept { return g_; }
+  /// Ground truth: the injected congested sensors (sorted).
+  [[nodiscard]] const std::vector<graph::VertexId>& injected_cluster()
+      const noexcept {
+    return cluster_;
+  }
+  /// The current snapshot's speed readings (congestion included).
+  [[nodiscard]] const std::vector<double>& current_speeds() const noexcept {
+    return current_;
+  }
+  /// Historical sample mean / stddev per sensor.
+  [[nodiscard]] const std::vector<double>& history_mean() const noexcept {
+    return mean_;
+  }
+  [[nodiscard]] const std::vector<double>& history_stddev() const noexcept {
+    return stddev_;
+  }
+
+  /// Lower-tail p-value per sensor: Phi((x_i - mu_i) / sigma_i). Small
+  /// values mean "unusually slow right now".
+  [[nodiscard]] std::vector<double> p_values() const;
+
+  /// Berk–Jones exceedance weights: 1.0 where p-value <= alpha, else 0.
+  [[nodiscard]] std::vector<double> exceedance_weights(double alpha) const;
+
+ private:
+  graph::Graph g_;
+  std::vector<graph::VertexId> cluster_;
+  std::vector<double> mean_, stddev_, current_;
+};
+
+/// Precision/recall of a detected vertex set against the injected truth.
+struct DetectionQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+[[nodiscard]] DetectionQuality evaluate_detection(
+    const std::vector<graph::VertexId>& detected,
+    const std::vector<graph::VertexId>& truth);
+
+}  // namespace midas::scan

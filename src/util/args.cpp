@@ -1,0 +1,60 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace midas {
+
+Args::Args(int argc, const char* const* argv) {
+  MIDAS_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(a));
+      continue;
+    }
+    a = a.substr(2);
+    auto eq = a.find('=');
+    if (eq != std::string::npos) {
+      kv_[a.substr(0, eq)] = a.substr(eq + 1);
+    } else {
+      kv_[a] = "true";  // bare flag; values must use --key=value
+    }
+  }
+}
+
+std::string Args::get(const std::string& key, const std::string& def) const {
+  auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  MIDAS_REQUIRE(end && *end == '\0', "option --" + key + " is not an integer");
+  return v;
+}
+
+double Args::get_double(const std::string& key, double def) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  MIDAS_REQUIRE(end && *end == '\0', "option --" + key + " is not a number");
+  return v;
+}
+
+bool Args::get_flag(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  return it->second != "false" && it->second != "0";
+}
+
+bool Args::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+}  // namespace midas

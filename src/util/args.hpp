@@ -1,0 +1,47 @@
+// Minimal, dependency-free command-line argument parsing for examples and
+// bench binaries. Supports `--key=value` and boolean flags (`--flag`);
+// everything else is positional. The `--key value` form is intentionally
+// not supported — it makes bare flags followed by positionals ambiguous.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace midas {
+
+class Args {
+ public:
+  /// Parse argv. Throws std::invalid_argument on malformed input.
+  Args(int argc, const char* const* argv);
+
+  /// Look up a string option, with default.
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& def) const;
+  /// Look up an integer option, with default.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  /// Look up a floating-point option, with default.
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  /// True if a boolean flag was passed (possibly with =true/=false).
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Positional (non --key) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Program name (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace midas

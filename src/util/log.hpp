@@ -1,0 +1,42 @@
+// Tiny leveled logger. Thread-safe line-at-a-time output; level settable via
+// MIDAS_LOG env var (error|warn|info|debug) or set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace midas {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string cat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  log_line(LogLevel::kError, detail::cat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  log_line(LogLevel::kWarn, detail::cat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  log_line(LogLevel::kInfo, detail::cat(parts...));
+}
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  log_line(LogLevel::kDebug, detail::cat(parts...));
+}
+
+}  // namespace midas

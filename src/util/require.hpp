@@ -1,0 +1,42 @@
+// Contract checking for MIDAS.
+//
+// MIDAS_REQUIRE is an always-on precondition check (invalid user input, wrong
+// configuration) that throws std::invalid_argument so callers and tests can
+// observe the failure. MIDAS_ASSERT is an internal-invariant check compiled
+// out in release builds unless MIDAS_CHECKED is defined.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace midas {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace midas
+
+#define MIDAS_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::midas::contract_fail("precondition", #expr, __FILE__, __LINE__,   \
+                             (msg));                                      \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(MIDAS_CHECKED)
+#define MIDAS_ASSERT(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::midas::contract_fail("invariant", #expr, __FILE__, __LINE__,      \
+                             (msg));                                      \
+  } while (0)
+#else
+#define MIDAS_ASSERT(expr, msg) ((void)0)
+#endif

@@ -1,0 +1,87 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All randomized components of MIDAS (random Z2^k vectors, random GF
+// multipliers, graph generators, partitioners) draw from Xoshiro256** seeded
+// via SplitMix64, so every experiment is reproducible from a single uint64
+// seed. The generators here are header-only and allocation-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace midas {
+
+/// SplitMix64: used to expand a single seed into generator state and to
+/// derive independent per-rank / per-round streams.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it can drive <random> distributions.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection-
+  /// free mapping (bias negligible for bound << 2^64, which always holds
+  /// here); branch-free and fast in the inner loops.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent stream (e.g. one per MPI-style rank) from this
+  /// generator's seed space without correlating with the parent.
+  Xoshiro256 fork() noexcept { return Xoshiro256(operator()()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {
+    return (x << s) | (x >> (64 - s));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace midas

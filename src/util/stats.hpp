@@ -1,0 +1,46 @@
+// Small online / batch statistics used by the bench harness and the traffic
+// simulator (per-sensor running mean and standard deviation, percentiles,
+// and a standard normal CDF for the p-value computation of Section VI-F).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace midas {
+
+/// Welford online accumulator: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (p in [0,100]) by linear interpolation; copies and sorts.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Mean of a sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Standard normal cumulative distribution function Phi(z).
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation; max
+/// relative error ~1.15e-9 — ample for synthetic p-value generation).
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace midas

@@ -1,0 +1,43 @@
+// Plain-text table printer for bench output. Every bench binary prints the
+// paper's figure/table as rows through this formatter so the output is
+// uniform and grep-able; `Table::csv()` emits the same data as CSV for
+// plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace midas {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format mixed cells.
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  static std::string cell(double v, int precision = 4);
+
+  /// Render with aligned columns and a rule under the header.
+  [[nodiscard]] std::string str() const;
+  /// Render as comma-separated values (header row first).
+  [[nodiscard]] std::string csv() const;
+
+  /// Print `str()` to stdout with an optional caption line.
+  void print(const std::string& caption = "") const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace midas

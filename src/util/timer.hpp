@@ -1,0 +1,33 @@
+// Wall-clock timing helpers used by benches and the runtime ledger.
+#pragma once
+
+#include <chrono>
+
+namespace midas {
+
+/// Monotonic stopwatch. `elapsed_s()` can be called repeatedly; `reset()`
+/// restarts the epoch.
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_s() * 1e3;
+  }
+
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return elapsed_s() * 1e6;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace midas

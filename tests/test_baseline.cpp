@@ -1,0 +1,206 @@
+// Brute-force oracles (self-consistency) and the color-coding baseline
+// against them.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/brute_force.hpp"
+#include "baseline/color_coding.hpp"
+#include "core/tree_template.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace midas::baseline {
+namespace {
+
+TEST(BruteForce, PathCountsOnKnownShapes) {
+  // Path graph P_n has n-k+1 simple k-paths.
+  for (int n = 3; n <= 8; ++n) {
+    for (int k = 2; k <= n; ++k) {
+      EXPECT_EQ(count_kpaths(graph::path_graph(
+                                 static_cast<graph::VertexId>(n)),
+                             k),
+                static_cast<std::uint64_t>(n - k + 1))
+          << "n=" << n << " k=" << k;
+    }
+  }
+  // Cycle C_n has n simple k-paths for 2 <= k <= n.
+  for (int k = 2; k <= 6; ++k)
+    EXPECT_EQ(count_kpaths(graph::cycle_graph(6), k), 6u) << "k=" << k;
+  // Complete graph K_n has C(n,k) * k!/2 simple k-paths.
+  EXPECT_EQ(count_kpaths(graph::complete_graph(5), 3),
+            10u * 3u);  // C(5,3)=10, 3!/2=3
+  EXPECT_EQ(count_kpaths(graph::complete_graph(4), 4), 12u);  // 4!/2
+  // k=1: one per vertex.
+  EXPECT_EQ(count_kpaths(graph::star_graph(7), 1), 7u);
+}
+
+TEST(BruteForce, FindKPathReturnsValidPath) {
+  Xoshiro256 rng(1);
+  const auto g = graph::erdos_renyi_gnm(20, 50, rng);
+  for (int k = 2; k <= 6; ++k) {
+    const auto path = find_kpath(g, k);
+    if (!path) {
+      EXPECT_FALSE(has_kpath(g, k));
+      continue;
+    }
+    EXPECT_EQ(path->size(), static_cast<std::size_t>(k));
+    std::set<graph::VertexId> distinct(path->begin(), path->end());
+    EXPECT_EQ(distinct.size(), path->size());
+    for (std::size_t i = 0; i + 1 < path->size(); ++i)
+      EXPECT_TRUE(g.has_edge((*path)[i], (*path)[i + 1]));
+  }
+}
+
+TEST(BruteForce, TreeEmbeddingCounts) {
+  // Star S_3 (center + 3 leaves) in K_4: every injective map works whose
+  // center is any of 4 vertices and leaves are the 3! arrangements: 4*6=24.
+  EXPECT_EQ(count_tree_embeddings(graph::complete_graph(4),
+                                  graph::star_graph(4)),
+            24u);
+  // Path template P_3 in a triangle: embeddings = simple 3-paths * 2
+  // (injective homomorphisms count both directions).
+  EXPECT_EQ(count_tree_embeddings(graph::cycle_graph(3),
+                                  graph::path_graph(3)),
+            6u);
+  // Star with 3 leaves cannot embed into a path.
+  EXPECT_FALSE(has_tree_embedding(graph::path_graph(6),
+                                  graph::star_graph(4)));
+}
+
+TEST(BruteForce, ConnectedSubsetEnumerationMatchesBitmask) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::VertexId n = 6 + static_cast<graph::VertexId>(rng.below(5));
+    const auto g = graph::erdos_renyi_gnp(n, 0.25, rng);
+    const int k = 4;
+    std::set<std::vector<graph::VertexId>> esu;
+    enumerate_connected_subsets(
+        g, k, [&](const std::vector<graph::VertexId>& s) {
+          EXPECT_TRUE(esu.insert(s).second) << "duplicate subset";
+        });
+    std::set<std::vector<graph::VertexId>> naive;
+    for (unsigned mask = 1; mask < (1u << n); ++mask) {
+      if (__builtin_popcount(mask) > k) continue;
+      std::vector<graph::VertexId> subset;
+      for (graph::VertexId v = 0; v < n; ++v)
+        if (mask & (1u << v)) subset.push_back(v);
+      if (graph::is_connected_subset(g, subset)) naive.insert(subset);
+    }
+    EXPECT_EQ(esu, naive) << "trial=" << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Color coding
+// ---------------------------------------------------------------------------
+
+TEST(ColorCoding, DetectsPathsLikeBruteForce) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const graph::VertexId n = 10 + static_cast<graph::VertexId>(rng.below(6));
+    const auto g = graph::erdos_renyi_gnp(n, 0.12 + rng.uniform() * 0.1,
+                                          rng);
+    const int k = 4;
+    ColorCodingOptions opt;
+    opt.k = k;
+    opt.iterations = ColorCodingOptions::iterations_for_epsilon(k, 1e-4);
+    opt.seed = 10 + trial;
+    const auto res = color_coding_paths(g, opt);
+    EXPECT_EQ(res.found, has_kpath(g, k)) << "trial=" << trial;
+  }
+}
+
+TEST(ColorCoding, EstimateConvergesToExactCount) {
+  Xoshiro256 rng(4);
+  const auto g = graph::erdos_renyi_gnm(30, 90, rng);
+  const int k = 4;
+  const auto exact = static_cast<double>(count_kpaths(g, k));
+  ASSERT_GT(exact, 0);
+  ColorCodingOptions opt;
+  opt.k = k;
+  opt.iterations = 600;
+  opt.seed = 5;
+  const auto res = color_coding_paths(g, opt);
+  // Monte-Carlo: expect within 15% after 600 iterations on this size.
+  EXPECT_NEAR(res.estimate, exact, exact * 0.15);
+}
+
+TEST(ColorCoding, TreeEstimateMatchesEmbeddingCount) {
+  Xoshiro256 rng(5);
+  const auto g = graph::erdos_renyi_gnm(18, 60, rng);
+  const auto tmpl = graph::star_graph(4);
+  core::TreeDecomposition td(tmpl, 0);
+  const auto exact = static_cast<double>(count_tree_embeddings(g, tmpl));
+  ASSERT_GT(exact, 0);
+  ColorCodingOptions opt;
+  opt.k = 4;
+  opt.iterations = 600;
+  opt.seed = 6;
+  const auto res = color_coding_trees(g, td, opt);
+  EXPECT_NEAR(res.estimate, exact, exact * 0.2);
+}
+
+TEST(ColorCoding, PathViaTreeTemplateAgrees) {
+  // The generic tree DP on a path template must estimate directed
+  // sequences consistently with the specialized path DP.
+  Xoshiro256 rng(6);
+  const auto g = graph::erdos_renyi_gnm(20, 70, rng);
+  const int k = 4;
+  core::TreeDecomposition td(
+      graph::path_graph(static_cast<graph::VertexId>(k)), 0);
+  ColorCodingOptions opt;
+  opt.k = k;
+  opt.iterations = 400;
+  opt.seed = 7;
+  const auto via_tree = color_coding_trees(g, td, opt);
+  const auto exact = static_cast<double>(count_kpaths(g, k));
+  // Tree embeddings of a path template = 2x the path count.
+  EXPECT_NEAR(via_tree.estimate / 2.0, exact, exact * 0.2);
+}
+
+TEST(ColorCoding, ParallelMatchesIterationBudgetAndDetects) {
+  Xoshiro256 rng(8);
+  const auto g = graph::erdos_renyi_gnm(25, 80, rng);
+  const int k = 4;
+  ColorCodingOptions opt;
+  opt.k = k;
+  opt.iterations = 40;
+  opt.seed = 9;
+  const auto par = color_coding_paths_par(g, opt, 4);
+  EXPECT_EQ(par.combined.iterations, 40);
+  EXPECT_EQ(par.combined.found, has_kpath(g, k));
+  const auto exact = static_cast<double>(count_kpaths(g, k));
+  EXPECT_NEAR(par.combined.estimate, exact, exact * 0.5);
+  // Tables are fully replicated per rank — the FASCIA memory profile.
+  const auto seq = color_coding_paths(g, opt);
+  EXPECT_EQ(par.table_bytes_per_rank, seq.table_bytes);
+  // More ranks shrink the modeled time (pure iteration parallelism).
+  const auto par1 = color_coding_paths_par(g, opt, 1);
+  EXPECT_LT(par.vtime, par1.vtime);
+}
+
+TEST(ColorCoding, TableBytesGrowAsTwoToTheK) {
+  Xoshiro256 rng(7);
+  const auto g = graph::erdos_renyi_gnm(50, 150, rng);
+  ColorCodingOptions opt;
+  opt.iterations = 1;
+  opt.k = 6;
+  const auto r6 = color_coding_paths(g, opt);
+  opt.k = 10;
+  const auto r10 = color_coding_paths(g, opt);
+  EXPECT_EQ(r10.table_bytes, r6.table_bytes << 4)
+      << "the 2^k table wall of Figure 11";
+}
+
+TEST(ColorCoding, IterationsForEpsilonGrowsExponentially) {
+  const int i4 = ColorCodingOptions::iterations_for_epsilon(4, 0.05);
+  const int i8 = ColorCodingOptions::iterations_for_epsilon(8, 0.05);
+  const int i12 = ColorCodingOptions::iterations_for_epsilon(12, 0.05);
+  EXPECT_GT(i8, 4 * i4);
+  EXPECT_GT(i12, 4 * i8);  // the e^k factor
+}
+
+}  // namespace
+}  // namespace midas::baseline

@@ -1,0 +1,79 @@
+// The alpha-beta + memory-hierarchy cost model and the halo-plan encoding.
+#include <gtest/gtest.h>
+
+#include "partition/partitioned_graph.hpp"
+#include "runtime/cost_model.hpp"
+
+namespace midas {
+namespace {
+
+TEST(CostModel, MessageCostIsAffine) {
+  runtime::CostModel m;
+  m.alpha = 2e-6;
+  m.beta = 1e-9;
+  EXPECT_DOUBLE_EQ(m.message_cost(0), 2e-6);
+  EXPECT_DOUBLE_EQ(m.message_cost(1000), 2e-6 + 1e-6);
+  // Latency dominates small messages; bandwidth dominates large ones.
+  EXPECT_LT(m.message_cost(100) / 100.0, m.message_cost(1) / 1.0);
+}
+
+TEST(CostModel, BarrierAndAllreduceScaleLogarithmically) {
+  runtime::CostModel m;
+  EXPECT_EQ(runtime::CostModel::ceil_log2(1), 0);
+  EXPECT_EQ(runtime::CostModel::ceil_log2(2), 1);
+  EXPECT_EQ(runtime::CostModel::ceil_log2(3), 2);
+  EXPECT_EQ(runtime::CostModel::ceil_log2(8), 3);
+  EXPECT_EQ(runtime::CostModel::ceil_log2(9), 4);
+  EXPECT_DOUBLE_EQ(m.barrier_cost(1), 0.0);
+  EXPECT_DOUBLE_EQ(m.barrier_cost(8), 3 * m.alpha);
+  EXPECT_DOUBLE_EQ(m.allreduce_cost(4, 100), 2 * m.message_cost(100));
+}
+
+TEST(CostModel, MemoryMissFractionIsSmoothAndMonotone) {
+  runtime::CostModel m;
+  m.cache_bytes = 1000;
+  m.mem_hot = 1e-12;
+  m.mem_cold = 1e-9;
+  // Fully resident: hot rate.
+  EXPECT_DOUBLE_EQ(m.memory_cost(100, 500), 100 * 1e-12);
+  EXPECT_DOUBLE_EQ(m.memory_cost(100, 1000), 100 * 1e-12);
+  // Twice the cache: half the accesses miss.
+  const double half_miss = m.memory_cost(100, 2000);
+  EXPECT_NEAR(half_miss, 100 * (1e-12 + 0.5 * (1e-9 - 1e-12)), 1e-18);
+  // Monotone in working set, saturating at the cold rate.
+  EXPECT_LT(m.memory_cost(100, 1500), half_miss);
+  EXPECT_LT(half_miss, m.memory_cost(100, 100000));
+  EXPECT_LE(m.memory_cost(100, 1u << 30), 100 * 1e-9 + 1e-18);
+}
+
+TEST(CommStats, AccumulationIsComponentWise) {
+  runtime::CommStats a, b;
+  a.messages_sent = 3;
+  a.t_compute = 1.5;
+  a.t_wait = 0.25;
+  b.messages_sent = 4;
+  b.t_compute = 0.5;
+  b.allreduces = 2;
+  a += b;
+  EXPECT_EQ(a.messages_sent, 7u);
+  EXPECT_DOUBLE_EQ(a.t_compute, 2.0);
+  EXPECT_DOUBLE_EQ(a.t_wait, 0.25);
+  EXPECT_EQ(a.allreduces, 2u);
+}
+
+TEST(NbrRef, EncodesLocalAndGhostDisjointly) {
+  const auto local = partition::NbrRef::local(12345);
+  const auto ghost = partition::NbrRef::ghost(12345);
+  EXPECT_FALSE(local.is_ghost());
+  EXPECT_TRUE(ghost.is_ghost());
+  EXPECT_EQ(local.index(), 12345u);
+  EXPECT_EQ(ghost.index(), 12345u);
+  EXPECT_NE(local.packed, ghost.packed);
+  // Max representable index round-trips.
+  const auto big = partition::NbrRef::ghost(0x7FFFFFFFu);
+  EXPECT_TRUE(big.is_ghost());
+  EXPECT_EQ(big.index(), 0x7FFFFFFFu);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,73 @@
+// The subsampling count estimator: zero detection, ordering, and
+// order-of-magnitude accuracy against exact counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brute_force.hpp"
+#include "core/counting.hpp"
+#include "gf/gf256.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace midas::core {
+namespace {
+
+TEST(CountEstimate, ZeroWhenNoPathExists) {
+  gf::GF256 f;
+  CountEstimateOptions opt;
+  opt.k = 5;
+  const auto res = estimate_kpath_count(graph::star_graph(10), opt, f);
+  EXPECT_FALSE(res.any);
+  EXPECT_EQ(res.estimate, 0.0);
+}
+
+TEST(CountEstimate, OrderOfMagnitudeOnKnownCounts) {
+  gf::GF256 f;
+  Xoshiro256 rng(3);
+  // Two graphs whose exact 4-path counts differ by ~2 orders of magnitude.
+  const auto sparse = graph::erdos_renyi_gnm(60, 90, rng);
+  const auto dense = graph::erdos_renyi_gnm(60, 500, rng);
+  const double exact_sparse =
+      static_cast<double>(baseline::count_kpaths(sparse, 4));
+  const double exact_dense =
+      static_cast<double>(baseline::count_kpaths(dense, 4));
+  ASSERT_GT(exact_sparse, 0);
+  ASSERT_GT(exact_dense, 50 * exact_sparse);
+
+  CountEstimateOptions opt;
+  opt.k = 4;
+  opt.seed = 11;
+  const auto est_sparse = estimate_kpath_count(sparse, opt, f);
+  const auto est_dense = estimate_kpath_count(dense, opt, f);
+  ASSERT_TRUE(est_sparse.any);
+  ASSERT_TRUE(est_dense.any);
+  // Ordering is preserved with a wide margin.
+  EXPECT_GT(est_dense.estimate, 5 * est_sparse.estimate);
+  // Order-of-magnitude accuracy: within 1.2 decades of exact.
+  EXPECT_LT(std::abs(std::log10(est_sparse.estimate) -
+                     std::log10(exact_sparse)),
+            1.2)
+      << "estimate " << est_sparse.estimate << " vs " << exact_sparse;
+  EXPECT_LT(std::abs(std::log10(est_dense.estimate) -
+                     std::log10(exact_dense)),
+            1.2)
+      << "estimate " << est_dense.estimate << " vs " << exact_dense;
+}
+
+TEST(CountEstimate, SingletonPathGivesSmallEstimate) {
+  gf::GF256 f;
+  // Exactly one 5-path.
+  const auto g = graph::path_graph(5);
+  CountEstimateOptions opt;
+  opt.k = 5;
+  opt.seed = 4;
+  const auto res = estimate_kpath_count(g, opt, f);
+  ASSERT_TRUE(res.any);
+  // q* should be near 1 and the estimate within a decade of 1.
+  EXPECT_GT(res.q_star, 0.5);
+  EXPECT_LT(res.estimate, 10.0);
+}
+
+}  // namespace
+}  // namespace midas::core

@@ -1,0 +1,280 @@
+// Parallel MIDAS vs the sequential detectors and brute force.
+//
+// Because all randomness is hash-derived from (seed, round, vertex) and the
+// final combine is an XOR allreduce, the parallel engines must agree with
+// the sequential detectors *bit for bit* on every (N, N1, N2) configuration
+// — these tests sweep the configuration space and demand exact agreement of
+// outcomes (found / not found, and the feasibility table for scan).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_par.hpp"
+#include "core/detect_seq.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace midas::core {
+namespace {
+
+using graph::Graph;
+
+MidasOptions par_opts(int k, int n_ranks, int n1, std::uint32_t n2,
+                      std::uint64_t seed = 7, double eps = 1e-3) {
+  MidasOptions o;
+  o.k = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  o.n_ranks = n_ranks;
+  o.n1 = n1;
+  o.n2 = n2;
+  return o;
+}
+
+DetectOptions seq_opts(int k, std::uint64_t seed = 7, double eps = 1e-3) {
+  DetectOptions o;
+  o.k = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+// (N, N1, N2) sweep for the configuration-equivalence tests.
+class ParConfig
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint32_t>> {};
+
+TEST_P(ParConfig, KPathMatchesSequentialBitForBit) {
+  const auto [n_ranks, n1, n2] = GetParam();
+  gf::GF256 f;
+  Xoshiro256 rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    const graph::VertexId n = 10 + static_cast<graph::VertexId>(rng.below(8));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.18, rng);
+    const int k = 4 + static_cast<int>(rng.below(2));
+    const std::uint64_t seed = 100 + trial;
+
+    auto seq = detect_kpath_seq(g, seq_opts(k, seed), f);
+    auto part = partition::block_partition(g, n1);
+    auto par = midas_kpath(g, part, par_opts(k, n_ranks, n1, n2, seed), f);
+    EXPECT_EQ(par.found, seq.found) << "trial=" << trial << " k=" << k;
+    if (seq.found) {
+      EXPECT_EQ(par.found_round, seq.found_round)
+          << "same seed must find in the same round";
+    }
+  }
+}
+
+TEST_P(ParConfig, KTreeMatchesSequential) {
+  const auto [n_ranks, n1, n2] = GetParam();
+  gf::GF256 f;
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 4; ++trial) {
+    const int k = 4 + static_cast<int>(rng.below(2));
+    const Graph tmpl =
+        graph::random_tree(static_cast<graph::VertexId>(k), rng);
+    TreeDecomposition td(tmpl, 0);
+    const graph::VertexId n = 10 + static_cast<graph::VertexId>(rng.below(6));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.2, rng);
+    const std::uint64_t seed = 900 + trial;
+
+    auto seq = detect_ktree_seq(g, td, seq_opts(k, seed), f);
+    auto part = partition::block_partition(g, n1);
+    MidasOptions o = par_opts(k, n_ranks, n1, n2, seed);
+    auto par = midas_ktree(g, part, td, o, f);
+    EXPECT_EQ(par.found, seq.found) << "trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ParConfig,
+    ::testing::Values(std::make_tuple(1, 1, 1),     // sequential degenerate
+                      std::make_tuple(2, 1, 4),     // pure phase parallelism
+                      std::make_tuple(2, 2, 1),     // pure graph parallelism
+                      std::make_tuple(4, 2, 2),     // mixed, small batch
+                      std::make_tuple(4, 2, 16),    // mixed, large batch
+                      std::make_tuple(4, 4, 8),     // N1 = N
+                      std::make_tuple(8, 2, 32),    // many groups
+                      std::make_tuple(8, 4, 1000),  // N2 > 2^k (clamped)
+                      std::make_tuple(6, 3, 5)));   // non-power-of-two
+
+TEST(ParKPath, AgreesWithBruteForceOnRandomSweep) {
+  gf::GF256 f;
+  Xoshiro256 rng(31337);
+  int positives = 0, negatives = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::VertexId n = 9 + static_cast<graph::VertexId>(rng.below(6));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.06 + rng.uniform() * 0.14,
+                                           rng);
+    const int k = 4;
+    const bool truth = baseline::has_kpath(g, k);
+    auto part = partition::block_partition(g, 2);
+    auto res = midas_kpath(
+        g, part, par_opts(k, 4, 2, 4, 555 + trial, 1e-4), f);
+    EXPECT_EQ(res.found, truth) << "trial=" << trial;
+    truth ? ++positives : ++negatives;
+  }
+  EXPECT_GT(positives, 2);
+  EXPECT_GT(negatives, 2);
+}
+
+TEST(ParKPath, AllPartitionersGiveSameAnswer) {
+  gf::GF256 f;
+  Xoshiro256 rng(2024);
+  const Graph g = graph::erdos_renyi_gnp(24, 0.15, rng);
+  const int k = 5;
+  auto seq = detect_kpath_seq(g, seq_opts(k, 42), f);
+  for (int which = 0; which < 4; ++which) {
+    partition::Partition part;
+    Xoshiro256 prng(7);
+    switch (which) {
+      case 0: part = partition::block_partition(g, 3); break;
+      case 1: part = partition::random_partition(g, 3, prng); break;
+      case 2: part = partition::bfs_partition(g, 3); break;
+      default: part = partition::ldg_partition(g, 3); break;
+    }
+    auto res = midas_kpath(g, part, par_opts(k, 3, 3, 8, 42), f);
+    EXPECT_EQ(res.found, seq.found) << "partitioner " << which;
+  }
+}
+
+TEST(ParKPath, StatsReflectConfiguration) {
+  gf::GF256 f;
+  Xoshiro256 rng(5);
+  const Graph g = graph::erdos_renyi_gnp(32, 0.2, rng);
+  const int k = 6;
+  auto part = partition::block_partition(g, 4);
+
+  // Batching: N2 = 1 sends ~N2x more messages than N2 = 16 for the same
+  // total byte volume (modulo the final short phase).
+  MidasOptions small = par_opts(k, 4, 4, 1, 11, 1e-2);
+  small.early_exit = false;
+  MidasOptions big = par_opts(k, 4, 4, 16, 11, 1e-2);
+  big.early_exit = false;
+  auto res_small = midas_kpath(g, part, small, f);
+  auto res_big = midas_kpath(g, part, big, f);
+  EXPECT_GT(res_small.total_stats.messages_sent,
+            4 * res_big.total_stats.messages_sent);
+  EXPECT_EQ(res_small.total_stats.bytes_sent,
+            res_big.total_stats.bytes_sent);
+  // Modeled time must benefit from batching (alpha amortization).
+  EXPECT_GT(res_small.vtime, res_big.vtime);
+}
+
+TEST(ParKPath, VirtualTimeDropsWithMoreRanks) {
+  gf::GF256 f;
+  Xoshiro256 rng(6);
+  const Graph g = graph::erdos_renyi_gnp(64, 0.1, rng);
+  const int k = 6;
+  auto part1 = partition::block_partition(g, 1);
+  MidasOptions o1 = par_opts(k, 1, 1, 8, 3, 1e-2);
+  o1.early_exit = false;
+  auto r1 = midas_kpath(g, part1, o1, f);
+  MidasOptions o4 = par_opts(k, 4, 1, 8, 3, 1e-2);
+  o4.early_exit = false;
+  auto r4 = midas_kpath(g, part1, o4, f);  // 4 phase groups, same partition
+  EXPECT_LT(r4.vtime, r1.vtime)
+      << "pure iteration parallelism must shrink the modeled makespan";
+}
+
+TEST(ParScan, MatchesSequentialTableExactly) {
+  gf::GF256 f;
+  Xoshiro256 rng(909);
+  for (int trial = 0; trial < 4; ++trial) {
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(4));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.25, rng);
+    std::vector<std::uint32_t> w(n);
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+    const int k = 4;
+    ScanOptions so;
+    so.k = k;
+    so.epsilon = 1e-3;
+    so.seed = 60 + trial;
+    const auto seq_table = detect_scan_seq(g, w, so, f);
+
+    auto part = partition::block_partition(g, 2);
+    MidasOptions o = par_opts(k, 4, 2, 4, 60 + trial);
+    auto par = midas_scan(g, part, w, o, f);
+    ASSERT_EQ(par.table.max_weight, seq_table.max_weight);
+    for (int j = 1; j <= k; ++j)
+      for (std::uint32_t z = 0; z <= seq_table.max_weight; ++z)
+        EXPECT_EQ(par.table.at(j, z), seq_table.at(j, z))
+            << "trial=" << trial << " j=" << j << " z=" << z;
+  }
+}
+
+TEST(ParScan, AgreesWithBruteForce) {
+  gf::GF256 f;
+  Xoshiro256 rng(1212);
+  const graph::VertexId n = 9;
+  const Graph g = graph::erdos_renyi_gnp(n, 0.3, rng);
+  std::vector<std::uint32_t> w(n);
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+  const int k = 4;
+  const auto truth = baseline::connected_subgraph_feasibility(g, w, k);
+  auto part = partition::block_partition(g, 3);
+  auto par = midas_scan(g, part, w, par_opts(k, 3, 3, 8, 99, 1e-4), f);
+  for (int j = 1; j <= k; ++j)
+    for (std::uint32_t z = 0; z <= par.table.max_weight; ++z) {
+      const bool expected = z < truth[static_cast<std::size_t>(j)].size() &&
+                            truth[static_cast<std::size_t>(j)][z];
+      EXPECT_EQ(par.table.at(j, z), expected) << "j=" << j << " z=" << z;
+    }
+}
+
+TEST(ParKPath, WiderFieldsTravelThroughHalosCorrectly) {
+  // All other parallel tests use the 1-byte GF(2^8); this pins the halo
+  // packing/unpacking for 2-byte field values (GFSmall) against both the
+  // sequential detector and brute force.
+  gf::GFSmall f(12);
+  Xoshiro256 rng(8787);
+  for (int trial = 0; trial < 6; ++trial) {
+    const graph::VertexId n = 10 + static_cast<graph::VertexId>(rng.below(6));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.16, rng);
+    const int k = 4;
+    const std::uint64_t seed = 700 + trial;
+    const auto seq = detect_kpath_seq(g, seq_opts(k, seed), f);
+    const auto part = partition::bfs_partition(g, 3);
+    const auto par = midas_kpath(g, part, par_opts(k, 6, 3, 4, seed), f);
+    EXPECT_EQ(par.found, seq.found) << "trial=" << trial;
+    EXPECT_EQ(par.found, baseline::has_kpath(g, k)) << "trial=" << trial;
+  }
+}
+
+TEST(ParScan, MultilevelPartitionGivesSameTable) {
+  gf::GF256 f;
+  Xoshiro256 rng(6161);
+  const Graph g = graph::erdos_renyi_gnp(14, 0.25, rng);
+  std::vector<std::uint32_t> w(g.num_vertices());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+  ScanOptions so;
+  so.k = 4;
+  so.epsilon = 1e-3;
+  so.seed = 31;
+  const auto seq_table = detect_scan_seq(g, w, so, f);
+  const auto part = partition::multilevel_partition(g, 2);
+  const auto par = midas_scan(g, part, w, par_opts(4, 4, 2, 4, 31), f);
+  for (int j = 1; j <= 4; ++j)
+    for (std::uint32_t z = 0; z <= seq_table.max_weight; ++z)
+      EXPECT_EQ(par.table.at(j, z), seq_table.at(j, z))
+          << "j=" << j << " z=" << z;
+}
+
+TEST(ParKPath, RejectsBadConfigurations) {
+  gf::GF256 f;
+  const Graph g = graph::path_graph(8);
+  auto part = partition::block_partition(g, 2);
+  // N1 does not divide N.
+  EXPECT_THROW(midas_kpath(g, part, par_opts(4, 3, 2, 4), f),
+               std::invalid_argument);
+  // Partition arity mismatch.
+  EXPECT_THROW(midas_kpath(g, part, par_opts(4, 4, 4, 4), f),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace midas::core

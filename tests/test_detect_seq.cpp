@@ -1,0 +1,275 @@
+// Sequential multilinear detection vs exact brute force.
+//
+// The "no" direction of Theorem 1 is deterministic: a graph with no k-path
+// (k-tree, feasible (j,z) pair) must never be reported positive, for any
+// seed. The "yes" direction is probabilistic; with the default epsilon the
+// per-instance failure probability is ~0.05, so positive tests use a tight
+// epsilon and the sweeps tolerate zero failures only on the "no" side.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_seq.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gf64.hpp"
+#include "gf/gfsmall.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace midas::core {
+namespace {
+
+using baseline::has_kpath;
+using graph::Graph;
+
+DetectOptions opts(int k, double eps = 1e-3, std::uint64_t seed = 7) {
+  DetectOptions o;
+  o.k = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(KPathSeq, PathGraphExactlyK) {
+  gf::GF256 f;
+  for (int k = 2; k <= 8; ++k) {
+    const Graph g = graph::path_graph(static_cast<graph::VertexId>(k));
+    const auto res = detect_kpath_seq(g, opts(k), f);
+    EXPECT_TRUE(res.found) << "k=" << k;
+  }
+}
+
+TEST(KPathSeq, PathGraphTooShortIsNo) {
+  gf::GF256 f;
+  for (int k = 3; k <= 9; ++k) {
+    const Graph g = graph::path_graph(static_cast<graph::VertexId>(k - 1));
+    const auto res = detect_kpath_seq(g, opts(k), f);
+    EXPECT_FALSE(res.found) << "k=" << k;
+    EXPECT_EQ(res.rounds_run, opts(k).rounds());
+  }
+}
+
+TEST(KPathSeq, StarHasNoLongPath) {
+  // A star has max path length 3 regardless of size.
+  gf::GF256 f;
+  const Graph g = graph::star_graph(12);
+  EXPECT_TRUE(detect_kpath_seq(g, opts(3), f).found);
+  EXPECT_FALSE(detect_kpath_seq(g, opts(4), f).found);
+  EXPECT_FALSE(detect_kpath_seq(g, opts(5), f).found);
+}
+
+TEST(KPathSeq, CycleAndComplete) {
+  gf::GF256 f;
+  EXPECT_TRUE(detect_kpath_seq(graph::cycle_graph(6), opts(6), f).found);
+  EXPECT_FALSE(detect_kpath_seq(graph::cycle_graph(6), opts(7), f).found);
+  EXPECT_TRUE(detect_kpath_seq(graph::complete_graph(7), opts(7), f).found);
+}
+
+TEST(KPathSeq, KEqualsOneAndTwo) {
+  gf::GF256 f;
+  const Graph g = graph::path_graph(3);
+  EXPECT_TRUE(detect_kpath_seq(g, opts(1), f).found);
+  EXPECT_TRUE(detect_kpath_seq(g, opts(2), f).found);
+  // Edgeless graph: 1-paths yes, 2-paths no.
+  graph::GraphBuilder b(4);
+  const Graph empty = b.build();
+  EXPECT_TRUE(detect_kpath_seq(empty, opts(1), f).found);
+  EXPECT_FALSE(detect_kpath_seq(empty, opts(2), f).found);
+}
+
+/// Sweep random graphs and compare against brute force. Ground-truth "no"
+/// must never be contradicted; ground-truth "yes" must be found (epsilon
+/// is 1e-3 per instance; ~120 positive instances => ~12% chance of a single
+/// miss across the suite would be too flaky, so use 1e-4).
+TEST(KPathSeq, RandomGraphSweepAgainstBruteForce) {
+  gf::GF256 f;
+  Xoshiro256 rng(99);
+  int positives = 0, negatives = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(8));
+    const double p = 0.08 + rng.uniform() * 0.20;
+    const Graph g = graph::erdos_renyi_gnp(n, p, rng);
+    for (int k = 3; k <= 6; ++k) {
+      const bool truth = has_kpath(g, k);
+      const auto res =
+          detect_kpath_seq(g, opts(k, 1e-4, 1000 + trial), f);
+      if (truth) {
+        EXPECT_TRUE(res.found) << "n=" << n << " k=" << k
+                               << " trial=" << trial;
+        ++positives;
+      } else {
+        EXPECT_FALSE(res.found) << "n=" << n << " k=" << k
+                                << " trial=" << trial;
+        ++negatives;
+      }
+    }
+  }
+  // The sweep must exercise both directions.
+  EXPECT_GT(positives, 20);
+  EXPECT_GT(negatives, 20);
+}
+
+TEST(KPathSeq, WorksOverWiderFields) {
+  const Graph yes = graph::path_graph(5);
+  const Graph no = graph::star_graph(8);
+  EXPECT_TRUE(detect_kpath_seq(yes, opts(5), gf::GFSmall(12)).found);
+  EXPECT_FALSE(detect_kpath_seq(no, opts(5), gf::GFSmall(12)).found);
+  EXPECT_TRUE(detect_kpath_seq(yes, opts(5), gf::GF64{}).found);
+  EXPECT_FALSE(detect_kpath_seq(no, opts(5), gf::GF64{}).found);
+}
+
+TEST(KPathSeq, PerRoundSuccessRateMatchesTheory) {
+  // Theorem 1 promises per-round success >= 1/5 on yes-instances. Measure
+  // the empirical rate on a single path with many independent rounds; the
+  // v-independence argument gives ~0.29 * (1 - k/2^8) in our construction.
+  gf::GF256 f;
+  const int k = 6;
+  const Graph g = graph::path_graph(k);
+  int hits = 0;
+  const int rounds = 300;
+  DetectOptions o = opts(k);
+  o.max_rounds = 1;
+  for (int round = 0; round < rounds; ++round) {
+    o.seed = 5000 + static_cast<std::uint64_t>(round);
+    if (detect_kpath_seq(g, o, f).found) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / rounds;
+  EXPECT_GE(rate, 0.20) << "empirical per-round success " << rate;
+  EXPECT_LE(rate, 0.45) << "suspiciously high success " << rate;
+}
+
+// ---------------------------------------------------------------------------
+// k-tree
+// ---------------------------------------------------------------------------
+
+TEST(KTreeSeq, StarTemplateInStar) {
+  gf::GF256 f;
+  const Graph tmpl = graph::star_graph(4);  // 4-vertex star
+  TreeDecomposition td(tmpl, 0);
+  EXPECT_TRUE(detect_ktree_seq(graph::star_graph(6), td, opts(4), f).found);
+  // A path has no vertex of degree 3.
+  EXPECT_FALSE(detect_ktree_seq(graph::path_graph(8), td, opts(4), f).found);
+}
+
+TEST(KTreeSeq, PathTemplateMatchesKPath) {
+  gf::GF256 f;
+  Xoshiro256 rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(6));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.18, rng);
+    const int k = 4;
+    const Graph tmpl = graph::path_graph(static_cast<graph::VertexId>(k));
+    TreeDecomposition td(tmpl, 0);
+    const bool truth = has_kpath(g, k);
+    EXPECT_EQ(detect_ktree_seq(g, td, opts(k, 1e-4, 50 + trial), f).found,
+              truth)
+        << "trial=" << trial;
+  }
+}
+
+TEST(KTreeSeq, RandomTreeTemplatesAgainstBruteForce) {
+  gf::GF256 f;
+  Xoshiro256 rng(321);
+  int positives = 0, negatives = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const int k = 4 + static_cast<int>(rng.below(3));  // template size 4-6
+    const Graph tmpl = graph::random_tree(static_cast<graph::VertexId>(k),
+                                          rng);
+    TreeDecomposition td(tmpl, 0);
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(6));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.15 + rng.uniform() * 0.1,
+                                           rng);
+    const bool truth = baseline::has_tree_embedding(g, tmpl);
+    const auto res = detect_ktree_seq(g, td, opts(k, 1e-4, 900 + trial), f);
+    EXPECT_EQ(res.found, truth) << "trial=" << trial << " k=" << k;
+    truth ? ++positives : ++negatives;
+  }
+  EXPECT_GT(positives, 5);
+  EXPECT_GT(negatives, 5);
+}
+
+TEST(TreeDecomposition, CountsAndSizes) {
+  for (int k = 1; k <= 9; ++k) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(k));
+    const Graph tmpl =
+        graph::random_tree(static_cast<graph::VertexId>(k), rng);
+    TreeDecomposition td(tmpl, 0);
+    EXPECT_EQ(td.count(), 2 * k - 1);
+    EXPECT_EQ(td.subtemplates().back().size, k);
+    int leaves = 0;
+    for (const auto& sub : td.subtemplates()) {
+      if (sub.child1 < 0) {
+        ++leaves;
+        EXPECT_EQ(sub.size, 1);
+      } else {
+        // A parent's size is the sum of its children's sizes.
+        const auto& subs = td.subtemplates();
+        EXPECT_EQ(sub.size,
+                  subs[static_cast<std::size_t>(sub.child1)].size +
+                      subs[static_cast<std::size_t>(sub.child2)].size);
+        // Children precede parents in evaluation order.
+        EXPECT_LT(sub.child1, static_cast<int>(&sub - subs.data()));
+        EXPECT_LT(sub.child2, static_cast<int>(&sub - subs.data()));
+      }
+    }
+    EXPECT_EQ(leaves, k);
+  }
+}
+
+TEST(TreeDecomposition, RejectsNonTrees) {
+  EXPECT_THROW(TreeDecomposition(graph::cycle_graph(4), 0),
+               std::invalid_argument);
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_THROW(TreeDecomposition(b.build(), 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Scan statistics feasibility
+// ---------------------------------------------------------------------------
+
+TEST(ScanSeq, FeasibilityMatchesBruteForceSmall) {
+  gf::GF256 f;
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::VertexId n = 7 + static_cast<graph::VertexId>(rng.below(4));
+    const Graph g = graph::erdos_renyi_gnp(n, 0.25, rng);
+    std::vector<std::uint32_t> w(n);
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(4));
+    const int k = 4;
+    const auto truth = baseline::connected_subgraph_feasibility(g, w, k);
+    ScanOptions o;
+    o.k = k;
+    o.epsilon = 1e-4;
+    o.seed = 4000 + static_cast<std::uint64_t>(trial);
+    const auto table = detect_scan_seq(g, w, o, f);
+    for (int j = 1; j <= k; ++j) {
+      for (std::uint32_t z = 0; z <= table.max_weight; ++z) {
+        const bool expected =
+            z < truth[static_cast<std::size_t>(j)].size() &&
+            truth[static_cast<std::size_t>(j)][z];
+        EXPECT_EQ(table.at(j, z), expected)
+            << "trial=" << trial << " j=" << j << " z=" << z;
+      }
+    }
+  }
+}
+
+TEST(ScanSeq, SingletonAndUniformWeights) {
+  gf::GF256 f;
+  const Graph g = graph::path_graph(5);
+  std::vector<std::uint32_t> w(5, 1);  // uniform: weight == size
+  ScanOptions o;
+  o.k = 4;
+  o.epsilon = 1e-4;
+  const auto table = detect_scan_seq(g, w, o, f);
+  for (int j = 1; j <= 4; ++j) {
+    for (std::uint32_t z = 0; z <= table.max_weight; ++z) {
+      EXPECT_EQ(table.at(j, z), z == static_cast<std::uint32_t>(j))
+          << "j=" << j << " z=" << z;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace midas::core

@@ -1,0 +1,231 @@
+// Directed graphs and directed k-path detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_directed.hpp"
+#include "core/detect_par.hpp"
+#include "core/witness.hpp"
+#include "gf/gf256.hpp"
+#include "graph/digraph.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace midas {
+namespace {
+
+using core::DetectOptions;
+
+DetectOptions opts(int k, std::uint64_t seed = 5, double eps = 1e-4) {
+  DetectOptions o;
+  o.k = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  return o;
+}
+
+TEST(DiGraph, BuilderDedupsAndSortsBothDirections) {
+  graph::DiGraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // dup
+  b.add_edge(1, 0);  // the reverse is a distinct directed edge
+  b.add_edge(2, 2);  // self loop dropped
+  b.add_edge(3, 1);
+  const auto g = b.build();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 2u);
+  // in_neighbors(1) = {0, 3} sorted.
+  const auto in1 = g.in_neighbors(1);
+  ASSERT_EQ(in1.size(), 2u);
+  EXPECT_EQ(in1[0], 0u);
+  EXPECT_EQ(in1[1], 3u);
+}
+
+TEST(DiGraph, SymmetricClosureMatchesUndirected) {
+  Xoshiro256 rng(1);
+  const auto g = graph::erdos_renyi_gnm(30, 80, rng);
+  const auto d = graph::to_digraph(g);
+  EXPECT_EQ(d.num_edges(), 2 * g.num_edges());
+  for (auto [u, v] : g.edge_list()) {
+    EXPECT_TRUE(d.has_edge(u, v));
+    EXPECT_TRUE(d.has_edge(v, u));
+  }
+}
+
+TEST(DirectedKPath, DirectedPathAndCycle) {
+  gf::GF256 f;
+  // A directed path on k vertices has exactly one directed k-path.
+  for (int k = 2; k <= 7; ++k) {
+    const auto g = graph::directed_path(static_cast<graph::VertexId>(k));
+    EXPECT_TRUE(core::detect_kpath_directed_seq(g, opts(k), f).found)
+        << "k=" << k;
+    EXPECT_FALSE(
+        core::detect_kpath_directed_seq(g, opts(k + 1), f).found)
+        << "k=" << k;
+  }
+  // A directed cycle on n vertices has directed paths up to length n.
+  const auto c = graph::directed_cycle(5);
+  EXPECT_TRUE(core::detect_kpath_directed_seq(c, opts(5), f).found);
+  EXPECT_FALSE(core::detect_kpath_directed_seq(c, opts(6), f).found);
+}
+
+TEST(DirectedKPath, OrientationMatters) {
+  gf::GF256 f;
+  // 0 -> 1 <- 2: no directed 3-path despite the undirected one.
+  graph::DiGraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  const auto g = b.build();
+  EXPECT_FALSE(core::detect_kpath_directed_seq(g, opts(3), f).found);
+  EXPECT_TRUE(core::detect_kpath_directed_seq(g, opts(2), f).found);
+}
+
+TEST(DirectedKPath, RandomSweepAgainstBruteForce) {
+  gf::GF256 f;
+  Xoshiro256 rng(9);
+  int positives = 0, negatives = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(6));
+    // Sparse regime so that no-instances actually occur.
+    const auto m = static_cast<graph::EdgeId>(n / 2 + rng.below(n));
+    const auto g = graph::random_digraph(n, m, rng);
+    const int k = 4;
+    const bool truth = baseline::has_directed_kpath(g, k);
+    const auto res =
+        core::detect_kpath_directed_seq(g, opts(k, 300 + trial), f);
+    EXPECT_EQ(res.found, truth) << "trial=" << trial;
+    truth ? ++positives : ++negatives;
+  }
+  EXPECT_GT(positives, 4);
+  EXPECT_GT(negatives, 4);
+}
+
+TEST(DirectedKPath, AgreesWithUndirectedOnSymmetricClosure) {
+  gf::GF256 f;
+  Xoshiro256 rng(10);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto g = graph::erdos_renyi_gnp(
+        10 + static_cast<graph::VertexId>(rng.below(5)), 0.18, rng);
+    const auto d = graph::to_digraph(g);
+    const int k = 4;
+    const auto undirected =
+        core::detect_kpath_seq(g, opts(k, 40 + trial), f);
+    const auto directed =
+        core::detect_kpath_directed_seq(d, opts(k, 40 + trial), f);
+    // Identical coefficients, identical in-neighbor sets => bit-identical.
+    EXPECT_EQ(directed.found, undirected.found) << "trial=" << trial;
+  }
+}
+
+TEST(DirectedKPath, ParallelMatchesSequentialBitForBit) {
+  gf::GF256 f;
+  Xoshiro256 rng(20);
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::VertexId n = 9 + static_cast<graph::VertexId>(rng.below(5));
+    const auto g = graph::random_digraph(
+        n, static_cast<graph::EdgeId>(n + rng.below(n)), rng);
+    const int k = 4;
+    const std::uint64_t seed = 600 + trial;
+    const auto seq = core::detect_kpath_directed_seq(g, opts(k, seed), f);
+
+    core::MidasOptions o;
+    o.k = k;
+    o.epsilon = 1e-4;
+    o.seed = seed;
+    o.n_ranks = 4;
+    o.n1 = 2;
+    o.n2 = 4;
+    // Partitioners operate on undirected graphs; block split is enough.
+    partition::Partition part{2, std::vector<int>(n)};
+    for (graph::VertexId v = 0; v < n; ++v)
+      part.owner[v] = v < n / 2 ? 0 : 1;
+    const auto par = core::midas_kpath_directed(g, part, o, f);
+    EXPECT_EQ(par.found, seq.found) << "trial=" << trial;
+    if (seq.found) {
+      EXPECT_EQ(par.found_round, seq.found_round) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(DirectedPartView, HaloPlansMirror) {
+  Xoshiro256 rng(21);
+  const auto g = graph::random_digraph(24, 60, rng);
+  partition::Partition part{3, std::vector<int>(24)};
+  for (graph::VertexId v = 0; v < 24; ++v) part.owner[v] = v % 3;
+  const auto views = partition::build_dipart_views(g, part);
+  for (int s = 0; s < 3; ++s) {
+    // Ghosts are exactly the remote in-neighbors of local vertices.
+    std::set<graph::VertexId> expect;
+    for (graph::VertexId v : views[static_cast<std::size_t>(s)].vertices)
+      for (graph::VertexId u : g.in_neighbors(v))
+        if (part.owner[u] != s) expect.insert(u);
+    EXPECT_EQ(std::set<graph::VertexId>(
+                  views[static_cast<std::size_t>(s)].ghosts.begin(),
+                  views[static_cast<std::size_t>(s)].ghosts.end()),
+              expect)
+        << "part " << s;
+    // Send/recv plans mirror.
+    for (int t = 0; t < 3; ++t) {
+      if (s == t) continue;
+      const auto& send = views[static_cast<std::size_t>(s)]
+                             .send_to[static_cast<std::size_t>(t)];
+      const auto& recv = views[static_cast<std::size_t>(t)]
+                             .recv_from[static_cast<std::size_t>(s)];
+      ASSERT_EQ(send.size(), recv.size());
+      for (std::size_t i = 0; i < send.size(); ++i)
+        EXPECT_EQ(views[static_cast<std::size_t>(t)].ghosts[recv[i]],
+                  views[static_cast<std::size_t>(s)].vertices[send[i]]);
+    }
+  }
+}
+
+TEST(DirectedWitness, ExtractsValidDirectedPath) {
+  Xoshiro256 rng(30);
+  int found = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::VertexId n = 10 + static_cast<graph::VertexId>(rng.below(4));
+    const auto g = graph::random_digraph(
+        n, static_cast<graph::EdgeId>(n + rng.below(n)), rng);
+    const int k = 4;
+    const bool truth = baseline::has_directed_kpath(g, k);
+    const auto path = core::extract_directed_kpath(
+        g, k, {.epsilon = 1e-3, .seed = 80 + static_cast<std::uint64_t>(trial)});
+    if (!truth) {
+      EXPECT_FALSE(path.has_value()) << "trial=" << trial;
+      continue;
+    }
+    ASSERT_TRUE(path.has_value()) << "trial=" << trial;
+    ++found;
+    ASSERT_EQ(path->size(), static_cast<std::size_t>(k));
+    std::set<graph::VertexId> distinct(path->begin(), path->end());
+    EXPECT_EQ(distinct.size(), path->size());
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      EXPECT_TRUE(g.has_edge((*path)[i], (*path)[i + 1]))
+          << "trial=" << trial << " hop " << i;
+    }
+  }
+  EXPECT_GT(found, 1);
+}
+
+TEST(DirectedBruteForce, CountsOnKnownShapes) {
+  // Directed path P_n: n - k + 1 directed k-paths.
+  for (int k = 2; k <= 5; ++k)
+    EXPECT_EQ(baseline::count_directed_kpaths(graph::directed_path(6), k),
+              static_cast<std::uint64_t>(6 - k + 1));
+  // Directed cycle C_n: n directed k-paths for k <= n.
+  EXPECT_EQ(baseline::count_directed_kpaths(graph::directed_cycle(5), 3),
+            5u);
+  // Symmetric closure doubles the undirected count.
+  Xoshiro256 rng(11);
+  const auto g = graph::erdos_renyi_gnm(12, 30, rng);
+  EXPECT_EQ(baseline::count_directed_kpaths(graph::to_digraph(g), 4),
+            2 * baseline::count_kpaths(g, 4));
+}
+
+}  // namespace
+}  // namespace midas

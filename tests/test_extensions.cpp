@@ -1,0 +1,286 @@
+// The Koutis integer reference (Algorithm 1 as printed) and the weighted
+// k-path extension.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_par.hpp"
+#include "core/koutis_reference.hpp"
+#include "core/weighted.hpp"
+#include "core/witness.hpp"
+#include "gf/gf256.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace midas::core {
+namespace {
+
+TEST(KoutisReference, SquaredMonomialsAlwaysVanish) {
+  // Any monomial with an exponent >= 2 sums to 0 mod 2^{k+1} over the 2^k
+  // iterations — Koutis' annihilation identity, for every seed.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EXPECT_EQ(koutis_monomial_sum({2, 1}, 4, seed), 0u);
+    EXPECT_EQ(koutis_monomial_sum({3}, 4, seed), 0u);
+    EXPECT_EQ(koutis_monomial_sum({2, 2}, 5, seed), 0u);
+    EXPECT_EQ(koutis_monomial_sum({1, 2, 1}, 6, seed), 0u);
+  }
+}
+
+TEST(KoutisReference, MultilinearMonomialSumsToTwoToTheK) {
+  // A degree-k multilinear monomial with linearly independent v's sums to
+  // exactly 2^k mod 2^{k+1}; dependent v's give 0. Over random seeds the
+  // independent case must occur with the ~28.8% rate of Theorem 1.
+  const int k = 4;
+  int nonzero = 0;
+  const int trials = 200;
+  for (int seed = 0; seed < trials; ++seed) {
+    const auto total = koutis_monomial_sum(
+        {1, 1, 1, 1}, k, 1000 + static_cast<std::uint64_t>(seed));
+    if (total != 0) {
+      EXPECT_EQ(total, 1u << k);
+      ++nonzero;
+    }
+  }
+  const double rate = static_cast<double>(nonzero) / trials;
+  EXPECT_GT(rate, 0.18);
+  EXPECT_LT(rate, 0.42);
+}
+
+TEST(KoutisReference, NeverFalsePositive) {
+  // Graphs with no k-path must evaluate to zero for every seed.
+  const auto star = graph::star_graph(8);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    EXPECT_FALSE(koutis_kpath_round(star, 5, seed).nonzero);
+}
+
+TEST(KoutisReference, DirectionPairingCancelsOnUndirectedGraphs) {
+  // The documented limitation: with Z2 coefficients every simple path is
+  // witnessed by two directed walks, so Algorithm 1 as printed answers
+  // "no" even on a graph that IS a k-path. This pins down why the paper
+  // (and this library) implement the GF(2^l) refinement instead.
+  const auto path = graph::path_graph(5);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    EXPECT_FALSE(koutis_kpath_round(path, 5, seed).nonzero);
+  // k = 1 has a single (undirected = directed) witness per vertex, so odd
+  // witness parity CAN survive: a single vertex is detected whenever its
+  // random v is nonzero (probability 1/2 per round).
+  int hits = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed)
+    hits += koutis_kpath_round(graph::path_graph(1), 1, seed).nonzero;
+  EXPECT_GT(hits, 3);
+  EXPECT_LT(hits, 17);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted k-path
+// ---------------------------------------------------------------------------
+
+TEST(WeightedKPath, MatchesBruteForceMaximum) {
+  gf::GF256 f;
+  Xoshiro256 rng(55);
+  int with_paths = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const graph::VertexId n = 9 + static_cast<graph::VertexId>(rng.below(5));
+    const auto g = graph::erdos_renyi_gnp(n, 0.18, rng);
+    std::vector<std::uint32_t> w(n);
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(4));
+    const int k = 4;
+    const auto truth = baseline::max_weight_kpath(g, w, k);
+    DetectOptions opt;
+    opt.k = k;
+    opt.epsilon = 1e-4;
+    opt.seed = 800 + static_cast<std::uint64_t>(trial);
+    const auto res = max_weight_kpath_seq(g, w, k, opt, f);
+    ASSERT_EQ(res.max_weight.has_value(), truth.has_value())
+        << "trial=" << trial;
+    if (truth) {
+      EXPECT_EQ(*res.max_weight, *truth) << "trial=" << trial;
+      ++with_paths;
+    }
+  }
+  EXPECT_GT(with_paths, 3);
+}
+
+TEST(WeightedKPath, FeasibleWeightsAreExact) {
+  gf::GF256 f;
+  // Path 0-1-2-3 with weights 1,2,3,4: the only 4-path has weight 10; the
+  // 2-paths have weights 3, 5, 7.
+  const auto g = graph::path_graph(4);
+  const std::vector<std::uint32_t> w{1, 2, 3, 4};
+  DetectOptions opt;
+  opt.k = 2;
+  opt.epsilon = 1e-4;
+  const auto res2 = max_weight_kpath_seq(g, w, 2, opt, f);
+  for (std::uint32_t z = 0; z < res2.feasible_weight.size(); ++z) {
+    const bool expect = z == 3 || z == 5 || z == 7;
+    EXPECT_EQ(res2.feasible_weight[z], expect) << "z=" << z;
+  }
+  opt.k = 4;
+  const auto res4 = max_weight_kpath_seq(g, w, 4, opt, f);
+  ASSERT_TRUE(res4.max_weight.has_value());
+  EXPECT_EQ(*res4.max_weight, 10u);
+}
+
+TEST(WeightedKPath, ParallelMatchesSequentialAndBruteForce) {
+  gf::GF256 f;
+  Xoshiro256 rng(66);
+  for (int trial = 0; trial < 6; ++trial) {
+    const graph::VertexId n = 9 + static_cast<graph::VertexId>(rng.below(5));
+    const auto g = graph::erdos_renyi_gnp(n, 0.2, rng);
+    std::vector<std::uint32_t> w(n);
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+    const int k = 4;
+    DetectOptions sopt;
+    sopt.k = k;
+    sopt.epsilon = 1e-4;
+    sopt.seed = 70 + static_cast<std::uint64_t>(trial);
+    const auto seq = max_weight_kpath_seq(g, w, k, sopt, f);
+
+    MidasOptions popt;
+    popt.k = k;
+    popt.epsilon = 1e-4;
+    popt.seed = sopt.seed;
+    popt.n_ranks = 4;
+    popt.n1 = 2;
+    popt.n2 = 4;
+    const auto part = partition::block_partition(g, 2);
+    const auto par = midas_weighted_kpath(g, part, w, popt, f);
+
+    // Bit-identical to sequential (same hash-derived randomness).
+    ASSERT_EQ(par.feasible_weight, seq.feasible_weight) << "trial=" << trial;
+    // And correct against brute force.
+    const auto truth = baseline::max_weight_kpath(g, w, k);
+    ASSERT_EQ(par.max_weight.has_value(), truth.has_value());
+    if (truth) {
+      EXPECT_EQ(*par.max_weight, *truth) << "trial=" << trial;
+    }
+  }
+}
+
+TEST(Witness, TreeEmbeddingExtraction) {
+  Xoshiro256 rng(77);
+  int found = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const int k = 4 + static_cast<int>(rng.below(2));
+    const auto tmpl =
+        graph::random_tree(static_cast<graph::VertexId>(k), rng);
+    const auto g = graph::erdos_renyi_gnp(
+        12 + static_cast<graph::VertexId>(rng.below(4)), 0.25, rng);
+    const bool truth = baseline::has_tree_embedding(g, tmpl);
+    const auto mapped = extract_tree_embedding(
+        g, tmpl,
+        {.epsilon = 1e-3, .seed = 50 + static_cast<std::uint64_t>(trial)});
+    if (!truth) {
+      EXPECT_FALSE(mapped.has_value()) << "trial=" << trial;
+      continue;
+    }
+    ASSERT_TRUE(mapped.has_value()) << "trial=" << trial;
+    ++found;
+    // Injective and edge-preserving.
+    std::set<graph::VertexId> distinct(mapped->begin(), mapped->end());
+    EXPECT_EQ(distinct.size(), mapped->size());
+    for (auto [a, b] : tmpl.edge_list()) {
+      EXPECT_TRUE(g.has_edge((*mapped)[a], (*mapped)[b]))
+          << "trial=" << trial;
+    }
+  }
+  EXPECT_GT(found, 1);
+}
+
+namespace {
+
+/// Exact max edge-weight over simple k-paths by DFS.
+std::optional<std::uint32_t> brute_max_edge_weight(
+    const graph::Graph& g, const EdgeWeights& w, int k) {
+  std::optional<std::uint32_t> best;
+  std::vector<bool> used(g.num_vertices(), false);
+  std::function<void(graph::VertexId, int, std::uint32_t)> extend =
+      [&](graph::VertexId v, int depth, std::uint32_t weight) {
+        used[v] = true;
+        if (depth == k) {
+          if (!best || weight > *best) best = weight;
+        } else {
+          for (graph::VertexId u : g.neighbors(v))
+            if (!used[u]) extend(u, depth + 1, weight + w.get(v, u));
+        }
+        used[v] = false;
+      };
+  for (graph::VertexId s = 0; s < g.num_vertices(); ++s) extend(s, 1, 0);
+  return best;
+}
+
+}  // namespace
+
+TEST(EdgeWeightedKPath, KnownShape) {
+  gf::GF256 f;
+  // Path 0-1-2-3 with edge weights 5, 1, 7: the unique 4-path weighs 13;
+  // the 3-paths weigh 6 and 8.
+  const auto g = graph::path_graph(4);
+  EdgeWeights w(0);
+  w.set(0, 1, 5);
+  w.set(1, 2, 1);
+  w.set(2, 3, 7);
+  DetectOptions opt;
+  opt.k = 3;
+  opt.epsilon = 1e-4;
+  const auto res3 = max_edge_weight_kpath_seq(g, w, 3, opt, f);
+  ASSERT_TRUE(res3.max_weight.has_value());
+  EXPECT_EQ(*res3.max_weight, 8u);
+  EXPECT_TRUE(res3.feasible_weight[6]);
+  EXPECT_FALSE(res3.feasible_weight[7]);
+  opt.k = 4;
+  const auto res4 = max_edge_weight_kpath_seq(g, w, 4, opt, f);
+  ASSERT_TRUE(res4.max_weight.has_value());
+  EXPECT_EQ(*res4.max_weight, 13u);
+}
+
+TEST(EdgeWeightedKPath, RandomSweepAgainstBruteForce) {
+  gf::GF256 f;
+  Xoshiro256 rng(88);
+  int with_paths = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::VertexId n = 9 + static_cast<graph::VertexId>(rng.below(4));
+    const auto g = graph::erdos_renyi_gnp(n, 0.2, rng);
+    EdgeWeights w(1);
+    for (auto [u, v] : g.edge_list())
+      w.set(u, v, static_cast<std::uint32_t>(rng.below(4)));
+    const int k = 4;
+    const auto truth = brute_max_edge_weight(g, w, k);
+    DetectOptions opt;
+    opt.k = k;
+    opt.epsilon = 1e-4;
+    opt.seed = 900 + static_cast<std::uint64_t>(trial);
+    const auto res = max_edge_weight_kpath_seq(g, w, k, opt, f);
+    ASSERT_EQ(res.max_weight.has_value(), truth.has_value())
+        << "trial=" << trial;
+    if (truth) {
+      EXPECT_EQ(*res.max_weight, *truth) << "trial=" << trial;
+      ++with_paths;
+    }
+  }
+  EXPECT_GT(with_paths, 2);
+}
+
+TEST(WeightedKPath, UniformWeightsReduceToDetection) {
+  gf::GF256 f;
+  const auto g = graph::cycle_graph(6);
+  const std::vector<std::uint32_t> w(6, 1);
+  DetectOptions opt;
+  opt.k = 5;
+  opt.epsilon = 1e-4;
+  const auto res = max_weight_kpath_seq(g, w, 5, opt, f);
+  ASSERT_TRUE(res.max_weight.has_value());
+  EXPECT_EQ(*res.max_weight, 5u);
+  // And no k-path => no weight.
+  const auto star = graph::star_graph(7);
+  const std::vector<std::uint32_t> ws(7, 1);
+  EXPECT_FALSE(
+      max_weight_kpath_seq(star, ws, 5, opt, f).max_weight.has_value());
+}
+
+}  // namespace
+}  // namespace midas::core

@@ -1,0 +1,114 @@
+// Outbreak-simulation workload and end-to-end parametric scan detection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/witness.hpp"
+#include "graph/algorithms.hpp"
+#include "scan/outbreak_sim.hpp"
+#include "scan/scan_statistics.hpp"
+#include "scan/traffic_sim.hpp"
+
+namespace midas::scan {
+namespace {
+
+TEST(OutbreakSim, ClusterIsConnectedAndElevated) {
+  OutbreakSimConfig cfg;
+  cfg.n_counties = 150;
+  cfg.outbreak_size = 6;
+  cfg.relative_risk = 5.0;
+  cfg.seed = 21;
+  OutbreakSim sim(cfg);
+  ASSERT_EQ(sim.outbreak_cluster().size(), 6u);
+  EXPECT_TRUE(graph::is_connected_subset(sim.network(),
+                                         sim.outbreak_cluster()));
+  // Outbreak counties should show clearly elevated case/baseline ratios.
+  std::set<graph::VertexId> in(sim.outbreak_cluster().begin(),
+                               sim.outbreak_cluster().end());
+  double in_ratio = 0, out_ratio = 0;
+  int out_n = 0;
+  for (graph::VertexId v = 0; v < sim.network().num_vertices(); ++v) {
+    const double ratio = sim.cases()[v] / sim.baselines()[v];
+    if (in.count(v))
+      in_ratio += ratio;
+    else {
+      out_ratio += ratio;
+      ++out_n;
+    }
+  }
+  in_ratio /= static_cast<double>(in.size());
+  out_ratio /= out_n;
+  EXPECT_GT(in_ratio, 2.5);
+  EXPECT_LT(out_ratio, 1.5);
+}
+
+TEST(OutbreakSim, ExcessCountsAreNonNegative) {
+  OutbreakSimConfig cfg;
+  cfg.n_counties = 80;
+  cfg.seed = 22;
+  OutbreakSim sim(cfg);
+  const auto excess = sim.excess_counts();
+  ASSERT_EQ(excess.size(), sim.network().num_vertices());
+  double total = 0;
+  for (double e : excess) {
+    EXPECT_GE(e, 0.0);
+    total += e;
+  }
+  EXPECT_GT(total, 0.0);  // the outbreak must create excess somewhere
+}
+
+TEST(OutbreakSim, RejectsDegenerateConfigs) {
+  OutbreakSimConfig cfg;
+  cfg.relative_risk = 1.0;
+  EXPECT_THROW(OutbreakSim{cfg}, std::invalid_argument);
+  OutbreakSimConfig cfg2;
+  cfg2.outbreak_size = 0;
+  EXPECT_THROW(OutbreakSim{cfg2}, std::invalid_argument);
+}
+
+TEST(OutbreakSim, EndToEndKulldorffRecoversOutbreak) {
+  OutbreakSimConfig cfg;
+  cfg.n_counties = 70;
+  cfg.outbreak_size = 4;
+  cfg.relative_risk = 8.0;  // strong, unambiguous
+  cfg.seed = 23;
+  OutbreakSim sim(cfg);
+
+  ScanProblem problem;
+  problem.k = 5;
+  problem.statistic = Statistic::kEBPoisson;
+  problem.event = sim.excess_counts();
+  problem.weight_step = step_for_total(
+      std::span<const double>(problem.event), 28);
+
+  core::ScanOptions opt;
+  opt.k = problem.k;
+  opt.epsilon = 1e-4;
+  opt.seed = 24;
+  const auto best = optimize_scan_seq(sim.network(), problem, opt);
+  ASSERT_GT(best.score, 0.0);
+
+  const auto weights = round_weights(
+      std::span<const double>(problem.event), problem.weight_step);
+  const auto detected = core::extract_connected_subgraph(
+      sim.network(), weights, best.size, best.weight, {.seed = 25});
+  ASSERT_TRUE(detected.has_value());
+  const auto q = evaluate_detection(*detected, sim.outbreak_cluster());
+  EXPECT_GE(q.recall, 0.5);
+  EXPECT_GE(q.precision, 0.5);
+}
+
+TEST(OutbreakSim, DeterministicPerSeed) {
+  OutbreakSimConfig cfg;
+  cfg.n_counties = 60;
+  cfg.seed = 30;
+  OutbreakSim a(cfg), b(cfg);
+  EXPECT_EQ(a.outbreak_cluster(), b.outbreak_cluster());
+  EXPECT_EQ(a.cases(), b.cases());
+  cfg.seed = 31;
+  OutbreakSim c(cfg);
+  EXPECT_NE(a.cases(), c.cases());
+}
+
+}  // namespace
+}  // namespace midas::scan

@@ -1,0 +1,214 @@
+// Property-style sweeps across the configuration space:
+//   * detection correctness for every admissible field width x k,
+//   * determinism: identical seeds give bit-identical runs (results,
+//     traffic counters, virtual clocks), different seeds differ,
+//   * no-false-positive guarantee hammered across many seeds,
+//   * runtime collectives fuzzed against in-process references.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_par.hpp"
+#include "core/detect_seq.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "runtime/comm.hpp"
+#include "util/rng.hpp"
+
+namespace midas {
+namespace {
+
+using core::DetectOptions;
+
+// ---------------------------------------------------------------------------
+// Field width x k detection matrix
+// ---------------------------------------------------------------------------
+
+class FieldWidthByK
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FieldWidthByK, DetectionCorrectAgainstBruteForce) {
+  const auto [l, k] = GetParam();
+  // The paper's rule l = 3 + ceil(log2 k) is the minimum for the 1/5
+  // bound; anything >= that must work too.
+  gf::GFSmall f(l);
+  Xoshiro256 rng(static_cast<std::uint64_t>(l) * 131 + k);
+  int checked = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(5));
+    const auto g = graph::erdos_renyi_gnp(n, 0.1 + rng.uniform() * 0.12,
+                                          rng);
+    DetectOptions o;
+    o.k = k;
+    o.epsilon = 1e-4;
+    o.seed = 7000 + trial;
+    const bool truth = baseline::has_kpath(g, k);
+    EXPECT_EQ(core::detect_kpath_seq(g, o, f).found, truth)
+        << "l=" << l << " k=" << k << " trial=" << trial;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FieldWidthByK,
+    ::testing::Combine(::testing::Values(5, 6, 8, 10, 12, 16),
+                       ::testing::Values(3, 4, 5, 6)),
+    [](const auto& info) {
+      return "l" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, ParallelRunsAreBitIdenticalPerSeed) {
+  gf::GF256 f;
+  Xoshiro256 rng(404);
+  const auto g = graph::erdos_renyi_gnm(40, 120, rng);
+  core::MidasOptions opt;
+  opt.k = 5;
+  opt.epsilon = 1e-3;
+  opt.seed = 99;
+  opt.n_ranks = 6;
+  opt.n1 = 3;
+  opt.n2 = 4;
+  const auto part = partition::bfs_partition(g, 3);
+  const auto a = core::midas_kpath(g, part, opt, f);
+  const auto b = core::midas_kpath(g, part, opt, f);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.found_round, b.found_round);
+  EXPECT_EQ(a.total_stats.messages_sent, b.total_stats.messages_sent);
+  EXPECT_EQ(a.total_stats.bytes_sent, b.total_stats.bytes_sent);
+  EXPECT_EQ(a.total_stats.compute_ops, b.total_stats.compute_ops);
+  EXPECT_DOUBLE_EQ(a.vtime, b.vtime);
+  ASSERT_EQ(a.vclocks.size(), b.vclocks.size());
+  for (std::size_t r = 0; r < a.vclocks.size(); ++r)
+    EXPECT_DOUBLE_EQ(a.vclocks[r], b.vclocks[r]) << "rank " << r;
+}
+
+TEST(Determinism, DifferentSeedsGiveDifferentAlgebra) {
+  // On a yes-instance, found_round varies with the seed (it is 0 only
+  // with probability ~1/4 per Theorem 1); sweep until we see variation.
+  gf::GF256 f;
+  const auto g = graph::path_graph(6);
+  DetectOptions o;
+  o.k = 6;
+  o.epsilon = 1e-6;
+  bool saw_late_round = false;
+  for (std::uint64_t seed = 0; seed < 40 && !saw_late_round; ++seed) {
+    o.seed = seed;
+    const auto res = core::detect_kpath_seq(g, o, f);
+    ASSERT_TRUE(res.found);
+    saw_late_round = res.found_round > 0;
+  }
+  EXPECT_TRUE(saw_late_round)
+      << "40 seeds all succeeded in round 0 — randomness is suspect";
+}
+
+TEST(Determinism, NoFalsePositivesAcrossManySeeds) {
+  // The one-sided guarantee is absolute: sweep 150 seeds on no-instances.
+  gf::GF256 f;
+  const auto star = graph::star_graph(9);   // no 4-path
+  const auto two_triangles = [] {
+    graph::GraphBuilder b(6);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(0, 2);
+    b.add_edge(3, 4);
+    b.add_edge(4, 5);
+    b.add_edge(3, 5);
+    return b.build();
+  }();  // no 4-path (components of size 3)
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    DetectOptions o;
+    o.k = 4;
+    o.max_rounds = 1;
+    o.seed = seed;
+    EXPECT_FALSE(core::detect_kpath_seq(star, o, f).found) << seed;
+    EXPECT_FALSE(core::detect_kpath_seq(two_triangles, o, f).found) << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime fuzzing
+// ---------------------------------------------------------------------------
+
+TEST(RuntimeFuzz, AlltoallvRandomPayloadsMatchReference) {
+  Xoshiro256 master(777);
+  for (int round = 0; round < 10; ++round) {
+    const int p = 2 + static_cast<int>(master.below(6));
+    const std::uint64_t seed = master();
+    // Reference payloads computed up front: payload[s][d].
+    std::vector<std::vector<std::vector<std::byte>>> payload(
+        static_cast<std::size_t>(p));
+    Xoshiro256 gen(seed);
+    for (int s = 0; s < p; ++s) {
+      payload[static_cast<std::size_t>(s)].resize(
+          static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d) {
+        const auto len = gen.below(64);
+        auto& buf = payload[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(d)];
+        buf.resize(len);
+        for (auto& x : buf) x = static_cast<std::byte>(gen());
+      }
+    }
+    runtime::run_spmd(p, [&](runtime::Comm& c) {
+      auto recv =
+          c.alltoallv(payload[static_cast<std::size_t>(c.rank())]);
+      for (int s = 0; s < p; ++s) {
+        EXPECT_EQ(recv[static_cast<std::size_t>(s)],
+                  payload[static_cast<std::size_t>(s)]
+                         [static_cast<std::size_t>(c.rank())])
+            << "round=" << round << " from=" << s << " at=" << c.rank();
+      }
+    });
+  }
+}
+
+TEST(RuntimeFuzz, NestedSplitsCompose) {
+  // Split twice: world -> 2 groups -> 2 subgroups each; check that
+  // collectives at each level see exactly their members.
+  runtime::run_spmd(8, [](runtime::Comm& world) {
+    runtime::Comm half = world.split(world.rank() / 4, world.rank() % 4);
+    runtime::Comm quarter = half.split(half.rank() / 2, half.rank() % 2);
+    EXPECT_EQ(half.size(), 4);
+    EXPECT_EQ(quarter.size(), 2);
+    std::vector<std::uint64_t> x{1};
+    quarter.allreduce_sum(std::span<std::uint64_t>(x));
+    EXPECT_EQ(x[0], 2u);
+    std::vector<std::uint64_t> y{1};
+    half.allreduce_sum(std::span<std::uint64_t>(y));
+    EXPECT_EQ(y[0], 4u);
+    std::vector<std::uint64_t> z{1};
+    world.allreduce_sum(std::span<std::uint64_t>(z));
+    EXPECT_EQ(z[0], 8u);
+  });
+}
+
+TEST(RuntimeFuzz, TimeComponentsSumToClock) {
+  // t_compute + t_memory + t_comm + t_wait must equal the final vclock on
+  // every rank (the ledger is a complete decomposition).
+  auto res = runtime::run_spmd(4, [](runtime::Comm& c) {
+    c.charge_compute(1000 * static_cast<std::uint64_t>(c.rank() + 1));
+    c.charge_memory(5000, 1 << 20);
+    c.barrier();
+    std::vector<std::uint8_t> x(32, static_cast<std::uint8_t>(c.rank()));
+    c.allreduce_xor(std::span<std::uint8_t>(x));
+    c.barrier();
+  });
+  for (std::size_t r = 0; r < res.stats.size(); ++r) {
+    const auto& st = res.stats[r];
+    EXPECT_NEAR(st.t_compute + st.t_memory + st.t_comm + st.t_wait,
+                res.vclocks[r], 1e-12)
+        << "rank " << r;
+  }
+}
+
+}  // namespace
+}  // namespace midas

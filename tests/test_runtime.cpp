@@ -1,0 +1,304 @@
+// The in-process SPMD runtime: point-to-point, collectives, splits, and the
+// virtual-clock ledger.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "runtime/comm.hpp"
+
+namespace midas::runtime {
+namespace {
+
+std::span<const std::byte> as_bytes_of(const std::vector<std::uint32_t>& v) {
+  return std::as_bytes(std::span<const std::uint32_t>(v));
+}
+
+TEST(Runtime, SingleRankRuns) {
+  auto res = run_spmd(1, [](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+  });
+  EXPECT_EQ(res.stats.size(), 1u);
+}
+
+TEST(Runtime, PointToPointRoundTrip) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::uint64_t payload = 0xDEADBEEFCAFEBABEull;
+      c.send_value(1, 7, payload);
+      const auto echoed = c.recv_value<std::uint64_t>(1, 8);
+      EXPECT_EQ(echoed, payload + 1);
+    } else {
+      const auto got = c.recv_value<std::uint64_t>(0, 7);
+      c.send_value(0, 8, got + 1);
+    }
+  });
+}
+
+TEST(Runtime, MessagesAreOrderedPerSourceAndTag) {
+  run_spmd(2, [](Comm& c) {
+    constexpr int kCount = 50;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) c.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < kCount; ++i)
+        EXPECT_EQ(c.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(Runtime, TagsDoNotCross) {
+  run_spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 1, 111);
+      c.send_value(1, 2, 222);
+    } else {
+      // Receive in the opposite tag order.
+      EXPECT_EQ(c.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+class RuntimeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeSizes, AllreduceSum) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& c) {
+    std::vector<std::uint64_t> data{static_cast<std::uint64_t>(c.rank()) + 1,
+                                    100};
+    c.allreduce_sum(std::span<std::uint64_t>(data));
+    const std::uint64_t expect0 =
+        static_cast<std::uint64_t>(p) * (p + 1) / 2;
+    EXPECT_EQ(data[0], expect0);
+    EXPECT_EQ(data[1], 100ull * p);
+  });
+}
+
+TEST_P(RuntimeSizes, AllreduceXorIsSelfInverse) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& c) {
+    std::vector<std::uint8_t> data(16);
+    for (std::size_t i = 0; i < data.size(); ++i)
+      data[i] = static_cast<std::uint8_t>(c.rank() * 31 + i);
+    c.allreduce_xor(std::span<std::uint8_t>(data));
+    std::vector<std::uint8_t> expect(16, 0);
+    for (int r = 0; r < p; ++r)
+      for (std::size_t i = 0; i < expect.size(); ++i)
+        expect[i] ^= static_cast<std::uint8_t>(r * 31 + i);
+    EXPECT_EQ(data, expect);
+  });
+}
+
+TEST_P(RuntimeSizes, AlltoallvDeliversPersonalizedPayloads) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& c) {
+    std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      // Rank r sends to d a buffer of (r + d) bytes of value r*16+d.
+      send[static_cast<std::size_t>(d)].assign(
+          static_cast<std::size_t>(c.rank() + d),
+          static_cast<std::byte>(c.rank() * 16 + d));
+    }
+    auto recv = c.alltoallv(send);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) {
+      const auto& buf = recv[static_cast<std::size_t>(s)];
+      EXPECT_EQ(buf.size(), static_cast<std::size_t>(s + c.rank()));
+      for (std::byte b : buf)
+        EXPECT_EQ(b, static_cast<std::byte>(s * 16 + c.rank()));
+    }
+  });
+}
+
+TEST_P(RuntimeSizes, GatherAndBcast) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& c) {
+    std::vector<std::uint32_t> mine{static_cast<std::uint32_t>(c.rank()),
+                                    static_cast<std::uint32_t>(c.rank() * 2)};
+    auto gathered = c.gather(0, as_bytes_of(mine));
+    if (c.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(p));
+      for (int s = 0; s < p; ++s) {
+        std::uint32_t vals[2];
+        std::memcpy(vals, gathered[static_cast<std::size_t>(s)].data(),
+                    sizeof(vals));
+        EXPECT_EQ(vals[0], static_cast<std::uint32_t>(s));
+        EXPECT_EQ(vals[1], static_cast<std::uint32_t>(s * 2));
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+    std::uint64_t value = (c.rank() == 0) ? 424242 : 0;
+    c.bcast(0, std::as_writable_bytes(std::span<std::uint64_t>(&value, 1)));
+    EXPECT_EQ(value, 424242u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RuntimeSizes,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST_P(RuntimeSizes, ReduceToRoot) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& c) {
+    std::vector<std::uint64_t> data{static_cast<std::uint64_t>(c.rank()) +
+                                    1};
+    c.reduce<std::uint64_t>(
+        0, std::span<std::uint64_t>(data),
+        [](std::uint64_t& a, const std::uint64_t& b) { a += b; });
+    if (c.rank() == 0) {
+      EXPECT_EQ(data[0], static_cast<std::uint64_t>(p) * (p + 1) / 2);
+    } else {
+      // Non-root buffers keep their own contribution.
+      EXPECT_EQ(data[0], static_cast<std::uint64_t>(c.rank()) + 1);
+    }
+  });
+}
+
+TEST_P(RuntimeSizes, ScatterDeliversChunks) {
+  const int p = GetParam();
+  run_spmd(p, [p](Comm& c) {
+    std::vector<std::vector<std::byte>> chunks;
+    if (c.rank() == 1 % p) {
+      chunks.resize(static_cast<std::size_t>(p));
+      for (int d = 0; d < p; ++d)
+        chunks[static_cast<std::size_t>(d)].assign(
+            static_cast<std::size_t>(d + 1), static_cast<std::byte>(d));
+    }
+    const auto mine = c.scatter(1 % p, chunks);
+    EXPECT_EQ(mine.size(), static_cast<std::size_t>(c.rank() + 1));
+    for (std::byte b : mine)
+      EXPECT_EQ(b, static_cast<std::byte>(c.rank()));
+  });
+}
+
+TEST(Runtime, SendrecvRingDoesNotDeadlock) {
+  run_spmd(5, [](Comm& c) {
+    const int next = (c.rank() + 1) % c.size();
+    const int prev = (c.rank() + c.size() - 1) % c.size();
+    const std::uint32_t token = 1000u + static_cast<std::uint32_t>(c.rank());
+    const auto got = c.sendrecv(
+        next, prev, 9,
+        std::as_bytes(std::span<const std::uint32_t>(&token, 1)));
+    std::uint32_t received = 0;
+    std::memcpy(&received, got.data(), sizeof(received));
+    EXPECT_EQ(received, 1000u + static_cast<std::uint32_t>(prev));
+  });
+}
+
+TEST(Runtime, SplitFormsCorrectSubgroups) {
+  run_spmd(6, [](Comm& world) {
+    // Two groups of three: color = rank / 3, key = rank within group.
+    const int color = world.rank() / 3;
+    Comm group = world.split(color, world.rank() % 3);
+    EXPECT_EQ(group.size(), 3);
+    EXPECT_EQ(group.rank(), world.rank() % 3);
+    // Group-local allreduce sums only the members.
+    std::vector<std::uint64_t> data{
+        static_cast<std::uint64_t>(world.rank())};
+    group.allreduce_sum(std::span<std::uint64_t>(data));
+    const std::uint64_t expect = color == 0 ? 0 + 1 + 2 : 3 + 4 + 5;
+    EXPECT_EQ(data[0], expect);
+    // P2P within a split group.
+    if (group.rank() == 0) {
+      group.send_value(1, 0, world.rank());
+    } else if (group.rank() == 1) {
+      EXPECT_EQ(group.recv_value<int>(0, 0), color * 3);
+    }
+    world.barrier();
+  });
+}
+
+TEST(Runtime, SplitByKeyReordersRanks) {
+  run_spmd(4, [](Comm& world) {
+    // All ranks in one color, keys reversed: new rank order flips.
+    Comm g = world.split(0, 100 - world.rank());
+    EXPECT_EQ(g.rank(), 3 - world.rank());
+  });
+}
+
+TEST(Runtime, VirtualClockAdvancesWithTraffic) {
+  CostModel model;
+  model.alpha = 1e-6;
+  model.beta = 1e-9;
+  auto res = run_spmd(2, model, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> payload(1000);
+      c.send(1, 0, payload);
+    } else {
+      (void)c.recv(0, 0);
+    }
+    c.barrier();
+  });
+  // Both clocks were synchronized by the final barrier and include at least
+  // one message cost.
+  EXPECT_GT(res.makespan, 1e-6);
+  EXPECT_DOUBLE_EQ(res.vclocks[0], res.vclocks[1]);
+  EXPECT_EQ(res.total.messages_sent, 1u);
+  EXPECT_EQ(res.total.bytes_sent, 1000u);
+  EXPECT_EQ(res.total.messages_received, 1u);
+}
+
+TEST(Runtime, ChargeComputeAccumulates) {
+  CostModel model;
+  model.c1 = 2e-9;
+  auto res = run_spmd(3, model, [](Comm& c) {
+    c.charge_compute(1000 * static_cast<std::uint64_t>(c.rank() + 1));
+    c.barrier();
+  });
+  // Makespan reflects the slowest rank (3000 ops) plus barrier cost.
+  EXPECT_GE(res.makespan, 3000 * 2e-9);
+  EXPECT_EQ(res.total.compute_ops, 6000u);
+}
+
+TEST(Runtime, BarrierSynchronizesClocksToMax) {
+  auto res = run_spmd(4, [](Comm& c) {
+    c.charge_compute(static_cast<std::uint64_t>(c.rank()) * 500);
+    c.barrier();
+    // After the barrier every rank reads the same clock.
+    const double after = c.vclock();
+    c.send_value((c.rank() + 1) % c.size(), 1, after);
+    const double peer = c.recv_value<double>(
+        (c.rank() + c.size() - 1) % c.size(), 1);
+    EXPECT_DOUBLE_EQ(after, peer);
+  });
+  (void)res;
+}
+
+TEST(Runtime, ExceptionFromSoloRankPropagates) {
+  EXPECT_THROW(
+      run_spmd(1, [](Comm&) { throw std::runtime_error("rank failure"); }),
+      std::runtime_error);
+}
+
+TEST(Runtime, StatsCountCollectives) {
+  auto res = run_spmd(2, [](Comm& c) {
+    c.barrier();
+    c.barrier();
+    std::vector<std::uint64_t> x{1};
+    c.allreduce_sum(std::span<std::uint64_t>(x));
+  });
+  EXPECT_EQ(res.total.barriers, 4u);     // 2 ranks x 2 barriers
+  EXPECT_EQ(res.total.allreduces, 2u);   // 2 ranks x 1 allreduce
+}
+
+TEST(Runtime, ManyRanksStress) {
+  // 64 ranks on one core: collectives must not deadlock or misdeliver.
+  const int p = 64;
+  auto res = run_spmd(p, [p](Comm& c) {
+    std::vector<std::uint64_t> data{1};
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      c.allreduce_sum(std::span<std::uint64_t>(data));
+    }
+    // 1 -> p -> p^2 -> p^3
+    EXPECT_EQ(data[0],
+              static_cast<std::uint64_t>(p) * p * p);
+  });
+  EXPECT_EQ(res.vclocks.size(), static_cast<std::size_t>(p));
+}
+
+}  // namespace
+}  // namespace midas::runtime

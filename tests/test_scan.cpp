@@ -1,0 +1,310 @@
+// Scan-statistics functions, weight rounding, the optimizer against exact
+// enumeration, witness extraction, and the traffic-simulation workload.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brute_force.hpp"
+#include "core/witness.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "scan/scan_statistics.hpp"
+#include "scan/traffic_sim.hpp"
+#include "util/rng.hpp"
+
+namespace midas::scan {
+namespace {
+
+TEST(Statistics, KulldorffProperties) {
+  // Zero when the set is exactly proportional.
+  EXPECT_DOUBLE_EQ(kulldorff(10, 10, 100, 100), 0.0);
+  // Positive and increasing in elevation.
+  const double low = kulldorff(15, 10, 100, 100);
+  const double high = kulldorff(30, 10, 100, 100);
+  EXPECT_GT(low, 0.0);
+  EXPECT_GT(high, low);
+  // Deflated sets score zero.
+  EXPECT_DOUBLE_EQ(kulldorff(5, 10, 100, 100), 0.0);
+  EXPECT_THROW((void)kulldorff(1, 0, 10, 10), std::invalid_argument);
+}
+
+TEST(Statistics, ExpectationBasedPoisson) {
+  EXPECT_DOUBLE_EQ(expectation_based_poisson(5, 10), 0.0);
+  EXPECT_DOUBLE_EQ(expectation_based_poisson(10, 10), 0.0);
+  const double v = expectation_based_poisson(20, 10);
+  EXPECT_NEAR(v, 20 * std::log(2.0) - 10, 1e-12);
+}
+
+TEST(Statistics, BerkJonesIsKLShaped) {
+  EXPECT_DOUBLE_EQ(berk_jones(1, 100, 0.05), 0.0);  // below alpha
+  const double v = berk_jones(20, 100, 0.05);
+  const double kl = 0.2 * std::log(0.2 / 0.05) + 0.8 * std::log(0.8 / 0.95);
+  EXPECT_NEAR(v, 100 * kl, 1e-9);
+  EXPECT_GT(berk_jones(40, 100, 0.05), v);
+}
+
+TEST(Statistics, ElevatedMean) {
+  EXPECT_DOUBLE_EQ(elevated_mean(9, 4), 2.5);
+  EXPECT_LT(elevated_mean(1, 4), 0);
+}
+
+TEST(Rounding, RoundWeightsAndStep) {
+  const std::vector<double> w{0.0, 0.4, 0.6, 2.5, 10.0};
+  const auto r = round_weights(w, 1.0);
+  EXPECT_EQ(r, (std::vector<std::uint32_t>{0, 0, 1, 3, 10}));
+  const auto r2 = round_weights(w, 0.5);
+  EXPECT_EQ(r2, (std::vector<std::uint32_t>{0, 1, 1, 5, 20}));
+  const double step = step_for_total(w, 27);
+  EXPECT_NEAR(step, 13.5 / 27, 1e-12);
+  EXPECT_THROW(round_weights(w, 0.0), std::invalid_argument);
+}
+
+/// The optimizer must find the same maximum as exhaustively scoring every
+/// connected subset.
+TEST(Optimizer, MatchesExhaustiveSearch) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::VertexId n = 8 + static_cast<graph::VertexId>(rng.below(4));
+    const auto g = graph::erdos_renyi_gnp(n, 0.3, rng);
+    ScanProblem problem;
+    problem.k = 4;
+    problem.statistic = Statistic::kEBPoisson;
+    problem.event.resize(n);
+    for (auto& w : problem.event)
+      w = static_cast<double>(rng.below(5));  // integer weights, step 1
+    problem.weight_step = 1.0;
+
+    core::ScanOptions opt;
+    opt.k = problem.k;
+    opt.epsilon = 1e-4;
+    opt.seed = 500 + trial;
+    const auto got = optimize_scan_seq(g, problem, opt);
+
+    // Exhaustive: score every connected subset of size <= k.
+    double best = 0.0;
+    baseline::enumerate_connected_subsets(
+        g, problem.k, [&](const std::vector<graph::VertexId>& s) {
+          double w = 0;
+          for (auto v : s) w += problem.event[v];
+          best = std::max(best,
+                          expectation_based_poisson(
+                              std::max(w, 0.0),
+                              static_cast<double>(s.size())));
+        });
+    EXPECT_NEAR(got.score, best, 1e-9) << "trial=" << trial;
+  }
+}
+
+TEST(Optimizer, MidasMatchesSequential) {
+  Xoshiro256 rng(22);
+  const auto g = graph::erdos_renyi_gnp(12, 0.3, rng);
+  ScanProblem problem;
+  problem.k = 4;
+  problem.statistic = Statistic::kKulldorff;
+  problem.event.resize(g.num_vertices());
+  for (auto& w : problem.event) w = static_cast<double>(rng.below(4));
+
+  core::ScanOptions seq_opt;
+  seq_opt.k = problem.k;
+  seq_opt.epsilon = 1e-3;
+  seq_opt.seed = 99;
+  const auto seq = optimize_scan_seq(g, problem, seq_opt);
+
+  core::MidasOptions par_opt;
+  par_opt.k = problem.k;
+  par_opt.epsilon = 1e-3;
+  par_opt.seed = 99;
+  par_opt.n_ranks = 4;
+  par_opt.n1 = 2;
+  par_opt.n2 = 4;
+  const auto part = partition::block_partition(g, 2);
+  const auto par = optimize_scan_midas(g, part, problem, par_opt);
+  EXPECT_DOUBLE_EQ(par.score, seq.score);
+  EXPECT_EQ(par.size, seq.size);
+  EXPECT_EQ(par.weight, seq.weight);
+}
+
+TEST(Significance, InjectedClusterIsSignificantShuffledIsNot) {
+  // A strong injected cluster should have a tiny randomization p-value; the
+  // same weights pre-shuffled should not.
+  Xoshiro256 rng(55);
+  const auto g = graph::grid_graph(6, 6);
+  ScanProblem problem;
+  problem.k = 4;
+  problem.statistic = Statistic::kEBPoisson;
+  problem.event.assign(g.num_vertices(), 0.0);
+  // Inject a connected high-weight square: vertices 0,1,6,7.
+  for (graph::VertexId v : {0u, 1u, 6u, 7u}) problem.event[v] = 6.0;
+  for (auto& w : problem.event)
+    if (w == 0.0) w = static_cast<double>(rng.below(2));
+
+  core::ScanOptions opt;
+  opt.k = problem.k;
+  opt.epsilon = 1e-3;
+  opt.seed = 77;
+  const auto sig = significance_test(g, problem, opt, 19, 123);
+  EXPECT_GT(sig.observed_score, sig.null_mean);
+  EXPECT_LE(sig.p_value, 0.10);  // 1/(19+1) = 0.05 is the floor
+
+  // Null data: already-shuffled weights are typically insignificant.
+  ScanProblem null_problem = problem;
+  auto& w = null_problem.event;
+  Xoshiro256 shuffle(9);
+  for (std::size_t i = w.size(); i > 1; --i)
+    std::swap(w[i - 1], w[shuffle.below(i)]);
+  const auto null_sig = significance_test(g, null_problem, opt, 19, 321);
+  EXPECT_GT(null_sig.p_value, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Witness extraction
+// ---------------------------------------------------------------------------
+
+TEST(Witness, ExtractsValidKPath) {
+  Xoshiro256 rng(33);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = graph::erdos_renyi_gnp(14, 0.22, rng);
+    const int k = 5;
+    const bool truth = baseline::has_kpath(g, k);
+    core::WitnessOptions opt;
+    opt.seed = 70 + trial;
+    const auto path = core::extract_kpath(g, k, opt);
+    if (!truth) {
+      EXPECT_FALSE(path.has_value()) << "trial=" << trial;
+      continue;
+    }
+    ASSERT_TRUE(path.has_value()) << "trial=" << trial;
+    ASSERT_EQ(path->size(), static_cast<std::size_t>(k));
+    std::set<graph::VertexId> distinct(path->begin(), path->end());
+    EXPECT_EQ(distinct.size(), path->size());
+    for (std::size_t i = 0; i + 1 < path->size(); ++i)
+      EXPECT_TRUE(g.has_edge((*path)[i], (*path)[i + 1]));
+  }
+}
+
+TEST(Witness, ExtractsConnectedSubgraphWithExactWeight) {
+  Xoshiro256 rng(44);
+  const auto g = graph::erdos_renyi_gnp(12, 0.3, rng);
+  std::vector<std::uint32_t> w(g.num_vertices());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+  const int k = 4;
+  const auto truth = baseline::connected_subgraph_feasibility(g, w, k);
+  int checked = 0;
+  for (int j = 2; j <= k && checked < 4; ++j) {
+    for (std::uint32_t z = 0;
+         z < truth[static_cast<std::size_t>(j)].size() && checked < 4; ++z) {
+      if (!truth[static_cast<std::size_t>(j)][z]) continue;
+      ++checked;
+      const auto subset = core::extract_connected_subgraph(g, w, j, z);
+      ASSERT_TRUE(subset.has_value()) << "j=" << j << " z=" << z;
+      EXPECT_EQ(subset->size(), static_cast<std::size_t>(j));
+      EXPECT_TRUE(graph::is_connected_subset(g, *subset));
+      std::uint32_t weight = 0;
+      for (auto v : *subset) weight += w[v];
+      EXPECT_EQ(weight, z);
+    }
+  }
+  EXPECT_GT(checked, 0);
+  // Infeasible request returns nullopt.
+  const auto none = core::extract_connected_subgraph(
+      g, w, k, truth[static_cast<std::size_t>(k)].size() + 5, {});
+  EXPECT_FALSE(none.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Traffic simulation (Fig. 13 workload)
+// ---------------------------------------------------------------------------
+
+TEST(TrafficSim, InjectedClusterIsConnectedAndDepressed) {
+  TrafficSimConfig cfg;
+  cfg.n_sensors = 200;
+  cfg.congestion_size = 6;
+  cfg.seed = 3;
+  TrafficSim sim(cfg);
+  EXPECT_EQ(sim.injected_cluster().size(), 6u);
+  EXPECT_TRUE(graph::is_connected_subset(sim.network(),
+                                         sim.injected_cluster()));
+  // Congested sensors read well below their own history.
+  const auto p = sim.p_values();
+  double cluster_mean_p = 0, rest_mean_p = 0;
+  std::set<graph::VertexId> in(sim.injected_cluster().begin(),
+                               sim.injected_cluster().end());
+  int rest = 0;
+  for (graph::VertexId v = 0; v < sim.network().num_vertices(); ++v) {
+    if (in.count(v))
+      cluster_mean_p += p[v];
+    else {
+      rest_mean_p += p[v];
+      ++rest;
+    }
+  }
+  cluster_mean_p /= static_cast<double>(in.size());
+  rest_mean_p /= rest;
+  EXPECT_LT(cluster_mean_p, 0.05);
+  EXPECT_GT(rest_mean_p, 0.3);
+}
+
+TEST(TrafficSim, ExceedanceWeightsAreIndicators) {
+  TrafficSimConfig cfg;
+  cfg.n_sensors = 100;
+  cfg.congestion_size = 5;
+  cfg.seed = 4;
+  TrafficSim sim(cfg);
+  const auto w = sim.exceedance_weights(0.05);
+  std::size_t ones = 0;
+  for (double x : w) {
+    EXPECT_TRUE(x == 0.0 || x == 1.0);
+    ones += x == 1.0;
+  }
+  // At least the cluster exceeds; false positives are ~alpha * n.
+  EXPECT_GE(ones, 4u);
+  EXPECT_LE(ones, 5u + 20u);
+}
+
+TEST(TrafficSim, BerkJonesScanRecoversInjectedCluster) {
+  // End-to-end Fig. 13: p-values -> exceedance weights -> Berk–Jones scan
+  // -> witness extraction -> compare against the injected ground truth.
+  TrafficSimConfig cfg;
+  cfg.n_sensors = 64;
+  cfg.congestion_size = 4;
+  cfg.congestion_drop = 30.0;  // strong, unambiguous event
+  cfg.seed = 5;
+  TrafficSim sim(cfg);
+
+  ScanProblem problem;
+  problem.k = 5;
+  problem.statistic = Statistic::kBerkJones;
+  problem.alpha = 0.05;
+  problem.event = sim.exceedance_weights(problem.alpha);
+  problem.weight_step = 1.0;
+
+  core::ScanOptions opt;
+  opt.k = problem.k;
+  opt.epsilon = 1e-4;
+  opt.seed = 6;
+  const auto best = optimize_scan_seq(sim.network(), problem, opt);
+  EXPECT_GT(best.score, 0.0);
+  EXPECT_GE(best.weight, 3u) << "detected set must contain exceedances";
+
+  const auto weights = round_weights(
+      std::span<const double>(problem.event), problem.weight_step);
+  const auto detected = core::extract_connected_subgraph(
+      sim.network(), weights, best.size, best.weight);
+  ASSERT_TRUE(detected.has_value());
+  const auto quality = evaluate_detection(*detected, sim.injected_cluster());
+  EXPECT_GE(quality.recall, 0.5);
+  EXPECT_GE(quality.precision, 0.5);
+}
+
+TEST(TrafficSim, EvaluateDetectionEdgeCases) {
+  const auto q = evaluate_detection({1, 2, 3}, {2, 3, 4, 5});
+  EXPECT_NEAR(q.precision, 2.0 / 3, 1e-12);
+  EXPECT_NEAR(q.recall, 0.5, 1e-12);
+  EXPECT_GT(q.f1, 0.0);
+  const auto empty = evaluate_detection({}, {1});
+  EXPECT_EQ(empty.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace midas::scan

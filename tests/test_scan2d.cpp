@@ -1,0 +1,141 @@
+// Full Problem 2: two-axis (baseline, weight) feasibility with
+// heterogeneous baselines, against exhaustive enumeration.
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.hpp"
+#include "core/scan2d.hpp"
+#include "partition/partition.hpp"
+#include "gf/gf256.hpp"
+#include "graph/generators.hpp"
+#include "scan/scan_statistics.hpp"
+#include "util/rng.hpp"
+
+namespace midas::core {
+namespace {
+
+/// Exhaustive (B, W) feasibility for connected subgraphs of size <= s_max
+/// with B <= bcap.
+std::vector<std::vector<bool>> brute_2d(
+    const graph::Graph& g, const std::vector<std::uint32_t>& baseline,
+    const std::vector<std::uint32_t>& weight, int s_max,
+    std::uint32_t bcap, std::uint32_t wmax) {
+  std::vector<std::vector<bool>> out(bcap + 1,
+                                     std::vector<bool>(wmax + 1, false));
+  baseline::enumerate_connected_subsets(
+      g, s_max, [&](const std::vector<graph::VertexId>& subset) {
+        std::uint32_t b = 0, w = 0;
+        for (auto v : subset) {
+          b += baseline[v];
+          w += weight[v];
+        }
+        if (b <= bcap && w <= wmax) out[b][w] = true;
+      });
+  return out;
+}
+
+TEST(Scan2D, MatchesExhaustiveEnumeration) {
+  gf::GF256 f;
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::VertexId n = 7 + static_cast<graph::VertexId>(rng.below(3));
+    const auto g = graph::erdos_renyi_gnp(n, 0.3, rng);
+    std::vector<std::uint32_t> b(n), w(n);
+    for (auto& x : b) x = 1 + static_cast<std::uint32_t>(rng.below(2));
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+
+    Scan2DOptions opt;
+    opt.max_size = 3;
+    opt.max_baseline = 5;
+    opt.epsilon = 1e-4;
+    opt.seed = 100 + trial;
+    const auto table = detect_scan2d_seq(g, b, w, opt, f);
+    const auto truth = brute_2d(g, b, w, opt.max_size, opt.max_baseline,
+                                table.max_weight);
+    for (std::uint32_t y = 0; y <= opt.max_baseline; ++y)
+      for (std::uint32_t z = 0; z <= table.max_weight; ++z)
+        EXPECT_EQ(table.at(y, z), truth[y][z])
+            << "trial=" << trial << " B=" << y << " W=" << z;
+  }
+}
+
+TEST(Scan2D, BaselineCapExcludesHeavyVertices) {
+  gf::GF256 f;
+  // Path 0-1-2; vertex 1 has baseline 10 > cap, so only {0}, {2} and no
+  // multi-vertex subgraph through 1 fit.
+  const auto g = graph::path_graph(3);
+  const std::vector<std::uint32_t> b{1, 10, 1};
+  const std::vector<std::uint32_t> w{2, 3, 4};
+  Scan2DOptions opt;
+  opt.max_size = 3;
+  opt.max_baseline = 4;
+  opt.epsilon = 1e-4;
+  const auto table = detect_scan2d_seq(g, b, w, opt, f);
+  EXPECT_TRUE(table.at(1, 2));   // {0}
+  EXPECT_TRUE(table.at(1, 4));   // {2}
+  EXPECT_FALSE(table.at(2, 6));  // {0,2} is disconnected
+  for (std::uint32_t z = 0; z <= table.max_weight; ++z) {
+    EXPECT_FALSE(table.at(2, z)) << "no connected pair fits the cap, z="
+                                 << z;
+  }
+}
+
+TEST(Scan2D, ParallelMatchesSequentialBitForBit) {
+  gf::GF256 f;
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 3; ++trial) {
+    const graph::VertexId n = 8;
+    const auto g = graph::erdos_renyi_gnp(n, 0.3, rng);
+    std::vector<std::uint32_t> b(n), w(n);
+    for (auto& x : b) x = 1 + static_cast<std::uint32_t>(rng.below(2));
+    for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+    Scan2DOptions sopt;
+    sopt.max_size = 3;
+    sopt.max_baseline = 5;
+    sopt.epsilon = 1e-3;
+    sopt.seed = 200 + trial;
+    const auto seq = detect_scan2d_seq(g, b, w, sopt, f);
+
+    MidasOptions mopt;
+    mopt.n_ranks = 4;
+    mopt.n1 = 2;
+    mopt.n2 = 2;
+    const auto part = partition::block_partition(g, 2);
+    const auto par = midas_scan2d(g, part, b, w, sopt, mopt, f);
+    ASSERT_EQ(par.max_weight, seq.max_weight);
+    for (std::uint32_t y = 0; y <= sopt.max_baseline; ++y)
+      for (std::uint32_t z = 0; z <= seq.max_weight; ++z)
+        EXPECT_EQ(par.at(y, z), seq.at(y, z))
+            << "trial=" << trial << " B=" << y << " W=" << z;
+  }
+}
+
+TEST(Scan2D, KulldorffWithRealBaselines) {
+  // A high-event low-baseline cluster must beat a high-event
+  // high-baseline one under Kulldorff (the statistic normalizes by B).
+  graph::GraphBuilder gb(6);
+  gb.add_edge(0, 1);  // cluster A: anomalous (low baseline, high events)
+  gb.add_edge(2, 3);  // cluster B: busy but proportional
+  gb.add_edge(4, 5);  // background
+  const auto g = gb.build();
+  const std::vector<std::uint32_t> b{1, 1, 6, 6, 2, 2};
+  const std::vector<std::uint32_t> w{5, 5, 7, 7, 1, 1};
+  Scan2DOptions opt;
+  opt.max_size = 2;
+  opt.max_baseline = 12;
+  opt.epsilon = 1e-4;
+  gf::GF256 f;
+  const auto table = detect_scan2d_seq(g, b, w, opt, f);
+  double w_total = 0, b_total = 0;
+  for (auto x : w) w_total += x;
+  for (auto x : b) b_total += x;
+  const auto best = maximize_scan2d(
+      table, [&](std::uint32_t wz, std::uint32_t by) {
+        if (by == 0 || by >= b_total) return 0.0;
+        return scan::kulldorff(wz, by, w_total, b_total);
+      });
+  EXPECT_EQ(best.baseline, 2u);  // cluster A: B = 1+1
+  EXPECT_EQ(best.weight, 10u);   // W = 5+5
+}
+
+}  // namespace
+}  // namespace midas::core

@@ -1,0 +1,178 @@
+// util: RNG, stats, args, table, contracts — and the MIDAS schedule math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/schedule.hpp"
+#include "util/args.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace midas {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    EXPECT_EQ(x, b());
+    (void)c();
+  }
+  Xoshiro256 a2(42), c2(43);
+  EXPECT_NE(a2(), c2());
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Xoshiro256 rng(1);
+  std::vector<int> buckets(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    buckets[static_cast<std::size_t>(v)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 10, draws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Stats, NormalCdfAndQuantileAreInverse) {
+  for (double p : {0.001, 0.05, 0.3, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-6);
+  }
+  EXPECT_NEAR(normal_cdf(0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+}
+
+TEST(Args, ParsesAllForms) {
+  const char* argv[] = {"prog",   "--alpha=3",  "--beta=7",
+                        "--flag", "positional", "--gamma=x=y"};
+  Args args(6, argv);
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_int("beta", 0), 7);
+  EXPECT_TRUE(args.get_flag("flag"));
+  EXPECT_FALSE(args.get_flag("missing"));
+  EXPECT_EQ(args.get("gamma", ""), "x=y");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_EQ(args.get("absent", "default"), "default");
+  EXPECT_THROW((void)args.get_int("gamma", 0), std::invalid_argument);
+  EXPECT_EQ(args.get_double("alpha", 0.0), 3.0);
+  EXPECT_FALSE(args.has("beta2"));
+  EXPECT_TRUE(args.has("beta"));
+}
+
+TEST(TablePrinter, AlignsAndEmitsCsv) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::cell(std::int64_t{42})});
+  t.add_row({"b", Table::cell(3.14159, 3)});
+  const std::string text = t.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_EQ(t.csv(), "name,value\nalpha,42\nb,3.14\n");
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    MIDAS_REQUIRE(1 == 2, "broken expectation");
+    FAIL() << "should have thrown";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("broken expectation"), std::string::npos);
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule math (paper Fig. 1 / Table I)
+// ---------------------------------------------------------------------------
+
+TEST(Schedule, RoundsForEpsilonMatchesPaperFormula) {
+  // ceil(log(1/eps) / log(5/4))
+  EXPECT_EQ(core::rounds_for_epsilon(0.2),
+            static_cast<int>(std::ceil(std::log(5.0) / std::log(1.25))));
+  EXPECT_GE(core::rounds_for_epsilon(0.01), core::rounds_for_epsilon(0.1));
+  EXPECT_THROW((void)core::rounds_for_epsilon(0.0), std::invalid_argument);
+  EXPECT_THROW((void)core::rounds_for_epsilon(1.0), std::invalid_argument);
+}
+
+TEST(Schedule, PaperWorkedExample) {
+  // Section VI-B: k=6, N=128, N1=32, N2=8 -> 4 groups, 2^6=64 iterations,
+  // 8 phases, each group runs 2 phases => 2 batches.
+  const auto s = core::make_schedule(6, 0.1, 128, 32, 8);
+  EXPECT_EQ(s.iterations(), 64u);
+  EXPECT_EQ(s.groups(), 4);
+  EXPECT_EQ(s.phases(), 8u);
+  EXPECT_EQ(s.batches(), 2u);
+  for (int g = 0; g < 4; ++g) EXPECT_EQ(s.phases_of_group(g), 2u);
+}
+
+TEST(Schedule, NonDivisibleConfigurations) {
+  // 2^4=16 iterations, N2=5 -> 4 phases (last short), 3 groups.
+  const auto s = core::make_schedule(4, 0.1, 3, 1, 5);
+  EXPECT_EQ(s.phases(), 4u);
+  EXPECT_EQ(s.phases_of_group(0), 2u);
+  EXPECT_EQ(s.phases_of_group(1), 1u);
+  EXPECT_EQ(s.phases_of_group(2), 1u);
+  const auto [f3, l3] = s.phase_range(3);
+  EXPECT_EQ(f3, 15u);
+  EXPECT_EQ(l3, 16u);  // short last phase
+  // Phase ranges tile [0, 2^k).
+  std::uint64_t covered = 0;
+  for (std::uint64_t t = 0; t < s.phases(); ++t) {
+    const auto [a, b] = s.phase_range(t);
+    covered += b - a;
+  }
+  EXPECT_EQ(covered, 16u);
+}
+
+TEST(Schedule, N2ClampedToIterationCount) {
+  const auto s = core::make_schedule(3, 0.1, 1, 1, 1000);
+  EXPECT_EQ(s.n2, 8u);
+  EXPECT_EQ(s.phases(), 1u);
+}
+
+TEST(Schedule, RejectsInvalid) {
+  EXPECT_THROW((void)core::make_schedule(0, 0.1, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)core::make_schedule(4, 0.1, 4, 3, 1), std::invalid_argument);
+  EXPECT_THROW((void)core::make_schedule(4, 0.1, 2, 4, 1), std::invalid_argument);
+  EXPECT_THROW((void)core::make_schedule(4, 0.1, 0, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace midas
