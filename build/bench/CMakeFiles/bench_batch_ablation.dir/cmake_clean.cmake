@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_ablation.dir/bench_batch_ablation.cpp.o"
+  "CMakeFiles/bench_batch_ablation.dir/bench_batch_ablation.cpp.o.d"
+  "bench_batch_ablation"
+  "bench_batch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

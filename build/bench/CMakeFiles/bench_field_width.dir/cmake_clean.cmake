@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_field_width.dir/bench_field_width.cpp.o"
+  "CMakeFiles/bench_field_width.dir/bench_field_width.cpp.o.d"
+  "bench_field_width"
+  "bench_field_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_field_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gf.dir/bench_gf.cpp.o"
+  "CMakeFiles/bench_gf.dir/bench_gf.cpp.o.d"
+  "bench_gf"
+  "bench_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

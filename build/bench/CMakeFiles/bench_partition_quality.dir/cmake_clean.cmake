@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_quality.dir/bench_partition_quality.cpp.o"
+  "CMakeFiles/bench_partition_quality.dir/bench_partition_quality.cpp.o.d"
+  "bench_partition_quality"
+  "bench_partition_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

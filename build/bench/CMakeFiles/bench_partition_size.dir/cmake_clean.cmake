@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_size.dir/bench_partition_size.cpp.o"
+  "CMakeFiles/bench_partition_size.dir/bench_partition_size.cpp.o.d"
+  "bench_partition_size"
+  "bench_partition_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

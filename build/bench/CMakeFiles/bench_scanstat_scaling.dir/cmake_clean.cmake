@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scanstat_scaling.dir/bench_scanstat_scaling.cpp.o"
+  "CMakeFiles/bench_scanstat_scaling.dir/bench_scanstat_scaling.cpp.o.d"
+  "bench_scanstat_scaling"
+  "bench_scanstat_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scanstat_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_strong_scaling.dir/bench_strong_scaling.cpp.o"
+  "CMakeFiles/bench_strong_scaling.dir/bench_strong_scaling.cpp.o.d"
+  "bench_strong_scaling"
+  "bench_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

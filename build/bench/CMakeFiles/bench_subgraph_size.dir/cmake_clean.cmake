@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subgraph_size.dir/bench_subgraph_size.cpp.o"
+  "CMakeFiles/bench_subgraph_size.dir/bench_subgraph_size.cpp.o.d"
+  "bench_subgraph_size"
+  "bench_subgraph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subgraph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_templates.dir/bench_tree_templates.cpp.o"
+  "CMakeFiles/bench_tree_templates.dir/bench_tree_templates.cpp.o.d"
+  "bench_tree_templates"
+  "bench_tree_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_fascia.dir/bench_vs_fascia.cpp.o"
+  "CMakeFiles/bench_vs_fascia.dir/bench_vs_fascia.cpp.o.d"
+  "bench_vs_fascia"
+  "bench_vs_fascia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_fascia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

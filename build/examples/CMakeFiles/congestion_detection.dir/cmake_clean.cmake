@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_detection.dir/congestion_detection.cpp.o"
+  "CMakeFiles/congestion_detection.dir/congestion_detection.cpp.o.d"
+  "congestion_detection"
+  "congestion_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

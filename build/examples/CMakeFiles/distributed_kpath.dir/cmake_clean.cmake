@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_kpath.dir/distributed_kpath.cpp.o"
+  "CMakeFiles/distributed_kpath.dir/distributed_kpath.cpp.o.d"
+  "distributed_kpath"
+  "distributed_kpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_kpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_cli.dir/midas_cli.cpp.o"
+  "CMakeFiles/midas_cli.dir/midas_cli.cpp.o.d"
+  "midas_cli"
+  "midas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

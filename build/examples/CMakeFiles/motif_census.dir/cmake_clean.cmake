@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motif_census.dir/motif_census.cpp.o"
+  "CMakeFiles/motif_census.dir/motif_census.cpp.o.d"
+  "motif_census"
+  "motif_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motif_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

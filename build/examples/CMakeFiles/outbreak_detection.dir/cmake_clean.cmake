@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outbreak_detection.dir/outbreak_detection.cpp.o"
+  "CMakeFiles/outbreak_detection.dir/outbreak_detection.cpp.o.d"
+  "outbreak_detection"
+  "outbreak_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outbreak_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

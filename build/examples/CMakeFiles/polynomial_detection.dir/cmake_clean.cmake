@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polynomial_detection.dir/polynomial_detection.cpp.o"
+  "CMakeFiles/polynomial_detection.dir/polynomial_detection.cpp.o.d"
+  "polynomial_detection"
+  "polynomial_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polynomial_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

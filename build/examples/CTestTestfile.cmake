@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--n=40" "--edges=100" "--k=5")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_motif_census "/root/repo/build/examples/motif_census" "--n=100" "--kmax=6")
+set_tests_properties(example_motif_census PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_congestion "/root/repo/build/examples/congestion_detection" "--sensors=81" "--cluster=4" "--k=5")
+set_tests_properties(example_congestion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_distributed "/root/repo/build/examples/distributed_kpath" "--n=300" "--k=6" "--ranks=4" "--n1=2" "--n2=8")
+set_tests_properties(example_distributed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_outbreak "/root/repo/build/examples/outbreak_detection" "--counties=70" "--size=4" "--k=4" "--rounded-total=24")
+set_tests_properties(example_outbreak PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_polynomial "/root/repo/build/examples/polynomial_detection")
+set_tests_properties(example_polynomial PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_path "/root/repo/build/examples/midas_cli" "path" "--n=150" "--k=6" "--witness")
+set_tests_properties(example_cli_path PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_tree "/root/repo/build/examples/midas_cli" "tree" "--n=150" "--k=5" "--template=star")
+set_tests_properties(example_cli_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_scan "/root/repo/build/examples/midas_cli" "scan" "--n=60" "--k=4")
+set_tests_properties(example_cli_scan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_dipath "/root/repo/build/examples/midas_cli" "dipath" "--n=150" "--k=5")
+set_tests_properties(example_cli_dipath PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_maxweight "/root/repo/build/examples/midas_cli" "maxweight" "--n=100" "--k=4")
+set_tests_properties(example_cli_maxweight PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_usage "/root/repo/build/examples/midas_cli")
+set_tests_properties(example_cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")

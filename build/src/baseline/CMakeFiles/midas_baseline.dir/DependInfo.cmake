@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brute_force.cpp" "src/baseline/CMakeFiles/midas_baseline.dir/brute_force.cpp.o" "gcc" "src/baseline/CMakeFiles/midas_baseline.dir/brute_force.cpp.o.d"
+  "/root/repo/src/baseline/color_coding.cpp" "src/baseline/CMakeFiles/midas_baseline.dir/color_coding.cpp.o" "gcc" "src/baseline/CMakeFiles/midas_baseline.dir/color_coding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/midas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/midas_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/midas_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/midas_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/midas_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/midas_partition.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_baseline.dir/brute_force.cpp.o"
+  "CMakeFiles/midas_baseline.dir/brute_force.cpp.o.d"
+  "CMakeFiles/midas_baseline.dir/color_coding.cpp.o"
+  "CMakeFiles/midas_baseline.dir/color_coding.cpp.o.d"
+  "libmidas_baseline.a"
+  "libmidas_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_core.dir/circuit.cpp.o"
+  "CMakeFiles/midas_core.dir/circuit.cpp.o.d"
+  "CMakeFiles/midas_core.dir/tree_template.cpp.o"
+  "CMakeFiles/midas_core.dir/tree_template.cpp.o.d"
+  "CMakeFiles/midas_core.dir/witness.cpp.o"
+  "CMakeFiles/midas_core.dir/witness.cpp.o.d"
+  "libmidas_core.a"
+  "libmidas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_gf.dir/gfsmall.cpp.o"
+  "CMakeFiles/midas_gf.dir/gfsmall.cpp.o.d"
+  "libmidas_gf.a"
+  "libmidas_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

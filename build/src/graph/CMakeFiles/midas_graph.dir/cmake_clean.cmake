@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/midas_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/midas_graph.dir/csr.cpp.o"
+  "CMakeFiles/midas_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/midas_graph.dir/digraph.cpp.o"
+  "CMakeFiles/midas_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/midas_graph.dir/generators.cpp.o"
+  "CMakeFiles/midas_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/midas_graph.dir/io.cpp.o"
+  "CMakeFiles/midas_graph.dir/io.cpp.o.d"
+  "libmidas_graph.a"
+  "libmidas_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_partition.dir/multilevel.cpp.o"
+  "CMakeFiles/midas_partition.dir/multilevel.cpp.o.d"
+  "CMakeFiles/midas_partition.dir/partition.cpp.o"
+  "CMakeFiles/midas_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/midas_partition.dir/partitioned_graph.cpp.o"
+  "CMakeFiles/midas_partition.dir/partitioned_graph.cpp.o.d"
+  "libmidas_partition.a"
+  "libmidas_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_runtime.dir/comm.cpp.o"
+  "CMakeFiles/midas_runtime.dir/comm.cpp.o.d"
+  "libmidas_runtime.a"
+  "libmidas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for midas_runtime.
+# This may be replaced when dependencies are built.

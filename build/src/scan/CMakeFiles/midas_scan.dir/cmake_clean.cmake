@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_scan.dir/outbreak_sim.cpp.o"
+  "CMakeFiles/midas_scan.dir/outbreak_sim.cpp.o.d"
+  "CMakeFiles/midas_scan.dir/scan_statistics.cpp.o"
+  "CMakeFiles/midas_scan.dir/scan_statistics.cpp.o.d"
+  "CMakeFiles/midas_scan.dir/traffic_sim.cpp.o"
+  "CMakeFiles/midas_scan.dir/traffic_sim.cpp.o.d"
+  "libmidas_scan.a"
+  "libmidas_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

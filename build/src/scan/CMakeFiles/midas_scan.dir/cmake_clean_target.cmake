@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmidas_scan.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_util.dir/args.cpp.o"
+  "CMakeFiles/midas_util.dir/args.cpp.o.d"
+  "CMakeFiles/midas_util.dir/log.cpp.o"
+  "CMakeFiles/midas_util.dir/log.cpp.o.d"
+  "CMakeFiles/midas_util.dir/stats.cpp.o"
+  "CMakeFiles/midas_util.dir/stats.cpp.o.d"
+  "CMakeFiles/midas_util.dir/table.cpp.o"
+  "CMakeFiles/midas_util.dir/table.cpp.o.d"
+  "libmidas_util.a"
+  "libmidas_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for midas_util.
+# This may be replaced when dependencies are built.

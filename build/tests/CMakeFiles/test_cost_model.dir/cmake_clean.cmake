@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_model.dir/test_cost_model.cpp.o"
+  "CMakeFiles/test_cost_model.dir/test_cost_model.cpp.o.d"
+  "test_cost_model"
+  "test_cost_model.pdb"
+  "test_cost_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counting.dir/test_counting.cpp.o"
+  "CMakeFiles/test_counting.dir/test_counting.cpp.o.d"
+  "test_counting"
+  "test_counting.pdb"
+  "test_counting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_par.dir/test_detect_par.cpp.o"
+  "CMakeFiles/test_detect_par.dir/test_detect_par.cpp.o.d"
+  "test_detect_par"
+  "test_detect_par.pdb"
+  "test_detect_par[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

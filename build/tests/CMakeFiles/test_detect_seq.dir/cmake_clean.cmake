@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detect_seq.dir/test_detect_seq.cpp.o"
+  "CMakeFiles/test_detect_seq.dir/test_detect_seq.cpp.o.d"
+  "test_detect_seq"
+  "test_detect_seq.pdb"
+  "test_detect_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detect_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_detect_seq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directed.dir/test_directed.cpp.o"
+  "CMakeFiles/test_directed.dir/test_directed.cpp.o.d"
+  "test_directed"
+  "test_directed.pdb"
+  "test_directed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

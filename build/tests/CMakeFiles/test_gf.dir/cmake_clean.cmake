@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf.dir/test_gf.cpp.o"
+  "CMakeFiles/test_gf.dir/test_gf.cpp.o.d"
+  "test_gf"
+  "test_gf.pdb"
+  "test_gf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outbreak.dir/test_outbreak.cpp.o"
+  "CMakeFiles/test_outbreak.dir/test_outbreak.cpp.o.d"
+  "test_outbreak"
+  "test_outbreak.pdb"
+  "test_outbreak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scan2d.dir/test_scan2d.cpp.o"
+  "CMakeFiles/test_scan2d.dir/test_scan2d.cpp.o.d"
+  "test_scan2d"
+  "test_scan2d.pdb"
+  "test_scan2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scan2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
