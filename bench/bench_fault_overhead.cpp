@@ -1,0 +1,127 @@
+// Fault-tolerance tax: overhead of supervision + round checkpointing when
+// no faults fire (see docs/RESILIENCE.md).
+//
+// Runs the strong-scaling k-path config three ways on the random dataset:
+//   off        — unsupervised, no fault plan (the pre-resilience fast path)
+//   supervised — supervised mode, empty fault plan (failure capture armed)
+//   armed      — supervised + a fault plan whose kill event is never
+//                reached, so the injector is consulted on every message
+// and reports the virtual-clock and host wall-time overhead of each
+// relative to `off`. Target: < 5% when no faults fire.
+//
+//   ./bench_fault_overhead [--n=2000] [--k=8] [--ranks=16] [--n1=4]
+//                          [--reps=5] [--seed=1]
+#include <cstdio>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/partition.hpp"
+#include "runtime/fault.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Sample {
+  double vtime = 0.0;
+  double wall_s = 0.0;
+};
+
+Sample run_config(const midas::graph::Graph& g,
+                  const midas::runtime::CostModel& model, int k, int ranks,
+                  int n1, std::uint64_t seed, int reps,
+                  const midas::runtime::SpmdOptions& spmd) {
+  using namespace midas;
+  const auto part = partition::bfs_partition(g, n1);
+  core::MidasOptions opt;
+  opt.k = k;
+  opt.seed = seed;
+  opt.max_rounds = 1;
+  opt.early_exit = false;
+  opt.n_ranks = ranks;
+  opt.n1 = n1;
+  // One fully batched phase per group (the strong-scaling regime).
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  opt.n2 = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, iters * n1 / ranks));
+  opt.model = model;
+  opt.spmd = spmd;
+  gf::GF256 field;
+  Sample best;
+  best.wall_s = 1e300;
+  // vtime is deterministic per config; wall time is noisy, keep the min.
+  for (int r = 0; r < reps; ++r) {
+    const auto res = core::midas_kpath(g, part, opt, field);
+    best.vtime = res.vtime;
+    best.wall_s = std::min(best.wall_s, res.wall_s);
+  }
+  return best;
+}
+
+std::string pct(double value, double base) {
+  return midas::Table::cell(100.0 * (value - base) / base, 2) + "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace midas;
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 2000));
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int max_ranks = static_cast<int>(args.get_int("ranks", 16));
+  const int n1 = static_cast<int>(args.get_int("n1", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 5));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  bench::print_figure_header(
+      "Fault overhead", "supervision + checkpoint tax with no faults firing");
+
+  const auto ds = bench::make_dataset("random", n, seed);
+  const auto model = bench::scaled_model(ds, args);
+
+  runtime::SpmdOptions off;  // defaults: unsupervised, no plan
+
+  runtime::SpmdOptions supervised;
+  supervised.supervise = true;
+
+  runtime::SpmdOptions armed;
+  armed.supervise = true;
+  // A kill scheduled far beyond any event count this run reaches: the
+  // injector stays armed (every message consults it) but never fires.
+  armed.faults.seed = seed;
+  armed.faults.kill_at_event(0, std::uint64_t{1} << 40);
+
+  Table table({"N", "N1", "vtime_off", "vtime_sup", "vt_ovh", "vt_armed_ovh",
+               "wall_off_ms", "wall_sup_ms", "wall_ovh", "wall_armed_ovh"});
+  double worst_vt = 0.0, worst_wall = 0.0;
+  for (int ranks = n1; ranks <= max_ranks; ranks *= 2) {
+    const Sample base =
+        run_config(ds.graph, model, k, ranks, n1, seed, reps, off);
+    const Sample sup =
+        run_config(ds.graph, model, k, ranks, n1, seed, reps, supervised);
+    const Sample arm =
+        run_config(ds.graph, model, k, ranks, n1, seed, reps, armed);
+    worst_vt = std::max(worst_vt, (sup.vtime - base.vtime) / base.vtime);
+    worst_wall =
+        std::max(worst_wall, (sup.wall_s - base.wall_s) / base.wall_s);
+    table.add_row({Table::cell(ranks), Table::cell(n1),
+                   Table::cell(base.vtime, 6), Table::cell(sup.vtime, 6),
+                   pct(sup.vtime, base.vtime), pct(arm.vtime, base.vtime),
+                   Table::cell(base.wall_s * 1e3, 3),
+                   Table::cell(sup.wall_s * 1e3, 3),
+                   pct(sup.wall_s, base.wall_s),
+                   pct(arm.wall_s, base.wall_s)});
+  }
+  table.print("overhead vs unsupervised fault-free run (wall = min of reps)");
+
+  std::printf(
+      "{\"bench\":\"fault_overhead\",\"n\":%u,\"k\":%d,\"n1\":%d,"
+      "\"worst_vtime_overhead_pct\":%.3f,\"worst_wall_overhead_pct\":%.3f,"
+      "\"target_pct\":5.0,\"pass\":%s}\n",
+      static_cast<unsigned>(n), k, n1, 100.0 * worst_vt, 100.0 * worst_wall,
+      (worst_vt < 0.05 && worst_wall < 0.05) ? "true" : "false");
+  return 0;
+}

@@ -14,6 +14,15 @@
 //   --gen=er|ba|road --n=N seeded generator (default er, n=1000)
 //   --seed=S  --epsilon=E  --ranks=N --n1=P --n2=B  (distributed run when
 //   --ranks > 1; sequential otherwise)
+//
+// Fault injection (distributed `path` runs only; see docs/RESILIENCE.md):
+//   --fault-kill=RANK@EVENT  kill a world rank at its Nth comm event
+//                            (repeatable via comma list: 1@40,3@12)
+//   --fault-drop=P --fault-delay=P --fault-corrupt=P
+//                            per-attempt transient fault probabilities on
+//                            every point-to-point channel
+//   --fault-seed=S           seed for the deterministic fault schedule
+//   --supervise              supervised run_spmd even with no fault plan
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -57,6 +66,36 @@ std::vector<std::uint32_t> load_weights(const Args& args,
   return w;
 }
 
+runtime::SpmdOptions fault_options(const Args& args) {
+  runtime::SpmdOptions spmd;
+  spmd.supervise = args.get_flag("supervise");
+  spmd.faults.seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", 0x5eed5eedLL));
+  std::string kills = args.get("fault-kill", "");
+  while (!kills.empty()) {
+    const auto comma = kills.find(',');
+    const std::string one = kills.substr(0, comma);
+    kills = comma == std::string::npos ? "" : kills.substr(comma + 1);
+    const auto at = one.find('@');
+    MIDAS_REQUIRE(at != std::string::npos,
+                  "--fault-kill expects RANK@EVENT, got " + one);
+    spmd.faults.kill_at_event(
+        std::stoi(one.substr(0, at)),
+        static_cast<std::uint64_t>(std::stoll(one.substr(at + 1))));
+  }
+  const double drop = args.get_double("fault-drop", 0.0);
+  const double delay = args.get_double("fault-delay", 0.0);
+  const double corrupt = args.get_double("fault-corrupt", 0.0);
+  if (drop > 0.0 || delay > 0.0 || corrupt > 0.0) {
+    runtime::ChannelFaults c;  // src/dst default to -1: every channel
+    c.drop_p = drop;
+    c.delay_p = delay;
+    c.corrupt_p = corrupt;
+    spmd.faults.with_channel(c);
+  }
+  return spmd;
+}
+
 int run_path(const Args& args) {
   Xoshiro256 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const auto g = load_graph(args, rng);
@@ -75,6 +114,7 @@ int run_path(const Args& args) {
     opt.n_ranks = ranks;
     opt.n1 = static_cast<int>(args.get_int("n1", std::min(ranks, 4)));
     opt.n2 = static_cast<std::uint32_t>(args.get_int("n2", 32));
+    opt.spmd = fault_options(args);
     const auto part = partition::multilevel_partition(g, opt.n1);
     const auto res = core::midas_kpath(g, part, opt, f);
     found = res.found;
@@ -82,6 +122,17 @@ int run_path(const Args& args) {
                 "%.0f ms)\n",
                 found ? "YES" : "no", ranks, opt.n1, opt.n2,
                 res.vtime * 1e3, res.wall_s * 1e3);
+    if (!res.failed_ranks.empty()) {
+      std::printf("faults: lost rank(s)");
+      for (int r : res.failed_ranks) std::printf(" %d", r);
+      const auto& st = res.total_stats;
+      std::printf("; survivors failed over (drops=%llu corrupt=%llu "
+                  "delayed=%llu retransmits=%llu)\n",
+                  static_cast<unsigned long long>(st.messages_dropped),
+                  static_cast<unsigned long long>(st.messages_corrupted),
+                  static_cast<unsigned long long>(st.messages_delayed),
+                  static_cast<unsigned long long>(st.retransmissions));
+    }
   } else {
     core::DetectOptions opt;
     opt.k = k;

@@ -15,8 +15,11 @@
 // accumulator is an XOR (order-independent) allreduce.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/detect_seq.hpp"
@@ -42,6 +45,11 @@ struct MidasOptions {
   int max_rounds = 0;     // override epsilon-derived round count if > 0
   bool early_exit = true;
   runtime::CostModel model{};
+  // Fault injection & supervision (docs/RESILIENCE.md). Supervision is
+  // forced on whenever the plan is non-empty; the k-path engine then runs
+  // its vote/redo failover protocol and masks any failure that leaves at
+  // least one intact phase group.
+  runtime::SpmdOptions spmd{};
 
   [[nodiscard]] int rounds() const {
     return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
@@ -55,10 +63,27 @@ struct MidasResult {
   double vtime = 0.0;   // modeled parallel makespan (seconds)
   double wall_s = 0.0;  // host wall-clock of the whole SPMD run
   runtime::CommStats total_stats;
-  std::vector<double> vclocks;  // per rank
+  std::vector<double> vclocks;      // per rank
+  std::vector<int> failed_ranks;    // world ranks lost to injected faults
 };
 
 namespace detail {
+
+/// Supervision implied by a non-empty fault plan.
+[[nodiscard]] inline runtime::SpmdOptions effective_spmd(
+    const MidasOptions& opt) {
+  runtime::SpmdOptions sopt = opt.spmd;
+  if (!sopt.faults.empty()) sopt.supervise = true;
+  return sopt;
+}
+
+/// Lanes of the failure-view vote: every rank contributes the hash of its
+/// failed-rank list; after a min/max allreduce, lo == hi iff all survivors
+/// saw the same view.
+struct HashRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+};
 
 /// Exchange one DP level: for each neighboring part, pack the batch-wide
 /// values of the boundary vertices, alltoallv within the phase group, and
@@ -125,18 +150,102 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
   Timer wall;
   // Shared flags written once per round under an allreduce barrier.
   std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
+  const runtime::SpmdOptions sopt = detail::effective_spmd(opt);
 
-  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, [&](runtime::Comm&
-                                                                world) {
+  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, sopt,
+                                [&](runtime::Comm& world) {
     const int group_color = world.rank() / opt.n1;
+    // Supervised runs shrink world collectives over survivors; the phase
+    // group keeps kThrow (the default for supervised split children): a
+    // group that loses its member's graph part cannot continue.
+    if (world.supervised())
+      world.set_fail_policy(runtime::FailPolicy::kShrink);
     runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
-    const auto& view = views[static_cast<std::size_t>(group.rank())];
+    // The part a rank owns is fixed by its world rank — never by its rank
+    // in `group`, which shifts when the split excluded a dead member.
+    const auto& view = views[static_cast<std::size_t>(world.rank() % opt.n1)];
     const std::uint32_t nl = view.num_local();
     const std::uint32_t ng = view.num_ghosts();
 
     std::vector<std::uint32_t> v(nl);
     std::vector<V> r(static_cast<std::size_t>(k) * nl);
     std::vector<V> cur, next, ghost;
+
+    // One phase of the walk DP: the N2-wide base case plus k-1
+    // halo-exchanged inductive levels, XOR-accumulated into `total`.
+    // XOR makes this self-inverse: running the same phase twice removes
+    // its contribution again, which is how the failover protocol moves
+    // phases between groups without a separate "undo" path.
+    auto compute_phase = [&](std::uint64_t phase, V& total) {
+      const auto [q0, q1] = sched.phase_range(phase);
+      const std::size_t batch = q1 - q0;
+      cur.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+      next.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+      ghost.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+
+      // Memory model: each level streams the local adjacency plus the
+      // active state arrays; the resident working set decides hot/cold.
+      const std::uint64_t adj_bytes =
+          view.adj.size() * sizeof(partition::NbrRef) +
+          view.adj_offsets.size() * sizeof(std::uint64_t);
+      const std::uint64_t state_bytes =
+          (static_cast<std::uint64_t>(nl) * 2 + ng) * batch * sizeof(V);
+      const std::uint64_t working_set =
+          adj_bytes + state_bytes + r.size() * sizeof(V);
+
+      // Base case P(i, q, 1).
+      for (std::uint32_t li = 0; li < nl; ++li) {
+        V* row = cur.data() + static_cast<std::size_t>(li) * batch;
+        const V r1 = r[li];
+        for (std::size_t b = 0; b < batch; ++b) {
+          const auto q = static_cast<std::uint32_t>(q0 + b);
+          row[b] = inner_product_odd(v[li], q) ? f.zero() : r1;
+        }
+      }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+
+      // Inductive steps with one halo exchange per level.
+      for (int j = 2; j <= k; ++j) {
+        detail::halo_exchange(group, view, cur, ghost, batch);
+        const V* rj = r.data() + static_cast<std::size_t>(j - 1) * nl;
+        std::uint64_t ops = 0;
+        for (std::uint32_t li = 0; li < nl; ++li) {
+          V* out = next.data() + static_cast<std::size_t>(li) * batch;
+          // Accumulate neighbor values lane-wise.
+          std::fill(out, out + batch, f.zero());
+          const auto begin = view.adj_offsets[li];
+          const auto end = view.adj_offsets[li + 1];
+          for (auto e = begin; e < end; ++e) {
+            const auto ref = view.adj[e];
+            const V* src =
+                ref.is_ghost()
+                    ? ghost.data() +
+                          static_cast<std::size_t>(ref.index()) * batch
+                    : cur.data() +
+                          static_cast<std::size_t>(ref.index()) * batch;
+            for (std::size_t b = 0; b < batch; ++b)
+              out[b] = f.add(out[b], src[b]);
+          }
+          ops += (end - begin) * batch;
+          // Gate by liveness and scale by the level coefficient.
+          const V rji = rj[li];
+          for (std::size_t b = 0; b < batch; ++b) {
+            const auto q = static_cast<std::uint32_t>(q0 + b);
+            out[b] = inner_product_odd(v[li], q) ? f.zero()
+                                                 : f.mul(rji, out[b]);
+          }
+          ops += batch;
+        }
+        world.charge_compute(ops);
+        // Kernel traffic: every adjacency entry pulls a batch-wide row of
+        // neighbor state (random access), plus one pass over adjacency.
+        world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+        std::swap(cur, next);
+      }
+      detail::accumulate_level(f, cur,
+                               static_cast<std::size_t>(nl) * batch, total);
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+    };
 
     for (int round = 0; round < opt.rounds(); ++round) {
       for (std::uint32_t li = 0; li < nl; ++li) {
@@ -147,92 +256,141 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
               f, opt.seed, round, gid, static_cast<std::uint32_t>(j));
       }
       V total = f.zero();
-      for (std::uint64_t phase = group_color; phase < sched.phases();
-           phase += sched.groups()) {
-        const auto [q0, q1] = sched.phase_range(phase);
-        const std::size_t batch = q1 - q0;
-        cur.assign(static_cast<std::size_t>(nl) * batch, f.zero());
-        next.assign(static_cast<std::size_t>(nl) * batch, f.zero());
-        ghost.assign(static_cast<std::size_t>(ng) * batch, f.zero());
 
-        // Memory model: each level streams the local adjacency plus the
-        // active state arrays; the resident working set decides hot/cold.
-        const std::uint64_t adj_bytes =
-            view.adj.size() * sizeof(partition::NbrRef) +
-            view.adj_offsets.size() * sizeof(std::uint64_t);
-        const std::uint64_t state_bytes =
-            (static_cast<std::uint64_t>(nl) * 2 + ng) * batch * sizeof(V);
-        const std::uint64_t working_set =
-            adj_bytes + state_bytes + r.size() * sizeof(V);
-
-        // Base case P(i, q, 1).
-        for (std::uint32_t li = 0; li < nl; ++li) {
-          V* row = cur.data() + static_cast<std::size_t>(li) * batch;
-          const V r1 = r[li];
-          for (std::size_t b = 0; b < batch; ++b) {
-            const auto q = static_cast<std::uint32_t>(q0 + b);
-            row[b] = inner_product_odd(v[li], q) ? f.zero() : r1;
-          }
-        }
-        world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
-
-        // Inductive steps with one halo exchange per level.
-        for (int j = 2; j <= k; ++j) {
-          detail::halo_exchange(group, view, cur, ghost, batch);
-          const V* rj = r.data() + static_cast<std::size_t>(j - 1) * nl;
-          std::uint64_t ops = 0;
-          for (std::uint32_t li = 0; li < nl; ++li) {
-            V* out = next.data() + static_cast<std::size_t>(li) * batch;
-            // Accumulate neighbor values lane-wise.
-            std::fill(out, out + batch, f.zero());
-            const auto begin = view.adj_offsets[li];
-            const auto end = view.adj_offsets[li + 1];
-            for (auto e = begin; e < end; ++e) {
-              const auto ref = view.adj[e];
-              const V* src =
-                  ref.is_ghost()
-                      ? ghost.data() +
-                            static_cast<std::size_t>(ref.index()) * batch
-                      : cur.data() +
-                            static_cast<std::size_t>(ref.index()) * batch;
-              for (std::size_t b = 0; b < batch; ++b)
-                out[b] = f.add(out[b], src[b]);
-            }
-            ops += (end - begin) * batch;
-            // Gate by liveness and scale by the level coefficient.
-            const V rji = rj[li];
-            for (std::size_t b = 0; b < batch; ++b) {
-              const auto q = static_cast<std::uint32_t>(q0 + b);
-              out[b] = inner_product_odd(v[li], q) ? f.zero()
-                                                   : f.mul(rji, out[b]);
-            }
-            ops += batch;
-          }
-          world.charge_compute(ops);
-          // Kernel traffic: every adjacency entry pulls a batch-wide row of
-          // neighbor state (random access), plus one pass over adjacency.
-          world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
-          std::swap(cur, next);
-        }
-        detail::accumulate_level(f, cur,
-                                 static_cast<std::size_t>(nl) * batch, total);
-        world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+      if (!world.supervised()) {
+        // Clean fast path — identical collective sequence to the original
+        // engine (paper's MPIREDUCE per round).
+        for (std::uint64_t phase = group_color; phase < sched.phases();
+             phase += sched.groups())
+          compute_phase(phase, total);
+        V buf = total;
+        world.allreduce<V>(std::span<V>(&buf, 1),
+                           [&f](V& a, const V& b) { a = f.add(a, b); });
+        if (world.rank() == 0 && buf != f.zero())
+          round_found[static_cast<std::size_t>(round)] = 1;
+        world.barrier();
+        if (opt.early_exit && buf != f.zero()) break;
+        continue;
       }
-      // Combine partial sums across all ranks (paper's MPIREDUCE).
-      V buf = total;
-      world.allreduce<V>(std::span<V>(&buf, 1),
-                         [&f](V& a, const V& b) { a = f.add(a, b); });
-      if (world.rank() == 0 && buf != f.zero())
+
+      // Supervised: speculative compute, then the vote/redo protocol
+      // (docs/RESILIENCE.md). `have` lists the phases whose contributions
+      // are currently folded into `total` (the round-level checkpoint is
+      // the per-round allreduce itself: completed rounds are never redone).
+      std::vector<std::uint64_t> have;
+      if (group.size() == opt.n1 && !group.any_peer_failed()) {
+        try {
+          for (std::uint64_t phase = group_color; phase < sched.phases();
+               phase += sched.groups()) {
+            compute_phase(phase, total);
+            have.push_back(phase);
+          }
+        } catch (const runtime::RankFailedError&) {
+          // A group member died mid-round: this group's shares cannot be
+          // completed, so discard them — intact groups recompute the
+          // whole set of our phases.
+          total = f.zero();
+          have.clear();
+        }
+      }
+
+      V reduced = f.zero();
+      std::uint64_t agreed = 0;
+      bool reduced_valid = false;
+      std::vector<int> agreed_failed;
+      while (true) {
+        // Vote on the failure view. The min/max result is shared, so the
+        // decision below is uniform across survivors — nobody can break
+        // out of the loop while a peer redoes, which would deadlock.
+        std::vector<int> failed = world.failed_world_ranks();
+        detail::HashRange hr;
+        hr.lo = hr.hi = runtime::fnv1a(
+            std::as_bytes(std::span<const int>(failed)));
+        world.allreduce<detail::HashRange>(
+            std::span<detail::HashRange>(&hr, 1),
+            [](detail::HashRange& a, const detail::HashRange& b) {
+              a.lo = std::min(a.lo, b.lo);
+              a.hi = std::max(a.hi, b.hi);
+            });
+        if (hr.lo != hr.hi) continue;  // views diverged: re-read, re-vote
+        if (reduced_valid && hr.lo == agreed) break;  // stable: accept
+        agreed = hr.lo;
+        agreed_failed = std::move(failed);
+
+        std::vector<int> dead_groups, intact_groups;
+        for (int g = 0; g < sched.groups(); ++g) {
+          bool dead = false;
+          for (int s = 0; s < opt.n1 && !dead; ++s)
+            dead = std::binary_search(agreed_failed.begin(),
+                                      agreed_failed.end(), g * opt.n1 + s);
+          (dead ? dead_groups : intact_groups).push_back(g);
+        }
+        if (intact_groups.empty())
+          throw runtime::UnrecoverableFaultError(
+              "every phase group lost a member; no intact graph replica "
+              "left to recompute their phases");
+
+        if (std::binary_search(dead_groups.begin(), dead_groups.end(),
+                               group_color)) {
+          // My group is incomplete: its contribution (including any phase
+          // shares survivors did finish) is recomputed by intact groups,
+          // so survivors must contribute exactly zero.
+          total = f.zero();
+          have.clear();
+        } else {
+          std::vector<std::uint64_t> want;
+          for (std::uint64_t phase = group_color; phase < sched.phases();
+               phase += sched.groups())
+            want.push_back(phase);
+          const auto extra = failover_phases(sched, dead_groups,
+                                             intact_groups, group_color);
+          want.insert(want.end(), extra.begin(), extra.end());
+          std::sort(want.begin(), want.end());
+          std::vector<std::uint64_t> delta;
+          std::set_symmetric_difference(want.begin(), want.end(),
+                                        have.begin(), have.end(),
+                                        std::back_inserter(delta));
+          try {
+            // XOR self-inverse: phases entering `want` are added, phases
+            // leaving it are cancelled — both by the same computation.
+            for (std::uint64_t phase : delta) compute_phase(phase, total);
+            have = std::move(want);
+          } catch (const runtime::RankFailedError&) {
+            total = f.zero();
+            have.clear();
+          }
+        }
+
+        reduced = total;
+        world.allreduce<V>(std::span<V>(&reduced, 1),
+                           [&f](V& a, const V& b) { a = f.add(a, b); });
+        reduced_valid = true;
+        // Loop back to the vote: if a rank died before this allreduce
+        // completed, its contribution is missing — the next vote sees the
+        // changed view and redoes the reduction.
+      }
+
+      int writer = 0;
+      while (std::binary_search(agreed_failed.begin(), agreed_failed.end(),
+                                writer))
+        ++writer;
+      if (world.rank() == writer && reduced != f.zero())
         round_found[static_cast<std::size_t>(round)] = 1;
-      world.barrier();
-      if (opt.early_exit && buf != f.zero()) break;
+      if (opt.early_exit && reduced != f.zero()) break;
     }
   });
 
+  // Failover masks any failure that leaves an intact group; if nobody
+  // survived to finish the rounds, surface the typed fault instead of
+  // returning an all-zero (silently wrong) answer.
+  if (static_cast<int>(spmd.failed_ranks.size()) == opt.n_ranks &&
+      spmd.first_error)
+    std::rethrow_exception(spmd.first_error);
   result.wall_s = wall.elapsed_s();
   result.vtime = spmd.makespan;
   result.total_stats = spmd.total;
   result.vclocks = spmd.vclocks;
+  result.failed_ranks = spmd.failed_ranks;
   for (int round = 0; round < opt.rounds(); ++round) {
     ++result.rounds_run;
     if (round_found[static_cast<std::size_t>(round)]) {
@@ -295,9 +453,12 @@ MidasResult midas_ktree(const graph::Graph& g,
   MidasResult result;
   Timer wall;
   std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
+  // No failover here (only the k-path engine masks failures), but faults
+  // still terminate with typed errors instead of hangs.
+  const runtime::SpmdOptions sopt = detail::effective_spmd(opt);
 
-  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, [&](runtime::Comm&
-                                                                world) {
+  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, sopt,
+                                [&](runtime::Comm& world) {
     const int group_color = world.rank() / opt.n1;
     runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
     const auto& view = views[static_cast<std::size_t>(group.rank())];
@@ -391,10 +552,13 @@ MidasResult midas_ktree(const graph::Graph& g,
     }
   });
 
+  if (!spmd.failed_ranks.empty() && spmd.first_error)
+    std::rethrow_exception(spmd.first_error);
   result.wall_s = wall.elapsed_s();
   result.vtime = spmd.makespan;
   result.total_stats = spmd.total;
   result.vclocks = spmd.vclocks;
+  result.failed_ranks = spmd.failed_ranks;
   for (int round = 0; round < opt.rounds(); ++round) {
     ++result.rounds_run;
     if (round_found[static_cast<std::size_t>(round)]) {
@@ -457,7 +621,8 @@ MidasScanResult midas_scan(const graph::Graph& g,
       static_cast<std::size_t>(opt.rounds()) * (k + 1) * width, 0);
 
   runtime::SpmdResult spmd = runtime::run_spmd(
-      opt.n_ranks, opt.model, [&](runtime::Comm& world) {
+      opt.n_ranks, opt.model, detail::effective_spmd(opt),
+      [&](runtime::Comm& world) {
         const int group_color = world.rank() / opt.n1;
         runtime::Comm group =
             world.split(group_color, world.rank() % opt.n1);
@@ -613,6 +778,8 @@ MidasScanResult midas_scan(const graph::Graph& g,
         }
       });
 
+  if (!spmd.failed_ranks.empty() && spmd.first_error)
+    std::rethrow_exception(spmd.first_error);
   result.wall_s = wall.elapsed_s();
   result.vtime = spmd.makespan;
   result.total_stats = spmd.total;
@@ -673,7 +840,8 @@ MidasWeightedResult midas_weighted_kpath(
       static_cast<std::size_t>(opt.rounds()) * width, 0);
 
   runtime::SpmdResult spmd = runtime::run_spmd(
-      opt.n_ranks, opt.model, [&](runtime::Comm& world) {
+      opt.n_ranks, opt.model, detail::effective_spmd(opt),
+      [&](runtime::Comm& world) {
         const int group_color = world.rank() / opt.n1;
         runtime::Comm group =
             world.split(group_color, world.rank() % opt.n1);
@@ -780,6 +948,8 @@ MidasWeightedResult midas_weighted_kpath(
         }
       });
 
+  if (!spmd.failed_ranks.empty() && spmd.first_error)
+    std::rethrow_exception(spmd.first_error);
   result.wall_s = wall.elapsed_s();
   result.vtime = spmd.makespan;
   result.total_stats = spmd.total;

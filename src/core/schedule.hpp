@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "util/require.hpp"
 
@@ -60,6 +61,34 @@ struct Schedule {
     return {first, last};
   }
 };
+
+/// Failover assignment (docs/RESILIENCE.md): the phases owned by dead
+/// groups, enumerated in ascending phase order, are dealt round-robin to
+/// the intact groups in ascending group order. Returns the extra phases
+/// `my_group` must recompute. Purely arithmetic in the failure view, so
+/// every rank that agrees on (dead_groups, intact_groups) derives the same
+/// assignment — no coordination messages needed.
+[[nodiscard]] inline std::vector<std::uint64_t> failover_phases(
+    const Schedule& s, const std::vector<int>& dead_groups,
+    const std::vector<int>& intact_groups, int my_group) {
+  std::vector<std::uint64_t> mine;
+  if (dead_groups.empty() || intact_groups.empty()) return mine;
+  const auto it =
+      std::find(intact_groups.begin(), intact_groups.end(), my_group);
+  if (it == intact_groups.end()) return mine;
+  const auto pos =
+      static_cast<std::size_t>(it - intact_groups.begin());
+  const auto a = static_cast<std::uint64_t>(s.groups());
+  std::uint64_t dealt = 0;
+  for (std::uint64_t p = 0; p < s.phases(); ++p) {
+    const int owner = static_cast<int>(p % a);
+    if (!std::binary_search(dead_groups.begin(), dead_groups.end(), owner))
+      continue;
+    if (dealt % intact_groups.size() == pos) mine.push_back(p);
+    ++dealt;
+  }
+  return mine;
+}
 
 /// Validate and build a schedule. Unlike the paper's exposition (which
 /// assumes N1 | N and N2 | 2^k), non-divisible configurations are accepted:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 #include <tuple>
@@ -12,9 +13,20 @@ namespace midas::runtime {
 
 namespace {
 struct Message {
-  std::vector<std::byte> data;
-  double send_clock = 0.0;  // sender's virtual clock when the send completed
+  std::vector<std::byte> data;       // the payload as the sender meant it
+  std::vector<std::byte> wire;       // corrupted on-the-wire copy, if any
+  std::uint64_t checksum = 0;        // fnv1a of `data`, verified at recv
+  double send_clock = 0.0;  // sender's virtual clock at delivery time
 };
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Deterministic single-bit flip used to materialize a corruption decision.
+void flip_one_bit(std::vector<std::byte>& bytes, std::uint64_t key) {
+  if (bytes.empty()) return;
+  const std::uint64_t bit = fault_mix(key) % (bytes.size() * 8);
+  bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+}
 }  // namespace
 
 /// Shared state of one communicator (world or split sub-group).
@@ -22,9 +34,11 @@ class Group {
  public:
   Group(World* world, int id, std::vector<int> members)
       : world_(world), id_(id), members_(std::move(members)) {
-    stage_ptr_.assign(members_.size(), nullptr);
-    stage_len_.assign(members_.size(), 0);
+    stage_bytes_.resize(members_.size());
+    stage_lists_.resize(members_.size());
     split_colors_.assign(members_.size(), {0, 0});
+    arrived_mask_.assign(members_.size(), 0);
+    snapshot_mask_.assign(members_.size(), 1);
     boxes_ = std::vector<MailboxShard>(members_.size());
   }
 
@@ -36,21 +50,41 @@ class Group {
   }
   [[nodiscard]] int id() const noexcept { return id_; }
 
-  /// Generation barrier. `completion` (if any) runs on the last arriver
-  /// while all others are blocked — safe for cross-rank bookkeeping.
-  void barrier_sync(const std::function<void()>& completion = {});
+  /// Generation barrier, failure-aware. Completes when every member has
+  /// either arrived or failed (kShrink; kAbort trivially — nobody can fail
+  /// without aborting the world). Under kThrow, raises RankFailedError as
+  /// soon as a member of the communicator is known dead. `completion` (if
+  /// any) runs on the completing rank while all others are blocked — safe
+  /// for cross-rank bookkeeping. Returns the generation this barrier
+  /// completed (a deterministic per-group collective sequence number).
+  std::uint64_t barrier_sync(int rank, FailPolicy policy,
+                             const std::function<void()>& completion = {});
 
-  // Staging area for collectives: any rank may publish a pointer/length,
-  // valid between the surrounding barrier_sync calls.
+  // Staging area for collectives. Ranks publish a *copy* into group-owned
+  // storage (never a pointer into their own stack): a rank that aborts out
+  // of a collective unwinds and frees its local buffers while slower peers
+  // may still be reading its contribution, so staged data must outlive the
+  // publishing rank's frame. Valid between the surrounding barrier_syncs.
   void publish(int rank, const void* p, std::size_t n) {
-    stage_ptr_[static_cast<std::size_t>(rank)] = p;
-    stage_len_[static_cast<std::size_t>(rank)] = n;
+    auto& slot = stage_bytes_[static_cast<std::size_t>(rank)];
+    slot.resize(n);
+    if (n > 0) std::memcpy(slot.data(), p, n);
   }
-  [[nodiscard]] const void* staged_ptr(int rank) const {
-    return stage_ptr_[static_cast<std::size_t>(rank)];
+  [[nodiscard]] const std::vector<std::byte>& staged_bytes(int rank) const {
+    return stage_bytes_[static_cast<std::size_t>(rank)];
   }
-  [[nodiscard]] std::size_t staged_len(int rank) const {
-    return stage_len_[static_cast<std::size_t>(rank)];
+  void publish_list(int rank, std::vector<std::vector<std::byte>> payloads) {
+    stage_lists_[static_cast<std::size_t>(rank)] = std::move(payloads);
+  }
+  [[nodiscard]] const std::vector<std::vector<std::byte>>& staged_list(
+      int rank) const {
+    return stage_lists_[static_cast<std::size_t>(rank)];
+  }
+  /// Did `rank` arrive at the barrier generation that just completed?
+  /// (Members that had failed are absent; collectives must skip their
+  /// stale staging slots.) Stable until the next barrier completes.
+  [[nodiscard]] bool arrived_in_snapshot(int rank) const {
+    return snapshot_mask_[static_cast<std::size_t>(rank)] != 0;
   }
 
   // Split bookkeeping (guarded by the barrier protocol).
@@ -73,31 +107,66 @@ class Group {
   };
   std::vector<MailboxShard> boxes_;
 
+  /// Wake everything blocked on this group (barrier + mailboxes); called
+  /// by the world when a rank fails or the run aborts.
+  void wake_all() {
+    {
+      std::lock_guard lk(m_);
+      cv_.notify_all();
+    }
+    for (auto& box : boxes_) {
+      std::lock_guard lk(box.m);
+      box.cv.notify_all();
+    }
+  }
+
   World* world_;
 
  private:
+  [[nodiscard]] bool live_arrivals_complete() const;
+  void complete_generation(const std::function<void()>& completion);
+
   int id_;
   std::vector<int> members_;
   std::mutex m_;
   std::condition_variable cv_;
   int arrived_ = 0;
   std::uint64_t generation_ = 0;
-  std::vector<const void*> stage_ptr_;
-  std::vector<std::size_t> stage_len_;
+  std::vector<std::vector<std::byte>> stage_bytes_;
+  std::vector<std::vector<std::vector<std::byte>>> stage_lists_;
   std::vector<std::pair<int, int>> split_colors_;
+  std::vector<char> arrived_mask_;   // per member, current generation
+  std::vector<char> snapshot_mask_;  // arrivals of the last completed gen
 };
 
 /// Whole-program state shared by all ranks.
 class World {
  public:
-  World(int size, const CostModel& model)
+  World(int size, const CostModel& model, const SpmdOptions& opts)
       : size_(size),
         model_(model),
+        opts_(opts),
+        injector_(opts.faults),
         clocks_(static_cast<std::size_t>(size), 0.0),
-        stats_(static_cast<std::size_t>(size)) {}
+        stats_(static_cast<std::size_t>(size)),
+        events_(static_cast<std::size_t>(size), 0),
+        p2p_seq_(static_cast<std::size_t>(size)),
+        failed_(new std::atomic<bool>[static_cast<std::size_t>(size)]) {
+    for (int r = 0; r < size; ++r)
+      failed_[static_cast<std::size_t>(r)].store(false,
+                                                 std::memory_order_relaxed);
+  }
 
   [[nodiscard]] int size() const noexcept { return size_; }
   [[nodiscard]] const CostModel& model() const noexcept { return model_; }
+  [[nodiscard]] const SpmdOptions& opts() const noexcept { return opts_; }
+  [[nodiscard]] const FaultInjector& injector() const noexcept {
+    return injector_;
+  }
+  [[nodiscard]] bool faults_armed() const noexcept {
+    return injector_.armed();
+  }
+  [[nodiscard]] bool supervised() const noexcept { return opts_.supervise; }
 
   double& clock(int world_rank) {
     return clocks_[static_cast<std::size_t>(world_rank)];
@@ -112,39 +181,176 @@ class World {
     return stats_;
   }
 
+  /// Per-rank communication event counter (only the rank itself touches
+  /// its slot) — the clock faults are keyed to.
+  std::uint64_t& event_counter(int world_rank) {
+    return events_[static_cast<std::size_t>(world_rank)];
+  }
+  /// Per-sender point-to-point sequence numbers, keyed by (dest, tag);
+  /// only the sender's thread touches its own map.
+  std::uint64_t next_p2p_seq(int src_wr, int dst_wr, int tag) {
+    return p2p_seq_[static_cast<std::size_t>(src_wr)][{dst_wr, tag}]++;
+  }
+
   int next_group_id() { return group_counter_.fetch_add(1) + 1; }
 
+  void register_group(const std::shared_ptr<Group>& g) {
+    std::lock_guard lk(groups_m_);
+    groups_.push_back(g);
+  }
+
+  // -- failure state --------------------------------------------------------
+  [[nodiscard]] bool is_failed(int world_rank) const noexcept {
+    return failed_[static_cast<std::size_t>(world_rank)].load(
+        std::memory_order_acquire);
+  }
+  [[nodiscard]] bool any_failed() const noexcept {
+    return failed_count_.load(std::memory_order_acquire) > 0;
+  }
+  [[nodiscard]] int failed_count() const noexcept {
+    return failed_count_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
+
+  /// Record a rank's death and wake every blocked peer so nothing waits on
+  /// it forever. Idempotent.
+  void mark_failed(int world_rank) {
+    bool expected = false;
+    if (!failed_[static_cast<std::size_t>(world_rank)]
+             .compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel))
+      return;
+    failed_count_.fetch_add(1, std::memory_order_acq_rel);
+    wake_everything();
+  }
+
+  /// Unsupervised teardown: every blocking call raises WorldAbortError.
+  void request_abort() {
+    aborted_.store(true, std::memory_order_release);
+    wake_everything();
+  }
+
  private:
+  void wake_everything() {
+    std::vector<std::shared_ptr<Group>> groups;
+    {
+      std::lock_guard lk(groups_m_);
+      groups.reserve(groups_.size());
+      for (auto& w : groups_)
+        if (auto g = w.lock()) groups.push_back(std::move(g));
+    }
+    for (auto& g : groups) g->wake_all();
+  }
+
   int size_;
   CostModel model_;
+  SpmdOptions opts_;
+  FaultInjector injector_;
   std::vector<double> clocks_;
   std::vector<CommStats> stats_;
+  std::vector<std::uint64_t> events_;
+  std::vector<std::map<std::pair<int, int>, std::uint64_t>> p2p_seq_;
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+  std::atomic<int> failed_count_{0};
+  std::atomic<bool> aborted_{false};
   std::atomic<int> group_counter_{0};
+  std::mutex groups_m_;
+  std::vector<std::weak_ptr<Group>> groups_;
 };
 
-void Group::barrier_sync(const std::function<void()>& completion) {
-  std::unique_lock lk(m_);
-  const std::uint64_t gen = generation_;
-  if (++arrived_ == size()) {
-    arrived_ = 0;
-    // Synchronize virtual clocks to the member max plus the barrier cost;
-    // each member's catch-up is accounted as barrier wait.
-    double mx = 0.0;
-    for (int r = 0; r < size(); ++r)
+bool Group::live_arrivals_complete() const {
+  if (arrived_ == size()) return true;
+  if (!world_->any_failed()) return false;
+  for (int r = 0; r < size(); ++r)
+    if (!arrived_mask_[static_cast<std::size_t>(r)] &&
+        !world_->is_failed(world_rank_of(r)))
+      return false;
+  return true;
+}
+
+void Group::complete_generation(const std::function<void()>& completion) {
+  // Synchronize the arrived members' virtual clocks to their max plus the
+  // barrier cost; each member's catch-up is accounted as barrier wait.
+  // Failed members are excluded: their clocks stay frozen at death.
+  double mx = 0.0;
+  for (int r = 0; r < size(); ++r)
+    if (arrived_mask_[static_cast<std::size_t>(r)])
       mx = std::max(mx, world_->clock(world_rank_of(r)));
-    const double cost = world_->model().barrier_cost(size());
-    for (int r = 0; r < size(); ++r) {
-      auto& st = world_->stats(world_rank_of(r));
-      st.t_wait += mx - world_->clock(world_rank_of(r));
-      st.t_comm += cost;
-      world_->clock(world_rank_of(r)) = mx + cost;
-    }
-    if (completion) completion();
-    ++generation_;
-    cv_.notify_all();
-  } else {
-    cv_.wait(lk, [&] { return generation_ != gen; });
+  const double cost = world_->model().barrier_cost(size());
+  for (int r = 0; r < size(); ++r) {
+    if (!arrived_mask_[static_cast<std::size_t>(r)]) continue;
+    auto& st = world_->stats(world_rank_of(r));
+    st.t_wait += mx - world_->clock(world_rank_of(r));
+    st.t_comm += cost;
+    world_->clock(world_rank_of(r)) = mx + cost;
   }
+  snapshot_mask_.assign(arrived_mask_.begin(), arrived_mask_.end());
+  if (completion) completion();
+  arrived_ = 0;
+  std::fill(arrived_mask_.begin(), arrived_mask_.end(), 0);
+  ++generation_;
+  cv_.notify_all();
+}
+
+std::uint64_t Group::barrier_sync(int rank, FailPolicy policy,
+                                  const std::function<void()>& completion) {
+  std::unique_lock lk(m_);
+  if (world_->aborted()) throw WorldAbortError();
+  if (policy == FailPolicy::kThrow && world_->any_failed()) {
+    for (int r = 0; r < size(); ++r)
+      if (r != rank && world_->is_failed(world_rank_of(r)))
+        throw RankFailedError(world_rank_of(r),
+                              "peer died before a collective");
+  }
+
+  const std::uint64_t gen = generation_;
+  arrived_mask_[static_cast<std::size_t>(rank)] = 1;
+  ++arrived_;
+  if (live_arrivals_complete()) {
+    complete_generation(completion);
+    return gen;
+  }
+
+  const bool guard = world_->supervised();
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(world_->opts().timeout_s);
+  auto unarrive = [&] {
+    arrived_mask_[static_cast<std::size_t>(rank)] = 0;
+    --arrived_;
+  };
+  while (generation_ == gen) {
+    if (world_->aborted()) {
+      unarrive();
+      throw WorldAbortError();
+    }
+    if (policy == FailPolicy::kThrow && world_->any_failed()) {
+      for (int r = 0; r < size(); ++r)
+        if (r != rank && world_->is_failed(world_rank_of(r))) {
+          unarrive();
+          throw RankFailedError(world_rank_of(r),
+                                "peer died during a collective");
+        }
+    }
+    // A peer's death may have made the arrived set complete; any waiter
+    // may take over the completion role.
+    if (live_arrivals_complete()) {
+      complete_generation(completion);
+      return gen;
+    }
+    if (guard) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+          SteadyClock::now() >= deadline && generation_ == gen) {
+        unarrive();
+        throw TimeoutError("collective exceeded the supervision guard");
+      }
+    } else {
+      cv_.wait(lk);
+    }
+  }
+  return gen;
 }
 
 // ---------------------------------------------------------------------------
@@ -153,8 +359,47 @@ void Group::barrier_sync(const std::function<void()>& completion) {
 
 int Comm::size() const noexcept { return group_->size(); }
 
+bool Comm::peer_failed(int rank) const noexcept {
+  return world_->is_failed(group_->world_rank_of(rank));
+}
+
+bool Comm::any_peer_failed() const noexcept {
+  if (!world_->any_failed()) return false;
+  for (int r = 0; r < size(); ++r)
+    if (world_->is_failed(group_->world_rank_of(r))) return true;
+  return false;
+}
+
+int Comm::live_size() const noexcept {
+  int n = 0;
+  for (int r = 0; r < size(); ++r)
+    if (!world_->is_failed(group_->world_rank_of(r))) ++n;
+  return n;
+}
+
+std::vector<int> Comm::failed_world_ranks() const {
+  std::vector<int> out;
+  for (int wr = 0; wr < world_->size(); ++wr)
+    if (world_->is_failed(wr)) out.push_back(wr);
+  return out;
+}
+
+bool Comm::supervised() const noexcept { return world_->supervised(); }
+
+void Comm::fault_event() {
+  if (world_->aborted()) throw WorldAbortError();
+  if (!world_->faults_armed()) return;
+  const std::uint64_t event = world_->event_counter(world_rank_)++;
+  if (world_->injector().should_kill(world_rank_, event,
+                                     world_->clock(world_rank_))) {
+    world_->mark_failed(world_rank_);
+    throw RankKilledFault(world_rank_);
+  }
+}
+
 void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   MIDAS_REQUIRE(dest >= 0 && dest < size(), "send: bad destination rank");
+  fault_event();
   auto& my_clock = world_->clock(world_rank_);
   my_clock += world_->model().message_cost(data.size());
   auto& st = world_->stats(world_rank_);
@@ -162,7 +407,40 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   st.messages_sent++;
   st.bytes_sent += data.size();
 
-  Message msg{std::vector<std::byte>(data.begin(), data.end()), my_clock};
+  Message msg{std::vector<std::byte>(data.begin(), data.end()),
+              {},
+              fnv1a(data),
+              0.0};
+
+  if (world_->faults_armed()) {
+    const int dst_wr = group_->world_rank_of(dest);
+    const std::uint64_t seq =
+        world_->next_p2p_seq(world_rank_, dst_wr, tag);
+    const MessageFate fate =
+        world_->injector().message_fate(world_rank_, dst_wr, seq);
+    if (!fate.clean()) {
+      // Transient faults become deterministic virtual time: the sender
+      // pays timeout + retransmission for every lost/garbled attempt and
+      // the delivery lands late; the payload always arrives intact
+      // (corruption is caught by the checksum and retransmitted).
+      const double penalty =
+          world_->model().retry_cost(fate.retries(), data.size()) +
+          fate.delay_s;
+      my_clock += penalty;
+      st.t_fault += penalty;
+      st.messages_dropped += fate.drops;
+      st.retransmissions += fate.retries();
+      if (fate.delay_s > 0.0) st.messages_delayed++;
+      if (fate.corruptions > 0) {
+        msg.wire = msg.data;
+        flip_one_bit(msg.wire,
+                     world_->injector().plan().seed ^ seq ^
+                         static_cast<std::uint64_t>(dst_wr));
+      }
+    }
+  }
+
+  msg.send_clock = my_clock;
   auto& box = group_->boxes_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard lk(box.m);
@@ -173,17 +451,43 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
 
 std::vector<std::byte> Comm::recv(int src, int tag) {
   MIDAS_REQUIRE(src >= 0 && src < size(), "recv: bad source rank");
+  fault_event();
   auto& box = group_->boxes_[static_cast<std::size_t>(rank_)];
+  const int src_wr = group_->world_rank_of(src);
+  const bool guard = world_->supervised();
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(world_->opts().timeout_s);
   Message msg;
   {
     std::unique_lock lk(box.m);
     auto& q = box.queues[{src, tag}];
-    box.cv.wait(lk, [&] { return !q.empty(); });
+    while (q.empty()) {
+      if (world_->aborted()) throw WorldAbortError();
+      if (world_->is_failed(src_wr))
+        throw RankFailedError(src_wr, "recv source died with no message");
+      if (guard) {
+        if (box.cv.wait_until(lk, deadline) == std::cv_status::timeout &&
+            SteadyClock::now() >= deadline && q.empty())
+          throw TimeoutError("recv exceeded the supervision guard");
+      } else {
+        box.cv.wait(lk);
+      }
+    }
     msg = std::move(q.front());
     q.pop_front();
   }
   auto& my_clock = world_->clock(world_rank_);
   auto& st = world_->stats(world_rank_);
+  if (!msg.wire.empty()) {
+    // The on-the-wire copy was corrupted; the checksum must catch it, and
+    // the retransmitted (clean) payload must verify.
+    MIDAS_ASSERT(fnv1a(msg.wire) != msg.checksum,
+                 "bit-flip fault escaped the payload checksum");
+    st.messages_corrupted++;
+  }
+  MIDAS_ASSERT(fnv1a(msg.data) == msg.checksum,
+               "delivered payload failed checksum verification");
   if (msg.send_clock > my_clock) {
     st.t_wait += msg.send_clock - my_clock;
     my_clock = msg.send_clock;
@@ -194,13 +498,15 @@ std::vector<std::byte> Comm::recv(int src, int tag) {
 }
 
 void Comm::barrier() {
+  fault_event();
   world_->stats(world_rank_).barriers++;
-  group_->barrier_sync();
+  group_->barrier_sync(rank_, fail_policy_);
 }
 
 void Comm::allreduce_raw(
     void* data, std::size_t elem_size, std::size_t count,
     const std::function<void(void*, const void*)>& combine) {
+  fault_event();
   const std::size_t bytes = elem_size * count;
   world_->stats(world_rank_).allreduces++;
   world_->stats(world_rank_).t_comm +=
@@ -209,16 +515,24 @@ void Comm::allreduce_raw(
       world_->model().allreduce_cost(size(), bytes);
 
   group_->publish(rank_, data, bytes);
-  group_->barrier_sync();
-  // Reduce every rank's contribution, in rank order, into a private buffer.
+  group_->barrier_sync(rank_, fail_policy_);
+  // Reduce every arrived rank's contribution, in rank order, into a
+  // private buffer. Members that died before this collective are skipped —
+  // their staging slots are stale.
   std::vector<std::byte> acc(bytes);
-  std::memcpy(acc.data(), group_->staged_ptr(0), bytes);
-  for (int r = 1; r < size(); ++r) {
-    const auto* src = static_cast<const std::byte*>(group_->staged_ptr(r));
+  int first = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (!group_->arrived_in_snapshot(r)) continue;
+    const std::byte* src = group_->staged_bytes(r).data();
+    if (first < 0) {
+      first = r;
+      std::memcpy(acc.data(), src, bytes);
+      continue;
+    }
     for (std::size_t i = 0; i < count; ++i)
       combine(acc.data() + i * elem_size, src + i * elem_size);
   }
-  group_->barrier_sync();  // everyone is done reading the staged inputs
+  group_->barrier_sync(rank_, fail_policy_);  // staged inputs all read
   std::memcpy(data, acc.data(), bytes);
 }
 
@@ -226,6 +540,7 @@ void Comm::reduce_raw(
     int root, void* data, std::size_t elem_size, std::size_t count,
     const std::function<void(void*, const void*)>& combine) {
   MIDAS_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
+  fault_event();
   const std::size_t bytes = elem_size * count;
   world_->stats(world_rank_).allreduces++;
   world_->stats(world_rank_).t_comm +=
@@ -233,19 +548,25 @@ void Comm::reduce_raw(
   world_->clock(world_rank_) += world_->model().allreduce_cost(size(),
                                                                bytes);
   group_->publish(rank_, data, bytes);
-  group_->barrier_sync();
+  group_->barrier_sync(rank_, fail_policy_);
   if (rank_ == root) {
     std::vector<std::byte> acc(bytes);
-    std::memcpy(acc.data(), group_->staged_ptr(0), bytes);
-    for (int r = 1; r < size(); ++r) {
-      const auto* src = static_cast<const std::byte*>(group_->staged_ptr(r));
+    int first = -1;
+    for (int r = 0; r < size(); ++r) {
+      if (!group_->arrived_in_snapshot(r)) continue;
+      const std::byte* src = group_->staged_bytes(r).data();
+      if (first < 0) {
+        first = r;
+        std::memcpy(acc.data(), src, bytes);
+        continue;
+      }
       for (std::size_t i = 0; i < count; ++i)
         combine(acc.data() + i * elem_size, src + i * elem_size);
     }
-    group_->barrier_sync();
+    group_->barrier_sync(rank_, fail_policy_);
     std::memcpy(data, acc.data(), bytes);
   } else {
-    group_->barrier_sync();
+    group_->barrier_sync(rank_, fail_policy_);
   }
 }
 
@@ -255,13 +576,15 @@ std::vector<std::byte> Comm::scatter(
   if (rank_ == root)
     MIDAS_REQUIRE(static_cast<int>(chunks.size()) == size(),
                   "scatter: root must provide one chunk per rank");
-  group_->publish(rank_, &chunks, 0);
-  group_->barrier_sync();
-  const auto* root_chunks =
-      static_cast<const std::vector<std::vector<std::byte>>*>(
-          group_->staged_ptr(root));
+  fault_event();
+  group_->publish_list(rank_, rank_ == root ? chunks
+                                            : std::vector<std::vector<std::byte>>{});
+  group_->barrier_sync(rank_, fail_policy_);
+  if (!group_->arrived_in_snapshot(root))
+    throw RankFailedError(group_->world_rank_of(root),
+                          "scatter root died");
   std::vector<std::byte> mine =
-      (*root_chunks)[static_cast<std::size_t>(rank_)];
+      group_->staged_list(root)[static_cast<std::size_t>(rank_)];
   auto& st = world_->stats(world_rank_);
   if (rank_ != root && !mine.empty()) {
     world_->clock(world_rank_) += world_->model().message_cost(mine.size());
@@ -282,7 +605,7 @@ std::vector<std::byte> Comm::scatter(
     world_->clock(world_rank_) += send_time;
     st.t_comm += send_time;
   }
-  group_->barrier_sync();
+  group_->barrier_sync(rank_, fail_policy_);
   return mine;
 }
 
@@ -306,6 +629,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
     const std::vector<std::vector<std::byte>>& send) {
   MIDAS_REQUIRE(static_cast<int>(send.size()) == size(),
                 "alltoallv: send vector arity != communicator size");
+  fault_event();
   auto& st = world_->stats(world_rank_);
   const auto& model = world_->model();
 
@@ -319,44 +643,78 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
     st.bytes_sent += send[static_cast<std::size_t>(d)].size();
   }
 
-  group_->publish(rank_, &send, 0);
-  group_->barrier_sync();
+  group_->publish_list(rank_, send);
+  const std::uint64_t gen = group_->barrier_sync(rank_, fail_policy_);
+  // Deterministic per-collective fault key: every member derives the same
+  // value from (group id, completed generation), independent of thread
+  // timing.
+  const std::uint64_t fault_key =
+      (static_cast<std::uint64_t>(static_cast<unsigned>(group_->id()))
+       << 40) ^
+      gen;
 
   std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
   double recv_time = 0.0;
+  double fault_time = 0.0;
   for (int s = 0; s < size(); ++s) {
-    const auto* peer_send =
-        static_cast<const std::vector<std::vector<std::byte>>*>(
-            group_->staged_ptr(s));
-    const auto& payload = (*peer_send)[static_cast<std::size_t>(rank_)];
-    out[static_cast<std::size_t>(s)] = payload;
+    if (!group_->arrived_in_snapshot(s)) continue;  // dead peer: no payload
+    const auto& payload =
+        group_->staged_list(s)[static_cast<std::size_t>(rank_)];
     if (s != rank_ && !payload.empty()) {
+      if (world_->faults_armed()) {
+        const MessageFate fate = world_->injector().message_fate(
+            group_->world_rank_of(s), world_rank_, fault_key);
+        if (!fate.clean()) {
+          fault_time +=
+              model.retry_cost(fate.retries(), payload.size()) +
+              fate.delay_s;
+          st.messages_dropped += fate.drops;
+          st.retransmissions += fate.retries();
+          if (fate.delay_s > 0.0) st.messages_delayed++;
+          if (fate.corruptions > 0) {
+            // Materialize the bit flip and prove the checksum catches it;
+            // the retransmitted clean copy is what lands in `out`.
+            const std::uint64_t sum =
+                fnv1a(std::span<const std::byte>(payload));
+            std::vector<std::byte> wire = payload;
+            flip_one_bit(wire, world_->injector().plan().seed ^ fault_key ^
+                                   static_cast<std::uint64_t>(s));
+            MIDAS_ASSERT(fnv1a(std::span<const std::byte>(wire)) != sum,
+                         "bit-flip fault escaped the payload checksum");
+            st.messages_corrupted += fate.corruptions;
+          }
+        }
+      }
       recv_time += model.message_cost(payload.size());
       st.messages_received++;
       st.bytes_received += payload.size();
     }
+    out[static_cast<std::size_t>(s)] = payload;
   }
-  world_->clock(world_rank_) += std::max(send_time, recv_time);
+  world_->clock(world_rank_) += std::max(send_time, recv_time) + fault_time;
   st.t_comm += std::max(send_time, recv_time);
-  group_->barrier_sync();  // all reads of staged buffers complete
+  st.t_fault += fault_time;
+  group_->barrier_sync(rank_, fail_policy_);  // staged buffers all read
   return out;
 }
 
 std::vector<std::vector<std::byte>> Comm::gather(
     int root, std::span<const std::byte> data) {
   MIDAS_REQUIRE(root >= 0 && root < size(), "gather: bad root");
+  fault_event();
   auto& st = world_->stats(world_rank_);
   const auto& model = world_->model();
   group_->publish(rank_, data.data(), data.size());
-  group_->barrier_sync();
+  group_->barrier_sync(rank_, fail_policy_);
   std::vector<std::vector<std::byte>> out;
   if (rank_ == root) {
     out.resize(static_cast<std::size_t>(size()));
     double recv_time = 0.0;
     for (int s = 0; s < size(); ++s) {
-      const auto* p = static_cast<const std::byte*>(group_->staged_ptr(s));
-      const std::size_t n = group_->staged_len(s);
-      out[static_cast<std::size_t>(s)].assign(p, p + n);
+      if (!group_->arrived_in_snapshot(s)) continue;
+      const auto& staged = group_->staged_bytes(s);
+      const std::size_t n = staged.size();
+      out[static_cast<std::size_t>(s)] = staged;
       if (s != rank_ && n > 0) {
         recv_time += model.message_cost(n);
         st.messages_received++;
@@ -371,19 +729,23 @@ std::vector<std::vector<std::byte>> Comm::gather(
     st.messages_sent++;
     st.bytes_sent += data.size();
   }
-  group_->barrier_sync();
+  group_->barrier_sync(rank_, fail_policy_);
   return out;
 }
 
 void Comm::bcast(int root, std::span<std::byte> data) {
   MIDAS_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
-  group_->publish(rank_, data.data(), data.size());
-  group_->barrier_sync();
+  fault_event();
+  group_->publish(rank_, rank_ == root ? data.data() : nullptr,
+                  rank_ == root ? data.size() : 0);
+  group_->barrier_sync(rank_, fail_policy_);
+  if (!group_->arrived_in_snapshot(root))
+    throw RankFailedError(group_->world_rank_of(root), "bcast root died");
   if (rank_ != root) {
-    const auto* p = static_cast<const std::byte*>(group_->staged_ptr(root));
-    MIDAS_REQUIRE(group_->staged_len(root) == data.size(),
+    const auto& staged = group_->staged_bytes(root);
+    MIDAS_REQUIRE(staged.size() == data.size(),
                   "bcast: buffer size mismatch across ranks");
-    std::memcpy(data.data(), p, data.size());
+    std::memcpy(data.data(), staged.data(), data.size());
     world_->stats(world_rank_).messages_received++;
     world_->stats(world_rank_).bytes_received += data.size();
   }
@@ -392,18 +754,21 @@ void Comm::bcast(int root, std::span<std::byte> data) {
       world_->model().allreduce_cost(size(), data.size());
   world_->stats(world_rank_).t_comm +=
       world_->model().allreduce_cost(size(), data.size());
-  group_->barrier_sync();
+  group_->barrier_sync(rank_, fail_policy_);
 }
 
 Comm Comm::split(int color, int key) {
+  fault_event();
   group_->publish_split(rank_, color, key);
   Group* g = group_.get();
   World* w = world_;
-  g->barrier_sync([g, w] {
-    // Runs on the last arriver while everyone else is blocked.
+  g->barrier_sync(rank_, fail_policy_, [g, w] {
+    // Runs on the completing rank while everyone else is blocked. Members
+    // that died before the split are simply absent from every subgroup.
     g->split_groups_.clear();
     std::map<int, std::vector<std::tuple<int, int, int>>> by_color;
     for (int r = 0; r < g->size(); ++r) {
+      if (!g->arrived_in_snapshot(r)) continue;
       auto [color_r, key_r] = g->split_choice(r);
       by_color[color_r].emplace_back(key_r, r, g->world_rank_of(r));
     }
@@ -412,8 +777,10 @@ Comm Comm::split(int color, int key) {
       std::vector<int> members;
       members.reserve(tuples.size());
       for (auto& [key_r, r, wr] : tuples) members.push_back(wr);
-      g->split_groups_[c] =
+      auto sub =
           std::make_shared<Group>(w, w->next_group_id(), std::move(members));
+      w->register_group(sub);
+      g->split_groups_[c] = std::move(sub);
     }
   });
   std::shared_ptr<Group> mine = group_->split_groups_.at(color);
@@ -425,8 +792,12 @@ Comm Comm::split(int color, int key) {
     }
   }
   MIDAS_ASSERT(new_rank >= 0, "rank missing from its own split group");
-  group_->barrier_sync();  // everyone picked up their group
-  return Comm(world_, std::move(mine), new_rank, world_rank_);
+  group_->barrier_sync(rank_, fail_policy_);  // everyone picked up their group
+  // Children default to the conservative policy: supervised communicators
+  // throw on a dead member until the caller opts into shrinking.
+  const FailPolicy child_policy =
+      world_->supervised() ? FailPolicy::kThrow : FailPolicy::kAbort;
+  return Comm(world_, std::move(mine), new_rank, world_rank_, child_policy);
 }
 
 void Comm::charge_compute(std::uint64_t ops) {
@@ -455,17 +826,22 @@ const CostModel& Comm::model() const noexcept { return world_->model(); }
 // ---------------------------------------------------------------------------
 
 SpmdResult run_spmd(int nranks, const CostModel& model,
+                    const SpmdOptions& opts,
                     const std::function<void(Comm&)>& body) {
   MIDAS_REQUIRE(nranks >= 1, "run_spmd requires at least one rank");
-  World world(nranks, model);
+  World world(nranks, model, opts);
   std::vector<int> members(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) members[static_cast<std::size_t>(r)] = r;
   auto root = std::make_shared<Group>(&world, 0, std::move(members));
+  world.register_group(root);
 
+  const FailPolicy root_policy =
+      opts.supervise ? FailPolicy::kThrow : FailPolicy::kAbort;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   std::vector<Comm> comms;
   comms.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) comms.push_back(Comm(&world, root, r, r));
+  for (int r = 0; r < nranks; ++r)
+    comms.push_back(Comm(&world, root, r, r, root_policy));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
@@ -475,29 +851,74 @@ SpmdResult run_spmd(int nranks, const CostModel& model,
         body(comm);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // A failed rank would deadlock peers blocked in collectives; abort
-        // the whole process state by rethrowing after join is not possible
-        // if others never return, so we terminate the run by detaching the
-        // barrier: simplest robust policy is to std::terminate on a rank
-        // failure *unless* this is the only rank. For testability, ranks
-        // that fail before any collective simply return.
+        // Record the death first so peers blocked on this rank wake up and
+        // observe it (RankFailedError / shrink) instead of hanging, then —
+        // unsupervised — take the whole world down.
+        world.mark_failed(r);
+        if (!opts.supervise) world.request_abort();
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
 
   SpmdResult result;
+  if (opts.supervise) {
+    // Fault-class failures are data, not exceptions: report them in the
+    // result. Anything else is a bug in the body and still propagates.
+    for (int r = 0; r < nranks; ++r) {
+      const auto& e = errors[static_cast<std::size_t>(r)];
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const FaultError&) {
+        result.failed_ranks.push_back(r);
+        if (!result.first_error) result.first_error = e;
+      }
+      // non-FaultError: fall through to the rethrow below
+    }
+    for (int r = 0; r < nranks; ++r) {
+      const auto& e = errors[static_cast<std::size_t>(r)];
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const FaultError&) {
+        // captured above
+      } catch (...) {
+        throw;
+      }
+    }
+  } else {
+    // Rethrow the first causal error; WorldAbortError is only the echo of
+    // some other rank's failure, so prefer any non-abort exception.
+    std::exception_ptr first_abort;
+    for (auto& e : errors) {
+      if (!e) continue;
+      try {
+        std::rethrow_exception(e);
+      } catch (const WorldAbortError&) {
+        if (!first_abort) first_abort = e;
+      } catch (...) {
+        throw;
+      }
+    }
+    if (first_abort) std::rethrow_exception(first_abort);
+  }
+
   result.stats = world.all_stats();
   result.vclocks = world.clocks();
-  for (double c : result.vclocks) result.makespan = std::max(result.makespan, c);
+  for (double c : result.vclocks)
+    result.makespan = std::max(result.makespan, c);
   for (const auto& s : result.stats) result.total += s;
   return result;
 }
 
+SpmdResult run_spmd(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body) {
+  return run_spmd(nranks, model, SpmdOptions{}, body);
+}
+
 SpmdResult run_spmd(int nranks, const std::function<void(Comm&)>& body) {
-  return run_spmd(nranks, CostModel{}, body);
+  return run_spmd(nranks, CostModel{}, SpmdOptions{}, body);
 }
 
 }  // namespace midas::runtime

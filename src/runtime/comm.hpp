@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <map>
 #include <memory>
@@ -30,12 +31,33 @@
 #include <vector>
 
 #include "runtime/cost_model.hpp"
+#include "runtime/fault.hpp"
 
 namespace midas::runtime {
 
 class World;
 class Group;
 struct SpmdResult;
+struct SpmdOptions;
+
+/// What a collective does when a member of the communicator has failed.
+///  - kAbort: unsupervised default — any rank failure aborts the whole
+///    world; every blocking call raises WorldAbortError (nothing hangs).
+///  - kThrow: surviving members raise RankFailedError. The right choice
+///    for communicators whose data is irreplaceable (a phase group losing
+///    a graph part cannot compute a halo exchange).
+///  - kShrink: the collective completes over the surviving members only.
+///    The right choice for world-level XOR reductions, where a failed
+///    rank's contribution is recomputed elsewhere. Must be set uniformly
+///    across the communicator's members.
+enum class FailPolicy { kAbort, kThrow, kShrink };
+
+/// Supervision & fault configuration for run_spmd.
+struct SpmdOptions {
+  FaultPlan faults{};       // deterministic fault plan (empty = clean run)
+  bool supervise = false;   // capture rank failures instead of rethrowing
+  double timeout_s = 30.0;  // wall-clock guard on supervised blocking ops
+};
 
 /// A rank's handle on a communicator (world or split sub-group).
 class Comm {
@@ -133,16 +155,36 @@ class Comm {
   [[nodiscard]] const CommStats& stats() const noexcept;
   [[nodiscard]] const CostModel& model() const noexcept;
 
+  // -- failure awareness ----------------------------------------------------
+  /// Collective behavior when a member has failed (see FailPolicy). Must be
+  /// set to the same value by every member of the communicator.
+  void set_fail_policy(FailPolicy p) noexcept { fail_policy_ = p; }
+  [[nodiscard]] FailPolicy fail_policy() const noexcept {
+    return fail_policy_;
+  }
+  /// Has `rank` (in this communicator) failed?
+  [[nodiscard]] bool peer_failed(int rank) const noexcept;
+  /// Has any member of this communicator failed?
+  [[nodiscard]] bool any_peer_failed() const noexcept;
+  /// Count of live members of this communicator.
+  [[nodiscard]] int live_size() const noexcept;
+  /// World ranks that have failed so far, ascending.
+  [[nodiscard]] std::vector<int> failed_world_ranks() const;
+  /// True when the run is supervised (failures captured, not fatal).
+  [[nodiscard]] bool supervised() const noexcept;
+
  private:
   friend class World;
   friend class Group;
-  friend SpmdResult run_spmd(int, const CostModel&,
+  friend SpmdResult run_spmd(int, const CostModel&, const SpmdOptions&,
                              const std::function<void(Comm&)>&);
-  Comm(World* world, std::shared_ptr<Group> group, int rank, int world_rank)
+  Comm(World* world, std::shared_ptr<Group> group, int rank, int world_rank,
+       FailPolicy policy)
       : world_(world),
         group_(std::move(group)),
         rank_(rank),
-        world_rank_(world_rank) {}
+        world_rank_(world_rank),
+        fail_policy_(policy) {}
 
   void allreduce_raw(void* data, std::size_t elem_size, std::size_t count,
                      const std::function<void(void*, const void*)>& combine);
@@ -150,26 +192,49 @@ class Comm {
                   std::size_t count,
                   const std::function<void(void*, const void*)>& combine);
 
+  /// Count one communication event against the fault plan; throws
+  /// RankKilledFault when the plan says this rank dies here, and
+  /// WorldAbortError when the world is already tearing down.
+  void fault_event();
+
   World* world_;
   std::shared_ptr<Group> group_;
   int rank_;
   int world_rank_;
+  FailPolicy fail_policy_ = FailPolicy::kAbort;
 };
 
-/// Run `body` as an SPMD program over `nranks` ranks. Exceptions thrown by
-/// any rank are captured; the first (by rank) is rethrown after all ranks
-/// finish or abort. Returns the per-rank stats and final virtual clocks.
+/// Run `body` as an SPMD program over `nranks` ranks.
+///
+/// Unsupervised (default): a rank failure aborts the world — every peer
+/// blocked in a recv or collective raises WorldAbortError instead of
+/// hanging, all threads join, and the first causal exception (by rank) is
+/// rethrown.
+///
+/// Supervised (opts.supervise): FaultError failures are *captured* into the
+/// result (failed-rank list, partial vclocks) and the run completes with
+/// the surviving ranks; non-fault exceptions still propagate — those are
+/// bugs, not faults.
 struct SpmdResult {
   std::vector<CommStats> stats;    // per world rank
-  std::vector<double> vclocks;     // per world rank
+  std::vector<double> vclocks;     // per world rank (partial for the dead)
   double makespan = 0.0;           // max vclock
   CommStats total;                 // summed stats
+  std::vector<int> failed_ranks;   // world ranks that failed (supervised)
+  std::exception_ptr first_error;  // lowest failed rank's exception
+
+  [[nodiscard]] bool completed() const noexcept {
+    return failed_ranks.empty();
+  }
 };
 
 SpmdResult run_spmd(int nranks, const CostModel& model,
+                    const SpmdOptions& opts,
                     const std::function<void(Comm&)>& body);
 
-/// Overload with the default cost model.
+/// Overloads: clean run with the given / default cost model.
+SpmdResult run_spmd(int nranks, const CostModel& model,
+                    const std::function<void(Comm&)>& body);
 SpmdResult run_spmd(int nranks, const std::function<void(Comm&)>& body);
 
 }  // namespace midas::runtime

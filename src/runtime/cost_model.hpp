@@ -34,6 +34,13 @@ struct CostModel {
   double mem_hot = 5.0e-11;    // s/byte when the working set fits
   double cache_bytes = 2.5e6;  // per-rank LLC share (45 MB / 18 cores)
 
+  // Fault handling (see runtime/fault.hpp and docs/RESILIENCE.md). A lost
+  // or corrupted delivery costs the retransmission timeout before the next
+  // attempt goes out; repeated failures on the same message back off
+  // exponentially, like any sane reliable transport.
+  double retry_timeout = 2.0e-5;  // s before a lost attempt is retried
+  double retry_backoff = 2.0;     // timeout multiplier per extra attempt
+
   [[nodiscard]] double message_cost(std::uint64_t bytes) const noexcept {
     return alpha + beta * static_cast<double>(bytes);
   }
@@ -52,6 +59,20 @@ struct CostModel {
     const double miss = ws <= cache_bytes ? 0.0 : 1.0 - cache_bytes / ws;
     const double rate = mem_hot + (mem_cold - mem_hot) * miss;
     return rate * static_cast<double>(bytes);
+  }
+
+  /// Virtual time burned by `retries` failed delivery attempts of a
+  /// `bytes`-sized message (timeout with exponential backoff, plus the
+  /// wasted wire time of each attempt).
+  [[nodiscard]] double retry_cost(std::uint32_t retries,
+                                  std::uint64_t bytes) const noexcept {
+    double t = 0.0;
+    double timeout = retry_timeout;
+    for (std::uint32_t i = 0; i < retries; ++i) {
+      t += timeout + message_cost(bytes);
+      timeout *= retry_backoff;
+    }
+    return t;
   }
 
   /// log-rounds cost of a barrier among p ranks.
@@ -84,10 +105,17 @@ struct CommStats {
   std::uint64_t barriers = 0;
   std::uint64_t allreduces = 0;
 
+  // Fault-injection bookkeeping (zero on a clean run).
+  std::uint64_t messages_dropped = 0;    // delivery attempts lost in flight
+  std::uint64_t messages_corrupted = 0;  // attempts rejected by checksum
+  std::uint64_t messages_delayed = 0;    // deliveries that arrived late
+  std::uint64_t retransmissions = 0;     // extra attempts sent
+
   double t_compute = 0.0;  // seconds charged to field operations
   double t_memory = 0.0;   // seconds charged to kernel memory streams
   double t_comm = 0.0;     // seconds charged to messages/collectives
   double t_wait = 0.0;     // seconds spent catching up at barriers
+  double t_fault = 0.0;    // seconds lost to retransmission timeouts
 
   CommStats& operator+=(const CommStats& o) noexcept {
     messages_sent += o.messages_sent;
@@ -98,10 +126,15 @@ struct CommStats {
     mem_bytes_streamed += o.mem_bytes_streamed;
     barriers += o.barriers;
     allreduces += o.allreduces;
+    messages_dropped += o.messages_dropped;
+    messages_corrupted += o.messages_corrupted;
+    messages_delayed += o.messages_delayed;
+    retransmissions += o.retransmissions;
     t_compute += o.t_compute;
     t_memory += o.t_memory;
     t_comm += o.t_comm;
     t_wait += o.t_wait;
+    t_fault += o.t_fault;
     return *this;
   }
 };

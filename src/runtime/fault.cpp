@@ -1,0 +1,89 @@
+#include "runtime/fault.hpp"
+
+namespace midas::runtime {
+
+std::uint64_t fault_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+/// Uniform (0,1) draw from a hashed key.
+double unit_draw(std::uint64_t key) noexcept {
+  return static_cast<double>(fault_mix(key) >> 11) * 0x1.0p-53;
+}
+
+/// One decision stream per (plan seed, kind, src, dst, event, attempt).
+std::uint64_t decision_key(std::uint64_t seed, std::uint64_t kind, int src,
+                           int dst, std::uint64_t event,
+                           std::uint64_t attempt) noexcept {
+  std::uint64_t k = seed;
+  k = fault_mix(k ^ (kind * 0x9e3779b97f4a7c15ULL));
+  k = fault_mix(k ^ (static_cast<std::uint64_t>(static_cast<unsigned>(src)) |
+                     (static_cast<std::uint64_t>(static_cast<unsigned>(dst))
+                      << 32)));
+  k = fault_mix(k ^ event);
+  return fault_mix(k ^ attempt);
+}
+
+}  // namespace
+
+bool FaultInjector::should_kill(int world_rank, std::uint64_t event,
+                                double vclock) const noexcept {
+  for (const auto& kill : plan_.kills) {
+    if (kill.world_rank != world_rank) continue;
+    if (kill.at_vclock >= 0.0) {
+      if (vclock >= kill.at_vclock) return true;
+    } else if (event >= kill.at_event) {
+      return true;
+    }
+  }
+  return false;
+}
+
+MessageFate FaultInjector::message_fate(
+    int src, int dst, std::uint64_t channel_event) const noexcept {
+  MessageFate fate;
+  for (const auto& ch : plan_.channels) {
+    if (ch.src >= 0 && ch.src != src) continue;
+    if (ch.dst >= 0 && ch.dst != dst) continue;
+    // Replay delivery attempts until one is neither dropped nor corrupted.
+    // Probabilities are per attempt, so the loop terminates almost surely;
+    // kMaxAttempts is a hard backstop for pathological plans (p ~ 1).
+    for (std::uint32_t attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      const double d =
+          unit_draw(decision_key(plan_.seed, 1, src, dst, channel_event,
+                                 attempt));
+      if (d < ch.drop_p) {
+        ++fate.drops;
+        continue;
+      }
+      const double c =
+          unit_draw(decision_key(plan_.seed, 2, src, dst, channel_event,
+                                 attempt));
+      if (c < ch.corrupt_p) {
+        ++fate.corruptions;
+        continue;
+      }
+      break;
+    }
+    if (unit_draw(decision_key(plan_.seed, 3, src, dst, channel_event, 0)) <
+        ch.delay_p)
+      fate.delay_s += ch.delay_s;
+  }
+  return fate;
+}
+
+}  // namespace midas::runtime

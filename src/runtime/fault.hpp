@@ -1,0 +1,211 @@
+// Deterministic fault injection for the SPMD runtime.
+//
+// A FaultPlan is a seeded description of what goes wrong during a run:
+// ranks die at their Nth communication event (or once their virtual clock
+// passes a threshold), and point-to-point / halo messages are dropped,
+// delayed, or bit-flipped with per-channel probabilities. The FaultInjector
+// turns the plan into *deterministic* per-message decisions by hashing
+// (plan seed, src, dst, channel event id, attempt) — no wall-clock or
+// thread-scheduling dependence — so a run with a given (program seed,
+// fault plan) is exactly reproducible, which is what lets the chaos tests
+// demand bit-identical detection answers under faults.
+//
+// Fault semantics at the transport (see docs/RESILIENCE.md):
+//  - kill: the rank throws RankKilledFault at the triggering comm event;
+//    the world marks it failed and wakes every blocked peer.
+//  - drop/corrupt: the message is retransmitted until a clean attempt
+//    succeeds; each failed attempt charges the sender/receiver virtual
+//    clock a timeout + backoff (CostModel::retry_cost) — i.e. transient
+//    faults cost modeled time, never data. Corruption is detected by an
+//    FNV-1a checksum carried with each payload.
+//  - delay: the message arrives late by the configured amount.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace midas::runtime {
+
+// ---------------------------------------------------------------------------
+// Typed errors
+// ---------------------------------------------------------------------------
+
+/// Base class of every runtime-fault condition.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown *inside* a rank selected for death by the fault plan.
+class RankKilledFault : public FaultError {
+ public:
+  explicit RankKilledFault(int world_rank)
+      : FaultError("rank " + std::to_string(world_rank) +
+                   " killed by fault plan"),
+        world_rank_(world_rank) {}
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+
+ private:
+  int world_rank_;
+};
+
+/// Observed by a *peer* of a failed rank: a recv from it, or a collective
+/// on a communicator containing it, cannot complete.
+class RankFailedError : public FaultError {
+ public:
+  explicit RankFailedError(int world_rank, const std::string& what)
+      : FaultError("rank " + std::to_string(world_rank) + " failed: " + what),
+        world_rank_(world_rank) {}
+  [[nodiscard]] int world_rank() const noexcept { return world_rank_; }
+
+ private:
+  int world_rank_;
+};
+
+/// Raised from any blocking operation once the world has been aborted
+/// (unsupervised mode: some rank threw, everyone must unwind, not hang).
+class WorldAbortError : public FaultError {
+ public:
+  WorldAbortError() : FaultError("SPMD world aborted by a rank failure") {}
+};
+
+/// A supervised blocking operation exceeded its wall-clock guard.
+class TimeoutError : public FaultError {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : FaultError("timeout: " + what) {}
+};
+
+/// The detection engine cannot mask the failure (e.g. every phase group
+/// lost a member, so no intact replica can take over the work).
+class UnrecoverableFaultError : public FaultError {
+ public:
+  using FaultError::FaultError;
+};
+
+// ---------------------------------------------------------------------------
+// FaultPlan
+// ---------------------------------------------------------------------------
+
+/// Kill one rank at a deterministic point. `at_event` counts the rank's own
+/// communication events (send/recv/collective entries, 0-based: at_event=3
+/// means the 4th event dies); `at_vclock`, if >= 0, instead triggers at the
+/// first comm event where the rank's virtual clock has passed it.
+struct KillFault {
+  int world_rank = -1;
+  std::uint64_t at_event = 0;
+  double at_vclock = -1.0;  // takes precedence over at_event when >= 0
+};
+
+/// Message-level transient faults on matching channels. src/dst are world
+/// ranks; -1 matches any. Probabilities are per delivery attempt and must
+/// be < 1 (retransmission would never terminate otherwise).
+struct ChannelFaults {
+  int src = -1;
+  int dst = -1;
+  double drop_p = 0.0;
+  double corrupt_p = 0.0;
+  double delay_p = 0.0;
+  double delay_s = 1.0e-5;  // added latency when a delay fires
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eed5eedULL;
+  std::vector<KillFault> kills;
+  std::vector<ChannelFaults> channels;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return kills.empty() && channels.empty();
+  }
+
+  // Convenience builders (chainable).
+  FaultPlan& kill_at_event(int world_rank, std::uint64_t event) {
+    kills.push_back({world_rank, event, -1.0});
+    return *this;
+  }
+  FaultPlan& kill_at_vclock(int world_rank, double vclock) {
+    kills.push_back({world_rank, 0, vclock});
+    return *this;
+  }
+  FaultPlan& with_channel(ChannelFaults c) {
+    channels.push_back(c);
+    return *this;
+  }
+};
+
+/// Deterministic decision for one message delivery: the number of dropped
+/// and corrupted attempts that precede the clean one, and any added delay.
+struct MessageFate {
+  std::uint32_t drops = 0;
+  std::uint32_t corruptions = 0;
+  double delay_s = 0.0;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return drops == 0 && corruptions == 0 && delay_s == 0.0;
+  }
+  [[nodiscard]] std::uint32_t retries() const noexcept {
+    return drops + corruptions;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+/// Stateless-per-query evaluator of a FaultPlan. One instance is shared by
+/// all ranks of a world; every method is safe to call concurrently because
+/// decisions are pure functions of the arguments and the plan.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+    for (const auto& c : plan_.channels) {
+      MIDAS_REQUIRE(c.drop_p >= 0.0 && c.drop_p < 1.0 &&
+                        c.corrupt_p >= 0.0 && c.corrupt_p < 1.0,
+                    "ChannelFaults drop_p/corrupt_p must be in [0, 1): "
+                    "retransmission never succeeds at p >= 1");
+      MIDAS_REQUIRE(c.delay_p >= 0.0 && c.delay_p <= 1.0 && c.delay_s >= 0.0,
+                    "ChannelFaults delay_p must be in [0, 1] and delay_s "
+                    "non-negative");
+    }
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] bool armed() const noexcept { return !plan_.empty(); }
+
+  /// Should `world_rank` die at its `event`-th communication event, given
+  /// its current virtual clock?
+  [[nodiscard]] bool should_kill(int world_rank, std::uint64_t event,
+                                 double vclock) const noexcept;
+
+  /// Decide the fate of one message on channel (src -> dst). `channel_event`
+  /// must be a value both endpoints can derive deterministically (per-channel
+  /// sequence number for point-to-point, collective generation for staged
+  /// exchanges); `attempt_base` namespaces independent retransmission runs.
+  [[nodiscard]] MessageFate message_fate(int src, int dst,
+                                         std::uint64_t channel_event)
+      const noexcept;
+
+  /// Maximum retransmission attempts before the channel is declared dead.
+  static constexpr std::uint32_t kMaxAttempts = 64;
+
+ private:
+  FaultPlan plan_;
+};
+
+// ---------------------------------------------------------------------------
+// Helpers (also used by Comm for payload integrity)
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over a byte span — the checksum carried with every message.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> data) noexcept;
+
+/// SplitMix64 — the mixing function behind every injector decision.
+[[nodiscard]] std::uint64_t fault_mix(std::uint64_t x) noexcept;
+
+}  // namespace midas::runtime

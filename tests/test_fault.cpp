@@ -1,0 +1,497 @@
+// Chaos suite: deterministic fault injection, failure-aware collectives,
+// and the k-path engine's phase-group failover.
+//
+// The load-bearing claims (docs/RESILIENCE.md):
+//  - injector decisions are pure hashes — same plan, same decisions;
+//  - kills terminate a run with typed errors, never hangs;
+//  - transient channel faults (drop / corrupt / delay) cost virtual time
+//    but never data;
+//  - the detection engine returns the bit-exact fault-free answer under
+//    any plan that leaves at least one intact phase group.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
+#include "util/rng.hpp"
+
+namespace midas::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, EmptyPlanIsDisarmed) {
+  FaultInjector inj{FaultPlan{}};
+  EXPECT_FALSE(inj.armed());
+  EXPECT_FALSE(inj.should_kill(0, 100, 1.0));
+  EXPECT_TRUE(inj.message_fate(0, 1, 7).clean());
+}
+
+TEST(FaultInjector, KillAtEventTriggersAtAndAfterThreshold) {
+  FaultInjector inj{FaultPlan{}.kill_at_event(2, 5)};
+  EXPECT_FALSE(inj.should_kill(2, 4, 0.0));
+  EXPECT_TRUE(inj.should_kill(2, 5, 0.0));
+  EXPECT_TRUE(inj.should_kill(2, 6, 0.0));
+  EXPECT_FALSE(inj.should_kill(1, 99, 0.0)) << "other ranks unaffected";
+}
+
+TEST(FaultInjector, KillAtVclockTakesPrecedence) {
+  FaultPlan plan;
+  plan.kills.push_back({3, 1000, 2.5e-3});
+  FaultInjector inj{plan};
+  EXPECT_FALSE(inj.should_kill(3, 5000, 1e-3))
+      << "event threshold ignored when a vclock trigger is set";
+  EXPECT_TRUE(inj.should_kill(3, 0, 3e-3));
+}
+
+TEST(FaultInjector, MessageFateIsDeterministic) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.channels.push_back({-1, -1, 0.4, 0.2, 0.3, 2e-5});
+  FaultInjector a{plan}, b{plan};
+  for (std::uint64_t ev = 0; ev < 200; ++ev) {
+    const MessageFate fa = a.message_fate(0, 1, ev);
+    const MessageFate fb = b.message_fate(0, 1, ev);
+    EXPECT_EQ(fa.drops, fb.drops);
+    EXPECT_EQ(fa.corruptions, fb.corruptions);
+    EXPECT_EQ(fa.delay_s, fb.delay_s);
+  }
+}
+
+TEST(FaultInjector, FaultRatesTrackProbabilities) {
+  FaultPlan plan;
+  plan.channels.push_back({-1, -1, 0.3, 0.0, 0.0, 0.0});
+  FaultInjector inj{plan};
+  int dropped_any = 0;
+  const int trials = 2000;
+  for (int ev = 0; ev < trials; ++ev)
+    if (inj.message_fate(0, 1, static_cast<std::uint64_t>(ev)).drops > 0)
+      ++dropped_any;
+  // First-attempt drop probability is 0.3; allow generous slack.
+  EXPECT_GT(dropped_any, trials / 5);
+  EXPECT_LT(dropped_any, trials / 2);
+}
+
+TEST(FaultInjector, ChannelFilterMatchesEndpoints) {
+  FaultPlan plan;
+  plan.channels.push_back({0, 1, 0.9, 0.0, 0.0, 0.0});
+  FaultInjector inj{plan};
+  bool any = false;
+  for (std::uint64_t ev = 0; ev < 50; ++ev) {
+    any = any || !inj.message_fate(0, 1, ev).clean();
+    EXPECT_TRUE(inj.message_fate(1, 0, ev).clean()) << "reverse direction";
+    EXPECT_TRUE(inj.message_fate(2, 3, ev).clean()) << "other channel";
+  }
+  EXPECT_TRUE(any);
+}
+
+// ---------------------------------------------------------------------------
+// Kills at the runtime level
+// ---------------------------------------------------------------------------
+
+TEST(FaultRuntime, UnsupervisedKillThrowsTypedErrorInsteadOfHanging) {
+  SpmdOptions opts;
+  opts.faults.kill_at_event(1, 2);
+  EXPECT_THROW(run_spmd(4, CostModel{}, opts,
+                        [](Comm& c) {
+                          std::vector<std::uint64_t> x{1};
+                          for (int i = 0; i < 10; ++i)
+                            c.allreduce_sum(std::span<std::uint64_t>(x));
+                        }),
+               RankKilledFault);
+}
+
+TEST(FaultRuntime, KillDuringCollectiveTerminatesPeersBlockedInIt) {
+  // Rank 2 dies at its very first communication event — the collective all
+  // other ranks are already blocked in. Before the world-abort propagation
+  // this deadlocked; now the run terminates with the causal typed error.
+  SpmdOptions opts;
+  opts.faults.kill_at_event(2, 0);
+  EXPECT_THROW(run_spmd(4, CostModel{}, opts,
+                        [](Comm& c) { c.barrier(); }),
+               FaultError);
+}
+
+TEST(FaultRuntime, SupervisedKillIsCapturedAndSurvivorsShrink) {
+  SpmdOptions opts;
+  opts.supervise = true;
+  opts.faults.kill_at_event(1, 3);
+  std::atomic<int> completed{0};
+  auto res = run_spmd(4, CostModel{}, opts, [&](Comm& c) {
+    c.set_fail_policy(FailPolicy::kShrink);
+    std::vector<std::uint64_t> x{1};
+    for (int i = 0; i < 6; ++i)
+      c.allreduce_sum(std::span<std::uint64_t>(x));
+    completed.fetch_add(1);
+  });
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{1}));
+  EXPECT_FALSE(res.completed());
+  EXPECT_TRUE(res.first_error);
+  EXPECT_EQ(completed.load(), 3) << "the three survivors finish the run";
+  EXPECT_THROW(std::rethrow_exception(res.first_error), RankKilledFault);
+}
+
+TEST(FaultRuntime, SupervisedNonFaultExceptionStillPropagates) {
+  SpmdOptions opts;
+  opts.supervise = true;
+  EXPECT_THROW(run_spmd(2, CostModel{}, opts,
+                        [](Comm& c) {
+                          if (c.rank() == 1)
+                            throw std::logic_error("a bug, not a fault");
+                          c.set_fail_policy(FailPolicy::kShrink);
+                          c.barrier();
+                        }),
+               std::logic_error);
+}
+
+TEST(FaultRuntime, RecvFromDeadSenderRaisesRankFailedError) {
+  SpmdOptions opts;
+  opts.supervise = true;
+  opts.faults.kill_at_event(1, 0);  // rank 1 dies before its first send
+  std::atomic<bool> observed{false};
+  auto res = run_spmd(2, CostModel{}, opts, [&](Comm& c) {
+    if (c.rank() == 1) {
+      c.send_value(0, 0, 42);  // never reached: the kill fires at entry
+    } else {
+      try {
+        (void)c.recv_value<int>(1, 0);
+      } catch (const RankFailedError& e) {
+        EXPECT_EQ(e.world_rank(), 1);
+        observed.store(true);
+      }
+    }
+  });
+  EXPECT_TRUE(observed.load());
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{1}));
+}
+
+TEST(FaultRuntime, ThrowPolicyRaisesOnCollectiveWithDeadMember) {
+  SpmdOptions opts;
+  opts.supervise = true;
+  opts.faults.kill_at_event(3, 1);
+  std::atomic<int> raised{0};
+  auto res = run_spmd(4, CostModel{}, opts, [&](Comm& c) {
+    c.barrier();  // everyone's first event; rank 3 dies at its second
+    try {
+      c.barrier();
+      c.barrier();
+    } catch (const RankFailedError& e) {
+      EXPECT_EQ(e.world_rank(), 3);
+      raised.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(raised.load(), 3);
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{3}));
+}
+
+// ---------------------------------------------------------------------------
+// Transient channel faults: time, not data
+// ---------------------------------------------------------------------------
+
+TEST(FaultChannel, DroppedMessagesArriveIntactButLate) {
+  SpmdOptions clean;
+  SpmdOptions faulty;
+  faulty.faults.seed = 7;
+  faulty.faults.with_channel({0, 1, 0.5, 0.0, 0.0, 0.0});
+  auto body = [](Comm& c) {
+    if (c.rank() == 0) {
+      for (std::uint32_t i = 0; i < 32; ++i) c.send_value(1, 0, i);
+    } else {
+      for (std::uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(c.recv_value<std::uint32_t>(0, 0), i);
+    }
+    c.barrier();
+  };
+  auto a = run_spmd(2, CostModel{}, clean, body);
+  auto b = run_spmd(2, CostModel{}, faulty, body);
+  EXPECT_EQ(b.total.messages_dropped, b.total.retransmissions);
+  EXPECT_GT(b.total.messages_dropped, 0u);
+  EXPECT_GT(b.total.t_fault, 0.0);
+  EXPECT_GT(b.makespan, a.makespan)
+      << "retransmission timeouts must inflate the virtual clock";
+  EXPECT_EQ(a.total.messages_received, b.total.messages_received);
+}
+
+TEST(FaultChannel, CorruptionIsDetectedByChecksumAndRecovered) {
+  SpmdOptions opts;
+  opts.faults.seed = 11;
+  opts.faults.with_channel({-1, -1, 0.0, 0.5, 0.0, 0.0});
+  auto res = run_spmd(2, CostModel{}, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (std::uint64_t i = 0; i < 32; ++i)
+        c.send_value(1, 0, 0xABCD0000ull + i);
+    } else {
+      for (std::uint64_t i = 0; i < 32; ++i)
+        EXPECT_EQ(c.recv_value<std::uint64_t>(0, 0), 0xABCD0000ull + i)
+            << "payload must be the clean retransmitted copy";
+    }
+  });
+  EXPECT_GT(res.total.messages_corrupted, 0u);
+  EXPECT_GT(res.total.t_fault, 0.0);
+}
+
+TEST(FaultChannel, DelaysCountAndInflateClocks) {
+  SpmdOptions opts;
+  opts.faults.with_channel({0, 1, 0.0, 0.0, 1.0, 5e-4});
+  auto res = run_spmd(2, CostModel{}, opts, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 0, 1);
+    } else {
+      (void)c.recv_value<int>(0, 0);
+    }
+    c.barrier();
+  });
+  EXPECT_EQ(res.total.messages_delayed, 1u);
+  EXPECT_GE(res.makespan, 5e-4);
+}
+
+TEST(FaultChannel, FaultedRunsAreBitReproducible) {
+  SpmdOptions opts;
+  opts.faults.seed = 1234;
+  opts.faults.with_channel({-1, -1, 0.2, 0.1, 0.2, 3e-5});
+  auto body = [](Comm& c) {
+    const int peer = 1 - c.rank();
+    for (int i = 0; i < 16; ++i) {
+      const auto got = c.sendrecv(
+          peer, peer, 0,
+          std::as_bytes(std::span<const int>(&i, 1)));
+      int v = 0;
+      std::memcpy(&v, got.data(), sizeof(v));
+      EXPECT_EQ(v, i);
+    }
+  };
+  auto a = run_spmd(2, CostModel{}, opts, body);
+  auto b = run_spmd(2, CostModel{}, opts, body);
+  EXPECT_EQ(a.vclocks, b.vclocks) << "identical plans, identical clocks";
+  EXPECT_EQ(a.total.messages_dropped, b.total.messages_dropped);
+  EXPECT_EQ(a.total.messages_corrupted, b.total.messages_corrupted);
+  EXPECT_EQ(a.total.messages_delayed, b.total.messages_delayed);
+}
+
+TEST(FaultChannel, AlltoallvPayloadsSurviveHaloFaults) {
+  SpmdOptions opts;
+  opts.faults.seed = 5;
+  opts.faults.with_channel({-1, -1, 0.3, 0.2, 0.2, 2e-5});
+  auto res = run_spmd(4, CostModel{}, opts, [](Comm& c) {
+    for (int repeat = 0; repeat < 8; ++repeat) {
+      std::vector<std::vector<std::byte>> send(4);
+      for (int d = 0; d < 4; ++d)
+        send[static_cast<std::size_t>(d)].assign(
+            16, static_cast<std::byte>(c.rank() * 4 + d));
+      auto recv = c.alltoallv(send);
+      for (int s = 0; s < 4; ++s)
+        for (std::byte byte : recv[static_cast<std::size_t>(s)])
+          EXPECT_EQ(byte, static_cast<std::byte>(s * 4 + c.rank()));
+    }
+  });
+  EXPECT_GT(res.total.messages_dropped + res.total.messages_corrupted +
+                res.total.messages_delayed,
+            0u);
+}
+
+}  // namespace
+}  // namespace midas::runtime
+
+// ---------------------------------------------------------------------------
+// Detection engine under faults: bit-exact failover
+// ---------------------------------------------------------------------------
+
+namespace midas::core {
+namespace {
+
+using runtime::ChannelFaults;
+using runtime::FaultPlan;
+
+MidasOptions chaos_opts(int n_ranks, int n1, std::uint32_t n2) {
+  MidasOptions o;
+  o.k = 4;
+  o.epsilon = 0.05;
+  o.seed = 77;
+  o.n_ranks = n_ranks;
+  o.n1 = n1;
+  o.n2 = n2;
+  // Run a fixed number of full rounds: with early exit a round-0 hit ends
+  // the run before mid-run kill events are ever reached.
+  o.max_rounds = 4;
+  o.early_exit = false;
+  return o;
+}
+
+struct EngineFixture {
+  gf::GF256 f;
+  graph::Graph g;
+  partition::Partition part;
+
+  explicit EngineFixture(int n1, bool dense = true) {
+    Xoshiro256 rng(2024);
+    g = dense ? graph::erdos_renyi_gnp(24, 0.25, rng)
+              : graph::star_graph(24);  // no 4-path: answer must stay false
+    part = partition::block_partition(g, n1);
+  }
+};
+
+TEST(EngineFailover, WholeGroupLossKeepsAnswerBitExact) {
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  // Kill both members of phase group 1 (world ranks 2 and 3) mid-run.
+  MidasOptions faulty = base;
+  faulty.spmd.faults.kill_at_event(2, 9).kill_at_event(3, 14);
+  const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{2, 3}));
+}
+
+TEST(EngineFailover, SingleRankLossDisablesItsGroupOnly) {
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  MidasOptions faulty = base;
+  faulty.spmd.faults.kill_at_event(5, 7);
+  const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{5}));
+}
+
+TEST(EngineFailover, KillEventSweepAlwaysBitExact) {
+  // The kill lands at a different program point each time — before the
+  // split, mid-halo-exchange, at the reduction — and the answer must never
+  // change while at least one intact group survives.
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+  for (std::uint64_t ev : {0ull, 1ull, 3ull, 7ull, 15ull, 40ull, 200ull}) {
+    MidasOptions faulty = base;
+    faulty.spmd.faults.kill_at_event(3, ev);
+    const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+    EXPECT_EQ(res.found, clean.found) << "kill at event " << ev;
+    EXPECT_EQ(res.found_round, clean.found_round) << "kill at event " << ev;
+  }
+}
+
+TEST(EngineFailover, VclockKillIsMaskedToo) {
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+  MidasOptions faulty = base;
+  faulty.spmd.faults.kill_at_vclock(6, clean.vtime / 3.0);
+  const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{6}));
+}
+
+TEST(EngineFailover, HaloChannelFaultsNeverChangeTheAnswer) {
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  MidasOptions faulty = base;
+  faulty.spmd.faults.seed = 31337;
+  faulty.spmd.faults.with_channel({-1, -1, 0.10, 0.05, 0.10, 2e-5});
+  const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_TRUE(res.failed_ranks.empty());
+  EXPECT_GT(res.total_stats.messages_dropped +
+                res.total_stats.messages_corrupted +
+                res.total_stats.messages_delayed,
+            0u)
+      << "the plan must actually have fired";
+  EXPECT_GT(res.vtime, clean.vtime)
+      << "transient faults cost virtual time, never data";
+}
+
+TEST(EngineFailover, CombinedKillAndChannelFaults) {
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+  MidasOptions faulty = base;
+  faulty.spmd.faults.kill_at_event(0, 12);
+  faulty.spmd.faults.with_channel({-1, -1, 0.08, 0.04, 0.08, 2e-5});
+  const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{0}));
+}
+
+TEST(EngineFailover, NegativeAnswerIsPreservedToo) {
+  EngineFixture fx(2, /*dense=*/false);
+  MidasOptions base = chaos_opts(8, 2, 4);
+  base.k = 5;  // a star has no 5-vertex path
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+  ASSERT_FALSE(clean.found);
+  MidasOptions faulty = base;
+  faulty.spmd.faults.kill_at_event(4, 6);
+  const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(EngineFailover, SupervisedCleanRunMatchesUnsupervised) {
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+  MidasOptions supervised = base;
+  supervised.spmd.supervise = true;
+  const auto res = midas_kpath(fx.g, fx.part, supervised, fx.f);
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_TRUE(res.failed_ranks.empty());
+}
+
+TEST(EngineFailover, AllGroupsDeadIsATypedFailure) {
+  EngineFixture fx(2);
+  MidasOptions faulty = chaos_opts(4, 2, 4);  // two groups only
+  faulty.spmd.faults.kill_at_event(0, 6).kill_at_event(2, 9);
+  EXPECT_THROW((void)midas_kpath(fx.g, fx.part, faulty, fx.f),
+               runtime::FaultError);
+}
+
+TEST(EngineFailover, SingleGroupConfigurationCannotFailOver) {
+  EngineFixture fx(4);
+  MidasOptions faulty = chaos_opts(4, 4, 4);  // one group of four
+  faulty.spmd.faults.kill_at_event(1, 8);
+  EXPECT_THROW((void)midas_kpath(fx.g, fx.part, faulty, fx.f),
+               runtime::FaultError);
+}
+
+TEST(EngineFailover, FailoverPhaseAssignmentIsDeterministicAndComplete) {
+  const Schedule s = make_schedule(4, 0.05, 8, 2, 2);  // 8 phases, 4 groups
+  const std::vector<int> dead{1, 3};
+  const std::vector<int> intact{0, 2};
+  std::set<std::uint64_t> covered;
+  for (int g : intact) {
+    const auto extra = failover_phases(s, dead, intact, g);
+    for (std::uint64_t p : extra) {
+      EXPECT_TRUE(covered.insert(p).second)
+          << "phase " << p << " assigned twice";
+    }
+  }
+  // Exactly the dead groups' phases are covered, each once.
+  std::set<std::uint64_t> expected;
+  for (std::uint64_t p = 0; p < s.phases(); ++p)
+    if (static_cast<int>(p % 4) == 1 || static_cast<int>(p % 4) == 3)
+      expected.insert(p);
+  EXPECT_EQ(covered, expected);
+  EXPECT_TRUE(failover_phases(s, dead, intact, 1).empty())
+      << "dead groups are never assigned work";
+}
+
+}  // namespace
+}  // namespace midas::core

@@ -274,6 +274,73 @@ TEST(Runtime, ExceptionFromSoloRankPropagates) {
       std::runtime_error);
 }
 
+TEST(Runtime, ExceptionWithPeersBlockedInCollectiveDoesNotHang) {
+  // Regression: a rank that throws while its peers are already waiting in
+  // a collective used to leave them blocked forever. The world abort must
+  // wake every waiter, and the causal exception (not the abort echo) must
+  // be the one rethrown.
+  EXPECT_THROW(run_spmd(4,
+                        [](Comm& c) {
+                          if (c.rank() == 2)
+                            throw std::runtime_error("died before barrier");
+                          c.barrier();
+                        }),
+               std::runtime_error);
+}
+
+TEST(Runtime, ExceptionWithPeersBlockedInRecvDoesNotHang) {
+  EXPECT_THROW(run_spmd(3,
+                        [](Comm& c) {
+                          if (c.rank() == 1)
+                            throw std::runtime_error("died before send");
+                          if (c.rank() == 0) (void)c.recv(1, 0);
+                          if (c.rank() == 2) c.barrier();
+                        }),
+               std::runtime_error);
+}
+
+TEST(Runtime, SplitIntoSingleMemberSubcomms) {
+  run_spmd(4, [](Comm& world) {
+    // Every rank its own color: subcommunicators of size one must support
+    // collectives and self-messaging without touching any peer.
+    Comm solo = world.split(world.rank(), 0);
+    EXPECT_EQ(solo.size(), 1);
+    EXPECT_EQ(solo.rank(), 0);
+    EXPECT_EQ(solo.world_rank(), world.rank());
+    std::vector<std::uint64_t> x{static_cast<std::uint64_t>(world.rank())};
+    solo.allreduce_sum(std::span<std::uint64_t>(x));
+    EXPECT_EQ(x[0], static_cast<std::uint64_t>(world.rank()));
+    solo.barrier();
+    world.barrier();
+  });
+}
+
+TEST(Runtime, SplitWithNonContiguousColors) {
+  run_spmd(6, [](Comm& world) {
+    // Colors 10 and 25 interleaved by parity: membership must follow the
+    // color value, not its ordinal position or contiguity.
+    const int color = world.rank() % 2 == 0 ? 10 : 25;
+    Comm g = world.split(color, world.rank());
+    EXPECT_EQ(g.size(), 3);
+    EXPECT_EQ(g.rank(), world.rank() / 2);
+    std::vector<std::uint64_t> x{static_cast<std::uint64_t>(world.rank())};
+    g.allreduce_sum(std::span<std::uint64_t>(x));
+    EXPECT_EQ(x[0], color == 10 ? 0u + 2 + 4 : 1u + 3 + 5);
+  });
+}
+
+TEST(Runtime, SendrecvWithSelf) {
+  run_spmd(3, [](Comm& c) {
+    const std::uint32_t token = 7000u + static_cast<std::uint32_t>(c.rank());
+    const auto got = c.sendrecv(
+        c.rank(), c.rank(), 4,
+        std::as_bytes(std::span<const std::uint32_t>(&token, 1)));
+    std::uint32_t received = 0;
+    std::memcpy(&received, got.data(), sizeof(received));
+    EXPECT_EQ(received, token);
+  });
+}
+
 TEST(Runtime, StatsCountCollectives) {
   auto res = run_spmd(2, [](Comm& c) {
     c.barrier();
