@@ -23,6 +23,19 @@
 //                            every point-to-point channel
 //   --fault-seed=S           seed for the deterministic fault schedule
 //   --supervise              supervised run_spmd even with no fault plan
+//
+// Checkpoint/restart & watchdog (distributed `path` runs; see
+// docs/RESILIENCE.md):
+//   --checkpoint-dir=DIR     snapshot round-level state into DIR
+//   --checkpoint-every=R     snapshot cadence in completed rounds (default 1)
+//   --checkpoint-waves=W     also snapshot every W phase waves inside a
+//                            round (clean runs only; 0 = off)
+//   --resume                 restore the newest good snapshot from DIR and
+//                            continue from it (bit-identical results)
+//   --deadline-ms=T          watchdog deadline: flag a phase group lagging
+//                            the fastest replica by more than T modeled ms
+//   --speculate              with --deadline-ms: re-execute a straggling
+//                            group's phases on the fast replicas
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -93,7 +106,24 @@ runtime::SpmdOptions fault_options(const Args& args) {
     c.corrupt_p = corrupt;
     spmd.faults.with_channel(c);
   }
+  spmd.watchdog.deadline_s = args.get_double("deadline-ms", -1.0) / 1e3;
+  spmd.watchdog.speculate = args.get_flag("speculate");
   return spmd;
+}
+
+core::CheckpointConfig checkpoint_options(const Args& args,
+                                          const Xoshiro256& rng) {
+  core::CheckpointConfig ck;
+  ck.dir = args.get("checkpoint-dir", "");
+  ck.every_rounds = static_cast<int>(args.get_int("checkpoint-every", 1));
+  ck.every_waves =
+      static_cast<std::uint64_t>(args.get_int("checkpoint-waves", 0));
+  ck.resume = args.get_flag("resume");
+  // Persist the CLI's generator position so a restarted invocation could
+  // also restore its own random stream from the snapshot.
+  const auto st = rng.state();
+  ck.rng_state.assign(st.begin(), st.end());
+  return ck;
 }
 
 int run_path(const Args& args) {
@@ -115,13 +145,25 @@ int run_path(const Args& args) {
     opt.n1 = static_cast<int>(args.get_int("n1", std::min(ranks, 4)));
     opt.n2 = static_cast<std::uint32_t>(args.get_int("n2", 32));
     opt.spmd = fault_options(args);
+    opt.checkpoint = checkpoint_options(args, rng);
     const auto part = partition::multilevel_partition(g, opt.n1);
     const auto res = core::midas_kpath(g, part, opt, f);
     found = res.found;
+    if (res.resumed_from_round >= 0)
+      std::printf("resumed: round %d (snapshot dir %s)\n",
+                  res.resumed_from_round, opt.checkpoint.dir.c_str());
     std::printf("answer: %s   (N=%d N1=%d N2=%u; modeled %.3f ms, wall "
                 "%.0f ms)\n",
                 found ? "YES" : "no", ranks, opt.n1, opt.n2,
                 res.vtime * 1e3, res.wall_s * 1e3);
+    if (res.total_stats.stragglers_flagged > 0)
+      std::printf(
+          "watchdog: %llu straggler flag(s), %.3f ms modeled lag, "
+          "%llu heartbeat(s)\n",
+          static_cast<unsigned long long>(res.total_stats.stragglers_flagged),
+          res.total_stats.t_straggle * 1e3,
+          static_cast<unsigned long long>(
+              res.total_stats.watchdog_heartbeats));
     if (!res.failed_ranks.empty()) {
       std::printf("faults: lost rank(s)");
       for (int r : res.failed_ranks) std::printf(" %d", r);

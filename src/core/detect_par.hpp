@@ -20,20 +20,43 @@
 #include <iterator>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/detect_seq.hpp"
+#include "core/errors.hpp"
 #include "core/hashrand.hpp"
 #include "core/schedule.hpp"
 #include "core/tree_template.hpp"
 #include "gf/field.hpp"
 #include "graph/csr.hpp"
 #include "partition/partitioned_graph.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/comm.hpp"
 #include "util/require.hpp"
 #include "util/timer.hpp"
 
 namespace midas::core {
+
+/// Durable-progress configuration (runtime/checkpoint.hpp). With a
+/// non-empty `dir`, every driver snapshots its state at round boundaries
+/// (and, for the clean k-path engine, optionally every `every_waves` phase
+/// waves within a round); `resume = true` restores the newest verified
+/// snapshot and continues from it, reproducing the uninterrupted run's
+/// results bit-exactly. Snapshot rendezvous are charge-free, so enabling
+/// checkpoints never changes virtual clocks or the fault schedule.
+struct CheckpointConfig {
+  std::string dir;               // empty = checkpointing disabled
+  int every_rounds = 1;          // snapshot cadence in completed rounds
+  std::uint64_t every_waves = 0; // mid-round cadence in phase waves (0=off)
+  bool resume = false;           // restore the newest good snapshot first
+  int keep = 2;                  // snapshots retained on disk
+  // Caller RNG position (Xoshiro256::state() words), stored verbatim in
+  // every snapshot so a restart can also restore its generator stream.
+  std::vector<std::uint64_t> rng_state;
+
+  [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
+};
 
 struct MidasOptions {
   int k = 4;
@@ -48,8 +71,12 @@ struct MidasOptions {
   // Fault injection & supervision (docs/RESILIENCE.md). Supervision is
   // forced on whenever the plan is non-empty; the k-path engine then runs
   // its vote/redo failover protocol and masks any failure that leaves at
-  // least one intact phase group.
+  // least one intact phase group. spmd.watchdog arms the straggler
+  // deadline (and, with speculate, engine-level re-execution of a
+  // straggling phase group on the fast replicas).
   runtime::SpmdOptions spmd{};
+  // Checkpoint/restart across *total* failures (docs/RESILIENCE.md).
+  CheckpointConfig checkpoint{};
 
   [[nodiscard]] int rounds() const {
     return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
@@ -65,16 +92,152 @@ struct MidasResult {
   runtime::CommStats total_stats;
   std::vector<double> vclocks;      // per rank
   std::vector<int> failed_ranks;    // world ranks lost to injected faults
+  int resumed_from_round = -1;      // snapshot round this run resumed at
 };
 
 namespace detail {
 
-/// Supervision implied by a non-empty fault plan.
+/// Supervision implied by a non-empty fault plan or armed speculation
+/// (straggler re-execution needs the supervised vote/redo machinery).
 [[nodiscard]] inline runtime::SpmdOptions effective_spmd(
     const MidasOptions& opt) {
   runtime::SpmdOptions sopt = opt.spmd;
   if (!sopt.faults.empty()) sopt.supervise = true;
+  if (sopt.watchdog.speculate && sopt.watchdog.deadline_s > 0.0)
+    sopt.supervise = true;
   return sopt;
+}
+
+/// Fingerprint of everything a snapshot's validity depends on: the engine,
+/// the detection parameters, the rank/phase geometry, the execution mode
+/// (supervised runs charge different virtual time than clean ones) and the
+/// shape of the partitioned input. A resume whose fingerprint differs is
+/// rejected — restoring accumulators into a different configuration would
+/// silently corrupt the answer.
+[[nodiscard]] inline std::uint64_t config_fingerprint(
+    std::uint64_t engine_tag, const MidasOptions& opt,
+    const runtime::SpmdOptions& sopt, std::size_t value_bytes,
+    const std::vector<partition::PartView>& views, std::uint64_t extra = 0) {
+  std::vector<std::uint64_t> w;
+  w.reserve(16 + views.size() * 3);
+  w.push_back(engine_tag);
+  w.push_back(static_cast<std::uint64_t>(opt.k));
+  w.push_back(opt.seed);
+  std::uint64_t eps_bits = 0;
+  std::memcpy(&eps_bits, &opt.epsilon, sizeof(eps_bits));
+  w.push_back(eps_bits);
+  w.push_back(static_cast<std::uint64_t>(opt.n_ranks));
+  w.push_back(static_cast<std::uint64_t>(opt.n1));
+  w.push_back(opt.n2);
+  w.push_back(static_cast<std::uint64_t>(opt.rounds()));
+  w.push_back(opt.early_exit ? 1 : 0);
+  w.push_back(sopt.supervise ? 1 : 0);
+  w.push_back(sopt.watchdog.speculate && sopt.watchdog.deadline_s > 0.0
+                  ? 1
+                  : 0);
+  w.push_back(static_cast<std::uint64_t>(value_bytes));
+  w.push_back(extra);
+  for (const auto& view : views) {
+    w.push_back(view.num_local());
+    w.push_back(view.num_ghosts());
+    w.push_back(view.adj.size());
+  }
+  return runtime::fnv1a(std::as_bytes(std::span<const std::uint64_t>(w)));
+}
+
+/// Host-side checkpoint bookkeeping for one driver invocation. The staged
+/// snapshot is filled inside a snapshot_sync callback (every peer parked)
+/// and persisted by world rank 0 immediately after the rendezvous.
+struct CheckpointSession {
+  std::optional<runtime::CheckpointStore> store;
+  runtime::RoundCheckpoint loaded;  // meaningful when `resumed`
+  bool resumed = false;
+  runtime::RoundCheckpoint staged;
+  bool staged_ok = false;
+
+  [[nodiscard]] bool armed() const noexcept { return store.has_value(); }
+};
+
+/// Validate the checkpoint config, open the store and — on resume — load
+/// and sanity-check the newest good snapshot, wiring its world state into
+/// `sopt.resume`. `driver_bytes_per_round` is the driver_state stride;
+/// `wave_accum_bytes` is the per-rank accumulator size for mid-round
+/// snapshots (0 = this driver cannot resume mid-round).
+inline CheckpointSession open_checkpoints(const MidasOptions& opt,
+                                          runtime::SpmdOptions& sopt,
+                                          std::uint64_t config_hash,
+                                          std::size_t driver_bytes_per_round,
+                                          std::size_t wave_accum_bytes) {
+  CheckpointSession cs;
+  if (!opt.checkpoint.enabled()) return cs;
+  require_options(opt.checkpoint.every_rounds >= 1,
+                  "checkpoint.every_rounds must be >= 1");
+  require_options(opt.checkpoint.keep >= 1,
+                  "checkpoint.keep must be >= 1");
+  cs.store.emplace(opt.checkpoint.dir, opt.checkpoint.keep);
+  if (!opt.checkpoint.resume) return cs;
+  auto ck = cs.store->load_latest();
+  if (!ck) return cs;  // nothing durable yet: cold start
+  if (ck->config_hash != config_hash)
+    throw runtime::CheckpointError(
+        "snapshot in " + opt.checkpoint.dir +
+        " was written by an incompatible run configuration");
+  const auto nranks = static_cast<std::size_t>(opt.n_ranks);
+  if (ck->vclocks.size() != nranks || ck->events.size() != nranks ||
+      ck->stats.size() != nranks)
+    throw runtime::CheckpointError("snapshot rank count mismatch");
+  if (ck->next_round > static_cast<std::uint32_t>(opt.rounds()))
+    throw runtime::CheckpointError("snapshot round index out of range");
+  if (ck->driver_state.size() !=
+      static_cast<std::size_t>(ck->next_round) * driver_bytes_per_round)
+    throw runtime::CheckpointError("snapshot driver state size mismatch");
+  if (ck->phase_waves_done > 0) {
+    if (wave_accum_bytes == 0)
+      throw runtime::CheckpointError(
+          "mid-round snapshot is not resumable by this driver/mode");
+    if (ck->accum.size() != nranks)
+      throw runtime::CheckpointError("snapshot accumulator arity mismatch");
+    for (const auto& a : ck->accum)
+      if (a.size() != wave_accum_bytes)
+        throw runtime::CheckpointError(
+            "snapshot accumulator size mismatch");
+  }
+  sopt.resume.vclocks = ck->vclocks;
+  sopt.resume.events = ck->events;
+  sopt.resume.stats = ck->stats;
+  cs.loaded = std::move(*ck);
+  cs.resumed = true;
+  return cs;
+}
+
+/// Collective snapshot capture + persist. All world ranks call with the
+/// same arguments; any accumulator staging slots must have been written by
+/// their owning ranks beforehand. Nothing is written if any rank already
+/// failed — a consistent world is a precondition for a resumable one.
+template <typename DriverStateFn>
+void take_snapshot(runtime::Comm& world, CheckpointSession& cs,
+                   std::uint64_t config_hash, int next_round,
+                   std::uint64_t waves_done,
+                   const std::vector<std::uint64_t>& rng_state,
+                   const std::vector<std::vector<std::uint8_t>>& accum_stage,
+                   DriverStateFn&& driver_state) {
+  world.snapshot_sync([&] {
+    cs.staged_ok = false;
+    if (!world.failed_world_ranks().empty()) return;
+    cs.staged.config_hash = config_hash;
+    cs.staged.next_round = static_cast<std::uint32_t>(next_round);
+    cs.staged.phase_waves_done = waves_done;
+    cs.staged.driver_state = driver_state();
+    cs.staged.accum = accum_stage;
+    cs.staged.vclocks = world.world_vclocks();
+    cs.staged.events = world.world_event_counts();
+    cs.staged.stats = world.world_stats_snapshot();
+    cs.staged.rng_state = rng_state;
+    cs.staged_ok = true;
+  });
+  // Only one rank touches the disk; peers that raced ahead will park at
+  // the next rendezvous until the write returns.
+  if (world.rank() == 0 && cs.staged_ok) (void)cs.store->write(cs.staged);
 }
 
 /// Lanes of the failure-view vote: every rank contributes the hash of its
@@ -142,6 +305,9 @@ template <gf::GaloisField F>
 MidasResult kpath_engine(const std::vector<partition::PartView>& views,
                          const MidasOptions& opt, const F& f) {
   using V = typename F::value_type;
+  require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
+                      opt.n_ranks % opt.n1 == 0,
+                  "N1 must divide N (phase groups need N/N1 whole replicas)");
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
@@ -150,7 +316,40 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
   Timer wall;
   // Shared flags written once per round under an allreduce barrier.
   std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
-  const runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+  runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+
+  // Checkpointing. The fingerprint covers the execution mode because the
+  // supervised protocol charges different virtual time than the clean
+  // path: a snapshot resumes only into the mode that wrote it.
+  const std::uint64_t chash = detail::config_fingerprint(
+      /*engine_tag=*/0x6b70617468ULL /* "kpath" */, opt, sopt, sizeof(V),
+      views);
+  detail::CheckpointSession cs = detail::open_checkpoints(
+      opt, sopt, chash, /*driver_bytes_per_round=*/1,
+      // Mid-round (wave) resume exists only on the clean path; supervised
+      // snapshots are always taken at round boundaries.
+      /*wave_accum_bytes=*/sopt.supervise ? 0 : sizeof(V));
+  const int start_round = cs.resumed ? static_cast<int>(cs.loaded.next_round)
+                                     : 0;
+  const std::uint64_t start_wave = cs.resumed ? cs.loaded.phase_waves_done
+                                              : 0;
+  if (cs.resumed) {
+    result.resumed_from_round = start_round;
+    for (int r = 0; r < start_round; ++r)
+      round_found[static_cast<std::size_t>(r)] =
+          cs.loaded.driver_state[static_cast<std::size_t>(r)];
+  }
+  // Per-rank accumulator staging for mid-round snapshots: slot r is
+  // written only by world rank r before the snapshot rendezvous reads it.
+  std::vector<std::vector<std::uint8_t>> accum_stage(
+      static_cast<std::size_t>(opt.n_ranks));
+  auto driver_state_upto = [&round_found](int rounds_done) {
+    std::vector<std::uint8_t> s(static_cast<std::size_t>(rounds_done));
+    for (int r = 0; r < rounds_done; ++r)
+      s[static_cast<std::size_t>(r)] =
+          static_cast<std::uint8_t>(round_found[static_cast<std::size_t>(r)]);
+    return s;
+  };
 
   auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, sopt,
                                 [&](runtime::Comm& world) {
@@ -161,6 +360,9 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
     if (world.supervised())
       world.set_fail_policy(runtime::FailPolicy::kShrink);
     runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
+    // Setup done: on a resumed run, overwrite the re-charged setup state
+    // with the snapshot's (no-op otherwise).
+    world.resume_sync();
     // The part a rank owns is fixed by its world rank — never by its rank
     // in `group`, which shifts when the split excluded a dead member.
     const auto& view = views[static_cast<std::size_t>(world.rank() % opt.n1)];
@@ -247,7 +449,7 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
       world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
     };
 
-    for (int round = 0; round < opt.rounds(); ++round) {
+    for (int round = start_round; round < opt.rounds(); ++round) {
       for (std::uint32_t li = 0; li < nl; ++li) {
         const graph::VertexId gid = view.vertices[li];
         v[li] = v_vector(opt.seed, round, gid, k);
@@ -256,19 +458,57 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
               f, opt.seed, round, gid, static_cast<std::uint32_t>(j));
       }
       V total = f.zero();
+      // Round-boundary snapshot cadence; uniform across ranks (the early-
+      // exit guard reads the shared allreduce result), which a collective
+      // rendezvous requires.
+      auto round_snapshot_due = [&](int done, bool found) {
+        return cs.armed() && done % opt.checkpoint.every_rounds == 0 &&
+               done < opt.rounds() && !(opt.early_exit && found);
+      };
 
       if (!world.supervised()) {
         // Clean fast path — identical collective sequence to the original
-        // engine (paper's MPIREDUCE per round).
-        for (std::uint64_t phase = group_color; phase < sched.phases();
-             phase += sched.groups())
-          compute_phase(phase, total);
+        // engine (paper's MPIREDUCE per round). Phases are walked as
+        // uniform waves (wave w = phase group_color + w*a) so that every
+        // rank hits an optional mid-round snapshot rendezvous in lockstep
+        // even though groups own unequal phase counts.
+        std::uint64_t w0 = 0;
+        if (round == start_round && start_wave > 0) {
+          // Mid-round resume: the restored accumulator already folds the
+          // first `start_wave` waves of this round.
+          w0 = start_wave;
+          std::memcpy(&total,
+                      cs.loaded.accum[static_cast<std::size_t>(world.rank())]
+                          .data(),
+                      sizeof(V));
+        }
+        const std::uint64_t waves = sched.batches();
+        for (std::uint64_t w = w0; w < waves; ++w) {
+          const std::uint64_t phase =
+              static_cast<std::uint64_t>(group_color) + w * sched.groups();
+          if (phase < sched.phases()) compute_phase(phase, total);
+          if (cs.armed() && opt.checkpoint.every_waves > 0 &&
+              w + 1 < waves && (w + 1) % opt.checkpoint.every_waves == 0) {
+            auto& slot = accum_stage[static_cast<std::size_t>(world.rank())];
+            slot.resize(sizeof(V));
+            std::memcpy(slot.data(), &total, sizeof(V));
+            detail::take_snapshot(world, cs, chash, round, w + 1,
+                                  opt.checkpoint.rng_state, accum_stage,
+                                  [&] { return driver_state_upto(round); });
+          }
+        }
         V buf = total;
         world.allreduce<V>(std::span<V>(&buf, 1),
                            [&f](V& a, const V& b) { a = f.add(a, b); });
         if (world.rank() == 0 && buf != f.zero())
           round_found[static_cast<std::size_t>(round)] = 1;
         world.barrier();
+        if (round_snapshot_due(round + 1, buf != f.zero())) {
+          accum_stage[static_cast<std::size_t>(world.rank())].clear();
+          detail::take_snapshot(world, cs, chash, round + 1, 0,
+                                opt.checkpoint.rng_state, accum_stage,
+                                [&] { return driver_state_upto(round + 1); });
+        }
         if (opt.early_exit && buf != f.zero()) break;
         continue;
       }
@@ -278,9 +518,45 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
       // are currently folded into `total` (the round-level checkpoint is
       // the per-round allreduce itself: completed rounds are never redone).
       std::vector<std::uint64_t> have;
-      if (group.size() == opt.n1 && !group.any_peer_failed()) {
+      std::vector<int> slow_groups;
+      const bool watchdog_armed = sopt.watchdog.speculate &&
+                                  sopt.watchdog.deadline_s > 0.0 &&
+                                  sched.groups() > 1;
+      bool computing = group.size() == opt.n1 && !group.any_peer_failed();
+      if (watchdog_armed) {
+        // Probe wave: each intact group computes only its first owned
+        // phase, then every rank compares virtual clocks. A group lagging
+        // the fastest one by more than the deadline is voted a straggler
+        // and its phases are dealt to the fast groups below — the same
+        // redo path that covers dead groups (speculative re-execution).
+        if (computing) {
+          try {
+            if (static_cast<std::uint64_t>(group_color) < sched.phases()) {
+              compute_phase(static_cast<std::uint64_t>(group_color), total);
+              have.push_back(static_cast<std::uint64_t>(group_color));
+            }
+          } catch (const runtime::RankFailedError&) {
+            total = f.zero();
+            have.clear();
+            computing = false;
+          }
+        }
+        slow_groups =
+            world.straggling_groups(opt.n1, sopt.watchdog.deadline_s);
+        // A straggler stops speculating on its own phases; whether its
+        // probe contribution survives is decided uniformly in the vote
+        // loop (it does only when no fast group is left to take over).
+        if (std::binary_search(slow_groups.begin(), slow_groups.end(),
+                               group_color))
+          computing = false;
+      }
+      if (computing) {
+        const std::uint64_t first_own =
+            static_cast<std::uint64_t>(group_color) +
+            (watchdog_armed ? static_cast<std::uint64_t>(sched.groups())
+                            : 0u);
         try {
-          for (std::uint64_t phase = group_color; phase < sched.phases();
+          for (std::uint64_t phase = first_own; phase < sched.phases();
                phase += sched.groups()) {
             compute_phase(phase, total);
             have.push_back(phase);
@@ -330,11 +606,35 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
               "every phase group lost a member; no intact graph replica "
               "left to recompute their phases");
 
-        if (std::binary_search(dead_groups.begin(), dead_groups.end(),
-                               group_color)) {
-          // My group is incomplete: its contribution (including any phase
-          // shares survivors did finish) is recomputed by intact groups,
-          // so survivors must contribute exactly zero.
+        // Donors hand their phases over; workers recompute them. Dead
+        // groups always donate. Straggling-but-intact groups donate too,
+        // unless *every* intact group straggles — then nobody is faster
+        // and the flag is moot. All inputs (dead/intact from the agreed
+        // vote, slow_groups from a shared allreduce) are uniform across
+        // survivors, so every rank reaches the same split.
+        std::vector<int> donor_groups = dead_groups;
+        std::vector<int> worker_groups = intact_groups;
+        if (!slow_groups.empty()) {
+          std::vector<int> fast;
+          std::set_difference(intact_groups.begin(), intact_groups.end(),
+                              slow_groups.begin(), slow_groups.end(),
+                              std::back_inserter(fast));
+          if (!fast.empty()) {
+            worker_groups = std::move(fast);
+            std::set_intersection(slow_groups.begin(), slow_groups.end(),
+                                  intact_groups.begin(),
+                                  intact_groups.end(),
+                                  std::back_inserter(donor_groups));
+            std::sort(donor_groups.begin(), donor_groups.end());
+          }
+        }
+
+        if (!std::binary_search(worker_groups.begin(), worker_groups.end(),
+                                group_color)) {
+          // My group is incomplete (or voted a straggler): its
+          // contribution (including any phase shares already finished) is
+          // recomputed by the worker groups, so we must contribute
+          // exactly zero.
           total = f.zero();
           have.clear();
         } else {
@@ -342,8 +642,8 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
           for (std::uint64_t phase = group_color; phase < sched.phases();
                phase += sched.groups())
             want.push_back(phase);
-          const auto extra = failover_phases(sched, dead_groups,
-                                             intact_groups, group_color);
+          const auto extra = failover_phases(sched, donor_groups,
+                                             worker_groups, group_color);
           want.insert(want.end(), extra.begin(), extra.end());
           std::sort(want.begin(), want.end());
           std::vector<std::uint64_t> delta;
@@ -376,6 +676,18 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         ++writer;
       if (world.rank() == writer && reduced != f.zero())
         round_found[static_cast<std::size_t>(round)] = 1;
+      // Snapshot only failure-free rounds: `agreed_failed` is the voted
+      // (hence uniform) failure view, so all survivors skip or rendezvous
+      // together. A round completed via failover is still correct but its
+      // rank state is not a clean resume point — the next fault-free
+      // boundary snapshots instead.
+      if (agreed_failed.empty() &&
+          round_snapshot_due(round + 1, reduced != f.zero())) {
+        accum_stage[static_cast<std::size_t>(world.rank())].clear();
+        detail::take_snapshot(world, cs, chash, round + 1, 0,
+                              opt.checkpoint.rng_state, accum_stage,
+                              [&] { return driver_state_upto(round + 1); });
+      }
       if (opt.early_exit && reduced != f.zero()) break;
     }
   });
@@ -410,7 +722,8 @@ template <gf::GaloisField F>
 MidasResult midas_kpath(const graph::Graph& g,
                         const partition::Partition& part,
                         const MidasOptions& opt, const F& f = F{}) {
-  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
   return detail::kpath_engine(partition::build_part_views(g, part), opt, f);
 }
 
@@ -420,7 +733,8 @@ template <gf::GaloisField F>
 MidasResult midas_kpath_directed(const graph::DiGraph& g,
                                  const partition::Partition& part,
                                  const MidasOptions& opt, const F& f = F{}) {
-  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
   return detail::kpath_engine(partition::build_dipart_views(g, part), opt,
                               f);
 }
@@ -436,8 +750,13 @@ MidasResult midas_ktree(const graph::Graph& g,
                         const TreeDecomposition& td, const MidasOptions& opt,
                         const F& f = F{}) {
   using V = typename F::value_type;
-  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
-  MIDAS_REQUIRE(td.k() == opt.k, "template size must equal opt.k");
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
+  detail::require_options(td.k() == opt.k, "template size must equal opt.k");
+  detail::require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
+                              opt.n_ranks % opt.n1 == 0,
+                          "N1 must divide N (phase groups need N/N1 whole "
+                          "replicas)");
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
@@ -455,12 +774,52 @@ MidasResult midas_ktree(const graph::Graph& g,
   std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
   // No failover here (only the k-path engine masks failures), but faults
   // still terminate with typed errors instead of hangs.
-  const runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+  runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+
+  // The decomposition shape feeds the config fingerprint: resuming a
+  // snapshot against a different template must be rejected.
+  std::uint64_t tmpl_hash = 0;
+  {
+    std::vector<std::uint64_t> tw;
+    tw.reserve(subs.size() * 3 + 1);
+    tw.push_back(static_cast<std::uint64_t>(td.root_id()));
+    for (const auto& sub : subs) {
+      tw.push_back(static_cast<std::uint64_t>(sub.child1));
+      tw.push_back(static_cast<std::uint64_t>(sub.child2));
+      tw.push_back(static_cast<std::uint64_t>(sub.template_vertex));
+    }
+    tmpl_hash =
+        runtime::fnv1a(std::as_bytes(std::span<const std::uint64_t>(tw)));
+  }
+  const std::uint64_t chash = detail::config_fingerprint(
+      /*engine_tag=*/0x6b74726565ULL /* "ktree" */, opt, sopt, sizeof(V),
+      views, tmpl_hash);
+  detail::CheckpointSession cs = detail::open_checkpoints(
+      opt, sopt, chash, /*driver_bytes_per_round=*/1,
+      /*wave_accum_bytes=*/0);  // round-boundary snapshots only
+  const int start_round = cs.resumed ? static_cast<int>(cs.loaded.next_round)
+                                     : 0;
+  if (cs.resumed) {
+    result.resumed_from_round = start_round;
+    for (int r = 0; r < start_round; ++r)
+      round_found[static_cast<std::size_t>(r)] =
+          cs.loaded.driver_state[static_cast<std::size_t>(r)];
+  }
+  std::vector<std::vector<std::uint8_t>> accum_stage(
+      static_cast<std::size_t>(opt.n_ranks));
+  auto driver_state_upto = [&round_found](int rounds_done) {
+    std::vector<std::uint8_t> s(static_cast<std::size_t>(rounds_done));
+    for (int r = 0; r < rounds_done; ++r)
+      s[static_cast<std::size_t>(r)] =
+          static_cast<std::uint8_t>(round_found[static_cast<std::size_t>(r)]);
+    return s;
+  };
 
   auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, sopt,
                                 [&](runtime::Comm& world) {
     const int group_color = world.rank() / opt.n1;
     runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
+    world.resume_sync();
     const auto& view = views[static_cast<std::size_t>(group.rank())];
     const std::uint32_t nl = view.num_local();
     const std::uint32_t ng = view.num_ghosts();
@@ -469,7 +828,7 @@ MidasResult midas_ktree(const graph::Graph& g,
     std::vector<std::vector<V>> vals(subs.size());
     std::vector<std::vector<V>> ghost(subs.size());
 
-    for (int round = 0; round < opt.rounds(); ++round) {
+    for (int round = start_round; round < opt.rounds(); ++round) {
       for (std::uint32_t li = 0; li < nl; ++li)
         v[li] = v_vector(opt.seed, round, view.vertices[li], k);
       V total = f.zero();
@@ -548,6 +907,12 @@ MidasResult midas_ktree(const graph::Graph& g,
       if (world.rank() == 0 && buf != f.zero())
         round_found[static_cast<std::size_t>(round)] = 1;
       world.barrier();
+      if (cs.armed() && (round + 1) % opt.checkpoint.every_rounds == 0 &&
+          round + 1 < opt.rounds() && !(opt.early_exit && buf != f.zero())) {
+        detail::take_snapshot(world, cs, chash, round + 1, 0,
+                              opt.checkpoint.rng_state, accum_stage,
+                              [&] { return driver_state_upto(round + 1); });
+      }
       if (opt.early_exit && buf != f.zero()) break;
     }
   });
@@ -581,6 +946,7 @@ struct MidasScanResult {
   double wall_s = 0.0;
   runtime::CommStats total_stats;
   std::vector<double> vclocks;
+  int resumed_from_round = -1;  // snapshot round this run resumed at
 };
 
 /// Distributed (size, weight) feasibility for connected subgraphs — the
@@ -592,9 +958,14 @@ MidasScanResult midas_scan(const graph::Graph& g,
                            const std::vector<std::uint32_t>& weights,
                            const MidasOptions& opt, const F& f = F{}) {
   using V = typename F::value_type;
-  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
-  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
-                "one weight per vertex required");
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
+  detail::require_options(weights.size() == g.num_vertices(),
+                          "one weight per vertex required");
+  detail::require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
+                              opt.n_ranks % opt.n1 == 0,
+                          "N1 must divide N (phase groups need N/N1 whole "
+                          "replicas)");
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
@@ -616,16 +987,44 @@ MidasScanResult midas_scan(const graph::Graph& g,
                                std::vector<bool>(width, false));
   Timer wall;
   // Per-round detection table gathered at world rank 0 via allreduce; one
-  // slot per (round, j, z).
+  // slot per (round, j, z). This is exactly the driver state a snapshot
+  // persists: one (k+1)*width stride per completed round.
+  const std::size_t round_stride =
+      static_cast<std::size_t>(k + 1) * width;
   std::vector<std::uint8_t> found_cells(
-      static_cast<std::size_t>(opt.rounds()) * (k + 1) * width, 0);
+      static_cast<std::size_t>(opt.rounds()) * round_stride, 0);
+
+  runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+  const std::uint64_t chash = detail::config_fingerprint(
+      /*engine_tag=*/0x7363616eULL /* "scan" */, opt, sopt, sizeof(V), views,
+      runtime::fnv1a(std::as_bytes(std::span<const std::uint32_t>(weights))));
+  detail::CheckpointSession cs = detail::open_checkpoints(
+      opt, sopt, chash, /*driver_bytes_per_round=*/round_stride,
+      /*wave_accum_bytes=*/0);  // round-boundary snapshots only
+  const int start_round = cs.resumed ? static_cast<int>(cs.loaded.next_round)
+                                     : 0;
+  if (cs.resumed) {
+    result.resumed_from_round = start_round;
+    std::copy(cs.loaded.driver_state.begin(), cs.loaded.driver_state.end(),
+              found_cells.begin());
+  }
+  std::vector<std::vector<std::uint8_t>> accum_stage(
+      static_cast<std::size_t>(opt.n_ranks));
+  auto driver_state_upto = [&found_cells, round_stride](int rounds_done) {
+    return std::vector<std::uint8_t>(
+        found_cells.begin(),
+        found_cells.begin() +
+            static_cast<std::ptrdiff_t>(
+                static_cast<std::size_t>(rounds_done) * round_stride));
+  };
 
   runtime::SpmdResult spmd = runtime::run_spmd(
-      opt.n_ranks, opt.model, detail::effective_spmd(opt),
+      opt.n_ranks, opt.model, sopt,
       [&](runtime::Comm& world) {
         const int group_color = world.rank() / opt.n1;
         runtime::Comm group =
             world.split(group_color, world.rank() % opt.n1);
+        world.resume_sync();
         const auto& view = views[static_cast<std::size_t>(group.rank())];
         const std::uint32_t nl = view.num_local();
         const std::uint32_t ng = view.num_ghosts();
@@ -639,7 +1038,7 @@ MidasScanResult midas_scan(const graph::Graph& g,
         // accum[j][z]: XOR over phases/iterations of sum_i P(i,q,j,z).
         std::vector<V> accum(static_cast<std::size_t>(k + 1) * width);
 
-        for (int round = 0; round < opt.rounds(); ++round) {
+        for (int round = start_round; round < opt.rounds(); ++round) {
           for (std::uint32_t li = 0; li < nl; ++li)
             v[li] = v_vector(opt.seed, round, view.vertices[li], k);
           std::fill(accum.begin(), accum.end(), f.zero());
@@ -775,6 +1174,13 @@ MidasScanResult midas_scan(const graph::Graph& g,
                               z] = 1;
           }
           world.barrier();
+          if (cs.armed() &&
+              (round + 1) % opt.checkpoint.every_rounds == 0 &&
+              round + 1 < opt.rounds()) {
+            detail::take_snapshot(
+                world, cs, chash, round + 1, 0, opt.checkpoint.rng_state,
+                accum_stage, [&] { return driver_state_upto(round + 1); });
+          }
         }
       });
 
@@ -805,6 +1211,7 @@ struct MidasWeightedResult {
   double vtime = 0.0;
   double wall_s = 0.0;
   runtime::CommStats total_stats;
+  int resumed_from_round = -1;  // snapshot round this run resumed at
 };
 
 /// Distributed maximum-weight k-path: the path DP with a weight dimension
@@ -816,9 +1223,14 @@ MidasWeightedResult midas_weighted_kpath(
     const std::vector<std::uint32_t>& weights, const MidasOptions& opt,
     const F& f = F{}) {
   using V = typename F::value_type;
-  MIDAS_REQUIRE(part.parts == opt.n1, "partition must have N1 parts");
-  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
-                "one weight per vertex required");
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
+  detail::require_options(weights.size() == g.num_vertices(),
+                          "one weight per vertex required");
+  detail::require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
+                              opt.n_ranks % opt.n1 == 0,
+                          "N1 must divide N (phase groups need N/N1 whole "
+                          "replicas)");
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
@@ -836,15 +1248,42 @@ MidasWeightedResult midas_weighted_kpath(
   MidasWeightedResult result;
   result.feasible_weight.assign(width, false);
   Timer wall;
+  // Driver state per completed round: the width-wide feasibility row.
   std::vector<std::uint8_t> found_cells(
       static_cast<std::size_t>(opt.rounds()) * width, 0);
 
+  runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+  const std::uint64_t chash = detail::config_fingerprint(
+      /*engine_tag=*/0x776b70617468ULL /* "wkpath" */, opt, sopt, sizeof(V),
+      views,
+      runtime::fnv1a(std::as_bytes(std::span<const std::uint32_t>(weights))));
+  detail::CheckpointSession cs = detail::open_checkpoints(
+      opt, sopt, chash, /*driver_bytes_per_round=*/width,
+      /*wave_accum_bytes=*/0);  // round-boundary snapshots only
+  const int start_round = cs.resumed ? static_cast<int>(cs.loaded.next_round)
+                                     : 0;
+  if (cs.resumed) {
+    result.resumed_from_round = start_round;
+    std::copy(cs.loaded.driver_state.begin(), cs.loaded.driver_state.end(),
+              found_cells.begin());
+  }
+  std::vector<std::vector<std::uint8_t>> accum_stage(
+      static_cast<std::size_t>(opt.n_ranks));
+  auto driver_state_upto = [&found_cells, width](int rounds_done) {
+    return std::vector<std::uint8_t>(
+        found_cells.begin(),
+        found_cells.begin() +
+            static_cast<std::ptrdiff_t>(
+                static_cast<std::size_t>(rounds_done) * width));
+  };
+
   runtime::SpmdResult spmd = runtime::run_spmd(
-      opt.n_ranks, opt.model, detail::effective_spmd(opt),
+      opt.n_ranks, opt.model, sopt,
       [&](runtime::Comm& world) {
         const int group_color = world.rank() / opt.n1;
         runtime::Comm group =
             world.split(group_color, world.rank() % opt.n1);
+        world.resume_sync();
         const auto& view = views[static_cast<std::size_t>(group.rank())];
         const std::uint32_t nl = view.num_local();
         const std::uint32_t ng = view.num_ghosts();
@@ -854,7 +1293,7 @@ MidasWeightedResult midas_weighted_kpath(
         std::vector<V> cur, next, ghost;
         std::vector<V> accum(width);
 
-        for (int round = 0; round < opt.rounds(); ++round) {
+        for (int round = start_round; round < opt.rounds(); ++round) {
           for (std::uint32_t li = 0; li < nl; ++li)
             v[li] = v_vector(opt.seed, round, view.vertices[li], k);
           std::fill(accum.begin(), accum.end(), f.zero());
@@ -945,6 +1384,13 @@ MidasWeightedResult midas_weighted_kpath(
                     1;
           }
           world.barrier();
+          if (cs.armed() &&
+              (round + 1) % opt.checkpoint.every_rounds == 0 &&
+              round + 1 < opt.rounds()) {
+            detail::take_snapshot(
+                world, cs, chash, round + 1, 0, opt.checkpoint.rng_state,
+                accum_stage, [&] { return driver_state_upto(round + 1); });
+          }
         }
       });
 

@@ -1,0 +1,27 @@
+// Typed engine-configuration errors.
+//
+// Supervised callers need to tell "you configured the run wrong" apart
+// from "the run was hit by a fault" (runtime::FaultError): the former is
+// a caller bug to fix, the latter is survivable. InvalidOptionsError
+// derives from std::invalid_argument so pre-existing callers that catch
+// the generic contract violation keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace midas::core {
+
+class InvalidOptionsError : public std::invalid_argument {
+ public:
+  explicit InvalidOptionsError(const std::string& what)
+      : std::invalid_argument("invalid MidasOptions: " + what) {}
+};
+
+namespace detail {
+inline void require_options(bool cond, const std::string& what) {
+  if (!cond) throw InvalidOptionsError(what);
+}
+}  // namespace detail
+
+}  // namespace midas::core

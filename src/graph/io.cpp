@@ -12,21 +12,40 @@
 
 namespace midas::graph {
 
-Graph read_edge_list(std::istream& in, VertexId n_hint) {
+Graph read_edge_list(std::istream& in, VertexId n_hint,
+                     const std::string& source) {
   std::vector<std::pair<VertexId, VertexId>> edges;
+  constexpr long long kMaxId = 0xFFFFFFFFll;
   VertexId max_id = 0;
   std::string line;
+  std::uint64_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
     long long u = -1, v = -1;
-    const bool parsed = static_cast<bool>(ls >> u >> v);
-    MIDAS_REQUIRE(parsed && u >= 0 && v >= 0,
-                  "malformed edge-list line: " + line);
+    if (!(ls >> u >> v))
+      throw GraphParseError(source, lineno,
+                            "malformed edge-list line: \"" + line + "\"");
+    if (u < 0 || v < 0)
+      throw GraphParseError(source, lineno,
+                            "negative vertex id in: \"" + line + "\"");
+    if (u > kMaxId || v > kMaxId)
+      throw GraphParseError(source, lineno,
+                            "vertex id overflows 32 bits in: \"" + line +
+                                "\"");
+    if (n_hint > 0 && (u >= static_cast<long long>(n_hint) ||
+                       v >= static_cast<long long>(n_hint)))
+      throw GraphParseError(
+          source, lineno,
+          "vertex id >= declared vertex count " + std::to_string(n_hint) +
+              " in: \"" + line + "\"");
     edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
     max_id = std::max({max_id, static_cast<VertexId>(u),
                        static_cast<VertexId>(v)});
   }
+  if (in.bad())
+    throw std::runtime_error("I/O error while reading " + source);
   const VertexId n = n_hint > 0 ? n_hint : (edges.empty() ? 0 : max_id + 1);
   GraphBuilder b(n);
   b.reserve(edges.size());
@@ -37,7 +56,7 @@ Graph read_edge_list(std::istream& in, VertexId n_hint) {
 Graph load_edge_list(const std::string& path, VertexId n_hint) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("cannot open graph file: " + path);
-  return read_edge_list(f, n_hint);
+  return read_edge_list(f, n_hint, path);
 }
 
 void write_edge_list(const Graph& g, std::ostream& out) {
@@ -72,23 +91,45 @@ void save_binary(const Graph& g, const std::string& path) {
 Graph load_binary(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("cannot open graph file: " + path);
+  // File size first: the header's edge count is validated against it below
+  // before any allocation, so a corrupt count cannot ask for gigabytes.
+  f.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(f.tellg());
+  f.seekg(0, std::ios::beg);
   char magic[8];
   f.read(magic, sizeof(magic));
-  MIDAS_REQUIRE(static_cast<bool>(f) &&
-                    std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0,
-                "not a MIDAS binary graph file: " + path);
+  if (!f || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0)
+    throw GraphParseError(path, 0, "not a MIDAS binary graph file");
   std::uint64_t n = 0, m = 0;
   f.read(reinterpret_cast<char*>(&n), sizeof(n));
   f.read(reinterpret_cast<char*>(&m), sizeof(m));
-  MIDAS_REQUIRE(static_cast<bool>(f) && n <= 0xFFFFFFFFull,
-                "corrupt binary graph header: " + path);
+  if (!f) throw GraphParseError(path, 0, "truncated binary graph header");
+  if (n > 0xFFFFFFFFull)
+    throw GraphParseError(path, 0,
+                          "vertex count " + std::to_string(n) +
+                              " overflows 32 bits");
+  const std::uint64_t header_bytes = sizeof(kBinaryMagic) + 2 * sizeof(n);
+  const std::uint64_t edge_bytes = 2 * sizeof(VertexId);
+  if (m > (file_size - std::min(file_size, header_bytes)) / edge_bytes)
+    throw GraphParseError(
+        path, 0,
+        "edge count " + std::to_string(m) +
+            " exceeds what the file can hold (corrupt header?)");
   GraphBuilder b(static_cast<VertexId>(n));
   b.reserve(m);
   for (std::uint64_t e = 0; e < m; ++e) {
     VertexId u = 0, v = 0;
     f.read(reinterpret_cast<char*>(&u), sizeof(u));
     f.read(reinterpret_cast<char*>(&v), sizeof(v));
-    MIDAS_REQUIRE(static_cast<bool>(f), "truncated binary graph: " + path);
+    if (!f)
+      throw GraphParseError(path, 0,
+                            "truncated binary graph at edge " +
+                                std::to_string(e) + " of " +
+                                std::to_string(m));
+    if (u >= n || v >= n)
+      throw GraphParseError(path, 0,
+                            "edge " + std::to_string(e) +
+                                " references vertex id out of range");
     b.add_edge(u, v);
   }
   return b.build();

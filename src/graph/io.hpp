@@ -5,16 +5,52 @@
 // non-negative; the graph size is max id + 1 unless an explicit n is given.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "graph/csr.hpp"
 
 namespace midas::graph {
 
+/// A malformed, overflowing or otherwise invalid graph input. Derives from
+/// std::invalid_argument (bad input is a contract violation, like
+/// MIDAS_REQUIRE) but adds the source name and — for text inputs — the
+/// 1-based line number of the offending record (0 for binary/header
+/// errors), so operators can fix the file instead of guessing.
+class GraphParseError : public std::invalid_argument {
+ public:
+  GraphParseError(const std::string& source, std::uint64_t line,
+                  const std::string& what)
+      : std::invalid_argument(format(source, line, what)), line_(line) {}
+
+  /// 1-based line of the bad record; 0 when the error is not line-scoped.
+  [[nodiscard]] std::uint64_t line() const noexcept { return line_; }
+
+ private:
+  static std::string format(const std::string& source, std::uint64_t line,
+                            const std::string& what) {
+    std::string s = "graph parse error [";
+    s += source;
+    if (line > 0) {
+      s += ':';
+      s += std::to_string(line);
+    }
+    s += "]: ";
+    s += what;
+    return s;
+  }
+
+  std::uint64_t line_;
+};
+
 /// Parse an edge list from a stream. If n_hint > 0, the vertex count is
-/// fixed to n_hint (ids must be < n_hint); otherwise inferred.
-[[nodiscard]] Graph read_edge_list(std::istream& in, VertexId n_hint = 0);
+/// fixed to n_hint (ids must be < n_hint); otherwise inferred. Throws
+/// GraphParseError on malformed lines, negative or overflowing vertex ids,
+/// or ids outside n_hint; `source` names the input in error messages.
+[[nodiscard]] Graph read_edge_list(std::istream& in, VertexId n_hint = 0,
+                                   const std::string& source = "<stream>");
 
 /// Load from a file path. Throws std::runtime_error if unreadable.
 [[nodiscard]] Graph load_edge_list(const std::string& path,
@@ -28,7 +64,10 @@ void save_edge_list(const Graph& g, const std::string& path);
 
 /// Compact binary format ("MIDASGR1" magic, little-endian u64 n/m, then m
 /// u32 edge pairs). ~5x smaller and ~20x faster to load than text for
-/// large graphs.
+/// large graphs. load_binary throws GraphParseError on a bad magic, a
+/// header whose edge count exceeds what the file can hold (so a corrupt
+/// count cannot trigger a giant allocation), out-of-range vertex ids, or
+/// truncation.
 void save_binary(const Graph& g, const std::string& path);
 [[nodiscard]] Graph load_binary(const std::string& path);
 

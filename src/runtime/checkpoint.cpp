@@ -1,0 +1,318 @@
+#include "runtime/checkpoint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <type_traits>
+
+#include "util/require.hpp"
+
+namespace midas::runtime {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'M', 'I', 'D', 'A',
+                                        'S', 'C', 'K', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr char kSnapshotExt[] = ".mck";
+
+// -- little-endian cursor helpers -------------------------------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_bytes(std::vector<std::uint8_t>& out,
+               std::span<const std::uint8_t> bytes) {
+  put_u64(out, bytes.size());
+  out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+/// Bounds-checked payload reader: every overrun is a typed truncation
+/// error, never an out-of-bounds read.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::vector<std::uint8_t> bytes() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                  data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  void raw(void* dest, std::size_t n) {
+    need(n);
+    std::memcpy(dest, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  /// Element count for a sequence whose elements take `elem_bytes` each —
+  /// validated against the remaining payload before any allocation, so a
+  /// corrupt length cannot trigger a multi-gigabyte reserve.
+  std::size_t count(std::size_t elem_bytes) {
+    const std::uint64_t n = u64();
+    if (elem_bytes > 0 && n > (data_.size() - pos_) / elem_bytes)
+      throw CheckpointError("truncated snapshot payload (bad element count)");
+    return static_cast<std::size_t>(n);
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == data_.size();
+  }
+
+ private:
+  void need(std::uint64_t n) const {
+    if (n > data_.size() - pos_)
+      throw CheckpointError("truncated snapshot payload");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+std::uint64_t parse_seq(const fs::path& p) {
+  // ckpt-<seq>.mck; anything else is not ours.
+  const std::string stem = p.stem().string();
+  if (p.extension() != kSnapshotExt || stem.rfind("ckpt-", 0) != 0) return 0;
+  std::uint64_t seq = 0;
+  for (char c : stem.substr(5)) {
+    if (c < '0' || c > '9') return 0;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  // Table-driven reflected CRC-32; the table is built once.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int b = 0; b < 8; ++b)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data)
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> serialize(const RoundCheckpoint& ck) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, ck.config_hash);
+  put_u32(out, ck.next_round);
+  put_u64(out, ck.phase_waves_done);
+  put_bytes(out, ck.driver_state);
+  put_u64(out, ck.accum.size());
+  for (const auto& a : ck.accum) put_bytes(out, a);
+  put_u64(out, ck.vclocks.size());
+  for (double c : ck.vclocks) put_f64(out, c);
+  put_u64(out, ck.events.size());
+  for (std::uint64_t e : ck.events) put_u64(out, e);
+  put_u64(out, ck.stats.size());
+  // CommStats is trivially copyable; a size marker guards against layout
+  // drift between the writer's and reader's builds.
+  static_assert(std::is_trivially_copyable_v<CommStats>);
+  put_u32(out, static_cast<std::uint32_t>(sizeof(CommStats)));
+  for (const auto& s : ck.stats) {
+    std::array<std::uint8_t, sizeof(CommStats)> raw;
+    std::memcpy(raw.data(), &s, sizeof(CommStats));
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
+  put_u64(out, ck.rng_state.size());
+  for (std::uint64_t w : ck.rng_state) put_u64(out, w);
+  return out;
+}
+
+RoundCheckpoint deserialize(std::span<const std::uint8_t> payload) {
+  Cursor in(payload);
+  RoundCheckpoint ck;
+  ck.config_hash = in.u64();
+  ck.next_round = in.u32();
+  ck.phase_waves_done = in.u64();
+  ck.driver_state = in.bytes();
+  ck.accum.resize(in.count(/*elem_bytes=*/8));
+  for (auto& a : ck.accum) a = in.bytes();
+  ck.vclocks.resize(in.count(8));
+  for (auto& c : ck.vclocks) c = in.f64();
+  ck.events.resize(in.count(8));
+  for (auto& e : ck.events) e = in.u64();
+  const std::size_t nstats = in.count(sizeof(CommStats));
+  if (in.u32() != sizeof(CommStats))
+    throw CheckpointError(
+        "snapshot CommStats layout differs from this build");
+  ck.stats.resize(nstats);
+  for (auto& s : ck.stats) in.raw(&s, sizeof(CommStats));
+  ck.rng_state.resize(in.count(8));
+  for (auto& w : ck.rng_state) w = in.u64();
+  if (!in.exhausted())
+    throw CheckpointError("trailing garbage after snapshot payload");
+  return ck;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep) {
+  MIDAS_REQUIRE(!dir_.empty(), "checkpoint directory must be non-empty");
+  MIDAS_REQUIRE(keep_ >= 1, "checkpoint retention must keep >= 1 snapshot");
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw CheckpointError("cannot create directory " + dir_ + ": " +
+                          ec.message());
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::uint64_t seq = parse_seq(entry.path());
+    next_seq_ = std::max(next_seq_, seq + (seq > 0 ? 1 : 0));
+  }
+  if (next_seq_ == 0) next_seq_ = 1;
+}
+
+std::vector<std::string> CheckpointStore::snapshots() const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::uint64_t seq = parse_seq(entry.path());
+    if (seq > 0) found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end(), std::greater<>());
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [seq, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+std::string CheckpointStore::write(const RoundCheckpoint& ck) {
+  const std::vector<std::uint8_t> payload = serialize(ck);
+  const std::uint32_t crc = crc32(payload);
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt-%012llu",
+                static_cast<unsigned long long>(next_seq_));
+  const fs::path final_path = fs::path(dir_) / (std::string(name) +
+                                                kSnapshotExt);
+  const fs::path tmp_path = fs::path(dir_) / (std::string(name) + ".tmp");
+
+  {
+    std::ofstream f(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!f)
+      throw CheckpointError("cannot write " + tmp_path.string());
+    f.write(kMagic.data(), kMagic.size());
+    std::array<std::uint8_t, 16> header{};
+    std::vector<std::uint8_t> hdr;
+    put_u32(hdr, kVersion);
+    put_u32(hdr, crc);
+    put_u64(hdr, payload.size());
+    std::copy(hdr.begin(), hdr.end(), header.begin());
+    f.write(reinterpret_cast<const char*>(header.data()), header.size());
+    f.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    f.flush();
+    if (!f)
+      throw CheckpointError("short write to " + tmp_path.string());
+  }
+  // The atomic publish: readers only ever see absent, previous, or complete.
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec)
+    throw CheckpointError("cannot publish " + final_path.string() + ": " +
+                          ec.message());
+  ++next_seq_;
+
+  const auto all = snapshots();
+  for (std::size_t i = static_cast<std::size_t>(keep_); i < all.size(); ++i)
+    fs::remove(all[i], ec);  // best-effort prune; stale files are harmless
+  return final_path.string();
+}
+
+RoundCheckpoint CheckpointStore::load_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw CheckpointError("cannot open " + path);
+  std::array<char, 8> magic{};
+  f.read(magic.data(), magic.size());
+  if (!f || !std::equal(magic.begin(), magic.end(), kMagic.begin()))
+    throw CheckpointError("not a MIDAS checkpoint file: " + path);
+  std::array<std::uint8_t, 16> header{};
+  f.read(reinterpret_cast<char*>(header.data()), header.size());
+  if (!f) throw CheckpointError("truncated header in " + path);
+  Cursor hc(header);
+  const std::uint32_t version = hc.u32();
+  const std::uint32_t crc = hc.u32();
+  const std::uint64_t size = hc.u64();
+  if (version != kVersion)
+    throw CheckpointError("unsupported snapshot version " +
+                          std::to_string(version) + " in " + path);
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(payload.data()),
+         static_cast<std::streamsize>(payload.size()));
+  if (f.gcount() != static_cast<std::streamsize>(payload.size()))
+    throw CheckpointError("truncated snapshot: " + path);
+  if (crc32(payload) != crc)
+    throw CheckpointError("CRC mismatch (corrupt snapshot): " + path);
+  try {
+    return deserialize(payload);
+  } catch (const CheckpointError& e) {
+    throw CheckpointError(std::string(e.what()) + " in " + path);
+  }
+}
+
+std::optional<RoundCheckpoint> CheckpointStore::load_latest() const {
+  for (const auto& path : snapshots()) {
+    try {
+      return load_file(path);
+    } catch (const CheckpointError&) {
+      // Torn or corrupt write: fall back to the next-newest snapshot.
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace midas::runtime

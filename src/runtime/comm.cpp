@@ -57,8 +57,11 @@ class Group {
   /// any) runs on the completing rank while all others are blocked — safe
   /// for cross-rank bookkeeping. Returns the generation this barrier
   /// completed (a deterministic per-group collective sequence number).
+  /// `charge = false` (snapshot rendezvous) skips all clock/stat updates:
+  /// the barrier synchronizes threads but leaves virtual time untouched.
   std::uint64_t barrier_sync(int rank, FailPolicy policy,
-                             const std::function<void()>& completion = {});
+                             const std::function<void()>& completion = {},
+                             bool charge = true);
 
   // Staging area for collectives. Ranks publish a *copy* into group-owned
   // storage (never a pointer into their own stack): a rank that aborts out
@@ -124,7 +127,8 @@ class Group {
 
  private:
   [[nodiscard]] bool live_arrivals_complete() const;
-  void complete_generation(const std::function<void()>& completion);
+  void complete_generation(const std::function<void()>& completion,
+                           bool charge);
 
   int id_;
   std::vector<int> members_;
@@ -155,6 +159,29 @@ class World {
     for (int r = 0; r < size; ++r)
       failed_[static_cast<std::size_t>(r)].store(false,
                                                  std::memory_order_relaxed);
+    if (!opts_.resume.empty()) {
+      // Resume from a checkpoint: clocks, event counters and stats pick up
+      // exactly where the snapshot froze them, so both the cost model and
+      // the (event, vclock)-keyed fault plan continue as if uninterrupted.
+      // Setup collectives (e.g. the phase-group split) will advance this
+      // state again; Comm::resume_sync() re-applies it once setup is done,
+      // since the snapshot values already include the setup charges.
+      MIDAS_REQUIRE(
+          opts_.resume.vclocks.size() == static_cast<std::size_t>(size) &&
+              opts_.resume.events.size() == static_cast<std::size_t>(size) &&
+              opts_.resume.stats.size() == static_cast<std::size_t>(size),
+          "resume state arity != rank count");
+      apply_resume();
+    }
+  }
+
+  /// Overwrite per-rank clocks, event counters and stats with the resume
+  /// state. Caller must guarantee quiescence (ctor, or a rendezvous
+  /// completion callback with every peer parked).
+  void apply_resume() {
+    clocks_ = opts_.resume.vclocks;
+    events_ = opts_.resume.events;
+    stats_ = opts_.resume.stats;
   }
 
   [[nodiscard]] int size() const noexcept { return size_; }
@@ -179,6 +206,9 @@ class World {
   }
   [[nodiscard]] const std::vector<CommStats>& all_stats() const noexcept {
     return stats_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& events() const noexcept {
+    return events_;
   }
 
   /// Per-rank communication event counter (only the rank itself touches
@@ -270,21 +300,45 @@ bool Group::live_arrivals_complete() const {
   return true;
 }
 
-void Group::complete_generation(const std::function<void()>& completion) {
+void Group::complete_generation(const std::function<void()>& completion,
+                                bool charge) {
   // Synchronize the arrived members' virtual clocks to their max plus the
   // barrier cost; each member's catch-up is accounted as barrier wait.
   // Failed members are excluded: their clocks stay frozen at death.
-  double mx = 0.0;
-  for (int r = 0; r < size(); ++r)
-    if (arrived_mask_[static_cast<std::size_t>(r)])
-      mx = std::max(mx, world_->clock(world_rank_of(r)));
-  const double cost = world_->model().barrier_cost(size());
-  for (int r = 0; r < size(); ++r) {
-    if (!arrived_mask_[static_cast<std::size_t>(r)]) continue;
-    auto& st = world_->stats(world_rank_of(r));
-    st.t_wait += mx - world_->clock(world_rank_of(r));
-    st.t_comm += cost;
-    world_->clock(world_rank_of(r)) = mx + cost;
+  // A non-charging (snapshot) rendezvous only rotates the generation.
+  if (charge) {
+    double mn = 0.0, mx = 0.0;
+    bool first = true;
+    for (int r = 0; r < size(); ++r)
+      if (arrived_mask_[static_cast<std::size_t>(r)]) {
+        const double c = world_->clock(world_rank_of(r));
+        mn = first ? c : std::min(mn, c);
+        mx = std::max(first ? c : mx, c);
+        first = false;
+      }
+    // Watchdog classification happens on the pre-sync clocks: a member
+    // whose arrival clock lags the earliest one past the deadline was the
+    // straggler everyone else waited for at this collective.
+    const double wd = world_->opts().watchdog.deadline_s;
+    if (wd > 0.0) {
+      for (int r = 0; r < size(); ++r) {
+        if (!arrived_mask_[static_cast<std::size_t>(r)]) continue;
+        const double lag = world_->clock(world_rank_of(r)) - mn;
+        if (lag > wd) {
+          auto& st = world_->stats(world_rank_of(r));
+          st.stragglers_flagged++;
+          st.t_straggle += lag - wd;
+        }
+      }
+    }
+    const double cost = world_->model().barrier_cost(size());
+    for (int r = 0; r < size(); ++r) {
+      if (!arrived_mask_[static_cast<std::size_t>(r)]) continue;
+      auto& st = world_->stats(world_rank_of(r));
+      st.t_wait += mx - world_->clock(world_rank_of(r));
+      st.t_comm += cost;
+      world_->clock(world_rank_of(r)) = mx + cost;
+    }
   }
   snapshot_mask_.assign(arrived_mask_.begin(), arrived_mask_.end());
   if (completion) completion();
@@ -295,7 +349,8 @@ void Group::complete_generation(const std::function<void()>& completion) {
 }
 
 std::uint64_t Group::barrier_sync(int rank, FailPolicy policy,
-                                  const std::function<void()>& completion) {
+                                  const std::function<void()>& completion,
+                                  bool charge) {
   std::unique_lock lk(m_);
   if (world_->aborted()) throw WorldAbortError();
   if (policy == FailPolicy::kThrow && world_->any_failed()) {
@@ -309,7 +364,7 @@ std::uint64_t Group::barrier_sync(int rank, FailPolicy policy,
   arrived_mask_[static_cast<std::size_t>(rank)] = 1;
   ++arrived_;
   if (live_arrivals_complete()) {
-    complete_generation(completion);
+    complete_generation(completion, charge);
     return gen;
   }
 
@@ -317,6 +372,13 @@ std::uint64_t Group::barrier_sync(int rank, FailPolicy policy,
   const auto deadline =
       SteadyClock::now() +
       std::chrono::duration<double>(world_->opts().timeout_s);
+  // Armed watchdog: slice the supervised wait into poll-length heartbeats
+  // so a blocked rank keeps proving liveness (counted per slice) instead
+  // of sleeping the whole guard away.
+  const double poll_s = world_->opts().watchdog.poll_s;
+  const bool heartbeat = guard && charge &&
+                         world_->opts().watchdog.deadline_s > 0.0 &&
+                         poll_s > 0.0;
   auto unarrive = [&] {
     arrived_mask_[static_cast<std::size_t>(rank)] = 0;
     --arrived_;
@@ -337,14 +399,23 @@ std::uint64_t Group::barrier_sync(int rank, FailPolicy policy,
     // A peer's death may have made the arrived set complete; any waiter
     // may take over the completion role.
     if (live_arrivals_complete()) {
-      complete_generation(completion);
+      complete_generation(completion, charge);
       return gen;
     }
     if (guard) {
-      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
-          SteadyClock::now() >= deadline && generation_ == gen) {
-        unarrive();
-        throw TimeoutError("collective exceeded the supervision guard");
+      auto slice = deadline;
+      if (heartbeat) {
+        const auto next_beat =
+            SteadyClock::now() + std::chrono::duration<double>(poll_s);
+        slice = std::min(slice, next_beat);
+      }
+      if (cv_.wait_until(lk, slice) == std::cv_status::timeout) {
+        if (SteadyClock::now() >= deadline && generation_ == gen) {
+          unarrive();
+          throw TimeoutError("collective exceeded the supervision guard");
+        }
+        if (heartbeat && generation_ == gen)
+          world_->stats(world_rank_of(rank)).watchdog_heartbeats++;
       }
     } else {
       cv_.wait(lk);
@@ -813,6 +884,59 @@ void Comm::charge_memory(std::uint64_t bytes, std::uint64_t working_set) {
   world_->stats(world_rank_).t_memory += cost;
 }
 
+void Comm::snapshot_sync(const std::function<void()>& fn) {
+  // Deliberately no fault_event() and no charging: a snapshot rendezvous
+  // must be invisible to both the virtual clocks and the (event, vclock)-
+  // keyed fault schedule, or checkpointed runs would diverge from
+  // uncheckpointed ones. Abort/death wakeups still apply (barrier_sync
+  // honors the fail policy), so a dying world cannot hang here.
+  group_->barrier_sync(rank_, fail_policy_, fn, /*charge=*/false);
+}
+
+void Comm::resume_sync() {
+  if (world_->opts().resume.empty()) return;
+  // The restored clocks/events/stats were captured after the original
+  // run's setup; the resumed run just re-ran (and re-charged) that setup,
+  // so overwrite its state with the snapshot values wholesale. One rank
+  // performs the writes while every peer is parked in the rendezvous.
+  group_->barrier_sync(
+      rank_, fail_policy_, [this] { world_->apply_resume(); },
+      /*charge=*/false);
+}
+
+std::vector<double> Comm::world_vclocks() const { return world_->clocks(); }
+
+std::vector<std::uint64_t> Comm::world_event_counts() const {
+  return world_->events();
+}
+
+std::vector<CommStats> Comm::world_stats_snapshot() const {
+  return world_->all_stats();
+}
+
+std::vector<int> Comm::straggling_groups(int n1, double deadline_s) {
+  MIDAS_REQUIRE(n1 >= 1 && size() % n1 == 0,
+                "straggling_groups: N1 must divide the communicator size");
+  const int groups = size() / n1;
+  // Publish my group's slot with my clock; the max-allreduce leaves each
+  // slot at the group's slowest member. Dead groups keep the sentinel.
+  std::vector<double> slot(static_cast<std::size_t>(groups), -1.0);
+  slot[static_cast<std::size_t>(rank_ / n1)] = vclock();
+  allreduce<double>(std::span<double>(slot),
+                    [](double& a, const double& b) { a = std::max(a, b); });
+  std::vector<int> out;
+  if (deadline_s <= 0.0) return out;
+  double fastest = -1.0;
+  for (double s : slot)
+    if (s >= 0.0 && (fastest < 0.0 || s < fastest)) fastest = s;
+  if (fastest < 0.0) return out;
+  for (int g = 0; g < groups; ++g)
+    if (slot[static_cast<std::size_t>(g)] >= 0.0 &&
+        slot[static_cast<std::size_t>(g)] > fastest + deadline_s)
+      out.push_back(g);
+  return out;
+}
+
 double Comm::vclock() const noexcept { return world_->clock(world_rank_); }
 
 const CommStats& Comm::stats() const noexcept {
@@ -906,6 +1030,7 @@ SpmdResult run_spmd(int nranks, const CostModel& model,
 
   result.stats = world.all_stats();
   result.vclocks = world.clocks();
+  result.events = world.events();
   for (double c : result.vclocks)
     result.makespan = std::max(result.makespan, c);
   for (const auto& s : result.stats) result.total += s;

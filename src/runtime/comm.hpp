@@ -52,11 +52,40 @@ struct SpmdOptions;
 ///    across the communicator's members.
 enum class FailPolicy { kAbort, kThrow, kShrink };
 
+/// Watchdog/deadline supervision of collectives. When `deadline_s` > 0,
+/// every charging collective classifies members whose virtual clock lags
+/// the fastest arrival by more than the deadline as stragglers
+/// (CommStats::stragglers_flagged / t_straggle), and supervised blocking
+/// waits are sliced into `poll_s` heartbeats (watchdog_heartbeats) instead
+/// of one long sleep. `speculate` additionally lets the k-path engine
+/// re-execute a straggling phase group's work on the fast replicas
+/// (detect_par.hpp; implies supervision).
+struct WatchdogOptions {
+  double deadline_s = -1.0;  // straggle tolerance; <= 0 disarms
+  bool speculate = false;    // engine-level straggler re-execution
+  double poll_s = 0.01;      // wall-clock heartbeat slice while blocked
+};
+
+/// Restored world state for a resumed run (runtime/checkpoint.hpp). All
+/// three vectors must be empty (cold start) or sized to the rank count.
+/// Restoring clocks *and* event counters matters: the fault plan keys
+/// kills on them, so a resumed run replays the exact fault schedule of an
+/// uninterrupted one.
+struct SpmdResume {
+  std::vector<double> vclocks;
+  std::vector<std::uint64_t> events;
+  std::vector<CommStats> stats;
+
+  [[nodiscard]] bool empty() const noexcept { return vclocks.empty(); }
+};
+
 /// Supervision & fault configuration for run_spmd.
 struct SpmdOptions {
   FaultPlan faults{};       // deterministic fault plan (empty = clean run)
   bool supervise = false;   // capture rank failures instead of rethrowing
   double timeout_s = 30.0;  // wall-clock guard on supervised blocking ops
+  WatchdogOptions watchdog{};  // straggler deadline / speculation
+  SpmdResume resume{};         // checkpointed world state to restore
 };
 
 /// A rank's handle on a communicator (world or split sub-group).
@@ -155,6 +184,39 @@ class Comm {
   [[nodiscard]] const CommStats& stats() const noexcept;
   [[nodiscard]] const CostModel& model() const noexcept;
 
+  // -- checkpointing --------------------------------------------------------
+  /// Zero-cost rendezvous for snapshot capture: all members block, `fn`
+  /// runs on exactly one of them (every peer provably parked, so reading
+  /// cross-rank state via the world_* accessors below is race-free), and —
+  /// unlike barrier() — no virtual time is charged and no fault event is
+  /// counted. Checkpointing therefore never perturbs clocks or the fault
+  /// schedule: a checkpointed run stays bit-identical to an uncheckpointed
+  /// one.
+  void snapshot_sync(const std::function<void()>& fn);
+  /// Re-apply SpmdOptions::resume at the point in the program matching the
+  /// snapshot. A resumed run re-executes its setup collectives (e.g. the
+  /// phase-group split), whose charges the restored clocks already include;
+  /// this charge-free rendezvous overwrites clocks, event counters and
+  /// stats with the snapshot values so replay continues bit-identically.
+  /// All members must call it (a no-op without resume state). Call on the
+  /// world communicator, after setup and before any checkpointed work.
+  void resume_sync();
+  /// World-wide state reads. Only safe where every peer is quiescent —
+  /// i.e. inside a snapshot_sync / collective completion callback.
+  [[nodiscard]] std::vector<double> world_vclocks() const;
+  [[nodiscard]] std::vector<std::uint64_t> world_event_counts() const;
+  [[nodiscard]] std::vector<CommStats> world_stats_snapshot() const;
+
+  // -- watchdog -------------------------------------------------------------
+  /// Straggler vote across phase groups of `n1` consecutive world ranks:
+  /// each member publishes its group's current max virtual clock, and any
+  /// group lagging the fastest live group by more than `deadline_s` is
+  /// returned (ascending). A collective — every member must call, and all
+  /// get the same answer. Dead groups are not stragglers (they publish a
+  /// negative sentinel).
+  [[nodiscard]] std::vector<int> straggling_groups(int n1,
+                                                   double deadline_s);
+
   // -- failure awareness ----------------------------------------------------
   /// Collective behavior when a member has failed (see FailPolicy). Must be
   /// set to the same value by every member of the communicator.
@@ -218,6 +280,7 @@ class Comm {
 struct SpmdResult {
   std::vector<CommStats> stats;    // per world rank
   std::vector<double> vclocks;     // per world rank (partial for the dead)
+  std::vector<std::uint64_t> events;  // per-rank comm-event counters
   double makespan = 0.0;           // max vclock
   CommStats total;                 // summed stats
   std::vector<int> failed_ranks;   // world ranks that failed (supervised)

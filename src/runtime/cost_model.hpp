@@ -111,6 +111,11 @@ struct CommStats {
   std::uint64_t messages_delayed = 0;    // deliveries that arrived late
   std::uint64_t retransmissions = 0;     // extra attempts sent
 
+  // Watchdog bookkeeping (zero unless a straggler deadline is armed).
+  std::uint64_t watchdog_heartbeats = 0;  // poll wakeups while blocked
+  std::uint64_t stragglers_flagged = 0;   // collectives this rank lagged
+  double t_straggle = 0.0;  // virtual seconds of lag beyond the deadline
+
   double t_compute = 0.0;  // seconds charged to field operations
   double t_memory = 0.0;   // seconds charged to kernel memory streams
   double t_comm = 0.0;     // seconds charged to messages/collectives
@@ -130,6 +135,9 @@ struct CommStats {
     messages_corrupted += o.messages_corrupted;
     messages_delayed += o.messages_delayed;
     retransmissions += o.retransmissions;
+    watchdog_heartbeats += o.watchdog_heartbeats;
+    stragglers_flagged += o.stragglers_flagged;
+    t_straggle += o.t_straggle;
     t_compute += o.t_compute;
     t_memory += o.t_memory;
     t_comm += o.t_comm;

@@ -25,6 +25,13 @@ class SplitMix64 {
     return z ^ (z >> 31);
   }
 
+  // Serializable position (runtime/checkpoint.hpp): a resumed run restores
+  // the stream exactly where the interrupted one left it.
+  [[nodiscard]] constexpr std::uint64_t state() const noexcept {
+    return state_;
+  }
+  constexpr void set_state(std::uint64_t s) noexcept { state_ = s; }
+
  private:
   std::uint64_t state_;
 };
@@ -76,6 +83,16 @@ class Xoshiro256 {
   /// Derive an independent stream (e.g. one per MPI-style rank) from this
   /// generator's seed space without correlating with the parent.
   Xoshiro256 fork() noexcept { return Xoshiro256(operator()()); }
+
+  // Serializable state (runtime/checkpoint.hpp). set_state with a
+  // previously captured state() resumes the exact output sequence.
+  using state_type = std::array<std::uint64_t, 4>;
+  [[nodiscard]] state_type state() const noexcept { return state_; }
+  void set_state(const state_type& s) noexcept { state_ = s; }
+
+  friend bool operator==(const Xoshiro256& a, const Xoshiro256& b) noexcept {
+    return a.state_ == b.state_;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int s) noexcept {

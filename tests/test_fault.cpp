@@ -471,6 +471,171 @@ TEST(EngineFailover, SingleGroupConfigurationCannotFailOver) {
                runtime::FaultError);
 }
 
+// ---------------------------------------------------------------------------
+// Scan-statistics and tree-template drivers under faults. These engines do
+// not replicate phases, so a kill is a typed terminal error (never a hang);
+// transient channel faults must still cost time, not data.
+// ---------------------------------------------------------------------------
+
+TEST(EngineChaosScan, ChannelFaultsNeverChangeTheTable) {
+  gf::GF256 f;
+  Xoshiro256 rng(515);
+  const graph::Graph g = graph::erdos_renyi_gnp(12, 0.25, rng);
+  std::vector<std::uint32_t> w(g.num_vertices());
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
+  const auto part = partition::block_partition(g, 2);
+  MidasOptions base = chaos_opts(4, 2, 4);
+  const auto clean = midas_scan(g, part, w, base, f);
+
+  MidasOptions faulty = base;
+  faulty.spmd.faults.seed = 404;
+  faulty.spmd.faults.with_channel({-1, -1, 0.10, 0.05, 0.10, 2e-5});
+  const auto res = midas_scan(g, part, w, faulty, f);
+
+  ASSERT_EQ(res.table.max_weight, clean.table.max_weight);
+  for (int j = 1; j <= base.k; ++j)
+    for (std::uint32_t z = 0; z <= clean.table.max_weight; ++z)
+      EXPECT_EQ(res.table.at(j, z), clean.table.at(j, z))
+          << "j=" << j << " z=" << z;
+  EXPECT_GT(res.total_stats.messages_dropped +
+                res.total_stats.messages_corrupted +
+                res.total_stats.messages_delayed,
+            0u);
+  EXPECT_GT(res.vtime, clean.vtime);
+}
+
+TEST(EngineChaosScan, KillTerminatesWithTypedErrorNotAHang) {
+  gf::GF256 f;
+  Xoshiro256 rng(616);
+  const graph::Graph g = graph::erdos_renyi_gnp(12, 0.25, rng);
+  std::vector<std::uint32_t> w(g.num_vertices(), 1);
+  const auto part = partition::block_partition(g, 2);
+  MidasOptions faulty = chaos_opts(4, 2, 4);
+  faulty.spmd.faults.kill_at_event(1, 9);
+  EXPECT_THROW((void)midas_scan(g, part, w, faulty, f),
+               runtime::FaultError);
+}
+
+TEST(EngineChaosTree, ChannelFaultsNeverChangeTheAnswer) {
+  gf::GF256 f;
+  Xoshiro256 rng(717);
+  const graph::Graph tmpl = graph::random_tree(4, rng);
+  const TreeDecomposition td(tmpl, 0);
+  const graph::Graph g = graph::erdos_renyi_gnp(18, 0.25, rng);
+  const auto part = partition::block_partition(g, 2);
+  MidasOptions base = chaos_opts(4, 2, 4);
+  const auto clean = midas_ktree(g, part, td, base, f);
+
+  MidasOptions faulty = base;
+  faulty.spmd.faults.seed = 808;
+  faulty.spmd.faults.with_channel({-1, -1, 0.10, 0.05, 0.10, 2e-5});
+  const auto res = midas_ktree(g, part, td, faulty, f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_TRUE(res.failed_ranks.empty());
+  EXPECT_GT(res.vtime, clean.vtime);
+}
+
+TEST(EngineChaosTree, KillTerminatesWithTypedErrorNotAHang) {
+  gf::GF256 f;
+  Xoshiro256 rng(919);
+  const graph::Graph tmpl = graph::random_tree(4, rng);
+  const TreeDecomposition td(tmpl, 0);
+  const graph::Graph g = graph::erdos_renyi_gnp(18, 0.25, rng);
+  const auto part = partition::block_partition(g, 2);
+  MidasOptions faulty = chaos_opts(4, 2, 4);
+  faulty.spmd.faults.kill_at_event(2, 7);
+  EXPECT_THROW((void)midas_ktree(g, part, td, faulty, f),
+               runtime::FaultError);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: straggler classification and speculative re-execution
+// ---------------------------------------------------------------------------
+
+TEST(Watchdog, DeadlineFlagsStragglersWithoutChangingTheAnswer) {
+  // Heavy delivery delays into phase group 1 (world ranks 2 and 3) make it
+  // lag every collective; a deadline well below the induced lag must flag
+  // it while the answer stays bit-exact (delays cost time, never data).
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  MidasOptions slow = base;
+  slow.spmd.faults.with_channel({-1, 2, 0.0, 0.0, 1.0, 5e-4});
+  slow.spmd.faults.with_channel({-1, 3, 0.0, 0.0, 1.0, 5e-4});
+  slow.spmd.watchdog.deadline_s = 1e-4;
+  const auto res = midas_kpath(fx.g, fx.part, slow, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_TRUE(res.failed_ranks.empty());
+  EXPECT_GT(res.total_stats.stragglers_flagged, 0u);
+  EXPECT_GT(res.total_stats.t_straggle, 0.0);
+  EXPECT_GT(res.vtime, clean.vtime);
+}
+
+TEST(Watchdog, SpeculationReexecutesStragglingGroupsBitExact) {
+  // Same straggling group, but now the engine is allowed to vote the slow
+  // group out and re-execute its phases on the fast replicas. The answer
+  // must stay bit-exact — XOR accumulation is phase-order independent.
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  MidasOptions spec = base;
+  spec.spmd.faults.with_channel({-1, 2, 0.0, 0.0, 1.0, 5e-4});
+  spec.spmd.faults.with_channel({-1, 3, 0.0, 0.0, 1.0, 5e-4});
+  spec.spmd.watchdog.deadline_s = 1e-4;
+  spec.spmd.watchdog.speculate = true;
+  const auto res = midas_kpath(fx.g, fx.part, spec, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_TRUE(res.failed_ranks.empty());
+  EXPECT_GT(res.total_stats.stragglers_flagged, 0u);
+}
+
+TEST(Watchdog, SpeculationToleratesEveryGroupBeingSlow) {
+  // Delay deliveries into *all* ranks: every group lags, the vote has no
+  // fast donors to shed work to, and the engine must fall back to normal
+  // execution instead of dropping phases or deadlocking.
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  MidasOptions spec = base;
+  spec.spmd.faults.with_channel({-1, -1, 0.0, 0.0, 1.0, 5e-4});
+  spec.spmd.watchdog.deadline_s = 1e-4;
+  spec.spmd.watchdog.speculate = true;
+  const auto res = midas_kpath(fx.g, fx.part, spec, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_TRUE(res.failed_ranks.empty());
+}
+
+TEST(Watchdog, SpeculationCombinedWithARealGroupLoss) {
+  // One group is dead (kills) and another is merely slow: the failover
+  // vote must hand both workloads to the remaining fast groups.
+  EngineFixture fx(2);
+  const MidasOptions base = chaos_opts(8, 2, 4);
+  const auto clean = midas_kpath(fx.g, fx.part, base, fx.f);
+
+  MidasOptions spec = base;
+  spec.spmd.faults.kill_at_event(4, 9).kill_at_event(5, 9);  // group 2 dies
+  spec.spmd.faults.with_channel({-1, 2, 0.0, 0.0, 1.0, 5e-4});
+  spec.spmd.faults.with_channel({-1, 3, 0.0, 0.0, 1.0, 5e-4});
+  spec.spmd.watchdog.deadline_s = 1e-4;
+  spec.spmd.watchdog.speculate = true;
+  const auto res = midas_kpath(fx.g, fx.part, spec, fx.f);
+
+  EXPECT_EQ(res.found, clean.found);
+  EXPECT_EQ(res.found_round, clean.found_round);
+  EXPECT_EQ(res.failed_ranks, (std::vector<int>{4, 5}));
+}
+
 TEST(EngineFailover, FailoverPhaseAssignmentIsDeterministicAndComplete) {
   const Schedule s = make_schedule(4, 0.05, 8, 2, 2);  // 8 phases, 4 groups
   const std::vector<int> dead{1, 3};

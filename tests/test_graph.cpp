@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <iterator>
 #include <set>
 #include <fstream>
 #include <sstream>
@@ -207,6 +209,85 @@ TEST(IO, BinaryRoundTrip) {
 TEST(IO, RejectsMalformedLines) {
   std::stringstream ss("0 notanumber\n");
   EXPECT_THROW((void)read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(IO, ParseErrorsCarrySourceAndLineNumber) {
+  std::stringstream ss("# header\n0 1\n2 huh\n");
+  try {
+    (void)read_edge_list(ss, 0, "bad.txt");
+    FAIL() << "expected GraphParseError";
+  } catch (const GraphParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("bad.txt:3"), std::string::npos);
+  }
+}
+
+TEST(IO, RejectsNegativeAndOverflowingIds) {
+  {
+    std::stringstream ss("0 -3\n");
+    EXPECT_THROW((void)read_edge_list(ss), GraphParseError);
+  }
+  {
+    // 2^40 does not fit a 32-bit vertex id.
+    std::stringstream ss("0 1099511627776\n");
+    EXPECT_THROW((void)read_edge_list(ss), GraphParseError);
+  }
+  {
+    // A number too large even for the parser's 64-bit staging.
+    std::stringstream ss("0 999999999999999999999999999999\n");
+    EXPECT_THROW((void)read_edge_list(ss), GraphParseError);
+  }
+}
+
+TEST(IO, RejectsIdsOutsideDeclaredVertexCount) {
+  std::stringstream ss("0 1\n1 7\n");
+  try {
+    (void)read_edge_list(ss, /*n_hint=*/4, "hinted.txt");
+    FAIL() << "expected GraphParseError";
+  } catch (const GraphParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(IO, BinaryRejectsLyingHeadersAndTruncation) {
+  Xoshiro256 rng(11);
+  const Graph g = erdos_renyi_gnm(40, 120, rng);
+  const std::string path = "/tmp/midas_test_graph_adv.bin";
+  save_binary(g, path);
+
+  const auto bytes = [&] {
+    std::ifstream f(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(f), {});
+  }();
+
+  // Edge count far beyond what the file holds: must be rejected before any
+  // allocation is attempted.
+  {
+    std::string lying = bytes;
+    const std::uint64_t huge = 1ull << 60;
+    std::memcpy(lying.data() + 16, &huge, sizeof(huge));
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << lying;
+    f.close();
+    EXPECT_THROW((void)load_binary(path), GraphParseError);
+  }
+  // Truncated mid-edge: typed error, not a silently smaller graph.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << bytes.substr(0, bytes.size() - 3);
+    f.close();
+    EXPECT_THROW((void)load_binary(path), GraphParseError);
+  }
+  // Vertex id >= header n: typed error.
+  {
+    std::string oob = bytes;
+    const std::uint64_t tiny_n = 2;
+    std::memcpy(oob.data() + 8, &tiny_n, sizeof(tiny_n));
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << oob;
+    f.close();
+    EXPECT_THROW((void)load_binary(path), GraphParseError);
+  }
 }
 
 }  // namespace
