@@ -14,6 +14,10 @@
 //   --gen=er|ba|road --n=N seeded generator (default er, n=1000)
 //   --seed=S  --epsilon=E  --ranks=N --n1=P --n2=B  (distributed run when
 //   --ranks > 1; sequential otherwise)
+//   --kernel=auto|scalar|bitsliced  inner-loop engine for path/tree/scan;
+//   auto (the default) picks the 64-lane bit-sliced kernels whenever the
+//   field is narrow enough (l <= 16) and scalar otherwise — results are
+//   bit-identical either way
 //
 // Fault injection (distributed `path` runs only; see docs/RESILIENCE.md):
 //   --fault-kill=RANK@EVENT  kill a world rank at its Nth comm event
@@ -77,6 +81,14 @@ std::vector<std::uint32_t> load_weights(const Args& args,
     }
   }
   return w;
+}
+
+core::Kernel kernel_option(const Args& args) {
+  const std::string s = args.get("kernel", "auto");
+  if (s == "scalar") return core::Kernel::kScalar;
+  if (s == "bitsliced") return core::Kernel::kBitsliced;
+  MIDAS_REQUIRE(s == "auto", "--kernel must be auto, scalar or bitsliced");
+  return core::Kernel::kAuto;
 }
 
 runtime::SpmdOptions fault_options(const Args& args) {
@@ -144,6 +156,7 @@ int run_path(const Args& args) {
     opt.n_ranks = ranks;
     opt.n1 = static_cast<int>(args.get_int("n1", std::min(ranks, 4)));
     opt.n2 = static_cast<std::uint32_t>(args.get_int("n2", 32));
+    opt.kernel = kernel_option(args);
     opt.spmd = fault_options(args);
     opt.checkpoint = checkpoint_options(args, rng);
     const auto part = partition::multilevel_partition(g, opt.n1);
@@ -180,6 +193,7 @@ int run_path(const Args& args) {
     opt.k = k;
     opt.epsilon = args.get_double("epsilon", 1e-4);
     opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opt.kernel = kernel_option(args);
     found = core::detect_kpath_seq(g, opt, f).found;
     std::printf("answer: %s   (%.0f ms)\n", found ? "YES" : "no",
                 t.elapsed_ms());
@@ -239,6 +253,7 @@ int run_tree(const Args& args) {
   opt.k = k;
   opt.epsilon = args.get_double("epsilon", 1e-4);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.kernel = kernel_option(args);
   gf::GF256 f;
   Timer t;
   const auto res = core::detect_ktree_seq(g, td, opt, f);
@@ -295,6 +310,7 @@ int run_scan(const Args& args) {
   opt.k = k;
   opt.epsilon = args.get_double("epsilon", 1e-4);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.kernel = kernel_option(args);
   Timer t;
   const auto best = scan::optimize_scan_seq(g, problem, opt);
   std::printf("best %s score: %.4f at |S|=%d, weight %u   (%.0f ms)\n",

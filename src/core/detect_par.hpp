@@ -28,6 +28,7 @@
 #include "core/hashrand.hpp"
 #include "core/schedule.hpp"
 #include "core/tree_template.hpp"
+#include "gf/bitsliced.hpp"
 #include "gf/field.hpp"
 #include "graph/csr.hpp"
 #include "partition/partitioned_graph.hpp"
@@ -67,6 +68,12 @@ struct MidasOptions {
   std::uint32_t n2 = 16;  // iterations per phase (message batching)
   int max_rounds = 0;     // override epsilon-derived round count if > 0
   bool early_exit = true;
+  // Inner-loop implementation (see detect_seq.hpp). The bit-sliced kernels
+  // charge the same modeled work and ship byte-identical halo payloads as
+  // the scalar ones, so virtual clocks, fault schedules, and checkpoint
+  // snapshots are kernel-independent — a snapshot written under one kernel
+  // resumes under the other bit-exactly.
+  Kernel kernel = Kernel::kAuto;
   runtime::CostModel model{};
   // Fault injection & supervision (docs/RESILIENCE.md). Supervision is
   // forced on whenever the plan is non-empty; the k-path engine then runs
@@ -106,6 +113,23 @@ namespace detail {
   if (sopt.watchdog.speculate && sopt.watchdog.deadline_s > 0.0)
     sopt.supervise = true;
   return sopt;
+}
+
+/// Decide scalar vs bitsliced for a driver (the parallel twin of
+/// detail_seq::use_bitsliced, with the typed options error). The weighted
+/// k-path driver is scalar-only and ignores the request.
+template <typename F>
+[[nodiscard]] inline bool par_use_bitsliced(const F& f, Kernel kernel) {
+  if constexpr (gf::Bitsliceable<F>) {
+    if (kernel == Kernel::kScalar) return false;
+    return f.bits() <= 16;
+  } else {
+    (void)f;
+    require_options(kernel != Kernel::kBitsliced,
+                    "kernel=bitsliced requires a GF(2^l) field with l <= 16 "
+                    "that exposes modulus() (GF256 or GFSmall)");
+    return false;
+  }
 }
 
 /// Fingerprint of everything a snapshot's validity depends on: the engine,
@@ -311,6 +335,7 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
+  const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
 
   MidasResult result;
   Timer wall;
@@ -371,19 +396,44 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
 
     std::vector<std::uint32_t> v(nl);
     std::vector<V> r(static_cast<std::size_t>(k) * nl);
-    std::vector<V> cur, next, ghost;
+    std::vector<V> cur, next, ghost, scratch;
+    std::vector<std::uint8_t> live_q;
+
+    // Bit-sliced state (gf/bitsliced.hpp). Halo payloads stay in the scalar
+    // byte layout — boundary blocks are transposed to values on send and
+    // ghosts transposed back on receive — and every charge_* call mirrors
+    // the scalar kernel, so clocks, messages, snapshots, and the failover
+    // protocol are identical across kernels.
+    std::optional<gf::BitslicedGF> bse;
+    std::vector<std::uint64_t> bcur, bnext, bghost, blive;
+    std::vector<V> cur_s, ghost_s;
+    std::vector<gf::BitslicedGF::Matrix> mats;
+    std::vector<std::uint32_t> boundary;
+    if constexpr (gf::Bitsliceable<F>) {
+      if (bitsliced) {
+        bse.emplace(f);
+        mats.resize(static_cast<std::size_t>(k - 1) * nl);
+        for (const auto& list : view.send_to)
+          boundary.insert(boundary.end(), list.begin(), list.end());
+        std::sort(boundary.begin(), boundary.end());
+        boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                       boundary.end());
+      }
+    }
 
     // One phase of the walk DP: the N2-wide base case plus k-1
     // halo-exchanged inductive levels, XOR-accumulated into `total`.
     // XOR makes this self-inverse: running the same phase twice removes
     // its contribution again, which is how the failover protocol moves
     // phases between groups without a separate "undo" path.
-    auto compute_phase = [&](std::uint64_t phase, V& total) {
+    auto compute_phase_scalar = [&](std::uint64_t phase, V& total) {
       const auto [q0, q1] = sched.phase_range(phase);
       const std::size_t batch = q1 - q0;
       cur.assign(static_cast<std::size_t>(nl) * batch, f.zero());
       next.assign(static_cast<std::size_t>(nl) * batch, f.zero());
       ghost.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+      scratch.assign(batch, f.zero());
+      live_q.assign(static_cast<std::size_t>(nl) * batch, 0);
 
       // Memory model: each level streams the local adjacency plus the
       // active state arrays; the resident working set decides hot/cold.
@@ -395,13 +445,17 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
       const std::uint64_t working_set =
           adj_bytes + state_bytes + r.size() * sizeof(V);
 
-      // Base case P(i, q, 1).
+      // Base case P(i, q, 1); the liveness flags are per (vertex,
+      // iteration), so compute them once and reuse across all k levels.
       for (std::uint32_t li = 0; li < nl; ++li) {
         V* row = cur.data() + static_cast<std::size_t>(li) * batch;
+        std::uint8_t* lq =
+            live_q.data() + static_cast<std::size_t>(li) * batch;
         const V r1 = r[li];
         for (std::size_t b = 0; b < batch; ++b) {
           const auto q = static_cast<std::uint32_t>(q0 + b);
-          row[b] = inner_product_odd(v[li], q) ? f.zero() : r1;
+          lq[b] = inner_product_odd(v[li], q) ? 0 : 1;
+          row[b] = lq[b] ? r1 : f.zero();
         }
       }
       world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
@@ -413,8 +467,8 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         std::uint64_t ops = 0;
         for (std::uint32_t li = 0; li < nl; ++li) {
           V* out = next.data() + static_cast<std::size_t>(li) * batch;
-          // Accumulate neighbor values lane-wise.
-          std::fill(out, out + batch, f.zero());
+          // Accumulate neighbor values lane-wise into the scratch row.
+          std::fill(scratch.begin(), scratch.end(), f.zero());
           const auto begin = view.adj_offsets[li];
           const auto end = view.adj_offsets[li + 1];
           for (auto e = begin; e < end; ++e) {
@@ -426,16 +480,17 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
                     : cur.data() +
                           static_cast<std::size_t>(ref.index()) * batch;
             for (std::size_t b = 0; b < batch; ++b)
-              out[b] = f.add(out[b], src[b]);
+              scratch[b] = f.add(scratch[b], src[b]);
           }
           ops += (end - begin) * batch;
-          // Gate by liveness and scale by the level coefficient.
-          const V rji = rj[li];
-          for (std::size_t b = 0; b < batch; ++b) {
-            const auto q = static_cast<std::uint32_t>(q0 + b);
-            out[b] = inner_product_odd(v[li], q) ? f.zero()
-                                                 : f.mul(rji, out[b]);
-          }
+          // Gate by liveness, then scale the whole row by the level
+          // coefficient — one log lookup for the row via scale_add/axpy.
+          const std::uint8_t* lq =
+              live_q.data() + static_cast<std::size_t>(li) * batch;
+          for (std::size_t b = 0; b < batch; ++b)
+            if (!lq[b]) scratch[b] = f.zero();
+          std::fill(out, out + batch, f.zero());
+          gf::scale_add_row(f, out, rj[li], scratch.data(), batch);
           ops += batch;
         }
         world.charge_compute(ops);
@@ -449,6 +504,123 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
       world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
     };
 
+    // The same phase, bit-sliced: ceil(batch/64) 64-lane blocks per vertex,
+    // liveness as parity masks, constant scaling as plane matrices. Generic
+    // lambda so the body only instantiates for Bitsliceable fields.
+    auto compute_phase_bs = [&](const auto& bs, std::uint64_t phase,
+                                V& total) {
+      using BS = gf::BitslicedGF;
+      using word = BS::word;
+      const int L = bs.words();
+      const auto [q0, q1] = sched.phase_range(phase);
+      const std::size_t batch = q1 - q0;
+      const std::size_t nblocks = (batch + BS::kLanes - 1) / BS::kLanes;
+      const std::size_t wpv = nblocks * static_cast<std::size_t>(L);
+      bcur.assign(static_cast<std::size_t>(nl) * wpv, 0);
+      bnext.assign(static_cast<std::size_t>(nl) * wpv, 0);
+      bghost.assign(static_cast<std::size_t>(ng) * wpv, 0);
+      blive.assign(static_cast<std::size_t>(nl) * nblocks, 0);
+      cur_s.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+      ghost_s.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+
+      const std::uint64_t adj_bytes =
+          view.adj.size() * sizeof(partition::NbrRef) +
+          view.adj_offsets.size() * sizeof(std::uint64_t);
+      const std::uint64_t state_bytes =
+          (static_cast<std::uint64_t>(nl) * 2 + ng) * batch * sizeof(V);
+      const std::uint64_t working_set =
+          adj_bytes + state_bytes + r.size() * sizeof(V);
+      auto lanes_of = [&](std::size_t blk) {
+        return static_cast<int>(
+            std::min<std::size_t>(BS::kLanes, batch - blk * BS::kLanes));
+      };
+
+      // Base case: one parity mask per (vertex, block), level-1 coefficient
+      // broadcast into the live lanes.
+      for (std::uint32_t li = 0; li < nl; ++li)
+        for (std::size_t blk = 0; blk < nblocks; ++blk) {
+          const word m =
+              BS::live_mask(v[li], q0 + blk * BS::kLanes, lanes_of(blk));
+          blive[static_cast<std::size_t>(li) * nblocks + blk] = m;
+          bs.broadcast(&bcur[static_cast<std::size_t>(li) * wpv + blk * L],
+                       static_cast<BS::value_type>(r[li]), m);
+        }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+
+      for (int j = 2; j <= k; ++j) {
+        // Halo in the scalar byte layout: transpose boundary blocks to
+        // values, exchange, transpose ghosts back to planes.
+        for (std::uint32_t li : boundary)
+          for (std::size_t blk = 0; blk < nblocks; ++blk)
+            bs.unpack_lanes(
+                cur_s.data() + static_cast<std::size_t>(li) * batch +
+                    blk * BS::kLanes,
+                &bcur[static_cast<std::size_t>(li) * wpv + blk * L],
+                lanes_of(blk));
+        detail::halo_exchange(group, view, cur_s, ghost_s, batch);
+        for (std::uint32_t gi = 0; gi < ng; ++gi)
+          for (std::size_t blk = 0; blk < nblocks; ++blk)
+            bs.pack_lanes(
+                &bghost[static_cast<std::size_t>(gi) * wpv + blk * L],
+                ghost_s.data() + static_cast<std::size_t>(gi) * batch +
+                    blk * BS::kLanes,
+                lanes_of(blk));
+
+        const gf::BitslicedGF::Matrix* mj =
+            mats.data() + static_cast<std::size_t>(j - 2) * nl;
+        for (std::uint32_t li = 0; li < nl; ++li) {
+          const auto begin = view.adj_offsets[li];
+          const auto end = view.adj_offsets[li + 1];
+          for (std::size_t blk = 0; blk < nblocks; ++blk) {
+            word* out = &bnext[static_cast<std::size_t>(li) * wpv + blk * L];
+            const word m =
+                blive[static_cast<std::size_t>(li) * nblocks + blk];
+            if (m == 0) {
+              bs.clear(out);
+              continue;
+            }
+            word acc[16] = {};
+            for (auto e = begin; e < end; ++e) {
+              const auto ref = view.adj[e];
+              const word* src =
+                  ref.is_ghost()
+                      ? &bghost[static_cast<std::size_t>(ref.index()) * wpv +
+                                blk * L]
+                      : &bcur[static_cast<std::size_t>(ref.index()) * wpv +
+                              blk * L];
+              bs.add_into(acc, src);
+            }
+            bs.mul_matrix(out, mj[li], acc);
+            bs.mask_block(out, m);
+          }
+        }
+        // Charge the same logical work as the scalar kernel: one add per
+        // adjacency entry per lane, one gate/scale per vertex-lane.
+        const std::uint64_t ops =
+            (view.adj.size() + nl) * static_cast<std::uint64_t>(batch);
+        world.charge_compute(ops);
+        world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+        std::swap(bcur, bnext);
+      }
+      for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        word sum[16] = {};
+        for (std::uint32_t li = 0; li < nl; ++li)
+          bs.add_into(sum, &bcur[static_cast<std::size_t>(li) * wpv + blk * L]);
+        total = f.add(total, static_cast<V>(bs.fold_xor(sum)));
+      }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+    };
+
+    auto compute_phase = [&](std::uint64_t phase, V& total) {
+      if constexpr (gf::Bitsliceable<F>) {
+        if (bitsliced) {
+          compute_phase_bs(*bse, phase, total);
+          return;
+        }
+      }
+      compute_phase_scalar(phase, total);
+    };
+
     for (int round = start_round; round < opt.rounds(); ++round) {
       for (std::uint32_t li = 0; li < nl; ++li) {
         const graph::VertexId gid = view.vertices[li];
@@ -456,6 +628,16 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         for (int j = 1; j <= k; ++j)
           r[static_cast<std::size_t>(j - 1) * nl + li] = field_coeff(
               f, opt.seed, round, gid, static_cast<std::uint32_t>(j));
+      }
+      if constexpr (gf::Bitsliceable<F>) {
+        // Level coefficients are fixed per round: build their multiply
+        // matrices once, amortized over every phase and failover redo.
+        if (bitsliced)
+          for (int j = 2; j <= k; ++j)
+            for (std::uint32_t li = 0; li < nl; ++li)
+              mats[static_cast<std::size_t>(j - 2) * nl + li] =
+                  bse->matrix(static_cast<gf::BitslicedGF::value_type>(
+                      r[static_cast<std::size_t>(j - 1) * nl + li]));
       }
       V total = f.zero();
       // Round-boundary snapshot cadence; uniform across ranks (the early-
@@ -760,6 +942,7 @@ MidasResult midas_ktree(const graph::Graph& g,
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
+  const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
   const auto views = partition::build_part_views(g, part);
   const auto& subs = td.subtemplates();
 
@@ -828,79 +1011,230 @@ MidasResult midas_ktree(const graph::Graph& g,
     std::vector<std::vector<V>> vals(subs.size());
     std::vector<std::vector<V>> ghost(subs.size());
 
+    // Bit-sliced state: plane arrays mirror vals/ghost subtemplate by
+    // subtemplate, with scalar staging rows so halo payloads stay
+    // byte-identical to the scalar kernel's (layout notes in the k-path
+    // engine and docs/ALGORITHM.md section 6).
+    std::optional<gf::BitslicedGF> bse;
+    std::vector<std::vector<std::uint64_t>> bvals, bgh;
+    std::vector<std::uint64_t> blive;
+    std::vector<V> stage_out, stage_ghost;
+    std::vector<std::uint32_t> boundary;
+    if constexpr (gf::Bitsliceable<F>) {
+      if (bitsliced) {
+        bse.emplace(f);
+        bvals.resize(subs.size());
+        bgh.resize(subs.size());
+        for (const auto& list : view.send_to)
+          boundary.insert(boundary.end(), list.begin(), list.end());
+        std::sort(boundary.begin(), boundary.end());
+        boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                       boundary.end());
+      }
+    }
+
+    auto run_phase_scalar = [&](int round, std::uint64_t phase, V& total) {
+      const auto [q0, q1] = sched.phase_range(phase);
+      const std::size_t batch = q1 - q0;
+      const std::uint64_t adj_bytes =
+          view.adj.size() * sizeof(partition::NbrRef) +
+          view.adj_offsets.size() * sizeof(std::uint64_t);
+      const std::uint64_t working_set =
+          adj_bytes + static_cast<std::uint64_t>(subs.size()) * nl *
+                          batch * sizeof(V);
+
+      for (std::size_t s = 0; s < subs.size(); ++s) {
+        const auto& sub = subs[s];
+        auto& out = vals[s];
+        out.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+        std::uint64_t ops = 0;
+        if (sub.child1 < 0) {
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            const V coeff =
+                field_coeff(f, opt.seed, round, view.vertices[li],
+                            static_cast<std::uint32_t>(s));
+            V* row = out.data() + static_cast<std::size_t>(li) * batch;
+            for (std::size_t b = 0; b < batch; ++b) {
+              const auto q = static_cast<std::uint32_t>(q0 + b);
+              row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
+            }
+          }
+          ops = static_cast<std::uint64_t>(nl) * batch;
+        } else {
+          const auto& own = vals[static_cast<std::size_t>(sub.child1)];
+          const auto& oth = vals[static_cast<std::size_t>(sub.child2)];
+          const auto& oth_ghost =
+              ghost[static_cast<std::size_t>(sub.child2)];
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            V* row = out.data() + static_cast<std::size_t>(li) * batch;
+            const auto begin = view.adj_offsets[li];
+            const auto end = view.adj_offsets[li + 1];
+            for (auto e = begin; e < end; ++e) {
+              const auto ref = view.adj[e];
+              const V* src =
+                  ref.is_ghost()
+                      ? oth_ghost.data() +
+                            static_cast<std::size_t>(ref.index()) * batch
+                      : oth.data() +
+                            static_cast<std::size_t>(ref.index()) * batch;
+              for (std::size_t b = 0; b < batch; ++b)
+                row[b] = f.add(row[b], src[b]);
+            }
+            ops += (end - begin) * batch;
+            const V* own_row =
+                own.data() + static_cast<std::size_t>(li) * batch;
+            for (std::size_t b = 0; b < batch; ++b)
+              row[b] = f.mul(own_row[b], row[b]);
+            ops += batch;
+          }
+        }
+        world.charge_compute(ops);
+        world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+        if (needs_exchange[s]) {
+          auto& gbuf = ghost[s];
+          gbuf.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+          detail::halo_exchange(group, view, out, gbuf, batch);
+        }
+      }
+      detail::accumulate_level(
+          f, vals[static_cast<std::size_t>(td.root_id())],
+          static_cast<std::size_t>(nl) * batch, total);
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+    };
+
+    // The same phase, bit-sliced: leaves broadcast their coefficient into
+    // the live lanes of each 64-iteration block, internal subtemplates do
+    // a lane-wise multiply of the own chain against the neighbor sum.
+    // Charges and halo bytes mirror the scalar kernel exactly.
+    auto run_phase_bs = [&](const auto& bs, int round, std::uint64_t phase,
+                            V& total) {
+      using BS = gf::BitslicedGF;
+      using word = BS::word;
+      const int L = bs.words();
+      const auto [q0, q1] = sched.phase_range(phase);
+      const std::size_t batch = q1 - q0;
+      const std::size_t nblocks = (batch + BS::kLanes - 1) / BS::kLanes;
+      const std::size_t wpv = nblocks * static_cast<std::size_t>(L);
+      const std::uint64_t adj_bytes =
+          view.adj.size() * sizeof(partition::NbrRef) +
+          view.adj_offsets.size() * sizeof(std::uint64_t);
+      const std::uint64_t working_set =
+          adj_bytes + static_cast<std::uint64_t>(subs.size()) * nl *
+                          batch * sizeof(V);
+      auto lanes_of = [&](std::size_t blk) {
+        return static_cast<int>(
+            std::min<std::size_t>(BS::kLanes, batch - blk * BS::kLanes));
+      };
+
+      // One parity mask per (vertex, block), shared by every leaf.
+      blive.assign(static_cast<std::size_t>(nl) * nblocks, 0);
+      for (std::uint32_t li = 0; li < nl; ++li)
+        for (std::size_t blk = 0; blk < nblocks; ++blk)
+          blive[static_cast<std::size_t>(li) * nblocks + blk] =
+              BS::live_mask(v[li], q0 + blk * BS::kLanes, lanes_of(blk));
+      stage_out.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+
+      for (std::size_t s = 0; s < subs.size(); ++s) {
+        const auto& sub = subs[s];
+        auto& out = bvals[s];
+        out.assign(static_cast<std::size_t>(nl) * wpv, 0);
+        std::uint64_t ops = 0;
+        if (sub.child1 < 0) {
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            const V coeff =
+                field_coeff(f, opt.seed, round, view.vertices[li],
+                            static_cast<std::uint32_t>(s));
+            for (std::size_t blk = 0; blk < nblocks; ++blk)
+              bs.broadcast(
+                  &out[static_cast<std::size_t>(li) * wpv + blk * L],
+                  static_cast<BS::value_type>(coeff),
+                  blive[static_cast<std::size_t>(li) * nblocks + blk]);
+          }
+          ops = static_cast<std::uint64_t>(nl) * batch;
+        } else {
+          const auto& own = bvals[static_cast<std::size_t>(sub.child1)];
+          const auto& oth = bvals[static_cast<std::size_t>(sub.child2)];
+          const auto& oth_ghost = bgh[static_cast<std::size_t>(sub.child2)];
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            const auto begin = view.adj_offsets[li];
+            const auto end = view.adj_offsets[li + 1];
+            for (std::size_t blk = 0; blk < nblocks; ++blk) {
+              word* dst = &out[static_cast<std::size_t>(li) * wpv + blk * L];
+              const word* own_blk =
+                  &own[static_cast<std::size_t>(li) * wpv + blk * L];
+              if (bs.is_zero(own_blk)) continue;  // product stays zero
+              word acc[16] = {};
+              for (auto e = begin; e < end; ++e) {
+                const auto ref = view.adj[e];
+                const word* src =
+                    ref.is_ghost()
+                        ? &oth_ghost[static_cast<std::size_t>(ref.index()) *
+                                         wpv +
+                                     blk * L]
+                        : &oth[static_cast<std::size_t>(ref.index()) * wpv +
+                               blk * L];
+                bs.add_into(acc, src);
+              }
+              bs.mul(dst, own_blk, acc);
+            }
+          }
+          // Same logical work as the scalar kernel: one add per adjacency
+          // entry per lane plus one multiply per vertex-lane.
+          ops = (view.adj.size() + nl) * static_cast<std::uint64_t>(batch);
+        }
+        world.charge_compute(ops);
+        world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+        if (needs_exchange[s]) {
+          // Halo in the scalar byte layout: transpose boundary blocks to
+          // values, exchange, transpose ghosts back to planes.
+          for (std::uint32_t li : boundary)
+            for (std::size_t blk = 0; blk < nblocks; ++blk)
+              bs.unpack_lanes(
+                  stage_out.data() + static_cast<std::size_t>(li) * batch +
+                      blk * BS::kLanes,
+                  &out[static_cast<std::size_t>(li) * wpv + blk * L],
+                  lanes_of(blk));
+          stage_ghost.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+          detail::halo_exchange(group, view, stage_out, stage_ghost, batch);
+          auto& gbuf = bgh[s];
+          gbuf.assign(static_cast<std::size_t>(ng) * wpv, 0);
+          for (std::uint32_t gi = 0; gi < ng; ++gi)
+            for (std::size_t blk = 0; blk < nblocks; ++blk)
+              bs.pack_lanes(
+                  &gbuf[static_cast<std::size_t>(gi) * wpv + blk * L],
+                  stage_ghost.data() + static_cast<std::size_t>(gi) * batch +
+                      blk * BS::kLanes,
+                  lanes_of(blk));
+        }
+      }
+      const auto& root = bvals[static_cast<std::size_t>(td.root_id())];
+      for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        word sum[16] = {};
+        for (std::uint32_t li = 0; li < nl; ++li)
+          bs.add_into(sum,
+                      &root[static_cast<std::size_t>(li) * wpv + blk * L]);
+        total = f.add(total, static_cast<V>(bs.fold_xor(sum)));
+      }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+    };
+
+    auto run_phase = [&](int round, std::uint64_t phase, V& total) {
+      if constexpr (gf::Bitsliceable<F>) {
+        if (bitsliced) {
+          run_phase_bs(*bse, round, phase, total);
+          return;
+        }
+      }
+      run_phase_scalar(round, phase, total);
+    };
+
     for (int round = start_round; round < opt.rounds(); ++round) {
       for (std::uint32_t li = 0; li < nl; ++li)
         v[li] = v_vector(opt.seed, round, view.vertices[li], k);
       V total = f.zero();
       for (std::uint64_t phase = group_color; phase < sched.phases();
-           phase += sched.groups()) {
-        const auto [q0, q1] = sched.phase_range(phase);
-        const std::size_t batch = q1 - q0;
-        const std::uint64_t adj_bytes =
-            view.adj.size() * sizeof(partition::NbrRef) +
-            view.adj_offsets.size() * sizeof(std::uint64_t);
-        const std::uint64_t working_set =
-            adj_bytes + static_cast<std::uint64_t>(subs.size()) * nl *
-                            batch * sizeof(V);
-
-        for (std::size_t s = 0; s < subs.size(); ++s) {
-          const auto& sub = subs[s];
-          auto& out = vals[s];
-          out.assign(static_cast<std::size_t>(nl) * batch, f.zero());
-          std::uint64_t ops = 0;
-          if (sub.child1 < 0) {
-            for (std::uint32_t li = 0; li < nl; ++li) {
-              const V coeff =
-                  field_coeff(f, opt.seed, round, view.vertices[li],
-                              static_cast<std::uint32_t>(s));
-              V* row = out.data() + static_cast<std::size_t>(li) * batch;
-              for (std::size_t b = 0; b < batch; ++b) {
-                const auto q = static_cast<std::uint32_t>(q0 + b);
-                row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
-              }
-            }
-            ops = static_cast<std::uint64_t>(nl) * batch;
-          } else {
-            const auto& own = vals[static_cast<std::size_t>(sub.child1)];
-            const auto& oth = vals[static_cast<std::size_t>(sub.child2)];
-            const auto& oth_ghost =
-                ghost[static_cast<std::size_t>(sub.child2)];
-            for (std::uint32_t li = 0; li < nl; ++li) {
-              V* row = out.data() + static_cast<std::size_t>(li) * batch;
-              const auto begin = view.adj_offsets[li];
-              const auto end = view.adj_offsets[li + 1];
-              for (auto e = begin; e < end; ++e) {
-                const auto ref = view.adj[e];
-                const V* src =
-                    ref.is_ghost()
-                        ? oth_ghost.data() +
-                              static_cast<std::size_t>(ref.index()) * batch
-                        : oth.data() +
-                              static_cast<std::size_t>(ref.index()) * batch;
-                for (std::size_t b = 0; b < batch; ++b)
-                  row[b] = f.add(row[b], src[b]);
-              }
-              ops += (end - begin) * batch;
-              const V* own_row =
-                  own.data() + static_cast<std::size_t>(li) * batch;
-              for (std::size_t b = 0; b < batch; ++b)
-                row[b] = f.mul(own_row[b], row[b]);
-              ops += batch;
-            }
-          }
-          world.charge_compute(ops);
-          world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
-          if (needs_exchange[s]) {
-            auto& gbuf = ghost[s];
-            gbuf.assign(static_cast<std::size_t>(ng) * batch, f.zero());
-            detail::halo_exchange(group, view, out, gbuf, batch);
-          }
-        }
-        detail::accumulate_level(
-            f, vals[static_cast<std::size_t>(td.root_id())],
-            static_cast<std::size_t>(nl) * batch, total);
-        world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
-      }
+           phase += sched.groups())
+        run_phase(round, phase, total);
       V buf = total;
       world.allreduce<V>(std::span<V>(&buf, 1),
                          [&f](V& a, const V& b) { a = f.add(a, b); });
@@ -969,6 +1303,7 @@ MidasScanResult midas_scan(const graph::Graph& g,
   const Schedule sched =
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
+  const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
   const auto views = partition::build_part_views(g, part);
 
   std::uint32_t wmax = 0;
@@ -1037,6 +1372,328 @@ MidasScanResult midas_scan(const graph::Graph& g,
         std::vector<std::vector<V>> ghost(static_cast<std::size_t>(k) + 1);
         // accum[j][z]: XOR over phases/iterations of sum_i P(i,q,j,z).
         std::vector<V> accum(static_cast<std::size_t>(k + 1) * width);
+        std::vector<V> scratch;
+
+        // Bit-sliced state: per-layer plane arrays with the same
+        // (vertex, weight) nesting, plus scalar staging so halo payloads
+        // stay byte-identical to the scalar kernel's.
+        std::optional<gf::BitslicedGF> bse;
+        std::vector<std::vector<std::uint64_t>> bvals(
+            static_cast<std::size_t>(k) + 1);
+        std::vector<std::vector<std::uint64_t>> bghost(
+            static_cast<std::size_t>(k) + 1);
+        std::vector<std::uint64_t> blive;
+        std::vector<V> stage_out, stage_ghost;
+        std::vector<std::uint32_t> boundary;
+        if constexpr (gf::Bitsliceable<F>) {
+          if (bitsliced) {
+            bse.emplace(f);
+            for (const auto& list : view.send_to)
+              boundary.insert(boundary.end(), list.begin(), list.end());
+            std::sort(boundary.begin(), boundary.end());
+            boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                           boundary.end());
+          }
+        }
+
+        auto run_phase_scalar = [&](int round, std::uint64_t phase) {
+          const auto [q0, q1] = sched.phase_range(phase);
+          const std::size_t batch = q1 - q0;
+          for (int j = 1; j <= k; ++j) {
+            vals[static_cast<std::size_t>(j)].assign(
+                static_cast<std::size_t>(width) * nl * batch, f.zero());
+            ghost[static_cast<std::size_t>(j)].assign(
+                static_cast<std::size_t>(width) * ng * batch, f.zero());
+          }
+          scratch.assign(batch, f.zero());
+          const std::uint64_t adj_bytes =
+              view.adj.size() * sizeof(partition::NbrRef) +
+              view.adj_offsets.size() * sizeof(std::uint64_t);
+          const std::uint64_t working_set =
+              adj_bytes + static_cast<std::uint64_t>(k) * (nl + ng) *
+                              width * batch * sizeof(V);
+
+          // Base case.
+          auto& base = vals[1];
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            const graph::VertexId gid = view.vertices[li];
+            const V coeff = field_coeff(f, opt.seed, round, gid, 1);
+            V* row = base.data() +
+                     (static_cast<std::size_t>(li) * width +
+                      weights[gid]) *
+                         batch;
+            for (std::size_t b = 0; b < batch; ++b) {
+              const auto q = static_cast<std::uint32_t>(q0 + b);
+              row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
+            }
+          }
+          world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+          detail::halo_exchange(group, view, vals[1], ghost[1],
+                                batch * width);
+
+          for (int j = 2; j <= k; ++j) {
+            auto& out = vals[static_cast<std::size_t>(j)];
+            std::uint64_t ops = 0;
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const graph::VertexId gid = view.vertices[li];
+              const auto begin = view.adj_offsets[li];
+              const auto end = view.adj_offsets[li + 1];
+              for (auto e = begin; e < end; ++e) {
+                const auto ref = view.adj[e];
+                const bool is_ghost = ref.is_ghost();
+                const std::uint32_t idx = ref.index();
+                const graph::VertexId u_gid =
+                    is_ghost ? view.ghosts[idx] : view.vertices[idx];
+                const V sig =
+                    sigma_coeff(f, opt.seed, round, gid, u_gid,
+                                static_cast<std::uint32_t>(j));
+                for (int j1 = 1; j1 <= j - 1; ++j1) {
+                  const auto& own = vals[static_cast<std::size_t>(j1)];
+                  const auto& oth_local =
+                      vals[static_cast<std::size_t>(j - j1)];
+                  const auto& oth_ghost =
+                      ghost[static_cast<std::size_t>(j - j1)];
+                  const V* oth_vertex =
+                      (is_ghost ? oth_ghost.data() : oth_local.data()) +
+                      static_cast<std::size_t>(idx) * width * batch;
+                  const V* own_vertex =
+                      own.data() +
+                      static_cast<std::size_t>(li) * width * batch;
+                  V* out_vertex =
+                      out.data() +
+                      static_cast<std::size_t>(li) * width * batch;
+                  for (std::uint32_t z = 0; z < width; ++z) {
+                    V* row = out_vertex + static_cast<std::size_t>(z) * batch;
+                    // Convolve into a scratch row, then fold it in with a
+                    // single row-wide scale by sig (one log lookup).
+                    std::fill(scratch.begin(), scratch.end(), f.zero());
+                    for (std::uint32_t z1 = 0; z1 <= z; ++z1) {
+                      const V* a =
+                          own_vertex + static_cast<std::size_t>(z1) * batch;
+                      const V* bvals =
+                          oth_vertex +
+                          static_cast<std::size_t>(z - z1) * batch;
+                      gf::mul_add_rows(f, scratch.data(), a, bvals, batch);
+                    }
+                    gf::scale_add_row(f, row, sig, scratch.data(), batch);
+                    ops += static_cast<std::uint64_t>(z + 1) * batch;
+                  }
+                }
+              }
+            }
+            world.charge_compute(ops);
+            world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+            if (j < k)
+              detail::halo_exchange(group, view,
+                                    vals[static_cast<std::size_t>(j)],
+                                    ghost[static_cast<std::size_t>(j)],
+                                    batch * width);
+          }
+          // Accumulate per-(j,z) sums. As in the sequential detector,
+          // size-j sums only fold iterations q < 2^j (degree-j detection
+          // lives in the 2^j-element subgroup; folding all 2^k iterations
+          // would cancel every size < k).
+          for (int j = 1; j <= k; ++j) {
+            const std::uint64_t jlimit = std::uint64_t{1} << j;
+            if (q0 >= jlimit) continue;
+            const std::size_t bmax =
+                std::min<std::uint64_t>(batch, jlimit - q0);
+            const auto& layer = vals[static_cast<std::size_t>(j)];
+            V* acc_row = accum.data() + static_cast<std::size_t>(j) * width;
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const V* vertex_block =
+                  layer.data() + static_cast<std::size_t>(li) * width * batch;
+              for (std::uint32_t z = 0; z < width; ++z) {
+                const V* row =
+                    vertex_block + static_cast<std::size_t>(z) * batch;
+                for (std::size_t b = 0; b < bmax; ++b)
+                  acc_row[z] = f.add(acc_row[z], row[b]);
+              }
+            }
+          }
+          world.charge_compute(static_cast<std::uint64_t>(nl) * batch * k);
+        };
+
+        // The same phase, bit-sliced. For each (vertex, edge, weight z) the
+        // weight convolution accumulates lane-wise products into one block,
+        // then one sigma matrix apply folds it into the output — value-
+        // identical to the scalar kernel by distributivity. Charges and
+        // halo bytes mirror the scalar kernel exactly.
+        auto run_phase_bs = [&](const auto& bs, int round,
+                                std::uint64_t phase) {
+          using BS = gf::BitslicedGF;
+          using word = BS::word;
+          const int L = bs.words();
+          const auto [q0, q1] = sched.phase_range(phase);
+          const std::size_t batch = q1 - q0;
+          const std::size_t nblocks = (batch + BS::kLanes - 1) / BS::kLanes;
+          const std::size_t wpv = nblocks * static_cast<std::size_t>(L);
+          const std::size_t wrow = static_cast<std::size_t>(width) * wpv;
+          for (int j = 1; j <= k; ++j) {
+            bvals[static_cast<std::size_t>(j)].assign(
+                static_cast<std::size_t>(nl) * wrow, 0);
+            bghost[static_cast<std::size_t>(j)].assign(
+                static_cast<std::size_t>(ng) * wrow, 0);
+          }
+          stage_out.assign(static_cast<std::size_t>(width) * nl * batch,
+                           f.zero());
+          const std::uint64_t adj_bytes =
+              view.adj.size() * sizeof(partition::NbrRef) +
+              view.adj_offsets.size() * sizeof(std::uint64_t);
+          const std::uint64_t working_set =
+              adj_bytes + static_cast<std::uint64_t>(k) * (nl + ng) *
+                              width * batch * sizeof(V);
+          auto lanes_of = [&](std::size_t blk) {
+            return static_cast<int>(
+                std::min<std::size_t>(BS::kLanes, batch - blk * BS::kLanes));
+          };
+          // Halo in the scalar byte layout: each boundary vertex ships its
+          // whole (weight x batch) block, transposed to values on send and
+          // back to planes on receive.
+          auto exchange_layer = [&](int j) {
+            const auto& src = bvals[static_cast<std::size_t>(j)];
+            for (std::uint32_t li : boundary)
+              for (std::uint32_t z = 0; z < width; ++z)
+                for (std::size_t blk = 0; blk < nblocks; ++blk)
+                  bs.unpack_lanes(
+                      stage_out.data() +
+                          (static_cast<std::size_t>(li) * width + z) * batch +
+                          blk * BS::kLanes,
+                      &src[static_cast<std::size_t>(li) * wrow + z * wpv +
+                           blk * L],
+                      lanes_of(blk));
+            stage_ghost.assign(static_cast<std::size_t>(width) * ng * batch,
+                               f.zero());
+            detail::halo_exchange(group, view, stage_out, stage_ghost,
+                                  batch * width);
+            auto& gbuf = bghost[static_cast<std::size_t>(j)];
+            for (std::uint32_t gi = 0; gi < ng; ++gi)
+              for (std::uint32_t z = 0; z < width; ++z)
+                for (std::size_t blk = 0; blk < nblocks; ++blk)
+                  bs.pack_lanes(
+                      &gbuf[static_cast<std::size_t>(gi) * wrow + z * wpv +
+                            blk * L],
+                      stage_ghost.data() +
+                          (static_cast<std::size_t>(gi) * width + z) * batch +
+                          blk * BS::kLanes,
+                      lanes_of(blk));
+          };
+
+          // Base case: liveness parity masks, coefficient broadcast at the
+          // vertex's own weight.
+          blive.assign(static_cast<std::size_t>(nl) * nblocks, 0);
+          auto& base = bvals[1];
+          for (std::uint32_t li = 0; li < nl; ++li) {
+            const graph::VertexId gid = view.vertices[li];
+            const V coeff = field_coeff(f, opt.seed, round, gid, 1);
+            for (std::size_t blk = 0; blk < nblocks; ++blk) {
+              const word m =
+                  BS::live_mask(v[li], q0 + blk * BS::kLanes, lanes_of(blk));
+              blive[static_cast<std::size_t>(li) * nblocks + blk] = m;
+              bs.broadcast(&base[static_cast<std::size_t>(li) * wrow +
+                                 weights[gid] * wpv + blk * L],
+                           static_cast<BS::value_type>(coeff), m);
+            }
+          }
+          world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+          exchange_layer(1);
+
+          for (int j = 2; j <= k; ++j) {
+            auto& out = bvals[static_cast<std::size_t>(j)];
+            for (std::uint32_t li = 0; li < nl; ++li) {
+              const graph::VertexId gid = view.vertices[li];
+              const auto begin = view.adj_offsets[li];
+              const auto end = view.adj_offsets[li + 1];
+              for (auto e = begin; e < end; ++e) {
+                const auto ref = view.adj[e];
+                const bool is_ghost = ref.is_ghost();
+                const std::uint32_t idx = ref.index();
+                const graph::VertexId u_gid =
+                    is_ghost ? view.ghosts[idx] : view.vertices[idx];
+                const BS::Matrix sig = bs.matrix(
+                    static_cast<BS::value_type>(sigma_coeff(
+                        f, opt.seed, round, gid, u_gid,
+                        static_cast<std::uint32_t>(j))));
+                for (std::uint32_t z = 0; z < width; ++z)
+                  for (std::size_t blk = 0; blk < nblocks; ++blk) {
+                    word acc[16] = {};
+                    word prod[16];
+                    bool any = false;
+                    for (int j1 = 1; j1 <= j - 1; ++j1) {
+                      const auto& own = bvals[static_cast<std::size_t>(j1)];
+                      const auto& oth =
+                          is_ghost
+                              ? bghost[static_cast<std::size_t>(j - j1)]
+                              : bvals[static_cast<std::size_t>(j - j1)];
+                      const word* own_v =
+                          own.data() + static_cast<std::size_t>(li) * wrow;
+                      const word* oth_v =
+                          oth.data() + static_cast<std::size_t>(idx) * wrow;
+                      for (std::uint32_t z1 = 0; z1 <= z; ++z1) {
+                        const word* a = own_v + z1 * wpv + blk * L;
+                        if (bs.is_zero(a)) continue;
+                        const word* bb = oth_v + (z - z1) * wpv + blk * L;
+                        if (bs.is_zero(bb)) continue;
+                        bs.mul(prod, a, bb);
+                        bs.add_into(acc, prod);
+                        any = true;
+                      }
+                    }
+                    if (!any) continue;
+                    word scaled[16];
+                    bs.mul_matrix(scaled, sig, acc);
+                    bs.add_into(&out[static_cast<std::size_t>(li) * wrow +
+                                     z * wpv + blk * L],
+                                scaled);
+                  }
+              }
+            }
+            // Same logical work as the scalar kernel's (edge, j1, z, z1)
+            // sweep, in closed form.
+            const std::uint64_t ops =
+                view.adj.size() * static_cast<std::uint64_t>(j - 1) *
+                (static_cast<std::uint64_t>(width) * (width + 1) / 2) *
+                batch;
+            world.charge_compute(ops);
+            world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+            if (j < k) exchange_layer(j);
+          }
+          // Accumulate per-(j,z) sums with the same q < 2^j lane cutoff.
+          for (int j = 1; j <= k; ++j) {
+            const std::uint64_t jlimit = std::uint64_t{1} << j;
+            if (q0 >= jlimit) continue;
+            const std::size_t bmax =
+                std::min<std::uint64_t>(batch, jlimit - q0);
+            const auto& layer = bvals[static_cast<std::size_t>(j)];
+            V* acc_row = accum.data() + static_cast<std::size_t>(j) * width;
+            for (std::uint32_t z = 0; z < width; ++z)
+              for (std::size_t blk = 0; blk < nblocks; ++blk) {
+                if (blk * BS::kLanes >= bmax) break;
+                const std::size_t lv =
+                    std::min<std::size_t>(BS::kLanes, bmax - blk * BS::kLanes);
+                const word m = lv >= BS::kLanes
+                                   ? ~word{0}
+                                   : (word{1} << lv) - 1;
+                word sum[16] = {};
+                for (std::uint32_t li = 0; li < nl; ++li)
+                  bs.add_into(sum, &layer[static_cast<std::size_t>(li) * wrow +
+                                          z * wpv + blk * L]);
+                acc_row[z] =
+                    f.add(acc_row[z], static_cast<V>(bs.fold_xor(sum, m)));
+              }
+          }
+          world.charge_compute(static_cast<std::uint64_t>(nl) * batch * k);
+        };
+
+        auto run_phase = [&](int round, std::uint64_t phase) {
+          if constexpr (gf::Bitsliceable<F>) {
+            if (bitsliced) {
+              run_phase_bs(*bse, round, phase);
+              return;
+            }
+          }
+          run_phase_scalar(round, phase);
+        };
 
         for (int round = start_round; round < opt.rounds(); ++round) {
           for (std::uint32_t li = 0; li < nl; ++li)
@@ -1044,122 +1701,8 @@ MidasScanResult midas_scan(const graph::Graph& g,
           std::fill(accum.begin(), accum.end(), f.zero());
 
           for (std::uint64_t phase = group_color; phase < sched.phases();
-               phase += sched.groups()) {
-            const auto [q0, q1] = sched.phase_range(phase);
-            const std::size_t batch = q1 - q0;
-            for (int j = 1; j <= k; ++j) {
-              vals[static_cast<std::size_t>(j)].assign(
-                  static_cast<std::size_t>(width) * nl * batch, f.zero());
-              ghost[static_cast<std::size_t>(j)].assign(
-                  static_cast<std::size_t>(width) * ng * batch, f.zero());
-            }
-            const std::uint64_t adj_bytes =
-                view.adj.size() * sizeof(partition::NbrRef) +
-                view.adj_offsets.size() * sizeof(std::uint64_t);
-            const std::uint64_t working_set =
-                adj_bytes + static_cast<std::uint64_t>(k) * (nl + ng) *
-                                width * batch * sizeof(V);
-
-            // Base case.
-            auto& base = vals[1];
-            for (std::uint32_t li = 0; li < nl; ++li) {
-              const graph::VertexId gid = view.vertices[li];
-              const V coeff = field_coeff(f, opt.seed, round, gid, 1);
-              V* row = base.data() +
-                       (static_cast<std::size_t>(li) * width +
-                        weights[gid]) *
-                           batch;
-              for (std::size_t b = 0; b < batch; ++b) {
-                const auto q = static_cast<std::uint32_t>(q0 + b);
-                row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
-              }
-            }
-            world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
-            detail::halo_exchange(group, view, vals[1], ghost[1],
-                                  batch * width);
-
-            for (int j = 2; j <= k; ++j) {
-              auto& out = vals[static_cast<std::size_t>(j)];
-              std::uint64_t ops = 0;
-              for (std::uint32_t li = 0; li < nl; ++li) {
-                const graph::VertexId gid = view.vertices[li];
-                const auto begin = view.adj_offsets[li];
-                const auto end = view.adj_offsets[li + 1];
-                for (auto e = begin; e < end; ++e) {
-                  const auto ref = view.adj[e];
-                  const bool is_ghost = ref.is_ghost();
-                  const std::uint32_t idx = ref.index();
-                  const graph::VertexId u_gid =
-                      is_ghost ? view.ghosts[idx] : view.vertices[idx];
-                  const V sig =
-                      sigma_coeff(f, opt.seed, round, gid, u_gid,
-                                  static_cast<std::uint32_t>(j));
-                  for (int j1 = 1; j1 <= j - 1; ++j1) {
-                    const auto& own = vals[static_cast<std::size_t>(j1)];
-                    const auto& oth_local =
-                        vals[static_cast<std::size_t>(j - j1)];
-                    const auto& oth_ghost =
-                        ghost[static_cast<std::size_t>(j - j1)];
-                    const V* oth_vertex =
-                        (is_ghost ? oth_ghost.data() : oth_local.data()) +
-                        static_cast<std::size_t>(idx) * width * batch;
-                    const V* own_vertex =
-                        own.data() +
-                        static_cast<std::size_t>(li) * width * batch;
-                    V* out_vertex =
-                        out.data() +
-                        static_cast<std::size_t>(li) * width * batch;
-                    for (std::uint32_t z = 0; z < width; ++z) {
-                      V* row = out_vertex + static_cast<std::size_t>(z) * batch;
-                      for (std::uint32_t z1 = 0; z1 <= z; ++z1) {
-                        const V* a =
-                            own_vertex + static_cast<std::size_t>(z1) * batch;
-                        const V* bvals =
-                            oth_vertex +
-                            static_cast<std::size_t>(z - z1) * batch;
-                        for (std::size_t b = 0; b < batch; ++b) {
-                          if (a[b] == f.zero()) continue;
-                          row[b] = f.add(
-                              row[b], f.mul(sig, f.mul(a[b], bvals[b])));
-                        }
-                        ops += batch;
-                      }
-                    }
-                  }
-                }
-              }
-              world.charge_compute(ops);
-              world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
-              if (j < k)
-                detail::halo_exchange(group, view,
-                                      vals[static_cast<std::size_t>(j)],
-                                      ghost[static_cast<std::size_t>(j)],
-                                      batch * width);
-            }
-            // Accumulate per-(j,z) sums. As in the sequential detector,
-            // size-j sums only fold iterations q < 2^j (degree-j detection
-            // lives in the 2^j-element subgroup; folding all 2^k iterations
-            // would cancel every size < k).
-            for (int j = 1; j <= k; ++j) {
-              const std::uint64_t jlimit = std::uint64_t{1} << j;
-              if (q0 >= jlimit) continue;
-              const std::size_t bmax =
-                  std::min<std::uint64_t>(batch, jlimit - q0);
-              const auto& layer = vals[static_cast<std::size_t>(j)];
-              V* acc_row = accum.data() + static_cast<std::size_t>(j) * width;
-              for (std::uint32_t li = 0; li < nl; ++li) {
-                const V* vertex_block =
-                    layer.data() + static_cast<std::size_t>(li) * width * batch;
-                for (std::uint32_t z = 0; z < width; ++z) {
-                  const V* row =
-                      vertex_block + static_cast<std::size_t>(z) * batch;
-                  for (std::size_t b = 0; b < bmax; ++b)
-                    acc_row[z] = f.add(acc_row[z], row[b]);
-                }
-              }
-            }
-            world.charge_compute(static_cast<std::uint64_t>(nl) * batch * k);
-          }
+               phase += sched.groups())
+            run_phase(round, phase);
           // Combine the accumulator across all ranks.
           std::vector<V> buf(accum);
           world.allreduce<V>(std::span<V>(buf),
@@ -1290,7 +1833,8 @@ MidasWeightedResult midas_weighted_kpath(
 
         std::vector<std::uint32_t> v(nl);
         // Layout: (li * width + z) * batch + b (vertex-major, as in scan).
-        std::vector<V> cur, next, ghost;
+        std::vector<V> cur, next, ghost, scratch;
+        std::vector<std::uint8_t> live_q;
         std::vector<V> accum(width);
 
         for (int round = start_round; round < opt.rounds(); ++round) {
@@ -1307,20 +1851,27 @@ MidasWeightedResult midas_weighted_kpath(
             cur.assign(stride * nl, f.zero());
             next.assign(stride * nl, f.zero());
             ghost.assign(stride * ng, f.zero());
+            scratch.assign(batch, f.zero());
+            live_q.assign(static_cast<std::size_t>(nl) * batch, 0);
             const std::uint64_t adj_bytes =
                 view.adj.size() * sizeof(partition::NbrRef) +
                 view.adj_offsets.size() * sizeof(std::uint64_t);
             const std::uint64_t working_set =
                 adj_bytes + (stride * nl + stride * ng) * sizeof(V);
 
+            // Liveness is per (vertex, iteration): compute it once per
+            // phase and reuse across every level and weight row.
             for (std::uint32_t li = 0; li < nl; ++li) {
               const graph::VertexId gid = view.vertices[li];
               const V coeff = field_coeff(f, opt.seed, round, gid, 1);
               V* row = cur.data() + li * stride +
                        static_cast<std::size_t>(weights[gid]) * batch;
+              std::uint8_t* lq =
+                  live_q.data() + static_cast<std::size_t>(li) * batch;
               for (std::size_t b = 0; b < batch; ++b) {
                 const auto q = static_cast<std::uint32_t>(q0 + b);
-                row[b] = inner_product_odd(v[li], q) ? f.zero() : coeff;
+                lq[b] = inner_product_odd(v[li], q) ? 0 : 1;
+                row[b] = lq[b] ? coeff : f.zero();
               }
             }
             world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
@@ -1336,10 +1887,15 @@ MidasWeightedResult midas_weighted_kpath(
                 const V rj = field_coeff(f, opt.seed, round, gid,
                                          static_cast<std::uint32_t>(j));
                 V* out_vertex = next.data() + li * stride;
+                const std::uint8_t* lq =
+                    live_q.data() + static_cast<std::size_t>(li) * batch;
                 const auto begin = view.adj_offsets[li];
                 const auto end = view.adj_offsets[li + 1];
                 for (std::uint32_t z = wi; z < width; ++z) {
                   V* row = out_vertex + static_cast<std::size_t>(z) * batch;
+                  // Neighbor fold into scratch, gate by liveness, then one
+                  // row-wide scale by the level coefficient.
+                  std::fill(scratch.begin(), scratch.end(), f.zero());
                   for (auto e = begin; e < end; ++e) {
                     const auto ref = view.adj[e];
                     const V* src =
@@ -1347,15 +1903,12 @@ MidasWeightedResult midas_weighted_kpath(
                         static_cast<std::size_t>(ref.index()) * stride +
                         static_cast<std::size_t>(z - wi) * batch;
                     for (std::size_t b = 0; b < batch; ++b)
-                      row[b] = f.add(row[b], src[b]);
+                      scratch[b] = f.add(scratch[b], src[b]);
                   }
                   ops += (end - begin) * batch;
-                  for (std::size_t b = 0; b < batch; ++b) {
-                    const auto q = static_cast<std::uint32_t>(q0 + b);
-                    row[b] = inner_product_odd(v[li], q)
-                                 ? f.zero()
-                                 : f.mul(rj, row[b]);
-                  }
+                  for (std::size_t b = 0; b < batch; ++b)
+                    if (!lq[b]) scratch[b] = f.zero();
+                  gf::scale_add_row(f, row, rj, scratch.data(), batch);
                   ops += batch;
                 }
               }

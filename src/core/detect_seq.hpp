@@ -18,6 +18,13 @@
 // characteristic. The per-position coefficients are what break the
 // direction/automorphism pairing of witnesses that would otherwise cancel
 // in characteristic 2.
+//
+// Each detector exists in two kernels selected by DetectOptions::kernel:
+// the scalar reference path (one field element at a time) and a bit-sliced
+// path that evaluates 64 consecutive iterations per step over
+// gf::BitslicedGF (see src/gf/bitsliced.hpp and docs/ALGORITHM.md section
+// 6). Both kernels produce bit-identical per-round accumulators — the
+// bit-sliced path only regroups the same XORs — which the tests assert.
 #pragma once
 
 #include <algorithm>
@@ -28,11 +35,18 @@
 #include "core/hashrand.hpp"
 #include "core/schedule.hpp"
 #include "core/tree_template.hpp"
+#include "gf/bitsliced.hpp"
 #include "gf/field.hpp"
 #include "graph/csr.hpp"
 #include "util/require.hpp"
 
 namespace midas::core {
+
+/// Which inner-loop implementation a detector runs. kAuto picks bitsliced
+/// whenever the field supports it (GF(2^l), l <= 16, modulus() exposed) and
+/// falls back to scalar otherwise; kBitsliced on an unsupported field is an
+/// error.
+enum class Kernel { kAuto, kScalar, kBitsliced };
 
 struct DetectOptions {
   int k = 4;                 // subgraph size (path/tree vertices)
@@ -40,6 +54,7 @@ struct DetectOptions {
   std::uint64_t seed = 1;    // randomness seed; fixes the whole run
   int max_rounds = 0;        // if > 0, overrides the epsilon-derived count
   bool early_exit = true;    // stop after the first successful round
+  Kernel kernel = Kernel::kAuto;  // inner-loop implementation
 
   [[nodiscard]] int rounds() const {
     return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
@@ -51,30 +66,44 @@ struct DetectResult {
   int rounds_run = 0;
   int found_round = -1;          // first round that returned nonzero
   std::uint64_t iterations = 0;  // total polynomial evaluations performed
+  /// Per-round XOR accumulator values (field elements widened to 64 bits),
+  /// one entry per round run — the cross-kernel bit-exactness witness.
+  std::vector<std::uint64_t> round_totals;
 };
 
+namespace detail_seq {
+
+/// Decide scalar vs bitsliced for this (field, request) pair; rejects an
+/// explicit bitsliced request on a field the engine cannot mirror.
+template <typename F>
+[[nodiscard]] inline bool use_bitsliced(const F& f, Kernel kernel) {
+  if constexpr (gf::Bitsliceable<F>) {
+    if (kernel == Kernel::kScalar) return false;
+    return f.bits() <= 16;
+  } else {
+    (void)f;
+    MIDAS_REQUIRE(kernel != Kernel::kBitsliced,
+                  "kernel=bitsliced requires a GF(2^l) field with l <= 16 "
+                  "that exposes modulus() (GF256 or GFSmall)");
+    return false;
+  }
+}
+
 // ---------------------------------------------------------------------------
-// k-path
+// k-path kernels
 // ---------------------------------------------------------------------------
 
-/// Decide whether `g` contains a simple path on exactly k vertices.
 template <gf::GaloisField F>
-DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
-                              const F& f = F{}) {
+DetectResult kpath_scalar(const graph::Graph& g, const DetectOptions& opt,
+                          const F& f) {
   const int k = opt.k;
-  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
   const graph::VertexId n = g.num_vertices();
   DetectResult res;
-  if (n == 0) return res;
-  if (k == 1) {  // any vertex is a 1-path
-    res.found = n > 0;
-    res.found_round = 0;
-    return res;
-  }
 
   using V = typename F::value_type;
   const std::uint64_t iters = std::uint64_t{1} << k;
   std::vector<std::uint32_t> v(n);
+  std::vector<std::uint8_t> live(n);
   std::vector<V> cur(n), next(n);
   // r[j * n + i] is the coefficient of vertex i at path level j (1-based).
   std::vector<V> r(static_cast<std::size_t>(k) * n);
@@ -89,15 +118,16 @@ DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
     }
     V total = f.zero();
     for (std::uint64_t t = 0; t < iters; ++t) {
+      // The liveness flag [<v_i, t> = 0] is per (vertex, iteration); compute
+      // it once here and reuse it across all k levels.
       for (graph::VertexId i = 0; i < n; ++i) {
-        const bool live =
-            !inner_product_odd(v[i], static_cast<std::uint32_t>(t));
-        cur[i] = live ? r[i] : f.zero();
+        live[i] = !inner_product_odd(v[i], static_cast<std::uint32_t>(t));
+        cur[i] = live[i] ? r[i] : f.zero();
       }
       for (int j = 2; j <= k; ++j) {
         const V* rj = r.data() + static_cast<std::size_t>(j - 1) * n;
         for (graph::VertexId i = 0; i < n; ++i) {
-          if (inner_product_odd(v[i], static_cast<std::uint32_t>(t))) {
+          if (!live[i]) {
             next[i] = f.zero();  // x_i evaluates to 0 this iteration
             continue;
           }
@@ -113,30 +143,130 @@ DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
       ++res.iterations;
     }
     ++res.rounds_run;
+    res.round_totals.push_back(static_cast<std::uint64_t>(total));
     if (total != f.zero()) {
+      if (!res.found) res.found_round = round;  // first nonzero round wins
       res.found = true;
-      res.found_round = round;
       if (opt.early_exit) return res;
     }
   }
   return res;
 }
 
-// ---------------------------------------------------------------------------
-// k-tree
-// ---------------------------------------------------------------------------
+template <gf::Bitsliceable F>
+DetectResult kpath_bitsliced(const graph::Graph& g, const DetectOptions& opt,
+                             const F& f) {
+  const int k = opt.k;
+  const graph::VertexId n = g.num_vertices();
+  DetectResult res;
 
-/// Decide whether `g` contains a (non-induced) embedding of the template
-/// tree described by `td`.
+  using V = typename F::value_type;
+  using BS = gf::BitslicedGF;
+  using word = BS::word;
+  const BS bs(f);
+  const int L = bs.words();
+  const std::uint64_t iters = std::uint64_t{1} << k;
+
+  std::vector<std::uint32_t> v(n);
+  std::vector<word> live(n);
+  // cur/next hold one 64-lane block (L words) per vertex.
+  std::vector<word> cur(static_cast<std::size_t>(n) * L);
+  std::vector<word> next(static_cast<std::size_t>(n) * L);
+  std::vector<V> r0(n);  // level-1 coefficients (broadcast into the base case)
+  // mats[(j - 2) * n + i]: multiply-by-r_{i,j} matrix for levels 2..k.
+  std::vector<BS::Matrix> mats(static_cast<std::size_t>(k - 1) * n);
+
+  for (int round = 0; round < opt.rounds(); ++round) {
+    for (graph::VertexId i = 0; i < n; ++i) {
+      v[i] = v_vector(opt.seed, round, i, k);
+      r0[i] = field_coeff(f, opt.seed, round, i, 1);
+      for (int j = 2; j <= k; ++j)
+        mats[static_cast<std::size_t>(j - 2) * n + i] = bs.matrix(
+            field_coeff(f, opt.seed, round, i, static_cast<std::uint32_t>(j)));
+    }
+    // Lift the plane count to a compile-time constant so the per-block
+    // loops below unroll and vectorize (see dispatch_width).
+    V total = gf::detail_bs::dispatch_width(L, [&](auto lc) {
+      constexpr int LC = decltype(lc)::value;
+      V tot = f.zero();
+      for (std::uint64_t base = 0; base < iters; base += BS::kLanes) {
+        const int lanes = static_cast<int>(
+            std::min<std::uint64_t>(BS::kLanes, iters - base));
+        for (graph::VertexId i = 0; i < n; ++i) {
+          live[i] = BS::live_mask(v[i], base, lanes);
+          bs.broadcast_w<LC>(&cur[static_cast<std::size_t>(i) * LC], r0[i],
+                             live[i]);
+        }
+        for (int j = 2; j <= k; ++j) {
+          const BS::Matrix* mj =
+              mats.data() + static_cast<std::size_t>(j - 2) * n;
+          for (graph::VertexId i = 0; i < n; ++i) {
+            word* out = &next[static_cast<std::size_t>(i) * LC];
+            if (live[i] == 0) {
+              bs.clear_w<LC>(out);
+              continue;
+            }
+            word acc[LC] = {};
+            for (graph::VertexId u : g.neighbors(i))
+              bs.add_into_w<LC>(acc, &cur[static_cast<std::size_t>(u) * LC]);
+            bs.mul_matrix_masked_w<LC>(out, mj[i], acc, live[i]);
+          }
+          std::swap(cur, next);
+        }
+        word sum[LC] = {};
+        for (graph::VertexId i = 0; i < n; ++i)
+          bs.add_into_w<LC>(sum, &cur[static_cast<std::size_t>(i) * LC]);
+        tot = f.add(tot, static_cast<V>(BS::fold_xor_w<LC>(sum)));
+        res.iterations += static_cast<std::uint64_t>(lanes);
+      }
+      return tot;
+    });
+    ++res.rounds_run;
+    res.round_totals.push_back(static_cast<std::uint64_t>(total));
+    if (total != f.zero()) {
+      if (!res.found) res.found_round = round;  // first nonzero round wins
+      res.found = true;
+      if (opt.early_exit) return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace detail_seq
+
+/// Decide whether `g` contains a simple path on exactly k vertices.
 template <gf::GaloisField F>
-DetectResult detect_ktree_seq(const graph::Graph& g,
-                              const TreeDecomposition& td,
-                              const DetectOptions& opt, const F& f = F{}) {
-  const int k = td.k();
-  MIDAS_REQUIRE(k >= 1 && k <= 28, "template size must be in [1,28]");
+DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
+                              const F& f = F{}) {
+  const int k = opt.k;
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
   const graph::VertexId n = g.num_vertices();
   DetectResult res;
   if (n == 0) return res;
+  if (k == 1) {  // any vertex is a 1-path
+    res.found = n > 0;
+    res.found_round = 0;
+    return res;
+  }
+  if (detail_seq::use_bitsliced(f, opt.kernel)) {
+    if constexpr (gf::Bitsliceable<F>)
+      return detail_seq::kpath_bitsliced(g, opt, f);
+  }
+  return detail_seq::kpath_scalar(g, opt, f);
+}
+
+// ---------------------------------------------------------------------------
+// k-tree kernels
+// ---------------------------------------------------------------------------
+
+namespace detail_seq {
+
+template <gf::GaloisField F>
+DetectResult ktree_scalar(const graph::Graph& g, const TreeDecomposition& td,
+                          const DetectOptions& opt, const F& f) {
+  const int k = td.k();
+  const graph::VertexId n = g.num_vertices();
+  DetectResult res;
 
   using V = typename F::value_type;
   const std::uint64_t iters = std::uint64_t{1} << k;
@@ -184,13 +314,121 @@ DetectResult detect_ktree_seq(const graph::Graph& g,
       ++res.iterations;
     }
     ++res.rounds_run;
+    res.round_totals.push_back(static_cast<std::uint64_t>(total));
     if (total != f.zero()) {
+      if (!res.found) res.found_round = round;  // first nonzero round wins
       res.found = true;
-      res.found_round = round;
       if (opt.early_exit) return res;
     }
   }
   return res;
+}
+
+template <gf::Bitsliceable F>
+DetectResult ktree_bitsliced(const graph::Graph& g,
+                             const TreeDecomposition& td,
+                             const DetectOptions& opt, const F& f) {
+  const int k = td.k();
+  const graph::VertexId n = g.num_vertices();
+  DetectResult res;
+
+  using V = typename F::value_type;
+  using BS = gf::BitslicedGF;
+  using word = BS::word;
+  const BS bs(f);
+  const int L = bs.words();
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  const auto& subs = td.subtemplates();
+
+  std::vector<std::uint32_t> v(n);
+  std::vector<word> live(n);
+  // vals[s]: one 64-lane block per vertex for subtemplate s.
+  std::vector<std::vector<word>> vals(
+      subs.size(), std::vector<word>(static_cast<std::size_t>(n) * L));
+  // leafc[s][i]: leaf coefficient (a pure function of round/i/s, hoisted
+  // out of the iteration loop; the scalar kernel recomputes it per t).
+  std::vector<std::vector<V>> leafc(subs.size());
+
+  for (int round = 0; round < opt.rounds(); ++round) {
+    for (graph::VertexId i = 0; i < n; ++i)
+      v[i] = v_vector(opt.seed, round, i, k);
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+      if (subs[s].child1 >= 0) continue;
+      leafc[s].resize(n);
+      for (graph::VertexId i = 0; i < n; ++i)
+        leafc[s][i] = field_coeff(f, opt.seed, round, i,
+                                  static_cast<std::uint32_t>(s));
+    }
+    V total = gf::detail_bs::dispatch_width(L, [&](auto lc) {
+      constexpr int LC = decltype(lc)::value;
+      V tot = f.zero();
+      for (std::uint64_t base = 0; base < iters; base += BS::kLanes) {
+        const int lanes = static_cast<int>(
+            std::min<std::uint64_t>(BS::kLanes, iters - base));
+        for (graph::VertexId i = 0; i < n; ++i)
+          live[i] = BS::live_mask(v[i], base, lanes);
+        for (std::size_t s = 0; s < subs.size(); ++s) {
+          const auto& sub = subs[s];
+          auto& out = vals[s];
+          if (sub.child1 < 0) {
+            for (graph::VertexId i = 0; i < n; ++i)
+              bs.broadcast_w<LC>(&out[static_cast<std::size_t>(i) * LC],
+                                 leafc[s][i], live[i]);
+          } else {
+            const auto& own = vals[static_cast<std::size_t>(sub.child1)];
+            const auto& nbr = vals[static_cast<std::size_t>(sub.child2)];
+            for (graph::VertexId i = 0; i < n; ++i) {
+              word* out_i = &out[static_cast<std::size_t>(i) * LC];
+              const word* own_i = &own[static_cast<std::size_t>(i) * LC];
+              if (BS::is_zero_w<LC>(own_i)) {
+                bs.clear_w<LC>(out_i);
+                continue;
+              }
+              word acc[LC] = {};
+              for (graph::VertexId u : g.neighbors(i))
+                bs.add_into_w<LC>(acc, &nbr[static_cast<std::size_t>(u) * LC]);
+              bs.mul_w<LC>(out_i, own_i, acc);
+            }
+          }
+        }
+        word sum[LC] = {};
+        const auto& root_vals = vals[static_cast<std::size_t>(td.root_id())];
+        for (graph::VertexId i = 0; i < n; ++i)
+          bs.add_into_w<LC>(sum, &root_vals[static_cast<std::size_t>(i) * LC]);
+        tot = f.add(tot, static_cast<V>(BS::fold_xor_w<LC>(sum)));
+        res.iterations += static_cast<std::uint64_t>(lanes);
+      }
+      return tot;
+    });
+    ++res.rounds_run;
+    res.round_totals.push_back(static_cast<std::uint64_t>(total));
+    if (total != f.zero()) {
+      if (!res.found) res.found_round = round;  // first nonzero round wins
+      res.found = true;
+      if (opt.early_exit) return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace detail_seq
+
+/// Decide whether `g` contains a (non-induced) embedding of the template
+/// tree described by `td`.
+template <gf::GaloisField F>
+DetectResult detect_ktree_seq(const graph::Graph& g,
+                              const TreeDecomposition& td,
+                              const DetectOptions& opt, const F& f = F{}) {
+  const int k = td.k();
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "template size must be in [1,28]");
+  const graph::VertexId n = g.num_vertices();
+  DetectResult res;
+  if (n == 0) return res;
+  if (detail_seq::use_bitsliced(f, opt.kernel)) {
+    if constexpr (gf::Bitsliceable<F>)
+      return detail_seq::ktree_bitsliced(g, td, opt, f);
+  }
+  return detail_seq::ktree_scalar(g, td, opt, f);
 }
 
 // ---------------------------------------------------------------------------
@@ -221,42 +459,24 @@ struct ScanOptions {
   /// ~log(5/4)^-1 expected rounds rather than the full amplification.
   int watch_j = 0;
   std::uint32_t watch_z = 0;
+  Kernel kernel = Kernel::kAuto;  // inner-loop implementation
 
   [[nodiscard]] int rounds() const {
     return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
   }
 };
 
-/// Build the (size, weight) feasibility table for connected subgraphs of up
-/// to `k` vertices, where vertex i contributes integer weight weights[i].
+namespace detail_seq {
+
 template <gf::GaloisField F>
-FeasibilityTable detect_scan_seq(const graph::Graph& g,
-                                 const std::vector<std::uint32_t>& weights,
-                                 const ScanOptions& opt, const F& f = F{}) {
+void scan_scalar(const graph::Graph& g,
+                 const std::vector<std::uint32_t>& weights,
+                 const ScanOptions& opt, const F& f, FeasibilityTable& table) {
   const int k = opt.k;
-  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
   const graph::VertexId n = g.num_vertices();
-  MIDAS_REQUIRE(weights.size() == n, "one weight per vertex required");
-
-  // Maximum achievable weight of a k-subset bounds the table width.
-  std::uint32_t wmax = 0;
-  {
-    std::vector<std::uint32_t> sorted(weights);
-    std::sort(sorted.begin(), sorted.end(), std::greater<>());
-    for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i)
-      wmax += sorted[static_cast<std::size_t>(i)];
-  }
-
-  FeasibilityTable table;
-  table.k = k;
-  table.max_weight = wmax;
-  table.feasible.assign(static_cast<std::size_t>(k) + 1,
-                        std::vector<bool>(wmax + 1, false));
-  if (n == 0) return table;
-
   using V = typename F::value_type;
   const std::uint64_t iters = std::uint64_t{1} << k;
-  const std::uint32_t width = wmax + 1;
+  const std::uint32_t width = table.max_weight + 1;
   std::vector<std::uint32_t> v(n);
   // vals[j][z * n + i]: value of P(i, j, z) at the current iteration.
   std::vector<std::vector<V>> vals(static_cast<std::size_t>(k) + 1);
@@ -339,6 +559,151 @@ FeasibilityTable detect_scan_seq(const graph::Graph& g,
           table.feasible[static_cast<std::size_t>(j)][z] = true;
     if (opt.watch_j > 0 && table.at(opt.watch_j, opt.watch_z)) break;
   }
+}
+
+template <gf::Bitsliceable F>
+void scan_bitsliced(const graph::Graph& g,
+                    const std::vector<std::uint32_t>& weights,
+                    const ScanOptions& opt, const F& f,
+                    FeasibilityTable& table) {
+  const int k = opt.k;
+  const graph::VertexId n = g.num_vertices();
+  using V = typename F::value_type;
+  using BS = gf::BitslicedGF;
+  using word = BS::word;
+  const BS bs(f);
+  const int L = bs.words();
+  const std::uint64_t iters = std::uint64_t{1} << k;
+  const std::uint32_t width = table.max_weight + 1;
+  std::vector<std::uint32_t> v(n);
+  std::vector<word> live(n);
+  std::vector<V> c1(n);  // base-case coefficients, hoisted per round
+  // vals[j][(z * n + i) * L .. +L): the block of P(i, j, z).
+  std::vector<std::vector<word>> vals(static_cast<std::size_t>(k) + 1);
+  for (int j = 1; j <= k; ++j)
+    vals[static_cast<std::size_t>(j)].assign(
+        static_cast<std::size_t>(width) * n * L, 0);
+  std::vector<std::vector<V>> accum(static_cast<std::size_t>(k) + 1,
+                                    std::vector<V>(width, f.zero()));
+
+  for (int round = 0; round < opt.rounds(); ++round) {
+    for (graph::VertexId i = 0; i < n; ++i) {
+      v[i] = v_vector(opt.seed, round, i, k);
+      c1[i] = field_coeff(f, opt.seed, round, i, 1);
+    }
+    for (auto& a : accum) std::fill(a.begin(), a.end(), f.zero());
+
+    for (std::uint64_t base_t = 0; base_t < iters; base_t += BS::kLanes) {
+      const int lanes = static_cast<int>(
+          std::min<std::uint64_t>(BS::kLanes, iters - base_t));
+      for (graph::VertexId i = 0; i < n; ++i)
+        live[i] = BS::live_mask(v[i], base_t, lanes);
+      auto& base = vals[1];
+      std::fill(base.begin(), base.end(), 0);
+      for (graph::VertexId i = 0; i < n; ++i)
+        bs.broadcast(
+            &base[(static_cast<std::size_t>(weights[i]) * n + i) * L], c1[i],
+            live[i]);
+      for (int j = 2; j <= k; ++j) {
+        auto& out = vals[static_cast<std::size_t>(j)];
+        std::fill(out.begin(), out.end(), 0);
+        for (graph::VertexId i = 0; i < n; ++i) {
+          for (graph::VertexId u : g.neighbors(i)) {
+            const BS::Matrix sig = bs.matrix(sigma_coeff(
+                f, opt.seed, round, i, u, static_cast<std::uint32_t>(j)));
+            for (int j1 = 1; j1 <= j - 1; ++j1) {
+              const auto& own = vals[static_cast<std::size_t>(j1)];
+              const auto& oth = vals[static_cast<std::size_t>(j - j1)];
+              for (std::uint32_t z = 0; z < width; ++z) {
+                word acc[16] = {};
+                word prod[16];
+                bool any = false;
+                for (std::uint32_t z1 = 0; z1 <= z; ++z1) {
+                  const word* a =
+                      &own[(static_cast<std::size_t>(z1) * n + i) * L];
+                  if (bs.is_zero(a)) continue;
+                  const word* b =
+                      &oth[(static_cast<std::size_t>(z - z1) * n + u) * L];
+                  if (bs.is_zero(b)) continue;
+                  bs.mul(prod, a, b);
+                  bs.add_into(acc, prod);
+                  any = true;
+                }
+                if (any && !bs.is_zero(acc)) {
+                  word scaled[16];
+                  bs.mul_matrix(scaled, sig, acc);
+                  bs.add_into(&out[(static_cast<std::size_t>(z) * n + i) * L],
+                              scaled);
+                }
+              }
+            }
+          }
+        }
+      }
+      // Size-j accumulators only fold iterations t < 2^j (see the scalar
+      // kernel's comment); within this block that is a prefix lane mask.
+      for (int j = 1; j <= k; ++j) {
+        const std::uint64_t lim = std::uint64_t{1} << j;
+        if (base_t >= lim) continue;
+        const int lv = static_cast<int>(
+            std::min<std::uint64_t>(lanes, lim - base_t));
+        const word jmask =
+            lv >= BS::kLanes ? ~word{0} : ((word{1} << lv) - 1);
+        const auto& layer = vals[static_cast<std::size_t>(j)];
+        auto& acc = accum[static_cast<std::size_t>(j)];
+        for (std::uint32_t z = 0; z < width; ++z) {
+          word sum[16] = {};
+          for (graph::VertexId i = 0; i < n; ++i)
+            bs.add_into(sum,
+                        &layer[(static_cast<std::size_t>(z) * n + i) * L]);
+          acc[z] = f.add(acc[z], static_cast<V>(bs.fold_xor(sum, jmask)));
+        }
+      }
+    }
+    for (int j = 1; j <= k; ++j)
+      for (std::uint32_t z = 0; z < width; ++z)
+        if (accum[static_cast<std::size_t>(j)][z] != f.zero())
+          table.feasible[static_cast<std::size_t>(j)][z] = true;
+    if (opt.watch_j > 0 && table.at(opt.watch_j, opt.watch_z)) break;
+  }
+}
+
+}  // namespace detail_seq
+
+/// Build the (size, weight) feasibility table for connected subgraphs of up
+/// to `k` vertices, where vertex i contributes integer weight weights[i].
+template <gf::GaloisField F>
+FeasibilityTable detect_scan_seq(const graph::Graph& g,
+                                 const std::vector<std::uint32_t>& weights,
+                                 const ScanOptions& opt, const F& f = F{}) {
+  const int k = opt.k;
+  MIDAS_REQUIRE(k >= 1 && k <= 28, "k must be in [1,28]");
+  const graph::VertexId n = g.num_vertices();
+  MIDAS_REQUIRE(weights.size() == n, "one weight per vertex required");
+
+  // Maximum achievable weight of a k-subset bounds the table width.
+  std::uint32_t wmax = 0;
+  {
+    std::vector<std::uint32_t> sorted(weights);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i)
+      wmax += sorted[static_cast<std::size_t>(i)];
+  }
+
+  FeasibilityTable table;
+  table.k = k;
+  table.max_weight = wmax;
+  table.feasible.assign(static_cast<std::size_t>(k) + 1,
+                        std::vector<bool>(wmax + 1, false));
+  if (n == 0) return table;
+
+  if (detail_seq::use_bitsliced(f, opt.kernel)) {
+    if constexpr (gf::Bitsliceable<F>) {
+      detail_seq::scan_bitsliced(g, weights, opt, f, table);
+      return table;
+    }
+  }
+  detail_seq::scan_scalar(g, weights, opt, f, table);
   return table;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 
 namespace midas::gf {
@@ -37,6 +38,38 @@ concept GaloisField =
     DetectionAlgebra<F> && requires(const F f, typename F::value_type a) {
       { f.inv(a) } -> std::same_as<typename F::value_type>;
     };
+
+/// dst[q] += s * src[q] for a loop-invariant scalar s. Dispatches to the
+/// field's dedicated row primitive when it has one (GFSmall::scale_add,
+/// GF256::axpy — one log lookup for the whole row) and falls back to a
+/// mul/add loop otherwise. dst and src must not overlap.
+template <DetectionAlgebra F>
+void scale_add_row(const F& f, typename F::value_type* dst,
+                   typename F::value_type s,
+                   const typename F::value_type* src, std::size_t n) {
+  if constexpr (requires { f.scale_add(dst, s, src, n); }) {
+    f.scale_add(dst, s, src, n);
+  } else if constexpr (requires { f.axpy(dst, s, src, n); }) {
+    f.axpy(dst, s, src, n);
+  } else {
+    if (s == f.zero()) return;
+    for (std::size_t q = 0; q < n; ++q)
+      dst[q] = f.add(dst[q], f.mul(s, src[q]));
+  }
+}
+
+/// dst[q] += a[q] * b[q], via the field's pointwise primitive when present.
+template <DetectionAlgebra F>
+void mul_add_rows(const F& f, typename F::value_type* dst,
+                  const typename F::value_type* a,
+                  const typename F::value_type* b, std::size_t n) {
+  if constexpr (requires { f.mul_add_pointwise(dst, a, b, n); }) {
+    f.mul_add_pointwise(dst, a, b, n);
+  } else {
+    for (std::size_t q = 0; q < n; ++q)
+      dst[q] = f.add(dst[q], f.mul(a[q], b[q]));
+  }
+}
 
 /// Exponentiation by squaring, valid for any DetectionAlgebra.
 template <DetectionAlgebra F>

@@ -60,6 +60,11 @@ class GF256 {
   [[nodiscard]] constexpr value_type zero() const noexcept { return 0; }
   [[nodiscard]] constexpr value_type one() const noexcept { return 1; }
   [[nodiscard]] constexpr int bits() const noexcept { return 8; }
+  /// The AES modulus the tables were built over (leading bit included);
+  /// lets BitslicedGF mirror this field exactly.
+  [[nodiscard]] constexpr std::uint32_t modulus() const noexcept {
+    return irreducible_poly(8);
+  }
 
   [[nodiscard]] constexpr value_type add(value_type a,
                                          value_type b) const noexcept {

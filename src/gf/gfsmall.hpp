@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "gf/polynomials.hpp"
+
 namespace midas::gf {
 
 class GFSmall {
@@ -26,6 +28,11 @@ class GFSmall {
   [[nodiscard]] int bits() const noexcept { return l_; }
   /// Number of field elements, 2^l.
   [[nodiscard]] std::uint32_t order() const noexcept { return 1u << l_; }
+  /// The irreducible modulus polynomial (leading bit included) the tables
+  /// were built over; lets BitslicedGF mirror this field exactly.
+  [[nodiscard]] std::uint32_t modulus() const noexcept {
+    return irreducible_poly(l_);
+  }
 
   [[nodiscard]] value_type add(value_type a, value_type b) const noexcept {
     return a ^ b;
@@ -49,6 +56,17 @@ class GFSmall {
       if (a[q] != 0 && b[q] != 0)
         dst[q] ^= tables_->exp[static_cast<std::size_t>(tables_->log[a[q]]) +
                                tables_->log[b[q]]];
+    }
+  }
+
+  /// dst[q] += s * b[q] for q in [0, n): the loop-invariant scalar's log is
+  /// looked up once, leaving one table access per nonzero element.
+  void scale_add(value_type* dst, value_type s, const value_type* b,
+                 std::size_t n) const noexcept {
+    if (s == 0) return;
+    const std::size_t log_s = tables_->log[s];
+    for (std::size_t q = 0; q < n; ++q) {
+      if (b[q] != 0) dst[q] ^= tables_->exp[log_s + tables_->log[b[q]]];
     }
   }
 
