@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Build the test/bench dependencies (googletest + google benchmark) from
+# source into the prefix given as $1. Ubuntu's libgtest-dev ships sources
+# only and there is no libbenchmark-dev on all runner images, so CI builds
+# pinned releases once and caches the prefix (see ci.yml).
+set -euo pipefail
+
+PREFIX=${1:?usage: install_deps.sh PREFIX}
+GTEST_VERSION=${GTEST_VERSION:-1.14.0}
+BENCHMARK_VERSION=${BENCHMARK_VERSION:-1.8.3}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+curl -fsSL -o "$work/gtest.tar.gz" \
+  "https://github.com/google/googletest/archive/refs/tags/v${GTEST_VERSION}.tar.gz"
+tar -C "$work" -xzf "$work/gtest.tar.gz"
+cmake -S "$work/googletest-${GTEST_VERSION}" -B "$work/gtest-build" \
+  -DCMAKE_BUILD_TYPE=Release -DCMAKE_INSTALL_PREFIX="$PREFIX" \
+  -DBUILD_GMOCK=OFF
+cmake --build "$work/gtest-build" -j "$(nproc)"
+cmake --install "$work/gtest-build"
+
+curl -fsSL -o "$work/benchmark.tar.gz" \
+  "https://github.com/google/benchmark/archive/refs/tags/v${BENCHMARK_VERSION}.tar.gz"
+tar -C "$work" -xzf "$work/benchmark.tar.gz"
+cmake -S "$work/benchmark-${BENCHMARK_VERSION}" -B "$work/benchmark-build" \
+  -DCMAKE_BUILD_TYPE=Release -DCMAKE_INSTALL_PREFIX="$PREFIX" \
+  -DBENCHMARK_ENABLE_TESTING=OFF -DBENCHMARK_ENABLE_GTEST_TESTS=OFF
+cmake --build "$work/benchmark-build" -j "$(nproc)"
+cmake --install "$work/benchmark-build"

@@ -34,6 +34,7 @@ struct Row {
   double bitsliced_ns;  // ns per (iteration x vertex), bit-sliced kernel
   double speedup;
   bool exact;  // round accumulators matched bit-for-bit
+  const char* auto_kernel;  // what --kernel=auto resolves to for this field
 };
 
 template <typename F>
@@ -68,7 +69,8 @@ Row run_pair(const midas::graph::Graph& g, const std::string& name, int bits,
   const double s = time_kernel(g, opt, f, &ts);
   opt.kernel = core::Kernel::kBitsliced;
   const double b = time_kernel(g, opt, f, &tb);
-  return {name, bits, k, s, b, s / b, ts == tb};
+  return {name,  bits, k, s, b, s / b, ts == tb,
+          core::kernel_name(f, core::Kernel::kAuto)};
 }
 
 void write_json(const std::string& path, midas::graph::VertexId n,
@@ -88,9 +90,10 @@ void write_json(const std::string& path, midas::graph::VertexId n,
     std::fprintf(out,
                  "    {\"field\": \"%s\", \"bits\": %d, \"k\": %d, "
                  "\"scalar_ns\": %.4f, \"bitsliced_ns\": %.4f, "
-                 "\"speedup\": %.2f, \"bit_exact\": %s}%s\n",
+                 "\"speedup\": %.2f, \"bit_exact\": %s, "
+                 "\"auto_kernel\": \"%s\"}%s\n",
                  r.field.c_str(), r.bits, r.k, r.scalar_ns, r.bitsliced_ns,
-                 r.speedup, r.exact ? "true" : "false",
+                 r.speedup, r.exact ? "true" : "false", r.auto_kernel,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -111,6 +114,9 @@ int main(int argc, char** argv) {
   bench::print_figure_header(
       "Bit-sliced kernel speedup",
       "scalar vs 64-lane bit-sliced k-path inner loop");
+  std::printf("auto kernel: GFSmall(7) -> %s (l=7), GF256 -> %s (l=8)\n\n",
+              core::kernel_name(gf::GFSmall(7), core::Kernel::kAuto),
+              core::kernel_name(gf::GF256{}, core::Kernel::kAuto));
   const auto ds = bench::make_dataset("random", n, seed);
 
   std::vector<Row> rows;

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const auto res = core::detect_kpath_seq(ds.graph, opt, field);
     const double bound =
         static_cast<double>(k) / std::pow(2.0, bits);  // k / |F|
-    table.add_row({name, Table::cell(std::int64_t{bytes}),
+    table.add_row({name, Table::cell(static_cast<std::int64_t>(bytes)),
                    Table::cell(bound, 3), Table::cell(t.elapsed_ms(), 5),
                    res.found ? "yes" : "no"});
   };

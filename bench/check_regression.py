@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Kernel-speedup regression gate for CI (warn-only by default in ci.yml).
+
+Runs bench_bitsliced_kernels at a toy-but-meaningful size, then checks the
+acceptance point the bit-sliced tentpole was merged on — the k = 12 row of
+GFSmall(7), i.e. the paper's l = 3 + ceil(log2 k) width for k = 12 — against
+two gates:
+
+  1. absolute: measured speedup must stay >= --min-speedup (default 5.0,
+     the PR 3 acceptance threshold);
+  2. relative: every (field, k) row present in the committed baseline
+     BENCH_kernels.json must keep bit_exact == true.
+
+The absolute gate deliberately sits far below the committed baseline
+(~11x): CI runners are noisy shared machines, and this check exists to
+catch "the bit-sliced path stopped being used / got 3x slower", not 10%
+jitter. Exit status: 0 = pass, 1 = regression, 2 = could not run/parse.
+
+Usage:
+  python3 bench/check_regression.py --bench=build/bench/bench_bitsliced_kernels \
+      [--baseline=BENCH_kernels.json] [--n=96] [--kmax=12] [--min-speedup=5.0]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True,
+                    help="path to the bench_bitsliced_kernels binary")
+    ap.add_argument("--baseline",
+                    default=os.path.join(os.path.dirname(__file__), os.pardir,
+                                         "BENCH_kernels.json"))
+    ap.add_argument("--n", type=int, default=96)
+    ap.add_argument("--kmax", type=int, default=12)
+    ap.add_argument("--min-speedup", type=float, default=5.0)
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read baseline: {e}", file=sys.stderr)
+        return 2
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "kernels.json")
+        cmd = [args.bench, f"--n={args.n}", f"--kmax={args.kmax}",
+               f"--json={out}"]
+        try:
+            subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL,
+                           timeout=600)
+        except (OSError, subprocess.SubprocessError) as e:
+            print(f"check_regression: bench failed: {e}", file=sys.stderr)
+            return 2
+        try:
+            with open(out, encoding="utf-8") as fh:
+                measured = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_regression: cannot parse bench output: {e}",
+                  file=sys.stderr)
+            return 2
+
+    rows = {(r["field"], r["k"]): r for r in measured["results"]}
+
+    failures = []
+
+    # Gate 1: the acceptance point must keep its >= min-speedup margin.
+    gate = rows.get(("GFSmall(7)", 12))
+    if gate is None:
+        print("check_regression: no GFSmall(7) k=12 row in bench output "
+              f"(--kmax={args.kmax} too small?)", file=sys.stderr)
+        return 2
+    print(f"acceptance point GFSmall(7) k=12: speedup {gate['speedup']:.2f}x "
+          f"(gate >= {args.min_speedup}x, committed baseline "
+          f"{next((b['speedup'] for b in baseline['results'] if b['field'] == 'GFSmall(7)' and b['k'] == 12), '?')}x)")
+    if gate["speedup"] < args.min_speedup:
+        failures.append(
+            f"speedup {gate['speedup']:.2f}x < gate {args.min_speedup}x")
+
+    # Gate 2: every row in the baseline that we re-measured must still be
+    # bit-exact — a speedup that costs correctness is a regression.
+    for b in baseline["results"]:
+        m = rows.get((b["field"], b["k"]))
+        if m is None:
+            continue  # baseline was generated with a larger --kmax
+        if not m["bit_exact"]:
+            failures.append(f"{b['field']} k={b['k']}: kernels no longer "
+                            "bit-identical")
+
+    if failures:
+        for f in failures:
+            print(f"check_regression: REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("check_regression: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

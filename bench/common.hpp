@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/detect_seq.hpp"
 #include "graph/csr.hpp"
 #include "runtime/cost_model.hpp"
 #include "graph/generators.hpp"
@@ -71,6 +72,19 @@ inline runtime::CostModel scaled_model(const Dataset& ds, const Args& args) {
 
 inline void print_figure_header(const char* figure, const char* what) {
   std::printf("\n=== %s — %s ===\n", figure, what);
+  std::printf("(scaled-down reproduction; see DESIGN.md section 2 for the "
+              "dataset substitutions and EXPERIMENTS.md for the "
+              "paper-vs-measured discussion)\n\n");
+}
+
+/// Same header, plus a line naming the kernel the (field, request) pair
+/// resolves to and the effective field width l — so a saved bench log is
+/// self-describing about what was actually measured.
+template <gf::GaloisField F>
+inline void print_figure_header(const char* figure, const char* what,
+                                const F& f, core::Kernel kernel) {
+  std::printf("\n=== %s — %s ===\n", figure, what);
+  std::printf("kernel=%s l=%d\n", core::kernel_name(f, kernel), f.bits());
   std::printf("(scaled-down reproduction; see DESIGN.md section 2 for the "
               "dataset substitutions and EXPERIMENTS.md for the "
               "paper-vs-measured discussion)\n\n");

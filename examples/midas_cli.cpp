@@ -40,6 +40,13 @@
 //                            the fastest replica by more than T modeled ms
 //   --speculate              with --deadline-ms: re-execute a straggling
 //                            group's phases on the fast replicas
+//
+// Observability (all commands; see docs/OBSERVABILITY.md):
+//   --trace-out=FILE         write a Chrome-tracing JSON timeline (load in
+//                            Perfetto / chrome://tracing; one lane per rank)
+//   --metrics-out=FILE       dump the metrics registry (counters, gauges,
+//                            histograms); ".txt" suffix = flat text,
+//                            anything else = JSON
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -143,9 +150,11 @@ int run_path(const Args& args) {
   const auto g = load_graph(args, rng);
   const int k = static_cast<int>(args.get_int("k", 8));
   const int ranks = static_cast<int>(args.get_int("ranks", 1));
-  std::printf("graph: n=%u m=%llu   query: %d-path\n", g.num_vertices(),
-              static_cast<unsigned long long>(g.num_edges()), k);
   gf::GF256 f;
+  std::printf("graph: n=%u m=%llu   query: %d-path   kernel=%s l=%d\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), k,
+              core::kernel_name(f, kernel_option(args)), f.bits());
   Timer t;
   bool found = false;
   if (ranks > 1) {
@@ -244,17 +253,18 @@ int run_tree(const Args& args) {
       static_cast<graph::VertexId>(k));
   else tmpl = graph::random_tree(static_cast<graph::VertexId>(k), rng);
   core::TreeDecomposition td(tmpl, 0);
+  gf::GF256 f;
   std::printf("graph: n=%u m=%llu   query: %s tree template on %d "
-              "vertices (%d subtemplates)\n",
+              "vertices (%d subtemplates)   kernel=%s l=%d\n",
               g.num_vertices(),
               static_cast<unsigned long long>(g.num_edges()),
-              shape.c_str(), k, td.count());
+              shape.c_str(), k, td.count(),
+              core::kernel_name(f, kernel_option(args)), f.bits());
   core::DetectOptions opt;
   opt.k = k;
   opt.epsilon = args.get_double("epsilon", 1e-4);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   opt.kernel = kernel_option(args);
-  gf::GF256 f;
   Timer t;
   const auto res = core::detect_ktree_seq(g, td, opt, f);
   std::printf("answer: %s   (%.0f ms)\n", res.found ? "YES" : "no",
@@ -311,6 +321,13 @@ int run_scan(const Args& args) {
   opt.epsilon = args.get_double("epsilon", 1e-4);
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   opt.kernel = kernel_option(args);
+  const gf::GF256 f;  // the field optimize_scan_seq runs over
+  std::printf("graph: n=%u m=%llu   query: %s scan, |S|<=%d   kernel=%s "
+              "l=%d\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()),
+              scan::to_string(problem.statistic).c_str(), k,
+              core::kernel_name(f, opt.kernel), f.bits());
   Timer t;
   const auto best = scan::optimize_scan_seq(g, problem, opt);
   std::printf("best %s score: %.4f at |S|=%d, weight %u   (%.0f ms)\n",
@@ -338,16 +355,40 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = args.positional()[0];
+  // Arm tracing before dispatch so the whole command lands in one session;
+  // run_spmd sees an already-armed tracer and leaves export to us.
+  midas::runtime::TraceOptions topt;
+  topt.trace_path = args.get("trace-out", "");
+  topt.metrics_path = args.get("metrics-out", "");
+  topt.enabled = !topt.trace_path.empty() || !topt.metrics_path.empty();
+  if (topt.enabled) midas::runtime::tracer().enable();
+  int rc = 2;
   try {
-    if (cmd == "path") return run_path(args);
-    if (cmd == "dipath") return run_dipath(args);
-    if (cmd == "tree") return run_tree(args);
-    if (cmd == "maxweight") return run_maxweight(args);
-    if (cmd == "scan") return run_scan(args);
+    if (cmd == "path") rc = run_path(args);
+    else if (cmd == "dipath") rc = run_dipath(args);
+    else if (cmd == "tree") rc = run_tree(args);
+    else if (cmd == "maxweight") rc = run_maxweight(args);
+    else if (cmd == "scan") rc = run_scan(args);
+    else {
+      std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+      return 2;
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-  return 2;
+  if (topt.enabled) {
+    auto& tr = midas::runtime::tracer();
+    tr.disable();
+    if (!topt.trace_path.empty()) {
+      tr.write_chrome_json(topt.trace_path);
+      std::printf("trace: %zu event(s) -> %s\n", tr.event_count(),
+                  topt.trace_path.c_str());
+    }
+    if (!topt.metrics_path.empty()) {
+      tr.write_metrics(topt.metrics_path);
+      std::printf("metrics: -> %s\n", topt.metrics_path.c_str());
+    }
+  }
+  return rc;
 }

@@ -245,6 +245,7 @@ void take_snapshot(runtime::Comm& world, CheckpointSession& cs,
                    const std::vector<std::uint64_t>& rng_state,
                    const std::vector<std::vector<std::uint8_t>>& accum_stage,
                    DriverStateFn&& driver_state) {
+  MIDAS_TRACE_SPAN("checkpoint.snapshot", {"next_round", next_round});
   world.snapshot_sync([&] {
     cs.staged_ok = false;
     if (!world.failed_world_ranks().empty()) return;
@@ -279,6 +280,7 @@ template <typename V>
 void halo_exchange(runtime::Comm& comm, const partition::PartView& view,
                    const std::vector<V>& local_vals,
                    std::vector<V>& ghost_vals, std::size_t batch) {
+  MIDAS_TRACE_SPAN("engine.halo_exchange");
   const int p = comm.size();
   std::vector<std::vector<std::byte>> send(static_cast<std::size_t>(p));
   for (int t = 0; t < p; ++t) {
@@ -291,6 +293,9 @@ void halo_exchange(runtime::Comm& comm, const partition::PartView& view,
       std::memcpy(out, local_vals.data() + li * batch, batch * sizeof(V));
       out += batch * sizeof(V);
     }
+    MIDAS_TRACE_COUNT("halo.messages", 1);
+    MIDAS_TRACE_COUNT("halo.bytes", buf.size());
+    MIDAS_TRACE_OBSERVE("halo.message_bytes", buf.size());
   }
   auto recv = comm.alltoallv(send);
   for (int t = 0; t < p; ++t) {
@@ -612,16 +617,25 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
     };
 
     auto compute_phase = [&](std::uint64_t phase, V& total) {
+      MIDAS_TRACE_SPAN(bitsliced ? "engine.phase.bitsliced"
+                                 : "engine.phase.scalar",
+                       {"phase", static_cast<std::int64_t>(phase)});
+      [[maybe_unused]] const double vt0 = world.vclock();
       if constexpr (gf::Bitsliceable<F>) {
         if (bitsliced) {
           compute_phase_bs(*bse, phase, total);
+          MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                              (world.vclock() - vt0) * 1e9);
           return;
         }
       }
       compute_phase_scalar(phase, total);
+      MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                          (world.vclock() - vt0) * 1e9);
     };
 
     for (int round = start_round; round < opt.rounds(); ++round) {
+      MIDAS_TRACE_SPAN("engine.round", {"round", round});
       for (std::uint32_t li = 0; li < nl; ++li) {
         const graph::VertexId gid = view.vertices[li];
         v[li] = v_vector(opt.seed, round, gid, k);
@@ -666,6 +680,8 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         }
         const std::uint64_t waves = sched.batches();
         for (std::uint64_t w = w0; w < waves; ++w) {
+          MIDAS_TRACE_SPAN("engine.wave",
+                           {"wave", static_cast<std::int64_t>(w)});
           const std::uint64_t phase =
               static_cast<std::uint64_t>(group_color) + w * sched.groups();
           if (phase < sched.phases()) compute_phase(phase, total);
@@ -725,6 +741,11 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         }
         slow_groups =
             world.straggling_groups(opt.n1, sopt.watchdog.deadline_s);
+        if (!slow_groups.empty())
+          MIDAS_TRACE_INSTANT(
+              "watchdog.straggler_vote",
+              {"slow_groups",
+               static_cast<std::int64_t>(slow_groups.size())});
         // A straggler stops speculating on its own phases; whether its
         // probe contribution survives is decided uniformly in the vote
         // loop (it does only when no fast group is left to take over).
@@ -774,6 +795,11 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         if (reduced_valid && hr.lo == agreed) break;  // stable: accept
         agreed = hr.lo;
         agreed_failed = std::move(failed);
+        MIDAS_TRACE_INSTANT(
+            "failover.vote",
+            {"round", round},
+            {"failed", static_cast<std::int64_t>(agreed_failed.size())});
+        MIDAS_TRACE_COUNT("failover.votes", 1);
 
         std::vector<int> dead_groups, intact_groups;
         for (int g = 0; g < sched.groups(); ++g) {
@@ -832,6 +858,12 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
           std::set_symmetric_difference(want.begin(), want.end(),
                                         have.begin(), have.end(),
                                         std::back_inserter(delta));
+          if (!delta.empty()) {
+            MIDAS_TRACE_INSTANT(
+                "failover.redo",
+                {"phases", static_cast<std::int64_t>(delta.size())});
+            MIDAS_TRACE_COUNT("failover.phases_redone", delta.size());
+          }
           try {
             // XOR self-inverse: phases entering `want` are added, phases
             // leaving it are cancelled — both by the same computation.
@@ -1219,16 +1251,25 @@ MidasResult midas_ktree(const graph::Graph& g,
     };
 
     auto run_phase = [&](int round, std::uint64_t phase, V& total) {
+      MIDAS_TRACE_SPAN(bitsliced ? "engine.phase.bitsliced"
+                                 : "engine.phase.scalar",
+                       {"phase", static_cast<std::int64_t>(phase)});
+      [[maybe_unused]] const double vt0 = world.vclock();
       if constexpr (gf::Bitsliceable<F>) {
         if (bitsliced) {
           run_phase_bs(*bse, round, phase, total);
+          MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                              (world.vclock() - vt0) * 1e9);
           return;
         }
       }
       run_phase_scalar(round, phase, total);
+      MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                          (world.vclock() - vt0) * 1e9);
     };
 
     for (int round = start_round; round < opt.rounds(); ++round) {
+      MIDAS_TRACE_SPAN("engine.round", {"round", round});
       for (std::uint32_t li = 0; li < nl; ++li)
         v[li] = v_vector(opt.seed, round, view.vertices[li], k);
       V total = f.zero();
@@ -1686,16 +1727,25 @@ MidasScanResult midas_scan(const graph::Graph& g,
         };
 
         auto run_phase = [&](int round, std::uint64_t phase) {
+          MIDAS_TRACE_SPAN(bitsliced ? "engine.phase.bitsliced"
+                                     : "engine.phase.scalar",
+                           {"phase", static_cast<std::int64_t>(phase)});
+          [[maybe_unused]] const double vt0 = world.vclock();
           if constexpr (gf::Bitsliceable<F>) {
             if (bitsliced) {
               run_phase_bs(*bse, round, phase);
+              MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                                  (world.vclock() - vt0) * 1e9);
               return;
             }
           }
           run_phase_scalar(round, phase);
+          MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                              (world.vclock() - vt0) * 1e9);
         };
 
         for (int round = start_round; round < opt.rounds(); ++round) {
+          MIDAS_TRACE_SPAN("engine.round", {"round", round});
           for (std::uint32_t li = 0; li < nl; ++li)
             v[li] = v_vector(opt.seed, round, view.vertices[li], k);
           std::fill(accum.begin(), accum.end(), f.zero());
@@ -1838,12 +1888,16 @@ MidasWeightedResult midas_weighted_kpath(
         std::vector<V> accum(width);
 
         for (int round = start_round; round < opt.rounds(); ++round) {
+          MIDAS_TRACE_SPAN("engine.round", {"round", round});
           for (std::uint32_t li = 0; li < nl; ++li)
             v[li] = v_vector(opt.seed, round, view.vertices[li], k);
           std::fill(accum.begin(), accum.end(), f.zero());
 
           for (std::uint64_t phase = group_color; phase < sched.phases();
                phase += sched.groups()) {
+            // The weighted driver is scalar-only (par_use_bitsliced).
+            MIDAS_TRACE_SPAN("engine.phase.scalar",
+                             {"phase", static_cast<std::int64_t>(phase)});
             const auto [q0, q1] = sched.phase_range(phase);
             const std::size_t batch = q1 - q0;
             const std::size_t stride =

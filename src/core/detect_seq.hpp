@@ -38,6 +38,7 @@
 #include "gf/bitsliced.hpp"
 #include "gf/field.hpp"
 #include "graph/csr.hpp"
+#include "runtime/trace.hpp"
 #include "util/require.hpp"
 
 namespace midas::core {
@@ -109,6 +110,7 @@ DetectResult kpath_scalar(const graph::Graph& g, const DetectOptions& opt,
   std::vector<V> r(static_cast<std::size_t>(k) * n);
 
   for (int round = 0; round < opt.rounds(); ++round) {
+    MIDAS_TRACE_SPAN("seq.round", {"round", round});
     for (graph::VertexId i = 0; i < n; ++i) {
       v[i] = v_vector(opt.seed, round, i, k);
       for (int j = 1; j <= k; ++j)
@@ -177,6 +179,7 @@ DetectResult kpath_bitsliced(const graph::Graph& g, const DetectOptions& opt,
   std::vector<BS::Matrix> mats(static_cast<std::size_t>(k - 1) * n);
 
   for (int round = 0; round < opt.rounds(); ++round) {
+    MIDAS_TRACE_SPAN("seq.round", {"round", round});
     for (graph::VertexId i = 0; i < n; ++i) {
       v[i] = v_vector(opt.seed, round, i, k);
       r0[i] = field_coeff(f, opt.seed, round, i, 1);
@@ -234,6 +237,13 @@ DetectResult kpath_bitsliced(const graph::Graph& g, const DetectOptions& opt,
 
 }  // namespace detail_seq
 
+/// Human-readable name of the kernel a (field, request) pair resolves to —
+/// what the CLI and bench headers print to make outputs self-describing.
+template <gf::GaloisField F>
+[[nodiscard]] inline const char* kernel_name(const F& f, Kernel kernel) {
+  return detail_seq::use_bitsliced(f, kernel) ? "bitsliced" : "scalar";
+}
+
 /// Decide whether `g` contains a simple path on exactly k vertices.
 template <gf::GaloisField F>
 DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
@@ -248,7 +258,10 @@ DetectResult detect_kpath_seq(const graph::Graph& g, const DetectOptions& opt,
     res.found_round = 0;
     return res;
   }
-  if (detail_seq::use_bitsliced(f, opt.kernel)) {
+  const bool bitsliced = detail_seq::use_bitsliced(f, opt.kernel);
+  MIDAS_TRACE_SPAN(bitsliced ? "seq.kpath.bitsliced" : "seq.kpath.scalar",
+                   {"k", k});
+  if (bitsliced) {
     if constexpr (gf::Bitsliceable<F>)
       return detail_seq::kpath_bitsliced(g, opt, f);
   }
@@ -276,6 +289,7 @@ DetectResult ktree_scalar(const graph::Graph& g, const TreeDecomposition& td,
   std::vector<std::vector<V>> vals(subs.size(), std::vector<V>(n));
 
   for (int round = 0; round < opt.rounds(); ++round) {
+    MIDAS_TRACE_SPAN("seq.round", {"round", round});
     for (graph::VertexId i = 0; i < n; ++i)
       v[i] = v_vector(opt.seed, round, i, k);
     V total = f.zero();
@@ -350,6 +364,7 @@ DetectResult ktree_bitsliced(const graph::Graph& g,
   std::vector<std::vector<V>> leafc(subs.size());
 
   for (int round = 0; round < opt.rounds(); ++round) {
+    MIDAS_TRACE_SPAN("seq.round", {"round", round});
     for (graph::VertexId i = 0; i < n; ++i)
       v[i] = v_vector(opt.seed, round, i, k);
     for (std::size_t s = 0; s < subs.size(); ++s) {
@@ -424,7 +439,10 @@ DetectResult detect_ktree_seq(const graph::Graph& g,
   const graph::VertexId n = g.num_vertices();
   DetectResult res;
   if (n == 0) return res;
-  if (detail_seq::use_bitsliced(f, opt.kernel)) {
+  const bool bitsliced = detail_seq::use_bitsliced(f, opt.kernel);
+  MIDAS_TRACE_SPAN(bitsliced ? "seq.ktree.bitsliced" : "seq.ktree.scalar",
+                   {"k", k});
+  if (bitsliced) {
     if constexpr (gf::Bitsliceable<F>)
       return detail_seq::ktree_bitsliced(g, td, opt, f);
   }
@@ -488,6 +506,7 @@ void scan_scalar(const graph::Graph& g,
                                     std::vector<V>(width, f.zero()));
 
   for (int round = 0; round < opt.rounds(); ++round) {
+    MIDAS_TRACE_SPAN("seq.round", {"round", round});
     for (graph::VertexId i = 0; i < n; ++i)
       v[i] = v_vector(opt.seed, round, i, k);
     for (auto& a : accum) std::fill(a.begin(), a.end(), f.zero());
@@ -587,6 +606,7 @@ void scan_bitsliced(const graph::Graph& g,
                                     std::vector<V>(width, f.zero()));
 
   for (int round = 0; round < opt.rounds(); ++round) {
+    MIDAS_TRACE_SPAN("seq.round", {"round", round});
     for (graph::VertexId i = 0; i < n; ++i) {
       v[i] = v_vector(opt.seed, round, i, k);
       c1[i] = field_coeff(f, opt.seed, round, i, 1);
@@ -697,7 +717,10 @@ FeasibilityTable detect_scan_seq(const graph::Graph& g,
                         std::vector<bool>(wmax + 1, false));
   if (n == 0) return table;
 
-  if (detail_seq::use_bitsliced(f, opt.kernel)) {
+  const bool bitsliced = detail_seq::use_bitsliced(f, opt.kernel);
+  MIDAS_TRACE_SPAN(bitsliced ? "seq.scan.bitsliced" : "seq.scan.scalar",
+                   {"k", k});
+  if (bitsliced) {
     if constexpr (gf::Bitsliceable<F>) {
       detail_seq::scan_bitsliced(g, weights, opt, f, table);
       return table;

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <type_traits>
 
+#include "runtime/trace.hpp"
 #include "util/require.hpp"
 
 namespace midas::runtime {
@@ -231,8 +232,12 @@ std::vector<std::string> CheckpointStore::snapshots() const {
 }
 
 std::string CheckpointStore::write(const RoundCheckpoint& ck) {
+  MIDAS_TRACE_SPAN("checkpoint.write",
+                   {"next_round", static_cast<std::int64_t>(ck.next_round)});
   const std::vector<std::uint8_t> payload = serialize(ck);
   const std::uint32_t crc = crc32(payload);
+  MIDAS_TRACE_COUNT("checkpoint.snapshots", 1);
+  MIDAS_TRACE_COUNT("checkpoint.bytes_written", payload.size());
 
   char name[64];
   std::snprintf(name, sizeof(name), "ckpt-%012llu",
@@ -274,6 +279,8 @@ std::string CheckpointStore::write(const RoundCheckpoint& ck) {
 }
 
 RoundCheckpoint CheckpointStore::load_file(const std::string& path) {
+  MIDAS_TRACE_SPAN("checkpoint.load");
+  MIDAS_TRACE_COUNT("checkpoint.loads", 1);
   std::ifstream f(path, std::ios::binary);
   if (!f) throw CheckpointError("cannot open " + path);
   std::array<char, 8> magic{};

@@ -328,6 +328,10 @@ void Group::complete_generation(const std::function<void()>& completion,
           auto& st = world_->stats(world_rank_of(r));
           st.stragglers_flagged++;
           st.t_straggle += lag - wd;
+          MIDAS_TRACE_INSTANT_ON(
+              world_rank_of(r), "watchdog.straggler",
+              {"lag_ns", static_cast<std::int64_t>((lag - wd) * 1e9)});
+          MIDAS_TRACE_COUNT("watchdog.stragglers_flagged", 1);
         }
       }
     }
@@ -477,6 +481,8 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
   st.t_comm += world_->model().message_cost(data.size());
   st.messages_sent++;
   st.bytes_sent += data.size();
+  MIDAS_TRACE_COUNT("comm.messages_sent", 1);
+  MIDAS_TRACE_COUNT("comm.bytes_sent", data.size());
 
   Message msg{std::vector<std::byte>(data.begin(), data.end()),
               {},
@@ -522,6 +528,7 @@ void Comm::send(int dest, int tag, std::span<const std::byte> data) {
 
 std::vector<std::byte> Comm::recv(int src, int tag) {
   MIDAS_REQUIRE(src >= 0 && src < size(), "recv: bad source rank");
+  MIDAS_TRACE_SPAN("comm.recv", {"src", src});
   fault_event();
   auto& box = group_->boxes_[static_cast<std::size_t>(rank_)];
   const int src_wr = group_->world_rank_of(src);
@@ -565,10 +572,12 @@ std::vector<std::byte> Comm::recv(int src, int tag) {
   }
   st.messages_received++;
   st.bytes_received += msg.data.size();
+  MIDAS_TRACE_COUNT("comm.bytes_received", msg.data.size());
   return std::move(msg.data);
 }
 
 void Comm::barrier() {
+  MIDAS_TRACE_SPAN("comm.barrier");
   fault_event();
   world_->stats(world_rank_).barriers++;
   group_->barrier_sync(rank_, fail_policy_);
@@ -577,6 +586,9 @@ void Comm::barrier() {
 void Comm::allreduce_raw(
     void* data, std::size_t elem_size, std::size_t count,
     const std::function<void(void*, const void*)>& combine) {
+  MIDAS_TRACE_SPAN("comm.allreduce",
+                   {"bytes", static_cast<std::int64_t>(elem_size * count)});
+  MIDAS_TRACE_COUNT("comm.allreduce_bytes", elem_size * count);
   fault_event();
   const std::size_t bytes = elem_size * count;
   world_->stats(world_rank_).allreduces++;
@@ -611,6 +623,8 @@ void Comm::reduce_raw(
     int root, void* data, std::size_t elem_size, std::size_t count,
     const std::function<void(void*, const void*)>& combine) {
   MIDAS_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
+  MIDAS_TRACE_SPAN("comm.reduce",
+                   {"bytes", static_cast<std::int64_t>(elem_size * count)});
   fault_event();
   const std::size_t bytes = elem_size * count;
   world_->stats(world_rank_).allreduces++;
@@ -647,6 +661,7 @@ std::vector<std::byte> Comm::scatter(
   if (rank_ == root)
     MIDAS_REQUIRE(static_cast<int>(chunks.size()) == size(),
                   "scatter: root must provide one chunk per rank");
+  MIDAS_TRACE_SPAN("comm.scatter");
   fault_event();
   group_->publish_list(rank_, rank_ == root ? chunks
                                             : std::vector<std::vector<std::byte>>{});
@@ -700,6 +715,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
     const std::vector<std::vector<std::byte>>& send) {
   MIDAS_REQUIRE(static_cast<int>(send.size()) == size(),
                 "alltoallv: send vector arity != communicator size");
+  MIDAS_TRACE_SPAN("comm.alltoallv");
   fault_event();
   auto& st = world_->stats(world_rank_);
   const auto& model = world_->model();
@@ -712,6 +728,9 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
     send_time += model.message_cost(send[static_cast<std::size_t>(d)].size());
     st.messages_sent++;
     st.bytes_sent += send[static_cast<std::size_t>(d)].size();
+    MIDAS_TRACE_COUNT("comm.messages_sent", 1);
+    MIDAS_TRACE_COUNT("comm.bytes_sent",
+                      send[static_cast<std::size_t>(d)].size());
   }
 
   group_->publish_list(rank_, send);
@@ -745,7 +764,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
           if (fate.corruptions > 0) {
             // Materialize the bit flip and prove the checksum catches it;
             // the retransmitted clean copy is what lands in `out`.
-            const std::uint64_t sum =
+            [[maybe_unused]] const std::uint64_t sum =
                 fnv1a(std::span<const std::byte>(payload));
             std::vector<std::byte> wire = payload;
             flip_one_bit(wire, world_->injector().plan().seed ^ fault_key ^
@@ -759,6 +778,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
       recv_time += model.message_cost(payload.size());
       st.messages_received++;
       st.bytes_received += payload.size();
+      MIDAS_TRACE_COUNT("comm.bytes_received", payload.size());
     }
     out[static_cast<std::size_t>(s)] = payload;
   }
@@ -772,6 +792,7 @@ std::vector<std::vector<std::byte>> Comm::alltoallv(
 std::vector<std::vector<std::byte>> Comm::gather(
     int root, std::span<const std::byte> data) {
   MIDAS_REQUIRE(root >= 0 && root < size(), "gather: bad root");
+  MIDAS_TRACE_SPAN("comm.gather");
   fault_event();
   auto& st = world_->stats(world_rank_);
   const auto& model = world_->model();
@@ -806,6 +827,8 @@ std::vector<std::vector<std::byte>> Comm::gather(
 
 void Comm::bcast(int root, std::span<std::byte> data) {
   MIDAS_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
+  MIDAS_TRACE_SPAN("comm.bcast",
+                   {"bytes", static_cast<std::int64_t>(data.size())});
   fault_event();
   group_->publish(rank_, rank_ == root ? data.data() : nullptr,
                   rank_ == root ? data.size() : 0);
@@ -829,6 +852,7 @@ void Comm::bcast(int root, std::span<std::byte> data) {
 }
 
 Comm Comm::split(int color, int key) {
+  MIDAS_TRACE_SPAN("comm.split", {"color", color});
   fault_event();
   group_->publish_split(rank_, color, key);
   Group* g = group_.get();
@@ -872,6 +896,7 @@ Comm Comm::split(int color, int key) {
 }
 
 void Comm::charge_compute(std::uint64_t ops) {
+  MIDAS_TRACE_COUNT("gf.ops", ops);
   world_->clock(world_rank_) += world_->model().compute_cost(ops);
   world_->stats(world_rank_).compute_ops += ops;
   world_->stats(world_rank_).t_compute += world_->model().compute_cost(ops);
@@ -885,6 +910,7 @@ void Comm::charge_memory(std::uint64_t bytes, std::uint64_t working_set) {
 }
 
 void Comm::snapshot_sync(const std::function<void()>& fn) {
+  MIDAS_TRACE_SPAN("comm.snapshot_sync");
   // Deliberately no fault_event() and no charging: a snapshot rendezvous
   // must be invisible to both the virtual clocks and the (event, vclock)-
   // keyed fault schedule, or checkpointed runs would diverge from
@@ -953,6 +979,12 @@ SpmdResult run_spmd(int nranks, const CostModel& model,
                     const SpmdOptions& opts,
                     const std::function<void(Comm&)>& body) {
   MIDAS_REQUIRE(nranks >= 1, "run_spmd requires at least one rank");
+  // Arm the global tracer for the duration of the run (unless a caller —
+  // e.g. the CLI — already armed it; then leave its session running).
+  Tracer& tr = tracer();
+  const bool armed_here = opts.trace.enabled && !tr.enabled();
+  if (armed_here) tr.enable();
+  if (tr.enabled()) tr.metrics().gauge("spmd.ranks").set(nranks);
   World world(nranks, model, opts);
   std::vector<int> members(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) members[static_cast<std::size_t>(r)] = r;
@@ -970,10 +1002,13 @@ SpmdResult run_spmd(int nranks, const CostModel& model,
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      MIDAS_TRACE_SET_LANE(r);
       Comm& comm = comms[static_cast<std::size_t>(r)];
       try {
+        MIDAS_TRACE_SPAN("spmd.rank");
         body(comm);
       } catch (...) {
+        MIDAS_TRACE_INSTANT("spmd.rank_failed");
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         // Record the death first so peers blocked on this rank wake up and
         // observe it (RankFailedError / shrink) instead of hanging, then —
@@ -1034,6 +1069,11 @@ SpmdResult run_spmd(int nranks, const CostModel& model,
   for (double c : result.vclocks)
     result.makespan = std::max(result.makespan, c);
   for (const auto& s : result.stats) result.total += s;
+  if (armed_here) tr.disable();
+  if (!opts.trace.trace_path.empty())
+    tr.write_chrome_json(opts.trace.trace_path);
+  if (!opts.trace.metrics_path.empty())
+    tr.write_metrics(opts.trace.metrics_path);
   return result;
 }
 

@@ -32,6 +32,7 @@
 
 #include "runtime/cost_model.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/trace.hpp"
 
 namespace midas::runtime {
 
@@ -86,6 +87,7 @@ struct SpmdOptions {
   double timeout_s = 30.0;  // wall-clock guard on supervised blocking ops
   WatchdogOptions watchdog{};  // straggler deadline / speculation
   SpmdResume resume{};         // checkpointed world state to restore
+  TraceOptions trace{};        // observability (docs/OBSERVABILITY.md)
 };
 
 /// A rank's handle on a communicator (world or split sub-group).

@@ -1,0 +1,390 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace midas::runtime {
+
+namespace {
+
+// Lane binding and buffer cache are plain thread_locals: a worker spawned
+// by run_spmd binds its rank once, and every record() appends to a buffer
+// the tracer co-owns (shared_ptr), so buffers outlive their threads.
+thread_local std::int32_t t_lane = -1;
+
+struct LocalBufCache {
+  std::shared_ptr<void> buf;  // type-erased; real type lives in Tracer
+  std::uint64_t generation = 0;
+};
+thread_local LocalBufCache t_cache;
+
+void json_escape_into(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw std::runtime_error("trace: cannot open " + path + " for writing");
+  const std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  if (n != body.size())
+    throw std::runtime_error("trace: short write to " + path);
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+void MetricsRegistry::Histogram::observe(std::uint64_t sample) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  std::uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (sample > cur &&
+         !max_.compare_exchange_weak(cur, sample, std::memory_order_relaxed))
+    ;
+  const int b = std::bit_width(sample);  // 0 for 0, else floor(log2) + 1
+  buckets_[static_cast<std::size_t>(b)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_[std::string(name)];
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_[std::string(name)];
+}
+
+MetricsRegistry::Histogram& MetricsRegistry::histogram(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(m_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_[std::string(name)];
+}
+
+void MetricsRegistry::reset() noexcept {
+  std::lock_guard<std::mutex> lock(m_);
+  for (auto& [name, c] : counters_)
+    c.v_.store(0, std::memory_order_relaxed);
+  for (auto& [name, g] : gauges_) g.v_.store(0, std::memory_order_relaxed);
+  for (auto& [name, h] : histograms_) {
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_.store(0, std::memory_order_relaxed);
+    h.max_.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets_) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.max = h.max();
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+      hs.buckets[static_cast<std::size_t>(b)] = h.bucket(b);
+    s.histograms[name] = hs;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer& tracer() noexcept {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_lane(std::int32_t lane) noexcept { t_lane = lane; }
+
+std::int32_t Tracer::lane() noexcept { return t_lane; }
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (t_cache.buf == nullptr || t_cache.generation != gen) {
+    auto buf = std::make_shared<ThreadBuf>();
+    {
+      std::lock_guard<std::mutex> lock(bufs_m_);
+      bufs_.push_back(buf);
+    }
+    t_cache.buf = buf;
+    t_cache.generation = gen;
+  }
+  return *static_cast<ThreadBuf*>(t_cache.buf.get());
+}
+
+void Tracer::record(const char* name, TraceEventType type, TraceArg a,
+                    TraceArg b) {
+  record_on_lane(t_lane, name, type, a, b);
+}
+
+void Tracer::record_on_lane(std::int32_t lane, const char* name,
+                            TraceEventType type, TraceArg a, TraceArg b) {
+  ThreadBuf& buf = local_buf();
+  if (buf.ev.size() >= kMaxEventsPerThread) {
+    metrics_.counter("trace.events_dropped").add(1);
+    return;
+  }
+  buf.ev.push_back(TraceEvent{name, type, lane, now_ns(), a, b});
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(bufs_m_);
+  bufs_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
+  metrics_.reset();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(bufs_m_);
+    std::size_t total = 0;
+    for (const auto& b : bufs_) total += b->ev.size();
+    all.reserve(total);
+    for (const auto& b : bufs_)
+      all.insert(all.end(), b->ev.begin(), b->ev.end());
+  }
+  // Stable: equal timestamps keep their per-buffer order, so begin/end
+  // pairs recorded back-to-back by one thread never invert.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return x.ts_ns < y.ts_ns;
+                   });
+  return all;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(bufs_m_);
+  std::size_t total = 0;
+  for (const auto& b : bufs_) total += b->ev.size();
+  return total;
+}
+
+std::string Tracer::chrome_json() const {
+  const std::vector<TraceEvent> ev = events();
+
+  // One metadata lane per distinct tid. The host/control lane (-1) maps to
+  // tid 0 and world rank r to tid r + 1, so Perfetto's tid sort shows the
+  // host on top and ranks in order underneath.
+  std::vector<std::int32_t> lanes;
+  for (const TraceEvent& e : ev) lanes.push_back(e.lane);
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+
+  std::string out;
+  out.reserve(128 + ev.size() * 96);
+  out += "{\"traceEvents\":[\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+      "\"args\":{\"name\":\"midas\"}}";
+  for (const std::int32_t lane : lanes) {
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    append_i64(out, lane + 1);
+    out += ",\"args\":{\"name\":\"";
+    if (lane < 0) {
+      out += "host";
+    } else {
+      out += "rank ";
+      append_i64(out, lane);
+    }
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& e : ev) {
+    out += ",\n{\"name\":\"";
+    json_escape_into(out, e.name);
+    out += "\",\"cat\":\"midas\",\"ph\":\"";
+    switch (e.type) {
+      case TraceEventType::kBegin:
+        out += 'B';
+        break;
+      case TraceEventType::kEnd:
+        out += 'E';
+        break;
+      case TraceEventType::kInstant:
+        out += 'i';
+        break;
+    }
+    out += "\",\"pid\":0,\"tid\":";
+    append_i64(out, e.lane + 1);
+    out += ",\"ts\":";
+    // Trace-format timestamps are microseconds; keep ns resolution.
+    append_u64(out, e.ts_ns / 1000);
+    out += '.';
+    out += static_cast<char>('0' + (e.ts_ns / 100) % 10);
+    out += static_cast<char>('0' + (e.ts_ns / 10) % 10);
+    out += static_cast<char>('0' + e.ts_ns % 10);
+    if (e.type == TraceEventType::kInstant) out += ",\"s\":\"t\"";
+    if (e.a.key != nullptr || e.b.key != nullptr) {
+      out += ",\"args\":{";
+      bool first = true;
+      for (const TraceArg* arg : {&e.a, &e.b}) {
+        if (arg->key == nullptr) continue;
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        json_escape_into(out, arg->key);
+        out += "\":";
+        append_i64(out, arg->value);
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string Tracer::metrics_json() const {
+  const MetricsRegistry::Snapshot s = metrics_.snapshot();
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": ";
+    append_u64(out, v);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": ";
+    append_i64(out, v);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    json_escape_into(out, name);
+    out += "\": {\"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_u64(out, h.sum);
+    out += ", \"max\": ";
+    append_u64(out, h.max);
+    out += ", \"buckets\": [";
+    // Trailing zero buckets are elided; the bucket index is still the
+    // sample's bit_width, so consumers can reconstruct ranges.
+    int last = MetricsRegistry::Histogram::kBuckets - 1;
+    while (last > 0 && h.buckets[static_cast<std::size_t>(last)] == 0)
+      --last;
+    for (int b = 0; b <= last; ++b) {
+      if (b > 0) out += ", ";
+      append_u64(out, h.buckets[static_cast<std::size_t>(b)]);
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string Tracer::metrics_text() const {
+  const MetricsRegistry::Snapshot s = metrics_.snapshot();
+  std::string out;
+  for (const auto& [name, v] : s.counters) {
+    out += name;
+    out += ' ';
+    append_u64(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, v] : s.gauges) {
+    out += name;
+    out += ' ';
+    append_i64(out, v);
+    out += '\n';
+  }
+  for (const auto& [name, h] : s.histograms) {
+    out += name;
+    out += " count=";
+    append_u64(out, h.count);
+    out += " sum=";
+    append_u64(out, h.sum);
+    out += " max=";
+    append_u64(out, h.max);
+    out += '\n';
+  }
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  write_text_file(path, chrome_json());
+}
+
+void Tracer::write_metrics(const std::string& path) const {
+  const bool text =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".txt") == 0;
+  write_text_file(path, text ? metrics_text() : metrics_json());
+}
+
+}  // namespace midas::runtime

@@ -1,0 +1,505 @@
+// Observability layer: metrics registry semantics, span buffers, lane
+// attribution, run_spmd integration, exporter well-formedness, and trace
+// stability under fault injection (docs/OBSERVABILITY.md).
+//
+// The exporter tests parse the emitted Chrome-tracing / metrics JSON back
+// with a small in-test JSON parser, so "well-formed" means machine-checked
+// structure, not substring spotting.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "graph/generators.hpp"
+#include "partition/partition.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/trace.hpp"
+#include "util/rng.hpp"
+
+namespace midas::runtime {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser (objects, arrays, strings, numbers, bools, null) —
+// just enough to round-trip the exporters' output.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  [[nodiscard]] const Json& at(const std::string& key) const {
+    static const Json null_json{};
+    const auto it = obj.find(key);
+    return it == obj.end() ? null_json : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(Json* out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+      ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool string_lit(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) return false;
+            pos_ += 4;  // decoded value irrelevant for these tests
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      out->push_back(c);
+    }
+    return pos_ < s_.size() && s_[pos_++] == '"';
+  }
+  bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = Json::Kind::kObject;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == '}') return ++pos_, true;
+      while (true) {
+        std::string key;
+        Json v;
+        if (!string_lit(&key) || !consume(':') || !value(&v)) return false;
+        out->obj.emplace(std::move(key), std::move(v));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = Json::Kind::kArray;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ']') return ++pos_, true;
+      while (true) {
+        Json v;
+        if (!value(&v)) return false;
+        out->arr.push_back(std::move(v));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = Json::Kind::kString;
+      return string_lit(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = Json::Kind::kBool;
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = Json::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) return pos_ += 4, true;
+    // number
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) return false;
+    out->kind = Json::Kind::kNumber;
+    out->num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Fixture: every test starts and ends with a disarmed, empty tracer.
+// ---------------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().disable();
+    tracer().reset();
+  }
+  void TearDown() override {
+    tracer().disable();
+    tracer().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, CounterHandleSurvivesReset) {
+  auto& c = tracer().metrics().counter("t.counter");
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+  tracer().reset();
+  EXPECT_EQ(c.value(), 0u) << "reset zeroes in place";
+  c.add(2);  // the old handle must still be the live node
+  EXPECT_EQ(tracer().metrics().counter("t.counter").value(), 2u);
+}
+
+TEST_F(TraceTest, HistogramBucketsAreLog2) {
+  auto& h = tracer().metrics().histogram("t.hist");
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bit_width 1
+  h.observe(5);    // bit_width 3: [4, 8)
+  h.observe(7);    // bit_width 3
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 13u);
+  EXPECT_EQ(h.max(), 7u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST_F(TraceTest, GaugeStoresLastValue) {
+  auto& g = tracer().metrics().gauge("t.gauge");
+  g.set(42);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+// ---------------------------------------------------------------------------
+// Span/event recording
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  MIDAS_TRACE_SPAN("t.span");
+  MIDAS_TRACE_INSTANT("t.instant");
+  MIDAS_TRACE_COUNT("t.disabled_count", 5);
+  EXPECT_EQ(tracer().event_count(), 0u);
+  EXPECT_EQ(tracer().metrics().counter("t.disabled_count").value(), 0u)
+      << "counter macros are gated on the armed flag too";
+}
+
+TEST_F(TraceTest, SpansNestInRecordOrder) {
+  tracer().enable();
+  {
+    MIDAS_TRACE_SPAN("t.outer", {"round", 3});
+    {
+      MIDAS_TRACE_SPAN("t.inner");
+      MIDAS_TRACE_INSTANT("t.tick");
+    }
+  }
+  tracer().disable();
+  const auto ev = tracer().events();
+  ASSERT_EQ(ev.size(), 5u);
+  EXPECT_STREQ(ev[0].name, "t.outer");
+  EXPECT_EQ(ev[0].type, TraceEventType::kBegin);
+  EXPECT_STREQ(ev[0].a.key, "round");
+  EXPECT_EQ(ev[0].a.value, 3);
+  EXPECT_STREQ(ev[1].name, "t.inner");
+  EXPECT_EQ(ev[1].type, TraceEventType::kBegin);
+  EXPECT_STREQ(ev[2].name, "t.tick");
+  EXPECT_EQ(ev[2].type, TraceEventType::kInstant);
+  EXPECT_STREQ(ev[3].name, "t.inner");
+  EXPECT_EQ(ev[3].type, TraceEventType::kEnd);
+  EXPECT_STREQ(ev[4].name, "t.outer");
+  EXPECT_EQ(ev[4].type, TraceEventType::kEnd);
+  for (const auto& e : ev)
+    EXPECT_EQ(e.lane, -1) << "unbound thread records on the host lane";
+}
+
+TEST_F(TraceTest, InstantOnAttributesToExplicitLane) {
+  tracer().enable();
+  MIDAS_TRACE_INSTANT_ON(5, "t.remote", {"lag_ns", 123});
+  tracer().disable();
+  const auto ev = tracer().events();
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_EQ(ev[0].lane, 5);
+  EXPECT_EQ(ev[0].a.value, 123);
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndKeepsRecordingUsable) {
+  tracer().enable();
+  MIDAS_TRACE_INSTANT("t.one");
+  tracer().disable();
+  EXPECT_EQ(tracer().event_count(), 1u);
+  tracer().reset();
+  EXPECT_EQ(tracer().event_count(), 0u);
+  tracer().enable();
+  MIDAS_TRACE_INSTANT("t.two");
+  tracer().disable();
+  ASSERT_EQ(tracer().event_count(), 1u);
+  EXPECT_STREQ(tracer().events()[0].name, "t.two");
+}
+
+// ---------------------------------------------------------------------------
+// run_spmd integration
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, RunSpmdAggregatesAcrossRanksAndLanes) {
+  SpmdOptions opts;
+  opts.trace.enabled = true;
+  const auto res = run_spmd(4, CostModel{}, opts, [](Comm& c) {
+    MIDAS_TRACE_COUNT("t.rank_visits", 1);
+    std::uint64_t x = static_cast<std::uint64_t>(c.rank());
+    c.allreduce_sum({&x, 1});
+  });
+  EXPECT_TRUE(res.completed());
+  EXPECT_FALSE(tracer().enabled()) << "run_spmd disarms its own session";
+  EXPECT_EQ(tracer().metrics().counter("t.rank_visits").value(), 4u);
+  EXPECT_GT(tracer().metrics().counter("comm.allreduce_bytes").value(), 0u);
+  EXPECT_EQ(tracer().metrics().gauge("spmd.ranks").value(), 4);
+
+  std::vector<bool> lane_seen(4, false);
+  for (const auto& e : tracer().events())
+    if (std::string_view(e.name) == "spmd.rank" &&
+        e.type == TraceEventType::kBegin)
+      lane_seen[static_cast<std::size_t>(e.lane)] = true;
+  for (int r = 0; r < 4; ++r)
+    EXPECT_TRUE(lane_seen[static_cast<std::size_t>(r)])
+        << "rank " << r << " has no spmd.rank span";
+}
+
+TEST_F(TraceTest, PreArmedTracerSurvivesRunSpmd) {
+  tracer().enable();  // as the CLI does before dispatch
+  SpmdOptions opts;   // trace.enabled deliberately false
+  (void)run_spmd(2, CostModel{}, opts, [](Comm& c) { c.barrier(); });
+  EXPECT_TRUE(tracer().enabled())
+      << "a session armed by the caller is the caller's to close";
+  EXPECT_GT(tracer().event_count(), 0u);
+  tracer().disable();
+}
+
+TEST_F(TraceTest, RunSpmdExportsWhenPathsSet) {
+  const auto dir = std::filesystem::temp_directory_path() / "midas_trace_t";
+  std::filesystem::create_directories(dir);
+  SpmdOptions opts;
+  opts.trace.enabled = true;
+  opts.trace.trace_path = (dir / "t.json").string();
+  opts.trace.metrics_path = (dir / "m.json").string();
+  (void)run_spmd(2, CostModel{}, opts, [](Comm& c) { c.barrier(); });
+
+  std::ifstream tf(opts.trace.trace_path), mf(opts.trace.metrics_path);
+  ASSERT_TRUE(tf.good());
+  ASSERT_TRUE(mf.good());
+  std::stringstream tbuf, mbuf;
+  tbuf << tf.rdbuf();
+  mbuf << mf.rdbuf();
+  Json t, m;
+  EXPECT_TRUE(JsonParser(tbuf.str()).parse(&t));
+  EXPECT_TRUE(JsonParser(mbuf.str()).parse(&m));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST_F(TraceTest, ChromeJsonRoundTripsWithLanesAndNesting) {
+  SpmdOptions opts;
+  opts.trace.enabled = true;
+  (void)run_spmd(3, CostModel{}, opts, [](Comm& c) {
+    MIDAS_TRACE_SPAN("t.work", {"rank", c.rank()});
+    c.barrier();
+  });
+
+  Json root;
+  ASSERT_TRUE(JsonParser(tracer().chrome_json()).parse(&root));
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.kind, Json::Kind::kArray);
+  ASSERT_FALSE(events.arr.empty());
+
+  int thread_names = 0;
+  std::map<double, std::vector<std::string>> stacks;  // tid -> open spans
+  for (const Json& e : events.arr) {
+    const std::string& ph = e.at("ph").str;
+    if (ph == "M") {
+      if (e.at("name").str == "thread_name") ++thread_names;
+      continue;
+    }
+    ASSERT_TRUE(ph == "B" || ph == "E" || ph == "i") << "ph=" << ph;
+    EXPECT_EQ(e.at("cat").str, "midas");
+    EXPECT_EQ(e.at("pid").num, 0.0);
+    if (ph == "B") {
+      stacks[e.at("tid").num].push_back(e.at("name").str);
+    } else if (ph == "E") {
+      auto& st = stacks[e.at("tid").num];
+      ASSERT_FALSE(st.empty()) << "E without matching B";
+      EXPECT_EQ(st.back(), e.at("name").str) << "spans must nest per lane";
+      st.pop_back();
+    }
+  }
+  EXPECT_EQ(thread_names, 3) << "one thread_name metadata row per rank lane";
+  for (const auto& [tid, st] : stacks)
+    EXPECT_TRUE(st.empty()) << "unclosed span on tid " << tid;
+}
+
+TEST_F(TraceTest, MetricsJsonRoundTrips) {
+  tracer().enable();
+  MIDAS_TRACE_COUNT("t.bytes", 1024);
+  MIDAS_TRACE_OBSERVE("t.sizes", 100);
+  MIDAS_TRACE_OBSERVE("t.sizes", 3);
+  tracer().metrics().gauge("t.width").set(-7);
+  tracer().disable();
+
+  Json root;
+  ASSERT_TRUE(JsonParser(tracer().metrics_json()).parse(&root));
+  EXPECT_EQ(root.at("counters").at("t.bytes").num, 1024.0);
+  EXPECT_EQ(root.at("gauges").at("t.width").num, -7.0);
+  const Json& h = root.at("histograms").at("t.sizes");
+  EXPECT_EQ(h.at("count").num, 2.0);
+  EXPECT_EQ(h.at("sum").num, 103.0);
+  EXPECT_EQ(h.at("max").num, 100.0);
+}
+
+TEST_F(TraceTest, MetricsTextIsFlatNameValue) {
+  tracer().enable();
+  MIDAS_TRACE_COUNT("t.flat", 3);
+  tracer().disable();
+  const std::string text = tracer().metrics_text();
+  EXPECT_NE(text.find("t.flat 3"), std::string::npos) << text;
+}
+
+TEST_F(TraceTest, JsonStringsAreEscaped) {
+  tracer().enable();
+  tracer().metrics().counter("t.quote\"and\\slash").add(1);
+  tracer().disable();
+  Json root;
+  ASSERT_TRUE(JsonParser(tracer().metrics_json()).parse(&root))
+      << "metric names with JSON metacharacters must be escaped";
+  EXPECT_EQ(root.at("counters").at("t.quote\"and\\slash").num, 1.0);
+}
+
+}  // namespace
+}  // namespace midas::runtime
+
+// ---------------------------------------------------------------------------
+// Engine-level: trace stability under fault injection
+// ---------------------------------------------------------------------------
+
+namespace midas::core {
+namespace {
+
+using runtime::TraceEventType;
+using runtime::tracer;
+
+class EngineTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tracer().disable();
+    tracer().reset();
+  }
+  void TearDown() override {
+    tracer().disable();
+    tracer().reset();
+  }
+};
+
+TEST_F(EngineTraceTest, KpathRunEmitsEngineSpansAndGfOps) {
+  Xoshiro256 rng(2024);
+  const auto g = graph::erdos_renyi_gnp(24, 0.25, rng);
+  const auto part = partition::block_partition(g, 2);
+  MidasOptions opt;
+  opt.k = 4;
+  opt.epsilon = 0.05;
+  opt.seed = 77;
+  opt.n_ranks = 8;
+  opt.n1 = 2;
+  opt.n2 = 4;
+  opt.spmd.trace.enabled = true;
+  const gf::GF256 f;
+  (void)midas_kpath(g, part, opt, f);
+
+  bool round = false, phase = false, wave = false;
+  for (const auto& e : tracer().events()) {
+    const std::string_view n(e.name);
+    round = round || n == "engine.round";
+    phase = phase || n.starts_with("engine.phase.");
+    wave = wave || n == "engine.wave";
+  }
+  EXPECT_TRUE(round);
+  EXPECT_TRUE(phase);
+  EXPECT_TRUE(wave);
+  EXPECT_GT(tracer().metrics().counter("gf.ops").value(), 0u);
+  EXPECT_GT(tracer().metrics().counter("halo.messages").value(), 0u);
+}
+
+TEST_F(EngineTraceTest, FailoverRunKeepsAnswerAndEmitsVoteEvents) {
+  Xoshiro256 rng(2024);
+  const auto g = graph::erdos_renyi_gnp(24, 0.25, rng);
+  const auto part = partition::block_partition(g, 2);
+  MidasOptions base;
+  base.k = 4;
+  base.epsilon = 0.05;
+  base.seed = 77;
+  base.n_ranks = 8;
+  base.n1 = 2;
+  base.n2 = 4;
+  base.max_rounds = 4;
+  base.early_exit = false;
+  const gf::GF256 f;
+  const auto clean = midas_kpath(g, part, base, f);
+  tracer().reset();
+
+  MidasOptions faulty = base;
+  faulty.spmd.faults.kill_at_event(2, 9).kill_at_event(3, 14);
+  faulty.spmd.trace.enabled = true;
+  const auto res = midas_kpath(g, part, faulty, f);
+  EXPECT_EQ(res.found, clean.found) << "tracing must not perturb failover";
+
+  bool rank_failed = false, vote = false;
+  for (const auto& e : tracer().events()) {
+    const std::string_view n(e.name);
+    rank_failed = rank_failed || n == "spmd.rank_failed";
+    vote = vote || n == "failover.vote";
+  }
+  EXPECT_TRUE(rank_failed) << "killed ranks must leave a trace event";
+  EXPECT_TRUE(vote) << "failover votes must appear as instant events";
+  EXPECT_GT(tracer().metrics().counter("failover.votes").value(), 0u);
+}
+
+}  // namespace
+}  // namespace midas::core
