@@ -1,0 +1,154 @@
+// Service throughput: queries/second and latency percentiles of the
+// batched DetectionService on a repeated-graph workload, versus worker
+// pool size and with the artifact cache on/off (PR 5 tentpole).
+//
+// The workload is the serving regime the service exists for: many k-path
+// queries (distinct seeds, so no dedup) against one graph. With the cache
+// off every query repartitions the graph and rebuilds the halo-schedule
+// views; with it on, only the first query pays — the cache-on/cache-off
+// q/s ratio is the amortization win and is reported per pool size.
+//
+//   ./bench_service_throughput [--n=4000] [--queries=64] [--k=4]
+//                              [--maxworkers=4] [--seed=1]
+//                              [--json=BENCH_service.json]
+//
+// The JSON file is the committed baseline at the repo root; regenerate it
+// from a quiet machine when the service or partitioner changes.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/query.hpp"
+#include "service/service.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace midas;
+
+struct Row {
+  int workers;
+  bool cache;
+  double qps;
+  double p50_ms;
+  double p99_ms;
+  std::uint64_t builds;
+  std::uint64_t hits;
+};
+
+Row run_config(const graph::Graph& g, int workers, bool cache, int queries,
+               int k, std::uint64_t seed) {
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.queue_capacity = static_cast<std::size_t>(queries);
+  opt.cache_enabled = cache;
+  service::DetectionService svc(opt);
+  svc.add_graph("g", g);
+
+  service::QuerySpec q;
+  q.type = service::QueryType::kPath;
+  q.graph = "g";
+  q.k = k;
+  q.max_rounds = 1;  // setup-dominated: the regime caching targets
+  q.n_ranks = 2;
+  q.n1 = 2;
+  q.n2 = 8;
+
+  // Warm-up query (first-touch page faults, cache priming when enabled)
+  // outside the timed window.
+  q.seed = seed;
+  (void)svc.submit(q).get();
+
+  std::vector<std::shared_future<service::QueryResult>> futs;
+  futs.reserve(static_cast<std::size_t>(queries));
+  Timer t;
+  for (int i = 0; i < queries; ++i) {
+    q.seed = seed + 1 + static_cast<std::uint64_t>(i);  // no dedup
+    futs.push_back(svc.submit(q));
+  }
+  svc.drain();
+  const double wall = t.elapsed_s();
+
+  std::vector<double> lat;
+  lat.reserve(futs.size());
+  for (auto& f : futs) lat.push_back(f.get().total_s);
+  const auto cs = svc.cache().stats();
+  return {workers,
+          cache,
+          static_cast<double>(queries) / wall,
+          percentile(lat, 50.0) * 1e3,
+          percentile(lat, 99.0) * 1e3,
+          cs.builds,
+          cs.hits};
+}
+
+void write_json(const std::string& path, graph::VertexId n, int queries,
+                int k, const std::vector<Row>& rows) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"service_throughput\",\n"
+               "  \"unit\": \"queries per second\",\n"
+               "  \"n\": %u,\n  \"queries\": %d,\n  \"k\": %d,\n"
+               "  \"results\": [\n",
+               n, queries, k);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"workers\": %d, \"cache\": %s, \"qps\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"builds\": %llu, "
+                 "\"hits\": %llu}%s\n",
+                 r.workers, r.cache ? "true" : "false", r.qps, r.p50_ms,
+                 r.p99_ms, static_cast<unsigned long long>(r.builds),
+                 static_cast<unsigned long long>(r.hits),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("baseline -> %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 4000));
+  const int queries = static_cast<int>(args.get_int("queries", 64));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const int maxworkers = static_cast<int>(args.get_int("maxworkers", 4));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  Xoshiro256 rng(seed);
+  const graph::Graph g = graph::erdos_renyi_gnm(
+      n, static_cast<graph::EdgeId>(4) * n, rng);
+  std::printf("service throughput: n=%u m=%llu, %d queries, k=%d\n",
+              g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()), queries, k);
+
+  std::vector<Row> rows;
+  Table t({"workers", "cache", "q/s", "p50 ms", "p99 ms", "builds",
+           "speedup"});
+  for (int w = 1; w <= maxworkers; w *= 2) {
+    const Row off = run_config(g, w, false, queries, k, seed);
+    const Row on = run_config(g, w, true, queries, k, seed);
+    rows.push_back(off);
+    rows.push_back(on);
+    t.add_row({Table::cell(w), "off", Table::cell(off.qps, 4),
+               Table::cell(off.p50_ms, 3), Table::cell(off.p99_ms, 3),
+               Table::cell(off.builds), ""});
+    t.add_row({Table::cell(w), "on", Table::cell(on.qps, 4),
+               Table::cell(on.p50_ms, 3), Table::cell(on.p99_ms, 3),
+               Table::cell(on.builds), Table::cell(on.qps / off.qps, 3)});
+  }
+  t.print("cache-on speedup is q/s(on) / q/s(off) at equal pool size");
+
+  if (args.has("json"))
+    write_json(args.get("json", ""), g.num_vertices(), queries, k, rows);
+  return 0;
+}

@@ -8,6 +8,11 @@
 //   midas_cli maxweight --k=6 --weights=FILE|random
 //   midas_cli scan      --k=5 --weights=FILE|random
 //                       [--stat=kulldorff|ebp|mean|bj] [--witness]
+//   midas_cli serve     --replay=WORKLOAD [--workers=W] [--queue=C]
+//                       [--cache=N|--no-cache]
+//                       replay a workload file through the batched
+//                       DetectionService and print the per-lane
+//                       latency/throughput report (docs/SERVICE.md)
 //
 // Common flags:
 //   --graph=FILE           edge list ("u v" per line); or
@@ -51,6 +56,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "midas.hpp"
@@ -344,13 +350,33 @@ int run_scan(const Args& args) {
   return 0;
 }
 
+int run_serve(const midas::Args& args) {
+  const std::string workload = args.get("replay", "");
+  if (workload.empty()) {
+    std::fprintf(stderr, "serve needs --replay=WORKLOAD\n");
+    return 2;
+  }
+  service::ReplayOptions opt;
+  opt.workers = static_cast<int>(args.get_int("workers", opt.workers));
+  opt.queue_capacity = static_cast<std::size_t>(
+      args.get_int("queue", static_cast<std::int64_t>(opt.queue_capacity)));
+  opt.cache_capacity = static_cast<std::size_t>(
+      args.get_int("cache", static_cast<std::int64_t>(opt.cache_capacity)));
+  opt.cache_enabled = !args.get_flag("no-cache");
+  const service::ReplayReport rep = service::run_replay(workload, opt);
+  std::ostringstream os;
+  service::print_report(os, rep);
+  std::fputs(os.str().c_str(), stdout);
+  return rep.interactive.failed + rep.batch.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const midas::Args args(argc, argv);
   if (args.positional().empty()) {
     std::printf(
-        "usage: midas_cli <path|dipath|tree|maxweight|scan> [flags]\n"
+        "usage: midas_cli <path|dipath|tree|maxweight|scan|serve> [flags]\n"
         "see the header comment of examples/midas_cli.cpp for flags\n");
     return 2;
   }
@@ -369,6 +395,7 @@ int main(int argc, char** argv) {
     else if (cmd == "tree") rc = run_tree(args);
     else if (cmd == "maxweight") rc = run_maxweight(args);
     else if (cmd == "scan") rc = run_scan(args);
+    else if (cmd == "serve") rc = run_serve(args);
     else {
       std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
       return 2;

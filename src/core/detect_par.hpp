@@ -59,6 +59,76 @@ struct CheckpointConfig {
   [[nodiscard]] bool enabled() const noexcept { return !dir.empty(); }
 };
 
+/// Precomputed per-(seed, k) randomness for the k-path engine: the Z2^k
+/// vectors v_i and per-level field coefficients r_{i,j} of every round,
+/// laid out exactly as the engine consumes them (one array per (round,
+/// part), level-major coefficients). The values are produced by the same
+/// v_vector/field_coeff hashes the engine would otherwise evaluate on the
+/// fly, so a run with tables is bit-identical to one without — the tables
+/// only trade memory for the per-round hashing, which is what lets a query
+/// service amortize them across repeated (graph, seed, k) workloads.
+/// Coefficients are stored widened to 64 bits so one table type serves
+/// every field; the engine narrows back to its value_type on load.
+struct RandTables {
+  std::uint64_t seed = 0;
+  int k = 0;
+  int rounds = 0;
+  int parts = 0;
+  /// v[round * parts + part][li] = v_vector(seed, round, gid(li), k).
+  std::vector<std::vector<std::uint32_t>> v;
+  /// coeff[round * parts + part][(j-1)*nl + li] = r_{gid(li), j}.
+  std::vector<std::vector<std::uint64_t>> coeff;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& v_of(int round,
+                                                       int part) const {
+    return v[static_cast<std::size_t>(round) *
+                 static_cast<std::size_t>(parts) +
+             static_cast<std::size_t>(part)];
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& coeff_of(int round,
+                                                           int part) const {
+    return coeff[static_cast<std::size_t>(round) *
+                     static_cast<std::size_t>(parts) +
+                 static_cast<std::size_t>(part)];
+  }
+};
+
+/// Build the randomness tables for `rounds` rounds of a k-path run over
+/// `views` (one entry per part) in field `f`.
+template <gf::GaloisField F>
+[[nodiscard]] RandTables build_rand_tables(
+    const std::vector<partition::PartView>& views, std::uint64_t seed, int k,
+    int rounds, const F& f) {
+  RandTables rt;
+  rt.seed = seed;
+  rt.k = k;
+  rt.rounds = rounds;
+  rt.parts = static_cast<int>(views.size());
+  const std::size_t slots =
+      static_cast<std::size_t>(rounds) * views.size();
+  rt.v.resize(slots);
+  rt.coeff.resize(slots);
+  for (int round = 0; round < rounds; ++round)
+    for (std::size_t p = 0; p < views.size(); ++p) {
+      const auto& view = views[p];
+      const std::uint32_t nl = view.num_local();
+      auto& vt = rt.v[static_cast<std::size_t>(round) * views.size() + p];
+      auto& ct =
+          rt.coeff[static_cast<std::size_t>(round) * views.size() + p];
+      vt.resize(nl);
+      ct.resize(static_cast<std::size_t>(k) * nl);
+      for (std::uint32_t li = 0; li < nl; ++li) {
+        const graph::VertexId gid = view.vertices[li];
+        vt[li] = v_vector(seed, round, gid, k);
+        for (int j = 1; j <= k; ++j)
+          ct[static_cast<std::size_t>(j - 1) * nl + li] =
+              static_cast<std::uint64_t>(field_coeff(
+                  f, seed, round, gid, static_cast<std::uint32_t>(j)));
+      }
+    }
+  return rt;
+}
+
 struct MidasOptions {
   int k = 4;
   double epsilon = 0.05;
@@ -84,6 +154,11 @@ struct MidasOptions {
   runtime::SpmdOptions spmd{};
   // Checkpoint/restart across *total* failures (docs/RESILIENCE.md).
   CheckpointConfig checkpoint{};
+  // Optional precomputed randomness (non-owning; caller keeps it alive for
+  // the duration of the run). Only the k-path engine consumes it; when set
+  // it must match (seed, k, parts) and cover rounds() rounds. Results are
+  // bit-identical with or without tables.
+  const RandTables* rand_tables = nullptr;
 
   [[nodiscard]] int rounds() const {
     return max_rounds > 0 ? max_rounds : rounds_for_epsilon(epsilon);
@@ -341,6 +416,14 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
   const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
+  if (opt.rand_tables != nullptr)
+    require_options(opt.rand_tables->seed == opt.seed &&
+                        opt.rand_tables->k == opt.k &&
+                        opt.rand_tables->parts ==
+                            static_cast<int>(views.size()) &&
+                        opt.rand_tables->rounds >= opt.rounds(),
+                    "rand_tables do not match this run's "
+                    "(seed, k, parts, rounds)");
 
   MidasResult result;
   Timer wall;
@@ -413,16 +496,13 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
     std::vector<std::uint64_t> bcur, bnext, bghost, blive;
     std::vector<V> cur_s, ghost_s;
     std::vector<gf::BitslicedGF::Matrix> mats;
-    std::vector<std::uint32_t> boundary;
+    // Boundary vertices (lane blocks serialized into halo payloads) are
+    // precomputed on the view, so a cached view costs no per-run setup.
+    const std::vector<std::uint32_t>& boundary = view.boundary;
     if constexpr (gf::Bitsliceable<F>) {
       if (bitsliced) {
         bse.emplace(f);
         mats.resize(static_cast<std::size_t>(k - 1) * nl);
-        for (const auto& list : view.send_to)
-          boundary.insert(boundary.end(), list.begin(), list.end());
-        std::sort(boundary.begin(), boundary.end());
-        boundary.erase(std::unique(boundary.begin(), boundary.end()),
-                       boundary.end());
       }
     }
 
@@ -636,12 +716,23 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
 
     for (int round = start_round; round < opt.rounds(); ++round) {
       MIDAS_TRACE_SPAN("engine.round", {"round", round});
-      for (std::uint32_t li = 0; li < nl; ++li) {
-        const graph::VertexId gid = view.vertices[li];
-        v[li] = v_vector(opt.seed, round, gid, k);
-        for (int j = 1; j <= k; ++j)
-          r[static_cast<std::size_t>(j - 1) * nl + li] = field_coeff(
-              f, opt.seed, round, gid, static_cast<std::uint32_t>(j));
+      if (opt.rand_tables != nullptr) {
+        // Cached randomness: same hash values, precomputed once per
+        // (seed, k) and shared across queries (see RandTables).
+        const int my_part = world.rank() % opt.n1;
+        const auto& vt = opt.rand_tables->v_of(round, my_part);
+        const auto& ct = opt.rand_tables->coeff_of(round, my_part);
+        std::copy(vt.begin(), vt.end(), v.begin());
+        for (std::size_t idx = 0; idx < r.size(); ++idx)
+          r[idx] = static_cast<V>(ct[idx]);
+      } else {
+        for (std::uint32_t li = 0; li < nl; ++li) {
+          const graph::VertexId gid = view.vertices[li];
+          v[li] = v_vector(opt.seed, round, gid, k);
+          for (int j = 1; j <= k; ++j)
+            r[static_cast<std::size_t>(j - 1) * nl + li] = field_coeff(
+                f, opt.seed, round, gid, static_cast<std::uint32_t>(j));
+        }
       }
       if constexpr (gf::Bitsliceable<F>) {
         // Level coefficients are fixed per round: build their multiply
@@ -941,6 +1032,18 @@ MidasResult midas_kpath(const graph::Graph& g,
   return detail::kpath_engine(partition::build_part_views(g, part), opt, f);
 }
 
+/// Distributed k-path detection over *pre-built* part views — the entry
+/// point for callers (the detection service, repeated-query sweeps) that
+/// amortize `build_part_views` across runs. Bit-identical to midas_kpath
+/// on the views built from the same (graph, partition).
+template <gf::GaloisField F>
+MidasResult midas_kpath_views(const std::vector<partition::PartView>& views,
+                              const MidasOptions& opt, const F& f = F{}) {
+  detail::require_options(static_cast<int>(views.size()) == opt.n1,
+                          "views must have N1 parts");
+  return detail::kpath_engine(views, opt, f);
+}
+
 /// Distributed *directed* k-path detection: the same engine over
 /// in-neighbor halo views (see partition::build_dipart_views).
 template <gf::GaloisField F>
@@ -957,15 +1060,15 @@ MidasResult midas_kpath_directed(const graph::DiGraph& g,
 // k-tree
 // ---------------------------------------------------------------------------
 
-/// Distributed k-tree detection for a template decomposition.
+/// Distributed k-tree detection over pre-built part views (the
+/// artifact-cached twin of midas_ktree; see midas_kpath_views).
 template <gf::GaloisField F>
-MidasResult midas_ktree(const graph::Graph& g,
-                        const partition::Partition& part,
-                        const TreeDecomposition& td, const MidasOptions& opt,
-                        const F& f = F{}) {
+MidasResult midas_ktree_views(const std::vector<partition::PartView>& views,
+                              const TreeDecomposition& td,
+                              const MidasOptions& opt, const F& f = F{}) {
   using V = typename F::value_type;
-  detail::require_options(part.parts == opt.n1,
-                          "partition must have N1 parts");
+  detail::require_options(static_cast<int>(views.size()) == opt.n1,
+                          "views must have N1 parts");
   detail::require_options(td.k() == opt.k, "template size must equal opt.k");
   detail::require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
                               opt.n_ranks % opt.n1 == 0,
@@ -975,7 +1078,6 @@ MidasResult midas_ktree(const graph::Graph& g,
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
   const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
-  const auto views = partition::build_part_views(g, part);
   const auto& subs = td.subtemplates();
 
   // Which subtemplates ever appear as a child2 (their values cross parts).
@@ -1051,17 +1153,12 @@ MidasResult midas_ktree(const graph::Graph& g,
     std::vector<std::vector<std::uint64_t>> bvals, bgh;
     std::vector<std::uint64_t> blive;
     std::vector<V> stage_out, stage_ghost;
-    std::vector<std::uint32_t> boundary;
+    const std::vector<std::uint32_t>& boundary = view.boundary;
     if constexpr (gf::Bitsliceable<F>) {
       if (bitsliced) {
         bse.emplace(f);
         bvals.resize(subs.size());
         bgh.resize(subs.size());
-        for (const auto& list : view.send_to)
-          boundary.insert(boundary.end(), list.begin(), list.end());
-        std::sort(boundary.begin(), boundary.end());
-        boundary.erase(std::unique(boundary.begin(), boundary.end()),
-                       boundary.end());
       }
     }
 
@@ -1311,6 +1408,17 @@ MidasResult midas_ktree(const graph::Graph& g,
   return result;
 }
 
+/// Distributed k-tree detection for a template decomposition.
+template <gf::GaloisField F>
+MidasResult midas_ktree(const graph::Graph& g,
+                        const partition::Partition& part,
+                        const TreeDecomposition& td, const MidasOptions& opt,
+                        const F& f = F{}) {
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
+  return midas_ktree_views(partition::build_part_views(g, part), td, opt, f);
+}
+
 // ---------------------------------------------------------------------------
 // Scan statistics
 // ---------------------------------------------------------------------------
@@ -1328,15 +1436,19 @@ struct MidasScanResult {
 /// parallel form of Algorithm 5. Messages carry the whole weight axis, so a
 /// phase ships (W+1) * N2 values per boundary vertex per size step.
 template <gf::GaloisField F>
-MidasScanResult midas_scan(const graph::Graph& g,
-                           const partition::Partition& part,
-                           const std::vector<std::uint32_t>& weights,
-                           const MidasOptions& opt, const F& f = F{}) {
+MidasScanResult midas_scan_views(
+    const std::vector<partition::PartView>& views,
+    const std::vector<std::uint32_t>& weights, const MidasOptions& opt,
+    const F& f = F{}) {
   using V = typename F::value_type;
-  detail::require_options(part.parts == opt.n1,
-                          "partition must have N1 parts");
-  detail::require_options(weights.size() == g.num_vertices(),
-                          "one weight per vertex required");
+  detail::require_options(static_cast<int>(views.size()) == opt.n1,
+                          "views must have N1 parts");
+  {
+    std::size_t total_local = 0;
+    for (const auto& view : views) total_local += view.num_local();
+    detail::require_options(weights.size() == total_local,
+                            "one weight per vertex required");
+  }
   detail::require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
                               opt.n_ranks % opt.n1 == 0,
                           "N1 must divide N (phase groups need N/N1 whole "
@@ -1345,7 +1457,6 @@ MidasScanResult midas_scan(const graph::Graph& g,
       make_schedule(opt.k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
   const int k = opt.k;
   const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
-  const auto views = partition::build_part_views(g, part);
 
   std::uint32_t wmax = 0;
   {
@@ -1425,16 +1536,9 @@ MidasScanResult midas_scan(const graph::Graph& g,
             static_cast<std::size_t>(k) + 1);
         std::vector<std::uint64_t> blive;
         std::vector<V> stage_out, stage_ghost;
-        std::vector<std::uint32_t> boundary;
+        const std::vector<std::uint32_t>& boundary = view.boundary;
         if constexpr (gf::Bitsliceable<F>) {
-          if (bitsliced) {
-            bse.emplace(f);
-            for (const auto& list : view.send_to)
-              boundary.insert(boundary.end(), list.begin(), list.end());
-            std::sort(boundary.begin(), boundary.end());
-            boundary.erase(std::unique(boundary.begin(), boundary.end()),
-                           boundary.end());
-          }
+          if (bitsliced) bse.emplace(f);
         }
 
         auto run_phase_scalar = [&](int round, std::uint64_t phase) {
@@ -1792,6 +1896,21 @@ MidasScanResult midas_scan(const graph::Graph& g,
                         z])
           result.table.feasible[static_cast<std::size_t>(j)][z] = true;
   return result;
+}
+
+/// Distributed scan feasibility over a (graph, partition) pair; builds the
+/// part views and delegates to midas_scan_views.
+template <gf::GaloisField F>
+MidasScanResult midas_scan(const graph::Graph& g,
+                           const partition::Partition& part,
+                           const std::vector<std::uint32_t>& weights,
+                           const MidasOptions& opt, const F& f = F{}) {
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
+  detail::require_options(weights.size() == g.num_vertices(),
+                          "one weight per vertex required");
+  return midas_scan_views(partition::build_part_views(g, part), weights, opt,
+                          f);
 }
 
 // ---------------------------------------------------------------------------

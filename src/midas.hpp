@@ -46,6 +46,12 @@
 #include "scan/scan_statistics.hpp"
 #include "scan/traffic_sim.hpp"
 
+// The batched multi-query detection service (docs/SERVICE.md).
+#include "service/artifact_cache.hpp"
+#include "service/query.hpp"
+#include "service/replay.hpp"
+#include "service/service.hpp"
+
 // Baselines (color coding, exact oracles).
 #include "baseline/brute_force.hpp"
 #include "baseline/color_coding.hpp"

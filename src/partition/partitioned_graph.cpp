@@ -13,6 +13,22 @@ std::uint64_t PartView::send_volume() const noexcept {
   return total;
 }
 
+namespace {
+
+// boundary = sorted unique union of the send lists.
+void build_boundaries(std::vector<PartView>& views) {
+  for (auto& view : views) {
+    auto& b = view.boundary;
+    b.clear();
+    for (const auto& list : view.send_to)
+      b.insert(b.end(), list.begin(), list.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+  }
+}
+
+}  // namespace
+
 std::vector<PartView> build_part_views(const graph::Graph& g,
                                        const Partition& p) {
   using graph::VertexId;
@@ -111,6 +127,7 @@ std::vector<PartView> build_part_views(const graph::Graph& g,
       }
     }
   }
+  build_boundaries(views);
   return views;
 }
 
@@ -210,6 +227,7 @@ std::vector<PartView> build_dipart_views(const graph::DiGraph& g,
       }
     }
   }
+  build_boundaries(views);
   return views;
 }
 

@@ -1,0 +1,119 @@
+#include "service/artifact_cache.hpp"
+
+#include <algorithm>
+
+#include "runtime/trace.hpp"
+
+namespace midas::service {
+
+std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key) {
+  std::unique_lock lock(m_);
+  for (;;) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      // Miss: claim the build slot so concurrent requesters park on cv_.
+      ++misses_;
+      MIDAS_TRACE_COUNT("service.cache.misses", 1);
+      Entry e;
+      e.building = true;
+      entries_.emplace(key, std::move(e));
+      return nullptr;
+    }
+    if (it->second.building) {
+      // Another thread is building this key: single-flight wait. If the
+      // build fails the entry disappears and the loop retries, making one
+      // waiter the new builder.
+      cv_.wait(lock);
+      continue;
+    }
+    ++hits_;
+    MIDAS_TRACE_COUNT("service.cache.hits", 1);
+    it->second.last_used = ++clock_;
+    return it->second.value;
+  }
+}
+
+void ArtifactCache::publish(const std::string& key,
+                            std::shared_ptr<const void> value) {
+  std::lock_guard lock(m_);
+  ++builds_;
+  MIDAS_TRACE_COUNT("service.cache.builds", 1);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = std::move(value);
+    it->second.building = false;
+    it->second.last_used = ++clock_;
+  }
+  // Evict ready entries past capacity, least recently used first. Entries
+  // mid-build are never evicted — their builder will publish into them.
+  while (true) {
+    std::size_t ready = 0;
+    auto victim = entries_.end();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (e->second.building) continue;
+      ++ready;
+      if (victim == entries_.end() ||
+          e->second.last_used < victim->second.last_used)
+        victim = e;
+    }
+    if (ready <= capacity_ || victim == entries_.end()) break;
+    entries_.erase(victim);
+    ++evictions_;
+    MIDAS_TRACE_COUNT("service.cache.evictions", 1);
+  }
+  cv_.notify_all();
+}
+
+void ArtifactCache::abandon(const std::string& key) noexcept {
+  std::lock_guard lock(m_);
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.building) entries_.erase(it);
+  cv_.notify_all();
+}
+
+void ArtifactCache::count_miss() noexcept {
+  std::lock_guard lock(m_);
+  ++misses_;
+  MIDAS_TRACE_COUNT("service.cache.misses", 1);
+}
+
+void ArtifactCache::count_build() noexcept {
+  std::lock_guard lock(m_);
+  ++builds_;
+  MIDAS_TRACE_COUNT("service.cache.builds", 1);
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard lock(m_);
+  return {hits_, misses_, builds_, evictions_};
+}
+
+std::vector<std::string> ArtifactCache::keys_lru() const {
+  std::lock_guard lock(m_);
+  std::vector<std::pair<std::uint64_t, std::string>> stamped;
+  stamped.reserve(entries_.size());
+  for (const auto& [key, e] : entries_)
+    if (!e.building) stamped.emplace_back(e.last_used, key);
+  std::sort(stamped.begin(), stamped.end());
+  std::vector<std::string> keys;
+  keys.reserve(stamped.size());
+  for (auto& [_, key] : stamped) keys.push_back(std::move(key));
+  return keys;
+}
+
+std::size_t ArtifactCache::size() const {
+  std::lock_guard lock(m_);
+  return entries_.size();
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard lock(m_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!it->second.building)
+      it = entries_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace midas::service

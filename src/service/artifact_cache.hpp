@@ -1,0 +1,108 @@
+// Single-flight LRU cache for per-graph detection artifacts
+// (docs/SERVICE.md).
+//
+// The service runs many queries against few graphs; the expensive shared
+// state — partitioned graph + halo schedule, per-(seed, k) randomness
+// tables — is built once per key and shared by reference. Two guarantees:
+//
+//  * Single-flight: N concurrent requests for an absent key run the
+//    builder exactly once; the other N-1 block until it is published (or
+//    the builder threw, in which case one of them retries the build).
+//  * LRU bounded: at most `capacity` entries are resident; inserting past
+//    that evicts the least-recently-used ready entry. Eviction only drops
+//    the cache's reference — queries already holding the shared_ptr keep
+//    using the artifact, and a later query for the same key rebuilds it
+//    bit-identically (the builders are pure functions of the key).
+//
+// Values are type-erased shared_ptr<const void>; the key string encodes
+// the artifact kind, so a key is always requested as the same type.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace midas::service {
+
+class ArtifactCache {
+ public:
+  /// `capacity` = max resident entries; 0, or enabled = false, disables
+  /// caching entirely (every get_or_build runs the builder, stores
+  /// nothing) — the ablation mode bench_service_throughput measures.
+  explicit ArtifactCache(std::size_t capacity, bool enabled = true)
+      : capacity_(capacity), enabled_(enabled && capacity > 0) {}
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  /// Look up `key`; on a miss, run `build` (a callable returning T) and
+  /// publish the result. Blocks while another thread builds the same key.
+  template <typename T, typename Build>
+  std::shared_ptr<const T> get_or_build(const std::string& key,
+                                        Build&& build) {
+    if (!enabled_) {
+      count_miss();
+      auto value = std::make_shared<const T>(build());
+      count_build();
+      return value;
+    }
+    if (auto hit = lookup(key))
+      return std::static_pointer_cast<const T>(hit);
+    // Missed and acquired the build slot: run the builder unlocked.
+    try {
+      auto value = std::make_shared<const T>(build());
+      publish(key, value);
+      return value;
+    } catch (...) {
+      abandon(key);
+      throw;
+    }
+  }
+
+  struct Stats {
+    std::uint64_t hits = 0;        // served from a resident entry
+    std::uint64_t misses = 0;      // not resident at request time
+    std::uint64_t builds = 0;      // builder invocations that completed
+    std::uint64_t evictions = 0;   // LRU entries dropped
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Resident keys, least-recently-used first (test introspection).
+  [[nodiscard]] std::vector<std::string> keys_lru() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop every resident entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const void> value;  // null while the builder runs
+    bool building = false;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Returns the value on a hit (waiting out a concurrent builder), or
+  /// null after registering the caller as the builder for `key`.
+  [[nodiscard]] std::shared_ptr<const void> lookup(const std::string& key);
+  void publish(const std::string& key, std::shared_ptr<const void> value);
+  void abandon(const std::string& key) noexcept;
+  void count_miss() noexcept;
+  void count_build() noexcept;
+
+  const std::size_t capacity_;
+  const bool enabled_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t clock_ = 0;  // LRU recency stamp
+  std::uint64_t hits_ = 0, misses_ = 0, builds_ = 0, evictions_ = 0;
+};
+
+}  // namespace midas::service

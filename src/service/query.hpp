@@ -1,0 +1,160 @@
+// Typed queries, results, and errors of the batched detection service
+// (docs/SERVICE.md).
+//
+// A QuerySpec is a self-contained description of one detection run — engine
+// (k-path / k-tree / scan), graph (by registered name), field width,
+// randomness seed, rank geometry — plus serving metadata (priority lane,
+// optional deadline). Everything that affects the *answer* feeds the
+// fingerprint; serving metadata deliberately does not, so two queries that
+// differ only in lane or deadline deduplicate onto one execution.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/detect_par.hpp"
+#include "core/detect_seq.hpp"
+#include "runtime/fault.hpp"
+
+namespace midas::service {
+
+/// Base of every service-layer failure, so callers can catch the family.
+class ServiceError : public std::runtime_error {
+ public:
+  explicit ServiceError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Admission rejected: the query's lane queue is full. The query was never
+/// enqueued; in-flight work is unaffected. Retry later or shed load.
+class ServiceOverloadError : public ServiceError {
+ public:
+  ServiceOverloadError(const std::string& lane, std::size_t depth)
+      : ServiceError("service overloaded: " + lane + " queue full (" +
+                     std::to_string(depth) + " queued)") {}
+};
+
+/// The query's deadline passed before a worker could start it. The future
+/// completes with this error; the worker pool keeps serving other queries.
+class DeadlineExceededError : public ServiceError {
+ public:
+  DeadlineExceededError()
+      : ServiceError("query deadline exceeded before execution started") {}
+};
+
+/// submit() referenced a graph name never passed to add_graph().
+class UnknownGraphError : public ServiceError {
+ public:
+  explicit UnknownGraphError(const std::string& name)
+      : ServiceError("unknown graph: " + name) {}
+};
+
+/// The service is shutting down; queued queries that will never run
+/// complete with this error.
+class ServiceShutdownError : public ServiceError {
+ public:
+  ServiceShutdownError()
+      : ServiceError("service shut down before the query ran") {}
+};
+
+enum class QueryType { kPath, kTree, kScan };
+enum class Lane { kInteractive, kBatch };
+
+[[nodiscard]] inline const char* to_string(QueryType t) noexcept {
+  switch (t) {
+    case QueryType::kPath: return "path";
+    case QueryType::kTree: return "tree";
+    case QueryType::kScan: return "scan";
+  }
+  return "?";
+}
+[[nodiscard]] inline const char* to_string(Lane l) noexcept {
+  return l == Lane::kInteractive ? "interactive" : "batch";
+}
+
+struct QuerySpec {
+  QueryType type = QueryType::kPath;
+  Lane lane = Lane::kBatch;
+  std::string graph;  // name registered via DetectionService::add_graph
+
+  // Detection parameters (core::MidasOptions analogs).
+  int k = 4;
+  int field_bits = 8;  // l: 8 runs GF(2^8), any other l in [2,16] GFSmall(l)
+  double epsilon = 0.05;
+  std::uint64_t seed = 1;
+  int max_rounds = 0;  // > 0 overrides the epsilon-derived round count
+  bool early_exit = true;
+  core::Kernel kernel = core::Kernel::kAuto;
+
+  // Rank geometry of the underlying SPMD run.
+  int n_ranks = 2;
+  int n1 = 2;
+  std::uint32_t n2 = 16;
+
+  // kTree only: the template as an edge list over vertices [0, k) plus the
+  // decomposition root.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> tree_edges;
+  std::uint32_t tree_root = 0;
+
+  // kScan only: one non-negative weight per graph vertex.
+  std::vector<std::uint32_t> weights;
+
+  // Serving metadata (excluded from the fingerprint). timeout_s > 0 arms a
+  // deadline measured from submit(): a query still queued when it expires
+  // completes with DeadlineExceededError instead of running.
+  double timeout_s = 0.0;
+
+  [[nodiscard]] int rounds() const {
+    return max_rounds > 0 ? max_rounds
+                          : core::rounds_for_epsilon(epsilon);
+  }
+};
+
+/// Identity of a query's *answer*: every field that feeds the engine, and
+/// nothing that only affects serving. Identical fingerprints on the same
+/// service are the dedup condition — and also the artifact-sharing
+/// condition the cache keys build on.
+[[nodiscard]] inline std::uint64_t query_fingerprint(const QuerySpec& q) {
+  std::vector<std::uint64_t> w;
+  w.reserve(16 + q.graph.size() + q.tree_edges.size() + q.weights.size());
+  w.push_back(static_cast<std::uint64_t>(q.type));
+  for (char c : q.graph) w.push_back(static_cast<std::uint64_t>(c));
+  w.push_back(static_cast<std::uint64_t>(q.k));
+  w.push_back(static_cast<std::uint64_t>(q.field_bits));
+  std::uint64_t eps_bits = 0;
+  std::memcpy(&eps_bits, &q.epsilon, sizeof(eps_bits));
+  w.push_back(eps_bits);
+  w.push_back(q.seed);
+  w.push_back(static_cast<std::uint64_t>(q.max_rounds));
+  w.push_back(q.early_exit ? 1 : 0);
+  w.push_back(static_cast<std::uint64_t>(q.kernel));
+  w.push_back(static_cast<std::uint64_t>(q.n_ranks));
+  w.push_back(static_cast<std::uint64_t>(q.n1));
+  w.push_back(q.n2);
+  w.push_back(static_cast<std::uint64_t>(q.tree_root));
+  for (const auto& [a, b] : q.tree_edges)
+    w.push_back((static_cast<std::uint64_t>(a) << 32) | b);
+  for (std::uint32_t x : q.weights) w.push_back(x);
+  return runtime::fnv1a(std::as_bytes(std::span<const std::uint64_t>(w)));
+}
+
+/// One query's answer plus serving telemetry. Path/tree queries fill
+/// `found`/`found_round`; scan queries fill `table`.
+struct QueryResult {
+  bool found = false;
+  int rounds_run = 0;
+  int found_round = -1;
+  core::FeasibilityTable table;  // scan only; empty otherwise
+
+  double vtime = 0.0;        // modeled parallel makespan of the engine run
+  double engine_wall_s = 0.0;  // host wall-clock inside the engine
+  double queue_s = 0.0;        // submit -> execution start
+  double total_s = 0.0;        // submit -> completion
+};
+
+}  // namespace midas::service

@@ -1,0 +1,280 @@
+#include "service/replay.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace midas::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("workload line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// `key=value` tokens after the `query` keyword.
+std::unordered_map<std::string, std::string> parse_kv(
+    std::istringstream& in, std::size_t line_no) {
+  std::unordered_map<std::string, std::string> kv;
+  std::string tok;
+  while (in >> tok) {
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      fail(line_no, "expected key=value, got '" + tok + "'");
+    kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+  }
+  return kv;
+}
+
+QuerySpec parse_query(std::istringstream& in, std::size_t line_no) {
+  auto kv = parse_kv(in, line_no);
+  auto take = [&](const char* key) {
+    auto it = kv.find(key);
+    if (it == kv.end()) return std::string();
+    std::string v = std::move(it->second);
+    kv.erase(it);
+    return v;
+  };
+
+  QuerySpec q;
+  const std::string type = take("type");
+  if (type == "path" || type.empty())
+    q.type = QueryType::kPath;
+  else if (type == "tree")
+    q.type = QueryType::kTree;
+  else if (type == "scan")
+    q.type = QueryType::kScan;
+  else
+    fail(line_no, "unknown query type '" + type + "'");
+
+  const std::string lane = take("lane");
+  if (lane == "interactive")
+    q.lane = Lane::kInteractive;
+  else if (!lane.empty() && lane != "batch")
+    fail(line_no, "unknown lane '" + lane + "'");
+
+  q.graph = take("graph");
+  if (q.graph.empty()) fail(line_no, "query needs graph=<name>");
+
+  auto num = [&](const char* key, std::int64_t def) {
+    const std::string v = take(key);
+    return v.empty() ? def : std::stoll(v);
+  };
+  q.k = static_cast<int>(num("k", q.k));
+  q.field_bits = static_cast<int>(num("l", q.field_bits));
+  q.seed = static_cast<std::uint64_t>(num("seed", 1));
+  q.max_rounds = static_cast<int>(num("rounds", 0));
+  q.n_ranks = static_cast<int>(num("n", q.n_ranks));
+  q.n1 = static_cast<int>(num("n1", q.n1));
+  q.n2 = static_cast<std::uint32_t>(num("n2", q.n2));
+  const std::string eps = take("eps");
+  if (!eps.empty()) q.epsilon = std::stod(eps);
+  const std::string timeout = take("timeout");
+  if (!timeout.empty()) q.timeout_s = std::stod(timeout);
+
+  const std::string kernel = take("kernel");
+  if (kernel == "scalar")
+    q.kernel = core::Kernel::kScalar;
+  else if (kernel == "bitsliced")
+    q.kernel = core::Kernel::kBitsliced;
+  else if (!kernel.empty() && kernel != "auto")
+    fail(line_no, "unknown kernel '" + kernel + "'");
+
+  kv.erase("repeat");  // handled by the caller
+  if (!kv.empty()) fail(line_no, "unknown query key '" + kv.begin()->first + "'");
+  return q;
+}
+
+graph::Graph parse_graph(std::istringstream& in, std::size_t line_no) {
+  std::string kind;
+  if (!(in >> kind)) fail(line_no, "graph needs a generator kind");
+  if (kind == "gnp") {
+    std::uint32_t n = 0;
+    double p = 0.0;
+    std::uint64_t seed = 1;
+    if (!(in >> n >> p >> seed)) fail(line_no, "gnp needs <n> <p> <seed>");
+    Xoshiro256 rng(seed);
+    return graph::erdos_renyi_gnp(n, p, rng);
+  }
+  if (kind == "ba") {
+    std::uint32_t n = 0, attach = 2;
+    std::uint64_t seed = 1;
+    if (!(in >> n >> attach >> seed))
+      fail(line_no, "ba needs <n> <attach> <seed>");
+    Xoshiro256 rng(seed);
+    return graph::barabasi_albert(n, attach, rng);
+  }
+  if (kind == "road") {
+    std::uint32_t n = 0;
+    double keep = 0.9;
+    std::uint64_t seed = 1;
+    if (!(in >> n >> keep >> seed))
+      fail(line_no, "road needs <n> <keep> <seed>");
+    Xoshiro256 rng(seed);
+    return graph::road_network(n, keep, rng);
+  }
+  fail(line_no, "unknown graph kind '" + kind + "'");
+}
+
+/// A path template over [0, k): the tree-query default for replays.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> path_template(int k) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (int i = 0; i + 1 < k; ++i)
+    edges.emplace_back(static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(i + 1));
+  return edges;
+}
+
+std::vector<std::uint32_t> scan_weights(std::uint32_t n,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x5CA1AB1EULL);
+  std::vector<std::uint32_t> w(n);
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng() % 5);
+  return w;
+}
+
+void digest(LaneReport& lane, std::vector<double>& latencies) {
+  if (latencies.empty()) return;
+  lane.p50_s = percentile(latencies, 50.0);
+  lane.p99_s = percentile(latencies, 99.0);
+  lane.mean_s = mean(latencies);
+}
+
+}  // namespace
+
+ReplayReport run_replay(const std::string& workload_path,
+                        const ReplayOptions& ropt) {
+  std::ifstream in(workload_path);
+  if (!in) throw std::runtime_error("cannot open workload: " + workload_path);
+
+  ServiceOptions sopt;
+  sopt.workers = ropt.workers;
+  sopt.queue_capacity = ropt.queue_capacity;
+  sopt.cache_capacity = ropt.cache_capacity;
+  sopt.cache_enabled = ropt.cache_enabled;
+  DetectionService svc(sopt);
+
+  // Pass 1: parse the whole file (graphs registered as they appear) so a
+  // malformed line fails before any query runs.
+  std::vector<QuerySpec> queries;
+  std::unordered_map<std::string, std::uint32_t> graph_sizes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "graph") {
+      std::string name;
+      if (!(ls >> name)) fail(line_no, "graph needs a name");
+      graph::Graph g = parse_graph(ls, line_no);
+      graph_sizes[name] = g.num_vertices();
+      svc.add_graph(name, std::move(g));
+    } else if (word == "query") {
+      std::istringstream copy(line.substr(line.find("query") + 5));
+      auto kv = parse_kv(copy, line_no);
+      std::int64_t repeat = 1;
+      if (auto it = kv.find("repeat"); it != kv.end())
+        repeat = std::stoll(it->second);
+      std::istringstream again(line.substr(line.find("query") + 5));
+      QuerySpec q = parse_query(again, line_no);
+      auto sz = graph_sizes.find(q.graph);
+      if (sz == graph_sizes.end())
+        fail(line_no, "query references undeclared graph '" + q.graph + "'");
+      if (q.type == QueryType::kTree) q.tree_edges = path_template(q.k);
+      if (q.type == QueryType::kScan)
+        q.weights = scan_weights(sz->second, q.seed);
+      for (std::int64_t r = 0; r < repeat; ++r) {
+        queries.push_back(q);
+        ++q.seed;  // keep repeats distinct (cache traffic, not dedup)
+        if (q.type == QueryType::kScan)
+          q.weights = scan_weights(sz->second, q.seed);
+      }
+    } else {
+      fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+
+  // Pass 2: replay. Submit as fast as admission allows; back off briefly
+  // on overload so the full workload always completes.
+  ReplayReport rep;
+  std::vector<std::pair<Lane, std::shared_future<QueryResult>>> futures;
+  futures.reserve(queries.size());
+  const auto t0 = Clock::now();
+  for (const QuerySpec& q : queries) {
+    for (;;) {
+      try {
+        futures.emplace_back(q.lane, svc.submit(q));
+        break;
+      } catch (const ServiceOverloadError&) {
+        ++rep.overload_retries;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  svc.drain();
+  rep.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> lat_interactive, lat_batch;
+  for (auto& [lane, fut] : futures) {
+    LaneReport& lr =
+        lane == Lane::kInteractive ? rep.interactive : rep.batch;
+    ++lr.submitted;
+    try {
+      const QueryResult& r = fut.get();
+      ++lr.ok;
+      (lane == Lane::kInteractive ? lat_interactive : lat_batch)
+          .push_back(r.total_s);
+    } catch (const DeadlineExceededError&) {
+      ++lr.deadline_exceeded;
+    } catch (const std::exception&) {
+      ++lr.failed;
+    }
+  }
+  digest(rep.interactive, lat_interactive);
+  digest(rep.batch, lat_batch);
+  const std::uint64_t completed = rep.interactive.ok + rep.batch.ok;
+  rep.qps = rep.wall_s > 0.0 ? static_cast<double>(completed) / rep.wall_s
+                             : 0.0;
+  rep.cache = svc.cache().stats();
+  return rep;
+}
+
+void print_report(std::ostream& os, const ReplayReport& r) {
+  auto lane_row = [&os](const char* name, const LaneReport& l) {
+    os << "  " << std::left << std::setw(12) << name << std::right
+       << std::setw(8) << l.submitted << std::setw(8) << l.ok
+       << std::setw(10) << l.deadline_exceeded << std::setw(8) << l.failed
+       << std::setw(12) << std::fixed << std::setprecision(3)
+       << l.p50_s * 1e3 << std::setw(12) << l.p99_s * 1e3 << std::setw(12)
+       << l.mean_s * 1e3 << "\n";
+  };
+  os << "replay: " << r.wall_s << " s wall, " << r.qps << " q/s, "
+     << r.overload_retries << " overload retries\n";
+  os << "  " << std::left << std::setw(12) << "lane" << std::right
+     << std::setw(8) << "subm" << std::setw(8) << "ok" << std::setw(10)
+     << "deadline" << std::setw(8) << "failed" << std::setw(12)
+     << "p50(ms)" << std::setw(12) << "p99(ms)" << std::setw(12)
+     << "mean(ms)" << "\n";
+  lane_row("interactive", r.interactive);
+  lane_row("batch", r.batch);
+  os << "  cache: " << r.cache.hits << " hits, " << r.cache.misses
+     << " misses, " << r.cache.builds << " builds, " << r.cache.evictions
+     << " evictions\n";
+}
+
+}  // namespace midas::service

@@ -1,0 +1,69 @@
+// Offline workload replay against a DetectionService (docs/SERVICE.md).
+//
+// A workload file is a line-oriented script: `graph` lines register
+// generated graphs, `query` lines submit detection queries. Replay pushes
+// every query through the service as fast as admission allows (overload
+// rejections are counted and retried after a short backoff, so the whole
+// workload always completes) and reports per-lane latency and throughput —
+// the serving-side view of the paper's "many queries, few graphs" regime.
+//
+//   # comment                          (blank lines ignored)
+//   graph <name> gnp <n> <p> <seed>
+//   graph <name> ba <n> <attach> <seed>
+//   graph <name> road <n> <keep> <seed>
+//   query type=path|tree|scan graph=<name> [key=value ...] [repeat=<r>]
+//
+// query keys: lane=interactive|batch, k, l (field bits), eps, seed,
+// rounds (max-rounds override), kernel=auto|scalar|bitsliced, n (ranks),
+// n1, n2, timeout (seconds), repeat (submit r copies with seed, seed+1,
+// ...; repeat keeps the copies distinct so they exercise the cache, not
+// the dedup map). Tree queries embed a path template over k vertices;
+// scan queries draw per-vertex weights in [0, 4] from `seed`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace midas::service {
+
+/// Replay-side serving knobs (forwarded into ServiceOptions).
+struct ReplayOptions {
+  int workers = 4;
+  std::size_t queue_capacity = 64;
+  std::size_t cache_capacity = 16;
+  bool cache_enabled = true;
+};
+
+/// Latency/throughput digest of one lane's completed queries.
+struct LaneReport {
+  std::uint64_t submitted = 0;  // accepted into the lane
+  std::uint64_t ok = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t failed = 0;     // execution errors
+  double p50_s = 0.0;           // submit -> completion percentiles
+  double p99_s = 0.0;
+  double mean_s = 0.0;
+};
+
+struct ReplayReport {
+  LaneReport interactive, batch;
+  std::uint64_t overload_retries = 0;  // admission rejections (then retried)
+  double wall_s = 0.0;                 // first submit -> drain
+  double qps = 0.0;                    // completed queries / wall_s
+  ArtifactCache::Stats cache;
+};
+
+/// Parse `workload_path` and run it through a fresh service.
+/// Throws std::runtime_error on unreadable files or malformed lines
+/// (message carries the line number).
+[[nodiscard]] ReplayReport run_replay(const std::string& workload_path,
+                                      const ReplayOptions& opt = {});
+
+/// Human-readable per-lane table (the `midas_cli serve` output).
+void print_report(std::ostream& os, const ReplayReport& r);
+
+}  // namespace midas::service

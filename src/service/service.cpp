@@ -1,0 +1,329 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/tree_template.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
+#include "partition/multilevel.hpp"
+#include "runtime/trace.hpp"
+
+namespace midas::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Run `fn` with the field instance matching `l` bits. GF(2^8) has the
+/// table-driven implementation; every other width uses GFSmall.
+template <typename Fn>
+decltype(auto) with_field(int l, Fn&& fn) {
+  if (l == 8) return fn(gf::GF256{});
+  return fn(gf::GFSmall(l));
+}
+
+core::MidasOptions engine_options(const QuerySpec& spec) {
+  core::MidasOptions opt;
+  opt.k = spec.k;
+  opt.epsilon = spec.epsilon;
+  opt.seed = spec.seed;
+  opt.n_ranks = spec.n_ranks;
+  opt.n1 = spec.n1;
+  opt.n2 = spec.n2;
+  opt.max_rounds = spec.max_rounds;
+  opt.early_exit = spec.early_exit;
+  opt.kernel = spec.kernel;
+  return opt;
+}
+
+std::string views_key(const QuerySpec& spec) {
+  return "views/" + spec.graph + "/n1=" + std::to_string(spec.n1);
+}
+
+std::string rand_key(const QuerySpec& spec) {
+  return "rand/" + spec.graph + "/n1=" + std::to_string(spec.n1) +
+         "/l=" + std::to_string(spec.field_bits) +
+         "/seed=" + std::to_string(spec.seed) +
+         "/k=" + std::to_string(spec.k) +
+         "/rounds=" + std::to_string(spec.rounds());
+}
+
+}  // namespace
+
+DetectionService::DetectionService(ServiceOptions opt)
+    : opt_(std::move(opt)),
+      cache_(opt_.cache_capacity, opt_.cache_enabled) {
+  if (opt_.workers < 1)
+    throw std::invalid_argument("service needs at least one worker");
+  if (opt_.queue_capacity < 1)
+    throw std::invalid_argument("service needs queue_capacity >= 1");
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+DetectionService::~DetectionService() {
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard lock(m_);
+    stopping_ = true;
+    orphans.swap(interactive_);
+    for (auto& p : batch_) orphans.push_back(std::move(p));
+    batch_.clear();
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  for (auto& p : orphans)
+    p->promise.set_exception(
+        std::make_exception_ptr(ServiceShutdownError()));
+}
+
+void DetectionService::add_graph(const std::string& name, graph::Graph g) {
+  auto ptr = std::make_shared<const graph::Graph>(std::move(g));
+  std::lock_guard lock(m_);
+  graphs_[name] = std::move(ptr);
+}
+
+std::shared_ptr<const graph::Graph> DetectionService::graph(
+    const std::string& name) const {
+  std::lock_guard lock(m_);
+  auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second;
+}
+
+void DetectionService::validate(const QuerySpec& spec) const {
+  // m_ held by the caller (graphs_ access).
+  auto git = graphs_.find(spec.graph);
+  if (git == graphs_.end()) throw UnknownGraphError(spec.graph);
+  const graph::Graph& g = *git->second;
+  if (spec.k < 1) throw std::invalid_argument("k must be >= 1");
+  if (spec.field_bits < 2 || spec.field_bits > 16)
+    throw std::invalid_argument("field_bits must be in [2, 16]");
+  if (spec.n1 < 1 || spec.n_ranks < spec.n1 || spec.n_ranks % spec.n1 != 0)
+    throw std::invalid_argument("N1 must divide N");
+  if (spec.n2 < 1) throw std::invalid_argument("N2 must be >= 1");
+  if (spec.type == QueryType::kTree &&
+      spec.tree_edges.size() + 1 != static_cast<std::size_t>(spec.k))
+    throw std::invalid_argument("tree template needs exactly k-1 edges");
+  if (spec.type == QueryType::kScan &&
+      spec.weights.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("scan needs one weight per graph vertex");
+}
+
+std::shared_future<QueryResult> DetectionService::submit(
+    const QuerySpec& spec) {
+  const std::uint64_t key = query_fingerprint(spec);
+  std::unique_lock lock(m_);
+  if (stopping_) throw ServiceShutdownError();
+  validate(spec);
+
+  if (auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
+    ++deduped_;
+    MIDAS_TRACE_COUNT("service.deduped", 1);
+    return it->second;
+  }
+
+  auto& lane = spec.lane == Lane::kInteractive ? interactive_ : batch_;
+  if (lane.size() >= opt_.queue_capacity) {
+    ++rejected_;
+    MIDAS_TRACE_COUNT("service.rejected", 1);
+    throw ServiceOverloadError(to_string(spec.lane), lane.size());
+  }
+
+  auto p = std::make_unique<Pending>();
+  p->spec = spec;
+  p->fingerprint = key;
+  p->submitted_at = Clock::now();
+  if (spec.timeout_s > 0.0) {
+    p->has_deadline = true;
+    p->deadline = p->submitted_at +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(spec.timeout_s));
+  }
+  std::shared_future<QueryResult> fut = p->promise.get_future().share();
+  inflight_by_key_.emplace(key, fut);
+  lane.push_back(std::move(p));
+  ++submitted_;
+  MIDAS_TRACE_COUNT("service.submitted", 1);
+  update_queue_gauge();
+  lock.unlock();
+  work_cv_.notify_one();
+  return fut;
+}
+
+void DetectionService::update_queue_gauge() const {
+  // m_ held by the caller.
+  runtime::tracer().metrics().gauge("service.queue_depth")
+      .set(static_cast<std::int64_t>(interactive_.size() + batch_.size()));
+}
+
+void DetectionService::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Pending> p;
+    {
+      std::unique_lock lock(m_);
+      work_cv_.wait(lock, [this] {
+        return stopping_ || !interactive_.empty() || !batch_.empty();
+      });
+      if (stopping_) return;
+      auto& lane = !interactive_.empty() ? interactive_ : batch_;
+      p = std::move(lane.front());
+      lane.pop_front();
+      ++executing_;
+      update_queue_gauge();
+    }
+
+    const auto started = Clock::now();
+    if (p->has_deadline && started >= p->deadline) {
+      std::lock_guard lock(m_);
+      ++deadline_exceeded_;
+      MIDAS_TRACE_COUNT("service.deadline_exceeded", 1);
+      MIDAS_TRACE_INSTANT("service.query.deadline");
+      p->promise.set_exception(
+          std::make_exception_ptr(DeadlineExceededError()));
+      inflight_by_key_.erase(p->fingerprint);
+      --executing_;
+      drain_cv_.notify_all();
+      continue;
+    }
+
+    if (opt_.before_execute) opt_.before_execute(p->spec);
+    finish(std::move(p), started);
+  }
+}
+
+void DetectionService::finish(std::unique_ptr<Pending> p,
+                              Clock::time_point started) {
+  QueryResult result;
+  std::exception_ptr error;
+  {
+    MIDAS_TRACE_SPAN("service.query",
+                     {"type", static_cast<int>(p->spec.type)},
+                     {"k", p->spec.k});
+    try {
+      result = execute(p->spec);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  const auto done = Clock::now();
+  result.queue_s = seconds_since(p->submitted_at, started);
+  result.total_s = seconds_since(p->submitted_at, done);
+  MIDAS_TRACE_OBSERVE(
+      "service.query_latency_ns",
+      static_cast<std::uint64_t>(result.total_s * 1e9));
+
+  std::lock_guard lock(m_);
+  ++executed_;
+  MIDAS_TRACE_COUNT("service.executed", 1);
+  if (error) {
+    ++failed_;
+    MIDAS_TRACE_COUNT("service.failed", 1);
+    p->promise.set_exception(error);
+  } else {
+    p->promise.set_value(std::move(result));
+  }
+  inflight_by_key_.erase(p->fingerprint);
+  --executing_;
+  drain_cv_.notify_all();
+}
+
+QueryResult DetectionService::execute(const QuerySpec& spec) {
+  std::shared_ptr<const graph::Graph> g = graph(spec.graph);
+  if (!g) throw UnknownGraphError(spec.graph);
+
+  auto artifacts = cache_.get_or_build<GraphArtifacts>(
+      views_key(spec), [&] {
+        MIDAS_TRACE_SPAN("service.build_artifacts", {"n1", spec.n1});
+        GraphArtifacts a;
+        a.part = partition::multilevel_partition(*g, spec.n1);
+        a.views = partition::build_part_views(*g, a.part);
+        return a;
+      });
+
+  core::MidasOptions opt = engine_options(spec);
+  QueryResult qr;
+  switch (spec.type) {
+    case QueryType::kPath: {
+      // k-path additionally caches the per-(seed, k, rounds) randomness
+      // tables; the engine consumes them bit-identically to hashing.
+      with_field(spec.field_bits, [&](const auto& f) {
+        auto tables = cache_.get_or_build<core::RandTables>(
+            rand_key(spec), [&] {
+              MIDAS_TRACE_SPAN("service.build_rand_tables", {"k", spec.k});
+              return core::build_rand_tables(artifacts->views, spec.seed,
+                                             spec.k, spec.rounds(), f);
+            });
+        opt.rand_tables = tables.get();
+        core::MidasResult r = core::midas_kpath_views(artifacts->views, opt, f);
+        qr.found = r.found;
+        qr.rounds_run = r.rounds_run;
+        qr.found_round = r.found_round;
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+    case QueryType::kTree: {
+      graph::GraphBuilder tb(static_cast<graph::VertexId>(spec.k));
+      for (const auto& [a, b] : spec.tree_edges) tb.add_edge(a, b);
+      const graph::Graph tmpl = tb.build();
+      const core::TreeDecomposition td(tmpl, spec.tree_root);
+      with_field(spec.field_bits, [&](const auto& f) {
+        core::MidasResult r =
+            core::midas_ktree_views(artifacts->views, td, opt, f);
+        qr.found = r.found;
+        qr.rounds_run = r.rounds_run;
+        qr.found_round = r.found_round;
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+    case QueryType::kScan: {
+      with_field(spec.field_bits, [&](const auto& f) {
+        core::MidasScanResult r =
+            core::midas_scan_views(artifacts->views, spec.weights, opt, f);
+        qr.table = std::move(r.table);
+        qr.rounds_run = spec.rounds();
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+  }
+  return qr;
+}
+
+void DetectionService::drain() {
+  std::unique_lock lock(m_);
+  drain_cv_.wait(lock, [this] {
+    return interactive_.empty() && batch_.empty() && executing_ == 0;
+  });
+}
+
+ServiceStats DetectionService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard lock(m_);
+    s.submitted = submitted_;
+    s.executed = executed_;
+    s.deduped = deduped_;
+    s.rejected = rejected_;
+    s.deadline_exceeded = deadline_exceeded_;
+    s.failed = failed_;
+    s.queued_interactive = interactive_.size();
+    s.queued_batch = batch_.size();
+    s.inflight = executing_;
+  }
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace midas::service

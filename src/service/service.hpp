@@ -1,0 +1,148 @@
+// DetectionService — the batched multi-query front end of the MIDAS engine
+// (docs/SERVICE.md).
+//
+// The engine answers one k-MLD query per run; real deployments (motif
+// discovery sweeps, scan-statistic monitoring) issue *many* queries against
+// the same graph. The service accepts heterogeneous queries (k-path,
+// k-tree, scan; any kernel; any field width) as futures, runs them on a
+// fixed-size worker pool, and amortizes per-graph setup through a
+// single-flight LRU artifact cache (partition + halo schedule views,
+// per-(seed, k) randomness tables):
+//
+//  * Admission control: each priority lane (interactive, batch) holds at
+//    most queue_capacity queries; past that submit() throws a typed
+//    ServiceOverloadError without touching in-flight work. Workers always
+//    drain the interactive lane first.
+//  * Dedup: identical in-flight queries (same fingerprint — graph, params,
+//    seed) share one execution and one result future.
+//  * Deadlines: a query whose timeout expires while still queued completes
+//    with DeadlineExceededError; the worker pool is never poisoned. A
+//    query that starts before its deadline runs to completion.
+//  * Every answer is bit-identical to a direct single-query engine run
+//    with the same parameters (the soak suite enforces this), because the
+//    cache only stores state the engine would have derived identically.
+//
+// Instrumentation (runtime/trace.hpp, when the tracer is armed):
+// service.query spans, service.queue_depth gauge, service.cache.* and
+// service.* counters, service.query_latency_ns histogram. stats() works
+// with the tracer disarmed.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/query.hpp"
+
+namespace midas::service {
+
+/// Cached per-(graph, N1) state: the partition and the halo-schedule views
+/// every engine consumes. Built once per key, shared across queries.
+struct GraphArtifacts {
+  partition::Partition part;
+  std::vector<partition::PartView> views;
+};
+
+struct ServiceOptions {
+  int workers = 4;                 // worker pool size
+  std::size_t queue_capacity = 64; // admission bound per lane
+  std::size_t cache_capacity = 16; // resident artifact cache entries
+  bool cache_enabled = true;       // false = rebuild artifacts per query
+  /// Test seam: runs on the worker thread after a query is dequeued and
+  /// has passed its deadline check, before execution. Lets tests hold the
+  /// pool at a deterministic point; never set in production.
+  std::function<void(const QuerySpec&)> before_execute;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;          // accepted into a queue
+  std::uint64_t executed = 0;           // ran to completion (ok or error)
+  std::uint64_t deduped = 0;            // shared an in-flight execution
+  std::uint64_t rejected = 0;           // ServiceOverloadError at admission
+  std::uint64_t deadline_exceeded = 0;  // expired while queued
+  std::uint64_t failed = 0;             // execution raised
+  std::size_t queued_interactive = 0;
+  std::size_t queued_batch = 0;
+  std::size_t inflight = 0;             // dequeued, still executing
+  ArtifactCache::Stats cache;
+};
+
+class DetectionService {
+ public:
+  explicit DetectionService(ServiceOptions opt = {});
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Register (or replace) a graph under `name`. Replacing a graph does
+  /// not invalidate cache entries built from the old one; use distinct
+  /// names for distinct graphs.
+  void add_graph(const std::string& name, graph::Graph g);
+  [[nodiscard]] std::shared_ptr<const graph::Graph> graph(
+      const std::string& name) const;
+
+  /// Admit a query. Returns a future that completes with the result, or
+  /// with DeadlineExceededError / ServiceShutdownError / the engine's
+  /// error. Throws ServiceOverloadError (lane full), UnknownGraphError,
+  /// or std::invalid_argument (malformed spec) — all before enqueueing.
+  std::shared_future<QueryResult> submit(const QuerySpec& spec);
+
+  /// Block until both lanes are empty and no query is executing.
+  void drain();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] ArtifactCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Pending {
+    QuerySpec spec;
+    std::uint64_t fingerprint = 0;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+    std::chrono::steady_clock::time_point deadline;  // valid if has_deadline
+    bool has_deadline = false;
+  };
+
+  void worker_loop();
+  /// Runs the engine for one spec through the artifact cache. Fills the
+  /// serving telemetry fields except queue_s/total_s (the worker does).
+  QueryResult execute(const QuerySpec& spec);
+  void validate(const QuerySpec& spec) const;
+  void finish(std::unique_ptr<Pending> p,
+              std::chrono::steady_clock::time_point started);
+  void update_queue_gauge() const;
+
+  ServiceOptions opt_;
+  ArtifactCache cache_;
+
+  mutable std::mutex m_;
+  std::condition_variable work_cv_;   // workers: work available / stopping
+  std::condition_variable drain_cv_;  // drain(): everything idle
+  std::deque<std::unique_ptr<Pending>> interactive_, batch_;
+  std::unordered_map<std::uint64_t, std::shared_future<QueryResult>>
+      inflight_by_key_;
+  std::unordered_map<std::string, std::shared_ptr<const graph::Graph>>
+      graphs_;
+  bool stopping_ = false;
+  std::size_t executing_ = 0;
+  std::uint64_t submitted_ = 0, executed_ = 0, deduped_ = 0, rejected_ = 0,
+                deadline_exceeded_ = 0, failed_ = 0;
+
+  std::vector<std::thread> workers_;  // last member: joins before teardown
+};
+
+}  // namespace midas::service

@@ -1,0 +1,425 @@
+// DetectionService and ArtifactCache behavior: LRU eviction order,
+// single-flight construction, eviction-then-rebuild bit-exactness,
+// deduplication, deadline and overload semantics, replay parsing. The
+// cross-engine bit-exactness soak lives in test_service_soak.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gf/gf256.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "service/artifact_cache.hpp"
+#include "service/query.hpp"
+#include "service/replay.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace midas;
+using service::ArtifactCache;
+using service::DetectionService;
+using service::Lane;
+using service::QueryResult;
+using service::QuerySpec;
+using service::QueryType;
+using service::ServiceOptions;
+
+// ---------------------------------------------------------------------------
+// ArtifactCache properties
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactCache, HitReturnsSameObjectAndCounts) {
+  ArtifactCache cache(4);
+  auto a = cache.get_or_build<int>("k", [] { return 7; });
+  auto b = cache.get_or_build<int>("k", [] { return 8; });
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(a.get(), b.get());  // second call must not rebuild
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.builds, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(ArtifactCache, EvictsLeastRecentlyUsedFirst) {
+  ArtifactCache cache(3);
+  for (const char* k : {"a", "b", "c"})
+    (void)cache.get_or_build<int>(k, [] { return 0; });
+  // Touch "a": recency order (LRU first) becomes b, c, a.
+  (void)cache.get_or_build<int>("a", [] { return 0; });
+  EXPECT_EQ(cache.keys_lru(), (std::vector<std::string>{"b", "c", "a"}));
+
+  // Inserting "d" evicts "b" (LRU), not insertion-order "a".
+  (void)cache.get_or_build<int>("d", [] { return 0; });
+  EXPECT_EQ(cache.keys_lru(), (std::vector<std::string>{"c", "a", "d"}));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  // "b" is gone: asking again rebuilds.
+  (void)cache.get_or_build<int>("b", [] { return 0; });
+  EXPECT_EQ(cache.stats().builds, 5u);
+}
+
+TEST(ArtifactCache, EvictedEntryStaysValidForHolders) {
+  ArtifactCache cache(1);
+  auto held = cache.get_or_build<std::vector<int>>(
+      "x", [] { return std::vector<int>{1, 2, 3}; });
+  (void)cache.get_or_build<int>("y", [] { return 0; });  // evicts "x"
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ((std::vector<int>{1, 2, 3}), *held);  // still alive
+}
+
+TEST(ArtifactCache, SingleFlightUnderConcurrentHammer) {
+  ArtifactCache cache(4);
+  std::atomic<int> builds{0};
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const int>> got(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      got[static_cast<std::size_t>(t)] =
+          cache.get_or_build<int>("hot", [&] {
+            builds.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            return 42;
+          });
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(builds.load(), 1);  // exactly one build despite 16 requesters
+  EXPECT_EQ(cache.stats().builds, 1u);
+  for (const auto& p : got) {
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 42);
+    EXPECT_EQ(p.get(), got[0].get());  // all share the one artifact
+  }
+}
+
+TEST(ArtifactCache, FailedBuildHandsSlotToWaiter) {
+  ArtifactCache cache(4);
+  std::atomic<int> attempts{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0}, threw{0};
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      try {
+        auto v = cache.get_or_build<int>("flaky", [&] {
+          if (attempts.fetch_add(1) == 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            throw std::runtime_error("first build fails");
+          }
+          return 9;
+        });
+        EXPECT_EQ(*v, 9);
+        ok.fetch_add(1);
+      } catch (const std::runtime_error&) {
+        threw.fetch_add(1);
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(threw.load(), 1);       // only the failing builder observes it
+  EXPECT_EQ(ok.load(), 7);          // a waiter retried and built
+  EXPECT_GE(attempts.load(), 2);
+  EXPECT_EQ(cache.stats().builds, 1u);  // one *completed* build
+}
+
+TEST(ArtifactCache, DisabledModeBuildsEveryTimeAndStoresNothing) {
+  ArtifactCache cache(4, /*enabled=*/false);
+  int builds = 0;
+  auto a = cache.get_or_build<int>("k", [&] { return ++builds; });
+  auto b = cache.get_or_build<int>("k", [&] { return ++builds; });
+  EXPECT_EQ(builds, 2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Service plumbing
+// ---------------------------------------------------------------------------
+
+QuerySpec path_query(int k = 4) {
+  QuerySpec q;
+  q.type = QueryType::kPath;
+  q.graph = "g";
+  q.k = k;
+  q.seed = 5;
+  q.max_rounds = 2;
+  return q;
+}
+
+graph::Graph test_graph(std::uint64_t seed = 3) {
+  Xoshiro256 rng(seed);
+  return graph::erdos_renyi_gnm(80, 240, rng);
+}
+
+TEST(DetectionService, AnswersMatchDirectEngineRun) {
+  DetectionService svc({.workers = 2});
+  svc.add_graph("g", test_graph());
+  const QuerySpec q = path_query(5);
+  const QueryResult r = svc.submit(q).get();
+
+  const graph::Graph g = test_graph();
+  const auto part = partition::multilevel_partition(g, q.n1);
+  core::MidasOptions opt;
+  opt.k = q.k;
+  opt.seed = q.seed;
+  opt.max_rounds = q.max_rounds;
+  opt.n_ranks = q.n_ranks;
+  opt.n1 = q.n1;
+  opt.n2 = q.n2;
+  const auto direct = core::midas_kpath(g, part, opt, gf::GF256{});
+  EXPECT_EQ(r.found, direct.found);
+  EXPECT_EQ(r.rounds_run, direct.rounds_run);
+  EXPECT_EQ(r.found_round, direct.found_round);
+}
+
+TEST(DetectionService, EvictionThenRebuildIsBitExact) {
+  // Capacity 1: the second graph's artifacts evict the first's; re-running
+  // the first query must rebuild them and reproduce the answer bit-exactly.
+  DetectionService svc({.workers = 1, .cache_capacity = 1});
+  svc.add_graph("g", test_graph(3));
+  svc.add_graph("h", test_graph(4));
+
+  QuerySpec qg = path_query(5);
+  const QueryResult first = svc.submit(qg).get();
+  svc.drain();
+
+  QuerySpec qh = path_query(5);
+  qh.graph = "h";
+  (void)svc.submit(qh).get();
+  svc.drain();
+
+  const QueryResult again = svc.submit(qg).get();
+  EXPECT_GE(svc.cache().stats().evictions, 1u);
+  EXPECT_EQ(first.found, again.found);
+  EXPECT_EQ(first.rounds_run, again.rounds_run);
+  EXPECT_EQ(first.found_round, again.found_round);
+  EXPECT_EQ(first.vtime, again.vtime);  // bit-exact modeled makespan
+}
+
+TEST(DetectionService, DeduplicatesIdenticalInFlightQueries) {
+  // Gate the single worker so the first submit is still in flight when the
+  // duplicates arrive.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.before_execute = [gate](const QuerySpec&) { gate.wait(); };
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  const QuerySpec q = path_query();
+  auto f1 = svc.submit(q);
+  QuerySpec q_other_lane = q;
+  q_other_lane.lane = Lane::kInteractive;  // lane is serving metadata
+  auto f2 = svc.submit(q);
+  auto f3 = svc.submit(q_other_lane);
+
+  QuerySpec different = path_query();
+  different.seed += 1;
+  auto f4 = svc.submit(different);
+
+  release.set_value();
+  svc.drain();
+  EXPECT_EQ(f1.get().found, f2.get().found);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.deduped, 2u);
+  EXPECT_EQ(s.executed, 2u);  // one shared run + the different seed
+  (void)f3.get();
+  (void)f4.get();
+}
+
+TEST(DetectionService, FingerprintCoversParamsNotServingMetadata) {
+  const QuerySpec a = path_query();
+  QuerySpec b = a;
+  b.lane = Lane::kInteractive;
+  b.timeout_s = 1.5;
+  EXPECT_EQ(query_fingerprint(a), query_fingerprint(b));
+  QuerySpec c = a;
+  c.n2 = a.n2 + 1;
+  EXPECT_NE(query_fingerprint(a), query_fingerprint(c));
+  QuerySpec d = a;
+  d.kernel = core::Kernel::kScalar;
+  EXPECT_NE(query_fingerprint(a), query_fingerprint(d));
+}
+
+TEST(DetectionService, QueuedPastDeadlineFailsWithoutPoisoningPool) {
+  // One worker, blocked on query A; query B's deadline expires while it is
+  // queued. B must complete with DeadlineExceededError and the pool must
+  // keep serving afterwards.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> first{true};
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.before_execute = [gate, &first](const QuerySpec&) {
+    if (first.exchange(false)) gate.wait();
+  };
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  auto blocker = svc.submit(path_query(4));
+  QuerySpec doomed = path_query(5);
+  doomed.timeout_s = 0.02;
+  auto expired = svc.submit(doomed);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  release.set_value();
+  EXPECT_THROW(expired.get(), service::DeadlineExceededError);
+  (void)blocker.get();
+
+  // Pool still healthy: a fresh query runs to completion.
+  QuerySpec after = path_query(6);
+  EXPECT_NO_THROW((void)svc.submit(after).get());
+  EXPECT_EQ(svc.stats().deadline_exceeded, 1u);
+}
+
+TEST(DetectionService, GenerousDeadlineRunsNormally) {
+  DetectionService svc({.workers = 2});
+  svc.add_graph("g", test_graph());
+  QuerySpec q = path_query();
+  q.timeout_s = 60.0;
+  EXPECT_NO_THROW((void)svc.submit(q).get());
+  EXPECT_EQ(svc.stats().deadline_exceeded, 0u);
+}
+
+TEST(DetectionService, FullLaneRejectsWhileInFlightQueriesFinish) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 2;
+  opt.before_execute = [gate](const QuerySpec&) { gate.wait(); };
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  // One in flight (dequeued, blocked) + two queued fills the batch lane.
+  std::vector<std::shared_future<QueryResult>> futs;
+  futs.push_back(svc.submit(path_query(3)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  futs.push_back(svc.submit(path_query(4)));
+  futs.push_back(svc.submit(path_query(5)));
+
+  QuerySpec overflow = path_query(6);
+  EXPECT_THROW((void)svc.submit(overflow), service::ServiceOverloadError);
+
+  // The other lane has its own budget: an interactive query still fits.
+  QuerySpec inter = path_query(7);
+  inter.lane = Lane::kInteractive;
+  futs.push_back(svc.submit(inter));
+
+  release.set_value();
+  svc.drain();
+  for (auto& f : futs) EXPECT_NO_THROW((void)f.get());
+  EXPECT_EQ(svc.stats().rejected, 1u);
+}
+
+TEST(DetectionService, ValidationErrors) {
+  DetectionService svc({.workers = 1});
+  svc.add_graph("g", test_graph());
+  QuerySpec q = path_query();
+  q.graph = "nope";
+  EXPECT_THROW((void)svc.submit(q), service::UnknownGraphError);
+
+  q = path_query();
+  q.field_bits = 1;
+  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+
+  q = path_query();
+  q.n1 = 3;  // does not divide n_ranks = 2
+  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+
+  q = path_query();
+  q.type = QueryType::kTree;  // k = 4 but no template edges
+  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+
+  q = path_query();
+  q.type = QueryType::kScan;  // no weights
+  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+}
+
+TEST(DetectionService, ShutdownFailsQueuedQueries) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.before_execute = [gate](const QuerySpec&) { gate.wait(); };
+  std::shared_future<QueryResult> running, queued;
+  {
+    DetectionService svc(opt);
+    svc.add_graph("g", test_graph());
+    running = svc.submit(path_query(3));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queued = svc.submit(path_query(4));
+    release.set_value();
+    // Destructor: the running query finishes, the queued one is orphaned
+    // only if the worker stopped before picking it up — both outcomes are
+    // legal; what is *not* legal is a future that never completes.
+  }
+  EXPECT_NO_THROW((void)running.get());
+  try {
+    (void)queued.get();
+  } catch (const service::ServiceShutdownError&) {
+    // expected alternative
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+class ReplayFile : public ::testing::Test {
+ protected:
+  void write(const std::string& text) {
+    path_ = ::testing::TempDir() + "/service_replay_test.workload";
+    std::ofstream out(path_);
+    out << text;
+  }
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(ReplayFile, RunsMixedWorkloadAndReportsPerLane) {
+  write("# demo\n"
+        "graph g gnp 60 0.06 3\n"
+        "query type=path graph=g k=4 lane=interactive seed=1 rounds=2\n"
+        "query type=tree graph=g k=4 lane=batch seed=2 rounds=2 repeat=3\n"
+        "query type=scan graph=g k=3 lane=batch seed=4 rounds=1\n");
+  const auto rep = service::run_replay(path_, {.workers = 2});
+  EXPECT_EQ(rep.interactive.submitted, 1u);
+  EXPECT_EQ(rep.batch.submitted, 4u);
+  EXPECT_EQ(rep.interactive.ok + rep.batch.ok, 5u);
+  EXPECT_EQ(rep.interactive.failed + rep.batch.failed, 0u);
+  EXPECT_GT(rep.qps, 0.0);
+  EXPECT_GE(rep.batch.p99_s, rep.batch.p50_s);
+
+  std::ostringstream os;
+  service::print_report(os, rep);
+  EXPECT_NE(os.str().find("interactive"), std::string::npos);
+  EXPECT_NE(os.str().find("p99"), std::string::npos);
+}
+
+TEST_F(ReplayFile, MalformedLinesFailWithLineNumbers) {
+  write("graph g gnp 40 0.1 1\nbogus directive\n");
+  EXPECT_THROW((void)service::run_replay(path_), std::runtime_error);
+  write("query type=path graph=missing k=4\n");
+  EXPECT_THROW((void)service::run_replay(path_), std::runtime_error);
+  write("graph g gnp 40 0.1 1\nquery type=path graph=g wat=1\n");
+  EXPECT_THROW((void)service::run_replay(path_), std::runtime_error);
+  EXPECT_THROW((void)service::run_replay("/nonexistent.workload"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Service soak: a seeded mix of ~200 heterogeneous queries (k-path /
+// k-tree / scan, both kernels, several field widths and geometries) over
+// random graphs, pushed through a concurrent DetectionService — then every
+// answer compared bit-exactly against a fresh single-query engine run, and
+// on the tiny instances against the exact brute-force oracles. Runs under
+// the TSan and ASan ctest labels, so it is also the data-race gate for the
+// service's worker pool, dedup map, and artifact cache.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_par.hpp"
+#include "core/tree_template.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "service/query.hpp"
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace midas;
+using service::DetectionService;
+using service::Lane;
+using service::QueryResult;
+using service::QuerySpec;
+using service::QueryType;
+
+constexpr int kGraphs = 4;
+constexpr int kQueries = 200;
+
+std::string graph_name(int i) { return "g" + std::to_string(i); }
+
+graph::Graph make_graph(int i) {
+  // Small enough that brute-force oracles stay affordable on the smallest,
+  // varied enough to cover sparse/dense and heavy-tailed shapes.
+  Xoshiro256 rng(1000u + static_cast<std::uint64_t>(i));
+  switch (i % 4) {
+    case 0: return graph::erdos_renyi_gnm(14, 24, rng);   // oracle-sized
+    case 1: return graph::erdos_renyi_gnm(90, 360, rng);
+    case 2: return graph::barabasi_albert(70, 3, rng);
+    default: return graph::road_network(64, 0.9, rng);
+  }
+}
+
+/// The same deterministic draw the service run and the reference run use.
+QuerySpec draw_query(Xoshiro256& rng, int qi) {
+  QuerySpec q;
+  const std::uint64_t t = rng.below(4);
+  q.type = t == 0 ? QueryType::kTree
+                  : (t == 1 ? QueryType::kScan : QueryType::kPath);
+  q.graph = graph_name(static_cast<int>(rng.below(kGraphs)));
+  q.lane = rng.below(3) == 0 ? Lane::kInteractive : Lane::kBatch;
+  q.k = 3 + static_cast<int>(rng.below(3));  // 3..5
+  const std::uint64_t l = rng.below(3);
+  q.field_bits = l == 0 ? 8 : (l == 1 ? 4 : 12);
+  q.seed = 10'000u + static_cast<std::uint64_t>(qi);
+  q.max_rounds = 1 + static_cast<int>(rng.below(2));
+  q.kernel = rng.below(2) == 0 ? core::Kernel::kScalar
+                               : core::Kernel::kBitsliced;
+  q.n1 = 2;
+  q.n_ranks = rng.below(2) == 0 ? 2 : 4;
+  q.n2 = rng.below(2) == 0 ? 8 : 16;
+  if (q.type == QueryType::kTree) {
+    // Random tree template over [0, k): attach i to a random predecessor.
+    for (std::uint32_t i = 1; i < static_cast<std::uint32_t>(q.k); ++i)
+      q.tree_edges.emplace_back(static_cast<std::uint32_t>(rng.below(i)),
+                                i);
+  }
+  return q;
+}
+
+std::vector<std::uint32_t> draw_weights(std::uint32_t n,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed * 31 + 7);
+  std::vector<std::uint32_t> w(n);
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(4));
+  return w;
+}
+
+core::MidasOptions engine_options(const QuerySpec& q) {
+  core::MidasOptions opt;
+  opt.k = q.k;
+  opt.epsilon = q.epsilon;
+  opt.seed = q.seed;
+  opt.n_ranks = q.n_ranks;
+  opt.n1 = q.n1;
+  opt.n2 = q.n2;
+  opt.max_rounds = q.max_rounds;
+  opt.early_exit = q.early_exit;
+  opt.kernel = q.kernel;
+  return opt;
+}
+
+/// Fresh single-query run: same field dispatch as the service, no shared
+/// state, build_part_views from scratch.
+QueryResult reference_run(const graph::Graph& g, const QuerySpec& q) {
+  const auto part = partition::multilevel_partition(g, q.n1);
+  const auto opt = engine_options(q);
+  QueryResult out;
+  auto run = [&](const auto& f) {
+    switch (q.type) {
+      case QueryType::kPath: {
+        const auto r = core::midas_kpath(g, part, opt, f);
+        out.found = r.found;
+        out.rounds_run = r.rounds_run;
+        out.found_round = r.found_round;
+        out.vtime = r.vtime;
+        break;
+      }
+      case QueryType::kTree: {
+        graph::GraphBuilder tb(static_cast<graph::VertexId>(q.k));
+        for (const auto& [a, b] : q.tree_edges) tb.add_edge(a, b);
+        const graph::Graph tmpl = tb.build();
+        const core::TreeDecomposition td(tmpl, q.tree_root);
+        const auto r = core::midas_ktree(g, part, td, opt, f);
+        out.found = r.found;
+        out.rounds_run = r.rounds_run;
+        out.found_round = r.found_round;
+        out.vtime = r.vtime;
+        break;
+      }
+      case QueryType::kScan: {
+        const auto r = core::midas_scan(g, part, q.weights, opt, f);
+        out.table = r.table;
+        out.rounds_run = q.rounds();
+        out.vtime = r.vtime;
+        break;
+      }
+    }
+  };
+  if (q.field_bits == 8)
+    run(gf::GF256{});
+  else
+    run(gf::GFSmall(q.field_bits));
+  return out;
+}
+
+TEST(ServiceSoak, ConcurrentMixedQueriesBitIdenticalToFreshRuns) {
+  // Cache capacity below the distinct-artifact count so evictions and
+  // rebuilds happen mid-soak, under concurrency.
+  DetectionService svc(
+      {.workers = 4, .queue_capacity = kQueries, .cache_capacity = 6});
+  std::vector<graph::Graph> graphs;
+  for (int i = 0; i < kGraphs; ++i) {
+    graphs.push_back(make_graph(i));
+    svc.add_graph(graph_name(i), make_graph(i));
+  }
+
+  Xoshiro256 rng(42);
+  std::vector<QuerySpec> specs;
+  specs.reserve(kQueries);
+  for (int qi = 0; qi < kQueries; ++qi) {
+    QuerySpec q = draw_query(rng, qi);
+    if (q.type == QueryType::kScan) {
+      const auto gi = static_cast<std::size_t>(q.graph[1] - '0');
+      q.weights = draw_weights(graphs[gi].num_vertices(), q.seed);
+    }
+    specs.push_back(std::move(q));
+  }
+
+  std::vector<std::shared_future<QueryResult>> futs;
+  futs.reserve(specs.size());
+  for (const auto& q : specs) futs.push_back(svc.submit(q));
+  svc.drain();
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const QuerySpec& q = specs[i];
+    SCOPED_TRACE("query " + std::to_string(i) + ": type=" +
+                 std::string(to_string(q.type)) + " graph=" + q.graph +
+                 " k=" + std::to_string(q.k) +
+                 " l=" + std::to_string(q.field_bits) +
+                 " seed=" + std::to_string(q.seed));
+    const QueryResult got = futs[i].get();
+    const auto gi = static_cast<std::size_t>(q.graph[1] - '0');
+    const QueryResult want = reference_run(graphs[gi], q);
+
+    EXPECT_EQ(got.found, want.found);
+    EXPECT_EQ(got.rounds_run, want.rounds_run);
+    EXPECT_EQ(got.found_round, want.found_round);
+    EXPECT_EQ(got.vtime, want.vtime);  // bit-exact modeled makespan
+    if (q.type == QueryType::kScan) {
+      EXPECT_EQ(got.table.k, want.table.k);
+      EXPECT_EQ(got.table.max_weight, want.table.max_weight);
+      EXPECT_EQ(got.table.feasible, want.table.feasible);
+    }
+
+    // Exact oracles on the oracle-sized graph: a positive answer must be
+    // real (one-sided — the algebraic test misses with prob <= epsilon).
+    if (gi == 0 && got.found) {
+      if (q.type == QueryType::kPath) {
+        EXPECT_TRUE(baseline::has_kpath(graphs[gi], q.k));
+      } else if (q.type == QueryType::kTree) {
+        graph::GraphBuilder tb(static_cast<graph::VertexId>(q.k));
+        for (const auto& [a, b] : q.tree_edges) tb.add_edge(a, b);
+        EXPECT_TRUE(baseline::has_tree_embedding(graphs[gi], tb.build()));
+      }
+    }
+    if (gi == 0 && q.type == QueryType::kScan) {
+      const auto exact = baseline::connected_subgraph_feasibility(
+          graphs[gi], q.weights, q.k);
+      for (int j = 1; j <= q.k; ++j)
+        for (std::uint32_t z = 0; z <= got.table.max_weight; ++z) {
+          SCOPED_TRACE("j=" + std::to_string(j) + " z=" + std::to_string(z));
+          if (got.table.at(j, z)) {
+            // One-sided: feasible claims must be exact-feasible.
+            EXPECT_TRUE(z < exact[static_cast<std::size_t>(j)].size() &&
+                        exact[static_cast<std::size_t>(j)][z]);
+          }
+        }
+    }
+  }
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.executed + s.deduped, static_cast<std::uint64_t>(kQueries));
+  EXPECT_GT(s.cache.hits, 0u);
+  EXPECT_GT(s.cache.evictions, 0u);  // capacity 6 < distinct artifacts
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.failed, 0u);
+}
+
+}  // namespace
