@@ -1,0 +1,154 @@
+// Fault-free overhead of the service resilience layer (PR 6): the same
+// workload as bench_service_throughput, run through (a) a resilience-
+// minimal service (retries, shedding, hedging, breaker all off) and (b)
+// the resilient defaults (retry budget, deadline shedding, hedge
+// watchdog, circuit breaker armed) with NO faults injected. The qps gap
+// is the tax every healthy query pays for the machinery — tickets,
+// retry bookkeeping, the supervisor poll, breaker admission.
+//
+// Configs are interleaved rep by rep and each side keeps its best rep,
+// so machine noise hits both sides equally; the tax is the in-run
+// relative gap, not a cross-machine comparison.
+//
+//   ./bench_service_resilience [--n=4000] [--queries=64] [--k=4]
+//                              [--workers=4] [--reps=3] [--seed=1]
+//                              [--gate=PCT] [--json=BENCH_resilience.json]
+//
+// --gate=PCT exits non-zero when the tax exceeds PCT percent (the CI
+// regression gate; the committed baseline is BENCH_resilience.json).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/query.hpp"
+#include "service/service.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace midas;
+
+service::ServiceOptions minimal_options(int workers, int queries) {
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.queue_capacity = static_cast<std::size_t>(queries);
+  opt.retry.max_attempts = 1;  // never retry
+  opt.shed_enabled = false;
+  opt.hedge_multiplier = 0.0;
+  opt.breaker.enabled = false;
+  return opt;
+}
+
+service::ServiceOptions resilient_options(int workers, int queries) {
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.queue_capacity = static_cast<std::size_t>(queries);
+  opt.retry.max_attempts = 3;   // the serving defaults
+  opt.shed_enabled = true;
+  opt.hedge_multiplier = 4.0;   // armed, but 4x p99 never fires fault-free
+  opt.breaker.enabled = true;
+  return opt;
+}
+
+double run_once(const graph::Graph& g, const service::ServiceOptions& opt,
+                int queries, int k, std::uint64_t seed) {
+  service::DetectionService svc(opt);
+  svc.add_graph("g", g);
+
+  service::QuerySpec q;
+  q.type = service::QueryType::kPath;
+  q.graph = "g";
+  q.k = k;
+  q.max_rounds = 1;
+  q.n_ranks = 2;
+  q.n1 = 2;
+  q.n2 = 8;
+
+  q.seed = seed;
+  (void)svc.submit(q).get();  // warm-up outside the timed window
+
+  std::vector<std::shared_future<service::QueryResult>> futs;
+  futs.reserve(static_cast<std::size_t>(queries));
+  Timer t;
+  for (int i = 0; i < queries; ++i) {
+    q.seed = seed + 1 + static_cast<std::uint64_t>(i);  // no dedup
+    futs.push_back(svc.submit(q));
+  }
+  svc.drain();
+  const double wall = t.elapsed_s();
+  for (auto& f : futs) (void)f.get();
+  return static_cast<double>(queries) / wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 4000));
+  const int queries = static_cast<int>(args.get_int("queries", 64));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  Xoshiro256 rng(seed);
+  const graph::Graph g = graph::erdos_renyi_gnm(
+      n, static_cast<graph::EdgeId>(4) * n, rng);
+  std::printf(
+      "service resilience tax: n=%u m=%llu, %d queries, k=%d, %d workers, "
+      "%d reps (best-of)\n",
+      g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+      queries, k, workers, reps);
+
+  double best_min = 0.0, best_res = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    best_min = std::max(
+        best_min,
+        run_once(g, minimal_options(workers, queries), queries, k, seed));
+    best_res = std::max(
+        best_res,
+        run_once(g, resilient_options(workers, queries), queries, k, seed));
+  }
+  const double tax_pct = best_min > 0.0
+                             ? (1.0 - best_res / best_min) * 100.0
+                             : 0.0;
+
+  Table t({"config", "q/s", "tax %"});
+  t.add_row({"minimal", Table::cell(best_min, 4), ""});
+  t.add_row({"resilient", Table::cell(best_res, 4), Table::cell(tax_pct, 2)});
+  t.print("tax = 1 - qps(resilient)/qps(minimal), fault-free workload");
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out,
+                   "{\n  \"bench\": \"service_resilience\",\n"
+                   "  \"unit\": \"queries per second\",\n"
+                   "  \"n\": %u,\n  \"queries\": %d,\n  \"k\": %d,\n"
+                   "  \"workers\": %d,\n"
+                   "  \"qps_minimal\": %.2f,\n  \"qps_resilient\": %.2f,\n"
+                   "  \"tax_pct\": %.2f\n}\n",
+                   g.num_vertices(), queries, k, workers, best_min, best_res,
+                   tax_pct);
+      std::fclose(out);
+      std::printf("baseline -> %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    }
+  }
+
+  if (args.has("gate")) {
+    const double gate = args.get_double("gate", 2.0);
+    if (tax_pct > gate) {
+      std::fprintf(stderr,
+                   "FAIL: resilience tax %.2f%% exceeds gate %.2f%%\n",
+                   tax_pct, gate);
+      return 1;
+    }
+    std::printf("gate ok: tax %.2f%% <= %.2f%%\n", tax_pct, gate);
+  }
+  return 0;
+}

@@ -10,9 +10,18 @@
 //                       [--stat=kulldorff|ebp|mean|bj] [--witness]
 //   midas_cli serve     --replay=WORKLOAD [--workers=W] [--queue=C]
 //                       [--cache=N|--no-cache]
+//                       [--retries=R] [--hedge=M] [--breaker-threshold=F]
+//                       [--fault-query-kill=P] [--fault-query-corrupt=P]
+//                       [--fault-build-fail=P] [--fault-worker-kill=P]
+//                       [--fault-seed=S]
 //                       replay a workload file through the batched
 //                       DetectionService and print the per-lane
-//                       latency/throughput report (docs/SERVICE.md)
+//                       latency/throughput report (docs/SERVICE.md).
+//                       --retries bounds execution attempts per query,
+//                       --hedge=M launches a racing attempt for runs
+//                       straggling past M x the lane's rolling p99, and
+//                       the --fault-* flags arm the seeded service chaos
+//                       harness (docs/RESILIENCE.md §7)
 //
 // Common flags:
 //   --graph=FILE           edge list ("u v" per line); or
@@ -363,6 +372,18 @@ int run_serve(const midas::Args& args) {
   opt.cache_capacity = static_cast<std::size_t>(
       args.get_int("cache", static_cast<std::int64_t>(opt.cache_capacity)));
   opt.cache_enabled = !args.get_flag("no-cache");
+  opt.retry.max_attempts =
+      static_cast<int>(args.get_int("retries", opt.retry.max_attempts));
+  opt.hedge_multiplier = args.get_double("hedge", opt.hedge_multiplier);
+  opt.breaker.failure_threshold = static_cast<int>(args.get_int(
+      "breaker-threshold", opt.breaker.failure_threshold));
+  // Chaos harness: seeded service-level fault injection (--fault-*).
+  opt.chaos.query_kill_p = args.get_double("fault-query-kill", 0.0);
+  opt.chaos.query_corrupt_p = args.get_double("fault-query-corrupt", 0.0);
+  opt.chaos.build_fail_p = args.get_double("fault-build-fail", 0.0);
+  opt.chaos.worker_kill_p = args.get_double("fault-worker-kill", 0.0);
+  opt.chaos.seed = static_cast<std::uint64_t>(
+      args.get_int("fault-seed", static_cast<std::int64_t>(opt.chaos.seed)));
   const service::ReplayReport rep = service::run_replay(workload, opt);
   std::ostringstream os;
   service::print_report(os, rep);

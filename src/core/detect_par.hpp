@@ -16,6 +16,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <iterator>
 #include <optional>
@@ -427,8 +428,12 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
 
   MidasResult result;
   Timer wall;
-  // Shared flags written once per round under an allreduce barrier.
-  std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
+  // Shared flags written once per round under an allreduce barrier. Atomic
+  // because on the supervised path every survivor records (idempotently):
+  // a single designated writer could be killed between the failure vote
+  // and its write, silently losing the round.
+  std::vector<std::atomic<int>> round_found(
+      static_cast<std::size_t>(opt.rounds()));
   runtime::SpmdOptions sopt = detail::effective_spmd(opt);
 
   // Checkpointing. The fingerprint covers the execution mode because the
@@ -975,11 +980,14 @@ MidasResult kpath_engine(const std::vector<partition::PartView>& views,
         // changed view and redoes the reduction.
       }
 
-      int writer = 0;
-      while (std::binary_search(agreed_failed.begin(), agreed_failed.end(),
-                                writer))
-        ++writer;
-      if (world.rank() == writer && reduced != f.zero())
+      // Every survivor records the (shared, agreed) reduction. A single
+      // designated writer would be a correctness hole: kills fire at comm
+      // events, so the writer can die inside the very vote that the other
+      // ranks accepted — nobody would loop back to observe the death, and
+      // the round's found bit would be silently lost while the service
+      // retry layer sees a clean (wrong) completion. Idempotent atomic
+      // stores of 1 make the recording death-proof instead.
+      if (reduced != f.zero())
         round_found[static_cast<std::size_t>(round)] = 1;
       // Snapshot only failure-free rounds: `agreed_failed` is the voted
       // (hence uniform) failure view, so all survivors skip or rendezvous

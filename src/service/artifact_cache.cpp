@@ -1,99 +1,123 @@
 #include "service/artifact_cache.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "runtime/trace.hpp"
 
 namespace midas::service {
 
 std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key) {
-  std::unique_lock lock(m_);
+  Shard& s = shard_for(key);
+  std::unique_lock lock(s.m);
   for (;;) {
-    auto it = entries_.find(key);
-    if (it == entries_.end()) {
-      // Miss: claim the build slot so concurrent requesters park on cv_.
-      ++misses_;
+    auto it = s.entries.find(key);
+    if (it == s.entries.end()) {
+      // Miss: claim the build slot so concurrent requesters park on cv.
+      misses_.fetch_add(1, std::memory_order_relaxed);
       MIDAS_TRACE_COUNT("service.cache.misses", 1);
       Entry e;
       e.building = true;
-      entries_.emplace(key, std::move(e));
+      s.entries.emplace(key, std::move(e));
       return nullptr;
     }
     if (it->second.building) {
       // Another thread is building this key: single-flight wait. If the
       // build fails the entry disappears and the loop retries, making one
       // waiter the new builder.
-      cv_.wait(lock);
+      s.cv.wait(lock);
       continue;
     }
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     MIDAS_TRACE_COUNT("service.cache.hits", 1);
-    it->second.last_used = ++clock_;
+    it->second.last_used =
+        clock_.fetch_add(1, std::memory_order_relaxed) + 1;
     return it->second.value;
   }
 }
 
 void ArtifactCache::publish(const std::string& key,
                             std::shared_ptr<const void> value) {
-  std::lock_guard lock(m_);
-  ++builds_;
-  MIDAS_TRACE_COUNT("service.cache.builds", 1);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second.value = std::move(value);
-    it->second.building = false;
-    it->second.last_used = ++clock_;
-  }
-  // Evict ready entries past capacity, least recently used first. Entries
-  // mid-build are never evicted — their builder will publish into them.
-  while (true) {
-    std::size_t ready = 0;
-    auto victim = entries_.end();
-    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
-      if (e->second.building) continue;
-      ++ready;
-      if (victim == entries_.end() ||
-          e->second.last_used < victim->second.last_used)
-        victim = e;
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard lock(s.m);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    MIDAS_TRACE_COUNT("service.cache.builds", 1);
+    auto it = s.entries.find(key);
+    if (it != s.entries.end()) {
+      it->second.value = std::move(value);
+      it->second.building = false;
+      it->second.last_used =
+          clock_.fetch_add(1, std::memory_order_relaxed) + 1;
     }
-    if (ready <= capacity_ || victim == entries_.end()) break;
-    entries_.erase(victim);
-    ++evictions_;
+  }
+  s.cv.notify_all();
+  evict_over_capacity();
+}
+
+void ArtifactCache::evict_over_capacity() {
+  // Publishes are rare (one per distinct artifact), so the all-shards lock
+  // here is off the hot path; it is what keeps eviction order exactly
+  // global-LRU rather than per-shard.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& s : shards_) locks.emplace_back(s.m);
+  for (;;) {
+    std::size_t ready = 0;
+    Shard* victim_shard = nullptr;
+    std::map<std::string, Entry>::iterator victim;
+    for (Shard& s : shards_) {
+      for (auto e = s.entries.begin(); e != s.entries.end(); ++e) {
+        if (e->second.building) continue;
+        ++ready;
+        if (victim_shard == nullptr ||
+            e->second.last_used < victim->second.last_used) {
+          victim_shard = &s;
+          victim = e;
+        }
+      }
+    }
+    if (ready <= capacity_ || victim_shard == nullptr) break;
+    victim_shard->entries.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     MIDAS_TRACE_COUNT("service.cache.evictions", 1);
   }
-  cv_.notify_all();
 }
 
 void ArtifactCache::abandon(const std::string& key) noexcept {
-  std::lock_guard lock(m_);
-  auto it = entries_.find(key);
-  if (it != entries_.end() && it->second.building) entries_.erase(it);
-  cv_.notify_all();
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard lock(s.m);
+    auto it = s.entries.find(key);
+    if (it != s.entries.end() && it->second.building) s.entries.erase(it);
+  }
+  s.cv.notify_all();
 }
 
 void ArtifactCache::count_miss() noexcept {
-  std::lock_guard lock(m_);
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   MIDAS_TRACE_COUNT("service.cache.misses", 1);
 }
 
 void ArtifactCache::count_build() noexcept {
-  std::lock_guard lock(m_);
-  ++builds_;
+  builds_.fetch_add(1, std::memory_order_relaxed);
   MIDAS_TRACE_COUNT("service.cache.builds", 1);
 }
 
 ArtifactCache::Stats ArtifactCache::stats() const {
-  std::lock_guard lock(m_);
-  return {hits_, misses_, builds_, evictions_};
+  return {hits_.load(std::memory_order_relaxed),
+          misses_.load(std::memory_order_relaxed),
+          builds_.load(std::memory_order_relaxed),
+          evictions_.load(std::memory_order_relaxed)};
 }
 
 std::vector<std::string> ArtifactCache::keys_lru() const {
-  std::lock_guard lock(m_);
   std::vector<std::pair<std::uint64_t, std::string>> stamped;
-  stamped.reserve(entries_.size());
-  for (const auto& [key, e] : entries_)
-    if (!e.building) stamped.emplace_back(e.last_used, key);
+  for (const Shard& s : shards_) {
+    std::lock_guard lock(s.m);
+    for (const auto& [key, e] : s.entries)
+      if (!e.building) stamped.emplace_back(e.last_used, key);
+  }
   std::sort(stamped.begin(), stamped.end());
   std::vector<std::string> keys;
   keys.reserve(stamped.size());
@@ -102,17 +126,23 @@ std::vector<std::string> ArtifactCache::keys_lru() const {
 }
 
 std::size_t ArtifactCache::size() const {
-  std::lock_guard lock(m_);
-  return entries_.size();
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard lock(s.m);
+    n += s.entries.size();
+  }
+  return n;
 }
 
 void ArtifactCache::clear() {
-  std::lock_guard lock(m_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (!it->second.building)
-      it = entries_.erase(it);
-    else
-      ++it;
+  for (Shard& s : shards_) {
+    std::lock_guard lock(s.m);
+    for (auto it = s.entries.begin(); it != s.entries.end();) {
+      if (!it->second.building)
+        it = s.entries.erase(it);
+      else
+        ++it;
+    }
   }
 }
 

@@ -14,6 +14,14 @@
 //    using the artifact, and a later query for the same key rebuilds it
 //    bit-identically (the builders are pure functions of the key).
 //
+// The key space is striped across `shards` independently locked maps, so
+// concurrent hits on different keys never contend — one global mutex here
+// was the service's scaling bottleneck (every query takes 2+ cache hits;
+// see EXPERIMENTS.md "Striping the artifact cache"). Recency is a single
+// atomic clock, and eviction takes all shard locks briefly at publish
+// time, which keeps the LRU order exactly global (not per-shard): the
+// hot path (hits) stays per-shard, and publishes are rare by design.
+//
 // Values are type-erased shared_ptr<const void>; the key string encodes
 // the artifact kind, so a key is always requested as the same type.
 #pragma once
@@ -34,8 +42,12 @@ class ArtifactCache {
   /// `capacity` = max resident entries; 0, or enabled = false, disables
   /// caching entirely (every get_or_build runs the builder, stores
   /// nothing) — the ablation mode bench_service_throughput measures.
-  explicit ArtifactCache(std::size_t capacity, bool enabled = true)
-      : capacity_(capacity), enabled_(enabled && capacity > 0) {}
+  /// `shards` = number of independently locked key stripes.
+  explicit ArtifactCache(std::size_t capacity, bool enabled = true,
+                         std::size_t shards = 8)
+      : capacity_(capacity),
+        enabled_(enabled && capacity > 0),
+        shards_(shards > 0 ? shards : 1) {}
 
   ArtifactCache(const ArtifactCache&) = delete;
   ArtifactCache& operator=(const ArtifactCache&) = delete;
@@ -77,6 +89,7 @@ class ArtifactCache {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
 
   /// Drop every resident entry (outstanding shared_ptrs stay valid).
   void clear();
@@ -88,21 +101,34 @@ class ArtifactCache {
     std::uint64_t last_used = 0;
   };
 
+  /// One key stripe: its own lock, waiters, and entry map.
+  struct Shard {
+    mutable std::mutex m;
+    std::condition_variable cv;
+    std::map<std::string, Entry> entries;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
   /// Returns the value on a hit (waiting out a concurrent builder), or
   /// null after registering the caller as the builder for `key`.
   [[nodiscard]] std::shared_ptr<const void> lookup(const std::string& key);
   void publish(const std::string& key, std::shared_ptr<const void> value);
   void abandon(const std::string& key) noexcept;
+  /// Evict ready entries past capacity, globally least-recently-used
+  /// first. Takes every shard lock; the caller must hold none of them.
+  void evict_over_capacity();
   void count_miss() noexcept;
   void count_build() noexcept;
 
   const std::size_t capacity_;
   const bool enabled_;
-  mutable std::mutex m_;
-  std::condition_variable cv_;
-  std::map<std::string, Entry> entries_;
-  std::uint64_t clock_ = 0;  // LRU recency stamp
-  std::uint64_t hits_ = 0, misses_ = 0, builds_ = 0, evictions_ = 0;
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> clock_{0};  // LRU recency stamp
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, builds_{0},
+      evictions_{0};
 };
 
 }  // namespace midas::service

@@ -31,12 +31,46 @@ class ServiceError : public std::runtime_error {
 };
 
 /// Admission rejected: the query's lane queue is full. The query was never
-/// enqueued; in-flight work is unaffected. Retry later or shed load.
+/// enqueued; in-flight work is unaffected. The error carries both lanes'
+/// depths and the service's shed policy so load generators can implement
+/// client-side backoff without a second stats() round-trip.
 class ServiceOverloadError : public ServiceError {
  public:
-  ServiceOverloadError(const std::string& lane, std::size_t depth)
+  ServiceOverloadError(const std::string& lane,
+                       std::size_t interactive_depth,
+                       std::size_t batch_depth, std::size_t capacity,
+                       const std::string& shed_policy)
       : ServiceError("service overloaded: " + lane + " queue full (" +
-                     std::to_string(depth) + " queued)") {}
+                     std::to_string(lane == "interactive" ? interactive_depth
+                                                          : batch_depth) +
+                     "/" + std::to_string(capacity) +
+                     " queued; interactive=" +
+                     std::to_string(interactive_depth) +
+                     " batch=" + std::to_string(batch_depth) +
+                     ", shed=" + shed_policy + ")"),
+        interactive_depth_(interactive_depth),
+        batch_depth_(batch_depth),
+        capacity_(capacity),
+        shed_policy_(shed_policy) {}
+
+  [[nodiscard]] std::size_t interactive_depth() const noexcept {
+    return interactive_depth_;
+  }
+  [[nodiscard]] std::size_t batch_depth() const noexcept {
+    return batch_depth_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// "deadline-aware" when admission sheds infeasible deadlines, "none"
+  /// when shedding is disabled.
+  [[nodiscard]] const std::string& shed_policy() const noexcept {
+    return shed_policy_;
+  }
+
+ private:
+  std::size_t interactive_depth_;
+  std::size_t batch_depth_;
+  std::size_t capacity_;
+  std::string shed_policy_;
 };
 
 /// The query's deadline passed before a worker could start it. The future
@@ -45,6 +79,50 @@ class DeadlineExceededError : public ServiceError {
  public:
   DeadlineExceededError()
       : ServiceError("query deadline exceeded before execution started") {}
+};
+
+/// Admission rejected because the query's deadline is already infeasible:
+/// the estimated queue wait (rolling mean execution time x queue depth
+/// ahead / workers) exceeds the submitted timeout budget. Shedding at
+/// submit keeps doomed work out of the queue entirely (docs/SERVICE.md).
+class DeadlineInfeasibleError : public ServiceError {
+ public:
+  DeadlineInfeasibleError(double eta_s, double budget_s)
+      : ServiceError("deadline infeasible at admission: estimated queue "
+                     "wait " +
+                     std::to_string(eta_s) + " s exceeds the " +
+                     std::to_string(budget_s) + " s timeout budget"),
+        eta_s_(eta_s),
+        budget_s_(budget_s) {}
+  [[nodiscard]] double eta_s() const noexcept { return eta_s_; }
+  [[nodiscard]] double budget_s() const noexcept { return budget_s_; }
+
+ private:
+  double eta_s_;
+  double budget_s_;
+};
+
+/// Fast-fail: the per-graph circuit breaker is open after consecutive
+/// artifact-build failures. The query never touched the worker pool; try
+/// again after the cooldown (a half-open probe re-tests the build path).
+class CircuitOpenError : public ServiceError {
+ public:
+  CircuitOpenError(const std::string& graph, double retry_after_s)
+      : ServiceError("circuit open for graph '" + graph +
+                     "': artifact builds failing repeatedly; retry after " +
+                     std::to_string(retry_after_s) + " s"),
+        graph_(graph),
+        retry_after_s_(retry_after_s) {}
+  [[nodiscard]] const std::string& graph_name() const noexcept {
+    return graph_;
+  }
+  [[nodiscard]] double retry_after_s() const noexcept {
+    return retry_after_s_;
+  }
+
+ private:
+  std::string graph_;
+  double retry_after_s_;
 };
 
 /// submit() referenced a graph name never passed to add_graph().
@@ -60,6 +138,24 @@ class ServiceShutdownError : public ServiceError {
  public:
   ServiceShutdownError()
       : ServiceError("service shut down before the query ran") {}
+};
+
+/// Per-query retry budget and backoff shape (service/resilience.hpp).
+/// Retries apply only to failures classified retryable (injected faults,
+/// rank deaths, transient artifact-build failures) — validation and other
+/// caller bugs always surface immediately. Backoff for attempt a is
+///   min(max_backoff_s, base_backoff_s * multiplier^(a-1))
+/// scaled by a deterministic jitter drawn from (query fingerprint, a), so
+/// a given query's retry schedule is identical across reruns.
+struct RetryPolicy {
+  int max_attempts = 0;        // total execution starts; 0 = inherit the
+                               // service default, 1 = never retry
+  double base_backoff_s = 1e-3;
+  double multiplier = 2.0;
+  double max_backoff_s = 0.1;
+  double jitter = 0.5;         // +/- fraction of the backoff added
+
+  [[nodiscard]] bool inherits() const noexcept { return max_attempts <= 0; }
 };
 
 enum class QueryType { kPath, kTree, kScan };
@@ -106,8 +202,14 @@ struct QuerySpec {
 
   // Serving metadata (excluded from the fingerprint). timeout_s > 0 arms a
   // deadline measured from submit(): a query still queued when it expires
-  // completes with DeadlineExceededError instead of running.
+  // completes with DeadlineExceededError instead of running, and admission
+  // may shed it up front with DeadlineInfeasibleError when the estimated
+  // queue wait already exceeds the budget.
   double timeout_s = 0.0;
+  // Per-query retry policy; max_attempts = 0 inherits the service default
+  // (ServiceOptions::retry). Serving metadata: excluded from the
+  // fingerprint, so deduped queries share one retried execution.
+  RetryPolicy retry{};
 
   [[nodiscard]] int rounds() const {
     return max_rounds > 0 ? max_rounds
@@ -155,6 +257,12 @@ struct QueryResult {
   double engine_wall_s = 0.0;  // host wall-clock inside the engine
   double queue_s = 0.0;        // submit -> execution start
   double total_s = 0.0;        // submit -> completion
+
+  // Resilience telemetry (service/resilience.hpp): how many execution
+  // starts (first attempt + retries + hedges) this answer consumed, and
+  // whether a hedged re-execution beat the original straggler to it.
+  int attempts = 1;
+  bool hedge_won = false;
 };
 
 }  // namespace midas::service

@@ -165,6 +165,10 @@ ReplayReport run_replay(const std::string& workload_path,
   sopt.queue_capacity = ropt.queue_capacity;
   sopt.cache_capacity = ropt.cache_capacity;
   sopt.cache_enabled = ropt.cache_enabled;
+  sopt.retry = ropt.retry;
+  sopt.hedge_multiplier = ropt.hedge_multiplier;
+  sopt.breaker = ropt.breaker;
+  sopt.chaos = ropt.chaos;
   DetectionService svc(sopt);
 
   // Pass 1: parse the whole file (graphs registered as they appear) so a
@@ -223,6 +227,16 @@ ReplayReport run_replay(const std::string& workload_path,
       } catch (const ServiceOverloadError&) {
         ++rep.overload_retries;
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      } catch (const DeadlineInfeasibleError&) {
+        // The deadline cannot be met behind the current queue: drop the
+        // query now (that is the point of shedding) and move on.
+        ++rep.shed;
+        break;
+      } catch (const CircuitOpenError&) {
+        // The graph's artifact path is known bad; skip instead of
+        // hammering the breaker.
+        ++rep.breaker_fastfail;
+        break;
       }
     }
   }
@@ -250,6 +264,12 @@ ReplayReport run_replay(const std::string& workload_path,
   const std::uint64_t completed = rep.interactive.ok + rep.batch.ok;
   rep.qps = rep.wall_s > 0.0 ? static_cast<double>(completed) / rep.wall_s
                              : 0.0;
+  const ServiceStats stats = svc.stats();
+  rep.retried = stats.retried;
+  rep.hedges = stats.hedges;
+  rep.worker_restarts = stats.worker_restarts;
+  rep.chaos_engine_faults = stats.chaos_engine_faults;
+  rep.chaos_build_failures = stats.chaos_build_failures;
   rep.cache = svc.cache().stats();
   return rep;
 }
@@ -275,6 +295,12 @@ void print_report(std::ostream& os, const ReplayReport& r) {
   os << "  cache: " << r.cache.hits << " hits, " << r.cache.misses
      << " misses, " << r.cache.builds << " builds, " << r.cache.evictions
      << " evictions\n";
+  os << "  resilience: " << r.retried << " retries, " << r.hedges
+     << " hedges, " << r.worker_restarts << " worker restarts, " << r.shed
+     << " shed, " << r.breaker_fastfail << " breaker fast-fails\n";
+  if (r.chaos_engine_faults > 0 || r.chaos_build_failures > 0)
+    os << "  chaos: " << r.chaos_engine_faults << " engine faults, "
+       << r.chaos_build_failures << " forced build failures\n";
 }
 
 }  // namespace midas::service

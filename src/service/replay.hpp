@@ -36,6 +36,14 @@ struct ReplayOptions {
   std::size_t queue_capacity = 64;
   std::size_t cache_capacity = 16;
   bool cache_enabled = true;
+  /// Resilience knobs (service/resilience.hpp): retry budget/backoff,
+  /// hedged re-execution, per-graph circuit breaker.
+  RetryPolicy retry{.max_attempts = 3};
+  double hedge_multiplier = 0.0;  // 0 = hedging off
+  CircuitBreaker::Config breaker{};
+  /// Chaos harness: seeded faults injected into the replayed workload
+  /// (`midas_cli serve --fault-*`).
+  ServiceFaultPlan chaos{};
 };
 
 /// Latency/throughput digest of one lane's completed queries.
@@ -52,6 +60,13 @@ struct LaneReport {
 struct ReplayReport {
   LaneReport interactive, batch;
   std::uint64_t overload_retries = 0;  // admission rejections (then retried)
+  std::uint64_t shed = 0;              // DeadlineInfeasibleError at submit
+  std::uint64_t breaker_fastfail = 0;  // CircuitOpenError at submit
+  std::uint64_t retried = 0;           // execution retries scheduled
+  std::uint64_t hedges = 0;            // hedged re-executions launched
+  std::uint64_t worker_restarts = 0;   // dead workers replaced
+  std::uint64_t chaos_engine_faults = 0;
+  std::uint64_t chaos_build_failures = 0;
   double wall_s = 0.0;                 // first submit -> drain
   double qps = 0.0;                    // completed queries / wall_s
   ArtifactCache::Stats cache;

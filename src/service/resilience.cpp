@@ -1,0 +1,246 @@
+#include "service/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <new>
+#include <span>
+
+#include "core/errors.hpp"
+
+namespace midas::service {
+
+namespace {
+
+/// Uniform double in [0, 1) from a mixed 64-bit word.
+double to_unit(std::uint64_t u) noexcept {
+  return static_cast<double>(u >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fault classification
+// ---------------------------------------------------------------------------
+
+FaultClass classify_failure(const std::exception_ptr& error) noexcept {
+  if (!error) return FaultClass::kFatal;
+  try {
+    std::rethrow_exception(error);
+  } catch (const InjectedBuildFailureError&) {
+    return FaultClass::kRetryable;  // chaos stops failing a key eventually
+  } catch (const WorkerKilledFault&) {
+    return FaultClass::kRetryable;  // the pool self-heals; re-run the query
+  } catch (const ServiceError&) {
+    // Everything else in the service family is a deterministic serving
+    // outcome: overload, unknown graph, shutdown, open circuit, deadline.
+    return FaultClass::kFatal;
+  } catch (const runtime::FaultError&) {
+    // The whole runtime-fault family — RankKilledFault, RankFailedError,
+    // WorldAbortError, TimeoutError, UnrecoverableFaultError — is
+    // transient from the service's seat: a fresh attempt draws a fresh
+    // fault schedule.
+    return FaultClass::kRetryable;
+  } catch (const core::InvalidOptionsError&) {
+    return FaultClass::kFatal;
+  } catch (const std::bad_alloc&) {
+    return FaultClass::kFatal;  // retrying under memory pressure makes it worse
+  } catch (const std::invalid_argument&) {
+    return FaultClass::kFatal;
+  } catch (...) {
+    // Unknown failure mode: fail loudly rather than spin the pool on what
+    // is most likely a bug.
+    return FaultClass::kFatal;
+  }
+}
+
+const char* to_string(FaultClass c) noexcept {
+  return c == FaultClass::kRetryable ? "retryable" : "fatal";
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------------
+
+double backoff_s(const RetryPolicy& policy, std::uint64_t key,
+                 int attempt) noexcept {
+  if (attempt < 1) attempt = 1;
+  double d = policy.base_backoff_s;
+  for (int i = 1; i < attempt && d < policy.max_backoff_s; ++i)
+    d *= policy.multiplier;
+  d = std::min(d, policy.max_backoff_s);
+  // Deterministic jitter in [1 - jitter, 1 + jitter], drawn from the
+  // (query, attempt) identity: desynchronizes retry herds without making
+  // the schedule irreproducible.
+  const std::uint64_t u = runtime::fault_mix(
+      key ^ (static_cast<std::uint64_t>(attempt) * 0x9E3779B97F4A7C15ULL) ^
+      0xBACC0FFULL);
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  d *= 1.0 + jitter * (2.0 * to_unit(u) - 1.0);
+  return std::max(d, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// RollingWindow
+// ---------------------------------------------------------------------------
+
+double RollingWindow::mean() const noexcept {
+  if (n_ == 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) s += buf_[i];
+  return s / static_cast<double>(n_);
+}
+
+double RollingWindow::quantile(double q) const {
+  if (n_ == 0) return 0.0;
+  std::vector<double> xs(buf_.begin(),
+                         buf_.begin() + static_cast<std::ptrdiff_t>(n_));
+  const double rank = std::clamp(q, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(n_ - 1);
+  const auto idx = static_cast<std::size_t>(rank);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx),
+                   xs.end());
+  return xs[idx];
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------------
+
+CircuitBreaker::State CircuitBreaker::admit(const std::string& key,
+                                            double now_s) {
+  if (!cfg_.enabled) return State::kClosed;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return State::kClosed;
+  Entry& e = it->second;
+  if (!e.open) return State::kClosed;
+  if (e.probe_inflight) return State::kOpen;  // someone holds the probe
+  if (now_s < e.open_until_s) return State::kOpen;
+  e.probe_inflight = true;  // this caller gets the half-open probe
+  return State::kHalfOpen;
+}
+
+void CircuitBreaker::record_success(const std::string& key) {
+  if (!cfg_.enabled) return;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  it->second = Entry{};  // closed, counters reset
+}
+
+bool CircuitBreaker::record_failure(const std::string& key, double now_s) {
+  if (!cfg_.enabled) return false;
+  Entry& e = entries_[key];
+  ++e.consecutive_failures;
+  const bool probe_failed = e.open && e.probe_inflight;
+  if (probe_failed || e.consecutive_failures >= cfg_.failure_threshold) {
+    e.open = true;
+    e.probe_inflight = false;
+    e.open_until_s = now_s + cfg_.cooldown_s;
+    ++trips_;
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::release_probe(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) it->second.probe_inflight = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state(const std::string& key,
+                                            double now_s) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.open) return State::kClosed;
+  const Entry& e = it->second;
+  if (e.probe_inflight || now_s < e.open_until_s) return State::kOpen;
+  return State::kHalfOpen;  // probe available
+}
+
+double CircuitBreaker::retry_after_s(const std::string& key,
+                                     double now_s) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.open) return 0.0;
+  return std::max(0.0, it->second.open_until_s - now_s);
+}
+
+std::size_t CircuitBreaker::open_count(double now_s) const {
+  std::size_t n = 0;
+  for (const auto& [key, e] : entries_)
+    if (e.open && (e.probe_inflight || now_s < e.open_until_s)) ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ServiceFaultInjector
+// ---------------------------------------------------------------------------
+
+ServiceFaultInjector::ServiceFaultInjector(ServiceFaultPlan plan)
+    : plan_(plan) {
+  MIDAS_REQUIRE(plan_.query_kill_p >= 0.0 && plan_.query_kill_p <= 1.0 &&
+                    plan_.query_corrupt_p >= 0.0 &&
+                    plan_.query_corrupt_p <= 1.0 &&
+                    plan_.build_fail_p >= 0.0 && plan_.build_fail_p <= 1.0 &&
+                    plan_.worker_kill_p >= 0.0 && plan_.worker_kill_p <= 1.0,
+                "ServiceFaultPlan probabilities must be in [0, 1]");
+  MIDAS_REQUIRE(plan_.corrupt_channel_p >= 0.0 &&
+                    plan_.corrupt_channel_p < 1.0,
+                "ServiceFaultPlan corrupt_channel_p must be in [0, 1): "
+                "retransmission never succeeds at p >= 1");
+  MIDAS_REQUIRE(plan_.max_faulty_attempts >= 0,
+                "ServiceFaultPlan max_faulty_attempts must be >= 0");
+}
+
+std::uint64_t ServiceFaultInjector::mix(std::uint64_t a, std::uint64_t b,
+                                        std::uint64_t tag) const noexcept {
+  return runtime::fault_mix(
+      runtime::fault_mix(plan_.seed ^ tag) ^
+      runtime::fault_mix(a ^ (b * 0x9E3779B97F4A7C15ULL)));
+}
+
+bool ServiceFaultInjector::apply_engine_faults(core::MidasOptions& opt,
+                                               std::uint64_t fp,
+                                               int attempt) const {
+  if (attempt >= plan_.max_faulty_attempts) return false;
+  const auto a = static_cast<std::uint64_t>(attempt);
+  bool injected = false;
+  if (plan_.query_kill_p > 0.0 &&
+      to_unit(mix(fp, a, /*tag=*/0x4B11ULL)) < plan_.query_kill_p) {
+    const std::uint64_t pick = mix(fp, a, /*tag=*/0x4B12ULL);
+    const int rank = static_cast<int>(
+        pick % static_cast<std::uint64_t>(std::max(1, opt.n_ranks)));
+    // A small event index so the kill fires early in the run (every rank
+    // reaches its first few comm events even in one-round queries).
+    const std::uint64_t event = 1 + (pick >> 32) % 6;
+    opt.spmd.faults.kill_at_event(rank, event);
+    injected = true;
+  }
+  if (plan_.query_corrupt_p > 0.0 &&
+      to_unit(mix(fp, a, /*tag=*/0xC0ADULL)) < plan_.query_corrupt_p) {
+    runtime::ChannelFaults c;  // every channel; corruption only
+    c.corrupt_p = plan_.corrupt_channel_p;
+    opt.spmd.faults.with_channel(c);
+    injected = true;
+  }
+  if (injected)
+    opt.spmd.faults.seed = mix(fp, a, /*tag=*/0x5EEDULL);
+  return injected;
+}
+
+bool ServiceFaultInjector::should_fail_build(
+    const std::string& key, std::uint64_t build_index) const {
+  if (plan_.build_fail_p <= 0.0 ||
+      build_index >= static_cast<std::uint64_t>(plan_.max_faulty_attempts))
+    return false;
+  const std::uint64_t kh = runtime::fnv1a(std::as_bytes(
+      std::span<const char>(key.data(), key.size())));
+  return to_unit(mix(kh, build_index, /*tag=*/0xB01DULL)) <
+         plan_.build_fail_p;
+}
+
+bool ServiceFaultInjector::should_kill_worker(
+    std::uint64_t dequeue_index) const {
+  if (plan_.worker_kill_p <= 0.0) return false;
+  return to_unit(mix(dequeue_index, 0, /*tag=*/0xDEADULL)) <
+         plan_.worker_kill_p;
+}
+
+}  // namespace midas::service

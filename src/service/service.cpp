@@ -9,6 +9,7 @@
 #include "gf/gfsmall.hpp"
 #include "partition/multilevel.hpp"
 #include "runtime/trace.hpp"
+#include "util/log.hpp"
 
 namespace midas::service {
 
@@ -18,6 +19,11 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start, Clock::time_point end) {
   return std::chrono::duration<double>(end - start).count();
+}
+
+Clock::duration to_duration(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
 }
 
 /// Run `fn` with the field instance matching `l` bits. GF(2^8) has the
@@ -54,54 +60,86 @@ std::string rand_key(const QuerySpec& spec) {
          "/rounds=" + std::to_string(spec.rounds());
 }
 
+std::size_t lane_index(Lane l) noexcept {
+  return l == Lane::kInteractive ? 0 : 1;
+}
+
 }  // namespace
 
 DetectionService::DetectionService(ServiceOptions opt)
     : opt_(std::move(opt)),
-      cache_(opt_.cache_capacity, opt_.cache_enabled) {
+      chaos_(opt_.chaos),
+      cache_(opt_.cache_capacity, opt_.cache_enabled, opt_.cache_shards),
+      breaker_(opt_.breaker) {
   if (opt_.workers < 1)
     throw std::invalid_argument("service needs at least one worker");
   if (opt_.queue_capacity < 1)
     throw std::invalid_argument("service needs queue_capacity >= 1");
-  workers_.reserve(static_cast<std::size_t>(opt_.workers));
-  for (int i = 0; i < opt_.workers; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  if (opt_.supervisor_poll_s <= 0.0)
+    throw std::invalid_argument("supervisor_poll_s must be > 0");
+  {
+    std::lock_guard lock(m_);
+    workers_.reserve(static_cast<std::size_t>(opt_.workers) * 2);
+    for (int i = 0; i < opt_.workers; ++i) {
+      workers_.emplace_back([this] { worker_main(); });
+      ++workers_alive_;
+    }
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
 }
 
 DetectionService::~DetectionService() {
-  std::deque<std::unique_ptr<Pending>> orphans;
+  std::vector<std::shared_ptr<Ticket>> orphans;
   {
     std::lock_guard lock(m_);
     stopping_ = true;
-    orphans.swap(interactive_);
-    for (auto& p : batch_) orphans.push_back(std::move(p));
+    for (auto& t : interactive_) orphans.push_back(std::move(t));
+    interactive_.clear();
+    for (auto& t : batch_) orphans.push_back(std::move(t));
     batch_.clear();
+    for (auto& t : hedge_) orphans.push_back(std::move(t));
+    hedge_.clear();
+    for (auto& e : retry_heap_) orphans.push_back(std::move(e.ticket));
+    retry_heap_.clear();
   }
   work_cv_.notify_all();
-  for (auto& t : workers_) t.join();
-  for (auto& p : orphans)
-    p->promise.set_exception(
-        std::make_exception_ptr(ServiceShutdownError()));
+  sup_cv_.notify_all();
+  if (supervisor_.joinable()) supervisor_.join();
+  // workers_ can grow while self-healing spawns replacements, but never
+  // after stopping_ is set (worker_main checks it under m_), so indexed
+  // iteration with a re-checked bound joins every thread exactly once.
+  for (std::size_t i = 0;; ++i) {
+    std::thread t;
+    {
+      std::lock_guard lock(m_);
+      if (i >= workers_.size()) break;
+      t = std::move(workers_[i]);
+    }
+    if (t.joinable()) t.join();
+  }
+  // Settled after every thread is gone: no attempt can race these promises.
+  for (auto& t : orphans) {
+    if (!t || t->settled) continue;
+    t->settled = true;
+    t->promise.set_exception(std::make_exception_ptr(ServiceShutdownError()));
+  }
 }
 
 void DetectionService::add_graph(const std::string& name, graph::Graph g) {
   auto ptr = std::make_shared<const graph::Graph>(std::move(g));
-  std::lock_guard lock(m_);
+  std::lock_guard lock(graphs_m_);
   graphs_[name] = std::move(ptr);
 }
 
 std::shared_ptr<const graph::Graph> DetectionService::graph(
     const std::string& name) const {
-  std::lock_guard lock(m_);
+  std::lock_guard lock(graphs_m_);
   auto it = graphs_.find(name);
   return it == graphs_.end() ? nullptr : it->second;
 }
 
-void DetectionService::validate(const QuerySpec& spec) const {
-  // m_ held by the caller (graphs_ access).
-  auto git = graphs_.find(spec.graph);
-  if (git == graphs_.end()) throw UnknownGraphError(spec.graph);
-  const graph::Graph& g = *git->second;
+void DetectionService::validate(const QuerySpec& spec,
+                                const graph::Graph& g) const {
   if (spec.k < 1) throw std::invalid_argument("k must be >= 1");
   if (spec.field_bits < 2 || spec.field_bits > 16)
     throw std::invalid_argument("field_bits must be in [2, 16]");
@@ -116,12 +154,19 @@ void DetectionService::validate(const QuerySpec& spec) const {
     throw std::invalid_argument("scan needs one weight per graph vertex");
 }
 
+double DetectionService::now_s() const {
+  return seconds_since(epoch_, Clock::now());
+}
+
 std::shared_future<QueryResult> DetectionService::submit(
     const QuerySpec& spec) {
   const std::uint64_t key = query_fingerprint(spec);
+  std::shared_ptr<const graph::Graph> g = graph(spec.graph);
+  if (!g) throw UnknownGraphError(spec.graph);
+  validate(spec, *g);
+
   std::unique_lock lock(m_);
   if (stopping_) throw ServiceShutdownError();
-  validate(spec);
 
   if (auto it = inflight_by_key_.find(key); it != inflight_by_key_.end()) {
     ++deduped_;
@@ -129,26 +174,66 @@ std::shared_future<QueryResult> DetectionService::submit(
     return it->second;
   }
 
+  // Circuit breaker: fast-fail while the graph's artifact builds are known
+  // bad. A half-open admit makes this query the probe — it carries the
+  // breaker_probe flag so the probe slot is released if the query never
+  // reaches a build outcome.
+  const CircuitBreaker::State breaker_state =
+      breaker_.admit(spec.graph, now_s());
+  if (breaker_state == CircuitBreaker::State::kOpen) {
+    ++breaker_fastfail_;
+    MIDAS_TRACE_COUNT("service.breaker_fastfail", 1);
+    throw CircuitOpenError(spec.graph,
+                           breaker_.retry_after_s(spec.graph, now_s()));
+  }
+  const bool is_probe = breaker_state == CircuitBreaker::State::kHalfOpen;
+
   auto& lane = spec.lane == Lane::kInteractive ? interactive_ : batch_;
   if (lane.size() >= opt_.queue_capacity) {
+    if (is_probe) breaker_.release_probe(spec.graph);
     ++rejected_;
     MIDAS_TRACE_COUNT("service.rejected", 1);
-    throw ServiceOverloadError(to_string(spec.lane), lane.size());
+    throw ServiceOverloadError(
+        to_string(spec.lane), interactive_.size(), batch_.size(),
+        opt_.queue_capacity, opt_.shed_enabled ? "deadline-aware" : "none");
   }
 
-  auto p = std::make_unique<Pending>();
-  p->spec = spec;
-  p->fingerprint = key;
-  p->submitted_at = Clock::now();
-  if (spec.timeout_s > 0.0) {
-    p->has_deadline = true;
-    p->deadline = p->submitted_at +
-                  std::chrono::duration_cast<Clock::duration>(
-                      std::chrono::duration<double>(spec.timeout_s));
+  // Deadline-aware shedding: if the lane's rolling mean execution time says
+  // the queue wait alone already exceeds the timeout budget, reject now
+  // instead of letting the deadline expire in the queue. Workers drain the
+  // interactive lane first, so batch queries wait behind both lanes.
+  if (opt_.shed_enabled && spec.timeout_s > 0.0) {
+    const RollingWindow& w = exec_window_[lane_index(spec.lane)];
+    if (w.count() >= opt_.shed_min_samples) {
+      const std::size_t ahead = spec.lane == Lane::kInteractive
+                                    ? interactive_.size()
+                                    : interactive_.size() + batch_.size();
+      const double eta =
+          w.mean() * static_cast<double>(ahead) /
+          static_cast<double>(std::max<std::size_t>(1, workers_alive_));
+      if (eta > spec.timeout_s) {
+        if (is_probe) breaker_.release_probe(spec.graph);
+        ++shed_;
+        MIDAS_TRACE_COUNT("service.shed", 1);
+        throw DeadlineInfeasibleError(eta, spec.timeout_s);
+      }
+    }
   }
-  std::shared_future<QueryResult> fut = p->promise.get_future().share();
+
+  auto t = std::make_shared<Ticket>();
+  t->spec = spec;
+  t->fingerprint = key;
+  t->retry = spec.retry.inherits() ? opt_.retry : spec.retry;
+  if (t->retry.max_attempts < 1) t->retry.max_attempts = 1;
+  t->breaker_probe = is_probe;
+  t->submitted_at = Clock::now();
+  if (spec.timeout_s > 0.0) {
+    t->has_deadline = true;
+    t->deadline = t->submitted_at + to_duration(spec.timeout_s);
+  }
+  std::shared_future<QueryResult> fut = t->promise.get_future().share();
   inflight_by_key_.emplace(key, fut);
-  lane.push_back(std::move(p));
+  lane.push_back(std::move(t));
   ++submitted_;
   MIDAS_TRACE_COUNT("service.submitted", 1);
   update_queue_gauge();
@@ -160,108 +245,363 @@ std::shared_future<QueryResult> DetectionService::submit(
 void DetectionService::update_queue_gauge() const {
   // m_ held by the caller.
   runtime::tracer().metrics().gauge("service.queue_depth")
-      .set(static_cast<std::int64_t>(interactive_.size() + batch_.size()));
+      .set(static_cast<std::int64_t>(interactive_.size() + batch_.size() +
+                                     hedge_.size()));
+}
+
+void DetectionService::update_breaker_gauge() {
+  // m_ held by the caller.
+  runtime::tracer().metrics().gauge("service.breaker_state")
+      .set(static_cast<std::int64_t>(breaker_.open_count(now_s())));
+}
+
+void DetectionService::worker_main() {
+  try {
+    worker_loop();
+    return;  // clean shutdown
+  } catch (const std::exception& e) {
+    log_warn("service worker died (", e.what(), "); replacing");
+  } catch (...) {
+    log_warn("service worker died on an unknown exception; replacing");
+  }
+  // Self-healing: the dying thread spawns its own replacement, so the pool
+  // never shrinks. The dead std::thread object stays in workers_ for the
+  // destructor to join.
+  std::lock_guard lock(m_);
+  --workers_alive_;
+  if (stopping_) return;
+  ++worker_restarts_;
+  MIDAS_TRACE_COUNT("service.worker_restarts", 1);
+  workers_.emplace_back([this] { worker_main(); });
+  ++workers_alive_;
 }
 
 void DetectionService::worker_loop() {
   for (;;) {
-    std::unique_ptr<Pending> p;
+    std::shared_ptr<Ticket> t;
+    bool is_hedge = false;
+    int attempt = 0;
+    Clock::time_point started;
     {
       std::unique_lock lock(m_);
       work_cv_.wait(lock, [this] {
-        return stopping_ || !interactive_.empty() || !batch_.empty();
+        return stopping_ || !hedge_.empty() || !interactive_.empty() ||
+               !batch_.empty();
       });
       if (stopping_) return;
-      auto& lane = !interactive_.empty() ? interactive_ : batch_;
-      p = std::move(lane.front());
-      lane.pop_front();
+      if (!hedge_.empty()) {
+        t = hedge_.front();
+        hedge_.pop_front();
+        is_hedge = true;
+      } else {
+        auto& lane = !interactive_.empty() ? interactive_ : batch_;
+        t = lane.front();
+        lane.pop_front();
+      }
+      const std::uint64_t dq = ++dequeues_;
+
+      // Chaos: kill this worker thread at dequeue. The ticket goes back to
+      // the front of its lane first, so the query just sees a delay while
+      // the pool self-heals. Bounded per ticket so chaos runs terminate.
+      if (!is_hedge && chaos_.armed() &&
+          t->worker_kills < chaos_.plan().max_faulty_attempts &&
+          chaos_.should_kill_worker(dq)) {
+        ++t->worker_kills;
+        auto& lane = t->spec.lane == Lane::kInteractive ? interactive_ : batch_;
+        lane.push_front(std::move(t));
+        update_queue_gauge();
+        work_cv_.notify_one();
+        throw WorkerKilledFault(dq);
+      }
+
+      if (t->settled) {
+        // A queued hedge whose primary already finished: drop it.
+        update_queue_gauge();
+        drain_cv_.notify_all();
+        continue;
+      }
+
+      started = Clock::now();
+      if (!is_hedge && t->has_deadline && started >= t->deadline) {
+        ++deadline_exceeded_;
+        MIDAS_TRACE_COUNT("service.deadline_exceeded", 1);
+        MIDAS_TRACE_INSTANT("service.query.deadline");
+        t->settled = true;
+        if (t->breaker_probe) breaker_.release_probe(t->spec.graph);
+        t->promise.set_exception(
+            std::make_exception_ptr(DeadlineExceededError()));
+        inflight_by_key_.erase(t->fingerprint);
+        update_queue_gauge();
+        drain_cv_.notify_all();
+        continue;
+      }
+
+      attempt = t->attempts_started++;
+      ++t->outstanding;
+      executing_tickets_[t.get()] = t;
+      if (!is_hedge) {
+        t->exec_started = started;
+        t->hedged = false;
+      }
       ++executing_;
       update_queue_gauge();
+      sup_cv_.notify_one();  // hedge watchdog: a new execution to watch
     }
 
-    const auto started = Clock::now();
-    if (p->has_deadline && started >= p->deadline) {
-      std::lock_guard lock(m_);
-      ++deadline_exceeded_;
-      MIDAS_TRACE_COUNT("service.deadline_exceeded", 1);
-      MIDAS_TRACE_INSTANT("service.query.deadline");
-      p->promise.set_exception(
-          std::make_exception_ptr(DeadlineExceededError()));
-      inflight_by_key_.erase(p->fingerprint);
-      --executing_;
-      drain_cv_.notify_all();
-      continue;
-    }
-
-    if (opt_.before_execute) opt_.before_execute(p->spec);
-    finish(std::move(p), started);
+    if (opt_.before_execute) opt_.before_execute(t->spec);
+    run_attempt(t, is_hedge, attempt, started);
   }
 }
 
-void DetectionService::finish(std::unique_ptr<Pending> p,
-                              Clock::time_point started) {
+void DetectionService::run_attempt(const std::shared_ptr<Ticket>& t,
+                                   bool is_hedge, int attempt,
+                                   Clock::time_point started) {
   QueryResult result;
   std::exception_ptr error;
   {
     MIDAS_TRACE_SPAN("service.query",
-                     {"type", static_cast<int>(p->spec.type)},
-                     {"k", p->spec.k});
+                     {"type", static_cast<int>(t->spec.type)},
+                     {"attempt", attempt});
     try {
-      result = execute(p->spec);
+      result = execute(t->spec, t->fingerprint, attempt);
     } catch (...) {
       error = std::current_exception();
     }
   }
   const auto done = Clock::now();
-  result.queue_s = seconds_since(p->submitted_at, started);
-  result.total_s = seconds_since(p->submitted_at, done);
-  MIDAS_TRACE_OBSERVE(
-      "service.query_latency_ns",
-      static_cast<std::uint64_t>(result.total_s * 1e9));
+  result.queue_s = seconds_since(t->submitted_at, started);
+  result.total_s = seconds_since(t->submitted_at, done);
 
   std::lock_guard lock(m_);
   ++executed_;
   MIDAS_TRACE_COUNT("service.executed", 1);
-  if (error) {
-    ++failed_;
-    MIDAS_TRACE_COUNT("service.failed", 1);
-    p->promise.set_exception(error);
+  exec_window_[lane_index(t->spec.lane)].add(seconds_since(started, done));
+  --t->outstanding;
+  if (t->outstanding == 0) executing_tickets_.erase(t.get());
+  if (!error) {
+    settle_value(t, std::move(result), is_hedge);
   } else {
-    p->promise.set_value(std::move(result));
+    ++attempt_failures_;
+    MIDAS_TRACE_COUNT("service.attempt_failures", 1);
+    t->last_error = error;
+    complete_failure(t, std::move(error));
   }
-  inflight_by_key_.erase(p->fingerprint);
   --executing_;
   drain_cv_.notify_all();
 }
 
-QueryResult DetectionService::execute(const QuerySpec& spec) {
+void DetectionService::settle_value(const std::shared_ptr<Ticket>& t,
+                                    QueryResult&& r, bool is_hedge) {
+  // m_ held by the caller.
+  if (t->settled) return;  // the sibling attempt won the race
+  t->settled = true;
+  r.attempts = t->attempts_started;
+  r.hedge_won = is_hedge;
+  if (is_hedge) {
+    ++hedge_wins_;
+    MIDAS_TRACE_COUNT("service.hedge_wins", 1);
+  }
+  MIDAS_TRACE_OBSERVE("service.query_latency_ns",
+                      static_cast<std::uint64_t>(r.total_s * 1e9));
+  // Any fully successful query proves the graph's artifact path works —
+  // this also resolves a half-open probe whose artifacts were all cache
+  // hits (no build ran to report success).
+  breaker_.record_success(t->spec.graph);
+  update_breaker_gauge();
+  t->promise.set_value(std::move(r));
+  inflight_by_key_.erase(t->fingerprint);
+}
+
+void DetectionService::settle_error(const std::shared_ptr<Ticket>& t,
+                                    std::exception_ptr error) {
+  // m_ held by the caller.
+  if (t->settled) return;
+  t->settled = true;
+  if (t->breaker_probe) breaker_.release_probe(t->spec.graph);
+  ++failed_;
+  MIDAS_TRACE_COUNT("service.failed", 1);
+  t->promise.set_exception(std::move(error));
+  inflight_by_key_.erase(t->fingerprint);
+}
+
+void DetectionService::complete_failure(const std::shared_ptr<Ticket>& t,
+                                        std::exception_ptr error) {
+  // m_ held by the caller.
+  if (t->settled) return;        // sibling already produced the answer
+  if (t->outstanding > 0) return;  // let the still-running attempt decide
+  if (t->retry_pending) return;  // a retry is already waiting out backoff
+  const FaultClass cls = classify_failure(error);
+  if (cls == FaultClass::kRetryable &&
+      t->attempts_started < t->retry.max_attempts && !stopping_) {
+    // Re-enqueue after backoff; the future (and its dedup waiters) stays
+    // open. Retry number n = attempts already consumed.
+    const double delay =
+        backoff_s(t->retry, t->fingerprint, t->attempts_started);
+    t->retry_pending = true;
+    t->hedged = false;
+    ++retried_;
+    MIDAS_TRACE_COUNT("service.retries", 1);
+    retry_heap_.push_back({Clock::now() + to_duration(delay), t});
+    std::push_heap(retry_heap_.begin(), retry_heap_.end(),
+                   std::greater<>{});
+    sup_cv_.notify_one();
+    return;
+  }
+  settle_error(t, std::move(error));
+}
+
+void DetectionService::supervisor_loop() {
+  std::unique_lock lock(m_);
+  while (!stopping_) {
+    const auto now = Clock::now();
+
+    // Fire due retries back into their lanes.
+    while (!retry_heap_.empty() && retry_heap_.front().due <= now) {
+      std::pop_heap(retry_heap_.begin(), retry_heap_.end(),
+                    std::greater<>{});
+      std::shared_ptr<Ticket> t = std::move(retry_heap_.back().ticket);
+      retry_heap_.pop_back();
+      t->retry_pending = false;
+      if (t->settled) {
+        // A sibling attempt settled the ticket while this retry waited out
+        // its backoff (hedge/retry overlap can double-schedule). Discarding
+        // it can empty the heap, so drain() waiters must be woken.
+        drain_cv_.notify_all();
+        continue;
+      }
+      auto& lane =
+          t->spec.lane == Lane::kInteractive ? interactive_ : batch_;
+      lane.push_back(std::move(t));
+      update_queue_gauge();
+      work_cv_.notify_one();
+    }
+
+    // Hedge watchdog: launch a racing attempt for any execution straggling
+    // past hedge_multiplier x its lane's rolling p99.
+    if (opt_.hedge_multiplier > 0.0) {
+      for (auto& [ptr, t] : executing_tickets_) {
+        if (t->settled || t->hedged || t->retry_pending ||
+            t->outstanding != 1)
+          continue;
+        const RollingWindow& w = exec_window_[lane_index(t->spec.lane)];
+        if (w.count() < opt_.hedge_min_samples) continue;
+        const double threshold = std::max(
+            opt_.hedge_min_s, opt_.hedge_multiplier * w.quantile(99.0));
+        if (seconds_since(t->exec_started, now) <= threshold) continue;
+        t->hedged = true;
+        ++hedges_;
+        MIDAS_TRACE_COUNT("service.hedges", 1);
+        MIDAS_TRACE_INSTANT("service.hedge_launched");
+        hedge_.push_back(t);
+        update_queue_gauge();
+        work_cv_.notify_one();
+      }
+    }
+
+    auto wake = now + to_duration(opt_.supervisor_poll_s);
+    if (!retry_heap_.empty()) wake = std::min(wake, retry_heap_.front().due);
+    sup_cv_.wait_until(lock, wake);
+  }
+}
+
+void DetectionService::guard_build(const std::string& key,
+                                   const std::string& graph_name) {
+  std::uint64_t index = 0;
+  {
+    std::lock_guard lock(m_);
+    index = build_attempts_[key]++;
+  }
+  if (chaos_.armed() && chaos_.should_fail_build(key, index)) {
+    {
+      std::lock_guard lock(m_);
+      ++chaos_build_failures_;
+      note_build_failure_locked(graph_name);
+    }
+    MIDAS_TRACE_COUNT("service.chaos_build_failures", 1);
+    throw InjectedBuildFailureError(key, index);
+  }
+}
+
+void DetectionService::note_build_failure_locked(
+    const std::string& graph_name) {
+  // m_ held by the caller.
+  if (breaker_.record_failure(graph_name, now_s())) {
+    log_warn("service circuit breaker tripped for graph '", graph_name,
+             "'");
+    MIDAS_TRACE_COUNT("service.breaker_trips", 1);
+  }
+  update_breaker_gauge();
+}
+
+void DetectionService::note_build_failure(const std::string& graph_name) {
+  std::lock_guard lock(m_);
+  note_build_failure_locked(graph_name);
+}
+
+void DetectionService::note_build_success(const std::string& graph_name) {
+  std::lock_guard lock(m_);
+  breaker_.record_success(graph_name);
+  update_breaker_gauge();
+}
+
+QueryResult DetectionService::execute(const QuerySpec& spec,
+                                      std::uint64_t fingerprint,
+                                      int attempt) {
   std::shared_ptr<const graph::Graph> g = graph(spec.graph);
   if (!g) throw UnknownGraphError(spec.graph);
 
-  auto artifacts = cache_.get_or_build<GraphArtifacts>(
-      views_key(spec), [&] {
-        MIDAS_TRACE_SPAN("service.build_artifacts", {"n1", spec.n1});
-        GraphArtifacts a;
-        a.part = partition::multilevel_partition(*g, spec.n1);
-        a.views = partition::build_part_views(*g, a.part);
-        return a;
-      });
+  const std::string vkey = views_key(spec);
+  auto artifacts = cache_.get_or_build<GraphArtifacts>(vkey, [&] {
+    guard_build(vkey, spec.graph);
+    MIDAS_TRACE_SPAN("service.build_artifacts", {"n1", spec.n1});
+    try {
+      GraphArtifacts a;
+      a.part = partition::multilevel_partition(*g, spec.n1);
+      a.views = partition::build_part_views(*g, a.part);
+      note_build_success(spec.graph);
+      return a;
+    } catch (...) {
+      note_build_failure(spec.graph);
+      throw;
+    }
+  });
 
   core::MidasOptions opt = engine_options(spec);
+  // Chaos: seeded per-(query, attempt) rank kills and message corruption,
+  // injected into the engine run's fault plan. The fault-free path leaves
+  // opt untouched, so fault-free answers (including vtime) are bit-exact
+  // with direct engine runs.
+  if (chaos_.armed() && chaos_.apply_engine_faults(opt, fingerprint, attempt)) {
+    {
+      std::lock_guard lock(m_);
+      ++chaos_engine_faults_;
+    }
+    MIDAS_TRACE_COUNT("service.chaos_engine_faults", 1);
+  }
+
   QueryResult qr;
   switch (spec.type) {
     case QueryType::kPath: {
       // k-path additionally caches the per-(seed, k, rounds) randomness
       // tables; the engine consumes them bit-identically to hashing.
       with_field(spec.field_bits, [&](const auto& f) {
-        auto tables = cache_.get_or_build<core::RandTables>(
-            rand_key(spec), [&] {
-              MIDAS_TRACE_SPAN("service.build_rand_tables", {"k", spec.k});
-              return core::build_rand_tables(artifacts->views, spec.seed,
+        const std::string rkey = rand_key(spec);
+        auto tables = cache_.get_or_build<core::RandTables>(rkey, [&] {
+          guard_build(rkey, spec.graph);
+          MIDAS_TRACE_SPAN("service.build_rand_tables", {"k", spec.k});
+          try {
+            auto t = core::build_rand_tables(artifacts->views, spec.seed,
                                              spec.k, spec.rounds(), f);
-            });
+            note_build_success(spec.graph);
+            return t;
+          } catch (...) {
+            note_build_failure(spec.graph);
+            throw;
+          }
+        });
         opt.rand_tables = tables.get();
-        core::MidasResult r = core::midas_kpath_views(artifacts->views, opt, f);
+        core::MidasResult r =
+            core::midas_kpath_views(artifacts->views, opt, f);
         qr.found = r.found;
         qr.rounds_run = r.rounds_run;
         qr.found_round = r.found_round;
@@ -304,7 +644,8 @@ QueryResult DetectionService::execute(const QuerySpec& spec) {
 void DetectionService::drain() {
   std::unique_lock lock(m_);
   drain_cv_.wait(lock, [this] {
-    return interactive_.empty() && batch_.empty() && executing_ == 0;
+    return interactive_.empty() && batch_.empty() && hedge_.empty() &&
+           retry_heap_.empty() && executing_ == 0;
   });
 }
 
@@ -316,10 +657,24 @@ ServiceStats DetectionService::stats() const {
     s.executed = executed_;
     s.deduped = deduped_;
     s.rejected = rejected_;
+    s.shed = shed_;
     s.deadline_exceeded = deadline_exceeded_;
     s.failed = failed_;
+    s.attempt_failures = attempt_failures_;
+    s.retried = retried_;
+    s.hedges = hedges_;
+    s.hedge_wins = hedge_wins_;
+    s.worker_restarts = worker_restarts_;
+    s.breaker_trips = breaker_.trips();
+    s.breaker_fastfail = breaker_fastfail_;
+    s.chaos_engine_faults = chaos_engine_faults_;
+    s.chaos_build_failures = chaos_build_failures_;
+    s.workers_alive = workers_alive_;
+    s.breaker_open = breaker_.open_count(
+        seconds_since(epoch_, Clock::now()));
     s.queued_interactive = interactive_.size();
     s.queued_batch = batch_.size();
+    s.retry_pending = retry_heap_.size();
     s.inflight = executing_;
   }
   s.cache = cache_.stats();

@@ -6,26 +6,45 @@
 // the same graph. The service accepts heterogeneous queries (k-path,
 // k-tree, scan; any kernel; any field width) as futures, runs them on a
 // fixed-size worker pool, and amortizes per-graph setup through a
-// single-flight LRU artifact cache (partition + halo schedule views,
-// per-(seed, k) randomness tables):
+// single-flight striped-LRU artifact cache (partition + halo schedule
+// views, per-(seed, k) randomness tables):
 //
 //  * Admission control: each priority lane (interactive, batch) holds at
 //    most queue_capacity queries; past that submit() throws a typed
-//    ServiceOverloadError without touching in-flight work. Workers always
-//    drain the interactive lane first.
+//    ServiceOverloadError (carrying both lanes' depths and the shed
+//    policy) without touching in-flight work. Workers always drain the
+//    interactive lane first. When shedding is enabled, a query whose
+//    deadline is already infeasible given the estimated queue wait is
+//    rejected up front with DeadlineInfeasibleError.
 //  * Dedup: identical in-flight queries (same fingerprint — graph, params,
-//    seed) share one execution and one result future.
+//    seed) share one execution and one result future. A retried execution
+//    keeps the shared future open: dedup waiters ride the retry.
 //  * Deadlines: a query whose timeout expires while still queued completes
 //    with DeadlineExceededError; the worker pool is never poisoned. A
 //    query that starts before its deadline runs to completion.
+//  * Resilience (service/resilience.hpp, docs/RESILIENCE.md §7): failures
+//    classified retryable are re-enqueued under the query's RetryPolicy
+//    (exponential backoff, deterministic seeded jitter) instead of
+//    settling the future; a per-graph circuit breaker fast-fails queries
+//    while artifact builds are down (half-open probe after cooldown);
+//    executions straggling past hedge_multiplier x their lane's rolling
+//    p99 are hedged — a second attempt races the straggler and the first
+//    completion wins; a worker thread that dies on an unexpected
+//    exception is logged, counted, and replaced, never shrinking the
+//    pool. The seeded chaos harness (ServiceOptions::chaos) makes all of
+//    it testable end-to-end.
 //  * Every answer is bit-identical to a direct single-query engine run
-//    with the same parameters (the soak suite enforces this), because the
-//    cache only stores state the engine would have derived identically.
+//    with the same parameters (the soak suites enforce this, including
+//    under chaos), because the cache only stores state the engine would
+//    have derived identically and retried/hedged attempts re-run the same
+//    pure computation.
 //
 // Instrumentation (runtime/trace.hpp, when the tracer is armed):
 // service.query spans, service.queue_depth gauge, service.cache.* and
-// service.* counters, service.query_latency_ns histogram. stats() works
-// with the tracer disarmed.
+// service.* counters (retries, hedges, shed, breaker_trips,
+// worker_restarts), service.breaker_state gauge,
+// service.query_latency_ns histogram. stats() works with the tracer
+// disarmed.
 #pragma once
 
 #include <chrono>
@@ -46,6 +65,7 @@
 #include "partition/partitioned_graph.hpp"
 #include "service/artifact_cache.hpp"
 #include "service/query.hpp"
+#include "service/resilience.hpp"
 
 namespace midas::service {
 
@@ -61,21 +81,61 @@ struct ServiceOptions {
   std::size_t queue_capacity = 64; // admission bound per lane
   std::size_t cache_capacity = 16; // resident artifact cache entries
   bool cache_enabled = true;       // false = rebuild artifacts per query
+  std::size_t cache_shards = 8;    // mutex stripes in the artifact cache
+
+  // -- resilience (service/resilience.hpp) --------------------------------
+  /// Default retry policy for queries that do not set their own
+  /// (QuerySpec::retry.max_attempts == 0). max_attempts = 1 disables
+  /// retries service-wide.
+  RetryPolicy retry{.max_attempts = 3};
+  /// Deadline-aware admission: shed queries whose timeout budget is
+  /// already smaller than the estimated queue wait (lane rolling mean
+  /// execution time x queued-ahead / workers). Sheds only once
+  /// shed_min_samples executions have been observed.
+  bool shed_enabled = true;
+  std::size_t shed_min_samples = 8;
+  /// Hedged re-execution: > 0 arms the straggler watchdog — an execution
+  /// running longer than hedge_multiplier x its lane's rolling p99 (once
+  /// hedge_min_samples executions are observed; never below hedge_min_s)
+  /// gets a second attempt, and the first completion settles the future.
+  double hedge_multiplier = 0.0;
+  std::size_t hedge_min_samples = 16;
+  double hedge_min_s = 0.005;
+  /// Per-graph circuit breaker on artifact-build failures.
+  CircuitBreaker::Config breaker{};
+  /// Chaos harness (tests / `midas_cli serve --fault-*` only).
+  ServiceFaultPlan chaos{};
+  /// Supervisor poll period (retry timers, hedge watchdog).
+  double supervisor_poll_s = 0.002;
+
   /// Test seam: runs on the worker thread after a query is dequeued and
   /// has passed its deadline check, before execution. Lets tests hold the
   /// pool at a deterministic point; never set in production.
-  std::function<void(const QuerySpec&)> before_execute;
+  std::function<void(const QuerySpec&)> before_execute{};
 };
 
 struct ServiceStats {
   std::uint64_t submitted = 0;          // accepted into a queue
-  std::uint64_t executed = 0;           // ran to completion (ok or error)
+  std::uint64_t executed = 0;           // execution attempts that completed
   std::uint64_t deduped = 0;            // shared an in-flight execution
   std::uint64_t rejected = 0;           // ServiceOverloadError at admission
+  std::uint64_t shed = 0;               // DeadlineInfeasibleError at admission
   std::uint64_t deadline_exceeded = 0;  // expired while queued
-  std::uint64_t failed = 0;             // execution raised
+  std::uint64_t failed = 0;             // settled with an error (permanent)
+  std::uint64_t attempt_failures = 0;   // execution attempts that raised
+  std::uint64_t retried = 0;            // retries scheduled
+  std::uint64_t hedges = 0;             // hedged re-executions launched
+  std::uint64_t hedge_wins = 0;         // answers produced by a hedge
+  std::uint64_t worker_restarts = 0;    // dead workers replaced
+  std::uint64_t breaker_trips = 0;      // circuit-open transitions
+  std::uint64_t breaker_fastfail = 0;   // queries fast-failed on open circuit
+  std::uint64_t chaos_engine_faults = 0;  // attempts with injected faults
+  std::uint64_t chaos_build_failures = 0; // forced artifact-build failures
+  std::size_t workers_alive = 0;        // current pool size (never shrinks)
+  std::size_t breaker_open = 0;         // graphs currently fast-failing
   std::size_t queued_interactive = 0;
   std::size_t queued_batch = 0;
+  std::size_t retry_pending = 0;        // waiting out a backoff
   std::size_t inflight = 0;             // dequeued, still executing
   ArtifactCache::Stats cache;
 };
@@ -97,51 +157,117 @@ class DetectionService {
 
   /// Admit a query. Returns a future that completes with the result, or
   /// with DeadlineExceededError / ServiceShutdownError / the engine's
-  /// error. Throws ServiceOverloadError (lane full), UnknownGraphError,
-  /// or std::invalid_argument (malformed spec) — all before enqueueing.
+  /// error (after the retry budget for retryable failures). Throws
+  /// ServiceOverloadError (lane full), DeadlineInfeasibleError (shed),
+  /// CircuitOpenError (graph's breaker open), UnknownGraphError, or
+  /// std::invalid_argument (malformed spec) — all before enqueueing.
   std::shared_future<QueryResult> submit(const QuerySpec& spec);
 
-  /// Block until both lanes are empty and no query is executing.
+  /// Block until both lanes are empty, no retry is pending, and no query
+  /// is executing.
   void drain();
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] ArtifactCache& cache() noexcept { return cache_; }
 
  private:
-  struct Pending {
+  using Clock = std::chrono::steady_clock;
+
+  /// One admitted query. Shared by the queue, the dedup map, retries and
+  /// hedges: the promise settles exactly once, at the final outcome, so
+  /// dedup waiters transparently ride retried executions.
+  struct Ticket {
     QuerySpec spec;
     std::uint64_t fingerprint = 0;
+    RetryPolicy retry;  // resolved (spec override or service default)
     std::promise<QueryResult> promise;
-    std::chrono::steady_clock::time_point submitted_at;
-    std::chrono::steady_clock::time_point deadline;  // valid if has_deadline
+    Clock::time_point submitted_at;
+    Clock::time_point deadline;  // valid if has_deadline
     bool has_deadline = false;
+
+    int attempts_started = 0;   // execution starts (retries + hedges)
+    int outstanding = 0;        // executions in flight right now
+    int worker_kills = 0;       // chaos worker kills absorbed (bounded)
+    bool settled = false;
+    bool retry_pending = false; // sitting in the retry heap
+    bool hedged = false;        // hedge launched for the current attempt
+    bool breaker_probe = false; // holds the graph's half-open probe slot
+    Clock::time_point exec_started;  // current primary attempt's start
+    std::exception_ptr last_error;
   };
 
+  struct RetryEntry {
+    Clock::time_point due;
+    std::shared_ptr<Ticket> ticket;
+    bool operator>(const RetryEntry& o) const noexcept { return due > o.due; }
+  };
+
+  void worker_main();
   void worker_loop();
+  void supervisor_loop();
   /// Runs the engine for one spec through the artifact cache. Fills the
   /// serving telemetry fields except queue_s/total_s (the worker does).
-  QueryResult execute(const QuerySpec& spec);
-  void validate(const QuerySpec& spec) const;
-  void finish(std::unique_ptr<Pending> p,
-              std::chrono::steady_clock::time_point started);
+  QueryResult execute(const QuerySpec& spec, std::uint64_t fingerprint,
+                      int attempt);
+  /// Runs one execution attempt and applies the outcome to the ticket:
+  /// settle, schedule a retry, or defer to a still-outstanding attempt.
+  void run_attempt(const std::shared_ptr<Ticket>& t, bool is_hedge,
+                   int attempt, Clock::time_point started);
+  /// Failure bookkeeping shared by run_attempt and the worker's
+  /// last-resort catch: under m_, decides retry vs. settle-with-error.
+  void complete_failure(const std::shared_ptr<Ticket>& t,
+                        std::exception_ptr error);
+  void settle_value(const std::shared_ptr<Ticket>& t, QueryResult&& r,
+                    bool is_hedge);
+  void settle_error(const std::shared_ptr<Ticket>& t,
+                    std::exception_ptr error);
+  /// Chaos + bookkeeping at the start of an artifact build: bumps the
+  /// per-key build index and throws InjectedBuildFailureError when the
+  /// chaos plan forces this build to fail.
+  void guard_build(const std::string& key, const std::string& graph_name);
+  void note_build_success(const std::string& graph_name);
+  void note_build_failure(const std::string& graph_name);
+  void note_build_failure_locked(const std::string& graph_name);
+  void validate(const QuerySpec& spec, const graph::Graph& g) const;
   void update_queue_gauge() const;
+  void update_breaker_gauge();
+  [[nodiscard]] double now_s() const;
 
   ServiceOptions opt_;
+  ServiceFaultInjector chaos_;
   ArtifactCache cache_;
+
+  mutable std::mutex graphs_m_;  // graphs_ only: keeps execute() off m_
+  std::unordered_map<std::string, std::shared_ptr<const graph::Graph>>
+      graphs_;
 
   mutable std::mutex m_;
   std::condition_variable work_cv_;   // workers: work available / stopping
   std::condition_variable drain_cv_;  // drain(): everything idle
-  std::deque<std::unique_ptr<Pending>> interactive_, batch_;
+  std::condition_variable sup_cv_;    // supervisor: retry due / exec started
+  std::deque<std::shared_ptr<Ticket>> interactive_, batch_;
+  std::deque<std::shared_ptr<Ticket>> hedge_;  // drained before the lanes
+  std::vector<RetryEntry> retry_heap_;         // min-heap by due time
+  std::unordered_map<Ticket*, std::shared_ptr<Ticket>> executing_tickets_;
   std::unordered_map<std::uint64_t, std::shared_future<QueryResult>>
       inflight_by_key_;
-  std::unordered_map<std::string, std::shared_ptr<const graph::Graph>>
-      graphs_;
+  CircuitBreaker breaker_;
+  RollingWindow exec_window_[2];  // per-lane execution seconds
   bool stopping_ = false;
-  std::size_t executing_ = 0;
+  std::size_t executing_ = 0;     // busy workers
+  std::size_t workers_alive_ = 0;
+  std::uint64_t dequeues_ = 0;    // chaos worker-kill decision index
+  std::unordered_map<std::string, std::uint64_t> build_attempts_;
   std::uint64_t submitted_ = 0, executed_ = 0, deduped_ = 0, rejected_ = 0,
-                deadline_exceeded_ = 0, failed_ = 0;
+                shed_ = 0, deadline_exceeded_ = 0, failed_ = 0,
+                attempt_failures_ = 0, retried_ = 0, hedges_ = 0,
+                hedge_wins_ = 0, worker_restarts_ = 0,
+                breaker_fastfail_ = 0, chaos_engine_faults_ = 0,
+                chaos_build_failures_ = 0;
 
+  const Clock::time_point epoch_ = Clock::now();
+
+  std::thread supervisor_;
   std::vector<std::thread> workers_;  // last member: joins before teardown
 };
 

@@ -16,7 +16,9 @@
 
 #include "core/detect_par.hpp"
 #include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
 #include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
 #include "partition/partition.hpp"
 #include "runtime/comm.hpp"
 #include "runtime/fault.hpp"
@@ -381,6 +383,50 @@ TEST(EngineFailover, KillEventSweepAlwaysBitExact) {
     const auto res = midas_kpath(fx.g, fx.part, faulty, fx.f);
     EXPECT_EQ(res.found, clean.found) << "kill at event " << ev;
     EXPECT_EQ(res.found_round, clean.found_round) << "kill at event " << ev;
+  }
+}
+
+TEST(EngineFailover, WriterDeathNeverSilentlyLosesTheAnswer) {
+  // Single phase group (n_ranks == n1): no intact replica exists, so a
+  // kill must either surface as a typed FaultError (the survivor's next
+  // vote observes the death) or land late enough that the agreed answer
+  // is already recorded. What it must never do is complete cleanly with
+  // a silently wrong all-zero answer — which is exactly what happened
+  // when the designated round_found writer (rank 0) was killed inside
+  // the very vote the surviving rank accepted: the reduction was done
+  // and correct, but nobody left alive was allowed to record it.
+  // The exact configuration the service chaos soak tripped over: one
+  // round, early exit, and rank 0's 6th comm event is the acceptance vote.
+  Xoshiro256 rng(1002);
+  const graph::Graph g = graph::barabasi_albert(70, 3, rng);
+  const auto part = partition::multilevel_partition(g, 2);
+  const gf::GFSmall f(12);
+  MidasOptions base;
+  base.k = 4;
+  base.seed = 20175;
+  base.n_ranks = 2;
+  base.n1 = 2;
+  base.n2 = 16;
+  base.max_rounds = 1;  // one round: the final vote IS the razor's edge
+  base.kernel = Kernel::kScalar;
+  const auto clean = midas_kpath(g, part, base, f);
+  ASSERT_TRUE(clean.found);
+  for (int rank = 0; rank < 2; ++rank) {
+    for (std::uint64_t ev = 1; ev <= 12; ++ev) {
+      MidasOptions faulty = base;
+      faulty.spmd.faults.kill_at_event(rank, ev);
+      try {
+        const auto res = midas_kpath(g, part, faulty, f);
+        EXPECT_EQ(res.found, clean.found)
+            << "silent answer change: kill rank " << rank << " at " << ev
+            << " failed_ranks=" << res.failed_ranks.size()
+            << (res.failed_ranks.empty() ? -1 : res.failed_ranks[0]);
+        EXPECT_EQ(res.found_round, clean.found_round)
+            << "kill rank " << rank << " at " << ev;
+      } catch (const runtime::FaultError&) {
+        // Typed and retryable — the service layer's job, not a wrong answer.
+      }
+    }
   }
 }
 

@@ -375,6 +375,280 @@ TEST(DetectionService, ShutdownFailsQueuedQueries) {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience: retry, dedup-over-retry, breaker, shedding, hedging,
+// self-healing (service/resilience.hpp; the chaos soak lives in
+// test_service_chaos.cpp)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceResilience, DedupWaitersSurviveRetriedExecution) {
+  // Regression for the PR-5 dedup-failure bug: a transient failure of the
+  // shared execution used to fail every fingerprint-sharing waiter
+  // permanently. Now the execution retries and all waiters get the answer.
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry.max_attempts = 4;
+  opt.chaos.build_fail_p = 1.0;      // the first build of every key fails…
+  opt.chaos.max_faulty_attempts = 1; // …and builds after that are clean
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  opt.before_execute = [gate](const QuerySpec&) { gate.wait(); };
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  const QuerySpec q = path_query(4);
+  auto f1 = svc.submit(q);
+  auto f2 = svc.submit(q);  // dedup waiter on the same in-flight execution
+  release.set_value();
+  svc.drain();
+
+  const QueryResult r1 = f1.get();  // would throw before the fix
+  const QueryResult r2 = f2.get();
+  EXPECT_EQ(r1.found, r2.found);
+  EXPECT_EQ(r1.vtime, r2.vtime);
+  EXPECT_GE(r1.attempts, 2);  // the first attempt died in the build
+
+  const auto s = svc.stats();
+  EXPECT_EQ(s.deduped, 1u);
+  EXPECT_GE(s.retried, 1u);
+  EXPECT_GE(s.attempt_failures, 1u);
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_GE(s.chaos_build_failures, 1u);
+}
+
+TEST(ServiceResilience, RetriedAnswerIsBitExactWithFreshRun) {
+  ServiceOptions opt;
+  opt.workers = 2;
+  // Budget for the worst chain: 2 failed views builds + 2 failed
+  // rand-table builds before the clean attempt.
+  opt.retry.max_attempts = 6;
+  opt.chaos.build_fail_p = 1.0;
+  opt.chaos.max_faulty_attempts = 2;  // two forced failures per key
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+  const QueryResult got = svc.submit(path_query(5)).get();
+
+  DetectionService clean({.workers = 1});
+  clean.add_graph("g", test_graph());
+  const QueryResult want = clean.submit(path_query(5)).get();
+  EXPECT_EQ(got.found, want.found);
+  EXPECT_EQ(got.rounds_run, want.rounds_run);
+  EXPECT_EQ(got.found_round, want.found_round);
+  EXPECT_EQ(got.vtime, want.vtime);  // retries never change the answer
+}
+
+TEST(ServiceResilience, RetryBudgetExhaustionSurfacesTheError) {
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry.max_attempts = 2;
+  opt.breaker.enabled = false;  // isolate retry semantics from the breaker
+  opt.chaos.build_fail_p = 1.0;
+  opt.chaos.max_faulty_attempts = 100;  // never stops failing
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+  auto fut = svc.submit(path_query(4));
+  EXPECT_THROW((void)fut.get(), service::InjectedBuildFailureError);
+  const auto s = svc.stats();
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(s.retried, 1u);  // attempt 1 retried once, attempt 2 gave up
+  EXPECT_EQ(s.attempt_failures, 2u);
+}
+
+TEST(ServiceResilience, PerQueryRetryPolicyOverridesServiceDefault) {
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry.max_attempts = 5;   // service default would eventually succeed
+  opt.breaker.enabled = false;
+  opt.chaos.build_fail_p = 1.0;
+  opt.chaos.max_faulty_attempts = 100;
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+  QuerySpec q = path_query(4);
+  q.retry.max_attempts = 1;  // this query opts out of retries entirely
+  auto fut = svc.submit(q);
+  EXPECT_THROW((void)fut.get(), service::InjectedBuildFailureError);
+  EXPECT_EQ(svc.stats().retried, 0u);
+}
+
+TEST(ServiceResilience, BreakerFastFailsThenHalfOpenProbeRecovers) {
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.retry.max_attempts = 2;         // the doomed query gives up quickly
+  opt.breaker.failure_threshold = 2;  // …but its two failures trip the breaker
+  opt.breaker.cooldown_s = 0.5;
+  opt.chaos.build_fail_p = 1.0;
+  opt.chaos.max_faulty_attempts = 2;  // the first two builds of a key fail
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  // Two consecutive build failures exhaust the budget and trip the breaker.
+  auto doomed = svc.submit(path_query(4));
+  EXPECT_THROW((void)doomed.get(), service::InjectedBuildFailureError);
+  svc.drain();
+  {
+    const auto s = svc.stats();
+    EXPECT_GE(s.breaker_trips, 1u);
+    EXPECT_EQ(s.breaker_open, 1u);
+  }
+
+  // While open: fast-fail at submit with the typed error.
+  try {
+    (void)svc.submit(path_query(5));
+    FAIL() << "expected CircuitOpenError";
+  } catch (const service::CircuitOpenError& e) {
+    EXPECT_EQ(e.graph_name(), "g");
+    EXPECT_GT(e.retry_after_s(), 0.0);
+  }
+  EXPECT_EQ(svc.stats().breaker_fastfail, 1u);
+
+  // After the cooldown the next submit is the half-open probe. Its views
+  // build succeeds (that key's fault budget is spent) and its rand-table
+  // builds fail twice then succeed under a bigger retry budget, so the
+  // probe ultimately closes the circuit.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  QuerySpec probe = path_query(4);
+  probe.retry.max_attempts = 6;
+  EXPECT_NO_THROW((void)svc.submit(probe).get());
+  EXPECT_EQ(svc.stats().breaker_open, 0u);
+  // Closed again: submits flow normally.
+  QuerySpec after = path_query(5);
+  after.retry.max_attempts = 6;
+  EXPECT_NO_THROW((void)svc.submit(after).get());
+}
+
+TEST(ServiceResilience, DeadlineInfeasibleShedsAtSubmit) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<bool> first{true};
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 16;
+  opt.shed_min_samples = 1;  // one completed query arms the estimator
+  opt.before_execute = [gate, &first](const QuerySpec& q) {
+    if (q.k == 5 && first.exchange(false)) gate.wait();
+  };
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  // Seed the lane's rolling window with one real execution time.
+  (void)svc.submit(path_query(3)).get();
+  svc.drain();
+
+  // Block the worker and stack up queued work…
+  auto blocker = svc.submit(path_query(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto queued = svc.submit(path_query(4));
+
+  // …then a microscopic deadline cannot possibly clear the queue: shed.
+  QuerySpec doomed = path_query(6);
+  doomed.timeout_s = 1e-9;
+  try {
+    (void)svc.submit(doomed);
+    FAIL() << "expected DeadlineInfeasibleError";
+  } catch (const service::DeadlineInfeasibleError& e) {
+    EXPECT_GT(e.eta_s(), 0.0);
+    EXPECT_EQ(e.budget_s(), 1e-9);
+  }
+  EXPECT_EQ(svc.stats().shed, 1u);
+
+  release.set_value();
+  EXPECT_NO_THROW((void)blocker.get());
+  EXPECT_NO_THROW((void)queued.get());
+}
+
+TEST(ServiceResilience, HedgedStragglerKeepsAnswerBitExactAndCounts) {
+  ServiceOptions opt;
+  opt.workers = 2;
+  opt.hedge_multiplier = 0.05;  // hedge anything 20x slower than p99-ish
+  opt.hedge_min_samples = 1;
+  opt.hedge_min_s = 0.0;
+  opt.supervisor_poll_s = 0.001;
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+  svc.add_graph("big", [] {
+    Xoshiro256 rng(9);
+    return graph::erdos_renyi_gnm(600, 3000, rng);
+  }());
+
+  // A fast query seeds the batch lane's p99 near zero…
+  (void)svc.submit(path_query(3)).get();
+  svc.drain();
+
+  // …so the big slow query straggles past multiplier x p99 and is hedged.
+  QuerySpec slow = path_query(5);
+  slow.graph = "big";
+  slow.max_rounds = 3;
+  const QueryResult got = svc.submit(slow).get();
+  svc.drain();
+
+  DetectionService clean({.workers = 1});
+  clean.add_graph("big", [] {
+    Xoshiro256 rng(9);
+    return graph::erdos_renyi_gnm(600, 3000, rng);
+  }());
+  QuerySpec ref = slow;
+  const QueryResult want = clean.submit(ref).get();
+  EXPECT_EQ(got.found, want.found);
+  EXPECT_EQ(got.found_round, want.found_round);
+  EXPECT_EQ(got.vtime, want.vtime);  // whichever attempt won, same answer
+
+  const auto s = svc.stats();
+  EXPECT_GE(s.hedges, 1u);
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(ServiceResilience, KilledWorkersAreReplacedAndPoolNeverShrinks) {
+  ServiceOptions opt;
+  opt.workers = 2;
+  opt.chaos.worker_kill_p = 1.0;      // every eligible dequeue kills…
+  opt.chaos.max_faulty_attempts = 2;  // …but each query absorbs at most 2
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  std::vector<std::shared_future<QueryResult>> futs;
+  for (int k = 3; k <= 6; ++k) futs.push_back(svc.submit(path_query(k)));
+  for (auto& f : futs) EXPECT_NO_THROW((void)f.get());
+  svc.drain();
+
+  const auto s = svc.stats();
+  EXPECT_GE(s.worker_restarts, 1u);
+  EXPECT_EQ(s.workers_alive, 2u);  // never shrank
+  EXPECT_EQ(s.failed, 0u);
+}
+
+TEST(ServiceResilience, OverloadErrorReportsBothLanesAndShedPolicy) {
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ServiceOptions opt;
+  opt.workers = 1;
+  opt.queue_capacity = 2;
+  opt.before_execute = [gate](const QuerySpec&) { gate.wait(); };
+  DetectionService svc(opt);
+  svc.add_graph("g", test_graph());
+
+  auto inflight = svc.submit(path_query(3));  // dequeued, blocked
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  auto q1 = svc.submit(path_query(4));  // batch 1/2
+  auto q2 = svc.submit(path_query(5));  // batch 2/2
+  QuerySpec inter = path_query(6);
+  inter.lane = Lane::kInteractive;
+  auto q3 = svc.submit(inter);  // interactive 1/2
+
+  try {
+    (void)svc.submit(path_query(7));
+    FAIL() << "expected ServiceOverloadError";
+  } catch (const service::ServiceOverloadError& e) {
+    EXPECT_EQ(e.batch_depth(), 2u);
+    EXPECT_EQ(e.interactive_depth(), 1u);
+    EXPECT_EQ(e.capacity(), 2u);
+    EXPECT_EQ(e.shed_policy(), "deadline-aware");
+  }
+
+  release.set_value();
+  svc.drain();
+  for (auto* f : {&inflight, &q1, &q2, &q3}) EXPECT_NO_THROW((void)f->get());
+}
+
+// ---------------------------------------------------------------------------
 // Replay
 // ---------------------------------------------------------------------------
 
