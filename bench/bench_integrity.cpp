@@ -1,0 +1,261 @@
+// Fault-free overhead of the answer-integrity layer (PR 7). Three
+// configs over the same workload:
+//
+//   off    — the PR-6 resilient posture, integrity off: no read-time
+//            verification, no audits, no certification. This IS the PR-6
+//            baseline on the artifact path: with Verify::kOff the cache
+//            skips even the publish-time checksum, so off mode does zero
+//            extra integrity work per query (only ns-level epsilon
+//            bookkeeping remains — the "integrity off costs nothing"
+//            acceptance holds by construction).
+//   verify — + Verify::kFull: every cached-artifact read re-checksummed.
+//            This is the always-on posture a deployment actually decides
+//            on, and the gated claim: checksum verification costs < 2%
+//            qps on the serving hot path.
+//   armed  — + audit every settled answer (alternate kernel + fresh
+//            seed) + certify every "yes" with a peeled witness. Reported
+//            for capacity planning; auditing doubles the engine work by
+//            design, so it is priced, not gated.
+//
+// Two measurements:
+//
+//  * The service-level A/B above, interleaved rep by rep with paired
+//    taxes (reported, not gated: end-to-end wall-clock on shared runners
+//    carries tens of percent of steal-time noise, which would make any
+//    single-digit gate flaky).
+//  * The gated hot-path model: per verified read the cache re-runs
+//    ArtifactIntegrity::checksum; a k-path query makes exactly two such
+//    reads (views + randomness tables). Median checksum time and median
+//    direct-engine time are each measured over many in-process
+//    repetitions — robust to steal spikes — and the gate bounds
+//      verify_tax_model = (checksum(views) + checksum(rand)) / t_engine.
+//
+//   ./bench_integrity [--n=4000] [--queries=64] [--k=4] [--rounds=3]
+//                     [--workers=4] [--reps=3] [--seed=1] [--gate=PCT]
+//                     [--json=BENCH_integrity.json]
+//
+// --gate=PCT exits non-zero when the verify tax vs the integrity-off
+// baseline exceeds PCT percent (the CI regression gate; the committed
+// baseline is BENCH_integrity.json).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioned_graph.hpp"
+#include "service/integrity.hpp"
+#include "service/query.hpp"
+#include "service/service.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace midas;
+
+/// The PR-6 resilient posture, integrity off. Hedging stays off on every
+/// side: a p99-triggered hedge doubles one rep's work on a scheduling
+/// hiccup, which is pure variance for an A/B tax measurement (the hedge
+/// machinery itself is priced by bench_service_resilience).
+service::ServiceOptions off_options(int workers, int queries) {
+  service::ServiceOptions opt;
+  opt.workers = workers;
+  opt.queue_capacity = static_cast<std::size_t>(queries);
+  opt.retry.max_attempts = 3;
+  opt.shed_enabled = true;
+  opt.hedge_multiplier = 0.0;
+  opt.breaker.enabled = true;
+  return opt;
+}
+
+service::ServiceOptions verify_options(int workers, int queries) {
+  service::ServiceOptions opt = off_options(workers, queries);
+  opt.verify = service::ArtifactCache::Verify::kFull;
+  return opt;
+}
+
+service::ServiceOptions armed_options(int workers, int queries) {
+  service::ServiceOptions opt = verify_options(workers, queries);
+  opt.audit_rate = 1.0;
+  return opt;
+}
+
+/// Median wall time of `fn` over `iters` runs (steal-spike robust).
+template <typename Fn>
+double median_time_s(int iters, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    Timer t;
+    fn();
+    samples.push_back(t.elapsed_s());
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 ? samples[mid]
+                            : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
+/// The gated quantity: checksum cost of one query's two verified reads
+/// as a percentage of one direct engine run with the same artifacts.
+double verify_tax_model_pct(const graph::Graph& g, int k, int rounds,
+                            std::uint64_t seed) {
+  service::GraphArtifacts a;
+  a.part = partition::multilevel_partition(g, 2);
+  a.views = partition::build_part_views(g, a.part);
+  const core::RandTables rt =
+      core::build_rand_tables(a.views, seed, k, rounds, gf::GF256{});
+
+  volatile std::uint64_t sink = 0;  // keep the checksums from folding away
+  const double c_views = median_time_s(33, [&] {
+    sink ^= service::ArtifactIntegrity<service::GraphArtifacts>::checksum(a);
+  });
+  const double c_rand = median_time_s(33, [&] {
+    sink ^= service::ArtifactIntegrity<core::RandTables>::checksum(rt);
+  });
+
+  core::MidasOptions opt;
+  opt.k = k;
+  opt.seed = seed;
+  opt.max_rounds = rounds;
+  opt.n_ranks = 2;
+  opt.n1 = 2;
+  opt.n2 = 8;
+  opt.rand_tables = &rt;
+  const double t_engine = median_time_s(
+      9, [&] { (void)core::midas_kpath_views(a.views, opt, gf::GF256{}); });
+  return t_engine > 0.0 ? (c_views + c_rand) / t_engine * 100.0 : 0.0;
+}
+
+double run_once(const graph::Graph& g, const service::ServiceOptions& opt,
+                int queries, int k, int rounds, std::uint64_t seed,
+                bool certify) {
+  service::DetectionService svc(opt);
+  svc.add_graph("g", g);
+
+  service::QuerySpec q;
+  q.type = service::QueryType::kPath;
+  q.graph = "g";
+  q.k = k;
+  q.max_rounds = rounds;
+  q.n_ranks = 2;
+  q.n1 = 2;
+  q.n2 = 8;
+  q.certify = certify;
+
+  q.seed = seed;
+  (void)svc.submit(q).get();  // warm-up outside the timed window
+
+  std::vector<std::shared_future<service::QueryResult>> futs;
+  futs.reserve(static_cast<std::size_t>(queries));
+  Timer t;
+  for (int i = 0; i < queries; ++i) {
+    q.seed = seed + 1 + static_cast<std::uint64_t>(i);  // no dedup
+    futs.push_back(svc.submit(q));
+  }
+  svc.drain();  // includes the audit queue when the sampler is armed
+  const double wall = t.elapsed_s();
+  for (auto& f : futs) (void)f.get();
+  return static_cast<double>(queries) / wall;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const auto n = static_cast<graph::VertexId>(args.get_int("n", 4000));
+  const int queries = static_cast<int>(args.get_int("queries", 64));
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const int rounds = static_cast<int>(args.get_int("rounds", 3));
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  Xoshiro256 rng(seed);
+  const graph::Graph g = graph::erdos_renyi_gnm(
+      n, static_cast<graph::EdgeId>(4) * n, rng);
+  std::printf(
+      "integrity tax: n=%u m=%llu, %d queries, k=%d, %d rounds, "
+      "%d workers, %d reps (best-of)\n",
+      g.num_vertices(), static_cast<unsigned long long>(g.num_edges()),
+      queries, k, rounds, workers, reps);
+
+  double best_off = 0.0, best_verify = 0.0, best_armed = 0.0;
+  std::vector<double> verify_taxes, armed_taxes;
+  for (int r = 0; r < reps; ++r) {
+    const double qo = run_once(g, off_options(workers, queries), queries, k,
+                               rounds, seed, /*certify=*/false);
+    const double qv = run_once(g, verify_options(workers, queries), queries,
+                               k, rounds, seed, /*certify=*/false);
+    const double qa = run_once(g, armed_options(workers, queries), queries,
+                               k, rounds, seed, /*certify=*/true);
+    best_off = std::max(best_off, qo);
+    best_verify = std::max(best_verify, qv);
+    best_armed = std::max(best_armed, qa);
+    if (qo > 0.0) {
+      verify_taxes.push_back((1.0 - qv / qo) * 100.0);
+      armed_taxes.push_back((1.0 - qa / qo) * 100.0);
+    }
+  }
+  auto median = [](std::vector<double> v) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t mid = v.size() / 2;
+    return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+  };
+  const double verify_tax_pct = median(verify_taxes);
+  const double armed_tax_pct = median(armed_taxes);
+  const double model_pct = verify_tax_model_pct(g, k, rounds, seed);
+
+  Table t({"config", "q/s", "tax %"});
+  t.add_row({"integrity off", Table::cell(best_off, 4), ""});
+  t.add_row({"verify (kFull)", Table::cell(best_verify, 4),
+             Table::cell(verify_tax_pct, 2)});
+  t.add_row({"verify+audit+certify", Table::cell(best_armed, 4),
+             Table::cell(armed_tax_pct, 2)});
+  t.print("tax = median over reps of paired 1 - qps(config)/qps(off); "
+          "q/s column is each config's best rep");
+  std::printf(
+      "hot-path model: 2 verified reads cost %.2f%% of one engine run\n",
+      model_pct);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "");
+    if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out,
+                   "{\n  \"bench\": \"integrity\",\n"
+                   "  \"unit\": \"queries per second\",\n"
+                   "  \"n\": %u,\n  \"queries\": %d,\n  \"k\": %d,\n"
+                   "  \"rounds\": %d,\n  \"workers\": %d,\n"
+                   "  \"qps_off\": %.2f,\n  \"qps_verify\": %.2f,\n"
+                   "  \"qps_armed\": %.2f,\n"
+                   "  \"verify_tax_pct\": %.2f,\n"
+                   "  \"verify_tax_model_pct\": %.2f,\n"
+                   "  \"armed_tax_pct\": %.2f\n}\n",
+                   g.num_vertices(), queries, k, rounds, workers, best_off,
+                   best_verify, best_armed, verify_tax_pct, model_pct,
+                   armed_tax_pct);
+      std::fclose(out);
+      std::printf("baseline -> %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    }
+  }
+
+  if (args.has("gate")) {
+    const double gate = args.get_double("gate", 2.0);
+    if (model_pct > gate) {
+      std::fprintf(stderr,
+                   "FAIL: verify hot-path tax %.2f%% exceeds gate %.2f%%\n",
+                   model_pct, gate);
+      return 1;
+    }
+    std::printf("gate ok: verify hot-path tax %.2f%% <= %.2f%%\n",
+                model_pct, gate);
+  }
+  return 0;
+}

@@ -11,9 +11,11 @@
 //   midas_cli serve     --replay=WORKLOAD [--workers=W] [--queue=C]
 //                       [--cache=N|--no-cache]
 //                       [--retries=R] [--hedge=M] [--breaker-threshold=F]
+//                       [--certify] [--audit-rate=P]
+//                       [--verify-artifacts=off|sampled|full]
 //                       [--fault-query-kill=P] [--fault-query-corrupt=P]
 //                       [--fault-build-fail=P] [--fault-worker-kill=P]
-//                       [--fault-seed=S]
+//                       [--fault-artifact-flip=P] [--fault-seed=S]
 //                       replay a workload file through the batched
 //                       DetectionService and print the per-lane
 //                       latency/throughput report (docs/SERVICE.md).
@@ -21,7 +23,14 @@
 //                       --hedge=M launches a racing attempt for runs
 //                       straggling past M x the lane's rolling p99, and
 //                       the --fault-* flags arm the seeded service chaos
-//                       harness (docs/RESILIENCE.md §7)
+//                       harness (docs/RESILIENCE.md §7).
+//                       --certify forces witness-certified positives on
+//                       every query, --audit-rate samples settled answers
+//                       for background re-execution under the alternate
+//                       kernel, --verify-artifacts checks cached-artifact
+//                       checksums on read, and --fault-artifact-flip arms
+//                       silent in-memory artifact corruption
+//                       (docs/INTEGRITY.md)
 //
 // Common flags:
 //   --graph=FILE           edge list ("u v" per line); or
@@ -377,11 +386,29 @@ int run_serve(const midas::Args& args) {
   opt.hedge_multiplier = args.get_double("hedge", opt.hedge_multiplier);
   opt.breaker.failure_threshold = static_cast<int>(args.get_int(
       "breaker-threshold", opt.breaker.failure_threshold));
+  // Integrity: certified positives, background audits, artifact checksum
+  // verification (docs/INTEGRITY.md).
+  opt.certify = args.get_flag("certify");
+  opt.audit_rate = args.get_double("audit-rate", 0.0);
+  const std::string verify = args.get("verify-artifacts", "off");
+  if (verify == "off") {
+    opt.verify = service::ArtifactCache::Verify::kOff;
+  } else if (verify == "sampled") {
+    opt.verify = service::ArtifactCache::Verify::kSampled;
+  } else if (verify == "full") {
+    opt.verify = service::ArtifactCache::Verify::kFull;
+  } else {
+    std::fprintf(stderr,
+                 "--verify-artifacts expects off|sampled|full, got %s\n",
+                 verify.c_str());
+    return 2;
+  }
   // Chaos harness: seeded service-level fault injection (--fault-*).
   opt.chaos.query_kill_p = args.get_double("fault-query-kill", 0.0);
   opt.chaos.query_corrupt_p = args.get_double("fault-query-corrupt", 0.0);
   opt.chaos.build_fail_p = args.get_double("fault-build-fail", 0.0);
   opt.chaos.worker_kill_p = args.get_double("fault-worker-kill", 0.0);
+  opt.chaos.artifact_flip_p = args.get_double("fault-artifact-flip", 0.0);
   opt.chaos.seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<std::int64_t>(opt.chaos.seed)));
   const service::ReplayReport rep = service::run_replay(workload, opt);

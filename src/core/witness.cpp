@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
 #include "graph/algorithms.hpp"
 #include "util/require.hpp"
 
@@ -20,6 +21,23 @@ std::vector<VertexId> alive_list(const std::vector<bool>& alive) {
   for (VertexId v = 0; v < alive.size(); ++v)
     if (alive[v]) out.push_back(v);
   return out;
+}
+
+/// Run `fn` with the oracle field matching `l` bits (GF(2^8) table-driven,
+/// GFSmall otherwise — the same dispatch the service uses).
+template <typename Fn>
+decltype(auto) with_witness_field(int l, Fn&& fn) {
+  if (l == 8) return fn(gf::GF256{});
+  return fn(gf::GFSmall(l));
+}
+
+DetectOptions oracle_options(const WitnessOptions& opt, int k) {
+  DetectOptions d;
+  d.k = k;
+  d.epsilon = opt.epsilon;
+  d.seed = opt.seed;
+  d.kernel = opt.kernel;
+  return d;
 }
 
 /// Exact DFS for a simple k-path inside a (small) graph.
@@ -102,207 +120,12 @@ std::optional<std::vector<VertexId>> dfs_connected_jz(
   return std::nullopt;
 }
 
-/// Chunked peeling: repeatedly try to delete *groups* of candidate
-/// vertices (halving the group size down to singletons), keeping the
-/// removal whenever the oracle still answers "yes" on the residual graph.
-/// Equivalent to one-at-a-time peeling (the final single-vertex pass is
-/// exactly that) but typically needs O(j log n) oracle calls on much
-/// smaller residual graphs instead of n calls on near-full ones.
-void chunked_peel(VertexId n,
-                  const std::function<bool(const std::vector<VertexId>&)>&
-                      feasible_on,
-                  std::vector<bool>& alive) {
-  for (std::size_t chunk = std::max<std::size_t>(1, n / 2);;
-       chunk /= 2) {
-    const auto candidates = alive_list(alive);
-    for (std::size_t begin = 0; begin < candidates.size(); begin += chunk) {
-      const std::size_t end = std::min(begin + chunk, candidates.size());
-      std::vector<VertexId> keep;
-      keep.reserve(candidates.size());
-      for (VertexId v : alive_list(alive)) {
-        const bool removed =
-            std::binary_search(candidates.begin() + static_cast<long>(begin),
-                               candidates.begin() + static_cast<long>(end),
-                               v);
-        if (!removed) keep.push_back(v);
-      }
-      if (feasible_on(keep)) {
-        for (std::size_t i = begin; i < end; ++i)
-          alive[candidates[i]] = false;
-      }
-    }
-    if (chunk == 1) break;
-  }
-}
-
-}  // namespace
-
-std::optional<std::vector<VertexId>> extract_kpath(
-    const Graph& g, int k, const WitnessOptions& opt) {
-  gf::GF256 f;
-  DetectOptions d;
-  d.k = k;
-  d.epsilon = opt.epsilon;
-  d.seed = opt.seed;
-  if (!detect_kpath_seq(g, d, f).found) return std::nullopt;
-
-  std::vector<bool> alive(g.num_vertices(), true);
-  std::uint64_t call = 0;
-  chunked_peel(
-      g.num_vertices(),
-      [&](const std::vector<VertexId>& keep) {
-        const auto sub = graph::induced_subgraph(g, keep);
-        DetectOptions dv = d;
-        dv.seed = opt.seed + 1 + (++call);  // fresh randomness per call
-        return detect_kpath_seq(sub.graph, dv, f).found;
-      },
-      alive);
-  const auto survivors = alive_list(alive);
-  const auto sub = graph::induced_subgraph(g, survivors);
-  auto local = dfs_kpath(sub.graph, k);
-  if (!local) return std::nullopt;  // oracle misses left an invalid core
-  std::vector<VertexId> path;
-  path.reserve(local->size());
-  for (VertexId v : *local) path.push_back(sub.to_original[v]);
-  return path;
-}
-
-std::optional<std::vector<VertexId>> extract_connected_subgraph(
-    const Graph& g, const std::vector<std::uint32_t>& weights, int j,
-    std::uint32_t z, const WitnessOptions& opt) {
-  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
-                "one weight per vertex required");
-  gf::GF256 f;
-  ScanOptions s;
-  s.k = j;
-  s.epsilon = opt.epsilon;
-  s.seed = opt.seed;
-  s.watch_j = j;  // the oracle only cares about cell (j, z)
-  s.watch_z = z;
-  auto remap = [&](const std::vector<VertexId>& keep) {
-    auto sub = graph::induced_subgraph(g, keep);
-    std::vector<std::uint32_t> w(sub.to_original.size());
-    for (std::size_t i = 0; i < w.size(); ++i)
-      w[i] = weights[sub.to_original[i]];
-    return std::make_pair(std::move(sub), std::move(w));
-  };
-
-  {
-    auto [sub, w] = remap(alive_list(std::vector<bool>(g.num_vertices(),
-                                                       true)));
-    if (!detect_scan_seq(sub.graph, w, s, f).at(j, z)) return std::nullopt;
-  }
-  std::vector<bool> alive(g.num_vertices(), true);
-  std::uint64_t call = 0;
-  chunked_peel(
-      g.num_vertices(),
-      [&](const std::vector<VertexId>& keep) {
-        auto [sub, w] = remap(keep);
-        ScanOptions sv = s;
-        sv.seed = opt.seed + 1 + (++call);
-        return detect_scan_seq(sub.graph, w, sv, f).at(j, z);
-      },
-      alive);
-  auto [sub, w] = remap(alive_list(alive));
-  auto local = dfs_connected_jz(sub.graph, w, j, z);
-  if (!local) return std::nullopt;
-  std::vector<VertexId> subset;
-  subset.reserve(local->size());
-  for (VertexId v : *local) subset.push_back(sub.to_original[v]);
-  std::sort(subset.begin(), subset.end());
-  return subset;
-}
-
-std::optional<std::vector<VertexId>> extract_directed_kpath(
-    const graph::DiGraph& g, int k, const WitnessOptions& opt) {
-  gf::GF256 f;
-  DetectOptions d;
-  d.k = k;
-  d.epsilon = opt.epsilon;
-  d.seed = opt.seed;
-  // Induced sub-digraph on a kept set, with the id mapping.
-  auto induced = [&](const std::vector<VertexId>& keep) {
-    std::vector<VertexId> sorted(keep);
-    std::sort(sorted.begin(), sorted.end());
-    std::vector<VertexId> new_id(g.num_vertices(), graph::kUnreachable);
-    for (VertexId i = 0; i < sorted.size(); ++i) new_id[sorted[i]] = i;
-    graph::DiGraphBuilder b(static_cast<VertexId>(sorted.size()));
-    for (VertexId u : sorted)
-      for (VertexId w : g.out_neighbors(u))
-        if (new_id[w] != graph::kUnreachable) b.add_edge(new_id[u],
-                                                         new_id[w]);
-    return std::make_pair(b.build(), std::move(sorted));
-  };
-  {
-    std::vector<VertexId> all(g.num_vertices());
-    for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
-    auto [sub, _] = induced(all);
-    if (!detect_kpath_directed_seq(sub, d, f).found) return std::nullopt;
-  }
-  std::vector<bool> alive(g.num_vertices(), true);
-  std::uint64_t call = 0;
-  chunked_peel(
-      g.num_vertices(),
-      [&](const std::vector<VertexId>& keep) {
-        auto [sub, _] = induced(keep);
-        DetectOptions dv = d;
-        dv.seed = opt.seed + 1 + (++call);
-        return detect_kpath_directed_seq(sub, dv, f).found;
-      },
-      alive);
-  auto [sub, to_original] = induced(alive_list(alive));
-  // Exact DFS over directed simple paths in the (small) survivor graph.
-  std::vector<bool> used(sub.num_vertices(), false);
-  std::vector<VertexId> path;
-  std::function<bool(VertexId)> extend = [&](VertexId v) -> bool {
-    used[v] = true;
-    path.push_back(v);
-    if (static_cast<int>(path.size()) == k) return true;
-    for (VertexId u : sub.out_neighbors(v)) {
-      if (!used[u] && extend(u)) return true;
-    }
-    used[v] = false;
-    path.pop_back();
-    return false;
-  };
-  for (VertexId s = 0; s < sub.num_vertices(); ++s) {
-    if (extend(s)) {
-      std::vector<VertexId> out;
-      out.reserve(path.size());
-      for (VertexId v : path) out.push_back(to_original[v]);
-      return out;
-    }
-  }
-  return std::nullopt;
-}
-
-std::optional<std::vector<VertexId>> extract_tree_embedding(
-    const Graph& g, const Graph& tree, const WitnessOptions& opt) {
+/// Exact backtracking embedding of `tree` into `h`: map template vertices
+/// in BFS order, each anchored on an already-mapped neighbor. Returns the
+/// image in h-local vertex ids.
+std::optional<std::vector<VertexId>> exact_tree_embed(const Graph& h,
+                                                      const Graph& tree) {
   const int k = static_cast<int>(tree.num_vertices());
-  TreeDecomposition td(tree, 0);
-  gf::GF256 f;
-  DetectOptions d;
-  d.k = k;
-  d.epsilon = opt.epsilon;
-  d.seed = opt.seed;
-  if (!detect_ktree_seq(g, td, d, f).found) return std::nullopt;
-
-  std::vector<bool> alive(g.num_vertices(), true);
-  std::uint64_t call = 0;
-  chunked_peel(
-      g.num_vertices(),
-      [&](const std::vector<VertexId>& keep) {
-        const auto sub = graph::induced_subgraph(g, keep);
-        DetectOptions dv = d;
-        dv.seed = opt.seed + 1 + (++call);
-        return detect_ktree_seq(sub.graph, td, dv, f).found;
-      },
-      alive);
-
-  // Exact backtracking embedding inside the (small) survivor set: map
-  // template vertices in BFS order, each anchored on a mapped neighbor.
-  const auto sub = graph::induced_subgraph(g, alive_list(alive));
-  const auto& h = sub.graph;
   std::vector<VertexId> order;
   std::vector<int> anchor(k, -1);  // index into `order` of a mapped nbr
   {
@@ -362,16 +185,317 @@ std::optional<std::vector<VertexId>> extract_tree_embedding(
        ++root_image) {
     image[order[0]] = root_image;
     used[root_image] = true;
-    if (place(1)) {
-      std::vector<VertexId> mapped(static_cast<std::size_t>(k));
-      for (int t = 0; t < k; ++t)
-        mapped[static_cast<std::size_t>(t)] =
-            sub.to_original[image[static_cast<std::size_t>(t)]];
-      return mapped;
-    }
+    if (place(1)) return image;
     used[root_image] = false;
   }
   return std::nullopt;
+}
+
+}  // namespace
+
+/// Chunked peeling: repeatedly try to delete *groups* of candidate
+/// vertices (halving the group size down to singletons), keeping the
+/// removal whenever the oracle still answers "yes" on the residual graph.
+/// Equivalent to one-at-a-time peeling (the final single-vertex pass is
+/// exactly that) but typically needs O(j log n) oracle calls on much
+/// smaller residual graphs instead of n calls on near-full ones.
+void chunked_peel(VertexId n,
+                  const std::function<bool(const std::vector<VertexId>&)>&
+                      feasible_on,
+                  std::vector<bool>& alive) {
+  for (std::size_t chunk = std::max<std::size_t>(1, n / 2);;
+       chunk /= 2) {
+    const auto candidates = alive_list(alive);
+    for (std::size_t begin = 0; begin < candidates.size(); begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, candidates.size());
+      std::vector<VertexId> keep;
+      keep.reserve(candidates.size());
+      for (VertexId v : alive_list(alive)) {
+        const bool removed =
+            std::binary_search(candidates.begin() + static_cast<long>(begin),
+                               candidates.begin() + static_cast<long>(end),
+                               v);
+        if (!removed) keep.push_back(v);
+      }
+      if (feasible_on(keep)) {
+        for (std::size_t i = begin; i < end; ++i)
+          alive[candidates[i]] = false;
+      }
+    }
+    if (chunk == 1) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact validators
+// ---------------------------------------------------------------------------
+
+bool validate_kpath(const Graph& g, const std::vector<VertexId>& path,
+                    int k) {
+  if (static_cast<int>(path.size()) != k || k < 1) return false;
+  std::vector<VertexId> sorted(path);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    return false;  // repeated vertex
+  for (VertexId v : path)
+    if (v >= g.num_vertices()) return false;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    if (!g.has_edge(path[i], path[i + 1])) return false;
+  return true;
+}
+
+bool validate_connected_subgraph(const Graph& g,
+                                 const std::vector<std::uint32_t>& weights,
+                                 int j, std::uint32_t z,
+                                 const std::vector<VertexId>& vs) {
+  if (static_cast<int>(vs.size()) != j || j < 1) return false;
+  if (weights.size() != g.num_vertices()) return false;
+  std::vector<VertexId> sorted(vs);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    return false;
+  std::uint64_t weight = 0;
+  for (VertexId v : vs) {
+    if (v >= g.num_vertices()) return false;
+    weight += weights[v];
+  }
+  if (weight != z) return false;
+  // Connectivity by BFS over the member set.
+  std::vector<bool> member_seen(vs.size(), false);
+  std::vector<std::size_t> queue{0};
+  member_seen[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const std::size_t i = queue.back();
+    queue.pop_back();
+    for (std::size_t o = 0; o < vs.size(); ++o) {
+      if (!member_seen[o] && g.has_edge(vs[i], vs[o])) {
+        member_seen[o] = true;
+        ++reached;
+        queue.push_back(o);
+      }
+    }
+  }
+  return reached == vs.size();
+}
+
+bool validate_tree_embedding(const Graph& g, const Graph& tree,
+                             const std::vector<VertexId>& image) {
+  const VertexId k = tree.num_vertices();
+  if (image.size() != k || k < 1) return false;
+  std::vector<VertexId> sorted(image);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    return false;  // not injective
+  for (VertexId v : image)
+    if (v >= g.num_vertices()) return false;
+  for (VertexId t = 0; t < k; ++t)
+    for (VertexId u : tree.neighbors(t))
+      if (t < u && !g.has_edge(image[t], image[u])) return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Known-feasible peels
+// ---------------------------------------------------------------------------
+
+std::optional<std::vector<VertexId>> peel_kpath(const Graph& g, int k,
+                                                const WitnessOptions& opt) {
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  with_witness_field(opt.field_bits, [&](const auto& f) {
+    chunked_peel(
+        g.num_vertices(),
+        [&](const std::vector<VertexId>& keep) {
+          const auto sub = graph::induced_subgraph(g, keep);
+          DetectOptions dv = oracle_options(opt, k);
+          dv.seed = opt.seed + 1 + (++call);  // fresh randomness per call
+          return detect_kpath_seq(sub.graph, dv, f).found;
+        },
+        alive);
+  });
+  const auto sub = graph::induced_subgraph(g, alive_list(alive));
+  auto local = dfs_kpath(sub.graph, k);
+  if (!local) return std::nullopt;  // no witness: the caller's "yes" lied
+  std::vector<VertexId> path;
+  path.reserve(local->size());
+  for (VertexId v : *local) path.push_back(sub.to_original[v]);
+  return path;
+}
+
+std::optional<std::vector<VertexId>> peel_connected_subgraph(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int j,
+    std::uint32_t z, const WitnessOptions& opt) {
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  ScanOptions s;
+  s.k = j;
+  s.epsilon = opt.epsilon;
+  s.seed = opt.seed;
+  s.kernel = opt.kernel;
+  s.watch_j = j;  // the oracle only cares about cell (j, z)
+  s.watch_z = z;
+  auto remap = [&](const std::vector<VertexId>& keep) {
+    auto sub = graph::induced_subgraph(g, keep);
+    std::vector<std::uint32_t> w(sub.to_original.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w[i] = weights[sub.to_original[i]];
+    return std::make_pair(std::move(sub), std::move(w));
+  };
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  with_witness_field(opt.field_bits, [&](const auto& f) {
+    chunked_peel(
+        g.num_vertices(),
+        [&](const std::vector<VertexId>& keep) {
+          auto [sub, w] = remap(keep);
+          ScanOptions sv = s;
+          sv.seed = opt.seed + 1 + (++call);
+          return detect_scan_seq(sub.graph, w, sv, f).at(j, z);
+        },
+        alive);
+  });
+  auto [sub, w] = remap(alive_list(alive));
+  auto local = dfs_connected_jz(sub.graph, w, j, z);
+  if (!local) return std::nullopt;
+  std::vector<VertexId> subset;
+  subset.reserve(local->size());
+  for (VertexId v : *local) subset.push_back(sub.to_original[v]);
+  std::sort(subset.begin(), subset.end());
+  return subset;
+}
+
+std::optional<std::vector<VertexId>> peel_tree_embedding(
+    const Graph& g, const Graph& tree, const WitnessOptions& opt) {
+  const int k = static_cast<int>(tree.num_vertices());
+  TreeDecomposition td(tree, 0);
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  with_witness_field(opt.field_bits, [&](const auto& f) {
+    chunked_peel(
+        g.num_vertices(),
+        [&](const std::vector<VertexId>& keep) {
+          const auto sub = graph::induced_subgraph(g, keep);
+          DetectOptions dv = oracle_options(opt, k);
+          dv.seed = opt.seed + 1 + (++call);
+          return detect_ktree_seq(sub.graph, td, dv, f).found;
+        },
+        alive);
+  });
+  const auto sub = graph::induced_subgraph(g, alive_list(alive));
+  auto local = exact_tree_embed(sub.graph, tree);
+  if (!local) return std::nullopt;
+  std::vector<VertexId> mapped(static_cast<std::size_t>(k));
+  for (int t = 0; t < k; ++t)
+    mapped[static_cast<std::size_t>(t)] =
+        sub.to_original[(*local)[static_cast<std::size_t>(t)]];
+  return mapped;
+}
+
+// ---------------------------------------------------------------------------
+// Self-contained extractors (initial detection + peel)
+// ---------------------------------------------------------------------------
+
+std::optional<std::vector<VertexId>> extract_kpath(
+    const Graph& g, int k, const WitnessOptions& opt) {
+  const bool found = with_witness_field(opt.field_bits, [&](const auto& f) {
+    return detect_kpath_seq(g, oracle_options(opt, k), f).found;
+  });
+  if (!found) return std::nullopt;
+  return peel_kpath(g, k, opt);
+}
+
+std::optional<std::vector<VertexId>> extract_connected_subgraph(
+    const Graph& g, const std::vector<std::uint32_t>& weights, int j,
+    std::uint32_t z, const WitnessOptions& opt) {
+  MIDAS_REQUIRE(weights.size() == g.num_vertices(),
+                "one weight per vertex required");
+  ScanOptions s;
+  s.k = j;
+  s.epsilon = opt.epsilon;
+  s.seed = opt.seed;
+  s.kernel = opt.kernel;
+  s.watch_j = j;
+  s.watch_z = z;
+  const bool found = with_witness_field(opt.field_bits, [&](const auto& f) {
+    return detect_scan_seq(g, weights, s, f).at(j, z);
+  });
+  if (!found) return std::nullopt;
+  return peel_connected_subgraph(g, weights, j, z, opt);
+}
+
+std::optional<std::vector<VertexId>> extract_directed_kpath(
+    const graph::DiGraph& g, int k, const WitnessOptions& opt) {
+  DetectOptions d = oracle_options(opt, k);
+  // Induced sub-digraph on a kept set, with the id mapping.
+  auto induced = [&](const std::vector<VertexId>& keep) {
+    std::vector<VertexId> sorted(keep);
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<VertexId> new_id(g.num_vertices(), graph::kUnreachable);
+    for (VertexId i = 0; i < sorted.size(); ++i) new_id[sorted[i]] = i;
+    graph::DiGraphBuilder b(static_cast<VertexId>(sorted.size()));
+    for (VertexId u : sorted)
+      for (VertexId w : g.out_neighbors(u))
+        if (new_id[w] != graph::kUnreachable) b.add_edge(new_id[u],
+                                                         new_id[w]);
+    return std::make_pair(b.build(), std::move(sorted));
+  };
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  const bool peeled = with_witness_field(opt.field_bits, [&](const auto& f) {
+    {
+      std::vector<VertexId> all(g.num_vertices());
+      for (VertexId v = 0; v < g.num_vertices(); ++v) all[v] = v;
+      auto [sub, _] = induced(all);
+      if (!detect_kpath_directed_seq(sub, d, f).found) return false;
+    }
+    chunked_peel(
+        g.num_vertices(),
+        [&](const std::vector<VertexId>& keep) {
+          auto [sub, _] = induced(keep);
+          DetectOptions dv = d;
+          dv.seed = opt.seed + 1 + (++call);
+          return detect_kpath_directed_seq(sub, dv, f).found;
+        },
+        alive);
+    return true;
+  });
+  if (!peeled) return std::nullopt;
+  auto [sub, to_original] = induced(alive_list(alive));
+  // Exact DFS over directed simple paths in the (small) survivor graph.
+  std::vector<bool> used(sub.num_vertices(), false);
+  std::vector<VertexId> path;
+  std::function<bool(VertexId)> extend = [&](VertexId v) -> bool {
+    used[v] = true;
+    path.push_back(v);
+    if (static_cast<int>(path.size()) == k) return true;
+    for (VertexId u : sub.out_neighbors(v)) {
+      if (!used[u] && extend(u)) return true;
+    }
+    used[v] = false;
+    path.pop_back();
+    return false;
+  };
+  for (VertexId s = 0; s < sub.num_vertices(); ++s) {
+    if (extend(s)) {
+      std::vector<VertexId> out;
+      out.reserve(path.size());
+      for (VertexId v : path) out.push_back(to_original[v]);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<VertexId>> extract_tree_embedding(
+    const Graph& g, const Graph& tree, const WitnessOptions& opt) {
+  const int k = static_cast<int>(tree.num_vertices());
+  TreeDecomposition td(tree, 0);
+  const bool found = with_witness_field(opt.field_bits, [&](const auto& f) {
+    return detect_ktree_seq(g, td, oracle_options(opt, k), f).found;
+  });
+  if (!found) return std::nullopt;
+  return peel_tree_embedding(g, tree, opt);
 }
 
 }  // namespace midas::core

@@ -1,0 +1,70 @@
+// Incremental FNV-1a over heterogeneous byte spans.
+//
+// runtime::fnv1a (runtime/fault.hpp) hashes one contiguous span — enough
+// for wire messages, not for artifacts made of many vectors (PartView,
+// RandTables are vectors-of-vectors). Fnv1aStream chains the same FNV-1a
+// over any number of spans, length-prefixing each one so concatenation is
+// unambiguous: {"ab","c"} and {"a","bc"} digest differently. The service's
+// artifact-integrity layer (service/integrity.hpp) uses this to checksum
+// cached artifacts at publish and re-verify them on read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace midas::runtime {
+
+class Fnv1aStream {
+ public:
+  /// Absorb raw bytes (no length prefix); building block for the typed
+  /// update helpers below. Runs the FNV-1a mix over 8-byte words (tail
+  /// bytes one at a time) — one multiply per word instead of per byte,
+  /// which is what keeps Verify::kFull affordable on the serving hot path
+  /// (artifacts are megabytes; bench_integrity gates the read-side tax).
+  void update_bytes(std::span<const std::byte> data) noexcept {
+    std::size_t i = 0;
+    for (; i + 8 <= data.size(); i += 8) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, data.data() + i, 8);
+      h_ ^= w;
+      h_ *= 0x100000001B3ULL;
+    }
+    for (; i < data.size(); ++i) {
+      h_ ^= static_cast<std::uint64_t>(data[i]);
+      h_ *= 0x100000001B3ULL;
+    }
+  }
+
+  /// Absorb one length-prefixed span.
+  void update(std::span<const std::byte> data) noexcept {
+    update_value(static_cast<std::uint64_t>(data.size()));
+    update_bytes(data);
+  }
+
+  /// Absorb one trivially copyable value.
+  template <typename T>
+  void update_value(const T& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::byte buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    update_bytes(std::span<const std::byte>(buf, sizeof(T)));
+  }
+
+  /// Absorb a vector of trivially copyable elements, length-prefixed.
+  template <typename T>
+  void update_vec(const std::vector<T>& v) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>);
+    update(std::as_bytes(std::span<const T>(v.data(), v.size())));
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+};
+
+}  // namespace midas::runtime

@@ -7,7 +7,8 @@
 
 namespace midas::service {
 
-std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key) {
+std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key,
+                                                  std::uint64_t& expected) {
   Shard& s = shard_for(key);
   std::unique_lock lock(s.m);
   for (;;) {
@@ -32,12 +33,14 @@ std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key) {
     MIDAS_TRACE_COUNT("service.cache.hits", 1);
     it->second.last_used =
         clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    expected = it->second.checksum;
     return it->second.value;
   }
 }
 
 void ArtifactCache::publish(const std::string& key,
-                            std::shared_ptr<const void> value) {
+                            std::shared_ptr<const void> value,
+                            std::uint64_t checksum) {
   Shard& s = shard_for(key);
   {
     std::lock_guard lock(s.m);
@@ -47,12 +50,31 @@ void ArtifactCache::publish(const std::string& key,
     if (it != s.entries.end()) {
       it->second.value = std::move(value);
       it->second.building = false;
+      it->second.checksum = checksum;
       it->second.last_used =
           clock_.fetch_add(1, std::memory_order_relaxed) + 1;
     }
   }
   s.cv.notify_all();
   evict_over_capacity();
+}
+
+void ArtifactCache::quarantine(const std::string& key,
+                               const std::shared_ptr<const void>& value) {
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard lock(s.m);
+    auto it = s.entries.find(key);
+    // Erase only while the entry still holds the corrupted object —
+    // concurrent readers of the same bad value race here, and a fresh
+    // rebuild must survive the losers.
+    if (it != s.entries.end() && !it->second.building &&
+        it->second.value == value)
+      s.entries.erase(it);
+  }
+  corruptions_.fetch_add(1, std::memory_order_relaxed);
+  MIDAS_TRACE_COUNT("service.integrity_corruptions", 1);
+  if (on_corruption_) on_corruption_(key);
 }
 
 void ArtifactCache::evict_over_capacity() {
@@ -104,11 +126,18 @@ void ArtifactCache::count_build() noexcept {
   MIDAS_TRACE_COUNT("service.cache.builds", 1);
 }
 
+void ArtifactCache::count_verification() noexcept {
+  verifications_.fetch_add(1, std::memory_order_relaxed);
+  MIDAS_TRACE_COUNT("service.integrity_verifications", 1);
+}
+
 ArtifactCache::Stats ArtifactCache::stats() const {
   return {hits_.load(std::memory_order_relaxed),
           misses_.load(std::memory_order_relaxed),
           builds_.load(std::memory_order_relaxed),
-          evictions_.load(std::memory_order_relaxed)};
+          evictions_.load(std::memory_order_relaxed),
+          verifications_.load(std::memory_order_relaxed),
+          corruptions_.load(std::memory_order_relaxed)};
 }
 
 std::vector<std::string> ArtifactCache::keys_lru() const {
@@ -144,6 +173,24 @@ void ArtifactCache::clear() {
         ++it;
     }
   }
+}
+
+std::size_t ArtifactCache::erase_prefix(const std::string& prefix) {
+  std::size_t dropped = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard lock(s.m);
+    for (auto it = s.entries.begin(); it != s.entries.end();) {
+      if (!it->second.building &&
+          it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = s.entries.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  return dropped;
 }
 
 }  // namespace midas::service

@@ -14,6 +14,24 @@
 //    using the artifact, and a later query for the same key rebuilds it
 //    bit-identically (the builders are pure functions of the key).
 //
+// Plus, since PR 7, an integrity guarantee (docs/INTEGRITY.md):
+//
+//  * Silent-corruption defense: artifact types that specialize
+//    ArtifactIntegrity<T> get a checksum computed at publish and
+//    re-verified on read (every read under Verify::kFull, a deterministic
+//    1-in-sample_period subset under kSampled). A mismatch quarantines the
+//    entry (drop + count + on_corruption callback) and falls through to a
+//    single-flight rebuild — the corrupted object is never handed out.
+//    Under Verify::kOff (and no chaos hook) the publish checksum is
+//    skipped too, so integrity-off mode adds zero work to the artifact
+//    path (bench_integrity gates this posture's cost).
+//    Published values are immutable, so verification runs lock-free on the
+//    reader. Under kFull even the builder's own return value is re-read
+//    through the verifier, which is what makes the chaos bit-flip soak's
+//    "zero corrupted answers escape" provable; kSampled trades detection
+//    latency for hit-path cost (a corrupted entry is caught on a later
+//    sampled read, not necessarily the first).
+//
 // The key space is striped across `shards` independently locked maps, so
 // concurrent hits on different keys never contend — one global mutex here
 // was the service's scaling bottleneck (every query takes 2+ cache hits;
@@ -29,16 +47,34 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace midas::service {
 
+/// Integrity trait for cached artifact types. The primary template opts
+/// out; artifact types that can be checksummed specialize it with
+///   static constexpr bool kEnabled = true;
+///   static std::uint64_t checksum(const T&);           // pure
+///   static void flip_bit(T&, std::uint64_t pick);      // chaos seam
+/// (service/integrity.hpp specializes GraphArtifacts and core::RandTables).
+/// flip_bit must target only checksummed bytes, so every injected flip is
+/// detectable by construction.
+template <typename T>
+struct ArtifactIntegrity {
+  static constexpr bool kEnabled = false;
+};
+
 class ArtifactCache {
  public:
+  /// Read-time checksum verification policy for integrity-enabled types.
+  enum class Verify { kOff, kSampled, kFull };
+
   /// `capacity` = max resident entries; 0, or enabled = false, disables
   /// caching entirely (every get_or_build runs the builder, stores
   /// nothing) — the ablation mode bench_service_throughput measures.
@@ -52,8 +88,33 @@ class ArtifactCache {
   ArtifactCache(const ArtifactCache&) = delete;
   ArtifactCache& operator=(const ArtifactCache&) = delete;
 
+  /// Configure read-time verification. Call before concurrent use (the
+  /// service sets it up at construction); not synchronized with readers.
+  void set_verify(Verify mode, std::size_t sample_period = 16) {
+    verify_ = mode;
+    sample_period_ = sample_period > 0 ? sample_period : 1;
+  }
+  [[nodiscard]] Verify verify_mode() const noexcept { return verify_; }
+
+  /// Callback invoked (outside any cache lock) when a read-time checksum
+  /// mismatch quarantines `key`. Call before concurrent use.
+  void set_on_corruption(std::function<void(const std::string&)> cb) {
+    on_corruption_ = std::move(cb);
+  }
+
+  /// Chaos seam: decides, per publish, whether to flip one bit of the
+  /// freshly built artifact AFTER its checksum was taken (emulating a
+  /// write-path silent corruption). Returns true to flip and sets `pick`
+  /// (the bit selector). Call before concurrent use; tests/chaos only.
+  void set_chaos_flip_hook(
+      std::function<bool(const std::string&, std::uint64_t&)> hook) {
+    flip_hook_ = std::move(hook);
+  }
+
   /// Look up `key`; on a miss, run `build` (a callable returning T) and
   /// publish the result. Blocks while another thread builds the same key.
+  /// Integrity-enabled types are checksummed at publish and verified on
+  /// read per the Verify policy; a mismatch quarantines and rebuilds.
   template <typename T, typename Build>
   std::shared_ptr<const T> get_or_build(const std::string& key,
                                         Build&& build) {
@@ -63,24 +124,62 @@ class ArtifactCache {
       count_build();
       return value;
     }
-    if (auto hit = lookup(key))
-      return std::static_pointer_cast<const T>(hit);
-    // Missed and acquired the build slot: run the builder unlocked.
-    try {
-      auto value = std::make_shared<const T>(build());
-      publish(key, value);
-      return value;
-    } catch (...) {
-      abandon(key);
-      throw;
+    for (;;) {
+      std::uint64_t expected = 0;
+      if (auto hit = lookup(key, expected)) {
+        auto typed = std::static_pointer_cast<const T>(hit);
+        if constexpr (ArtifactIntegrity<T>::kEnabled) {
+          // expected == 0 marks an entry published with integrity off
+          // (checksum never taken — see below); nothing to verify against.
+          if (expected != 0 && should_verify()) {
+            count_verification();
+            if (ArtifactIntegrity<T>::checksum(*typed) != expected) {
+              quarantine(key, hit);
+              continue;  // fall through to a single-flight rebuild
+            }
+          }
+        }
+        return typed;
+      }
+      // Missed and acquired the build slot: run the builder unlocked.
+      try {
+        auto value = std::make_shared<T>(build());
+        std::uint64_t sum = 0;
+        bool verifying = false;
+        if constexpr (ArtifactIntegrity<T>::kEnabled) {
+          // With verification off and no chaos hook armed, skip the
+          // publish-time checksum entirely: integrity-off mode then does
+          // zero extra work on the artifact path (the bench_integrity
+          // "off" claim). A real digest of 0 (probability 2^-64) would
+          // merely skip read verification for that one entry.
+          if (verify_ != Verify::kOff || flip_hook_) {
+            sum = ArtifactIntegrity<T>::checksum(*value);
+            std::uint64_t pick = 0;
+            if (flip_hook_ && flip_hook_(key, pick))
+              ArtifactIntegrity<T>::flip_bit(*value, pick);
+            verifying = verify_ != Verify::kOff;
+          }
+        }
+        publish(key, value, sum);
+        // With verification armed, even the builder's own copy goes back
+        // through the verifying read path before anyone consumes it — the
+        // write-path flip above must never escape through the builder.
+        if (verifying) continue;
+        return std::shared_ptr<const T>(std::move(value));
+      } catch (...) {
+        abandon(key);
+        throw;
+      }
     }
   }
 
   struct Stats {
-    std::uint64_t hits = 0;        // served from a resident entry
-    std::uint64_t misses = 0;      // not resident at request time
-    std::uint64_t builds = 0;      // builder invocations that completed
-    std::uint64_t evictions = 0;   // LRU entries dropped
+    std::uint64_t hits = 0;          // served from a resident entry
+    std::uint64_t misses = 0;        // not resident at request time
+    std::uint64_t builds = 0;        // builder invocations that completed
+    std::uint64_t evictions = 0;     // LRU entries dropped
+    std::uint64_t verifications = 0; // read-time checksum recomputations
+    std::uint64_t corruptions = 0;   // checksum mismatches quarantined
   };
   [[nodiscard]] Stats stats() const;
 
@@ -94,11 +193,16 @@ class ArtifactCache {
   /// Drop every resident entry (outstanding shared_ptrs stay valid).
   void clear();
 
+  /// Drop every ready entry whose key starts with `prefix` (integrity
+  /// quarantine of a whole graph's artifacts). Returns the number dropped.
+  std::size_t erase_prefix(const std::string& prefix);
+
  private:
   struct Entry {
     std::shared_ptr<const void> value;  // null while the builder runs
     bool building = false;
     std::uint64_t last_used = 0;
+    std::uint64_t checksum = 0;  // taken at publish (integrity types only)
   };
 
   /// One key stripe: its own lock, waiters, and entry map.
@@ -112,23 +216,47 @@ class ArtifactCache {
     return shards_[std::hash<std::string>{}(key) % shards_.size()];
   }
 
-  /// Returns the value on a hit (waiting out a concurrent builder), or
-  /// null after registering the caller as the builder for `key`.
-  [[nodiscard]] std::shared_ptr<const void> lookup(const std::string& key);
-  void publish(const std::string& key, std::shared_ptr<const void> value);
+  /// Returns the value on a hit (waiting out a concurrent builder) and
+  /// fills `expected` with its publish-time checksum, or returns null
+  /// after registering the caller as the builder for `key`.
+  [[nodiscard]] std::shared_ptr<const void> lookup(const std::string& key,
+                                                   std::uint64_t& expected);
+  void publish(const std::string& key, std::shared_ptr<const void> value,
+               std::uint64_t checksum);
   void abandon(const std::string& key) noexcept;
+  /// Drop `key` after a read-time checksum mismatch (only while it still
+  /// holds the corrupted `value` — a racing rebuild survives), count it,
+  /// and fire on_corruption outside the shard lock.
+  void quarantine(const std::string& key,
+                  const std::shared_ptr<const void>& value);
+  [[nodiscard]] bool should_verify() noexcept {
+    switch (verify_) {
+      case Verify::kOff: return false;
+      case Verify::kFull: return true;
+      case Verify::kSampled:
+        return reads_.fetch_add(1, std::memory_order_relaxed) %
+                   sample_period_ == 0;
+    }
+    return false;
+  }
   /// Evict ready entries past capacity, globally least-recently-used
   /// first. Takes every shard lock; the caller must hold none of them.
   void evict_over_capacity();
   void count_miss() noexcept;
   void count_build() noexcept;
+  void count_verification() noexcept;
 
   const std::size_t capacity_;
   const bool enabled_;
   mutable std::vector<Shard> shards_;
   std::atomic<std::uint64_t> clock_{0};  // LRU recency stamp
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, builds_{0},
-      evictions_{0};
+      evictions_{0}, verifications_{0}, corruptions_{0};
+  std::atomic<std::uint64_t> reads_{0};  // sampled-verify decision counter
+  Verify verify_ = Verify::kOff;
+  std::size_t sample_period_ = 16;
+  std::function<void(const std::string&)> on_corruption_;
+  std::function<bool(const std::string&, std::uint64_t&)> flip_hook_;
 };
 
 }  // namespace midas::service

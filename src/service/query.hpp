@@ -132,6 +132,25 @@ class UnknownGraphError : public ServiceError {
       : ServiceError("unknown graph: " + name) {}
 };
 
+/// Admission rejected: the QuerySpec itself is malformed (epsilon outside
+/// (0, 1), negative max_rounds, bad rank geometry, ...). Typed so callers
+/// can tell a bad request apart from serving failures, and carrying the
+/// offending field name for programmatic handling. Raised at submit() —
+/// a spec that would only blow up later (e.g. rounds_for_epsilon deriving
+/// a nonsense round count inside a worker) never enters a queue.
+class QueryValidationError : public ServiceError {
+ public:
+  QueryValidationError(const std::string& field, const std::string& what)
+      : ServiceError("invalid query: " + field + ": " + what),
+        field_(field) {}
+  /// The QuerySpec field that failed validation ("epsilon", "max_rounds",
+  /// "k", "field_bits", "n1", "n2", "tree_edges", "weights").
+  [[nodiscard]] const std::string& field() const noexcept { return field_; }
+
+ private:
+  std::string field_;
+};
+
 /// The service is shutting down; queued queries that will never run
 /// complete with this error.
 class ServiceShutdownError : public ServiceError {
@@ -200,6 +219,18 @@ struct QuerySpec {
   // kScan only: one non-negative weight per graph vertex.
   std::vector<std::uint32_t> weights;
 
+  // -- answer integrity (service/integrity.hpp, docs/INTEGRITY.md) --------
+  /// Certified positives: on a "yes", peel an actual witness out of the
+  /// graph and validate it exactly before answering. The witness rides in
+  /// QueryResult::witness; certification failure (possible only when the
+  /// "yes" itself was corrupt) is flagged and counted, never silent.
+  bool certify = false;
+  /// Adaptive re-amplification: when a "no" answer ran fewer rounds than
+  /// its epsilon target needs (max_rounds capped the run), top up with the
+  /// missing rounds under a derived seed. Can flip "no" to "yes", so it is
+  /// part of the answer fingerprint.
+  bool reamplify = false;
+
   // Serving metadata (excluded from the fingerprint). timeout_s > 0 arms a
   // deadline measured from submit(): a query still queued when it expires
   // completes with DeadlineExceededError instead of running, and admission
@@ -239,6 +270,7 @@ struct QuerySpec {
   w.push_back(static_cast<std::uint64_t>(q.n1));
   w.push_back(q.n2);
   w.push_back(static_cast<std::uint64_t>(q.tree_root));
+  w.push_back((q.certify ? 1u : 0u) | (q.reamplify ? 2u : 0u));
   for (const auto& [a, b] : q.tree_edges)
     w.push_back((static_cast<std::uint64_t>(a) << 32) | b);
   for (std::uint32_t x : q.weights) w.push_back(x);
@@ -263,6 +295,26 @@ struct QueryResult {
   // whether a hedged re-execution beat the original straggler to it.
   int attempts = 1;
   bool hedge_won = false;
+
+  // -- answer integrity (service/integrity.hpp) ---------------------------
+  /// The failure bound this query asked for (epsilon, or implied by an
+  /// explicit max_rounds) and the bound the rounds actually run achieve:
+  /// 0 for a "yes" (one-sided error — a yes is never wrong), (4/5)^rounds
+  /// for a "no". Only rounds of the successful attempt count; rounds lost
+  /// to faults or aborted attempts never inflate the claim.
+  double target_epsilon = 0.0;
+  double achieved_epsilon = 0.0;
+  /// Extra rounds a reamplify top-up ran (0 when none was needed).
+  int reamp_rounds = 0;
+  /// certify-mode outcome: the exactly-validated witness. For path/tree, a
+  /// vertex sequence / template->graph map; for scan, the vertex set of
+  /// the certified (witness_j, witness_z) cell. certified == false with
+  /// found == true means certification FAILED — the "yes" could not be
+  /// backed by a real subgraph (counted + quarantined service-side).
+  bool certified = false;
+  std::vector<graph::VertexId> witness;
+  int witness_j = 0;
+  std::uint32_t witness_z = 0;
 };
 
 }  // namespace midas::service

@@ -1,5 +1,6 @@
 #include "service/replay.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
@@ -93,6 +94,9 @@ QuerySpec parse_query(std::istringstream& in, std::size_t line_no) {
   else if (!kernel.empty() && kernel != "auto")
     fail(line_no, "unknown kernel '" + kernel + "'");
 
+  q.certify = num("certify", 0) != 0;
+  q.reamplify = num("reamplify", 0) != 0;
+
   kv.erase("repeat");  // handled by the caller
   if (!kv.empty()) fail(line_no, "unknown query key '" + kv.begin()->first + "'");
   return q;
@@ -168,6 +172,8 @@ ReplayReport run_replay(const std::string& workload_path,
   sopt.retry = ropt.retry;
   sopt.hedge_multiplier = ropt.hedge_multiplier;
   sopt.breaker = ropt.breaker;
+  sopt.verify = ropt.verify;
+  sopt.audit_rate = ropt.audit_rate;
   sopt.chaos = ropt.chaos;
   DetectionService svc(sopt);
 
@@ -202,6 +208,7 @@ ReplayReport run_replay(const std::string& workload_path,
       if (q.type == QueryType::kTree) q.tree_edges = path_template(q.k);
       if (q.type == QueryType::kScan)
         q.weights = scan_weights(sz->second, q.seed);
+      if (ropt.certify) q.certify = true;
       for (std::int64_t r = 0; r < repeat; ++r) {
         queries.push_back(q);
         ++q.seed;  // keep repeats distinct (cache traffic, not dedup)
@@ -244,6 +251,7 @@ ReplayReport run_replay(const std::string& workload_path,
   rep.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
 
   std::vector<double> lat_interactive, lat_batch;
+  std::uint64_t rounds_sum[2] = {0, 0};
   for (auto& [lane, fut] : futures) {
     LaneReport& lr =
         lane == Lane::kInteractive ? rep.interactive : rep.batch;
@@ -253,6 +261,11 @@ ReplayReport run_replay(const std::string& workload_path,
       ++lr.ok;
       (lane == Lane::kInteractive ? lat_interactive : lat_batch)
           .push_back(r.total_s);
+      rounds_sum[lane == Lane::kInteractive ? 0 : 1] +=
+          static_cast<std::uint64_t>(r.rounds_run + r.reamp_rounds);
+      lr.worst_achieved_eps =
+          std::max(lr.worst_achieved_eps, r.achieved_epsilon);
+      if (r.certified) ++lr.certified;
     } catch (const DeadlineExceededError&) {
       ++lr.deadline_exceeded;
     } catch (const std::exception&) {
@@ -261,6 +274,12 @@ ReplayReport run_replay(const std::string& workload_path,
   }
   digest(rep.interactive, lat_interactive);
   digest(rep.batch, lat_batch);
+  if (rep.interactive.ok > 0)
+    rep.interactive.mean_rounds = static_cast<double>(rounds_sum[0]) /
+                                  static_cast<double>(rep.interactive.ok);
+  if (rep.batch.ok > 0)
+    rep.batch.mean_rounds = static_cast<double>(rounds_sum[1]) /
+                            static_cast<double>(rep.batch.ok);
   const std::uint64_t completed = rep.interactive.ok + rep.batch.ok;
   rep.qps = rep.wall_s > 0.0 ? static_cast<double>(completed) / rep.wall_s
                              : 0.0;
@@ -270,6 +289,14 @@ ReplayReport run_replay(const std::string& workload_path,
   rep.worker_restarts = stats.worker_restarts;
   rep.chaos_engine_faults = stats.chaos_engine_faults;
   rep.chaos_build_failures = stats.chaos_build_failures;
+  rep.chaos_artifact_flips = stats.chaos_artifact_flips;
+  rep.certified = stats.certified;
+  rep.cert_failures = stats.cert_failures;
+  rep.reamplified = stats.reamplified;
+  rep.audits_scheduled = stats.audits_scheduled;
+  rep.audit_mismatches = stats.audit_mismatches;
+  rep.audit_missed_yes = stats.audit_missed_yes;
+  rep.integrity_quarantines = stats.integrity_quarantines;
   rep.cache = svc.cache().stats();
   return rep;
 }
@@ -281,7 +308,10 @@ void print_report(std::ostream& os, const ReplayReport& r) {
        << std::setw(10) << l.deadline_exceeded << std::setw(8) << l.failed
        << std::setw(12) << std::fixed << std::setprecision(3)
        << l.p50_s * 1e3 << std::setw(12) << l.p99_s * 1e3 << std::setw(12)
-       << l.mean_s * 1e3 << "\n";
+       << l.mean_s * 1e3 << std::setw(9) << std::setprecision(1)
+       << l.mean_rounds << std::setw(12) << std::scientific
+       << std::setprecision(2) << l.worst_achieved_eps << std::defaultfloat
+       << "\n";
   };
   os << "replay: " << r.wall_s << " s wall, " << r.qps << " q/s, "
      << r.overload_retries << " overload retries\n";
@@ -289,7 +319,8 @@ void print_report(std::ostream& os, const ReplayReport& r) {
      << std::setw(8) << "subm" << std::setw(8) << "ok" << std::setw(10)
      << "deadline" << std::setw(8) << "failed" << std::setw(12)
      << "p50(ms)" << std::setw(12) << "p99(ms)" << std::setw(12)
-     << "mean(ms)" << "\n";
+     << "mean(ms)" << std::setw(9) << "rounds" << std::setw(12)
+     << "worst-eps" << "\n";
   lane_row("interactive", r.interactive);
   lane_row("batch", r.batch);
   os << "  cache: " << r.cache.hits << " hits, " << r.cache.misses
@@ -298,9 +329,17 @@ void print_report(std::ostream& os, const ReplayReport& r) {
   os << "  resilience: " << r.retried << " retries, " << r.hedges
      << " hedges, " << r.worker_restarts << " worker restarts, " << r.shed
      << " shed, " << r.breaker_fastfail << " breaker fast-fails\n";
-  if (r.chaos_engine_faults > 0 || r.chaos_build_failures > 0)
+  os << "  integrity: " << r.certified << " certified, " << r.cert_failures
+     << " cert failures, " << r.reamplified << " reamplified, "
+     << r.audits_scheduled << " audits (" << r.audit_mismatches
+     << " mismatches, " << r.audit_missed_yes << " missed-yes), "
+     << r.cache.verifications << " verifications, " << r.cache.corruptions
+     << " corruptions, " << r.integrity_quarantines << " quarantines\n";
+  if (r.chaos_engine_faults > 0 || r.chaos_build_failures > 0 ||
+      r.chaos_artifact_flips > 0)
     os << "  chaos: " << r.chaos_engine_faults << " engine faults, "
-       << r.chaos_build_failures << " forced build failures\n";
+       << r.chaos_build_failures << " forced build failures, "
+       << r.chaos_artifact_flips << " artifact bit-flips\n";
 }
 
 }  // namespace midas::service

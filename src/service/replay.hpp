@@ -15,7 +15,9 @@
 //
 // query keys: lane=interactive|batch, k, l (field bits), eps, seed,
 // rounds (max-rounds override), kernel=auto|scalar|bitsliced, n (ranks),
-// n1, n2, timeout (seconds), repeat (submit r copies with seed, seed+1,
+// n1, n2, timeout (seconds), certify=0|1 (witness-certified positives),
+// reamplify=0|1 (top up under-amplified "no" answers),
+// repeat (submit r copies with seed, seed+1,
 // ...; repeat keeps the copies distinct so they exercise the cache, not
 // the dedup map). Tree queries embed a path template over k vertices;
 // scan queries draw per-vertex weights in [0, 4] from `seed`.
@@ -41,6 +43,13 @@ struct ReplayOptions {
   RetryPolicy retry{.max_attempts = 3};
   double hedge_multiplier = 0.0;  // 0 = hedging off
   CircuitBreaker::Config breaker{};
+  /// Integrity knobs (service/integrity.hpp, `midas_cli serve --certify
+  /// --audit-rate --verify-artifacts`): force certify mode on every
+  /// replayed query, sample settled answers for background audit, verify
+  /// cached-artifact checksums on read.
+  bool certify = false;
+  double audit_rate = 0.0;
+  ArtifactCache::Verify verify = ArtifactCache::Verify::kOff;
   /// Chaos harness: seeded faults injected into the replayed workload
   /// (`midas_cli serve --fault-*`).
   ServiceFaultPlan chaos{};
@@ -55,6 +64,12 @@ struct LaneReport {
   double p50_s = 0.0;           // submit -> completion percentiles
   double p99_s = 0.0;
   double mean_s = 0.0;
+  /// Error-accounting digest (service/integrity.hpp): mean rounds actually
+  /// run per completed query and the lane's worst (largest) achieved
+  /// epsilon — the weakest guarantee any answer in the lane carries.
+  double mean_rounds = 0.0;
+  double worst_achieved_eps = 0.0;
+  std::uint64_t certified = 0;   // answers carrying a validated witness
 };
 
 struct ReplayReport {
@@ -67,6 +82,15 @@ struct ReplayReport {
   std::uint64_t worker_restarts = 0;   // dead workers replaced
   std::uint64_t chaos_engine_faults = 0;
   std::uint64_t chaos_build_failures = 0;
+  std::uint64_t chaos_artifact_flips = 0;
+  /// Integrity counters (service/integrity.hpp).
+  std::uint64_t certified = 0;
+  std::uint64_t cert_failures = 0;
+  std::uint64_t reamplified = 0;
+  std::uint64_t audits_scheduled = 0;
+  std::uint64_t audit_mismatches = 0;
+  std::uint64_t audit_missed_yes = 0;
+  std::uint64_t integrity_quarantines = 0;
   double wall_s = 0.0;                 // first submit -> drain
   double qps = 0.0;                    // completed queries / wall_s
   ArtifactCache::Stats cache;

@@ -141,6 +141,17 @@ bool CircuitBreaker::record_failure(const std::string& key, double now_s) {
   return false;
 }
 
+void CircuitBreaker::force_open(const std::string& key, double now_s) {
+  if (!cfg_.enabled) return;
+  Entry& e = entries_[key];
+  e.open = true;
+  e.probe_inflight = false;
+  e.open_until_s = now_s + cfg_.cooldown_s;
+  e.consecutive_failures = std::max(e.consecutive_failures,
+                                    cfg_.failure_threshold);
+  ++trips_;
+}
+
 void CircuitBreaker::release_probe(const std::string& key) {
   auto it = entries_.find(key);
   if (it != entries_.end()) it->second.probe_inflight = false;
@@ -179,7 +190,10 @@ ServiceFaultInjector::ServiceFaultInjector(ServiceFaultPlan plan)
                     plan_.query_corrupt_p >= 0.0 &&
                     plan_.query_corrupt_p <= 1.0 &&
                     plan_.build_fail_p >= 0.0 && plan_.build_fail_p <= 1.0 &&
-                    plan_.worker_kill_p >= 0.0 && plan_.worker_kill_p <= 1.0,
+                    plan_.worker_kill_p >= 0.0 &&
+                    plan_.worker_kill_p <= 1.0 &&
+                    plan_.artifact_flip_p >= 0.0 &&
+                    plan_.artifact_flip_p <= 1.0,
                 "ServiceFaultPlan probabilities must be in [0, 1]");
   MIDAS_REQUIRE(plan_.corrupt_channel_p >= 0.0 &&
                     plan_.corrupt_channel_p < 1.0,
@@ -241,6 +255,24 @@ bool ServiceFaultInjector::should_kill_worker(
   if (plan_.worker_kill_p <= 0.0) return false;
   return to_unit(mix(dequeue_index, 0, /*tag=*/0xDEADULL)) <
          plan_.worker_kill_p;
+}
+
+bool ServiceFaultInjector::should_flip_artifact(
+    const std::string& key, std::uint64_t publish_index) const {
+  if (plan_.artifact_flip_p <= 0.0 ||
+      publish_index >= static_cast<std::uint64_t>(plan_.max_faulty_attempts))
+    return false;
+  const std::uint64_t kh = runtime::fnv1a(std::as_bytes(
+      std::span<const char>(key.data(), key.size())));
+  return to_unit(mix(kh, publish_index, /*tag=*/0xF11FULL)) <
+         plan_.artifact_flip_p;
+}
+
+std::uint64_t ServiceFaultInjector::artifact_flip_pick(
+    const std::string& key, std::uint64_t publish_index) const {
+  const std::uint64_t kh = runtime::fnv1a(std::as_bytes(
+      std::span<const char>(key.data(), key.size())));
+  return mix(kh, publish_index, /*tag=*/0xF1C4ULL);
 }
 
 }  // namespace midas::service

@@ -167,6 +167,10 @@ class CircuitBreaker {
   /// Returns true when this failure tripped the breaker open (either the
   /// threshold was crossed or a half-open probe failed).
   bool record_failure(const std::string& key, double now_s);
+  /// Trip the breaker open immediately, regardless of the consecutive-
+  /// failure count — the integrity layer's quarantine path (an audit
+  /// decision mismatch is proof of corruption, not a trend to average).
+  void force_open(const std::string& key, double now_s);
   /// Give back an unused half-open probe slot (the probing caller went
   /// away without reaching a build), so a later caller can probe instead.
   void release_probe(const std::string& key);
@@ -209,11 +213,17 @@ struct ServiceFaultPlan {
   double corrupt_channel_p = 0.05;  // per-delivery corruption prob when armed
   double build_fail_p = 0.0;     // force an artifact build to throw
   double worker_kill_p = 0.0;    // kill the worker thread at dequeue
+  /// Flip one bit of a freshly built cached artifact AFTER its checksum
+  /// was taken — an in-memory silent corruption the read-path verifier
+  /// (ArtifactCache Verify) must catch. Per-key publish index bounded by
+  /// max_faulty_attempts, so quarantine + rebuild always converges.
+  double artifact_flip_p = 0.0;
   int max_faulty_attempts = 2;   // attempts/builds past this are clean
 
   [[nodiscard]] bool empty() const noexcept {
     return query_kill_p <= 0.0 && query_corrupt_p <= 0.0 &&
-           build_fail_p <= 0.0 && worker_kill_p <= 0.0;
+           build_fail_p <= 0.0 && worker_kill_p <= 0.0 &&
+           artifact_flip_p <= 0.0;
   }
 };
 
@@ -244,6 +254,16 @@ class ServiceFaultInjector {
 
   /// Should the worker die at global dequeue number `dequeue_index`?
   [[nodiscard]] bool should_kill_worker(std::uint64_t dequeue_index) const;
+
+  /// Should publish number `publish_index` (0-based, per key) of artifact
+  /// `key` be bit-flipped after checksumming?
+  [[nodiscard]] bool should_flip_artifact(const std::string& key,
+                                          std::uint64_t publish_index) const;
+
+  /// Deterministic bit selector for the flip injected at (key,
+  /// publish_index) — feeds ArtifactIntegrity<T>::flip_bit.
+  [[nodiscard]] std::uint64_t artifact_flip_pick(
+      const std::string& key, std::uint64_t publish_index) const;
 
  private:
   [[nodiscard]] std::uint64_t mix(std::uint64_t a, std::uint64_t b,

@@ -77,6 +77,54 @@ DetectionService::DetectionService(ServiceOptions opt)
     throw std::invalid_argument("service needs queue_capacity >= 1");
   if (opt_.supervisor_poll_s <= 0.0)
     throw std::invalid_argument("supervisor_poll_s must be > 0");
+
+  // -- integrity wiring (service/integrity.hpp) ---------------------------
+  cache_.set_verify(opt_.verify, opt_.verify_sample_period);
+  cache_.set_on_corruption([this](const std::string& key) {
+    // Keys are "views/<graph>/..." or "rand/<graph>/...": the corruption
+    // feeds the graph's breaker like a build failure — repeated silent
+    // corruption of one graph's artifacts trips it open.
+    const auto a = key.find('/');
+    const auto b = key.find('/', a + 1);
+    const std::string graph_name =
+        (a == std::string::npos || b == std::string::npos)
+            ? key
+            : key.substr(a + 1, b - a - 1);
+    log_warn("artifact checksum mismatch quarantined key '", key, "'");
+    note_build_failure(graph_name);
+  });
+  if (chaos_.armed() && opt_.chaos.artifact_flip_p > 0.0) {
+    cache_.set_chaos_flip_hook(
+        [this](const std::string& key, std::uint64_t& pick) {
+          std::uint64_t idx = 0;
+          {
+            std::lock_guard lock(m_);
+            idx = flip_attempts_[key]++;
+          }
+          if (!chaos_.should_flip_artifact(key, idx)) return false;
+          pick = chaos_.artifact_flip_pick(key, idx);
+          {
+            std::lock_guard lock(m_);
+            ++chaos_artifact_flips_;
+          }
+          MIDAS_TRACE_COUNT("service.chaos_artifact_flips", 1);
+          return true;
+        });
+  }
+  if (opt_.audit_rate > 0.0) {
+    auditor_ = std::make_unique<AuditSampler>(
+        AuditSampler::Options{opt_.audit_rate, opt_.audit_seed},
+        // Probes run the normal execute path (cached artifacts) at an
+        // attempt index past max_faulty_attempts, so chaos never faults
+        // the audit itself.
+        [this](const QuerySpec& s) {
+          return execute(s, query_fingerprint(s),
+                         opt_.chaos.max_faulty_attempts);
+        },
+        [this](const std::string& g) { quarantine_graph(g); },
+        /*on_missed_yes=*/nullptr);
+  }
+
   {
     std::lock_guard lock(m_);
     workers_.reserve(static_cast<std::size_t>(opt_.workers) * 2);
@@ -89,6 +137,9 @@ DetectionService::DetectionService(ServiceOptions opt)
 }
 
 DetectionService::~DetectionService() {
+  // Stop the audit sampler first: its probes call execute(), which needs
+  // the cache, graphs, and chaos state all still alive.
+  auditor_.reset();
   std::vector<std::shared_ptr<Ticket>> orphans;
   {
     std::lock_guard lock(m_);
@@ -140,18 +191,26 @@ std::shared_ptr<const graph::Graph> DetectionService::graph(
 
 void DetectionService::validate(const QuerySpec& spec,
                                 const graph::Graph& g) const {
-  if (spec.k < 1) throw std::invalid_argument("k must be >= 1");
+  if (spec.k < 1) throw QueryValidationError("k", "must be >= 1");
   if (spec.field_bits < 2 || spec.field_bits > 16)
-    throw std::invalid_argument("field_bits must be in [2, 16]");
+    throw QueryValidationError("field_bits", "must be in [2, 16]");
+  // epsilon feeds rounds_for_epsilon (log of its reciprocal) even when
+  // max_rounds overrides the round count — reject the nonsense up front.
+  if (!(spec.epsilon > 0.0) || !(spec.epsilon < 1.0))
+    throw QueryValidationError("epsilon", "must be in (0, 1)");
+  if (spec.max_rounds < 0)
+    throw QueryValidationError("max_rounds", "must be >= 0");
   if (spec.n1 < 1 || spec.n_ranks < spec.n1 || spec.n_ranks % spec.n1 != 0)
-    throw std::invalid_argument("N1 must divide N");
-  if (spec.n2 < 1) throw std::invalid_argument("N2 must be >= 1");
+    throw QueryValidationError("n1", "N1 must divide N");
+  if (spec.n2 < 1) throw QueryValidationError("n2", "N2 must be >= 1");
   if (spec.type == QueryType::kTree &&
       spec.tree_edges.size() + 1 != static_cast<std::size_t>(spec.k))
-    throw std::invalid_argument("tree template needs exactly k-1 edges");
+    throw QueryValidationError("tree_edges",
+                               "tree template needs exactly k-1 edges");
   if (spec.type == QueryType::kScan &&
       spec.weights.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("scan needs one weight per graph vertex");
+    throw QueryValidationError("weights",
+                               "scan needs one weight per graph vertex");
 }
 
 double DetectionService::now_s() const {
@@ -379,6 +438,13 @@ void DetectionService::run_attempt(const std::shared_ptr<Ticket>& t,
   --t->outstanding;
   if (t->outstanding == 0) executing_tickets_.erase(t.get());
   if (!error) {
+    // Audit sampling happens here, before --executing_ below: drain()
+    // cannot observe "everything idle" between an answer settling and its
+    // audit being queued. The decision copy is taken before settle_value
+    // moves the result into the promise. Lock order: m_ -> sampler lock.
+    if (auditor_ && !t->settled && !stopping_ &&
+        auditor_->should_audit(t->fingerprint))
+      auditor_->enqueue(t->spec, t->fingerprint, result);
     settle_value(t, std::move(result), is_hedge);
   } else {
     ++attempt_failures_;
@@ -544,6 +610,71 @@ void DetectionService::note_build_success(const std::string& graph_name) {
   update_breaker_gauge();
 }
 
+QueryResult DetectionService::run_engine(const QuerySpec& spec,
+                                         const GraphArtifacts& artifacts,
+                                         core::MidasOptions opt) {
+  QueryResult qr;
+  switch (spec.type) {
+    case QueryType::kPath: {
+      // k-path additionally caches the per-(seed, k, rounds) randomness
+      // tables; the engine consumes them bit-identically to hashing.
+      with_field(spec.field_bits, [&](const auto& f) {
+        const std::string rkey = rand_key(spec);
+        auto tables = cache_.get_or_build<core::RandTables>(rkey, [&] {
+          guard_build(rkey, spec.graph);
+          MIDAS_TRACE_SPAN("service.build_rand_tables", {"k", spec.k});
+          try {
+            auto t = core::build_rand_tables(artifacts.views, spec.seed,
+                                             spec.k, spec.rounds(), f);
+            note_build_success(spec.graph);
+            return t;
+          } catch (...) {
+            note_build_failure(spec.graph);
+            throw;
+          }
+        });
+        opt.rand_tables = tables.get();
+        core::MidasResult r =
+            core::midas_kpath_views(artifacts.views, opt, f);
+        qr.found = r.found;
+        qr.rounds_run = r.rounds_run;
+        qr.found_round = r.found_round;
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+    case QueryType::kTree: {
+      graph::GraphBuilder tb(static_cast<graph::VertexId>(spec.k));
+      for (const auto& [a, b] : spec.tree_edges) tb.add_edge(a, b);
+      const graph::Graph tmpl = tb.build();
+      const core::TreeDecomposition td(tmpl, spec.tree_root);
+      with_field(spec.field_bits, [&](const auto& f) {
+        core::MidasResult r =
+            core::midas_ktree_views(artifacts.views, td, opt, f);
+        qr.found = r.found;
+        qr.rounds_run = r.rounds_run;
+        qr.found_round = r.found_round;
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+    case QueryType::kScan: {
+      with_field(spec.field_bits, [&](const auto& f) {
+        core::MidasScanResult r =
+            core::midas_scan_views(artifacts.views, spec.weights, opt, f);
+        qr.table = std::move(r.table);
+        qr.rounds_run = spec.rounds();
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+  }
+  return qr;
+}
+
 QueryResult DetectionService::execute(const QuerySpec& spec,
                                       std::uint64_t fingerprint,
                                       int attempt) {
@@ -579,74 +710,106 @@ QueryResult DetectionService::execute(const QuerySpec& spec,
     MIDAS_TRACE_COUNT("service.chaos_engine_faults", 1);
   }
 
-  QueryResult qr;
-  switch (spec.type) {
-    case QueryType::kPath: {
-      // k-path additionally caches the per-(seed, k, rounds) randomness
-      // tables; the engine consumes them bit-identically to hashing.
-      with_field(spec.field_bits, [&](const auto& f) {
-        const std::string rkey = rand_key(spec);
-        auto tables = cache_.get_or_build<core::RandTables>(rkey, [&] {
-          guard_build(rkey, spec.graph);
-          MIDAS_TRACE_SPAN("service.build_rand_tables", {"k", spec.k});
-          try {
-            auto t = core::build_rand_tables(artifacts->views, spec.seed,
-                                             spec.k, spec.rounds(), f);
-            note_build_success(spec.graph);
-            return t;
-          } catch (...) {
-            note_build_failure(spec.graph);
-            throw;
-          }
-        });
-        opt.rand_tables = tables.get();
-        core::MidasResult r =
-            core::midas_kpath_views(artifacts->views, opt, f);
-        qr.found = r.found;
-        qr.rounds_run = r.rounds_run;
-        qr.found_round = r.found_round;
-        qr.vtime = r.vtime;
-        qr.engine_wall_s = r.wall_s;
-      });
-      break;
+  QueryResult qr = run_engine(spec, *artifacts, opt);
+
+  // -- honest error accounting (service/integrity.hpp) --------------------
+  // Only rounds of THIS successful attempt count toward the claimed bound;
+  // a faulted attempt's rounds died with its exception and never reach
+  // here, so they can never inflate achieved_epsilon.
+  qr.target_epsilon = spec.epsilon;
+  const int target_rounds = core::rounds_for_epsilon(spec.epsilon);
+
+  // Adaptive re-amplification: a "no" whose run was capped short of its
+  // epsilon target (max_rounds) gets the missing rounds under a derived
+  // seed, reusing the cached views. Can flip "no" to "yes" — which is why
+  // reamplify is part of the answer fingerprint.
+  const bool wants_reamp =
+      spec.reamplify && qr.rounds_run < target_rounds &&
+      (spec.type == QueryType::kScan || !qr.found);
+  if (wants_reamp) {
+    QuerySpec topup = spec;
+    topup.seed = runtime::fault_mix(spec.seed ^ 0x7EA3ULL);
+    topup.max_rounds = target_rounds - qr.rounds_run;
+    topup.certify = false;
+    topup.reamplify = false;
+    QueryResult extra =
+        run_engine(topup, *artifacts, engine_options(topup));
+    qr.reamp_rounds = extra.rounds_run;
+    qr.vtime += extra.vtime;
+    qr.engine_wall_s += extra.engine_wall_s;
+    if (spec.type == QueryType::kScan) {
+      // OR-merge: a cell feasible in either run is feasible ("yes" entries
+      // are always correct; the merge only removes false "no"s).
+      for (std::size_t j = 0; j < qr.table.feasible.size() &&
+                              j < extra.table.feasible.size(); ++j)
+        for (std::size_t z = 0; z < qr.table.feasible[j].size() &&
+                                z < extra.table.feasible[j].size(); ++z)
+          if (extra.table.feasible[j][z]) qr.table.feasible[j][z] = true;
+    } else if (extra.found) {
+      qr.found = true;
+      qr.found_round = qr.rounds_run + extra.found_round;
     }
-    case QueryType::kTree: {
-      graph::GraphBuilder tb(static_cast<graph::VertexId>(spec.k));
-      for (const auto& [a, b] : spec.tree_edges) tb.add_edge(a, b);
-      const graph::Graph tmpl = tb.build();
-      const core::TreeDecomposition td(tmpl, spec.tree_root);
-      with_field(spec.field_bits, [&](const auto& f) {
-        core::MidasResult r =
-            core::midas_ktree_views(artifacts->views, td, opt, f);
-        qr.found = r.found;
-        qr.rounds_run = r.rounds_run;
-        qr.found_round = r.found_round;
-        qr.vtime = r.vtime;
-        qr.engine_wall_s = r.wall_s;
-      });
-      break;
+    {
+      std::lock_guard lock(m_);
+      ++reamplified_;
     }
-    case QueryType::kScan: {
-      with_field(spec.field_bits, [&](const auto& f) {
-        core::MidasScanResult r =
-            core::midas_scan_views(artifacts->views, spec.weights, opt, f);
-        qr.table = std::move(r.table);
-        qr.rounds_run = spec.rounds();
-        qr.vtime = r.vtime;
-        qr.engine_wall_s = r.wall_s;
-      });
-      break;
+    MIDAS_TRACE_COUNT("service.integrity_reamplified", 1);
+  }
+  qr.achieved_epsilon =
+      achieved_epsilon(qr.found, qr.rounds_run + qr.reamp_rounds);
+
+  // -- certified positives -------------------------------------------------
+  if (spec.certify) {
+    if (certify_result(*g, spec, qr)) {
+      if (qr.certified) {
+        {
+          std::lock_guard lock(m_);
+          ++certified_;
+        }
+        MIDAS_TRACE_COUNT("service.integrity_certified", 1);
+      }
+    } else {
+      // Peeling cannot lose a witness the graph contains, so failing to
+      // back this "yes" proves the decision itself was corrupt. Flag the
+      // answer (certified stays false beside found == true), count it,
+      // and quarantine the graph's cached state.
+      {
+        std::lock_guard lock(m_);
+        ++cert_failures_;
+      }
+      MIDAS_TRACE_COUNT("service.integrity_cert_failures", 1);
+      log_warn("certification FAILED for a 'yes' on graph '", spec.graph,
+               "' — quarantining");
+      quarantine_graph(spec.graph);
     }
   }
   return qr;
 }
 
+void DetectionService::quarantine_graph(const std::string& graph_name) {
+  {
+    std::lock_guard lock(m_);
+    ++integrity_quarantines_;
+    breaker_.force_open(graph_name, now_s());
+    update_breaker_gauge();
+  }
+  MIDAS_TRACE_COUNT("service.integrity_quarantines", 1);
+  // Flush outside m_ (erase_prefix takes the cache shard locks).
+  cache_.erase_prefix("views/" + graph_name + "/");
+  cache_.erase_prefix("rand/" + graph_name + "/");
+}
+
 void DetectionService::drain() {
-  std::unique_lock lock(m_);
-  drain_cv_.wait(lock, [this] {
-    return interactive_.empty() && batch_.empty() && hedge_.empty() &&
-           retry_heap_.empty() && executing_ == 0;
-  });
+  {
+    std::unique_lock lock(m_);
+    drain_cv_.wait(lock, [this] {
+      return interactive_.empty() && batch_.empty() && hedge_.empty() &&
+             retry_heap_.empty() && executing_ == 0;
+    });
+  }
+  // Lanes idle: every settled answer has already enqueued its audit (the
+  // enqueue happens before --executing_), so this wait is complete.
+  if (auditor_) auditor_->drain();
 }
 
 ServiceStats DetectionService::stats() const {
@@ -669,6 +832,11 @@ ServiceStats DetectionService::stats() const {
     s.breaker_fastfail = breaker_fastfail_;
     s.chaos_engine_faults = chaos_engine_faults_;
     s.chaos_build_failures = chaos_build_failures_;
+    s.chaos_artifact_flips = chaos_artifact_flips_;
+    s.certified = certified_;
+    s.cert_failures = cert_failures_;
+    s.reamplified = reamplified_;
+    s.integrity_quarantines = integrity_quarantines_;
     s.workers_alive = workers_alive_;
     s.breaker_open = breaker_.open_count(
         seconds_since(epoch_, Clock::now()));
@@ -676,6 +844,13 @@ ServiceStats DetectionService::stats() const {
     s.queued_batch = batch_.size();
     s.retry_pending = retry_heap_.size();
     s.inflight = executing_;
+  }
+  if (auditor_) {
+    const AuditSampler::Counters a = auditor_->counters();
+    s.audits_scheduled = a.scheduled;
+    s.audits_completed = a.completed;
+    s.audit_mismatches = a.mismatches;
+    s.audit_missed_yes = a.missed_yes;
   }
   s.cache = cache_.stats();
   return s;

@@ -33,6 +33,14 @@
 //    exception is logged, counted, and replaced, never shrinking the
 //    pool. The seeded chaos harness (ServiceOptions::chaos) makes all of
 //    it testable end-to-end.
+//  * Integrity (service/integrity.hpp, docs/INTEGRITY.md): cached
+//    artifacts are checksummed at publish and re-verified on read
+//    (corrupted entries quarantined and rebuilt, never consumed); certify
+//    mode backs every "yes" with an exactly validated witness; results
+//    carry their target and achieved error bounds, with optional adaptive
+//    re-amplification of under-amplified "no" answers; a background audit
+//    sampler re-executes settled queries under the alternate kernel and a
+//    fresh seed, quarantining on provable mismatches.
 //  * Every answer is bit-identical to a direct single-query engine run
 //    with the same parameters (the soak suites enforce this, including
 //    under chaos), because the cache only stores state the engine would
@@ -61,20 +69,12 @@
 #include <vector>
 
 #include "graph/csr.hpp"
-#include "partition/partition.hpp"
-#include "partition/partitioned_graph.hpp"
 #include "service/artifact_cache.hpp"
+#include "service/integrity.hpp"
 #include "service/query.hpp"
 #include "service/resilience.hpp"
 
 namespace midas::service {
-
-/// Cached per-(graph, N1) state: the partition and the halo-schedule views
-/// every engine consumes. Built once per key, shared across queries.
-struct GraphArtifacts {
-  partition::Partition part;
-  std::vector<partition::PartView> views;
-};
 
 struct ServiceOptions {
   int workers = 4;                 // worker pool size
@@ -103,6 +103,21 @@ struct ServiceOptions {
   double hedge_min_s = 0.005;
   /// Per-graph circuit breaker on artifact-build failures.
   CircuitBreaker::Config breaker{};
+
+  // -- answer integrity (service/integrity.hpp, docs/INTEGRITY.md) --------
+  /// Read-time checksum verification of cached artifacts. kFull verifies
+  /// every read (the zero-escape guarantee the chaos soak proves);
+  /// kSampled verifies 1 in verify_sample_period reads (bounded detection
+  /// latency at near-zero hit cost); kOff trusts memory.
+  ArtifactCache::Verify verify = ArtifactCache::Verify::kOff;
+  std::size_t verify_sample_period = 16;
+  /// Background audit sampler: fraction of settled queries re-executed
+  /// under the alternate kernel (decision mismatch = proof of corruption,
+  /// quarantines the graph) and a fresh seed (missed-"yes" ledger).
+  /// 0 disables the sampler thread entirely.
+  double audit_rate = 0.0;
+  std::uint64_t audit_seed = 0xA0D17ULL;
+
   /// Chaos harness (tests / `midas_cli serve --fault-*` only).
   ServiceFaultPlan chaos{};
   /// Supervisor poll period (retry timers, hedge watchdog).
@@ -131,6 +146,18 @@ struct ServiceStats {
   std::uint64_t breaker_fastfail = 0;   // queries fast-failed on open circuit
   std::uint64_t chaos_engine_faults = 0;  // attempts with injected faults
   std::uint64_t chaos_build_failures = 0; // forced artifact-build failures
+  std::uint64_t chaos_artifact_flips = 0; // injected artifact bit-flips
+
+  // -- answer integrity (service/integrity.hpp) ---------------------------
+  std::uint64_t certified = 0;          // "yes" answers backed by a witness
+  std::uint64_t cert_failures = 0;      // certification could not back a "yes"
+  std::uint64_t reamplified = 0;        // "no" answers topped up with rounds
+  std::uint64_t audits_scheduled = 0;   // settled answers queued for audit
+  std::uint64_t audits_completed = 0;
+  std::uint64_t audit_mismatches = 0;   // alternate-kernel decision mismatch
+  std::uint64_t audit_missed_yes = 0;   // fresh-seed probe beat a "no"
+  std::uint64_t integrity_quarantines = 0;  // graphs force-opened + flushed
+
   std::size_t workers_alive = 0;        // current pool size (never shrinks)
   std::size_t breaker_open = 0;         // graphs currently fast-failing
   std::size_t queued_interactive = 0;
@@ -160,7 +187,8 @@ class DetectionService {
   /// error (after the retry budget for retryable failures). Throws
   /// ServiceOverloadError (lane full), DeadlineInfeasibleError (shed),
   /// CircuitOpenError (graph's breaker open), UnknownGraphError, or
-  /// std::invalid_argument (malformed spec) — all before enqueueing.
+  /// QueryValidationError (malformed spec, carrying the offending field
+  /// name) — all before enqueueing.
   std::shared_future<QueryResult> submit(const QuerySpec& spec);
 
   /// Block until both lanes are empty, no retry is pending, and no query
@@ -205,10 +233,20 @@ class DetectionService {
   void worker_main();
   void worker_loop();
   void supervisor_loop();
-  /// Runs the engine for one spec through the artifact cache. Fills the
+  /// Runs the engine for one spec through the artifact cache, then the
+  /// integrity passes (epsilon accounting, reamplify, certify). Fills the
   /// serving telemetry fields except queue_s/total_s (the worker does).
   QueryResult execute(const QuerySpec& spec, std::uint64_t fingerprint,
                       int attempt);
+  /// One engine run against cached artifacts — the inner piece of
+  /// execute(), reused bit-identically by the reamplify top-up.
+  QueryResult run_engine(const QuerySpec& spec,
+                         const GraphArtifacts& artifacts,
+                         core::MidasOptions opt);
+  /// Integrity quarantine of a whole graph: force the breaker open and
+  /// flush every cached artifact built from it (an audit decision mismatch
+  /// or failed certification is proof of corruption, not a trend).
+  void quarantine_graph(const std::string& graph_name);
   /// Runs one execution attempt and applies the outcome to the ticket:
   /// settle, schedule a retry, or defer to a still-outstanding attempt.
   void run_attempt(const std::shared_ptr<Ticket>& t, bool is_hedge,
@@ -258,15 +296,19 @@ class DetectionService {
   std::size_t workers_alive_ = 0;
   std::uint64_t dequeues_ = 0;    // chaos worker-kill decision index
   std::unordered_map<std::string, std::uint64_t> build_attempts_;
+  std::unordered_map<std::string, std::uint64_t> flip_attempts_;
   std::uint64_t submitted_ = 0, executed_ = 0, deduped_ = 0, rejected_ = 0,
                 shed_ = 0, deadline_exceeded_ = 0, failed_ = 0,
                 attempt_failures_ = 0, retried_ = 0, hedges_ = 0,
                 hedge_wins_ = 0, worker_restarts_ = 0,
                 breaker_fastfail_ = 0, chaos_engine_faults_ = 0,
-                chaos_build_failures_ = 0;
+                chaos_build_failures_ = 0, chaos_artifact_flips_ = 0,
+                certified_ = 0, cert_failures_ = 0, reamplified_ = 0,
+                integrity_quarantines_ = 0;
 
   const Clock::time_point epoch_ = Clock::now();
 
+  std::unique_ptr<AuditSampler> auditor_;  // armed when audit_rate > 0
   std::thread supervisor_;
   std::vector<std::thread> workers_;  // last member: joins before teardown
 };

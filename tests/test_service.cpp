@@ -33,6 +33,8 @@ using service::Lane;
 using service::QueryResult;
 using service::QuerySpec;
 using service::QueryType;
+using service::QueryValidationError;
+using service::ServiceError;
 using service::ServiceOptions;
 
 // ---------------------------------------------------------------------------
@@ -333,19 +335,49 @@ TEST(DetectionService, ValidationErrors) {
 
   q = path_query();
   q.field_bits = 1;
-  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+  EXPECT_THROW((void)svc.submit(q), QueryValidationError);
 
   q = path_query();
   q.n1 = 3;  // does not divide n_ranks = 2
-  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+  EXPECT_THROW((void)svc.submit(q), QueryValidationError);
 
   q = path_query();
   q.type = QueryType::kTree;  // k = 4 but no template edges
-  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+  EXPECT_THROW((void)svc.submit(q), QueryValidationError);
 
   q = path_query();
   q.type = QueryType::kScan;  // no weights
-  EXPECT_THROW((void)svc.submit(q), std::invalid_argument);
+  EXPECT_THROW((void)svc.submit(q), QueryValidationError);
+
+  // PR-7 admission checks: epsilon and max_rounds are validated up front,
+  // with the offending field name carried on the typed error.
+  q = path_query();
+  q.epsilon = 0.0;
+  EXPECT_THROW((void)svc.submit(q), QueryValidationError);
+  q.epsilon = 1.0;
+  EXPECT_THROW((void)svc.submit(q), QueryValidationError);
+  q.epsilon = -0.5;
+  try {
+    (void)svc.submit(q);
+    FAIL() << "expected QueryValidationError";
+  } catch (const QueryValidationError& e) {
+    EXPECT_EQ(e.field(), "epsilon");
+    EXPECT_NE(std::string(e.what()).find("epsilon"), std::string::npos);
+  }
+
+  q = path_query();
+  q.max_rounds = -1;
+  try {
+    (void)svc.submit(q);
+    FAIL() << "expected QueryValidationError";
+  } catch (const QueryValidationError& e) {
+    EXPECT_EQ(e.field(), "max_rounds");
+  }
+
+  // The validation family stays catchable as ServiceError.
+  q = path_query();
+  q.epsilon = 2.0;
+  EXPECT_THROW((void)svc.submit(q), ServiceError);
 }
 
 TEST(DetectionService, ShutdownFailsQueuedQueries) {
