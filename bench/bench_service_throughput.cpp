@@ -16,6 +16,7 @@
 // from a quiet machine when the service or partitioner changes.
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -37,6 +38,8 @@ struct Row {
   double p99_ms;
   std::uint64_t builds;
   std::uint64_t hits;
+  std::uint64_t pool_reuse;
+  std::uint64_t steals;
 };
 
 Row run_config(const graph::Graph& g, int workers, bool cache, int queries,
@@ -76,13 +79,16 @@ Row run_config(const graph::Graph& g, int workers, bool cache, int queries,
   lat.reserve(futs.size());
   for (auto& f : futs) lat.push_back(f.get().total_s);
   const auto cs = svc.cache().stats();
+  const auto ss = svc.stats();
   return {workers,
           cache,
           static_cast<double>(queries) / wall,
           percentile(lat, 50.0) * 1e3,
           percentile(lat, 99.0) * 1e3,
           cs.builds,
-          cs.hits};
+          cs.hits,
+          ss.pool_reuse,
+          ss.steals};
 }
 
 void write_json(const std::string& path, graph::VertexId n, int queries,
@@ -92,21 +98,28 @@ void write_json(const std::string& path, graph::VertexId n, int queries,
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return;
   }
+  // hardware_threads records the machine the baseline came from: the
+  // scaling gate (bench/check_regression.py) scales its expectation by
+  // it, since worker scaling is physically bounded by the core count.
   std::fprintf(out,
                "{\n  \"bench\": \"service_throughput\",\n"
                "  \"unit\": \"queries per second\",\n"
                "  \"n\": %u,\n  \"queries\": %d,\n  \"k\": %d,\n"
+               "  \"hardware_threads\": %u,\n"
                "  \"results\": [\n",
-               n, queries, k);
+               n, queries, k, std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(out,
                  "    {\"workers\": %d, \"cache\": %s, \"qps\": %.2f, "
                  "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"builds\": %llu, "
-                 "\"hits\": %llu}%s\n",
+                 "\"hits\": %llu, \"pool_reuse\": %llu, "
+                 "\"steals\": %llu}%s\n",
                  r.workers, r.cache ? "true" : "false", r.qps, r.p50_ms,
                  r.p99_ms, static_cast<unsigned long long>(r.builds),
                  static_cast<unsigned long long>(r.hits),
+                 static_cast<unsigned long long>(r.pool_reuse),
+                 static_cast<unsigned long long>(r.steals),
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

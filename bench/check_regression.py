@@ -16,9 +16,27 @@ The absolute gate deliberately sits far below the committed baseline
 catch "the bit-sliced path stopped being used / got 3x slower", not 10%
 jitter. Exit status: 0 = pass, 1 = regression, 2 = could not run/parse.
 
+A second, independent mode gates the service's worker scaling instead:
+pass --service-json=BENCH_service.json (a bench_service_throughput dump)
+and the check requires cached q/s to scale from 1 worker to the widest
+measured pool. The required ratio is hardware-aware: on a machine with
+hw hardware threads it is
+
+    min(--min-scaling, max(--service-floor, 0.75 * min(4, hw)))
+
+so a >= 4-core machine must show the full --min-scaling (default 3.0x,
+the PR 8 acceptance bar), while a 1-core container — where multi-worker
+wall-clock scaling is physically impossible — only has to hold the
+no-regression floor (default 0.95: multi-worker must not be slower than
+single-worker beyond noise). The machine's thread count is read from the
+JSON's hardware_threads field (falling back to os.cpu_count()), so the
+gate judges the numbers against the machine that produced them.
+
 Usage:
   python3 bench/check_regression.py --bench=build/bench/bench_bitsliced_kernels \
       [--baseline=BENCH_kernels.json] [--n=96] [--kmax=12] [--min-speedup=5.0]
+  python3 bench/check_regression.py --service-json=BENCH_service.json \
+      [--min-scaling=3.0] [--service-floor=0.95]
 """
 
 import argparse
@@ -29,9 +47,41 @@ import sys
 import tempfile
 
 
+def check_service_scaling(args) -> int:
+    try:
+        with open(args.service_json, encoding="utf-8") as fh:
+            bench = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read service json: {e}",
+              file=sys.stderr)
+        return 2
+
+    cached = {r["workers"]: r["qps"]
+              for r in bench["results"] if r.get("cache")}
+    if len(cached) < 2 or 1 not in cached:
+        print("check_regression: service json needs cached rows for "
+              "workers=1 and at least one wider pool", file=sys.stderr)
+        return 2
+    wide = max(cached)
+    scaling = cached[wide] / cached[1]
+
+    hw = bench.get("hardware_threads") or os.cpu_count() or 1
+    required = min(args.min_scaling,
+                   max(args.service_floor, 0.75 * min(4, hw)))
+    print(f"service scaling: cached qps {cached[1]:.1f} @1w -> "
+          f"{cached[wide]:.1f} @{wide}w = {scaling:.2f}x "
+          f"(required >= {required:.2f}x on {hw} hardware threads)")
+    if scaling < required:
+        print(f"check_regression: REGRESSION: worker scaling {scaling:.2f}x "
+              f"< required {required:.2f}x", file=sys.stderr)
+        return 1
+    print("check_regression: OK")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
-    ap.add_argument("--bench", required=True,
+    ap.add_argument("--bench",
                     help="path to the bench_bitsliced_kernels binary")
     ap.add_argument("--baseline",
                     default=os.path.join(os.path.dirname(__file__), os.pardir,
@@ -39,7 +89,20 @@ def main() -> int:
     ap.add_argument("--n", type=int, default=96)
     ap.add_argument("--kmax", type=int, default=12)
     ap.add_argument("--min-speedup", type=float, default=5.0)
+    ap.add_argument("--service-json",
+                    help="BENCH_service.json to gate worker scaling instead "
+                         "of kernel speedup")
+    ap.add_argument("--min-scaling", type=float, default=3.0,
+                    help="required 1->max-workers cached-qps ratio on a "
+                         ">= 4-core machine")
+    ap.add_argument("--service-floor", type=float, default=0.95,
+                    help="no-regression floor for core-starved machines")
     args = ap.parse_args()
+
+    if args.service_json:
+        return check_service_scaling(args)
+    if not args.bench:
+        ap.error("--bench is required unless --service-json is given")
 
     try:
         with open(args.baseline, encoding="utf-8") as fh:

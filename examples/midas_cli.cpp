@@ -8,8 +8,8 @@
 //   midas_cli maxweight --k=6 --weights=FILE|random
 //   midas_cli scan      --k=5 --weights=FILE|random
 //                       [--stat=kulldorff|ebp|mean|bj] [--witness]
-//   midas_cli serve     --replay=WORKLOAD [--workers=W] [--queue=C]
-//                       [--cache=N|--no-cache]
+//   midas_cli serve     --replay=WORKLOAD [--workers=W] [--cores=C]
+//                       [--queue=C] [--cache=N|--no-cache]
 //                       [--retries=R] [--hedge=M] [--breaker-threshold=F]
 //                       [--certify] [--audit-rate=P]
 //                       [--verify-artifacts=off|sampled|full]
@@ -19,6 +19,10 @@
 //                       replay a workload file through the batched
 //                       DetectionService and print the per-lane
 //                       latency/throughput report (docs/SERVICE.md).
+//                       --workers=0 (default) sizes the worker pool from
+//                       the CPU budget (--cores, default the machine's
+//                       hardware threads): workers x ranks-per-worker ~
+//                       cores, each worker reusing a persistent rank pool.
 //                       --retries bounds execution attempts per query,
 //                       --hedge=M launches a racing attempt for runs
 //                       straggling past M x the lane's rolling p99, and
@@ -376,6 +380,7 @@ int run_serve(const midas::Args& args) {
   }
   service::ReplayOptions opt;
   opt.workers = static_cast<int>(args.get_int("workers", opt.workers));
+  opt.cores = static_cast<int>(args.get_int("cores", opt.cores));
   opt.queue_capacity = static_cast<std::size_t>(
       args.get_int("queue", static_cast<std::int64_t>(opt.queue_capacity)));
   opt.cache_capacity = static_cast<std::size_t>(

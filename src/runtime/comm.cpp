@@ -7,6 +7,7 @@
 #include <thread>
 #include <tuple>
 
+#include "runtime/rank_pool.hpp"
 #include "util/require.hpp"
 
 namespace midas::runtime {
@@ -998,27 +999,36 @@ SpmdResult run_spmd(int nranks, const CostModel& model,
   comms.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r)
     comms.push_back(Comm(&world, root, r, r, root_policy));
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r] {
-      MIDAS_TRACE_SET_LANE(r);
-      Comm& comm = comms[static_cast<std::size_t>(r)];
-      try {
-        MIDAS_TRACE_SPAN("spmd.rank");
-        body(comm);
-      } catch (...) {
-        MIDAS_TRACE_INSTANT("spmd.rank_failed");
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
-        // Record the death first so peers blocked on this rank wake up and
-        // observe it (RankFailedError / shrink) instead of hanging, then —
-        // unsupervised — take the whole world down.
-        world.mark_failed(r);
-        if (!opts.supervise) world.request_abort();
-      }
-    });
+  // One body per rank; never throws (every exception lands in errors[r]).
+  // Shared verbatim between the spawn and pool paths below, which is what
+  // keeps pooled execution bit-exact with fresh-spawn: only the thread
+  // placement differs, never the work or the error semantics.
+  const auto rank_body = [&](int r) {
+    MIDAS_TRACE_SET_LANE(opts.trace_lane_base + r);
+    Comm& comm = comms[static_cast<std::size_t>(r)];
+    try {
+      MIDAS_TRACE_SPAN("spmd.rank");
+      body(comm);
+    } catch (...) {
+      MIDAS_TRACE_INSTANT("spmd.rank_failed");
+      errors[static_cast<std::size_t>(r)] = std::current_exception();
+      // Record the death first so peers blocked on this rank wake up and
+      // observe it (RankFailedError / shrink) instead of hanging, then —
+      // unsupervised — take the whole world down.
+      world.mark_failed(r);
+      if (!opts.supervise) world.request_abort();
+    }
+  };
+  if (opts.pool != nullptr) {
+    opts.pool->run_gang(nranks, rank_body);
+    MIDAS_TRACE_COUNT("spmd.pool_runs", 1);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r)
+      threads.emplace_back([&rank_body, r] { rank_body(r); });
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
 
   SpmdResult result;
   if (opts.supervise) {

@@ -38,6 +38,7 @@ namespace midas::runtime {
 
 class World;
 class Group;
+class RankPool;
 struct SpmdResult;
 struct SpmdOptions;
 
@@ -88,6 +89,17 @@ struct SpmdOptions {
   WatchdogOptions watchdog{};  // straggler deadline / speculation
   SpmdResume resume{};         // checkpointed world state to restore
   TraceOptions trace{};        // observability (docs/OBSERVABILITY.md)
+  /// Execute rank bodies on this persistent pool (park/wake) instead of
+  /// spawning fresh threads (runtime/rank_pool.hpp). Null = spawn/join.
+  /// Purely an execution-placement choice: vclocks, charges, fault
+  /// injection, and error semantics are identical either way, so results
+  /// stay bit-exact and fingerprints never include it. The pool must
+  /// outlive the run; one run at a time per pool.
+  RankPool* pool = nullptr;
+  /// Tracer lane of rank r is trace_lane_base + r. The service gives each
+  /// worker a disjoint base so per-worker timelines (and shard imbalance)
+  /// are visible in one Chrome trace; standalone runs keep base 0.
+  int trace_lane_base = 0;
 };
 
 /// A rank's handle on a communicator (world or split sub-group).

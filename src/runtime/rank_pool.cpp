@@ -1,0 +1,75 @@
+#include "runtime/rank_pool.hpp"
+
+#include "util/require.hpp"
+
+namespace midas::runtime {
+
+RankPool::RankPool(int threads) {
+  MIDAS_REQUIRE(threads >= 0, "RankPool thread count must be >= 0");
+  std::lock_guard<std::mutex> lk(m_);
+  ensure_threads_locked(threads);
+}
+
+RankPool::~RankPool() {
+  // Wait out any in-flight gang first so stop_ never races a dispatch.
+  std::lock_guard<std::mutex> gang(gang_m_);
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int RankPool::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return static_cast<int>(threads_.size());
+}
+
+void RankPool::ensure_threads_locked(int n) {
+  while (static_cast<int>(threads_.size()) < n) {
+    const int slot = static_cast<int>(threads_.size());
+    // Pass the creation-time epoch by value: a thread scheduled late must
+    // still treat the next epoch bump as new work, even if it first runs
+    // after run_gang already advanced epoch_.
+    threads_.emplace_back(
+        [this, slot, e = epoch_] { thread_main(slot, e); });
+    spawned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RankPool::thread_main(int slot, std::uint64_t seen_epoch) {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    const auto* fn = fn_;
+    if (slot < gang_size_) {
+      lk.unlock();
+      (*fn)(slot);
+      lk.lock();
+    }
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+}
+
+void RankPool::run_gang(int nranks, const std::function<void(int)>& fn) {
+  MIDAS_REQUIRE(nranks >= 1, "run_gang requires at least one rank");
+  std::lock_guard<std::mutex> gang(gang_m_);
+  std::unique_lock<std::mutex> lk(m_);
+  ensure_threads_locked(nranks);
+  fn_ = &fn;
+  gang_size_ = nranks;
+  // Every resident thread checks in each epoch (non-participants skip the
+  // body), so no thread can sleep through an epoch and desync.
+  remaining_ = static_cast<int>(threads_.size());
+  ++epoch_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return remaining_ == 0; });
+  fn_ = nullptr;
+  gang_size_ = 0;
+  gangs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace midas::runtime

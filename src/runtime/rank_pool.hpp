@@ -1,0 +1,84 @@
+// Persistent rank-thread pool for run_spmd (docs/SERVICE.md §Execution
+// model).
+//
+// The SPMD runtime is thread-per-rank; without a pool every run_spmd call
+// pays nranks thread creations and joins. Fine for one long detection run,
+// but the service executes thousands of short queries — at ~400 µs per
+// cached query the create/join tax is a double-digit percentage, and W
+// workers × N ranks of short-lived threads churn the scheduler
+// (EXPERIMENTS.md "Persistent rank pools"). A RankPool owns long-lived
+// threads that park on a condition variable between runs; run_spmd hands
+// them a gang of rank bodies (park/wake instead of spawn/join).
+//
+// Contract:
+//  * One gang at a time per pool (callers serialize on an internal mutex;
+//    the service gives each worker its own pool, so there is no cross-
+//    query contention by construction).
+//  * run_gang(n, fn) blocks until fn(0..n-1) all returned. `fn` must not
+//    throw — run_spmd's per-rank wrapper already captures every exception
+//    into its error slots, which is what keeps pooled and fresh-spawn
+//    error semantics identical.
+//  * The pool grows on demand: a gang larger than the resident thread
+//    count spawns the difference once and keeps it. Growth is bounded by
+//    the largest n_ranks ever requested, not by query volume.
+//  * Threads are anonymous between gangs: each gang re-binds tracer lanes
+//    (run_spmd sets the lane inside the rank body), so a reused thread
+//    never leaks the previous query's lane.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace midas::runtime {
+
+class RankPool {
+ public:
+  /// `threads` = initial resident threads (the core budget's
+  /// ranks_per_worker); the pool grows past it on demand. 0 = fully lazy.
+  explicit RankPool(int threads = 0);
+  ~RankPool();
+  RankPool(const RankPool&) = delete;
+  RankPool& operator=(const RankPool&) = delete;
+
+  /// Run fn(0), ..., fn(nranks - 1) on pool threads; blocks until every
+  /// call returned. Concurrent callers are serialized. `fn` must not throw.
+  void run_gang(int nranks, const std::function<void(int)>& fn);
+
+  /// Resident threads right now (grows, never shrinks).
+  [[nodiscard]] int size() const;
+  /// Completed run_gang calls — the reuse counter behind the service's
+  /// `service.pool_reuse` metric.
+  [[nodiscard]] std::uint64_t gangs() const noexcept {
+    return gangs_.load(std::memory_order_relaxed);
+  }
+  /// Threads ever created (== size(); separate so tests can assert that
+  /// reuse does not spawn).
+  [[nodiscard]] std::uint64_t spawned() const noexcept {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void thread_main(int slot, std::uint64_t seen_epoch);
+  /// Spawn threads up to `n` residents. Caller holds m_.
+  void ensure_threads_locked(int n);
+
+  std::mutex gang_m_;  // serializes run_gang callers
+  mutable std::mutex m_;
+  std::condition_variable work_cv_;  // pool threads: a new epoch arrived
+  std::condition_variable done_cv_;  // run_gang: all threads checked in
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* fn_ = nullptr;
+  int gang_size_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped once per gang
+  int remaining_ = 0;        // threads yet to check in this epoch
+  bool stop_ = false;
+  std::atomic<std::uint64_t> gangs_{0};
+  std::atomic<std::uint64_t> spawned_{0};
+};
+
+}  // namespace midas::runtime

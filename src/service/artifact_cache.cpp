@@ -10,6 +10,23 @@ namespace midas::service {
 std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key,
                                                   std::uint64_t& expected) {
   Shard& s = shard_for(key);
+  {
+    // Hit fast path: shared lock only. Ready entries are immutable except
+    // for the atomic recency stamp, so any number of workers hitting the
+    // same key (the steady state of a few-graphs/many-queries workload)
+    // proceed without serializing on each other.
+    std::shared_lock lock(s.m);
+    auto it = s.entries.find(key);
+    if (it != s.entries.end() && !it->second.building) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("service.cache.hits", 1);
+      it->second.last_used.store(
+          clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      expected = it->second.checksum;
+      return it->second.value;
+    }
+  }
   std::unique_lock lock(s.m);
   for (;;) {
     auto it = s.entries.find(key);
@@ -29,10 +46,12 @@ std::shared_ptr<const void> ArtifactCache::lookup(const std::string& key,
       s.cv.wait(lock);
       continue;
     }
+    // Published between the shared-lock probe and here: still a hit.
     hits_.fetch_add(1, std::memory_order_relaxed);
     MIDAS_TRACE_COUNT("service.cache.hits", 1);
-    it->second.last_used =
-        clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+    it->second.last_used.store(
+        clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
     expected = it->second.checksum;
     return it->second.value;
   }
@@ -51,8 +70,9 @@ void ArtifactCache::publish(const std::string& key,
       it->second.value = std::move(value);
       it->second.building = false;
       it->second.checksum = checksum;
-      it->second.last_used =
-          clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+      it->second.last_used.store(
+          clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
     }
   }
   s.cv.notify_all();
@@ -81,7 +101,7 @@ void ArtifactCache::evict_over_capacity() {
   // Publishes are rare (one per distinct artifact), so the all-shards lock
   // here is off the hot path; it is what keeps eviction order exactly
   // global-LRU rather than per-shard.
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
   locks.reserve(shards_.size());
   for (Shard& s : shards_) locks.emplace_back(s.m);
   for (;;) {
@@ -93,7 +113,8 @@ void ArtifactCache::evict_over_capacity() {
         if (e->second.building) continue;
         ++ready;
         if (victim_shard == nullptr ||
-            e->second.last_used < victim->second.last_used) {
+            e->second.last_used.load(std::memory_order_relaxed) <
+                victim->second.last_used.load(std::memory_order_relaxed)) {
           victim_shard = &s;
           victim = e;
         }
@@ -143,9 +164,11 @@ ArtifactCache::Stats ArtifactCache::stats() const {
 std::vector<std::string> ArtifactCache::keys_lru() const {
   std::vector<std::pair<std::uint64_t, std::string>> stamped;
   for (const Shard& s : shards_) {
-    std::lock_guard lock(s.m);
+    std::shared_lock lock(s.m);
     for (const auto& [key, e] : s.entries)
-      if (!e.building) stamped.emplace_back(e.last_used, key);
+      if (!e.building)
+        stamped.emplace_back(e.last_used.load(std::memory_order_relaxed),
+                             key);
   }
   std::sort(stamped.begin(), stamped.end());
   std::vector<std::string> keys;
@@ -157,7 +180,7 @@ std::vector<std::string> ArtifactCache::keys_lru() const {
 std::size_t ArtifactCache::size() const {
   std::size_t n = 0;
   for (const Shard& s : shards_) {
-    std::lock_guard lock(s.m);
+    std::shared_lock lock(s.m);
     n += s.entries.size();
   }
   return n;

@@ -35,10 +35,15 @@
 // The key space is striped across `shards` independently locked maps, so
 // concurrent hits on different keys never contend — one global mutex here
 // was the service's scaling bottleneck (every query takes 2+ cache hits;
-// see EXPERIMENTS.md "Striping the artifact cache"). Recency is a single
-// atomic clock, and eviction takes all shard locks briefly at publish
-// time, which keeps the LRU order exactly global (not per-shard): the
-// hot path (hits) stays per-shard, and publishes are rare by design.
+// see EXPERIMENTS.md "Striping the artifact cache"). Each stripe is a
+// reader-writer lock: ready hits — the steady-state path once a graph's
+// artifacts are resident — take it *shared*, so even same-key hits from
+// every worker proceed concurrently (recency is an atomic stamp, the
+// published value and checksum are immutable); only builder-slot claims,
+// publishes and removals go exclusive. Eviction takes all shard locks
+// briefly at publish time, which keeps the LRU order exactly global (not
+// per-shard): the hot path (hits) never serializes, and publishes are
+// rare by design.
 //
 // Values are type-erased shared_ptr<const void>; the key string encodes
 // the artifact kind, so a key is always requested as the same type.
@@ -51,6 +56,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,7 +86,7 @@ class ArtifactCache {
   /// nothing) — the ablation mode bench_service_throughput measures.
   /// `shards` = number of independently locked key stripes.
   explicit ArtifactCache(std::size_t capacity, bool enabled = true,
-                         std::size_t shards = 8)
+                         std::size_t shards = 16)
       : capacity_(capacity),
         enabled_(enabled && capacity > 0),
         shards_(shards > 0 ? shards : 1) {}
@@ -201,14 +207,28 @@ class ArtifactCache {
   struct Entry {
     std::shared_ptr<const void> value;  // null while the builder runs
     bool building = false;
-    std::uint64_t last_used = 0;
+    /// Atomic so concurrent hit-path readers can stamp recency under the
+    /// *shared* lock; eviction reads it under every shard's unique lock.
+    std::atomic<std::uint64_t> last_used{0};
     std::uint64_t checksum = 0;  // taken at publish (integrity types only)
+
+    Entry() = default;
+    Entry(Entry&& o) noexcept
+        : value(std::move(o.value)),
+          building(o.building),
+          last_used(o.last_used.load(std::memory_order_relaxed)),
+          checksum(o.checksum) {}
+    Entry& operator=(Entry&&) = delete;
   };
 
-  /// One key stripe: its own lock, waiters, and entry map.
+  /// One key stripe: its own reader-writer lock, waiters, and entry map.
+  /// Ready hits take the lock shared (lock-free between any number of
+  /// readers — the value pointer and checksum are immutable once
+  /// published, recency is an atomic); only builder-slot claims, publishes
+  /// and removals go exclusive.
   struct Shard {
-    mutable std::mutex m;
-    std::condition_variable cv;
+    mutable std::shared_mutex m;
+    std::condition_variable_any cv;
     std::map<std::string, Entry> entries;
   };
 

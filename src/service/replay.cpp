@@ -166,6 +166,7 @@ ReplayReport run_replay(const std::string& workload_path,
 
   ServiceOptions sopt;
   sopt.workers = ropt.workers;
+  sopt.cores = ropt.cores;
   sopt.queue_capacity = ropt.queue_capacity;
   sopt.cache_capacity = ropt.cache_capacity;
   sopt.cache_enabled = ropt.cache_enabled;
@@ -297,6 +298,11 @@ ReplayReport run_replay(const std::string& workload_path,
   rep.audit_mismatches = stats.audit_mismatches;
   rep.audit_missed_yes = stats.audit_missed_yes;
   rep.integrity_quarantines = stats.integrity_quarantines;
+  rep.workers = stats.workers;
+  rep.cores = stats.cores;
+  rep.ranks_per_worker = stats.ranks_per_worker;
+  rep.pool_reuse = stats.pool_reuse;
+  rep.steals = stats.steals;
   rep.cache = svc.cache().stats();
   return rep;
 }
@@ -315,6 +321,9 @@ void print_report(std::ostream& os, const ReplayReport& r) {
   };
   os << "replay: " << r.wall_s << " s wall, " << r.qps << " q/s, "
      << r.overload_retries << " overload retries\n";
+  os << "  budget: " << r.workers << " workers x " << r.ranks_per_worker
+     << " ranks on " << r.cores << " cores; " << r.pool_reuse
+     << " pooled gang reuses, " << r.steals << " shard steals\n";
   os << "  " << std::left << std::setw(12) << "lane" << std::right
      << std::setw(8) << "subm" << std::setw(8) << "ok" << std::setw(10)
      << "deadline" << std::setw(8) << "failed" << std::setw(12)

@@ -34,7 +34,8 @@ namespace midas::service {
 
 /// Replay-side serving knobs (forwarded into ServiceOptions).
 struct ReplayOptions {
-  int workers = 4;
+  int workers = 0;  // 0 = auto-size from the core budget
+  int cores = 0;    // CPU budget; 0 = hardware_concurrency
   std::size_t queue_capacity = 64;
   std::size_t cache_capacity = 16;
   bool cache_enabled = true;
@@ -91,6 +92,12 @@ struct ReplayReport {
   std::uint64_t audit_mismatches = 0;
   std::uint64_t audit_missed_yes = 0;
   std::uint64_t integrity_quarantines = 0;
+  /// Core budget + sharded execution (see ServiceStats).
+  int workers = 0;
+  int cores = 0;
+  int ranks_per_worker = 0;
+  std::uint64_t pool_reuse = 0;        // SPMD gangs served by a warm pool
+  std::uint64_t steals = 0;            // cross-shard ticket steals
   double wall_s = 0.0;                 // first submit -> drain
   double qps = 0.0;                    // completed queries / wall_s
   ArtifactCache::Stats cache;

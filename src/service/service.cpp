@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
 #include "core/tree_template.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gfsmall.hpp"
 #include "partition/multilevel.hpp"
+#include "runtime/cost_model.hpp"
+#include "runtime/rank_pool.hpp"
 #include "runtime/trace.hpp"
 #include "util/log.hpp"
 
@@ -64,19 +68,82 @@ std::size_t lane_index(Lane l) noexcept {
   return l == Lane::kInteractive ? 0 : 1;
 }
 
+/// Tracer lane block per worker: worker w's SPMD ranks trace on lanes
+/// [w * stride, w * stride + n_ranks) and the worker thread itself on the
+/// block's last lane, so a Chrome trace shows one band per worker.
+/// Standalone engine runs keep lane_base 0 — their lane layout (and the
+/// CI assertions on it) are unchanged.
+constexpr int kWorkerLaneStride = 64;
+
 }  // namespace
+
+CoreBudget resolve_core_budget(int workers, int cores, int ranks_hint) {
+  CoreBudget b;
+  if (cores > 0) {
+    b.cores = cores;
+  } else {
+    const unsigned hw = std::thread::hardware_concurrency();
+    b.cores = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  const int hint = std::max(1, ranks_hint);
+  // Auto mode targets ~one resident rank thread per core: more workers
+  // than cores/ranks just time-slice (EXPERIMENTS.md measured 4 workers x
+  // 2 ranks on one core at 3.6x the per-query rank time of 1 worker).
+  // Capped at 16 so a huge machine still leaves cores for builds/audits.
+  b.workers = workers > 0 ? workers
+                          : std::clamp(b.cores / hint, 1, 16);
+  b.ranks_per_worker = std::max(hint, b.cores / b.workers);
+  return b;
+}
+
+double estimate_query_cost(const QuerySpec& q, std::uint64_t vertices,
+                           std::uint64_t edges) {
+  const runtime::CostModel m{};
+  const double iters = std::ldexp(1.0, std::clamp(q.k, 1, 30));  // 2^k
+  const double rounds = static_cast<double>(q.rounds());
+  const double n1 = static_cast<double>(std::max(1, q.n1));
+  const double part_edges = static_cast<double>(edges) / n1 + 1.0;
+  const double part_verts = static_cast<double>(vertices) / n1 + 1.0;
+  // Bit-sliced kernels pack 64 iterations per plane word across
+  // field_bits planes; the scalar kernel pays one field op per iteration.
+  const bool scalar = q.kernel == core::Kernel::kScalar;
+  const double lane_words =
+      scalar ? iters : (iters / 64.0 + 1.0) * static_cast<double>(q.field_bits);
+  const double compute =
+      m.compute_cost(static_cast<std::uint64_t>(
+          rounds * q.k * (part_edges + part_verts) * lane_words));
+  // One batched halo exchange per (round, k-level, phase).
+  const double phases = iters / static_cast<double>(std::max<std::uint32_t>(
+                                    1, q.n2)) + 1.0;
+  const double halo_bytes =
+      part_verts * (scalar ? 1.0 : q.field_bits / 8.0 + 1.0);
+  const double comm =
+      rounds * q.k * phases *
+      m.message_cost(static_cast<std::uint64_t>(halo_bytes));
+  return compute + comm;
+}
 
 DetectionService::DetectionService(ServiceOptions opt)
     : opt_(std::move(opt)),
       chaos_(opt_.chaos),
       cache_(opt_.cache_capacity, opt_.cache_enabled, opt_.cache_shards),
       breaker_(opt_.breaker) {
-  if (opt_.workers < 1)
-    throw std::invalid_argument("service needs at least one worker");
+  if (opt_.workers < 0)
+    throw std::invalid_argument("workers must be >= 0 (0 = auto)");
+  if (opt_.cores < 0)
+    throw std::invalid_argument("cores must be >= 0 (0 = hardware)");
+  if (opt_.ranks_hint < 1)
+    throw std::invalid_argument("ranks_hint must be >= 1");
   if (opt_.queue_capacity < 1)
     throw std::invalid_argument("service needs queue_capacity >= 1");
   if (opt_.supervisor_poll_s <= 0.0)
     throw std::invalid_argument("supervisor_poll_s must be > 0");
+  budget_ = resolve_core_budget(opt_.workers, opt_.cores, opt_.ranks_hint);
+  shards_.resize(static_cast<std::size_t>(budget_.workers));
+  shard_gauges_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shard_gauges_.push_back(&runtime::tracer().metrics().gauge(
+        "service.shard_load." + std::to_string(i)));
 
   // -- integrity wiring (service/integrity.hpp) ---------------------------
   cache_.set_verify(opt_.verify, opt_.verify_sample_period);
@@ -119,7 +186,7 @@ DetectionService::DetectionService(ServiceOptions opt)
         // the audit itself.
         [this](const QuerySpec& s) {
           return execute(s, query_fingerprint(s),
-                         opt_.chaos.max_faulty_attempts);
+                         opt_.chaos.max_faulty_attempts, ExecContext{});
         },
         [this](const std::string& g) { quarantine_graph(g); },
         /*on_missed_yes=*/nullptr);
@@ -127,9 +194,9 @@ DetectionService::DetectionService(ServiceOptions opt)
 
   {
     std::lock_guard lock(m_);
-    workers_.reserve(static_cast<std::size_t>(opt_.workers) * 2);
-    for (int i = 0; i < opt_.workers; ++i) {
-      workers_.emplace_back([this] { worker_main(); });
+    workers_.reserve(static_cast<std::size_t>(budget_.workers) * 2);
+    for (int i = 0; i < budget_.workers; ++i) {
+      workers_.emplace_back([this, i] { worker_main(i); });
       ++workers_alive_;
     }
   }
@@ -144,10 +211,13 @@ DetectionService::~DetectionService() {
   {
     std::lock_guard lock(m_);
     stopping_ = true;
-    for (auto& t : interactive_) orphans.push_back(std::move(t));
-    interactive_.clear();
-    for (auto& t : batch_) orphans.push_back(std::move(t));
-    batch_.clear();
+    for (WorkerShard& s : shards_) {
+      for (auto& t : s.interactive) orphans.push_back(std::move(t));
+      s.interactive.clear();
+      for (auto& t : s.batch) orphans.push_back(std::move(t));
+      s.batch.clear();
+      s.load = 0.0;
+    }
     for (auto& t : hedge_) orphans.push_back(std::move(t));
     hedge_.clear();
     for (auto& e : retry_heap_) orphans.push_back(std::move(e.ticket));
@@ -247,14 +317,16 @@ std::shared_future<QueryResult> DetectionService::submit(
   }
   const bool is_probe = breaker_state == CircuitBreaker::State::kHalfOpen;
 
-  auto& lane = spec.lane == Lane::kInteractive ? interactive_ : batch_;
-  if (lane.size() >= opt_.queue_capacity) {
+  const std::size_t q_int = queued_locked(Lane::kInteractive);
+  const std::size_t q_bat = queued_locked(Lane::kBatch);
+  const std::size_t q_lane = spec.lane == Lane::kInteractive ? q_int : q_bat;
+  if (q_lane >= opt_.queue_capacity) {
     if (is_probe) breaker_.release_probe(spec.graph);
     ++rejected_;
     MIDAS_TRACE_COUNT("service.rejected", 1);
     throw ServiceOverloadError(
-        to_string(spec.lane), interactive_.size(), batch_.size(),
-        opt_.queue_capacity, opt_.shed_enabled ? "deadline-aware" : "none");
+        to_string(spec.lane), q_int, q_bat, opt_.queue_capacity,
+        opt_.shed_enabled ? "deadline-aware" : "none");
   }
 
   // Deadline-aware shedding: if the lane's rolling mean execution time says
@@ -264,9 +336,8 @@ std::shared_future<QueryResult> DetectionService::submit(
   if (opt_.shed_enabled && spec.timeout_s > 0.0) {
     const RollingWindow& w = exec_window_[lane_index(spec.lane)];
     if (w.count() >= opt_.shed_min_samples) {
-      const std::size_t ahead = spec.lane == Lane::kInteractive
-                                    ? interactive_.size()
-                                    : interactive_.size() + batch_.size();
+      const std::size_t ahead =
+          spec.lane == Lane::kInteractive ? q_int : q_int + q_bat;
       const double eta =
           w.mean() * static_cast<double>(ahead) /
           static_cast<double>(std::max<std::size_t>(1, workers_alive_));
@@ -282,6 +353,11 @@ std::shared_future<QueryResult> DetectionService::submit(
   auto t = std::make_shared<Ticket>();
   t->spec = spec;
   t->fingerprint = key;
+  // Cost-aware dispatch: place the ticket on the least-loaded worker
+  // shard, weighted by the alpha-beta estimate of this query's work, so
+  // a mix of heavy scans and light paths spreads by cost, not count.
+  t->cost = estimate_query_cost(spec, g->num_vertices(), g->num_edges());
+  t->shard = pick_shard_locked();
   t->retry = spec.retry.inherits() ? opt_.retry : spec.retry;
   if (t->retry.max_attempts < 1) t->retry.max_attempts = 1;
   t->breaker_probe = is_probe;
@@ -292,7 +368,7 @@ std::shared_future<QueryResult> DetectionService::submit(
   }
   std::shared_future<QueryResult> fut = t->promise.get_future().share();
   inflight_by_key_.emplace(key, fut);
-  lane.push_back(std::move(t));
+  enqueue_locked(t);
   ++submitted_;
   MIDAS_TRACE_COUNT("service.submitted", 1);
   update_queue_gauge();
@@ -301,10 +377,100 @@ std::shared_future<QueryResult> DetectionService::submit(
   return fut;
 }
 
+std::size_t DetectionService::queued_locked(Lane lane) const {
+  std::size_t n = 0;
+  for (const WorkerShard& s : shards_)
+    n += lane == Lane::kInteractive ? s.interactive.size() : s.batch.size();
+  return n;
+}
+
+bool DetectionService::queues_empty_locked() const {
+  for (const WorkerShard& s : shards_)
+    if (!s.interactive.empty() || !s.batch.empty()) return false;
+  return true;
+}
+
+int DetectionService::pick_shard_locked() const {
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(shards_.size()); ++i)
+    if (shards_[i].load < shards_[best].load) best = i;
+  return best;
+}
+
+void DetectionService::enqueue_locked(const std::shared_ptr<Ticket>& t,
+                                      bool front) {
+  WorkerShard& s = shards_[static_cast<std::size_t>(t->shard)];
+  auto& lane = t->spec.lane == Lane::kInteractive ? s.interactive : s.batch;
+  if (front)
+    lane.push_front(t);
+  else
+    lane.push_back(t);
+  s.load += t->cost;
+  update_shard_gauges_locked();
+}
+
+std::shared_ptr<DetectionService::Ticket> DetectionService::dequeue_locked(
+    int w) {
+  // Lane priority stays global: every queued interactive ticket beats
+  // every batch ticket, even across shards. Within a lane, own shard
+  // first; otherwise steal from the most-loaded shard that has one
+  // queued (millisort-style rebalancing of a skewed initial placement).
+  const auto lane_of = [](WorkerShard& s, Lane l)
+      -> std::deque<std::shared_ptr<Ticket>>& {
+    return l == Lane::kInteractive ? s.interactive : s.batch;
+  };
+  for (Lane l : {Lane::kInteractive, Lane::kBatch}) {
+    auto& own = lane_of(shards_[static_cast<std::size_t>(w)], l);
+    if (!own.empty()) {
+      auto t = own.front();
+      own.pop_front();
+      return t;
+    }
+    int victim = -1;
+    for (int i = 0; i < static_cast<int>(shards_.size()); ++i) {
+      if (i == w || lane_of(shards_[static_cast<std::size_t>(i)], l).empty())
+        continue;
+      if (victim < 0 ||
+          shards_[static_cast<std::size_t>(i)].load >
+              shards_[static_cast<std::size_t>(victim)].load)
+        victim = i;
+    }
+    if (victim >= 0) {
+      auto& q = lane_of(shards_[static_cast<std::size_t>(victim)], l);
+      auto t = q.front();
+      q.pop_front();
+      // The steal moves the ticket's charge: it will execute on w's
+      // cores, so w's shard is what its cost now loads.
+      release_charge_locked(t->shard, t->cost);
+      t->shard = w;
+      shards_[static_cast<std::size_t>(w)].load += t->cost;
+      ++steals_;
+      MIDAS_TRACE_COUNT("service.steals", 1);
+      update_shard_gauges_locked();
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void DetectionService::release_charge_locked(int shard, double cost) {
+  if (shard < 0 || shard >= static_cast<int>(shards_.size())) return;
+  WorkerShard& s = shards_[static_cast<std::size_t>(shard)];
+  s.load = std::max(0.0, s.load - cost);
+  update_shard_gauges_locked();
+}
+
+void DetectionService::update_shard_gauges_locked() const {
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shard_gauges_[i]->set(
+        static_cast<std::int64_t>(shards_[i].load * 1e6));  // model-us
+}
+
 void DetectionService::update_queue_gauge() const {
   // m_ held by the caller.
   runtime::tracer().metrics().gauge("service.queue_depth")
-      .set(static_cast<std::int64_t>(interactive_.size() + batch_.size() +
+      .set(static_cast<std::int64_t>(queued_locked(Lane::kInteractive) +
+                                     queued_locked(Lane::kBatch) +
                                      hedge_.size()));
 }
 
@@ -314,38 +480,45 @@ void DetectionService::update_breaker_gauge() {
       .set(static_cast<std::int64_t>(breaker_.open_count(now_s())));
 }
 
-void DetectionService::worker_main() {
+void DetectionService::worker_main(int w) {
+  // The worker's persistent rank pool: every SPMD gang this worker runs
+  // parks/wakes these threads instead of spawning fresh ones. Sized by
+  // the core budget, grown on demand for wider queries; destroyed (and
+  // rebuilt by the replacement) when the worker dies, so a wedged rank
+  // thread cannot outlive its worker.
+  runtime::RankPool pool(budget_.ranks_per_worker);
+  MIDAS_TRACE_SET_LANE(w * kWorkerLaneStride + kWorkerLaneStride - 1);
   try {
-    worker_loop();
+    worker_loop(w, pool);
     return;  // clean shutdown
   } catch (const std::exception& e) {
     log_warn("service worker died (", e.what(), "); replacing");
   } catch (...) {
     log_warn("service worker died on an unknown exception; replacing");
   }
-  // Self-healing: the dying thread spawns its own replacement, so the pool
-  // never shrinks. The dead std::thread object stays in workers_ for the
-  // destructor to join.
+  // Self-healing: the dying thread spawns its own replacement (inheriting
+  // its shard index), so the pool never shrinks. The dead std::thread
+  // object stays in workers_ for the destructor to join.
   std::lock_guard lock(m_);
   --workers_alive_;
   if (stopping_) return;
   ++worker_restarts_;
   MIDAS_TRACE_COUNT("service.worker_restarts", 1);
-  workers_.emplace_back([this] { worker_main(); });
+  workers_.emplace_back([this, w] { worker_main(w); });
   ++workers_alive_;
 }
 
-void DetectionService::worker_loop() {
+void DetectionService::worker_loop(int w, runtime::RankPool& pool) {
   for (;;) {
     std::shared_ptr<Ticket> t;
     bool is_hedge = false;
     int attempt = 0;
     Clock::time_point started;
+    ExecContext ctx{&pool, w * kWorkerLaneStride, w};
     {
       std::unique_lock lock(m_);
       work_cv_.wait(lock, [this] {
-        return stopping_ || !hedge_.empty() || !interactive_.empty() ||
-               !batch_.empty();
+        return stopping_ || !hedge_.empty() || !queues_empty_locked();
       });
       if (stopping_) return;
       if (!hedge_.empty()) {
@@ -353,28 +526,30 @@ void DetectionService::worker_loop() {
         hedge_.pop_front();
         is_hedge = true;
       } else {
-        auto& lane = !interactive_.empty() ? interactive_ : batch_;
-        t = lane.front();
-        lane.pop_front();
+        t = dequeue_locked(w);
+        if (!t) continue;  // another worker stole the wakeup's work
       }
       const std::uint64_t dq = ++dequeues_;
 
       // Chaos: kill this worker thread at dequeue. The ticket goes back to
-      // the front of its lane first, so the query just sees a delay while
-      // the pool self-heals. Bounded per ticket so chaos runs terminate.
+      // the front of its shard's lane first (charge intact), so the query
+      // just sees a delay while the pool self-heals. Bounded per ticket so
+      // chaos runs terminate.
       if (!is_hedge && chaos_.armed() &&
           t->worker_kills < chaos_.plan().max_faulty_attempts &&
           chaos_.should_kill_worker(dq)) {
         ++t->worker_kills;
-        auto& lane = t->spec.lane == Lane::kInteractive ? interactive_ : batch_;
-        lane.push_front(std::move(t));
+        enqueue_locked(t, /*front=*/true);
+        release_charge_locked(t->shard, t->cost);  // enqueue re-charged it
         update_queue_gauge();
         work_cv_.notify_one();
         throw WorkerKilledFault(dq);
       }
 
       if (t->settled) {
-        // A queued hedge whose primary already finished: drop it.
+        // A queued hedge whose primary already finished: drop it. (Only
+        // hedges can be settled while queued; they carry no queue charge.)
+        if (!is_hedge) release_charge_locked(t->shard, t->cost);
         update_queue_gauge();
         drain_cv_.notify_all();
         continue;
@@ -390,9 +565,22 @@ void DetectionService::worker_loop() {
         t->promise.set_exception(
             std::make_exception_ptr(DeadlineExceededError()));
         inflight_by_key_.erase(t->fingerprint);
+        release_charge_locked(t->shard, t->cost);
         update_queue_gauge();
         drain_cv_.notify_all();
         continue;
+      }
+
+      // Load accounting: a primary keeps the charge its submit placed on
+      // t->shard (moved here by a steal) until run_attempt finishes; a
+      // hedge is an extra concurrent attempt, so it charges this worker's
+      // shard for its duration.
+      if (is_hedge) {
+        ctx.shard = w;
+        shards_[static_cast<std::size_t>(w)].load += t->cost;
+        update_shard_gauges_locked();
+      } else {
+        ctx.shard = t->shard;
       }
 
       attempt = t->attempts_started++;
@@ -408,13 +596,18 @@ void DetectionService::worker_loop() {
     }
 
     if (opt_.before_execute) opt_.before_execute(t->spec);
-    run_attempt(t, is_hedge, attempt, started);
+    run_attempt(t, is_hedge, attempt, started, ctx);
   }
 }
 
 void DetectionService::run_attempt(const std::shared_ptr<Ticket>& t,
                                    bool is_hedge, int attempt,
-                                   Clock::time_point started) {
+                                   Clock::time_point started,
+                                   const ExecContext& ctx) {
+  // Warm-pool accounting: gangs run while the pool has already served at
+  // least one gang are reuses (park/wake, no thread spawned). Only this
+  // worker runs gangs on its pool, so the before/after read is stable.
+  const std::uint64_t gangs_before = ctx.pool ? ctx.pool->gangs() : 0;
   QueryResult result;
   std::exception_ptr error;
   {
@@ -422,7 +615,7 @@ void DetectionService::run_attempt(const std::shared_ptr<Ticket>& t,
                      {"type", static_cast<int>(t->spec.type)},
                      {"attempt", attempt});
     try {
-      result = execute(t->spec, t->fingerprint, attempt);
+      result = execute(t->spec, t->fingerprint, attempt, ctx);
     } catch (...) {
       error = std::current_exception();
     }
@@ -432,6 +625,12 @@ void DetectionService::run_attempt(const std::shared_ptr<Ticket>& t,
   result.total_s = seconds_since(t->submitted_at, done);
 
   std::lock_guard lock(m_);
+  if (ctx.pool && gangs_before > 0) {
+    const std::uint64_t reused = ctx.pool->gangs() - gangs_before;
+    pool_reuse_ += reused;
+    MIDAS_TRACE_COUNT("service.pool_reuse", reused);
+  }
+  release_charge_locked(ctx.shard, t->cost);
   ++executed_;
   MIDAS_TRACE_COUNT("service.executed", 1);
   exec_window_[lane_index(t->spec.lane)].add(seconds_since(started, done));
@@ -535,9 +734,10 @@ void DetectionService::supervisor_loop() {
         drain_cv_.notify_all();
         continue;
       }
-      auto& lane =
-          t->spec.lane == Lane::kInteractive ? interactive_ : batch_;
-      lane.push_back(std::move(t));
+      // Re-dispatch like a fresh submit: the load picture has moved since
+      // admission, so the retry goes to whichever shard is lightest now.
+      t->shard = pick_shard_locked();
+      enqueue_locked(t);
       update_queue_gauge();
       work_cv_.notify_one();
     }
@@ -677,7 +877,7 @@ QueryResult DetectionService::run_engine(const QuerySpec& spec,
 
 QueryResult DetectionService::execute(const QuerySpec& spec,
                                       std::uint64_t fingerprint,
-                                      int attempt) {
+                                      int attempt, const ExecContext& ctx) {
   std::shared_ptr<const graph::Graph> g = graph(spec.graph);
   if (!g) throw UnknownGraphError(spec.graph);
 
@@ -698,6 +898,12 @@ QueryResult DetectionService::execute(const QuerySpec& spec,
   });
 
   core::MidasOptions opt = engine_options(spec);
+  // Pooled execution: the gang reuses the worker's persistent rank
+  // threads. Placement-only — the rank bodies, vclock charges and answers
+  // are bit-exact with spawn/join (the pool never enters a fingerprint or
+  // cache key). Audit probes arrive with a default ctx and spawn/join.
+  opt.spmd.pool = ctx.pool;
+  opt.spmd.trace_lane_base = ctx.lane_base;
   // Chaos: seeded per-(query, attempt) rank kills and message corruption,
   // injected into the engine run's fault plan. The fault-free path leaves
   // opt untouched, so fault-free answers (including vtime) are bit-exact
@@ -732,8 +938,10 @@ QueryResult DetectionService::execute(const QuerySpec& spec,
     topup.max_rounds = target_rounds - qr.rounds_run;
     topup.certify = false;
     topup.reamplify = false;
-    QueryResult extra =
-        run_engine(topup, *artifacts, engine_options(topup));
+    core::MidasOptions topup_opt = engine_options(topup);
+    topup_opt.spmd.pool = ctx.pool;
+    topup_opt.spmd.trace_lane_base = ctx.lane_base;
+    QueryResult extra = run_engine(topup, *artifacts, topup_opt);
     qr.reamp_rounds = extra.rounds_run;
     qr.vtime += extra.vtime;
     qr.engine_wall_s += extra.engine_wall_s;
@@ -803,7 +1011,7 @@ void DetectionService::drain() {
   {
     std::unique_lock lock(m_);
     drain_cv_.wait(lock, [this] {
-      return interactive_.empty() && batch_.empty() && hedge_.empty() &&
+      return queues_empty_locked() && hedge_.empty() &&
              retry_heap_.empty() && executing_ == 0;
     });
   }
@@ -840,10 +1048,21 @@ ServiceStats DetectionService::stats() const {
     s.workers_alive = workers_alive_;
     s.breaker_open = breaker_.open_count(
         seconds_since(epoch_, Clock::now()));
-    s.queued_interactive = interactive_.size();
-    s.queued_batch = batch_.size();
+    s.queued_interactive = queued_locked(Lane::kInteractive);
+    s.queued_batch = queued_locked(Lane::kBatch);
     s.retry_pending = retry_heap_.size();
     s.inflight = executing_;
+    s.workers = budget_.workers;
+    s.cores = budget_.cores;
+    s.ranks_per_worker = budget_.ranks_per_worker;
+    s.pool_reuse = pool_reuse_;
+    s.steals = steals_;
+    s.shard_load.reserve(shards_.size());
+    s.shard_queued.reserve(shards_.size());
+    for (const WorkerShard& sh : shards_) {
+      s.shard_load.push_back(sh.load);
+      s.shard_queued.push_back(sh.interactive.size() + sh.batch.size());
+    }
   }
   if (auditor_) {
     const AuditSampler::Counters a = auditor_->counters();

@@ -16,6 +16,14 @@
 //    interactive lane first. When shedding is enabled, a query whose
 //    deadline is already infeasible given the estimated queue wait is
 //    rejected up front with DeadlineInfeasibleError.
+//  * Core budgeting + sharded dispatch: the pool is sized by an explicit
+//    CPU budget (workers x ranks_per_worker ~ cores, auto-derived from
+//    hardware_concurrency unless overridden), each worker owns a
+//    persistent runtime::RankPool its queries' SPMD gangs reuse across
+//    queries (park/wake, not spawn/join), and each worker owns a queue
+//    shard: submit() estimates the query's cost from the alpha-beta model
+//    and places it on the least-loaded shard; idle workers steal from the
+//    most-loaded one, so skew never strands a core.
 //  * Dedup: identical in-flight queries (same fingerprint — graph, params,
 //    seed) share one execution and one result future. A retried execution
 //    keeps the shared future open: dedup waiters ride the retry.
@@ -69,19 +77,61 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "runtime/trace.hpp"
 #include "service/artifact_cache.hpp"
 #include "service/integrity.hpp"
 #include "service/query.hpp"
 #include "service/resilience.hpp"
 
+namespace midas::runtime {
+class RankPool;
+}  // namespace midas::runtime
+
 namespace midas::service {
 
+/// Resolved CPU allocation for a service instance: how many workers run
+/// concurrently and how many persistent rank threads each worker's pool
+/// starts with, chosen so workers x ranks_per_worker ~ cores. See
+/// resolve_core_budget().
+struct CoreBudget {
+  int cores = 1;            // CPU budget the sizing used
+  int workers = 1;          // resolved worker-thread count
+  int ranks_per_worker = 1; // initial RankPool threads per worker
+};
+
+/// Derive a CoreBudget. `workers` > 0 pins the worker count; 0 derives it
+/// as cores / ranks_hint (clamped to [1, 16]) so the steady state runs
+/// ~one rank thread per core instead of oversubscribing (EXPERIMENTS.md
+/// "Profiling the service under load"). `cores` = 0 reads
+/// std::thread::hardware_concurrency(). Each worker's pool starts at
+/// max(ranks_hint, cores / workers) threads and grows on demand for
+/// wider queries.
+[[nodiscard]] CoreBudget resolve_core_budget(int workers, int cores,
+                                             int ranks_hint);
+
+/// Estimated execution cost (model seconds) of one query against a graph
+/// with `vertices`/`edges`, from the alpha-beta cost model and the
+/// schedule arithmetic (rounds x k x per-rank slice x iteration lanes,
+/// plus one halo exchange per phase). Only *relative* accuracy matters:
+/// the dispatcher uses it to rank shards by load, millisort-style, so a
+/// k=8 scan and a k=3 path land on different scales and skew evens out.
+[[nodiscard]] double estimate_query_cost(const QuerySpec& q,
+                                         std::uint64_t vertices,
+                                         std::uint64_t edges);
+
 struct ServiceOptions {
-  int workers = 4;                 // worker pool size
+  /// Worker pool size; 0 (the default) derives it from the core budget —
+  /// see resolve_core_budget().
+  int workers = 0;
+  /// CPU budget for auto-sizing; 0 = std::thread::hardware_concurrency().
+  int cores = 0;
+  /// Expected n_ranks of a typical query; sizes each worker's rank pool
+  /// and the workers-from-cores derivation.
+  int ranks_hint = 2;
   std::size_t queue_capacity = 64; // admission bound per lane
   std::size_t cache_capacity = 16; // resident artifact cache entries
   bool cache_enabled = true;       // false = rebuild artifacts per query
-  std::size_t cache_shards = 8;    // mutex stripes in the artifact cache
+  std::size_t cache_shards = 16;   // lock stripes in the artifact cache
 
   // -- resilience (service/resilience.hpp) --------------------------------
   /// Default retry policy for queries that do not set their own
@@ -160,10 +210,20 @@ struct ServiceStats {
 
   std::size_t workers_alive = 0;        // current pool size (never shrinks)
   std::size_t breaker_open = 0;         // graphs currently fast-failing
-  std::size_t queued_interactive = 0;
-  std::size_t queued_batch = 0;
+  std::size_t queued_interactive = 0;   // across all shards
+  std::size_t queued_batch = 0;         // across all shards
   std::size_t retry_pending = 0;        // waiting out a backoff
   std::size_t inflight = 0;             // dequeued, still executing
+
+  // -- core budget + sharded execution ------------------------------------
+  int workers = 0;                      // resolved worker count
+  int cores = 0;                        // CPU budget the sizing used
+  int ranks_per_worker = 0;             // initial pool threads per worker
+  std::uint64_t pool_reuse = 0;         // SPMD gangs served by a warm pool
+  std::uint64_t steals = 0;             // tickets taken from another shard
+  std::vector<double> shard_load;       // estimated cost pending per shard
+  std::vector<std::size_t> shard_queued;  // tickets queued per shard
+
   ArtifactCache::Stats cache;
 };
 
@@ -207,6 +267,8 @@ class DetectionService {
   struct Ticket {
     QuerySpec spec;
     std::uint64_t fingerprint = 0;
+    double cost = 0.0;  // estimate_query_cost at admission (load unit)
+    int shard = 0;      // worker shard currently charged for this ticket
     RetryPolicy retry;  // resolved (spec override or service default)
     std::promise<QueryResult> promise;
     Clock::time_point submitted_at;
@@ -230,14 +292,32 @@ class DetectionService {
     bool operator>(const RetryEntry& o) const noexcept { return due > o.due; }
   };
 
-  void worker_main();
-  void worker_loop();
+  /// One worker's slice of the admission queues plus its estimated load
+  /// (alpha-beta cost of everything queued on it or executing charged to
+  /// it). Guarded by m_.
+  struct WorkerShard {
+    std::deque<std::shared_ptr<Ticket>> interactive, batch;
+    double load = 0.0;
+  };
+
+  /// Per-attempt execution context: the worker's persistent rank pool and
+  /// tracer lane block, and the shard whose load this attempt is charged
+  /// against. Default-constructed for out-of-band runs (audit probes):
+  /// those spawn/join and trace on the host lanes.
+  struct ExecContext {
+    runtime::RankPool* pool = nullptr;
+    int lane_base = 0;  // SPMD rank r traces on lane lane_base + r
+    int shard = -1;     // -1 = no load charged
+  };
+
+  void worker_main(int w);
+  void worker_loop(int w, runtime::RankPool& pool);
   void supervisor_loop();
   /// Runs the engine for one spec through the artifact cache, then the
   /// integrity passes (epsilon accounting, reamplify, certify). Fills the
   /// serving telemetry fields except queue_s/total_s (the worker does).
   QueryResult execute(const QuerySpec& spec, std::uint64_t fingerprint,
-                      int attempt);
+                      int attempt, const ExecContext& ctx);
   /// One engine run against cached artifacts — the inner piece of
   /// execute(), reused bit-identically by the reamplify top-up.
   QueryResult run_engine(const QuerySpec& spec,
@@ -250,7 +330,8 @@ class DetectionService {
   /// Runs one execution attempt and applies the outcome to the ticket:
   /// settle, schedule a retry, or defer to a still-outstanding attempt.
   void run_attempt(const std::shared_ptr<Ticket>& t, bool is_hedge,
-                   int attempt, Clock::time_point started);
+                   int attempt, Clock::time_point started,
+                   const ExecContext& ctx);
   /// Failure bookkeeping shared by run_attempt and the worker's
   /// last-resort catch: under m_, decides retry vs. settle-with-error.
   void complete_failure(const std::shared_ptr<Ticket>& t,
@@ -271,6 +352,22 @@ class DetectionService {
   void update_breaker_gauge();
   [[nodiscard]] double now_s() const;
 
+  // -- sharded dispatch (all under m_) ------------------------------------
+  [[nodiscard]] std::size_t queued_locked(Lane lane) const;
+  [[nodiscard]] bool queues_empty_locked() const;
+  /// Least-loaded shard — where submit/retry place the next ticket.
+  [[nodiscard]] int pick_shard_locked() const;
+  /// Push `t` onto its shard's lane queue and charge the shard's load.
+  void enqueue_locked(const std::shared_ptr<Ticket>& t, bool front = false);
+  /// Pop the next lane ticket for worker `w`: own interactive, stolen
+  /// interactive, own batch, stolen batch (lane priority stays global).
+  /// A steal moves the ticket's charge onto shard `w`. Null when every
+  /// lane queue is empty.
+  [[nodiscard]] std::shared_ptr<Ticket> dequeue_locked(int w);
+  /// Remove `cost` from a shard's load (attempt finished / ticket dropped).
+  void release_charge_locked(int shard, double cost);
+  void update_shard_gauges_locked() const;
+
   ServiceOptions opt_;
   ServiceFaultInjector chaos_;
   ArtifactCache cache_;
@@ -283,8 +380,8 @@ class DetectionService {
   std::condition_variable work_cv_;   // workers: work available / stopping
   std::condition_variable drain_cv_;  // drain(): everything idle
   std::condition_variable sup_cv_;    // supervisor: retry due / exec started
-  std::deque<std::shared_ptr<Ticket>> interactive_, batch_;
-  std::deque<std::shared_ptr<Ticket>> hedge_;  // drained before the lanes
+  std::vector<WorkerShard> shards_;   // one per worker (fixed at ctor)
+  std::deque<std::shared_ptr<Ticket>> hedge_;  // global; drained first
   std::vector<RetryEntry> retry_heap_;         // min-heap by due time
   std::unordered_map<Ticket*, std::shared_ptr<Ticket>> executing_tickets_;
   std::unordered_map<std::uint64_t, std::shared_future<QueryResult>>
@@ -304,7 +401,13 @@ class DetectionService {
                 breaker_fastfail_ = 0, chaos_engine_faults_ = 0,
                 chaos_build_failures_ = 0, chaos_artifact_flips_ = 0,
                 certified_ = 0, cert_failures_ = 0, reamplified_ = 0,
-                integrity_quarantines_ = 0;
+                integrity_quarantines_ = 0, pool_reuse_ = 0, steals_ = 0;
+
+  CoreBudget budget_;  // resolved at construction, immutable after
+  /// Cached gauge handles ("service.shard_load.<i>", model-microseconds),
+  /// one per shard — resolved once so the hot path never does the
+  /// name-lookup under the registry mutex.
+  std::vector<runtime::MetricsRegistry::Gauge*> shard_gauges_;
 
   const Clock::time_point epoch_ = Clock::now();
 

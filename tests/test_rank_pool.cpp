@@ -1,0 +1,194 @@
+// RankPool unit tests + pooled-vs-spawned run_spmd equivalence: the pool
+// is a placement-only optimization, so everything observable about a run
+// — per-rank results, vclocks, comm stats, supervised failure capture —
+// must be bit-identical to the fresh-spawn path. Runs under the TSan and
+// ASan ctest labels (the park/wake protocol is all condition-variable
+// handoff).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/detect_par.hpp"
+#include "gf/gf256.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "partition/multilevel.hpp"
+#include "runtime/comm.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/rank_pool.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace midas;
+using runtime::RankPool;
+
+TEST(RankPool, RunsEveryRankExactlyOnce) {
+  RankPool pool(3);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run_gang(3, [&](int r) { hits[static_cast<std::size_t>(r)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.gangs(), 1u);
+}
+
+TEST(RankPool, ReusesThreadsAcrossManyGangs) {
+  RankPool pool(2);
+  std::mutex m;
+  std::set<std::thread::id> seen;
+  for (int g = 0; g < 200; ++g) {
+    std::atomic<int> ran{0};
+    pool.run_gang(2, [&](int) {
+      std::lock_guard lock(m);
+      seen.insert(std::this_thread::get_id());
+      ++ran;
+    });
+    ASSERT_EQ(ran.load(), 2);
+  }
+  // 200 gangs, still only the two original threads: park/wake, not
+  // spawn/join.
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(pool.spawned(), 2u);
+  EXPECT_EQ(pool.gangs(), 200u);
+}
+
+TEST(RankPool, GrowsOnDemandAndKeepsTheGrowth) {
+  RankPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_gang(4, [&](int r) { hits[static_cast<std::size_t>(r)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.size(), 4);
+  // A second wide gang reuses the grown pool — no further spawns.
+  pool.run_gang(4, [](int) {});
+  EXPECT_EQ(pool.spawned(), 4u);
+}
+
+TEST(RankPool, NarrowGangAfterWideLeavesExtrasParked) {
+  RankPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h = 0;
+  pool.run_gang(2, [&](int r) { hits[static_cast<std::size_t>(r)]++; });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+  EXPECT_EQ(hits[2].load(), 0);  // non-participants skip the body
+  EXPECT_EQ(hits[3].load(), 0);
+  EXPECT_EQ(pool.size(), 4);
+}
+
+TEST(RankPool, LazyPoolSpawnsOnFirstGang) {
+  RankPool pool;  // 0 resident threads
+  EXPECT_EQ(pool.size(), 0);
+  std::atomic<int> ran{0};
+  pool.run_gang(2, [&](int) { ++ran; });
+  EXPECT_EQ(ran.load(), 2);
+  EXPECT_EQ(pool.size(), 2);
+}
+
+/// A comm-heavy rank body whose observable output (per-rank reduced
+/// value, vclocks, event counts) depends on the full protocol running
+/// correctly on whatever threads execute it.
+void ring_body(runtime::Comm& c, std::vector<std::uint64_t>& out) {
+  const int next = (c.rank() + 1) % c.size();
+  const int prev = (c.rank() + c.size() - 1) % c.size();
+  std::uint64_t token = 100u + static_cast<std::uint64_t>(c.rank());
+  for (int hop = 0; hop < c.size(); ++hop) {
+    c.send_value(next, 5, token);
+    token = c.recv_value<std::uint64_t>(prev, 5) + 1;
+    c.barrier();
+  }
+  out[static_cast<std::size_t>(c.rank())] = token;
+}
+
+TEST(RankPool, PooledSpmdMatchesSpawnedBitExactly) {
+  constexpr int kRanks = 4;
+  std::vector<std::uint64_t> got_pooled(kRanks), got_spawned(kRanks);
+
+  RankPool pool(kRanks);
+  runtime::SpmdOptions pooled_opts;
+  pooled_opts.pool = &pool;
+  const auto pooled = runtime::run_spmd(
+      kRanks, runtime::CostModel{}, pooled_opts,
+      [&](runtime::Comm& c) { ring_body(c, got_pooled); });
+
+  const auto spawned = runtime::run_spmd(
+      kRanks, runtime::CostModel{}, runtime::SpmdOptions{},
+      [&](runtime::Comm& c) { ring_body(c, got_spawned); });
+
+  EXPECT_EQ(got_pooled, got_spawned);
+  EXPECT_EQ(pooled.vclocks, spawned.vclocks);
+  EXPECT_EQ(pooled.events, spawned.events);
+  EXPECT_EQ(pooled.makespan, spawned.makespan);
+  EXPECT_EQ(pool.gangs(), 1u);
+}
+
+TEST(RankPool, PooledSupervisedFaultCaptureMatchesSpawned) {
+  constexpr int kRanks = 4;
+  auto make_opts = [] {
+    runtime::SpmdOptions o;
+    o.supervise = true;
+    o.faults.kill_at_event(1, 3);  // rank 1 dies mid-ring
+    return o;
+  };
+  std::vector<std::uint64_t> sink(kRanks);
+  auto body = [&](runtime::Comm& c) {
+    try {
+      ring_body(c, sink);
+    } catch (const runtime::RankKilledFault&) {
+      throw;  // supervised capture path
+    } catch (const runtime::RankFailedError&) {
+      // survivors of the dead rank's group: normal supervised outcome
+    } catch (const runtime::WorldAbortError&) {
+    }
+  };
+
+  RankPool pool(kRanks);
+  auto pooled_opts = make_opts();
+  pooled_opts.pool = &pool;
+  const auto pooled =
+      runtime::run_spmd(kRanks, runtime::CostModel{}, pooled_opts, body);
+  const auto spawned =
+      runtime::run_spmd(kRanks, runtime::CostModel{}, make_opts(), body);
+
+  EXPECT_EQ(pooled.failed_ranks, spawned.failed_ranks);
+  ASSERT_FALSE(pooled.failed_ranks.empty());
+  EXPECT_EQ(pooled.failed_ranks[0], 1);
+  // The pool survives a faulted gang and serves the next one.
+  std::atomic<int> ran{0};
+  pool.run_gang(kRanks, [&](int) { ++ran; });
+  EXPECT_EQ(ran.load(), kRanks);
+}
+
+TEST(RankPool, PooledEngineRunIsBitExact) {
+  Xoshiro256 rng(7);
+  const graph::Graph g = graph::erdos_renyi_gnm(300, 1200, rng);
+  const auto part = partition::multilevel_partition(g, 2);
+
+  core::MidasOptions opt;
+  opt.k = 4;
+  opt.seed = 11;
+  opt.n_ranks = 2;
+  opt.n1 = 2;
+  opt.n2 = 8;
+  opt.max_rounds = 2;
+
+  const auto plain = core::midas_kpath(g, part, opt, gf::GF256{});
+
+  RankPool pool(2);
+  core::MidasOptions pooled_opt = opt;
+  pooled_opt.spmd.pool = &pool;
+  for (int run = 0; run < 3; ++run) {
+    const auto pooled = core::midas_kpath(g, part, pooled_opt, gf::GF256{});
+    EXPECT_EQ(pooled.found, plain.found);
+    EXPECT_EQ(pooled.rounds_run, plain.rounds_run);
+    EXPECT_EQ(pooled.found_round, plain.found_round);
+    EXPECT_EQ(pooled.vtime, plain.vtime);  // bit-exact modeled makespan
+  }
+  EXPECT_EQ(pool.spawned(), 2u);  // three runs, one pair of threads
+}
+
+}  // namespace
