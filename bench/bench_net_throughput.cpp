@@ -1,0 +1,391 @@
+// Wire throughput: drive a replay workload through the binary RPC layer
+// (docs/NET.md) over N concurrent pipelined connections and report qps +
+// per-lane latency percentiles — the served-over-TCP counterpart of
+// bench_service_throughput.
+//
+// Three modes select where the DetectionService lives:
+//   --self     (default) in-process net::Server on an ephemeral port; the
+//              workload still crosses real TCP sockets end to end.
+//   --connect=HOST:PORT  a `midas_cli serve --listen` process elsewhere —
+//              the CI net-smoke job runs this against a background server.
+//   --inproc   no wire at all: submit straight into a DetectionService.
+//              Exists to anchor the answers_digest — the same workload's
+//              digest must be bit-identical between --inproc and either
+//              wire mode (CI asserts this).
+//
+//   ./bench_net_throughput --workload=FILE [--connections=8] [--window=8]
+//                          [--workers=0] [--queue=64] [--tenants=1]
+//                          [--json=net_report.json]
+//
+// Every mode reports the same ReplayReport table as `serve --replay`, with
+// wire failures in the dedicated transport column, plus an
+// order-independent answers_digest folding every query's (fingerprint,
+// decision, rounds, achieved-epsilon, witness, table) — the bit-identity
+// certificate for answers that crossed the wire.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <span>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/replay.hpp"
+#include "service/service.hpp"
+#include "util/args.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace midas;
+using Clock = std::chrono::steady_clock;
+
+/// One query's contribution to the workload digest: everything that makes
+/// the answer the answer (and nothing that only measures serving). The
+/// per-query hashes fold with a wrapping sum, so completion order — which
+/// legitimately differs between wire and in-process runs — cannot change
+/// the digest.
+std::uint64_t answer_digest(const service::QuerySpec& q,
+                            const service::QueryResult& r) {
+  std::vector<std::uint64_t> w;
+  w.reserve(16 + r.witness.size() + r.table.feasible.size());
+  w.push_back(service::query_fingerprint(q));
+  w.push_back(r.found ? 1 : 0);
+  w.push_back(static_cast<std::uint64_t>(r.rounds_run));
+  w.push_back(static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(r.found_round)));
+  std::uint64_t eps_bits = 0;
+  std::memcpy(&eps_bits, &r.achieved_epsilon, sizeof(eps_bits));
+  w.push_back(eps_bits);
+  w.push_back(r.certified ? 1 : 0);
+  for (auto v : r.witness) w.push_back(v);
+  w.push_back(static_cast<std::uint64_t>(r.witness_j));
+  w.push_back(r.witness_z);
+  w.push_back(static_cast<std::uint64_t>(r.table.k));
+  w.push_back(r.table.max_weight);
+  for (const auto& row : r.table.feasible) {
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < row.size(); ++i)
+      bits = bits * 31 + (row[i] ? i + 1 : 0);
+    w.push_back(bits);
+  }
+  return runtime::fnv1a(std::as_bytes(std::span<const std::uint64_t>(w)));
+}
+
+/// Shared accumulators across connection threads.
+struct Tally {
+  std::mutex m;
+  std::vector<double> lat[2];       // per-lane submit -> completion seconds
+  std::uint64_t ok[2] = {0, 0};
+  std::uint64_t deadline[2] = {0, 0};
+  std::uint64_t failed[2] = {0, 0};
+  std::uint64_t transport[2] = {0, 0};
+  std::uint64_t rounds[2] = {0, 0};
+  double worst_eps[2] = {0.0, 0.0};
+  std::uint64_t certified[2] = {0, 0};
+  std::uint64_t overload_retries = 0;
+  std::uint64_t digest = 0;  // wrapping sum of answer_digest
+};
+
+void record_ok(Tally& t, const service::QuerySpec& q,
+               const service::QueryResult& r, double latency_s) {
+  const int lane = q.lane == service::Lane::kInteractive ? 0 : 1;
+  std::lock_guard<std::mutex> lk(t.m);
+  t.lat[lane].push_back(latency_s);
+  t.ok[lane] += 1;
+  t.rounds[lane] += static_cast<std::uint64_t>(r.rounds_run);
+  t.worst_eps[lane] = std::max(t.worst_eps[lane], r.achieved_epsilon);
+  if (r.certified) t.certified[lane] += 1;
+  t.digest += answer_digest(q, r);
+}
+
+/// Drive this connection's slice of the workload with a pipelining window:
+/// keep up to `window` queries in flight, harvesting the oldest future
+/// when the window fills. Overload/quota rejections back off and retry, so
+/// the whole slice always completes (matching run_replay's semantics).
+void drive(net::Client& client, const std::vector<service::QuerySpec>& qs,
+           std::size_t begin, std::size_t stride, std::size_t window,
+           Tally& tally) {
+  struct InFlight {
+    const service::QuerySpec* q;
+    std::shared_future<service::QueryResult> fut;
+    Clock::time_point submitted;
+  };
+  std::deque<InFlight> inflight;
+  std::deque<const service::QuerySpec*> todo;
+  for (std::size_t i = begin; i < qs.size(); i += stride)
+    todo.push_back(&qs[i]);
+
+  auto harvest = [&](InFlight f) {
+    const int lane =
+        f.q->lane == service::Lane::kInteractive ? 0 : 1;
+    try {
+      const service::QueryResult r = f.fut.get();
+      record_ok(tally, *f.q, r,
+                std::chrono::duration<double>(Clock::now() - f.submitted)
+                    .count());
+    } catch (const service::ServiceOverloadError&) {
+      std::lock_guard<std::mutex> lk(tally.m);
+      tally.overload_retries += 1;
+      todo.push_back(f.q);  // admission said "not now", not "never"
+    } catch (const net::QuotaExceededError&) {
+      std::lock_guard<std::mutex> lk(tally.m);
+      tally.overload_retries += 1;
+      todo.push_back(f.q);
+    } catch (const service::DeadlineExceededError&) {
+      std::lock_guard<std::mutex> lk(tally.m);
+      tally.deadline[lane] += 1;
+    } catch (const service::DeadlineInfeasibleError&) {
+      std::lock_guard<std::mutex> lk(tally.m);
+      tally.deadline[lane] += 1;
+    } catch (const net::NetError&) {
+      // The wire failed, not the engine: the transport column.
+      std::lock_guard<std::mutex> lk(tally.m);
+      tally.transport[lane] += 1;
+    } catch (const std::exception&) {
+      std::lock_guard<std::mutex> lk(tally.m);
+      tally.failed[lane] += 1;
+    }
+  };
+
+  bool backoff = false;
+  while (!todo.empty() || !inflight.empty()) {
+    if (backoff) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      backoff = false;
+    }
+    while (!todo.empty() && inflight.size() < window) {
+      const service::QuerySpec* q = todo.front();
+      todo.pop_front();
+      try {
+        inflight.push_back({q, client.submit(*q), Clock::now()});
+      } catch (const net::NetError&) {
+        const int lane =
+            q->lane == service::Lane::kInteractive ? 0 : 1;
+        std::lock_guard<std::mutex> lk(tally.m);
+        tally.transport[lane] += 1;
+      }
+    }
+    if (!inflight.empty()) {
+      InFlight f = std::move(inflight.front());
+      inflight.pop_front();
+      const std::size_t before = todo.size();
+      harvest(std::move(f));
+      backoff = todo.size() > before;  // a rejection was re-queued
+    }
+  }
+}
+
+void fill_lane(service::LaneReport& lane, Tally& t, int idx,
+               std::uint64_t submitted) {
+  lane.submitted = submitted;
+  lane.ok = t.ok[idx];
+  lane.deadline_exceeded = t.deadline[idx];
+  lane.failed = t.failed[idx];
+  lane.failed_transport = t.transport[idx];
+  lane.certified = t.certified[idx];
+  if (!t.lat[idx].empty()) {
+    lane.p50_s = percentile(t.lat[idx], 50.0);
+    lane.p99_s = percentile(t.lat[idx], 99.0);
+    lane.mean_s = mean(t.lat[idx]);
+  }
+  if (t.ok[idx] > 0)
+    lane.mean_rounds = static_cast<double>(t.rounds[idx]) /
+                       static_cast<double>(t.ok[idx]);
+  lane.worst_achieved_eps = t.worst_eps[idx];
+}
+
+/// The digest anchor: the same workload with no wire in the way.
+std::uint64_t run_inproc(const service::Workload& wl,
+                         const service::ServiceOptions& sopt) {
+  service::DetectionService svc(sopt);
+  for (const auto& gs : wl.graphs)
+    svc.add_graph(gs.name, service::build_graph(gs));
+  std::uint64_t digest = 0;
+  for (const auto& q : wl.queries) {
+    for (;;) {
+      try {
+        digest += answer_digest(q, svc.submit(q).get());
+        break;
+      } catch (const service::ServiceOverloadError&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  return digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::string workload_path = args.get("workload", "");
+  if (workload_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_net_throughput --workload=FILE "
+                 "[--self|--connect=HOST:PORT|--inproc] [--connections=8] "
+                 "[--window=8] [--workers=0] [--queue=64] [--tenants=1] "
+                 "[--json=PATH]\n");
+    return 2;
+  }
+  const service::Workload wl = service::parse_workload(workload_path);
+
+  service::ServiceOptions sopt;
+  sopt.workers = static_cast<int>(args.get_int("workers", 0));
+  sopt.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 64));
+
+  const std::string connect = args.get("connect", "");
+  const bool inproc = args.get_flag("inproc");
+  const std::string mode =
+      inproc ? "inproc" : (connect.empty() ? "self" : "connect");
+
+  if (inproc) {
+    Timer t;
+    const std::uint64_t digest = run_inproc(wl, sopt);
+    const double wall = t.elapsed_s();
+    std::printf("mode=inproc queries=%zu wall=%.3fs digest=%llu\n",
+                wl.queries.size(), wall,
+                static_cast<unsigned long long>(digest));
+    const std::string json = args.get("json", "");
+    if (!json.empty()) {
+      std::FILE* out = std::fopen(json.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", json.c_str());
+        return 1;
+      }
+      std::fprintf(out,
+                   "{\n  \"bench\": \"net_throughput\",\n"
+                   "  \"mode\": \"inproc\",\n  \"queries\": %zu,\n"
+                   "  \"wall_s\": %.4f,\n  \"answers_digest\": \"%llu\"\n}\n",
+                   wl.queries.size(), wall,
+                   static_cast<unsigned long long>(digest));
+      std::fclose(out);
+    }
+    return 0;
+  }
+
+  // Wire modes: resolve the server address (spinning one up for --self).
+  std::unique_ptr<service::DetectionService> own_svc;
+  std::unique_ptr<net::Server> own_server;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  if (connect.empty()) {
+    own_svc = std::make_unique<service::DetectionService>(sopt);
+    net::ServerOptions nopt;
+    nopt.max_inflight_per_conn =
+        static_cast<std::size_t>(args.get_int("max-inflight", 128));
+    own_server = std::make_unique<net::Server>(*own_svc, nopt);
+    own_server->start();
+    port = own_server->port();
+  } else {
+    const auto colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect expects HOST:PORT\n");
+      return 2;
+    }
+    host = connect.substr(0, colon);
+    port = static_cast<std::uint16_t>(std::stoi(connect.substr(colon + 1)));
+  }
+
+  const auto connections =
+      static_cast<std::size_t>(args.get_int("connections", 8));
+  const auto window = static_cast<std::size_t>(args.get_int("window", 8));
+  const auto tenants =
+      static_cast<std::uint32_t>(args.get_int("tenants", 1));
+
+  // Register every graph once, then fan the queries across connections.
+  std::vector<std::unique_ptr<net::Client>> clients;
+  clients.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i) {
+    net::ClientOptions copt;
+    copt.host = host;
+    copt.port = port;
+    copt.tenant = tenants > 0 ? static_cast<std::uint32_t>(i) % tenants : 0;
+    clients.push_back(std::make_unique<net::Client>(copt));
+  }
+  for (const auto& gs : wl.graphs) clients[0]->add_graph(gs);
+
+  Tally tally;
+  Timer t;
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  for (std::size_t i = 0; i < connections; ++i)
+    threads.emplace_back([&, i] {
+      drive(*clients[i], wl.queries, i, connections, window, tally);
+    });
+  for (auto& th : threads) th.join();
+  const double wall = t.elapsed_s();
+
+  std::uint64_t submitted[2] = {0, 0};
+  for (const auto& q : wl.queries)
+    submitted[q.lane == service::Lane::kInteractive ? 0 : 1] += 1;
+
+  service::ReplayReport rep;
+  fill_lane(rep.interactive, tally, 0, submitted[0]);
+  fill_lane(rep.batch, tally, 1, submitted[1]);
+  rep.overload_retries = tally.overload_retries;
+  rep.certified = tally.certified[0] + tally.certified[1];
+  rep.wall_s = wall;
+  const std::uint64_t completed = tally.ok[0] + tally.ok[1];
+  rep.qps = wall > 0 ? static_cast<double>(completed) / wall : 0.0;
+
+  std::ostringstream os;
+  service::print_report(os, rep);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("mode=%s connections=%zu window=%zu digest=%llu\n",
+              mode.c_str(), connections, window,
+              static_cast<unsigned long long>(tally.digest));
+
+  net::Server::Stats ns{};
+  if (own_server) {
+    clients.clear();  // close before the server goes down
+    ns = own_server->stats();
+    own_server->stop();
+  }
+
+  const std::string json = args.get("json", "");
+  if (!json.empty()) {
+    std::FILE* out = std::fopen(json.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\n  \"bench\": \"net_throughput\",\n  \"mode\": \"%s\",\n"
+        "  \"connections\": %zu,\n  \"window\": %zu,\n"
+        "  \"queries\": %zu,\n  \"wall_s\": %.4f,\n  \"qps\": %.2f,\n"
+        "  \"interactive\": {\"ok\": %llu, \"p50_ms\": %.3f, "
+        "\"p99_ms\": %.3f, \"failed\": %llu, \"transport\": %llu},\n"
+        "  \"batch\": {\"ok\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"failed\": %llu, \"transport\": %llu},\n"
+        "  \"overload_retries\": %llu,\n"
+        "  \"server_frames_rx\": %llu,\n  \"server_frames_tx\": %llu,\n"
+        "  \"answers_digest\": \"%llu\"\n}\n",
+        mode.c_str(), connections, window, wl.queries.size(), wall,
+        rep.qps, static_cast<unsigned long long>(tally.ok[0]),
+        rep.interactive.p50_s * 1e3, rep.interactive.p99_s * 1e3,
+        static_cast<unsigned long long>(tally.failed[0]),
+        static_cast<unsigned long long>(tally.transport[0]),
+        static_cast<unsigned long long>(tally.ok[1]),
+        rep.batch.p50_s * 1e3, rep.batch.p99_s * 1e3,
+        static_cast<unsigned long long>(tally.failed[1]),
+        static_cast<unsigned long long>(tally.transport[1]),
+        static_cast<unsigned long long>(tally.overload_retries),
+        static_cast<unsigned long long>(ns.frames_rx),
+        static_cast<unsigned long long>(ns.frames_tx),
+        static_cast<unsigned long long>(tally.digest));
+    std::fclose(out);
+  }
+  // Transport failures mean the wire itself misbehaved: fail the bench.
+  return tally.transport[0] + tally.transport[1] == 0 ? 0 : 1;
+}

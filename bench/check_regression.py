@@ -32,19 +32,71 @@ single-worker beyond noise). The machine's thread count is read from the
 JSON's hardware_threads field (falling back to os.cpu_count()), so the
 gate judges the numbers against the machine that produced them.
 
+A third mode validates the committed baselines themselves:
+--validate-baselines [FILE...] parses every given BENCH_*.json (default:
+every BENCH_*.json at the repo root) and *hard-fails* (exit 1, not a
+warning) on any file that is unreadable, is not valid JSON, or lacks the
+"bench"/"results" shape every baseline writer emits. CI runs this in the
+bench-smoke job so a corrupt committed baseline breaks the build instead
+of silently disabling the regression gates that read it.
+
 Usage:
   python3 bench/check_regression.py --bench=build/bench/bench_bitsliced_kernels \
       [--baseline=BENCH_kernels.json] [--n=96] [--kmax=12] [--min-speedup=5.0]
   python3 bench/check_regression.py --service-json=BENCH_service.json \
       [--min-scaling=3.0] [--service-floor=0.95]
+  python3 bench/check_regression.py --validate-baselines [BENCH_a.json ...]
 """
 
 import argparse
+import glob
 import json
 import os
 import subprocess
 import sys
 import tempfile
+
+
+def validate_baselines(paths) -> int:
+    if not paths:
+        root = os.path.join(os.path.dirname(__file__), os.pardir)
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print("check_regression: no BENCH_*.json baselines found",
+              file=sys.stderr)
+        return 1
+    bad = 0
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_regression: BAD BASELINE {path}: {e}",
+                  file=sys.stderr)
+            bad += 1
+            continue
+        # Every baseline writer emits a dict with a "bench" name; the
+        # table-shaped ones add a non-empty "results" list.
+        if not isinstance(data, dict) or "bench" not in data:
+            print(f"check_regression: BAD BASELINE {path}: missing the "
+                  "top-level bench name", file=sys.stderr)
+            bad += 1
+            continue
+        if "results" in data and (not isinstance(data["results"], list)
+                                  or not data["results"]):
+            print(f"check_regression: BAD BASELINE {path}: results is not "
+                  "a non-empty list", file=sys.stderr)
+            bad += 1
+            continue
+        rows = len(data["results"]) if "results" in data else 1
+        print(f"baseline {os.path.basename(path)}: ok "
+              f"({data['bench']}, {rows} row(s))")
+    if bad:
+        print(f"check_regression: {bad} unparseable baseline(s) — failing "
+              "hard, not warning", file=sys.stderr)
+        return 1
+    print("check_regression: OK")
+    return 0
 
 
 def check_service_scaling(args) -> int:
@@ -97,8 +149,13 @@ def main() -> int:
                          ">= 4-core machine")
     ap.add_argument("--service-floor", type=float, default=0.95,
                     help="no-regression floor for core-starved machines")
+    ap.add_argument("--validate-baselines", nargs="*", metavar="FILE",
+                    help="parse the given BENCH_*.json files (default: all "
+                         "at the repo root); exit 1 on any unparseable one")
     args = ap.parse_args()
 
+    if args.validate_baselines is not None:
+        return validate_baselines(args.validate_baselines)
     if args.service_json:
         return check_service_scaling(args)
     if not args.bench:

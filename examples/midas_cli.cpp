@@ -35,6 +35,24 @@
 //                       checksums on read, and --fault-artifact-flip arms
 //                       silent in-memory artifact corruption
 //                       (docs/INTEGRITY.md)
+//   midas_cli serve     --listen=HOST:PORT [--graphs=WORKLOAD]
+//                       [--max-conns=N] [--max-inflight=N]
+//                       [--quota-interactive=N] [--quota-batch=N]
+//                       [service flags as above]
+//                       serve the DetectionService over the binary RPC
+//                       protocol (docs/NET.md) instead of replaying a
+//                       file. --graphs preloads the graph recipes of a
+//                       workload file; clients can also register graphs
+//                       over the wire. PORT 0 binds an ephemeral port (the
+//                       chosen one is printed). SIGINT/SIGTERM shut down
+//                       cleanly and print the wire-level stats.
+//   midas_cli query     --connect=HOST:PORT [--register=WORKLOAD]
+//                       [--ping] [--tenant=T] [--graph=NAME --type=path|
+//                       tree|scan --k=K ... query flags as in workloads]
+//                       talk to a running `serve --listen`: optionally
+//                       register a workload's graphs, then run one query
+//                       and print the answer (witness and achieved-eps
+//                       included).
 //
 // Common flags:
 //   --graph=FILE           edge list ("u v" per line); or
@@ -75,11 +93,14 @@
 //                            histograms); ".txt" suffix = flat text,
 //                            anything else = JSON
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "midas.hpp"
 
@@ -372,13 +393,10 @@ int run_scan(const Args& args) {
   return 0;
 }
 
-int run_serve(const midas::Args& args) {
-  const std::string workload = args.get("replay", "");
-  if (workload.empty()) {
-    std::fprintf(stderr, "serve needs --replay=WORKLOAD\n");
-    return 2;
-  }
-  service::ReplayOptions opt;
+/// Fill the service-layer knobs shared by `serve --replay` and
+/// `serve --listen`. Returns 0, or the exit code of a usage error.
+int parse_replay_options(const midas::Args& args,
+                         service::ReplayOptions& opt) {
   opt.workers = static_cast<int>(args.get_int("workers", opt.workers));
   opt.cores = static_cast<int>(args.get_int("cores", opt.cores));
   opt.queue_capacity = static_cast<std::size_t>(
@@ -416,11 +434,223 @@ int run_serve(const midas::Args& args) {
   opt.chaos.artifact_flip_p = args.get_double("fault-artifact-flip", 0.0);
   opt.chaos.seed = static_cast<std::uint64_t>(
       args.get_int("fault-seed", static_cast<std::int64_t>(opt.chaos.seed)));
+  return 0;
+}
+
+/// "HOST:PORT" -> (host, port). Returns false on a malformed address.
+bool parse_addr(const std::string& addr, std::string& host,
+                std::uint16_t& port) {
+  const auto colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  host = addr.substr(0, colon);
+  try {
+    const int p = std::stoi(addr.substr(colon + 1));
+    if (p < 0 || p > 65535) return false;
+    port = static_cast<std::uint16_t>(p);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_stop_signal(int) { g_stop = 1; }
+
+int run_listen(const midas::Args& args,
+               const service::ReplayOptions& ropt) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_addr(args.get("listen", ""), host, port)) {
+    std::fprintf(stderr, "--listen expects HOST:PORT\n");
+    return 2;
+  }
+
+  service::ServiceOptions sopt;
+  sopt.workers = ropt.workers;
+  sopt.cores = ropt.cores;
+  sopt.queue_capacity = ropt.queue_capacity;
+  sopt.cache_capacity = ropt.cache_capacity;
+  sopt.cache_enabled = ropt.cache_enabled;
+  sopt.retry = ropt.retry;
+  sopt.hedge_multiplier = ropt.hedge_multiplier;
+  sopt.breaker = ropt.breaker;
+  sopt.verify = ropt.verify;
+  sopt.audit_rate = ropt.audit_rate;
+  sopt.chaos = ropt.chaos;
+  service::DetectionService svc(sopt);
+
+  if (args.has("graphs")) {
+    const auto wl = service::parse_workload(args.get("graphs", ""));
+    for (const auto& gs : wl.graphs) {
+      svc.add_graph(gs.name, service::build_graph(gs));
+      std::printf("graph %s: %s n=%u (preloaded)\n", gs.name.c_str(),
+                  gs.kind.c_str(), gs.n);
+    }
+  }
+
+  net::ServerOptions nopt;
+  nopt.host = host;
+  nopt.port = port;
+  nopt.max_connections =
+      static_cast<std::size_t>(args.get_int("max-conns", 4096));
+  nopt.max_inflight_per_conn =
+      static_cast<std::size_t>(args.get_int("max-inflight", 128));
+  nopt.tenant_quota_interactive =
+      static_cast<std::uint64_t>(args.get_int("quota-interactive", 0));
+  nopt.tenant_quota_batch =
+      static_cast<std::uint64_t>(args.get_int("quota-batch", 0));
+  net::Server server(svc, nopt);
+  server.start();
+  std::printf("listening on %s:%u\n", host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  while (g_stop == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  server.stop();
+  const auto ns = server.stats();
+  svc.drain();
+  std::printf(
+      "shutdown: %llu conn(s) accepted (%llu rejected), %llu/%llu frames "
+      "rx/tx, %llu/%llu bytes rx/tx\n"
+      "          %llu queries -> %llu results + %llu error frames "
+      "(%llu protocol, %llu overload, %llu quota), %llu graph(s) "
+      "registered over the wire\n",
+      static_cast<unsigned long long>(ns.connections_accepted),
+      static_cast<unsigned long long>(ns.connections_rejected),
+      static_cast<unsigned long long>(ns.frames_rx),
+      static_cast<unsigned long long>(ns.frames_tx),
+      static_cast<unsigned long long>(ns.rx_bytes),
+      static_cast<unsigned long long>(ns.tx_bytes),
+      static_cast<unsigned long long>(ns.queries_rx),
+      static_cast<unsigned long long>(ns.results_tx),
+      static_cast<unsigned long long>(ns.errors_tx),
+      static_cast<unsigned long long>(ns.protocol_errors),
+      static_cast<unsigned long long>(ns.overload_rejects),
+      static_cast<unsigned long long>(ns.quota_rejects),
+      static_cast<unsigned long long>(ns.graphs_registered));
+  return 0;
+}
+
+int run_serve(const midas::Args& args) {
+  service::ReplayOptions opt;
+  if (const int rc = parse_replay_options(args, opt); rc != 0) return rc;
+  if (args.has("listen")) return run_listen(args, opt);
+
+  const std::string workload = args.get("replay", "");
+  if (workload.empty()) {
+    std::fprintf(stderr,
+                 "serve needs --replay=WORKLOAD or --listen=HOST:PORT\n");
+    return 2;
+  }
   const service::ReplayReport rep = service::run_replay(workload, opt);
   std::ostringstream os;
   service::print_report(os, rep);
   std::fputs(os.str().c_str(), stdout);
   return rep.interactive.failed + rep.batch.failed == 0 ? 0 : 1;
+}
+
+int run_query(const midas::Args& args) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_addr(args.get("connect", ""), host, port)) {
+    std::fprintf(stderr, "query needs --connect=HOST:PORT\n");
+    return 2;
+  }
+  net::ClientOptions copt;
+  copt.host = host;
+  copt.port = port;
+  copt.tenant = static_cast<std::uint32_t>(args.get_int("tenant", 0));
+  net::Client client(copt);
+
+  if (args.get_flag("ping")) {
+    Timer t;
+    client.ping();
+    std::printf("pong from %s:%u (%.2f ms)\n", host.c_str(), port,
+                t.elapsed_ms());
+  }
+
+  std::uint32_t graph_n = 0;  // vertex count of --graph, if discoverable
+  if (args.has("register")) {
+    const auto wl = service::parse_workload(args.get("register", ""));
+    for (const auto& gs : wl.graphs) {
+      client.add_graph(gs);
+      if (gs.name == args.get("graph", "")) graph_n = gs.n;
+      std::printf("graph %s: %s n=%u (registered)\n", gs.name.c_str(),
+                  gs.kind.c_str(), gs.n);
+    }
+  }
+
+  if (!args.has("graph")) return 0;  // ping/register-only invocation
+
+  service::QuerySpec q;
+  q.graph = args.get("graph", "");
+  const std::string type = args.get("type", "path");
+  if (type == "path") q.type = service::QueryType::kPath;
+  else if (type == "tree") q.type = service::QueryType::kTree;
+  else if (type == "scan") q.type = service::QueryType::kScan;
+  else {
+    std::fprintf(stderr, "--type expects path|tree|scan, got %s\n",
+                 type.c_str());
+    return 2;
+  }
+  q.lane = args.get("lane", "batch") == "interactive"
+               ? service::Lane::kInteractive
+               : service::Lane::kBatch;
+  q.k = static_cast<int>(args.get_int("k", 4));
+  q.field_bits = static_cast<int>(args.get_int("l", q.field_bits));
+  q.epsilon = args.get_double("epsilon", q.epsilon);
+  q.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  q.max_rounds = static_cast<int>(args.get_int("rounds", 0));
+  q.kernel = kernel_option(args);
+  q.n_ranks = static_cast<int>(args.get_int("ranks", q.n_ranks));
+  q.n1 = static_cast<int>(args.get_int("n1", q.n1));
+  q.n2 = static_cast<std::uint32_t>(args.get_int("n2", q.n2));
+  q.timeout_s = args.get_double("timeout", 0.0);
+  q.certify = args.get_flag("certify");
+  if (q.type == service::QueryType::kTree)
+    for (int i = 0; i + 1 < q.k; ++i)
+      q.tree_edges.emplace_back(static_cast<std::uint32_t>(i),
+                                static_cast<std::uint32_t>(i + 1));
+  if (q.type == service::QueryType::kScan) {
+    if (graph_n == 0)
+      graph_n = static_cast<std::uint32_t>(args.get_int("n", 0));
+    if (graph_n == 0) {
+      std::fprintf(stderr,
+                   "scan queries need --n=<graph vertices> (or --register "
+                   "with the graph's recipe) to draw weights\n");
+      return 2;
+    }
+    // Same derivation replay workloads use (service/replay.cpp).
+    Xoshiro256 rng(q.seed ^ 0x5CA1AB1EULL);
+    q.weights.resize(graph_n);
+    for (auto& x : q.weights) x = static_cast<std::uint32_t>(rng() % 5);
+  }
+
+  Timer t;
+  const service::QueryResult res = client.query(q);
+  if (q.type == service::QueryType::kScan) {
+    std::uint64_t feasible = 0;
+    for (const auto& row : res.table.feasible)
+      feasible += static_cast<std::uint64_t>(
+          std::count(row.begin(), row.end(), true));
+    std::printf("scan table: %llu feasible (size, weight) cell(s), "
+                "%d round(s)   (%.0f ms)\n",
+                static_cast<unsigned long long>(feasible), res.rounds_run,
+                t.elapsed_ms());
+  } else {
+    std::printf("answer: %s   (%d round(s), achieved eps %.3g; %.0f ms)\n",
+                res.found ? "YES" : "no", res.rounds_run,
+                res.achieved_epsilon, t.elapsed_ms());
+  }
+  if (res.certified && !res.witness.empty()) {
+    std::printf("witness:");
+    for (auto v : res.witness) std::printf(" %u", v);
+    std::printf("\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -429,7 +659,8 @@ int main(int argc, char** argv) {
   const midas::Args args(argc, argv);
   if (args.positional().empty()) {
     std::printf(
-        "usage: midas_cli <path|dipath|tree|maxweight|scan|serve> [flags]\n"
+        "usage: midas_cli <path|dipath|tree|maxweight|scan|serve|query> "
+        "[flags]\n"
         "see the header comment of examples/midas_cli.cpp for flags\n");
     return 2;
   }
@@ -449,6 +680,7 @@ int main(int argc, char** argv) {
     else if (cmd == "maxweight") rc = run_maxweight(args);
     else if (cmd == "scan") rc = run_scan(args);
     else if (cmd == "serve") rc = run_serve(args);
+    else if (cmd == "query") rc = run_query(args);
     else {
       std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
       return 2;

@@ -52,6 +52,11 @@
 #include "service/replay.hpp"
 #include "service/service.hpp"
 
+// The binary RPC wire: length-prefixed frames over TCP (docs/NET.md).
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+
 // Baselines (color coding, exact oracles).
 #include "baseline/brute_force.hpp"
 #include "baseline/color_coding.hpp"

@@ -1,0 +1,326 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace midas::net {
+
+namespace {
+
+[[nodiscard]] std::string errno_str(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+/// Capture the typed exception an ErrorFrame describes.
+[[nodiscard]] std::exception_ptr to_exception(const ErrorFrame& e) {
+  try {
+    throw_error(e);
+  } catch (...) {
+    return std::current_exception();
+  }
+}
+
+}  // namespace
+
+Client::Client(ClientOptions opt) : opt_(std::move(opt)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw TransportError(errno_str("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError("bad server address: " + opt_.host);
+  }
+
+  // Connect with a timeout: nonblocking connect + poll, then back to
+  // blocking for the steady state (reader blocks in recv, writers in send).
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    const std::string msg = errno_str("connect");
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError(msg);
+  }
+  if (rc < 0) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int timeout_ms =
+        static_cast<int>(opt_.connect_timeout_s * 1000.0);
+    rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : -1);
+    int soerr = 0;
+    socklen_t slen = sizeof(soerr);
+    if (rc > 0)
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &slen);
+    if (rc <= 0 || soerr != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      if (rc == 0)
+        throw TransportError("connect: timed out after " +
+                             std::to_string(opt_.connect_timeout_s) + " s");
+      throw TransportError("connect: " +
+                           std::string(std::strerror(soerr ? soerr
+                                                           : errno)));
+    }
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  reader_ = std::thread([this] { reader_main(); });
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (!closing_.exchange(true)) {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);  // wakes the reader
+  }
+  if (reader_.joinable() &&
+      reader_.get_id() != std::this_thread::get_id())
+    reader_.join();
+  if (fd_ >= 0 && !reader_.joinable()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!dead_) fail_all(std::make_exception_ptr(TransportError(
+      "connection closed")));
+}
+
+std::exception_ptr Client::dead_error() const {
+  return last_error_
+             ? last_error_
+             : std::make_exception_ptr(TransportError("connection closed"));
+}
+
+std::shared_future<service::QueryResult> Client::submit(
+    const service::QuerySpec& q) {
+  const std::uint64_t id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_future<service::QueryResult> fut;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (dead_) std::rethrow_exception(dead_error());
+    Pending& p = pending_[id];
+    p.is_query = true;
+    fut = p.result.get_future().share();
+  }
+  WireWriter w;
+  encode_query(w, q);
+  try {
+    write_frame(make_frame(FrameType::kQueryReq, id, opt_.tenant,
+                           w.bytes()));
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m_);
+    pending_.erase(id);
+    throw;
+  }
+  return fut;
+}
+
+service::QueryResult Client::query(const service::QuerySpec& q) {
+  return submit(q).get();
+}
+
+void Client::add_graph(const service::GraphSpec& g) {
+  const std::uint64_t id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::future<void> fut;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (dead_) std::rethrow_exception(dead_error());
+    fut = pending_[id].ack.get_future();
+  }
+  WireWriter w;
+  encode_graph_spec(w, g);
+  try {
+    write_frame(make_frame(FrameType::kGraphReq, id, opt_.tenant,
+                           w.bytes()));
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m_);
+    pending_.erase(id);
+    throw;
+  }
+  fut.get();
+}
+
+void Client::ping() {
+  const std::uint64_t id =
+      next_id_.fetch_add(1, std::memory_order_relaxed);
+  std::future<void> fut;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (dead_) std::rethrow_exception(dead_error());
+    fut = pending_[id].ack.get_future();
+  }
+  try {
+    write_frame(make_frame(FrameType::kPing, id, opt_.tenant, {}));
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(m_);
+    pending_.erase(id);
+    throw;
+  }
+  fut.get();
+}
+
+void Client::write_frame(const std::vector<std::uint8_t>& frame) {
+  std::lock_guard<std::mutex> lk(tx_m_);
+  if (dead_) std::rethrow_exception(dead_error());
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw TransportError(errno_str("send"));
+  }
+}
+
+void Client::reader_main() {
+  std::vector<std::uint8_t> rx;
+  std::size_t off = 0;
+  std::exception_ptr teardown;
+  for (;;) {
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      teardown = std::make_exception_ptr(
+          TransportError(closing_ ? "connection closed"
+                                  : errno_str("recv")));
+      break;
+    }
+    if (n == 0) {
+      teardown = std::make_exception_ptr(TransportError(
+          closing_ ? "connection closed"
+                   : "connection closed by server with requests in "
+                     "flight"));
+      break;
+    }
+    rx.insert(rx.end(), buf, buf + n);
+    bool dead = false;
+    while (rx.size() - off >= kHeaderSize) {
+      const FrameHeader h = decode_header(rx.data() + off);
+      try {
+        validate_header(h, kMaxBody);
+      } catch (const ProtocolError&) {
+        teardown = std::current_exception();
+        dead = true;
+        break;
+      }
+      if (rx.size() - off - kHeaderSize < h.body_len) break;
+      const std::uint8_t* body = rx.data() + off + kHeaderSize;
+      off += kHeaderSize + h.body_len;
+      if (!dispatch(h, body)) {
+        dead = true;  // connection-level error: last_error_ is set
+        break;
+      }
+    }
+    if (dead) break;
+    if (off > 0) {
+      rx.erase(rx.begin(), rx.begin() + static_cast<std::ptrdiff_t>(off));
+      off = 0;
+    }
+  }
+  fail_all(teardown ? teardown
+                    : std::make_exception_ptr(
+                          TransportError("connection closed")));
+}
+
+bool Client::dispatch(const FrameHeader& h, const std::uint8_t* body) {
+  WireReader r(body, h.body_len);
+
+  // Connection-level error (msg_id 0): the server is telling the whole
+  // connection to go away (connect-flood reject, fatal framing error).
+  if (h.msg_id == 0 &&
+      h.type == static_cast<std::uint16_t>(FrameType::kError)) {
+    try {
+      const ErrorFrame e = decode_error(r);
+      std::lock_guard<std::mutex> lk(m_);
+      last_error_ = to_exception(e);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      last_error_ = std::current_exception();
+    }
+    return false;
+  }
+
+  Pending p;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    auto it = pending_.find(h.msg_id);
+    if (it == pending_.end()) return true;  // late reply after a timeout
+    p = std::move(it->second);
+    pending_.erase(it);
+  }
+  try {
+    switch (static_cast<FrameType>(h.type)) {
+      case FrameType::kQueryResp:
+        p.result.set_value(decode_result(r));
+        break;
+      case FrameType::kGraphResp:
+      case FrameType::kPong:
+        p.ack.set_value();
+        break;
+      case FrameType::kError: {
+        const std::exception_ptr err = to_exception(decode_error(r));
+        if (p.is_query)
+          p.result.set_exception(err);
+        else
+          p.ack.set_exception(err);
+        break;
+      }
+      default: {
+        const auto err = std::make_exception_ptr(ProtocolError(
+            "unexpected response frame type " + std::to_string(h.type)));
+        if (p.is_query)
+          p.result.set_exception(err);
+        else
+          p.ack.set_exception(err);
+        break;
+      }
+    }
+  } catch (const ProtocolError&) {
+    // The response body itself was malformed: fail this request but keep
+    // the connection (the frame boundary is intact).
+    const std::exception_ptr err = std::current_exception();
+    if (p.is_query)
+      p.result.set_exception(err);
+    else
+      p.ack.set_exception(err);
+  }
+  return true;
+}
+
+void Client::fail_all(std::exception_ptr error) {
+  std::unordered_map<std::uint64_t, Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (!last_error_) last_error_ = error;
+    dead_ = true;
+    orphans.swap(pending_);
+  }
+  for (auto& [id, p] : orphans) {
+    if (p.is_query)
+      p.result.set_exception(last_error_);
+    else
+      p.ack.set_exception(last_error_);
+  }
+}
+
+}  // namespace midas::net

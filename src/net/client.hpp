@@ -1,0 +1,110 @@
+// net::Client — a pipelining client for the MIDAS wire protocol
+// (docs/NET.md, net/server.hpp).
+//
+// One TCP connection, one background reader thread, and a msg_id -> future
+// table: submit() serializes a QuerySpec, writes one frame, and returns a
+// future immediately, so a caller can keep hundreds of queries in flight on
+// a single connection and the reader settles each future as its response
+// frame arrives — in whatever order the server finishes them. query() is
+// the synchronous convenience (submit + get).
+//
+// Error behavior mirrors a local DetectionService: a kError response frame
+// is reconstructed into the *same* typed exception the service would have
+// thrown (ServiceOverloadError, QueryValidationError, ...) and delivered
+// through the future (or thrown from the sync calls). Wire-layer failures
+// are their own family: TransportError when the connection dies (refused,
+// reset, closed with requests in flight), ProtocolError when the byte
+// stream violates framing, QuotaExceededError when the server's per-tenant
+// budget rejects the query. Once the connection is dead every pending and
+// future call fails fast with the same error — a Client is not reusable
+// after that; make a new one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+
+namespace midas::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Tenant id stamped on every frame header — the server's quota bucket.
+  std::uint32_t tenant = 0;
+  double connect_timeout_s = 5.0;
+};
+
+class Client {
+ public:
+  /// Connects eagerly; throws TransportError on refusal/timeout, or the
+  /// typed overload error if the server rejects the connection itself.
+  explicit Client(ClientOptions opt);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Pipeline one query: returns as soon as the frame is written. The
+  /// future completes with the QueryResult or the reconstructed typed
+  /// error. Throws TransportError if the connection is already dead.
+  std::shared_future<service::QueryResult> submit(
+      const service::QuerySpec& q);
+
+  /// Synchronous query: submit + wait. Throws the typed error on failure.
+  service::QueryResult query(const service::QuerySpec& q);
+
+  /// Register a generated graph server-side by its symbolic recipe; both
+  /// sides materialize the identical graph from (kind, n, params, seed).
+  /// Synchronous; throws on rejection.
+  void add_graph(const service::GraphSpec& g);
+
+  /// Round-trip liveness probe.
+  void ping();
+
+  /// Close the connection. Pending futures fail with TransportError.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+  [[nodiscard]] bool connected() const noexcept { return !dead_; }
+  [[nodiscard]] std::uint32_t tenant() const noexcept { return opt_.tenant; }
+
+ private:
+  struct Pending {
+    bool is_query = false;
+    std::promise<service::QueryResult> result;
+    std::promise<void> ack;  // graph/ping acknowledgements
+  };
+
+  void reader_main();
+  /// Dispatch one complete frame to its pending entry. Returns false when
+  /// the connection must be torn down (connection-level error).
+  bool dispatch(const FrameHeader& h, const std::uint8_t* body);
+  void write_frame(const std::vector<std::uint8_t>& frame);
+  /// Fail every pending future with `error` and mark the client dead.
+  void fail_all(std::exception_ptr error);
+  [[nodiscard]] std::exception_ptr dead_error() const;
+
+  ClientOptions opt_;
+  int fd_ = -1;
+  std::atomic<bool> dead_{false};
+  std::atomic<bool> closing_{false};
+
+  std::mutex m_;  // pending_ + last_error_
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::exception_ptr last_error_;
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::mutex tx_m_;  // serializes whole-frame writes
+
+  std::thread reader_;
+};
+
+}  // namespace midas::net

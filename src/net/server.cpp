@@ -1,0 +1,773 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "runtime/trace.hpp"
+#include "service/replay.hpp"
+
+namespace midas::net {
+
+namespace {
+
+[[nodiscard]] std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+[[nodiscard]] std::string errno_str(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+void set_gauge(const char* name, std::int64_t v) {
+  auto& t = runtime::tracer();
+  if (t.enabled()) t.metrics().gauge(name).set(v);
+}
+
+/// Strip `prefix` off a what() string a service error rebuilt from its
+/// fields — so the client-side reconstruction does not nest the prefix.
+[[nodiscard]] std::string strip_prefix(const std::string& what,
+                                       const std::string& prefix) {
+  return what.rfind(prefix, 0) == 0 ? what.substr(prefix.size()) : what;
+}
+
+[[nodiscard]] std::uint64_t tenant_key(std::uint32_t tenant,
+                                       service::Lane lane) noexcept {
+  return (static_cast<std::uint64_t>(tenant) << 1) |
+         (lane == service::Lane::kBatch ? 1u : 0u);
+}
+
+/// Frame type of an already-encoded frame (header offset 6, little-endian).
+[[nodiscard]] std::uint16_t peek_type(
+    const std::vector<std::uint8_t>& frame) noexcept {
+  return static_cast<std::uint16_t>(frame[6] |
+                                    (static_cast<std::uint16_t>(frame[7])
+                                     << 8));
+}
+
+}  // namespace
+
+Server::Server(service::DetectionService& svc, ServerOptions opt)
+    : svc_(svc), opt_(std::move(opt)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_) return;
+  stopping_ = false;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throw TransportError(errno_str("socket"));
+  const auto fail = [this](const char* op) {
+    const std::string msg = errno_str(op);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+    throw TransportError(msg);
+  };
+
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw TransportError("bad listen address: " + opt_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    fail("bind");
+  if (::listen(listen_fd_, opt_.backlog) < 0) fail("listen");
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) <
+      0)
+    fail("getsockname");
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) fail("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) fail("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0)
+    fail("epoll_ctl(listen)");
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0)
+    fail("epoll_ctl(wake)");
+
+  int n_completers = opt_.completers;
+  if (n_completers <= 0) n_completers = svc_.stats().workers + 2;
+
+  running_ = true;
+  completers_.reserve(static_cast<std::size_t>(n_completers));
+  for (int i = 0; i < n_completers; ++i)
+    completers_.emplace_back([this] { completer_main(); });
+  loop_ = std::thread([this] { loop_main(); });
+}
+
+void Server::stop() {
+  if (!running_) return;
+  stopping_ = true;
+  wake_loop();
+  if (loop_.joinable()) loop_.join();
+  {
+    std::lock_guard<std::mutex> lk(jobs_m_);  // pairs with the wait
+  }
+  jobs_cv_.notify_all();
+  for (auto& t : completers_) t.join();
+  completers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(jobs_m_);
+    jobs_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(done_m_);
+    done_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (auto& [id, c] : conns_) {
+      if (c->fd >= 0) {
+        ::close(c->fd);
+        c->fd = -1;
+      }
+    }
+    conns_.clear();
+    fd_to_id_.clear();
+    tenant_inflight_.clear();
+    set_gauge("net.open_connections", 0);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  listen_fd_ = epoll_fd_ = wake_fd_ = -1;
+  running_ = false;
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted = s_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = s_rejected_.load(std::memory_order_relaxed);
+  s.frames_rx = s_frames_rx_.load(std::memory_order_relaxed);
+  s.frames_tx = s_frames_tx_.load(std::memory_order_relaxed);
+  s.rx_bytes = s_rx_bytes_.load(std::memory_order_relaxed);
+  s.tx_bytes = s_tx_bytes_.load(std::memory_order_relaxed);
+  s.queries_rx = s_queries_rx_.load(std::memory_order_relaxed);
+  s.results_tx = s_results_tx_.load(std::memory_order_relaxed);
+  s.errors_tx = s_errors_tx_.load(std::memory_order_relaxed);
+  s.protocol_errors = s_protocol_errors_.load(std::memory_order_relaxed);
+  s.overload_rejects = s_overload_rejects_.load(std::memory_order_relaxed);
+  s.quota_rejects = s_quota_rejects_.load(std::memory_order_relaxed);
+  s.graphs_registered = s_graphs_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(m_);
+  s.open_connections = conns_.size();
+  return s;
+}
+
+// -- event loop -------------------------------------------------------------
+
+void Server::loop_main() {
+  std::vector<epoll_event> evs(64);
+  while (!stopping_) {
+    const int n =
+        ::epoll_wait(epoll_fd_, evs.data(), static_cast<int>(evs.size()),
+                     100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n && !stopping_; ++i) {
+      const int fd = evs[i].data.fd;
+      if (fd == listen_fd_) {
+        accept_ready();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drain = 0;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        // Queue completed responses onto their connections.
+        std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>>
+            batch;
+        {
+          std::lock_guard<std::mutex> lk(done_m_);
+          batch.swap(done_);
+        }
+        for (auto& [conn_id, frame] : batch) {
+          std::shared_ptr<Conn> c;
+          bool drop = false;
+          {
+            std::lock_guard<std::mutex> lk(m_);
+            auto it = conns_.find(conn_id);
+            if (it == conns_.end()) continue;
+            c = it->second;
+            c->tx.push_back(std::move(frame));
+            drop = !flush_locked(c);
+          }
+          if (drop) close_conn(c);
+        }
+        continue;
+      }
+      std::shared_ptr<Conn> c;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        auto it = fd_to_id_.find(fd);
+        if (it != fd_to_id_.end()) {
+          auto ic = conns_.find(it->second);
+          if (ic != conns_.end()) c = ic->second;
+        }
+      }
+      if (!c) continue;
+      if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_conn(c);
+        continue;
+      }
+      if (evs[i].events & EPOLLIN) {
+        conn_readable(c);
+        if (c->fd < 0) continue;  // closed while reading
+      }
+      if (evs[i].events & EPOLLOUT) {
+        bool drop = false;
+        {
+          std::lock_guard<std::mutex> lk(m_);
+          if (c->fd >= 0) drop = !flush_locked(c);
+        }
+        if (drop) close_conn(c);
+      }
+    }
+  }
+}
+
+void Server::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr,
+                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept error: wait for epoll
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    bool reject = false;
+    std::uint64_t id = 0;
+    std::size_t open = 0;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (conns_.size() >= opt_.max_connections) {
+        reject = true;
+      } else {
+        auto c = std::make_shared<Conn>();
+        c->fd = fd;
+        c->id = id = next_conn_id_++;
+        conns_.emplace(c->id, c);
+        fd_to_id_.emplace(fd, c->id);
+        open = conns_.size();
+      }
+    }
+    if (reject) {
+      // Typed connection-level reject (msg_id 0), never a silent drop:
+      // the client sees the same overload family a full lane produces.
+      s_rejected_.fetch_add(1, std::memory_order_relaxed);
+      ErrorFrame e;
+      e.code = ErrorCode::kOverload;
+      e.message = "connection limit reached (" +
+                  std::to_string(opt_.max_connections) + " open)";
+      e.c = opt_.max_connections;
+      e.s1 = "connection-limit";
+      e.s2 = "connection";
+      WireWriter w;
+      encode_error(w, e);
+      const auto frame = make_frame(FrameType::kError, 0, 0, w.bytes());
+      ::send(fd, frame.data(), frame.size(),
+             MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      MIDAS_TRACE_COUNT("net.conn_rejects", 1);
+      MIDAS_TRACE_INSTANT("net.conn_reject");
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      std::lock_guard<std::mutex> lk(m_);
+      conns_.erase(id);
+      fd_to_id_.erase(fd);
+      ::close(fd);
+      continue;
+    }
+    s_accepted_.fetch_add(1, std::memory_order_relaxed);
+    MIDAS_TRACE_COUNT("net.connections", 1);
+    set_gauge("net.open_connections", static_cast<std::int64_t>(open));
+    MIDAS_TRACE_INSTANT("net.accept",
+                        {"conn", static_cast<std::int64_t>(id)});
+  }
+}
+
+void Server::conn_readable(const std::shared_ptr<Conn>& c) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (c->closing || c->fd < 0) return;  // draining a fatal error frame
+  }
+  for (;;) {
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->rx.insert(c->rx.end(), buf, buf + n);
+      s_rx_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.rx_bytes", n);
+      continue;
+    }
+    if (n == 0) {  // orderly remote close
+      close_conn(c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_conn(c);
+    return;
+  }
+  if (!parse_frames(c)) close_conn(c);
+}
+
+bool Server::parse_frames(const std::shared_ptr<Conn>& c) {
+  auto& rx = c->rx;
+  while (rx.size() - c->rx_off >= kHeaderSize) {
+    const FrameHeader h = decode_header(rx.data() + c->rx_off);
+    try {
+      validate_header(h, opt_.max_body);
+    } catch (const ProtocolError& pe) {
+      // The framing itself is broken — no trustworthy frame boundary
+      // remains. Answer with a connection-level protocol error and close
+      // once it flushes.
+      s_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.protocol_errors", 1);
+      ErrorFrame e;
+      e.code = ErrorCode::kProtocol;
+      e.message = pe.what();
+      send_error(c, 0, h.tenant, e);
+      bool close_now = false;
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        c->closing = true;
+        close_now = c->tx.empty();
+      }
+      return !close_now;
+    }
+    if (rx.size() - c->rx_off - kHeaderSize < h.body_len) break;
+    const std::uint8_t* body = rx.data() + c->rx_off + kHeaderSize;
+    c->rx_off += kHeaderSize + h.body_len;
+    s_frames_rx_.fetch_add(1, std::memory_order_relaxed);
+    MIDAS_TRACE_COUNT("net.frames", 1);
+    MIDAS_TRACE_COUNT("net.frames_rx", 1);
+    handle_frame(c, h, body);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (c->closing || c->fd < 0) break;
+    }
+  }
+  if (c->rx_off > 0) {
+    rx.erase(rx.begin(),
+             rx.begin() + static_cast<std::ptrdiff_t>(c->rx_off));
+    c->rx_off = 0;
+  }
+  return true;
+}
+
+void Server::handle_frame(const std::shared_ptr<Conn>& c,
+                          const FrameHeader& h, const std::uint8_t* body) {
+  switch (static_cast<FrameType>(h.type)) {
+    case FrameType::kPing:
+      send_frame(c, make_frame(FrameType::kPong, h.msg_id, h.tenant, {}));
+      return;
+    case FrameType::kQueryReq:
+      s_queries_rx_.fetch_add(1, std::memory_order_relaxed);
+      handle_query(c, h, body);
+      return;
+    case FrameType::kGraphReq:
+      handle_graph(c, h, body);
+      return;
+    case FrameType::kError:
+      return;  // clients have nothing to report errors about; ignore
+    default: {
+      // Unknown or client-bound frame type: the boundary is still valid,
+      // so answer with a typed error and keep the connection.
+      s_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.protocol_errors", 1);
+      ErrorFrame e;
+      e.code = ErrorCode::kProtocol;
+      e.message = "unexpected frame type " + std::to_string(h.type);
+      send_error(c, h.msg_id, h.tenant, e);
+      return;
+    }
+  }
+}
+
+void Server::handle_query(const std::shared_ptr<Conn>& c,
+                          const FrameHeader& h, const std::uint8_t* body) {
+  service::QuerySpec q;
+  try {
+    WireReader r(body, h.body_len);
+    q = decode_query(r);
+  } catch (const ProtocolError& pe) {
+    // Malformed body inside a valid frame: per-request error, keep the
+    // connection (the next frame boundary is still trustworthy).
+    s_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    MIDAS_TRACE_COUNT("net.protocol_errors", 1);
+    ErrorFrame e;
+    e.code = ErrorCode::kProtocol;
+    e.message = pe.what();
+    send_error(c, h.msg_id, h.tenant, e);
+    return;
+  }
+
+  const char* lane_name = service::to_string(q.lane);
+  const std::uint64_t key = tenant_key(h.tenant, q.lane);
+  enum class Admit { kOk, kOverload, kQuota };
+  Admit admit = Admit::kOk;
+  ErrorFrame err;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (opt_.max_inflight_per_conn > 0 &&
+        c->inflight >= opt_.max_inflight_per_conn) {
+      admit = Admit::kOverload;
+      err.code = ErrorCode::kOverload;
+      err.message = "connection pipelining window full (" +
+                    std::to_string(c->inflight) + "/" +
+                    std::to_string(opt_.max_inflight_per_conn) +
+                    " in flight)";
+      err.a = c->inflight;
+      err.b = 0;
+      err.c = opt_.max_inflight_per_conn;
+      err.s1 = "per-connection";
+      err.s2 = lane_name;
+    } else {
+      const std::uint64_t budget = quota_for(q.lane);
+      auto& in_use = tenant_inflight_[key];
+      if (budget > 0 && in_use >= budget) {
+        admit = Admit::kQuota;
+        err.code = ErrorCode::kQuota;
+        err.message = "tenant quota exceeded";
+        err.a = in_use;
+        err.b = budget;
+        err.c = h.tenant;
+        err.s1 = lane_name;
+      } else {
+        c->inflight += 1;
+        in_use += 1;
+      }
+    }
+  }
+  if (admit != Admit::kOk) {
+    if (admit == Admit::kOverload) {
+      s_overload_rejects_.fetch_add(1, std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.overload_rejects", 1);
+    } else {
+      s_quota_rejects_.fetch_add(1, std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.quota_rejects", 1);
+    }
+    send_error(c, h.msg_id, h.tenant, err);
+    return;
+  }
+
+  std::shared_future<service::QueryResult> fut;
+  try {
+    fut = svc_.submit(q);
+  } catch (...) {
+    const ErrorFrame e = map_current_exception(lane_name);
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      if (c->inflight > 0) c->inflight -= 1;
+      auto it = tenant_inflight_.find(key);
+      if (it != tenant_inflight_.end() && it->second > 0) it->second -= 1;
+    }
+    send_error(c, h.msg_id, h.tenant, e);
+    return;
+  }
+
+  Job job;
+  job.conn_id = c->id;
+  job.tenant = h.tenant;
+  job.lane = static_cast<int>(q.lane);
+  job.make_response = [fut = std::move(fut), msg_id = h.msg_id,
+                       tenant = h.tenant,
+                       lane = std::string(lane_name)]()
+      -> std::vector<std::uint8_t> {
+    try {
+      const service::QueryResult& res = fut.get();
+      WireWriter w;
+      encode_result(w, res);
+      return make_frame(FrameType::kQueryResp, msg_id, tenant, w.bytes());
+    } catch (...) {
+      WireWriter w;
+      encode_error(w, map_current_exception(lane));
+      return make_frame(FrameType::kError, msg_id, tenant, w.bytes());
+    }
+  };
+  post_job(std::move(job));
+}
+
+void Server::handle_graph(const std::shared_ptr<Conn>& c,
+                          const FrameHeader& h, const std::uint8_t* body) {
+  if (!opt_.allow_graph_register) {
+    ErrorFrame e;
+    e.code = ErrorCode::kValidation;
+    e.s1 = "graph";
+    e.s2 = "graph registration is disabled on this server";
+    e.message = "invalid query: graph: " + e.s2;
+    send_error(c, h.msg_id, h.tenant, e);
+    return;
+  }
+  service::GraphSpec g;
+  try {
+    WireReader r(body, h.body_len);
+    g = decode_graph_spec(r);
+  } catch (const ProtocolError& pe) {
+    s_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    MIDAS_TRACE_COUNT("net.protocol_errors", 1);
+    ErrorFrame e;
+    e.code = ErrorCode::kProtocol;
+    e.message = pe.what();
+    send_error(c, h.msg_id, h.tenant, e);
+    return;
+  }
+
+  // Generating + registering the graph can take real time; run it on a
+  // completer so the loop keeps serving other connections.
+  Job job;
+  job.conn_id = c->id;
+  job.tenant = h.tenant;
+  job.make_response = [this, g = std::move(g), msg_id = h.msg_id,
+                       tenant = h.tenant]() -> std::vector<std::uint8_t> {
+    try {
+      svc_.add_graph(g.name, service::build_graph(g));
+      s_graphs_.fetch_add(1, std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.graphs_registered", 1);
+      return make_frame(FrameType::kGraphResp, msg_id, tenant, {});
+    } catch (const std::exception& ex) {
+      ErrorFrame e;
+      e.code = ErrorCode::kValidation;
+      e.s1 = "graph";
+      e.s2 = ex.what();
+      e.message = ex.what();
+      WireWriter w;
+      encode_error(w, e);
+      return make_frame(FrameType::kError, msg_id, tenant, w.bytes());
+    }
+  };
+  post_job(std::move(job));
+}
+
+// -- completers -------------------------------------------------------------
+
+void Server::post_job(Job job) {
+  {
+    std::lock_guard<std::mutex> lk(jobs_m_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void Server::completer_main() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(jobs_m_);
+      jobs_cv_.wait(lk, [this] { return stopping_ || !jobs_.empty(); });
+      if (stopping_) return;  // abort queued work; conns are going away
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    std::vector<std::uint8_t> frame;
+    try {
+      frame = job.make_response();
+    } catch (...) {
+      // make_response catches everything itself; belt and braces.
+    }
+    // Release the pipelining/quota slots the request held.
+    if (job.lane >= 0) {
+      std::lock_guard<std::mutex> lk(m_);
+      auto it = conns_.find(job.conn_id);
+      if (it != conns_.end() && it->second->inflight > 0)
+        it->second->inflight -= 1;
+      auto qt = tenant_inflight_.find(
+          tenant_key(job.tenant, static_cast<service::Lane>(job.lane)));
+      if (qt != tenant_inflight_.end() && qt->second > 0) qt->second -= 1;
+    }
+    if (frame.size() >= kHeaderSize) {
+      const std::uint16_t type = peek_type(frame);
+      if (type == static_cast<std::uint16_t>(FrameType::kError))
+        s_errors_tx_.fetch_add(1, std::memory_order_relaxed);
+      else if (type == static_cast<std::uint16_t>(FrameType::kQueryResp))
+        s_results_tx_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(done_m_);
+        done_.emplace_back(job.conn_id, std::move(frame));
+      }
+      wake_loop();
+    }
+  }
+}
+
+// -- error mapping ----------------------------------------------------------
+
+ErrorFrame Server::map_current_exception(const std::string& lane) {
+  ErrorFrame e;
+  try {
+    throw;
+  } catch (const service::ServiceOverloadError& ex) {
+    e.code = ErrorCode::kOverload;
+    e.message = ex.what();
+    e.a = ex.interactive_depth();
+    e.b = ex.batch_depth();
+    e.c = ex.capacity();
+    e.s1 = ex.shed_policy();
+    e.s2 = lane;
+  } catch (const service::DeadlineInfeasibleError& ex) {
+    e.code = ErrorCode::kDeadlineInfeasible;
+    e.message = ex.what();
+    e.a = double_bits(ex.eta_s());
+    e.b = double_bits(ex.budget_s());
+  } catch (const service::DeadlineExceededError& ex) {
+    e.code = ErrorCode::kDeadlineExceeded;
+    e.message = ex.what();
+  } catch (const service::CircuitOpenError& ex) {
+    e.code = ErrorCode::kCircuitOpen;
+    e.message = ex.what();
+    e.a = double_bits(ex.retry_after_s());
+    e.s1 = ex.graph_name();
+  } catch (const service::UnknownGraphError& ex) {
+    e.code = ErrorCode::kUnknownGraph;
+    e.message = ex.what();
+    e.s1 = strip_prefix(ex.what(), "unknown graph: ");
+  } catch (const service::QueryValidationError& ex) {
+    e.code = ErrorCode::kValidation;
+    e.message = ex.what();
+    e.s1 = ex.field();
+    e.s2 = strip_prefix(ex.what(), "invalid query: " + ex.field() + ": ");
+  } catch (const service::ServiceShutdownError& ex) {
+    e.code = ErrorCode::kShutdown;
+    e.message = ex.what();
+  } catch (const std::exception& ex) {
+    e.code = ErrorCode::kInternal;
+    e.message = ex.what();
+  } catch (...) {
+    e.code = ErrorCode::kInternal;
+    e.message = "unknown server-side failure";
+  }
+  return e;
+}
+
+// -- transmit path ----------------------------------------------------------
+
+void Server::send_error(const std::shared_ptr<Conn>& c, std::uint64_t msg_id,
+                        std::uint32_t tenant, const ErrorFrame& e) {
+  s_errors_tx_.fetch_add(1, std::memory_order_relaxed);
+  MIDAS_TRACE_COUNT("net.errors_tx", 1);
+  WireWriter w;
+  encode_error(w, e);
+  send_frame(c, make_frame(FrameType::kError, msg_id, tenant, w.bytes()));
+}
+
+void Server::send_frame(const std::shared_ptr<Conn>& c,
+                        std::vector<std::uint8_t> frame) {
+  bool drop = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    send_frame_locked(c, std::move(frame));
+    if (c->fd >= 0) drop = !flush_locked(c);
+  }
+  if (drop) close_conn(c);
+}
+
+void Server::send_frame_locked(const std::shared_ptr<Conn>& c,
+                               std::vector<std::uint8_t> frame) {
+  if (c->fd < 0) return;
+  c->tx.push_back(std::move(frame));
+}
+
+bool Server::flush_locked(const std::shared_ptr<Conn>& c) {
+  while (!c->tx.empty()) {
+    const auto& front = c->tx.front();
+    const ssize_t n = ::send(c->fd, front.data() + c->tx_off,
+                             front.size() - c->tx_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      s_tx_bytes_.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+      MIDAS_TRACE_COUNT("net.tx_bytes", n);
+      c->tx_off += static_cast<std::size_t>(n);
+      if (c->tx_off == front.size()) {
+        c->tx.pop_front();
+        c->tx_off = 0;
+        s_frames_tx_.fetch_add(1, std::memory_order_relaxed);
+        MIDAS_TRACE_COUNT("net.frames", 1);
+        MIDAS_TRACE_COUNT("net.frames_tx", 1);
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!c->want_write) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = c->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+        c->want_write = true;
+      }
+      return true;
+    }
+    if (errno == EINTR) continue;
+    return false;  // peer is gone
+  }
+  if (c->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = c->fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+    c->want_write = false;
+  }
+  return !c->closing;  // drained a fatal error frame: time to close
+}
+
+void Server::close_conn(const std::shared_ptr<Conn>& c) {
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (c->fd < 0) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+    ::close(c->fd);
+    fd_to_id_.erase(c->fd);
+    conns_.erase(c->id);
+    c->fd = -1;
+    id = c->id;
+    set_gauge("net.open_connections",
+              static_cast<std::int64_t>(conns_.size()));
+  }
+  MIDAS_TRACE_INSTANT("net.close", {"conn", static_cast<std::int64_t>(id)});
+}
+
+void Server::wake_loop() const noexcept {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace midas::net

@@ -1,0 +1,218 @@
+// net::Server — the TCP front end of a DetectionService (docs/NET.md).
+//
+// One epoll event loop owns every socket: it accepts connections, assembles
+// length-prefixed frames out of the byte stream (never reading past a frame
+// boundary), decodes QueryReq bodies, and feeds them straight into the
+// service's existing admission lanes via DetectionService::submit(). A
+// small pool of completer threads waits on the returned futures and posts
+// the serialized responses back to the loop through an eventfd, so the
+// loop thread never blocks on an engine run and one connection can have
+// hundreds of queries in flight (pipelining; responses match requests by
+// msg_id, not order).
+//
+// Every failure is a *typed error frame*, never dropped bytes:
+//  * service admission errors (overload, shed, breaker, validation,
+//    unknown graph) map one-to-one onto ErrorCode frames the client
+//    re-throws as the original exception types;
+//  * per-connection backpressure (max_inflight_per_conn) is surfaced as
+//    the same ServiceOverloadError shape the service's own lanes use;
+//  * per-tenant lane budgets (tenant id travels in the frame header)
+//    reject with ErrorCode::kQuota;
+//  * framing violations answer with ErrorCode::kProtocol — and close the
+//    connection when the stream itself can no longer be trusted (bad
+//    magic / version / oversized length).
+//
+// Instrumentation (runtime/trace.hpp, when the tracer is armed):
+// net.connections / net.frames_rx / net.frames_tx / net.rx_bytes /
+// net.tx_bytes / net.protocol_errors / net.overload_rejects /
+// net.quota_rejects counters, a net.open_connections gauge, and
+// net.accept / net.close / net.conn_reject tracer instants on the host
+// lane. Server::stats() works with the tracer disarmed.
+//
+// Linux-only (epoll + eventfd), like the CI that exercises it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "service/service.hpp"
+
+namespace midas::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral (read the bound port via port())
+  int backlog = 128;
+  /// Accepted connections beyond this get a connection-level overload
+  /// error frame (msg_id 0) and an immediate close — a typed reject, not
+  /// a silent SYN drop.
+  std::size_t max_connections = 4096;
+  /// Per-connection pipelining window: queries in flight past this bound
+  /// are rejected with the same typed overload error the service's lane
+  /// queues use. 0 = unlimited.
+  std::size_t max_inflight_per_conn = 128;
+  /// Per-tenant in-flight budgets by lane (frame-header tenant id).
+  /// 0 = unlimited.
+  std::uint64_t tenant_quota_interactive = 0;
+  std::uint64_t tenant_quota_batch = 0;
+  /// Frame body size bound (protocol error beyond it).
+  std::uint32_t max_body = kMaxBody;
+  /// Completer threads waiting on result futures; 0 derives
+  /// service workers + 2 so completions never bottleneck the pool.
+  int completers = 0;
+  /// Allow kGraphReq frames to register generated graphs. Off = every
+  /// graph must be preloaded server-side (add_graph before start()).
+  bool allow_graph_register = true;
+};
+
+class Server {
+ public:
+  /// `svc` must outlive the server.
+  Server(service::DetectionService& svc, ServerOptions opt = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the event loop and completer pool. Throws
+  /// TransportError on bind/listen failure.
+  void start();
+  /// Close the listener and every connection, then join all threads.
+  /// In-flight engine runs keep executing inside the service; their
+  /// responses are discarded. Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  /// The bound port (resolves option port 0 to the ephemeral choice).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  // over max_connections
+    std::uint64_t frames_rx = 0;
+    std::uint64_t frames_tx = 0;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t queries_rx = 0;
+    std::uint64_t results_tx = 0;
+    std::uint64_t errors_tx = 0;          // typed error frames sent
+    std::uint64_t protocol_errors = 0;    // framing violations seen
+    std::uint64_t overload_rejects = 0;   // per-conn backpressure hits
+    std::uint64_t quota_rejects = 0;      // tenant budget hits
+    std::uint64_t graphs_registered = 0;
+    std::size_t open_connections = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::vector<std::uint8_t> rx;    // loop thread only
+    std::size_t rx_off = 0;          // parsed prefix of rx
+    // tx queue (guarded by m_): front frame may be partially written.
+    std::deque<std::vector<std::uint8_t>> tx;
+    std::size_t tx_off = 0;
+    bool want_write = false;  // EPOLLOUT currently armed
+    bool closing = false;     // close once tx drains
+    std::size_t inflight = 0;
+  };
+
+  /// One unit of deferred work: produce a response frame off the loop
+  /// thread (wait on a future / build a graph), then post it.
+  struct Job {
+    std::uint64_t conn_id = 0;
+    std::uint32_t tenant = 0;
+    int lane = -1;  // quota lane to release (-1 = none held)
+    std::function<std::vector<std::uint8_t>()> make_response;
+  };
+
+  void loop_main();
+  void completer_main();
+  void accept_ready();
+  void conn_readable(const std::shared_ptr<Conn>& c);
+  /// Parse every complete frame in c->rx. Returns false when the
+  /// connection must be dropped (stream unrecoverable).
+  bool parse_frames(const std::shared_ptr<Conn>& c);
+  void handle_frame(const std::shared_ptr<Conn>& c, const FrameHeader& h,
+                    const std::uint8_t* body);
+  void handle_query(const std::shared_ptr<Conn>& c, const FrameHeader& h,
+                    const std::uint8_t* body);
+  void handle_graph(const std::shared_ptr<Conn>& c, const FrameHeader& h,
+                    const std::uint8_t* body);
+
+  /// Serialize the in-flight exception into a typed error frame body.
+  /// `lane` is the requesting query's lane name — context the exception
+  /// itself does not carry but the client-side reconstruction wants.
+  [[nodiscard]] static ErrorFrame map_current_exception(
+      const std::string& lane);
+  void send_error(const std::shared_ptr<Conn>& c, std::uint64_t msg_id,
+                  std::uint32_t tenant, const ErrorFrame& e);
+  /// Queue a frame on the connection (under m_) and try to flush.
+  void send_frame_locked(const std::shared_ptr<Conn>& c,
+                         std::vector<std::uint8_t> frame);
+  void send_frame(const std::shared_ptr<Conn>& c,
+                  std::vector<std::uint8_t> frame);
+  /// Write as much queued tx as the socket takes; arms/disarms EPOLLOUT.
+  /// Returns false if the socket died. Caller holds m_.
+  bool flush_locked(const std::shared_ptr<Conn>& c);
+  void close_conn(const std::shared_ptr<Conn>& c);
+  void post_job(Job job);
+  void wake_loop() const noexcept;
+
+  [[nodiscard]] std::uint64_t quota_for(service::Lane lane) const noexcept {
+    return lane == service::Lane::kInteractive
+               ? opt_.tenant_quota_interactive
+               : opt_.tenant_quota_batch;
+  }
+
+  service::DetectionService& svc_;
+  ServerOptions opt_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completers -> loop
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Connection registry + tx/inflight/quota state. The loop thread owns
+  // rx parsing lock-free; everything completers touch lives under m_.
+  mutable std::mutex m_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  std::unordered_map<int, std::uint64_t> fd_to_id_;
+  // (tenant, lane) -> in-flight count for quota accounting.
+  std::unordered_map<std::uint64_t, std::uint64_t> tenant_inflight_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Completer work queue.
+  std::mutex jobs_m_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+
+  // Responses ready to be queued onto connections (posted by completers,
+  // drained by the loop on wake).
+  std::mutex done_m_;
+  std::deque<std::pair<std::uint64_t, std::vector<std::uint8_t>>> done_;
+
+  // Stats (relaxed atomics: touched from loop + completers).
+  std::atomic<std::uint64_t> s_accepted_{0}, s_rejected_{0}, s_frames_rx_{0},
+      s_frames_tx_{0}, s_rx_bytes_{0}, s_tx_bytes_{0}, s_queries_rx_{0},
+      s_results_tx_{0}, s_errors_tx_{0}, s_protocol_errors_{0},
+      s_overload_rejects_{0}, s_quota_rejects_{0}, s_graphs_{0};
+
+  std::vector<std::thread> completers_;
+  std::thread loop_;  // last member: joins before the rest tears down
+};
+
+}  // namespace midas::net

@@ -102,35 +102,26 @@ QuerySpec parse_query(std::istringstream& in, std::size_t line_no) {
   return q;
 }
 
-graph::Graph parse_graph(std::istringstream& in, std::size_t line_no) {
-  std::string kind;
-  if (!(in >> kind)) fail(line_no, "graph needs a generator kind");
-  if (kind == "gnp") {
-    std::uint32_t n = 0;
-    double p = 0.0;
-    std::uint64_t seed = 1;
-    if (!(in >> n >> p >> seed)) fail(line_no, "gnp needs <n> <p> <seed>");
-    Xoshiro256 rng(seed);
-    return graph::erdos_renyi_gnp(n, p, rng);
-  }
-  if (kind == "ba") {
-    std::uint32_t n = 0, attach = 2;
-    std::uint64_t seed = 1;
-    if (!(in >> n >> attach >> seed))
+GraphSpec parse_graph(const std::string& name, std::istringstream& in,
+                      std::size_t line_no) {
+  GraphSpec spec;
+  spec.name = name;
+  if (!(in >> spec.kind)) fail(line_no, "graph needs a generator kind");
+  if (spec.kind == "gnp") {
+    if (!(in >> spec.n >> spec.fparam >> spec.seed))
+      fail(line_no, "gnp needs <n> <p> <seed>");
+  } else if (spec.kind == "ba") {
+    spec.attach = 2;
+    if (!(in >> spec.n >> spec.attach >> spec.seed))
       fail(line_no, "ba needs <n> <attach> <seed>");
-    Xoshiro256 rng(seed);
-    return graph::barabasi_albert(n, attach, rng);
-  }
-  if (kind == "road") {
-    std::uint32_t n = 0;
-    double keep = 0.9;
-    std::uint64_t seed = 1;
-    if (!(in >> n >> keep >> seed))
+  } else if (spec.kind == "road") {
+    spec.fparam = 0.9;
+    if (!(in >> spec.n >> spec.fparam >> spec.seed))
       fail(line_no, "road needs <n> <keep> <seed>");
-    Xoshiro256 rng(seed);
-    return graph::road_network(n, keep, rng);
+  } else {
+    fail(line_no, "unknown graph kind '" + spec.kind + "'");
   }
-  fail(line_no, "unknown graph kind '" + kind + "'");
+  return spec;
 }
 
 /// A path template over [0, k): the tree-query default for replays.
@@ -159,10 +150,64 @@ void digest(LaneReport& lane, std::vector<double>& latencies) {
 
 }  // namespace
 
+graph::Graph build_graph(const GraphSpec& spec) {
+  Xoshiro256 rng(spec.seed);
+  if (spec.kind == "gnp")
+    return graph::erdos_renyi_gnp(spec.n, spec.fparam, rng);
+  if (spec.kind == "ba") return graph::barabasi_albert(spec.n, spec.attach, rng);
+  if (spec.kind == "road") return graph::road_network(spec.n, spec.fparam, rng);
+  throw std::runtime_error("unknown graph kind '" + spec.kind + "'");
+}
+
+Workload parse_workload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open workload: " + path);
+
+  Workload wl;
+  std::unordered_map<std::string, std::uint32_t> graph_sizes;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word) || word[0] == '#') continue;
+    if (word == "graph") {
+      std::string name;
+      if (!(ls >> name)) fail(line_no, "graph needs a name");
+      GraphSpec spec = parse_graph(name, ls, line_no);
+      graph_sizes[name] = spec.n;
+      wl.graphs.push_back(std::move(spec));
+    } else if (word == "query") {
+      std::istringstream copy(line.substr(line.find("query") + 5));
+      auto kv = parse_kv(copy, line_no);
+      std::int64_t repeat = 1;
+      if (auto it = kv.find("repeat"); it != kv.end())
+        repeat = std::stoll(it->second);
+      std::istringstream again(line.substr(line.find("query") + 5));
+      QuerySpec q = parse_query(again, line_no);
+      auto sz = graph_sizes.find(q.graph);
+      if (sz == graph_sizes.end())
+        fail(line_no, "query references undeclared graph '" + q.graph + "'");
+      if (q.type == QueryType::kTree) q.tree_edges = path_template(q.k);
+      if (q.type == QueryType::kScan)
+        q.weights = scan_weights(sz->second, q.seed);
+      for (std::int64_t r = 0; r < repeat; ++r) {
+        wl.queries.push_back(q);
+        ++q.seed;  // keep repeats distinct (cache traffic, not dedup)
+        if (q.type == QueryType::kScan)
+          q.weights = scan_weights(sz->second, q.seed);
+      }
+    } else {
+      fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  return wl;
+}
+
 ReplayReport run_replay(const std::string& workload_path,
                         const ReplayOptions& ropt) {
-  std::ifstream in(workload_path);
-  if (!in) throw std::runtime_error("cannot open workload: " + workload_path);
+  Workload wl = parse_workload(workload_path);
 
   ServiceOptions sopt;
   sopt.workers = ropt.workers;
@@ -178,56 +223,19 @@ ReplayReport run_replay(const std::string& workload_path,
   sopt.chaos = ropt.chaos;
   DetectionService svc(sopt);
 
-  // Pass 1: parse the whole file (graphs registered as they appear) so a
-  // malformed line fails before any query runs.
-  std::vector<QuerySpec> queries;
-  std::unordered_map<std::string, std::uint32_t> graph_sizes;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::istringstream ls(line);
-    std::string word;
-    if (!(ls >> word) || word[0] == '#') continue;
-    if (word == "graph") {
-      std::string name;
-      if (!(ls >> name)) fail(line_no, "graph needs a name");
-      graph::Graph g = parse_graph(ls, line_no);
-      graph_sizes[name] = g.num_vertices();
-      svc.add_graph(name, std::move(g));
-    } else if (word == "query") {
-      std::istringstream copy(line.substr(line.find("query") + 5));
-      auto kv = parse_kv(copy, line_no);
-      std::int64_t repeat = 1;
-      if (auto it = kv.find("repeat"); it != kv.end())
-        repeat = std::stoll(it->second);
-      std::istringstream again(line.substr(line.find("query") + 5));
-      QuerySpec q = parse_query(again, line_no);
-      auto sz = graph_sizes.find(q.graph);
-      if (sz == graph_sizes.end())
-        fail(line_no, "query references undeclared graph '" + q.graph + "'");
-      if (q.type == QueryType::kTree) q.tree_edges = path_template(q.k);
-      if (q.type == QueryType::kScan)
-        q.weights = scan_weights(sz->second, q.seed);
-      if (ropt.certify) q.certify = true;
-      for (std::int64_t r = 0; r < repeat; ++r) {
-        queries.push_back(q);
-        ++q.seed;  // keep repeats distinct (cache traffic, not dedup)
-        if (q.type == QueryType::kScan)
-          q.weights = scan_weights(sz->second, q.seed);
-      }
-    } else {
-      fail(line_no, "unknown directive '" + word + "'");
-    }
-  }
+  // The whole file parsed up front (parse_workload), so a malformed line
+  // fails before any query runs; graphs materialize here.
+  for (const GraphSpec& gs : wl.graphs) svc.add_graph(gs.name, build_graph(gs));
+  if (ropt.certify)
+    for (QuerySpec& q : wl.queries) q.certify = true;
 
-  // Pass 2: replay. Submit as fast as admission allows; back off briefly
-  // on overload so the full workload always completes.
+  // Replay. Submit as fast as admission allows; back off briefly on
+  // overload so the full workload always completes.
   ReplayReport rep;
   std::vector<std::pair<Lane, std::shared_future<QueryResult>>> futures;
-  futures.reserve(queries.size());
+  futures.reserve(wl.queries.size());
   const auto t0 = Clock::now();
-  for (const QuerySpec& q : queries) {
+  for (const QuerySpec& q : wl.queries) {
     for (;;) {
       try {
         futures.emplace_back(q.lane, svc.submit(q));
@@ -312,6 +320,7 @@ void print_report(std::ostream& os, const ReplayReport& r) {
     os << "  " << std::left << std::setw(12) << name << std::right
        << std::setw(8) << l.submitted << std::setw(8) << l.ok
        << std::setw(10) << l.deadline_exceeded << std::setw(8) << l.failed
+       << std::setw(10) << l.failed_transport
        << std::setw(12) << std::fixed << std::setprecision(3)
        << l.p50_s * 1e3 << std::setw(12) << l.p99_s * 1e3 << std::setw(12)
        << l.mean_s * 1e3 << std::setw(9) << std::setprecision(1)
@@ -326,7 +335,8 @@ void print_report(std::ostream& os, const ReplayReport& r) {
      << " pooled gang reuses, " << r.steals << " shard steals\n";
   os << "  " << std::left << std::setw(12) << "lane" << std::right
      << std::setw(8) << "subm" << std::setw(8) << "ok" << std::setw(10)
-     << "deadline" << std::setw(8) << "failed" << std::setw(12)
+     << "deadline" << std::setw(8) << "failed" << std::setw(10)
+     << "transport" << std::setw(12)
      << "p50(ms)" << std::setw(12) << "p99(ms)" << std::setw(12)
      << "mean(ms)" << std::setw(9) << "rounds" << std::setw(12)
      << "worst-eps" << "\n";

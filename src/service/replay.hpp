@@ -28,9 +28,38 @@
 #include <string>
 #include <vector>
 
+#include "graph/csr.hpp"
 #include "service/service.hpp"
 
 namespace midas::service {
+
+/// One `graph` line of a workload: the generator recipe, not the graph.
+/// Kept symbolic so the same recipe can be replayed in-process or shipped
+/// over the wire (src/net) — both sides regenerate the identical graph
+/// from (kind, n, params, seed).
+struct GraphSpec {
+  std::string name;
+  std::string kind;       // "gnp" | "ba" | "road"
+  std::uint32_t n = 0;
+  double fparam = 0.0;    // gnp edge probability / road keep fraction
+  std::uint32_t attach = 0;  // ba attachment degree
+  std::uint64_t seed = 1;
+};
+
+/// Deterministically materialize a GraphSpec (same spec -> same graph,
+/// byte for byte). Throws std::runtime_error on an unknown kind.
+[[nodiscard]] graph::Graph build_graph(const GraphSpec& spec);
+
+/// A fully parsed workload file: graph recipes in declaration order plus
+/// the expanded query list (repeat= already unrolled).
+struct Workload {
+  std::vector<GraphSpec> graphs;
+  std::vector<QuerySpec> queries;
+};
+
+/// Parse a workload file without running it. Throws std::runtime_error on
+/// unreadable files or malformed lines (message carries the line number).
+[[nodiscard]] Workload parse_workload(const std::string& path);
 
 /// Replay-side serving knobs (forwarded into ServiceOptions).
 struct ReplayOptions {
@@ -61,7 +90,12 @@ struct LaneReport {
   std::uint64_t submitted = 0;  // accepted into the lane
   std::uint64_t ok = 0;
   std::uint64_t deadline_exceeded = 0;
-  std::uint64_t failed = 0;     // execution errors
+  std::uint64_t failed = 0;            // service-side execution errors
+  /// Transport-level failures (src/net): the connection died or the wire
+  /// protocol was violated before an answer arrived. Always 0 for an
+  /// in-process replay; the net load-generator fills it so its report
+  /// separates "the engine failed" from "the wire failed".
+  std::uint64_t failed_transport = 0;
   double p50_s = 0.0;           // submit -> completion percentiles
   double p99_s = 0.0;
   double mean_s = 0.0;
