@@ -32,7 +32,16 @@ single-worker beyond noise). The machine's thread count is read from the
 JSON's hardware_threads field (falling back to os.cpu_count()), so the
 gate judges the numbers against the machine that produced them.
 
-A third mode validates the committed baselines themselves:
+A third mode gates the constrained (Graph Motif) sieve against the
+color-coding baseline: pass --motif-json=BENCH_motif.json (a bench_motif
+dump, where both solvers ran to the same epsilon) and the check requires
+(a) every row to have agree == true — the two solvers never disagree on
+a decision both reached — and (b) the largest-k row's speedup to stay
+>= --min-motif-speedup (default 1.0: at k = 8 with pigeonhole-adverse
+multiplicities the algebraic sieve must at least match color coding,
+whose hit probability collapses there).
+
+A fourth mode validates the committed baselines themselves:
 --validate-baselines [FILE...] parses every given BENCH_*.json (default:
 every BENCH_*.json at the repo root) and *hard-fails* (exit 1, not a
 warning) on any file that is unreadable, is not valid JSON, or lacks the
@@ -45,6 +54,8 @@ Usage:
       [--baseline=BENCH_kernels.json] [--n=96] [--kmax=12] [--min-speedup=5.0]
   python3 bench/check_regression.py --service-json=BENCH_service.json \
       [--min-scaling=3.0] [--service-floor=0.95]
+  python3 bench/check_regression.py --motif-json=BENCH_motif.json \
+      [--min-motif-speedup=1.0]
   python3 bench/check_regression.py --validate-baselines [BENCH_a.json ...]
 """
 
@@ -131,6 +142,47 @@ def check_service_scaling(args) -> int:
     return 0
 
 
+def check_motif(args) -> int:
+    try:
+        with open(args.motif_json, encoding="utf-8") as fh:
+            bench = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_regression: cannot read motif json: {e}",
+              file=sys.stderr)
+        return 2
+
+    rows = bench.get("results") or []
+    if not rows:
+        print("check_regression: motif json has no results", file=sys.stderr)
+        return 2
+
+    failures = []
+    for r in rows:
+        print(f"motif k={r['k']} palette={r['palette']}: sieve "
+              f"{r['sieve_ms']:.2f} ms ({r['sieve_rounds']} rounds) vs "
+              f"color coding {r['cc_ms']:.2f} ms ({r['cc_iterations']} "
+              f"iters) = {r['speedup']:.2f}x, agree={r['agree']}")
+        if not r.get("agree"):
+            failures.append(f"k={r['k']}: sieve and color coding disagree "
+                            "on a decision both reached")
+
+    # The acceptance point is the largest measured k: that is where color
+    # coding's per-iteration hit probability collapses and the sieve's
+    # matched-epsilon advantage must show.
+    top = max(rows, key=lambda r: r["k"])
+    if top["speedup"] < args.min_motif_speedup:
+        failures.append(
+            f"k={top['k']}: speedup {top['speedup']:.2f}x < gate "
+            f"{args.min_motif_speedup}x")
+
+    if failures:
+        for f in failures:
+            print(f"check_regression: REGRESSION: {f}", file=sys.stderr)
+        return 1
+    print("check_regression: OK")
+    return 0
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("--bench",
@@ -149,6 +201,12 @@ def main() -> int:
                          ">= 4-core machine")
     ap.add_argument("--service-floor", type=float, default=0.95,
                     help="no-regression floor for core-starved machines")
+    ap.add_argument("--motif-json",
+                    help="BENCH_motif.json to gate the constrained sieve "
+                         "against the color-coding baseline")
+    ap.add_argument("--min-motif-speedup", type=float, default=1.0,
+                    help="required sieve-vs-color-coding speedup at the "
+                         "largest measured k")
     ap.add_argument("--validate-baselines", nargs="*", metavar="FILE",
                     help="parse the given BENCH_*.json files (default: all "
                          "at the repo root); exit 1 on any unparseable one")
@@ -158,6 +216,8 @@ def main() -> int:
         return validate_baselines(args.validate_baselines)
     if args.service_json:
         return check_service_scaling(args)
+    if args.motif_json:
+        return check_motif(args)
     if not args.bench:
         ap.error("--bench is required unless --service-json is given")
 

@@ -6,6 +6,15 @@
 //   midas_cli dipath    --k=8 --directed-edges=...   (directed k-path)
 //   midas_cli tree      --k=8 --template=path|star|random [--witness]
 //   midas_cli maxweight --k=6 --weights=FILE|random
+//   midas_cli motif     --k=4 --palette=3 [--colors=FILE|random]
+//                       [--motif=c0,c1,...] [--witness]
+//                       constrained (Graph Motif) detection: is there a
+//                       connected vertex set whose color multiset equals
+//                       the query? --colors=FILE reads one color id per
+//                       vertex; random draws from [0, palette). --motif
+//                       defaults to k colors sampled from the coloring
+//                       (always color-feasible). Distributed when
+//                       --ranks > 1 (docs/MOTIF.md)
 //   midas_cli scan      --k=5 --weights=FILE|random
 //                       [--stat=kulldorff|ebp|mean|bj] [--witness]
 //   midas_cli serve     --replay=WORKLOAD [--workers=W] [--cores=C]
@@ -48,7 +57,8 @@
 //                       cleanly and print the wire-level stats.
 //   midas_cli query     --connect=HOST:PORT [--register=WORKLOAD]
 //                       [--ping] [--tenant=T] [--graph=NAME --type=path|
-//                       tree|scan --k=K ... query flags as in workloads]
+//                       tree|scan|motif --k=K ... query flags as in
+//                       workloads]
 //                       talk to a running `serve --listen`: optionally
 //                       register a workload's graphs, then run one query
 //                       and print the answer (witness and achieved-eps
@@ -350,6 +360,103 @@ int run_maxweight(const Args& args) {
   return 0;
 }
 
+std::vector<std::uint32_t> load_colors(const Args& args, graph::VertexId n,
+                                       std::uint32_t palette,
+                                       Xoshiro256& rng) {
+  const std::string spec = args.get("colors", "random");
+  std::vector<std::uint32_t> c(n);
+  if (spec == "random") {
+    for (auto& x : c) x = static_cast<std::uint32_t>(rng.below(palette));
+  } else {
+    std::ifstream f(spec);
+    MIDAS_REQUIRE(static_cast<bool>(f), "cannot open colors file " + spec);
+    for (auto& x : c) {
+      long long v = 0;
+      MIDAS_REQUIRE(static_cast<bool>(f >> v) && v >= 0,
+                    "colors file must contain n non-negative color ids");
+      x = static_cast<std::uint32_t>(v);
+    }
+  }
+  return c;
+}
+
+int run_motif(const Args& args) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const auto g = load_graph(args, rng);
+  const int k = static_cast<int>(args.get_int("k", 4));
+  const auto palette =
+      static_cast<std::uint32_t>(args.get_int("palette", 3));
+  MIDAS_REQUIRE(palette > 0, "--palette must be positive");
+  const auto colors = load_colors(args, g.num_vertices(), palette, rng);
+
+  std::vector<std::uint32_t> motif;
+  if (args.has("motif")) {
+    std::istringstream ms(args.get("motif", ""));
+    std::string tok;
+    while (std::getline(ms, tok, ','))
+      motif.push_back(static_cast<std::uint32_t>(std::stoul(tok)));
+    MIDAS_REQUIRE(static_cast<int>(motif.size()) == k,
+                  "--motif must list exactly k colors");
+  } else {
+    // Sample the multiset from the coloring itself, so it is always
+    // color-feasible and the answer hinges on connectivity.
+    for (int i = 0; i < k; ++i)
+      motif.push_back(colors[rng.below(colors.size())]);
+  }
+
+  const int ranks = static_cast<int>(args.get_int("ranks", 1));
+  gf::GF256 f;
+  {
+    std::ostringstream ms;
+    for (std::size_t i = 0; i < motif.size(); ++i)
+      ms << (i ? "," : "") << motif[i];
+    std::printf("graph: n=%u m=%llu   query: motif {%s} over %u color(s)   "
+                "kernel=%s l=%d\n",
+                g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()),
+                ms.str().c_str(), palette,
+                core::kernel_name(f, kernel_option(args)), f.bits());
+  }
+  Timer t;
+  bool found = false;
+  if (ranks > 1) {
+    core::MidasOptions opt;
+    opt.k = k;
+    opt.epsilon = args.get_double("epsilon", 1e-4);
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opt.n_ranks = ranks;
+    opt.n1 = static_cast<int>(args.get_int("n1", std::min(ranks, 4)));
+    opt.n2 = static_cast<std::uint32_t>(args.get_int("n2", 32));
+    opt.kernel = kernel_option(args);
+    const auto part = partition::multilevel_partition(g, opt.n1);
+    const auto res = core::midas_motif(g, part, colors, motif, opt, f);
+    found = res.found;
+    std::printf("answer: %s   (N=%d N1=%d N2=%u; modeled %.3f ms, wall "
+                "%.0f ms)\n",
+                found ? "YES" : "no", ranks, opt.n1, opt.n2,
+                res.vtime * 1e3, res.wall_s * 1e3);
+  } else {
+    core::DetectOptions opt;
+    opt.k = k;
+    opt.epsilon = args.get_double("epsilon", 1e-4);
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opt.kernel = kernel_option(args);
+    found = core::detect_motif_seq(g, colors, motif, opt, f).found;
+    std::printf("answer: %s   (%.0f ms)\n", found ? "YES" : "no",
+                t.elapsed_ms());
+  }
+  if (found && args.get_flag("witness")) {
+    if (const auto vs = core::extract_motif(
+            g, colors, motif,
+            {.seed = static_cast<std::uint64_t>(args.get_int("seed", 1))})) {
+      std::printf("witness:");
+      for (auto v : *vs) std::printf(" %u (c%u)", v, colors[v]);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 int run_scan(const Args& args) {
   Xoshiro256 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const auto g = load_graph(args, rng);
@@ -591,8 +698,9 @@ int run_query(const midas::Args& args) {
   if (type == "path") q.type = service::QueryType::kPath;
   else if (type == "tree") q.type = service::QueryType::kTree;
   else if (type == "scan") q.type = service::QueryType::kScan;
+  else if (type == "motif") q.type = service::QueryType::kMotif;
   else {
-    std::fprintf(stderr, "--type expects path|tree|scan, got %s\n",
+    std::fprintf(stderr, "--type expects path|tree|scan|motif, got %s\n",
                  type.c_str());
     return 2;
   }
@@ -628,6 +736,25 @@ int run_query(const midas::Args& args) {
     q.weights.resize(graph_n);
     for (auto& x : q.weights) x = static_cast<std::uint32_t>(rng() % 5);
   }
+  if (q.type == service::QueryType::kMotif) {
+    if (graph_n == 0)
+      graph_n = static_cast<std::uint32_t>(args.get_int("n", 0));
+    if (graph_n == 0) {
+      std::fprintf(stderr,
+                   "motif queries need --n=<graph vertices> (or --register "
+                   "with the graph's recipe) to draw colors\n");
+      return 2;
+    }
+    // Same derivation replay workloads use (service/replay.cpp).
+    const auto palette =
+        static_cast<std::uint32_t>(args.get_int("palette", 3));
+    Xoshiro256 crng(q.seed ^ 0xC0104C5ULL);
+    q.colors.resize(graph_n);
+    for (auto& x : q.colors) x = static_cast<std::uint32_t>(crng() % palette);
+    Xoshiro256 mrng(q.seed ^ 0x307216ULL);
+    q.motif.resize(static_cast<std::size_t>(q.k));
+    for (auto& x : q.motif) x = q.colors[mrng() % q.colors.size()];
+  }
 
   Timer t;
   const service::QueryResult res = client.query(q);
@@ -659,8 +786,8 @@ int main(int argc, char** argv) {
   const midas::Args args(argc, argv);
   if (args.positional().empty()) {
     std::printf(
-        "usage: midas_cli <path|dipath|tree|maxweight|scan|serve|query> "
-        "[flags]\n"
+        "usage: midas_cli <path|dipath|tree|maxweight|motif|scan|serve|"
+        "query> [flags]\n"
         "see the header comment of examples/midas_cli.cpp for flags\n");
     return 2;
   }
@@ -678,6 +805,7 @@ int main(int argc, char** argv) {
     else if (cmd == "dipath") rc = run_dipath(args);
     else if (cmd == "tree") rc = run_tree(args);
     else if (cmd == "maxweight") rc = run_maxweight(args);
+    else if (cmd == "motif") rc = run_motif(args);
     else if (cmd == "scan") rc = run_scan(args);
     else if (cmd == "serve") rc = run_serve(args);
     else if (cmd == "query") rc = run_query(args);

@@ -288,6 +288,43 @@ void enumerate_connected_subsets(
   }
 }
 
+namespace {
+
+std::optional<std::vector<VertexId>> motif_search(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif) {
+  MIDAS_REQUIRE(colors.size() == g.num_vertices(),
+                "one color per vertex required");
+  MIDAS_REQUIRE(!motif.empty(), "motif must be nonempty");
+  const int k = static_cast<int>(motif.size());
+  std::vector<std::uint32_t> want(motif);
+  std::sort(want.begin(), want.end());
+  std::optional<std::vector<VertexId>> hit;
+  enumerate_connected_subsets(
+      g, k, [&](const std::vector<VertexId>& subset) {
+        if (hit || static_cast<int>(subset.size()) != k) return;
+        std::vector<std::uint32_t> got;
+        got.reserve(subset.size());
+        for (VertexId v : subset) got.push_back(colors[v]);
+        std::sort(got.begin(), got.end());
+        if (got == want) hit = subset;
+      });
+  return hit;
+}
+
+}  // namespace
+
+bool has_motif(const Graph& g, const std::vector<std::uint32_t>& colors,
+               const std::vector<std::uint32_t>& motif) {
+  return motif_search(g, colors, motif).has_value();
+}
+
+std::optional<std::vector<VertexId>> find_motif(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif) {
+  return motif_search(g, colors, motif);
+}
+
 std::vector<std::vector<bool>> connected_subgraph_feasibility(
     const Graph& g, const std::vector<std::uint32_t>& weights, int k) {
   MIDAS_REQUIRE(weights.size() == g.num_vertices(),

@@ -63,4 +63,17 @@ void enumerate_connected_subsets(
     const Graph& g, int k,
     const std::function<void(const std::vector<VertexId>&)>& visit);
 
+/// Exact Graph Motif oracle: does g contain a connected subgraph on
+/// motif.size() vertices whose color multiset equals `motif`? `colors[i]`
+/// is vertex i's color. Exhaustive over connected subsets — ground truth
+/// for the randomized constrained sieve on small instances.
+[[nodiscard]] bool has_motif(const Graph& g,
+                             const std::vector<std::uint32_t>& colors,
+                             const std::vector<std::uint32_t>& motif);
+
+/// An actual motif occurrence (sorted vertex ids), if one exists.
+[[nodiscard]] std::optional<std::vector<VertexId>> find_motif(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif);
+
 }  // namespace midas::baseline

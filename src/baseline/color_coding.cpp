@@ -178,6 +178,126 @@ ColorCodingResult color_coding_trees(const Graph& g,
   return res;
 }
 
+int motif_iterations_for_epsilon(const std::vector<std::uint32_t>& motif,
+                                 double epsilon) {
+  MIDAS_REQUIRE(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+  MIDAS_REQUIRE(!motif.empty(), "motif must be nonempty");
+  std::vector<std::uint32_t> sorted(motif);
+  std::sort(sorted.begin(), sorted.end());
+  double p = 1.0;
+  std::size_t run = 0;
+  for (std::size_t s = 0; s < sorted.size(); ++s) {
+    ++run;
+    if (s + 1 == sorted.size() || sorted[s + 1] != sorted[s]) {
+      // mu! / mu^mu for this color's multiplicity run.
+      for (std::size_t i = 1; i <= run; ++i)
+        p *= static_cast<double>(i) / static_cast<double>(run);
+      run = 0;
+    }
+  }
+  return static_cast<int>(std::ceil(std::log(1.0 / epsilon) / p));
+}
+
+ColorCodingResult color_coding_motif(const Graph& g,
+                                     const std::vector<std::uint32_t>& colors,
+                                     const std::vector<std::uint32_t>& motif,
+                                     const ColorCodingOptions& opt) {
+  const int k = static_cast<int>(motif.size());
+  MIDAS_REQUIRE(k >= 1 && k <= 24, "color coding supports k in [1,24]");
+  MIDAS_REQUIRE(opt.iterations >= 1, "need at least one iteration");
+  MIDAS_REQUIRE(colors.size() == g.num_vertices(),
+                "one color per vertex required");
+  const graph::VertexId n = g.num_vertices();
+  const std::size_t nsets = std::size_t{1} << k;
+
+  // Shade ownership mirrors the sieve's canonicalization: shade s carries
+  // the s-th smallest motif color, each vertex may only draw shades of its
+  // own color.
+  std::vector<std::uint32_t> shade_color(motif);
+  std::sort(shade_color.begin(), shade_color.end());
+  std::vector<std::uint32_t> vmask(n, 0);
+  for (graph::VertexId i = 0; i < n; ++i)
+    for (int s = 0; s < k; ++s)
+      if (shade_color[static_cast<std::size_t>(s)] == colors[i])
+        vmask[i] |= 1u << s;
+
+  ColorCodingResult res;
+  if (n == 0) {
+    res.iterations = opt.iterations;
+    return res;
+  }
+
+  Xoshiro256 rng(opt.seed);
+  // D[S * n + i]: a connected subgraph containing i exists whose drawn
+  // shade set is exactly S (all distinct). Same 2^k x n wall as the
+  // counting tables, one byte per cell.
+  std::vector<std::uint8_t> dp(nsets * n);
+  res.table_bytes = dp.size() * sizeof(std::uint8_t);
+  std::vector<std::uint8_t> shade(n);
+
+  for (int iter = 0; iter < opt.iterations; ++iter) {
+    ++res.iterations;
+    // Draw one shade per vertex from its color's set (0xFF = inert).
+    for (graph::VertexId i = 0; i < n; ++i) {
+      const std::uint32_t mask = vmask[i];
+      if (mask == 0) {
+        shade[i] = 0xFF;
+        continue;
+      }
+      const int count = __builtin_popcount(mask);
+      auto pick = static_cast<int>(
+          rng.below(static_cast<std::uint64_t>(count)));
+      std::uint32_t m = mask;
+      while (pick-- > 0) m &= m - 1;
+      shade[i] = static_cast<std::uint8_t>(__builtin_ctz(m));
+    }
+    std::fill(dp.begin(), dp.end(), 0);
+    for (graph::VertexId i = 0; i < n; ++i)
+      if (shade[i] != 0xFF)
+        dp[(std::size_t{1} << shade[i]) * n + i] = 1;
+    std::uint64_t hits = 0;
+    for (std::size_t set = 1; set < nsets; ++set) {
+      if (std::popcount(set) < 2) continue;
+      std::uint8_t* row = dp.data() + set * n;
+      for (graph::VertexId i = 0; i < n; ++i) {
+        if (shade[i] == 0xFF || !(set >> shade[i] & 1)) continue;
+        bool reach = false;
+        // Split off a connected piece at a neighbor: set = S1 (with i)
+        // disjoint-union S2 (with u), both already computed (subsets of
+        // `set` are numerically smaller).
+        for (graph::VertexId u : g.neighbors(i)) {
+          if (reach) break;
+          for (std::size_t s1 = (set - 1) & set; s1 != 0;
+               s1 = (s1 - 1) & set) {
+            if (!(s1 >> shade[i] & 1)) continue;
+            const std::size_t s2 = set ^ s1;
+            if (dp[s1 * n + i] && dp[s2 * n + u]) {
+              reach = true;
+              break;
+            }
+          }
+        }
+        if (reach) {
+          row[i] = 1;
+          if (set == nsets - 1) ++hits;
+        }
+      }
+    }
+    if (k == 1) {
+      for (graph::VertexId i = 0; i < n; ++i)
+        if (dp[(nsets - 1) * n + i]) ++hits;
+    }
+    res.colorful = hits;
+    if (hits > 0) {
+      res.found = true;
+      // Decision problem: the first hit settles it, unless the caller
+      // wants the full budget timed (bench_motif's matched-epsilon mode).
+      if (opt.early_exit) break;
+    }
+  }
+  return res;
+}
+
 ParColorCodingResult color_coding_paths_par(const Graph& g,
                                             const ColorCodingOptions& opt,
                                             int n_ranks) {

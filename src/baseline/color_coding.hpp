@@ -26,6 +26,10 @@ struct ColorCodingOptions {
   int k = 4;                // template size (path length in vertices)
   int iterations = 1;       // random colorings to average over
   std::uint64_t seed = 1;
+  /// Decision variants only: stop at the first hit (true) or always run
+  /// the full iteration budget (false — the budget-to-epsilon posture
+  /// bench_motif compares against the sieve's fixed round count).
+  bool early_exit = true;
   /// Iterations needed to reach detection probability 1 - epsilon:
   /// ceil(ln(1/epsilon) * k^k / k!), the e^k factor of the complexity.
   static int iterations_for_epsilon(int k, double epsilon);
@@ -49,6 +53,25 @@ struct ColorCodingResult {
 [[nodiscard]] ColorCodingResult color_coding_trees(
     const Graph& g, const core::TreeDecomposition& td,
     const ColorCodingOptions& opt);
+
+/// Iterations for the *motif* variant to reach detection probability
+/// 1 - epsilon: a fixed occurrence is hit when every member vertex draws a
+/// distinct shade of its own color, probability prod_c mu(c)!/mu(c)^mu(c)
+/// over the motif's color multiplicities mu.
+[[nodiscard]] int motif_iterations_for_epsilon(
+    const std::vector<std::uint32_t>& motif, double epsilon);
+
+/// Graph Motif decision by color coding (the baseline bench_motif compares
+/// the constrained sieve against): per iteration every vertex draws a
+/// uniform random shade from its color's shade set, then a boolean
+/// subset-convolution DP over shade sets — O(3^k m) time and a 2^k x n
+/// table per iteration — looks for a connected subgraph carrying all k
+/// shades. Stops at the first hit unless opt.early_exit is false;
+/// `found == false` after the full iteration budget means "probably
+/// absent".
+[[nodiscard]] ColorCodingResult color_coding_motif(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif, const ColorCodingOptions& opt);
 
 /// Distributed color coding on the SPMD runtime: colorings are
 /// embarrassingly parallel across ranks (each rank replicates the graph

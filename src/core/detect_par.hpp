@@ -27,6 +27,7 @@
 #include "core/detect_seq.hpp"
 #include "core/errors.hpp"
 #include "core/hashrand.hpp"
+#include "core/motif.hpp"
 #include "core/schedule.hpp"
 #include "core/tree_template.hpp"
 #include "gf/bitsliced.hpp"
@@ -1919,6 +1920,414 @@ MidasScanResult midas_scan(const graph::Graph& g,
                           "one weight per vertex required");
   return midas_scan_views(partition::build_part_views(g, part), weights, opt,
                           f);
+}
+
+// ---------------------------------------------------------------------------
+// Constrained (Graph Motif) detection, distributed
+// ---------------------------------------------------------------------------
+
+/// Distributed Graph Motif detection over pre-built part views: the
+/// constrained sieve of core/motif.hpp on a scan-style layered DP (no
+/// weight axis), with the k-tree driver's round/checkpoint/allreduce shape.
+/// `colors` is indexed by *global* vertex id; `opt.k` must equal
+/// `motif.size()`. Halo payloads travel in the scalar byte layout under
+/// both kernels, so checkpoints and the watchdog stay kernel-independent;
+/// answers are bit-identical to detect_motif_seq for the same seed.
+template <gf::GaloisField F>
+MidasResult midas_motif_views(const std::vector<partition::PartView>& views,
+                              const std::vector<std::uint32_t>& colors,
+                              const std::vector<std::uint32_t>& motif,
+                              const MidasOptions& opt, const F& f = F{}) {
+  using V = typename F::value_type;
+  detail::require_options(static_cast<int>(views.size()) == opt.n1,
+                          "views must have N1 parts");
+  {
+    std::size_t total_local = 0;
+    for (const auto& view : views) total_local += view.num_local();
+    detail::require_options(colors.size() == total_local,
+                            "one color per vertex required");
+  }
+  detail::require_options(
+      opt.k == static_cast<int>(motif.size()),
+      "opt.k must equal the motif size (one shade per motif slot)");
+  detail::require_options(opt.n1 >= 1 && opt.n1 <= opt.n_ranks &&
+                              opt.n_ranks % opt.n1 == 0,
+                          "N1 must divide N (phase groups need N/N1 whole "
+                          "replicas)");
+  const ShadePlan plan = make_shade_plan(colors, motif);
+  const int k = plan.k;
+  const Schedule sched =
+      make_schedule(k, opt.epsilon, opt.n_ranks, opt.n1, opt.n2);
+  const bool bitsliced = detail::par_use_bitsliced(f, opt.kernel);
+
+  MidasResult result;
+  Timer wall;
+  std::vector<int> round_found(static_cast<std::size_t>(opt.rounds()), 0);
+  // No failover here (only the k-path engine masks failures), but faults
+  // still terminate with typed errors instead of hangs.
+  runtime::SpmdOptions sopt = detail::effective_spmd(opt);
+
+  // The colors and the motif multiset feed the config fingerprint: a
+  // snapshot must not resume against a differently-colored input.
+  std::uint64_t cm_hash = 0;
+  {
+    std::vector<std::uint64_t> cw;
+    cw.reserve(colors.size() + motif.size() + 1);
+    cw.push_back(static_cast<std::uint64_t>(colors.size()));
+    for (const auto c : colors) cw.push_back(c);
+    for (const auto c : motif) cw.push_back(c);
+    cm_hash =
+        runtime::fnv1a(std::as_bytes(std::span<const std::uint64_t>(cw)));
+  }
+  const std::uint64_t chash = detail::config_fingerprint(
+      /*engine_tag=*/0x6d6f746966ULL /* "motif" */, opt, sopt, sizeof(V),
+      views, cm_hash);
+  detail::CheckpointSession cs = detail::open_checkpoints(
+      opt, sopt, chash, /*driver_bytes_per_round=*/1,
+      /*wave_accum_bytes=*/0);  // round-boundary snapshots only
+  const int start_round = cs.resumed ? static_cast<int>(cs.loaded.next_round)
+                                     : 0;
+  if (cs.resumed) {
+    result.resumed_from_round = start_round;
+    for (int r = 0; r < start_round; ++r)
+      round_found[static_cast<std::size_t>(r)] =
+          cs.loaded.driver_state[static_cast<std::size_t>(r)];
+  }
+  std::vector<std::vector<std::uint8_t>> accum_stage(
+      static_cast<std::size_t>(opt.n_ranks));
+  auto driver_state_upto = [&round_found](int rounds_done) {
+    std::vector<std::uint8_t> s(static_cast<std::size_t>(rounds_done));
+    for (int r = 0; r < rounds_done; ++r)
+      s[static_cast<std::size_t>(r)] =
+          static_cast<std::uint8_t>(round_found[static_cast<std::size_t>(r)]);
+    return s;
+  };
+
+  auto spmd = runtime::run_spmd(opt.n_ranks, opt.model, sopt,
+                                [&](runtime::Comm& world) {
+    const int group_color = world.rank() / opt.n1;
+    runtime::Comm group = world.split(group_color, world.rank() % opt.n1);
+    world.resume_sync();
+    const auto& view = views[static_cast<std::size_t>(group.rank())];
+    const std::uint32_t nl = view.num_local();
+    const std::uint32_t ng = view.num_ghosts();
+
+    // us[li * k + s] = u_{gid(li),s}, refreshed per round; ghost leaf
+    // values arrive through the halo, never by recomputation.
+    std::vector<V> us(static_cast<std::size_t>(nl) * k);
+    std::vector<std::vector<V>> vals(static_cast<std::size_t>(k) + 1);
+    std::vector<std::vector<V>> ghost(static_cast<std::size_t>(k) + 1);
+    std::vector<V> scratch;
+
+    // Bit-sliced state: per-layer plane arrays plus scalar staging rows so
+    // halo payloads stay byte-identical to the scalar kernel's.
+    std::optional<gf::BitslicedGF> bse;
+    std::vector<gf::BitslicedGF::value_type> us16;
+    std::vector<std::vector<std::uint64_t>> bvals(
+        static_cast<std::size_t>(k) + 1);
+    std::vector<std::vector<std::uint64_t>> bghost(
+        static_cast<std::size_t>(k) + 1);
+    std::vector<V> stage_out, stage_ghost;
+    const std::vector<std::uint32_t>& boundary = view.boundary;
+    if constexpr (gf::Bitsliceable<F>) {
+      if (bitsliced) {
+        bse.emplace(f);
+        us16.resize(static_cast<std::size_t>(nl) * k);
+      }
+    }
+
+    auto run_phase_scalar = [&](int round, std::uint64_t phase, V& total) {
+      const auto [q0, q1] = sched.phase_range(phase);
+      const std::size_t batch = q1 - q0;
+      for (int j = 1; j <= k; ++j) {
+        vals[static_cast<std::size_t>(j)].assign(
+            static_cast<std::size_t>(nl) * batch, f.zero());
+        ghost[static_cast<std::size_t>(j)].assign(
+            static_cast<std::size_t>(ng) * batch, f.zero());
+      }
+      scratch.assign(batch, f.zero());
+      const std::uint64_t adj_bytes =
+          view.adj.size() * sizeof(partition::NbrRef) +
+          view.adj_offsets.size() * sizeof(std::uint64_t);
+      const std::uint64_t working_set =
+          adj_bytes + static_cast<std::uint64_t>(k) * (nl + ng) * batch *
+                          sizeof(V);
+
+      // Base case: the shade-subset leaf values d_i(t).
+      auto& base = vals[1];
+      for (std::uint32_t li = 0; li < nl; ++li) {
+        const graph::VertexId gid = view.vertices[li];
+        const std::uint32_t mask = plan.vertex_mask[gid];
+        V* row = base.data() + static_cast<std::size_t>(li) * batch;
+        const V* urow = us.data() + static_cast<std::size_t>(li) * k;
+        for (std::size_t b = 0; b < batch; ++b)
+          row[b] = detail_motif::shade_value(
+              f, urow, mask, static_cast<std::uint32_t>(q0 + b));
+      }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+      detail::halo_exchange(group, view, vals[1], ghost[1], batch);
+
+      for (int j = 2; j <= k; ++j) {
+        auto& out = vals[static_cast<std::size_t>(j)];
+        std::uint64_t ops = 0;
+        for (std::uint32_t li = 0; li < nl; ++li) {
+          const graph::VertexId gid = view.vertices[li];
+          V* row = out.data() + static_cast<std::size_t>(li) * batch;
+          const auto begin = view.adj_offsets[li];
+          const auto end = view.adj_offsets[li + 1];
+          for (auto e = begin; e < end; ++e) {
+            const auto ref = view.adj[e];
+            const bool is_ghost = ref.is_ghost();
+            const std::uint32_t idx = ref.index();
+            const graph::VertexId u_gid =
+                is_ghost ? view.ghosts[idx] : view.vertices[idx];
+            const V sig = sigma_coeff(f, opt.seed, round, gid, u_gid,
+                                      static_cast<std::uint32_t>(j));
+            // Convolve into a scratch row, then fold it in with a single
+            // row-wide scale by sig (one log lookup).
+            std::fill(scratch.begin(), scratch.end(), f.zero());
+            for (int j1 = 1; j1 <= j - 1; ++j1) {
+              const V* a = vals[static_cast<std::size_t>(j1)].data() +
+                           static_cast<std::size_t>(li) * batch;
+              const V* b = (is_ghost
+                                ? ghost[static_cast<std::size_t>(j - j1)]
+                                : vals[static_cast<std::size_t>(j - j1)])
+                               .data() +
+                           static_cast<std::size_t>(idx) * batch;
+              gf::mul_add_rows(f, scratch.data(), a, b, batch);
+            }
+            gf::scale_add_row(f, row, sig, scratch.data(), batch);
+            ops += static_cast<std::uint64_t>(j) * batch;
+          }
+        }
+        world.charge_compute(ops);
+        world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+        if (j < k)
+          detail::halo_exchange(group, view,
+                                vals[static_cast<std::size_t>(j)],
+                                ghost[static_cast<std::size_t>(j)], batch);
+      }
+      detail::accumulate_level(f, vals[static_cast<std::size_t>(k)],
+                               static_cast<std::size_t>(nl) * batch, total);
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+    };
+
+    // The same phase, bit-sliced: leaf blocks come from the shade-plane
+    // construction (aligned fast path, per-lane fallback at unaligned
+    // phase bases), internal layers are the lane-wise convolution with one
+    // sigma matrix apply per (edge, block). Charges and halo bytes mirror
+    // the scalar kernel exactly.
+    auto run_phase_bs = [&](const auto& bs, int round, std::uint64_t phase,
+                            V& total) {
+      using BS = gf::BitslicedGF;
+      using word = BS::word;
+      const int L = bs.words();
+      const auto [q0, q1] = sched.phase_range(phase);
+      const std::size_t batch = q1 - q0;
+      const std::size_t nblocks = (batch + BS::kLanes - 1) / BS::kLanes;
+      const std::size_t wpv = nblocks * static_cast<std::size_t>(L);
+      const std::uint64_t adj_bytes =
+          view.adj.size() * sizeof(partition::NbrRef) +
+          view.adj_offsets.size() * sizeof(std::uint64_t);
+      const std::uint64_t working_set =
+          adj_bytes + static_cast<std::uint64_t>(k) * (nl + ng) * batch *
+                          sizeof(V);
+      auto lanes_of = [&](std::size_t blk) {
+        return static_cast<int>(
+            std::min<std::size_t>(BS::kLanes, batch - blk * BS::kLanes));
+      };
+      for (int j = 1; j <= k; ++j) {
+        bvals[static_cast<std::size_t>(j)].assign(
+            static_cast<std::size_t>(nl) * wpv, 0);
+        bghost[static_cast<std::size_t>(j)].assign(
+            static_cast<std::size_t>(ng) * wpv, 0);
+      }
+      stage_out.assign(static_cast<std::size_t>(nl) * batch, f.zero());
+      // Halo in the scalar byte layout: transpose boundary blocks to
+      // values, exchange, transpose ghosts back to planes.
+      auto exchange_layer = [&](int j) {
+        const auto& src = bvals[static_cast<std::size_t>(j)];
+        for (std::uint32_t li : boundary)
+          for (std::size_t blk = 0; blk < nblocks; ++blk)
+            bs.unpack_lanes(
+                stage_out.data() + static_cast<std::size_t>(li) * batch +
+                    blk * BS::kLanes,
+                &src[static_cast<std::size_t>(li) * wpv + blk * L],
+                lanes_of(blk));
+        stage_ghost.assign(static_cast<std::size_t>(ng) * batch, f.zero());
+        detail::halo_exchange(group, view, stage_out, stage_ghost, batch);
+        auto& gbuf = bghost[static_cast<std::size_t>(j)];
+        for (std::uint32_t gi = 0; gi < ng; ++gi)
+          for (std::size_t blk = 0; blk < nblocks; ++blk)
+            bs.pack_lanes(
+                &gbuf[static_cast<std::size_t>(gi) * wpv + blk * L],
+                stage_ghost.data() + static_cast<std::size_t>(gi) * batch +
+                    blk * BS::kLanes,
+                lanes_of(blk));
+      };
+
+      auto& base = bvals[1];
+      for (std::uint32_t li = 0; li < nl; ++li) {
+        const graph::VertexId gid = view.vertices[li];
+        const std::uint32_t mask = plan.vertex_mask[gid];
+        for (std::size_t blk = 0; blk < nblocks; ++blk)
+          detail_motif::shade_block(
+              bs, &base[static_cast<std::size_t>(li) * wpv + blk * L],
+              us16.data() + static_cast<std::size_t>(li) * k, mask, k,
+              q0 + blk * BS::kLanes, lanes_of(blk));
+      }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+      exchange_layer(1);
+
+      for (int j = 2; j <= k; ++j) {
+        auto& out = bvals[static_cast<std::size_t>(j)];
+        for (std::uint32_t li = 0; li < nl; ++li) {
+          const graph::VertexId gid = view.vertices[li];
+          const auto begin = view.adj_offsets[li];
+          const auto end = view.adj_offsets[li + 1];
+          for (auto e = begin; e < end; ++e) {
+            const auto ref = view.adj[e];
+            const bool is_ghost = ref.is_ghost();
+            const std::uint32_t idx = ref.index();
+            const graph::VertexId u_gid =
+                is_ghost ? view.ghosts[idx] : view.vertices[idx];
+            const BS::Matrix sig = bs.matrix(
+                static_cast<BS::value_type>(sigma_coeff(
+                    f, opt.seed, round, gid, u_gid,
+                    static_cast<std::uint32_t>(j))));
+            for (std::size_t blk = 0; blk < nblocks; ++blk) {
+              word acc[16] = {};
+              word prod[16];
+              bool any = false;
+              for (int j1 = 1; j1 <= j - 1; ++j1) {
+                const word* a =
+                    &bvals[static_cast<std::size_t>(j1)]
+                          [static_cast<std::size_t>(li) * wpv + blk * L];
+                if (bs.is_zero(a)) continue;
+                const auto& oth =
+                    is_ghost ? bghost[static_cast<std::size_t>(j - j1)]
+                             : bvals[static_cast<std::size_t>(j - j1)];
+                const word* b =
+                    &oth[static_cast<std::size_t>(idx) * wpv + blk * L];
+                if (bs.is_zero(b)) continue;
+                bs.mul(prod, a, b);
+                bs.add_into(acc, prod);
+                any = true;
+              }
+              if (!any) continue;
+              word scaled[16];
+              bs.mul_matrix(scaled, sig, acc);
+              bs.add_into(
+                  &out[static_cast<std::size_t>(li) * wpv + blk * L],
+                  scaled);
+            }
+          }
+        }
+        // Same logical work as the scalar kernel's (edge, j1) row sweep,
+        // in closed form.
+        const std::uint64_t ops =
+            view.adj.size() * static_cast<std::uint64_t>(j) * batch;
+        world.charge_compute(ops);
+        world.charge_memory(ops * sizeof(V) + adj_bytes, working_set);
+        if (j < k) exchange_layer(j);
+      }
+      const auto& top = bvals[static_cast<std::size_t>(k)];
+      for (std::size_t blk = 0; blk < nblocks; ++blk) {
+        word sum[16] = {};
+        for (std::uint32_t li = 0; li < nl; ++li)
+          bs.add_into(sum,
+                      &top[static_cast<std::size_t>(li) * wpv + blk * L]);
+        total = f.add(total, static_cast<V>(bs.fold_xor(sum)));
+      }
+      world.charge_compute(static_cast<std::uint64_t>(nl) * batch);
+    };
+
+    auto run_phase = [&](int round, std::uint64_t phase, V& total) {
+      MIDAS_TRACE_SPAN(bitsliced ? "engine.phase.bitsliced"
+                                 : "engine.phase.scalar",
+                       {"phase", static_cast<std::int64_t>(phase)});
+      [[maybe_unused]] const double vt0 = world.vclock();
+      if constexpr (gf::Bitsliceable<F>) {
+        if (bitsliced) {
+          run_phase_bs(*bse, round, phase, total);
+          MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                              (world.vclock() - vt0) * 1e9);
+          return;
+        }
+      }
+      run_phase_scalar(round, phase, total);
+      MIDAS_TRACE_OBSERVE("engine.phase_vtime_ns",
+                          (world.vclock() - vt0) * 1e9);
+    };
+
+    for (int round = start_round; round < opt.rounds(); ++round) {
+      MIDAS_TRACE_SPAN("engine.round", {"round", round});
+      for (std::uint32_t li = 0; li < nl; ++li) {
+        const graph::VertexId gid = view.vertices[li];
+        const std::uint32_t mask = plan.vertex_mask[gid];
+        for (int s = 0; s < k; ++s)
+          if (((mask >> s) & 1u) != 0) {
+            const V u = shade_coeff(f, opt.seed, round, gid,
+                                    static_cast<std::uint32_t>(s));
+            us[static_cast<std::size_t>(li) * k + s] = u;
+            if (!us16.empty())
+              us16[static_cast<std::size_t>(li) * k + s] =
+                  static_cast<gf::BitslicedGF::value_type>(u);
+          }
+      }
+      V total = f.zero();
+      for (std::uint64_t phase = group_color; phase < sched.phases();
+           phase += sched.groups())
+        run_phase(round, phase, total);
+      V buf = total;
+      world.allreduce<V>(std::span<V>(&buf, 1),
+                         [&f](V& a, const V& b) { a = f.add(a, b); });
+      if (world.rank() == 0 && buf != f.zero())
+        round_found[static_cast<std::size_t>(round)] = 1;
+      world.barrier();
+      if (cs.armed() && (round + 1) % opt.checkpoint.every_rounds == 0 &&
+          round + 1 < opt.rounds() && !(opt.early_exit && buf != f.zero())) {
+        detail::take_snapshot(world, cs, chash, round + 1, 0,
+                              opt.checkpoint.rng_state, accum_stage,
+                              [&] { return driver_state_upto(round + 1); });
+      }
+      if (opt.early_exit && buf != f.zero()) break;
+    }
+  });
+
+  if (!spmd.failed_ranks.empty() && spmd.first_error)
+    std::rethrow_exception(spmd.first_error);
+  result.wall_s = wall.elapsed_s();
+  result.vtime = spmd.makespan;
+  result.total_stats = spmd.total;
+  result.vclocks = spmd.vclocks;
+  result.failed_ranks = spmd.failed_ranks;
+  for (int round = 0; round < opt.rounds(); ++round) {
+    ++result.rounds_run;
+    if (round_found[static_cast<std::size_t>(round)]) {
+      result.found = true;
+      result.found_round = round;
+      break;
+    }
+  }
+  if (!opt.early_exit) result.rounds_run = opt.rounds();
+  return result;
+}
+
+/// Distributed Graph Motif detection for a (graph, partition) pair; builds
+/// the part views and delegates to midas_motif_views.
+template <gf::GaloisField F>
+MidasResult midas_motif(const graph::Graph& g,
+                        const partition::Partition& part,
+                        const std::vector<std::uint32_t>& colors,
+                        const std::vector<std::uint32_t>& motif,
+                        const MidasOptions& opt, const F& f = F{}) {
+  detail::require_options(part.parts == opt.n1,
+                          "partition must have N1 parts");
+  detail::require_options(colors.size() == g.num_vertices(),
+                          "one color per vertex required");
+  return midas_motif_views(partition::build_part_views(g, part), colors,
+                           motif, opt, f);
 }
 
 // ---------------------------------------------------------------------------

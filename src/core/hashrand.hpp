@@ -67,6 +67,26 @@ typename F::value_type field_coeff(const F& f, std::uint64_t seed, int round,
   return v;
 }
 
+/// Nonzero shade coefficient u_{i,shade} for constrained (Graph Motif)
+/// detection: the random multiplier of shade variable y_shade in the
+/// substitution x_i = sum_{shade in mask_i} u_{i,shade} * y_shade (Koutis's
+/// constrained-MLD construction). One value per (vertex, shade) per round.
+template <typename F>
+typename F::value_type shade_coeff(const F& f, std::uint64_t seed, int round,
+                                   std::uint32_t i,
+                                   std::uint32_t shade) noexcept {
+  const std::uint64_t h = hash_words(seed, 0x73686164 /*'shad'*/,
+                                     static_cast<std::uint64_t>(round), i,
+                                     shade);
+  using V = typename F::value_type;
+  const int bits = f.bits();
+  const auto mask = (bits >= 64) ? ~std::uint64_t{0}
+                                 : ((std::uint64_t{1} << bits) - 1);
+  auto v = static_cast<V>(h & mask);
+  if (v == f.zero()) v = f.one();
+  return v;
+}
+
 /// Nonzero extension coefficient sigma_{i,u,size} for the scan-statistics
 /// recurrence (attaching a subtree rooted at u to i when forming size j).
 template <typename F>

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "core/motif.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gfsmall.hpp"
 #include "graph/algorithms.hpp"
@@ -108,6 +109,68 @@ std::optional<std::vector<VertexId>> dfs_connected_jz(
     in_set[root] = true;
     banned[root] = true;
     if (static_cast<int>(subset.size()) == j && weight == z) return subset;
+    std::vector<VertexId> frontier;
+    for (VertexId u : g.neighbors(root)) {
+      if (u > root) {
+        frontier.push_back(u);
+        banned[u] = true;
+      }
+    }
+    if (j > 1 && grow(frontier, root)) return subset;
+  }
+  return std::nullopt;
+}
+
+/// Exact search for a connected vertex set whose color multiset equals
+/// `want` (pre-sorted) inside a (small) graph. Same rooted frontier growth
+/// as dfs_connected_jz, with the multiset check at full size.
+std::optional<std::vector<VertexId>> dfs_motif(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& want) {
+  const int j = static_cast<int>(want.size());
+  const VertexId n = g.num_vertices();
+  std::vector<bool> in_set(n, false), banned(n, false);
+  std::vector<VertexId> subset;
+  auto matches = [&] {
+    std::vector<std::uint32_t> got;
+    got.reserve(subset.size());
+    for (VertexId v : subset) got.push_back(colors[v]);
+    std::sort(got.begin(), got.end());
+    return got == want;
+  };
+
+  std::function<bool(std::vector<VertexId>&, VertexId)> grow =
+      [&](std::vector<VertexId>& frontier, VertexId root) -> bool {
+    if (static_cast<int>(subset.size()) == j) return matches();
+    while (!frontier.empty()) {
+      const VertexId v = frontier.back();
+      frontier.pop_back();
+      std::vector<VertexId> next(frontier);
+      std::vector<VertexId> closed_here;
+      for (VertexId u : g.neighbors(v)) {
+        if (u > root && !in_set[u] && !banned[u]) {
+          next.push_back(u);
+          banned[u] = true;
+          closed_here.push_back(u);
+        }
+      }
+      in_set[v] = true;
+      subset.push_back(v);
+      if (grow(next, root)) return true;
+      subset.pop_back();
+      in_set[v] = false;
+      for (VertexId u : closed_here) banned[u] = false;
+    }
+    return false;
+  };
+
+  for (VertexId root = 0; root < n; ++root) {
+    subset = {root};
+    std::fill(in_set.begin(), in_set.end(), false);
+    std::fill(banned.begin(), banned.end(), false);
+    in_set[root] = true;
+    banned[root] = true;
+    if (static_cast<int>(subset.size()) == j && matches()) return subset;
     std::vector<VertexId> frontier;
     for (VertexId u : g.neighbors(root)) {
       if (u > root) {
@@ -279,6 +342,42 @@ bool validate_connected_subgraph(const Graph& g,
   return reached == vs.size();
 }
 
+bool validate_motif(const Graph& g, const std::vector<std::uint32_t>& colors,
+                    const std::vector<std::uint32_t>& motif,
+                    const std::vector<VertexId>& vs) {
+  if (colors.size() != g.num_vertices()) return false;
+  if (motif.empty() || vs.size() != motif.size()) return false;
+  std::vector<VertexId> sorted(vs);
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end())
+    return false;  // repeated vertex
+  for (VertexId v : vs)
+    if (v >= g.num_vertices()) return false;
+  std::vector<std::uint32_t> got, want(motif);
+  got.reserve(vs.size());
+  for (VertexId v : vs) got.push_back(colors[v]);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  if (got != want) return false;
+  // Connectivity by BFS over the member set.
+  std::vector<bool> member_seen(vs.size(), false);
+  std::vector<std::size_t> queue{0};
+  member_seen[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const std::size_t i = queue.back();
+    queue.pop_back();
+    for (std::size_t o = 0; o < vs.size(); ++o) {
+      if (!member_seen[o] && g.has_edge(vs[i], vs[o])) {
+        member_seen[o] = true;
+        ++reached;
+        queue.push_back(o);
+      }
+    }
+  }
+  return reached == vs.size();
+}
+
 bool validate_tree_embedding(const Graph& g, const Graph& tree,
                              const std::vector<VertexId>& image) {
   const VertexId k = tree.num_vertices();
@@ -392,6 +491,45 @@ std::optional<std::vector<VertexId>> peel_tree_embedding(
   return mapped;
 }
 
+std::optional<std::vector<VertexId>> peel_motif(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif, const WitnessOptions& opt) {
+  MIDAS_REQUIRE(colors.size() == g.num_vertices(),
+                "one color per vertex required");
+  MIDAS_REQUIRE(!motif.empty(), "motif must be nonempty");
+  const int k = static_cast<int>(motif.size());
+  auto remap = [&](const std::vector<VertexId>& keep) {
+    auto sub = graph::induced_subgraph(g, keep);
+    std::vector<std::uint32_t> c(sub.to_original.size());
+    for (std::size_t i = 0; i < c.size(); ++i)
+      c[i] = colors[sub.to_original[i]];
+    return std::make_pair(std::move(sub), std::move(c));
+  };
+  std::vector<bool> alive(g.num_vertices(), true);
+  std::uint64_t call = 0;
+  with_witness_field(opt.field_bits, [&](const auto& f) {
+    chunked_peel(
+        g.num_vertices(),
+        [&](const std::vector<VertexId>& keep) {
+          auto [sub, c] = remap(keep);
+          DetectOptions dv = oracle_options(opt, k);
+          dv.seed = opt.seed + 1 + (++call);
+          return detect_motif_seq(sub.graph, c, motif, dv, f).found;
+        },
+        alive);
+  });
+  auto [sub, c] = remap(alive_list(alive));
+  std::vector<std::uint32_t> want(motif);
+  std::sort(want.begin(), want.end());
+  auto local = dfs_motif(sub.graph, c, want);
+  if (!local) return std::nullopt;  // no witness: the caller's "yes" lied
+  std::vector<VertexId> vs;
+  vs.reserve(local->size());
+  for (VertexId v : *local) vs.push_back(sub.to_original[v]);
+  std::sort(vs.begin(), vs.end());
+  return vs;
+}
+
 // ---------------------------------------------------------------------------
 // Self-contained extractors (initial detection + peel)
 // ---------------------------------------------------------------------------
@@ -422,6 +560,20 @@ std::optional<std::vector<VertexId>> extract_connected_subgraph(
   });
   if (!found) return std::nullopt;
   return peel_connected_subgraph(g, weights, j, z, opt);
+}
+
+std::optional<std::vector<VertexId>> extract_motif(
+    const Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif, const WitnessOptions& opt) {
+  MIDAS_REQUIRE(colors.size() == g.num_vertices(),
+                "one color per vertex required");
+  const int k = static_cast<int>(motif.size());
+  const bool found = with_witness_field(opt.field_bits, [&](const auto& f) {
+    return detect_motif_seq(g, colors, motif, oracle_options(opt, k), f)
+        .found;
+  });
+  if (!found) return std::nullopt;
+  return peel_motif(g, colors, motif, opt);
 }
 
 std::optional<std::vector<VertexId>> extract_directed_kpath(

@@ -75,6 +75,13 @@ extract_connected_subgraph(const graph::Graph& g,
                            const std::vector<std::uint32_t>& weights, int j,
                            std::uint32_t z, const WitnessOptions& opt = {});
 
+/// Find an actual Graph Motif occurrence: a connected vertex set whose
+/// color multiset equals `motif` (sorted ids; verified exactly on return),
+/// or nullopt if none is found.
+[[nodiscard]] std::optional<std::vector<graph::VertexId>> extract_motif(
+    const graph::Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif, const WitnessOptions& opt = {});
+
 /// Directed variant of extract_kpath: the returned sequence is a valid
 /// directed path (edges from each vertex to its successor).
 [[nodiscard]] std::optional<std::vector<graph::VertexId>>
@@ -107,6 +114,11 @@ peel_connected_subgraph(const graph::Graph& g,
 peel_tree_embedding(const graph::Graph& g, const graph::Graph& tree,
                     const WitnessOptions& opt = {});
 
+/// Peel a motif occurrence out of a known-feasible graph.
+[[nodiscard]] std::optional<std::vector<graph::VertexId>> peel_motif(
+    const graph::Graph& g, const std::vector<std::uint32_t>& colors,
+    const std::vector<std::uint32_t>& motif, const WitnessOptions& opt = {});
+
 // ---------------------------------------------------------------------------
 // Exact witness validators (no randomness; the certification last word)
 // ---------------------------------------------------------------------------
@@ -127,5 +139,12 @@ peel_tree_embedding(const graph::Graph& g, const graph::Graph& tree,
 [[nodiscard]] bool validate_tree_embedding(
     const graph::Graph& g, const graph::Graph& tree,
     const std::vector<graph::VertexId>& image);
+
+/// Is `vs` a connected set of distinct vertices whose color multiset under
+/// `colors` equals `motif`?
+[[nodiscard]] bool validate_motif(const graph::Graph& g,
+                                  const std::vector<std::uint32_t>& colors,
+                                  const std::vector<std::uint32_t>& motif,
+                                  const std::vector<graph::VertexId>& vs);
 
 }  // namespace midas::core

@@ -35,6 +35,7 @@
 #include "core/detect_par.hpp"
 #include "core/detect_seq.hpp"
 #include "core/koutis_reference.hpp"
+#include "core/motif.hpp"
 #include "core/scan2d.hpp"
 #include "core/schedule.hpp"
 #include "core/tree_template.hpp"

@@ -166,12 +166,16 @@ void encode_query(WireWriter& w, const service::QuerySpec& q) {
   w.f64(q.retry.multiplier);
   w.f64(q.retry.max_backoff_s);
   w.f64(q.retry.jitter);
+  w.u32(static_cast<std::uint32_t>(q.colors.size()));
+  for (std::uint32_t x : q.colors) w.u32(x);
+  w.u32(static_cast<std::uint32_t>(q.motif.size()));
+  for (std::uint32_t x : q.motif) w.u32(x);
 }
 
 service::QuerySpec decode_query(WireReader& r) {
   service::QuerySpec q;
   const std::uint8_t type = r.u8();
-  if (type > static_cast<std::uint8_t>(service::QueryType::kScan))
+  if (type > static_cast<std::uint8_t>(service::QueryType::kMotif))
     throw ProtocolError("unknown query type " + std::to_string(type));
   q.type = static_cast<service::QueryType>(type);
   const std::uint8_t lane = r.u8();
@@ -212,6 +216,12 @@ service::QuerySpec decode_query(WireReader& r) {
   q.retry.multiplier = r.f64();
   q.retry.max_backoff_s = r.f64();
   q.retry.jitter = r.f64();
+  const std::uint32_t n_colors = r.count(4);
+  q.colors.reserve(n_colors);
+  for (std::uint32_t i = 0; i < n_colors; ++i) q.colors.push_back(r.u32());
+  const std::uint32_t n_motif = r.count(4);
+  q.motif.reserve(n_motif);
+  for (std::uint32_t i = 0; i < n_motif; ++i) q.motif.push_back(r.u32());
   return q;
 }
 

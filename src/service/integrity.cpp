@@ -152,6 +152,15 @@ bool certify_result(const graph::Graph& g, const QuerySpec& spec,
       qr.certified = true;
       return true;
     }
+    case QueryType::kMotif: {
+      if (!qr.found) return true;
+      auto w = core::peel_motif(g, spec.colors, spec.motif, wopt);
+      if (!w || !core::validate_motif(g, spec.colors, spec.motif, *w))
+        return false;
+      qr.witness = std::move(*w);
+      qr.certified = true;
+      return true;
+    }
     case QueryType::kScan: {
       // Certify the strongest claim in the table: the largest feasible j,
       // then the largest feasible weight at that j.

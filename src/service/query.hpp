@@ -177,7 +177,7 @@ struct RetryPolicy {
   [[nodiscard]] bool inherits() const noexcept { return max_attempts <= 0; }
 };
 
-enum class QueryType { kPath, kTree, kScan };
+enum class QueryType { kPath, kTree, kScan, kMotif };
 enum class Lane { kInteractive, kBatch };
 
 [[nodiscard]] inline const char* to_string(QueryType t) noexcept {
@@ -185,6 +185,7 @@ enum class Lane { kInteractive, kBatch };
     case QueryType::kPath: return "path";
     case QueryType::kTree: return "tree";
     case QueryType::kScan: return "scan";
+    case QueryType::kMotif: return "motif";
   }
   return "?";
 }
@@ -218,6 +219,11 @@ struct QuerySpec {
 
   // kScan only: one non-negative weight per graph vertex.
   std::vector<std::uint32_t> weights;
+
+  // kMotif only: one color per graph vertex, and the queried color
+  // multiset (its size is the subgraph size; k must equal motif.size()).
+  std::vector<std::uint32_t> colors;
+  std::vector<std::uint32_t> motif;
 
   // -- answer integrity (service/integrity.hpp, docs/INTEGRITY.md) --------
   /// Certified positives: on a "yes", peel an actual witness out of the
@@ -274,6 +280,11 @@ struct QuerySpec {
   for (const auto& [a, b] : q.tree_edges)
     w.push_back((static_cast<std::uint64_t>(a) << 32) | b);
   for (std::uint32_t x : q.weights) w.push_back(x);
+  // Length-prefix the colors so (colors, motif) concatenations of
+  // different splits cannot collide.
+  w.push_back(q.colors.size());
+  for (std::uint32_t x : q.colors) w.push_back(x);
+  for (std::uint32_t x : q.motif) w.push_back(x);
   return runtime::fnv1a(std::as_bytes(std::span<const std::uint64_t>(w)));
 }
 

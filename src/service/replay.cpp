@@ -58,6 +58,8 @@ QuerySpec parse_query(std::istringstream& in, std::size_t line_no) {
     q.type = QueryType::kTree;
   else if (type == "scan")
     q.type = QueryType::kScan;
+  else if (type == "motif")
+    q.type = QueryType::kMotif;
   else
     fail(line_no, "unknown query type '" + type + "'");
 
@@ -97,7 +99,8 @@ QuerySpec parse_query(std::istringstream& in, std::size_t line_no) {
   q.certify = num("certify", 0) != 0;
   q.reamplify = num("reamplify", 0) != 0;
 
-  kv.erase("repeat");  // handled by the caller
+  kv.erase("repeat");   // handled by the caller
+  kv.erase("palette");  // handled by the caller (needs the graph size)
   if (!kv.empty()) fail(line_no, "unknown query key '" + kv.begin()->first + "'");
   return q;
 }
@@ -139,6 +142,24 @@ std::vector<std::uint32_t> scan_weights(std::uint32_t n,
   std::vector<std::uint32_t> w(n);
   for (auto& x : w) x = static_cast<std::uint32_t>(rng() % 5);
   return w;
+}
+
+std::vector<std::uint32_t> motif_colors(std::uint32_t n, std::uint64_t seed,
+                                        std::uint32_t palette) {
+  Xoshiro256 rng(seed ^ 0xC0104C5ULL);
+  std::vector<std::uint32_t> c(n);
+  for (auto& x : c) x = static_cast<std::uint32_t>(rng() % palette);
+  return c;
+}
+
+/// Sample the queried multiset from the coloring itself, so it is always
+/// color-feasible and the answer hinges on connectivity/multiplicity.
+std::vector<std::uint32_t> motif_multiset(
+    const std::vector<std::uint32_t>& colors, int k, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x307216ULL);
+  std::vector<std::uint32_t> m(static_cast<std::size_t>(k));
+  for (auto& x : m) x = colors[rng() % colors.size()];
+  return m;
 }
 
 void digest(LaneReport& lane, std::vector<double>& latencies) {
@@ -184,6 +205,10 @@ Workload parse_workload(const std::string& path) {
       std::int64_t repeat = 1;
       if (auto it = kv.find("repeat"); it != kv.end())
         repeat = std::stoll(it->second);
+      std::uint32_t palette = 3;
+      if (auto it = kv.find("palette"); it != kv.end())
+        palette = static_cast<std::uint32_t>(std::stoll(it->second));
+      if (palette == 0) fail(line_no, "palette must be positive");
       std::istringstream again(line.substr(line.find("query") + 5));
       QuerySpec q = parse_query(again, line_no);
       auto sz = graph_sizes.find(q.graph);
@@ -192,11 +217,19 @@ Workload parse_workload(const std::string& path) {
       if (q.type == QueryType::kTree) q.tree_edges = path_template(q.k);
       if (q.type == QueryType::kScan)
         q.weights = scan_weights(sz->second, q.seed);
+      if (q.type == QueryType::kMotif) {
+        q.colors = motif_colors(sz->second, q.seed, palette);
+        q.motif = motif_multiset(q.colors, q.k, q.seed);
+      }
       for (std::int64_t r = 0; r < repeat; ++r) {
         wl.queries.push_back(q);
         ++q.seed;  // keep repeats distinct (cache traffic, not dedup)
         if (q.type == QueryType::kScan)
           q.weights = scan_weights(sz->second, q.seed);
+        if (q.type == QueryType::kMotif) {
+          q.colors = motif_colors(sz->second, q.seed, palette);
+          q.motif = motif_multiset(q.colors, q.k, q.seed);
+        }
       }
     } else {
       fail(line_no, "unknown directive '" + word + "'");

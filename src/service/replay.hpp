@@ -11,16 +11,20 @@
 //   graph <name> gnp <n> <p> <seed>
 //   graph <name> ba <n> <attach> <seed>
 //   graph <name> road <n> <keep> <seed>
-//   query type=path|tree|scan graph=<name> [key=value ...] [repeat=<r>]
+//   query type=path|tree|scan|motif graph=<name> [key=value ...] [repeat=<r>]
 //
 // query keys: lane=interactive|batch, k, l (field bits), eps, seed,
 // rounds (max-rounds override), kernel=auto|scalar|bitsliced, n (ranks),
 // n1, n2, timeout (seconds), certify=0|1 (witness-certified positives),
 // reamplify=0|1 (top up under-amplified "no" answers),
+// palette (motif only: number of vertex colors, default 3),
 // repeat (submit r copies with seed, seed+1,
 // ...; repeat keeps the copies distinct so they exercise the cache, not
 // the dedup map). Tree queries embed a path template over k vertices;
-// scan queries draw per-vertex weights in [0, 4] from `seed`.
+// scan queries draw per-vertex weights in [0, 4] from `seed`; motif
+// queries color every vertex uniformly from the palette and query a color
+// multiset of size k sampled from the coloring (so the multiset is always
+// color-feasible and the answer hinges on connectivity), both from `seed`.
 #pragma once
 
 #include <cstdint>

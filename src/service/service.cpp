@@ -281,6 +281,39 @@ void DetectionService::validate(const QuerySpec& spec,
       spec.weights.size() != static_cast<std::size_t>(g.num_vertices()))
     throw QueryValidationError("weights",
                                "scan needs one weight per graph vertex");
+  if (spec.type == QueryType::kMotif) {
+    if (spec.colors.size() != static_cast<std::size_t>(g.num_vertices()))
+      throw QueryValidationError("colors",
+                                 "motif needs one color per graph vertex");
+    if (spec.motif.empty())
+      throw QueryValidationError("motif", "motif multiset must be nonempty");
+    if (spec.motif.size() != static_cast<std::size_t>(spec.k))
+      throw QueryValidationError("motif",
+                                 "k must equal the motif multiset size");
+    // A queried color no vertex carries makes the answer a static "no" —
+    // that is a client bug (wrong color ids), not a detection result.
+    for (std::uint32_t c : spec.motif) {
+      bool present = false;
+      for (std::uint32_t x : spec.colors)
+        if (x == c) {
+          present = true;
+          break;
+        }
+      if (!present)
+        throw QueryValidationError("motif",
+                                   "motif color " + std::to_string(c) +
+                                       " is absent from the graph coloring");
+    }
+    // The (4/5)^rounds amplification behind rounds_for_epsilon is valid
+    // only while the constrained sieve's per-round Schwartz–Zippel failure
+    // (2k-1)/2^l stays <= 4/5, i.e. 2^l >= 5(2k-1)/4.
+    const std::uint64_t need =
+        5ull * (2ull * static_cast<std::uint64_t>(spec.k) - 1ull);
+    if ((std::uint64_t{1} << spec.field_bits) * 4ull < need)
+      throw QueryValidationError(
+          "field_bits",
+          "2^l must be >= 5(2k-1)/4 for the motif error amplification");
+  }
 }
 
 double DetectionService::now_s() const {
@@ -866,6 +899,18 @@ QueryResult DetectionService::run_engine(const QuerySpec& spec,
             core::midas_scan_views(artifacts.views, spec.weights, opt, f);
         qr.table = std::move(r.table);
         qr.rounds_run = spec.rounds();
+        qr.vtime = r.vtime;
+        qr.engine_wall_s = r.wall_s;
+      });
+      break;
+    }
+    case QueryType::kMotif: {
+      with_field(spec.field_bits, [&](const auto& f) {
+        core::MidasResult r = core::midas_motif_views(
+            artifacts.views, spec.colors, spec.motif, opt, f);
+        qr.found = r.found;
+        qr.rounds_run = r.rounds_run;
+        qr.found_round = r.found_round;
         qr.vtime = r.vtime;
         qr.engine_wall_s = r.wall_s;
       });

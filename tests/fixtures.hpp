@@ -1,0 +1,83 @@
+// Shared seeded test fixtures.
+//
+// One generator for the random graphs the suites used to build ad hoc:
+// the four-shape "graph zoo" the soak and chaos mixes query (small enough
+// for brute-force oracles on shape 0, varied enough to cover sparse/dense
+// and heavy-tailed), single-draw Erdos-Renyi builders for the driver and
+// integrity suites, and the colored-graph emitters the Graph Motif
+// property layer sweeps. Everything is a pure function of its seed, so a
+// fixture drawn here is bit-identical across suites, reruns, and the
+// service-vs-reference comparisons that depend on that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace midas::fixtures {
+
+/// The soak/chaos graph zoo: shape i of the seeded four-shape mix.
+/// Shape 0 is oracle-sized (exact brute force stays affordable).
+inline graph::Graph make_graph(int i) {
+  Xoshiro256 rng(1000u + static_cast<std::uint64_t>(i));
+  switch (i % 4) {
+    case 0: return graph::erdos_renyi_gnm(14, 24, rng);   // oracle-sized
+    case 1: return graph::erdos_renyi_gnm(90, 360, rng);
+    case 2: return graph::barabasi_albert(70, 3, rng);
+    default: return graph::road_network(64, 0.9, rng);
+  }
+}
+
+inline std::string graph_name(int i) { return "g" + std::to_string(i); }
+
+/// Single-draw G(n, p) from a private stream.
+inline graph::Graph gnp(graph::VertexId n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return graph::erdos_renyi_gnp(n, p, rng);
+}
+
+/// Single-draw G(n, m) from a private stream.
+inline graph::Graph gnm(graph::VertexId n, std::size_t m,
+                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return graph::erdos_renyi_gnm(n, m, rng);
+}
+
+/// Per-vertex scan weights in [0, 4), keyed by the query seed the same way
+/// the service soak always drew them.
+inline std::vector<std::uint32_t> draw_weights(std::uint32_t n,
+                                               std::uint64_t seed) {
+  Xoshiro256 rng(seed * 31 + 7);
+  std::vector<std::uint32_t> w(n);
+  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(4));
+  return w;
+}
+
+/// Vertex colors drawn uniformly from a palette of `palette` colors.
+inline std::vector<std::uint32_t> draw_colors(std::uint32_t n,
+                                              std::uint32_t palette,
+                                              std::uint64_t seed) {
+  Xoshiro256 rng(seed * 131 + 11);
+  std::vector<std::uint32_t> c(n);
+  for (auto& x : c) x = static_cast<std::uint32_t>(rng.below(palette));
+  return c;
+}
+
+/// A k-color motif multiset sampled with replacement from the colors that
+/// actually appear in `colors`. Every draw is color-feasible, so instance
+/// truth splits between motif-present and motif-absent on connectivity and
+/// multiplicity alone — the interesting axis for the constrained sieve.
+inline std::vector<std::uint32_t> draw_motif(
+    const std::vector<std::uint32_t>& colors, int k, std::uint64_t seed) {
+  Xoshiro256 rng(seed * 733 + 5);
+  std::vector<std::uint32_t> m(static_cast<std::size_t>(k));
+  for (auto& x : m)
+    x = colors[static_cast<std::size_t>(rng.below(colors.size()))];
+  return m;
+}
+
+}  // namespace midas::fixtures

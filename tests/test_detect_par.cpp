@@ -12,6 +12,7 @@
 #include "baseline/brute_force.hpp"
 #include "core/detect_par.hpp"
 #include "core/detect_seq.hpp"
+#include "fixtures.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gfsmall.hpp"
 #include "graph/generators.hpp"
@@ -124,8 +125,7 @@ TEST(ParKPath, AgreesWithBruteForceOnRandomSweep) {
 
 TEST(ParKPath, AllPartitionersGiveSameAnswer) {
   gf::GF256 f;
-  Xoshiro256 rng(2024);
-  const Graph g = graph::erdos_renyi_gnp(24, 0.15, rng);
+  const Graph g = fixtures::gnp(24, 0.15, 2024);
   const int k = 5;
   auto seq = detect_kpath_seq(g, seq_opts(k, 42), f);
   for (int which = 0; which < 4; ++which) {
@@ -144,8 +144,7 @@ TEST(ParKPath, AllPartitionersGiveSameAnswer) {
 
 TEST(ParKPath, StatsReflectConfiguration) {
   gf::GF256 f;
-  Xoshiro256 rng(5);
-  const Graph g = graph::erdos_renyi_gnp(32, 0.2, rng);
+  const Graph g = fixtures::gnp(32, 0.2, 5);
   const int k = 6;
   auto part = partition::block_partition(g, 4);
 
@@ -167,8 +166,7 @@ TEST(ParKPath, StatsReflectConfiguration) {
 
 TEST(ParKPath, VirtualTimeDropsWithMoreRanks) {
   gf::GF256 f;
-  Xoshiro256 rng(6);
-  const Graph g = graph::erdos_renyi_gnp(64, 0.1, rng);
+  const Graph g = fixtures::gnp(64, 0.1, 6);
   const int k = 6;
   auto part1 = partition::block_partition(g, 1);
   MidasOptions o1 = par_opts(k, 1, 1, 8, 3, 1e-2);
@@ -211,7 +209,7 @@ TEST(ParScan, AgreesWithBruteForce) {
   gf::GF256 f;
   Xoshiro256 rng(1212);
   const graph::VertexId n = 9;
-  const Graph g = graph::erdos_renyi_gnp(n, 0.3, rng);
+  const Graph g = fixtures::gnp(n, 0.3, 1212);
   std::vector<std::uint32_t> w(n);
   for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
   const int k = 4;
@@ -248,7 +246,7 @@ TEST(ParKPath, WiderFieldsTravelThroughHalosCorrectly) {
 TEST(ParScan, MultilevelPartitionGivesSameTable) {
   gf::GF256 f;
   Xoshiro256 rng(6161);
-  const Graph g = graph::erdos_renyi_gnp(14, 0.25, rng);
+  const Graph g = fixtures::gnp(14, 0.25, 6161);
   std::vector<std::uint32_t> w(g.num_vertices());
   for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(3));
   ScanOptions so;

@@ -18,9 +18,9 @@
 #include "core/detect_par.hpp"
 #include "core/schedule.hpp"
 #include "core/witness.hpp"
+#include "fixtures.hpp"
 #include "gf/gf256.hpp"
 #include "graph/csr.hpp"
-#include "graph/generators.hpp"
 #include "partition/multilevel.hpp"
 #include "partition/partitioned_graph.hpp"
 #include "service/artifact_cache.hpp"
@@ -43,8 +43,7 @@ using service::QueryType;
 using service::ServiceOptions;
 
 graph::Graph test_graph(std::uint64_t seed = 3) {
-  Xoshiro256 rng(seed);
-  return graph::erdos_renyi_gnm(80, 240, rng);
+  return fixtures::gnm(80, 240, seed);
 }
 
 GraphArtifacts build_artifacts(const graph::Graph& g, int n1 = 2) {
@@ -363,6 +362,29 @@ TEST(Certify, ScanYesCarriesValidatedCell) {
   EXPECT_TRUE(core::validate_connected_subgraph(
       test_graph(), q.weights, r.witness_j, r.witness_z, r.witness));
   EXPECT_EQ(static_cast<int>(r.witness.size()), r.witness_j);
+}
+
+TEST(Certify, MotifYesCarriesValidatedOccurrence) {
+  DetectionService svc({.workers = 2});
+  svc.add_graph("g", test_graph());
+  QuerySpec q;
+  q.type = QueryType::kMotif;
+  q.graph = "g";
+  q.k = 3;
+  q.seed = 19;
+  q.epsilon = 0.01;
+  q.certify = true;
+  q.colors = fixtures::draw_colors(80, /*palette=*/2, q.seed);
+  q.motif = fixtures::draw_motif(q.colors, q.k, q.seed);
+  const QueryResult r = svc.submit(q).get();
+  // avg degree 6, palette 2: some connected triple matches any feasible
+  // 3-color multiset, and eps = 0.01 makes a miss essentially impossible.
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(r.certified);
+  ASSERT_EQ(r.witness.size(), 3u);
+  EXPECT_TRUE(
+      core::validate_motif(test_graph(), q.colors, q.motif, r.witness));
+  EXPECT_EQ(svc.stats().cert_failures, 0u);
 }
 
 TEST(Certify, NoAnswerHasNothingToCertify) {

@@ -1,0 +1,351 @@
+// Oracle-backed property suite for constrained multilinear detection
+// (Graph Motif). Sweeps seeded random graphs x color multisets x field
+// widths l in {4, 8, 12} x both kernels x sequential and distributed
+// drivers, and demands (a) agreement with the exact brute-force oracle —
+// one-sided: "yes" answers must be real, "no" answers on true instances
+// are bounded by the amplified Schwartz–Zippel error and tested at
+// epsilon small enough to be deterministic in practice — and (b) bit-exact
+// agreement of the per-round accumulators across kernels and of the
+// decisions across drivers and geometries, including phase bases that are
+// not 64-lane aligned. Runs under the TSan and ASan ctest labels (the
+// distributed driver spawns real SPMD threads) and carries the "motif"
+// label in plain trees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "baseline/brute_force.hpp"
+#include "core/detect_par.hpp"
+#include "core/detect_seq.hpp"
+#include "core/motif.hpp"
+#include "fixtures.hpp"
+#include "gf/gf256.hpp"
+#include "gf/gfsmall.hpp"
+#include "graph/csr.hpp"
+#include "partition/partition.hpp"
+#include "util/rng.hpp"
+
+namespace midas::core {
+namespace {
+
+using graph::Graph;
+
+DetectOptions seq_opts(std::uint64_t seed, double eps = 1e-4,
+                       Kernel kernel = Kernel::kScalar) {
+  DetectOptions o;
+  o.epsilon = eps;
+  o.seed = seed;
+  o.kernel = kernel;
+  return o;
+}
+
+MidasOptions par_opts(int k, int n_ranks, int n1, std::uint32_t n2,
+                      std::uint64_t seed, double eps = 1e-4,
+                      Kernel kernel = Kernel::kScalar) {
+  MidasOptions o;
+  o.k = k;
+  o.epsilon = eps;
+  o.seed = seed;
+  o.n_ranks = n_ranks;
+  o.n1 = n1;
+  o.n2 = n2;
+  o.kernel = kernel;
+  return o;
+}
+
+/// One seeded motif instance: a small random graph, a palette coloring,
+/// and a color-feasible motif multiset (drawn from colors that actually
+/// occur, so truth hinges on connectivity/multiplicity, not color absence).
+struct Instance {
+  Graph g;
+  std::vector<std::uint32_t> colors;
+  std::vector<std::uint32_t> motif;
+  int k;
+};
+
+Instance draw_instance(Xoshiro256& rng, int trial) {
+  Instance in;
+  const auto n = 8 + static_cast<graph::VertexId>(rng.below(6));
+  const double p = 0.15 + rng.uniform() * 0.15;
+  in.g = fixtures::gnp(n, p, 9000u + static_cast<std::uint64_t>(trial));
+  const auto palette = 2 + static_cast<std::uint32_t>(rng.below(3));
+  in.colors = fixtures::draw_colors(
+      n, palette, 300u + static_cast<std::uint64_t>(trial));
+  in.k = 3 + static_cast<int>(rng.below(3));  // 3..5
+  in.motif = fixtures::draw_motif(in.colors, in.k,
+                                  500u + static_cast<std::uint64_t>(trial));
+  return in;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle agreement (sequential reference)
+// ---------------------------------------------------------------------------
+
+TEST(MotifOracle, SequentialAgreesWithBruteForceOnRandomSweep) {
+  gf::GF256 f;
+  Xoshiro256 rng(2026);
+  int positives = 0, negatives = 0;
+  for (int trial = 0; trial < 16; ++trial) {
+    const Instance in = draw_instance(rng, trial);
+    SCOPED_TRACE("trial=" + std::to_string(trial) +
+                 " k=" + std::to_string(in.k));
+    const bool truth = baseline::has_motif(in.g, in.colors, in.motif);
+    const auto res = detect_motif_seq(
+        in.g, in.colors, in.motif, seq_opts(77u + trial), f);
+    // One-sided: a positive answer is certain; at epsilon = 1e-4 a miss on
+    // a true instance has probability < 1e-4 per trial, so equality is the
+    // correct (deterministic-in-practice) assertion both ways.
+    EXPECT_EQ(res.found, truth);
+    if (res.found) {
+      EXPECT_TRUE(truth);
+    }
+    truth ? ++positives : ++negatives;
+  }
+  // The instance distribution actually exercises both outcomes.
+  EXPECT_GT(positives, 2);
+  EXPECT_GT(negatives, 2);
+}
+
+TEST(MotifOracle, SingleVertexMotifIsColorPresence) {
+  gf::GF256 f;
+  const Graph g = fixtures::gnp(10, 0.2, 4711);
+  const auto colors = fixtures::draw_colors(10, 3, 4711);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const std::vector<std::uint32_t> motif{c};
+    const bool truth =
+        std::find(colors.begin(), colors.end(), c) != colors.end();
+    const auto res = detect_motif_seq(g, colors, motif, seq_opts(5), f);
+    EXPECT_EQ(res.found, truth) << "color " << c;
+  }
+}
+
+TEST(MotifOracle, InfeasibleMotifsAreExactZeroEveryRound) {
+  gf::GF256 f;
+  const Graph g = fixtures::gnp(9, 0.3, 99);
+  auto colors = fixtures::draw_colors(9, 2, 99);  // palette {0, 1}
+  // A motif demanding a color no vertex has: the missing color's shade can
+  // never be covered, so every 2^k-fold accumulator cancels *identically*
+  // (not just with high probability).
+  DetectOptions o = seq_opts(13);
+  o.early_exit = false;
+  o.max_rounds = 4;
+  const auto res =
+      detect_motif_seq(g, colors, std::vector<std::uint32_t>{0, 0, 7}, o, f);
+  EXPECT_FALSE(res.found);
+  ASSERT_EQ(res.round_totals.size(), 4u);
+  for (const auto t : res.round_totals) EXPECT_EQ(t, 0u);
+  // Likewise a motif larger than the whole graph (no simple k-subgraph):
+  // multilinearity cancels every term.
+  std::vector<std::uint32_t> too_big(g.num_vertices() + 1, 0);
+  const auto big = detect_motif_seq(g, colors, too_big, o, f);
+  EXPECT_FALSE(big.found);
+  for (const auto t : big.round_totals) EXPECT_EQ(t, 0u);
+}
+
+TEST(MotifOracle, PermutedMotifListIsTheSameQuery) {
+  gf::GF256 f;
+  const Graph g = fixtures::gnp(11, 0.25, 321);
+  const auto colors = fixtures::draw_colors(11, 3, 321);
+  std::vector<std::uint32_t> motif{2, 0, 1, 0};
+  DetectOptions o = seq_opts(9);
+  o.early_exit = false;
+  o.max_rounds = 3;
+  const auto a = detect_motif_seq(g, colors, motif, o, f);
+  std::vector<std::uint32_t> shuffled{0, 2, 0, 1};
+  const auto b = detect_motif_seq(g, colors, shuffled, o, f);
+  EXPECT_EQ(a.found, b.found);
+  EXPECT_EQ(a.found_round, b.found_round);
+  EXPECT_EQ(a.round_totals, b.round_totals);  // bit-identical accumulators
+}
+
+// ---------------------------------------------------------------------------
+// Kernel and field-width bit-exactness (sequential)
+// ---------------------------------------------------------------------------
+
+TEST(MotifKernels, ScalarAndBitslicedBitIdenticalAcrossFieldWidths) {
+  Xoshiro256 rng(555);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Instance in = draw_instance(rng, 100 + trial);
+    for (const int l : {4, 8, 12}) {
+      SCOPED_TRACE("trial=" + std::to_string(trial) +
+                   " l=" + std::to_string(l) + " k=" + std::to_string(in.k));
+      auto run = [&](const auto& f, Kernel kernel) {
+        DetectOptions o = seq_opts(40u + trial, 1e-3, kernel);
+        o.early_exit = false;
+        o.max_rounds = 3;
+        return detect_motif_seq(in.g, in.colors, in.motif, o, f);
+      };
+      DetectResult s, b;
+      if (l == 8) {
+        s = run(gf::GF256{}, Kernel::kScalar);
+        b = run(gf::GF256{}, Kernel::kBitsliced);
+      } else {
+        s = run(gf::GFSmall(l), Kernel::kScalar);
+        b = run(gf::GFSmall(l), Kernel::kBitsliced);
+      }
+      EXPECT_EQ(s.found, b.found);
+      EXPECT_EQ(s.found_round, b.found_round);
+      EXPECT_EQ(s.iterations, b.iterations);
+      EXPECT_EQ(s.round_totals, b.round_totals);  // per-round accumulators
+      if (s.found) {
+        EXPECT_TRUE(baseline::has_motif(in.g, in.colors, in.motif));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distributed driver: every (N, N1, N2) geometry, both kernels
+// ---------------------------------------------------------------------------
+
+// (N, N1, N2) sweep; N2 = 5 forces phase bases that are not 64-lane
+// aligned, pinning the bitsliced pack_lanes staging path.
+class MotifParConfig
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint32_t>> {};
+
+TEST_P(MotifParConfig, MatchesSequentialBitForBitOnBothKernels) {
+  const auto [n_ranks, n1, n2] = GetParam();
+  gf::GF256 f;
+  Xoshiro256 rng(8181);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Instance in = draw_instance(rng, 200 + trial);
+    SCOPED_TRACE("trial=" + std::to_string(trial) +
+                 " k=" + std::to_string(in.k));
+    const std::uint64_t seed = 600u + static_cast<std::uint64_t>(trial);
+    const auto seq =
+        detect_motif_seq(in.g, in.colors, in.motif, seq_opts(seed, 1e-3), f);
+    const auto part = partition::block_partition(in.g, n1);
+    for (const Kernel kernel : {Kernel::kScalar, Kernel::kBitsliced}) {
+      const auto par = midas_motif(
+          in.g, part, in.colors, in.motif,
+          par_opts(in.k, n_ranks, n1, n2, seed, 1e-3, kernel), f);
+      EXPECT_EQ(par.found, seq.found)
+          << "kernel=" << (kernel == Kernel::kScalar ? "scalar" : "bitsliced");
+      if (seq.found) {
+        EXPECT_EQ(par.found_round, seq.found_round)
+            << "same seed must find in the same round";
+      }
+      EXPECT_EQ(par.rounds_run, seq.rounds_run);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MotifParConfig,
+    ::testing::Values(std::make_tuple(1, 1, 1),    // sequential degenerate
+                      std::make_tuple(2, 1, 4),    // pure phase parallelism
+                      std::make_tuple(2, 2, 1),    // pure graph parallelism
+                      std::make_tuple(4, 2, 16),   // mixed, large batch
+                      std::make_tuple(4, 4, 8),    // N1 = N
+                      std::make_tuple(6, 3, 5),    // unaligned phase bases
+                      std::make_tuple(4, 2, 1000)));  // N2 > 2^k (clamped)
+
+TEST(MotifPar, DistributedKernelsShareModeledCostAndAnswers) {
+  // The scalar and bitsliced distributed kernels charge identical modeled
+  // work and exchange byte-identical halos, so their MidasResults must be
+  // indistinguishable — this keeps checkpoints and the watchdog
+  // kernel-independent.
+  gf::GF256 f;
+  Xoshiro256 rng(2727);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Instance in = draw_instance(rng, 300 + trial);
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    const auto part = partition::block_partition(in.g, 2);
+    MidasOptions o = par_opts(in.k, 4, 2, 8, 50u + trial, 1e-2);
+    o.early_exit = false;
+    o.kernel = Kernel::kScalar;
+    const auto a = midas_motif(in.g, part, in.colors, in.motif, o, f);
+    o.kernel = Kernel::kBitsliced;
+    const auto b = midas_motif(in.g, part, in.colors, in.motif, o, f);
+    EXPECT_EQ(a.found, b.found);
+    EXPECT_EQ(a.found_round, b.found_round);
+    EXPECT_EQ(a.rounds_run, b.rounds_run);
+    EXPECT_EQ(a.vtime, b.vtime);  // identical modeled makespan
+    EXPECT_EQ(a.total_stats.bytes_sent, b.total_stats.bytes_sent);
+    EXPECT_EQ(a.total_stats.messages_sent, b.total_stats.messages_sent);
+  }
+}
+
+TEST(MotifPar, WiderFieldsTravelThroughHalosCorrectly) {
+  // 2-byte GFSmall values through the motif halo packing, against both the
+  // sequential detector and the exact oracle.
+  gf::GFSmall f(12);
+  Xoshiro256 rng(6464);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Instance in = draw_instance(rng, 400 + trial);
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    const std::uint64_t seed = 800u + static_cast<std::uint64_t>(trial);
+    const auto seq =
+        detect_motif_seq(in.g, in.colors, in.motif, seq_opts(seed), f);
+    const auto part = partition::block_partition(in.g, 3);
+    const auto par = midas_motif(in.g, part, in.colors, in.motif,
+                                 par_opts(in.k, 6, 3, 4, seed), f);
+    EXPECT_EQ(par.found, seq.found);
+    EXPECT_EQ(par.found, baseline::has_motif(in.g, in.colors, in.motif));
+  }
+}
+
+TEST(MotifPar, LowWidthFieldsStayDriverConsistent) {
+  // l = 4 has real per-round failure probability ((2k-1)/16), so truth
+  // agreement is only asymptotic — but seq and distributed runs replay the
+  // same hashes and must still agree bit-for-bit, found or not.
+  gf::GFSmall f(4);
+  Xoshiro256 rng(9090);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Instance in = draw_instance(rng, 500 + trial);
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    DetectOptions so = seq_opts(70u + trial, 1e-3);
+    so.early_exit = false;
+    so.max_rounds = 4;
+    const auto seq = detect_motif_seq(in.g, in.colors, in.motif, so, f);
+    const auto part = partition::block_partition(in.g, 2);
+    MidasOptions po = par_opts(in.k, 4, 2, 8, 70u + trial, 1e-3);
+    po.early_exit = false;
+    po.max_rounds = 4;
+    for (const Kernel kernel : {Kernel::kScalar, Kernel::kBitsliced}) {
+      po.kernel = kernel;
+      const auto par = midas_motif(in.g, part, in.colors, in.motif, po, f);
+      EXPECT_EQ(par.found, seq.found);
+      EXPECT_EQ(par.found_round, seq.found_round);
+    }
+    if (seq.found) {
+      EXPECT_TRUE(baseline::has_motif(in.g, in.colors, in.motif));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Contract checks
+// ---------------------------------------------------------------------------
+
+TEST(MotifContracts, RejectsBadConfigurations) {
+  gf::GF256 f;
+  const Graph g = fixtures::gnp(8, 0.3, 1);
+  const auto colors = fixtures::draw_colors(8, 2, 1);
+  const std::vector<std::uint32_t> motif{0, 1, 0};
+  const auto part = partition::block_partition(g, 2);
+
+  // One color per vertex.
+  EXPECT_THROW(detect_motif_seq(g, std::vector<std::uint32_t>{0, 1}, motif,
+                                seq_opts(1), f),
+               std::invalid_argument);
+  // Empty motif.
+  EXPECT_THROW(detect_motif_seq(g, colors, std::vector<std::uint32_t>{},
+                                seq_opts(1), f),
+               std::invalid_argument);
+  // Distributed: opt.k must equal the motif size.
+  EXPECT_THROW(
+      midas_motif(g, part, colors, motif, par_opts(4, 4, 2, 8, 1), f),
+      std::invalid_argument);
+  // Distributed: partition arity mismatch.
+  EXPECT_THROW(
+      midas_motif(g, part, colors, motif, par_opts(3, 3, 3, 8, 1), f),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace midas::core

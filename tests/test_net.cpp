@@ -272,6 +272,30 @@ TEST(NetProtocol, QueryCodecRoundTrip) {
   EXPECT_TRUE(d.reamplify);
 }
 
+TEST(NetProtocol, MotifQueryCodecRoundTrip) {
+  QuerySpec q;
+  q.type = QueryType::kMotif;
+  q.lane = Lane::kBatch;
+  q.graph = "colored";
+  q.k = 4;
+  q.field_bits = 8;
+  q.seed = 99;
+  q.max_rounds = 3;
+  q.colors = {0, 1, 2, 0, 1, 2, 0, 1};
+  q.motif = {0, 0, 1, 2};
+
+  net::WireWriter w;
+  net::encode_query(w, q);
+  const auto bytes = w.bytes();
+  net::WireReader r(bytes.data(), bytes.size());
+  const QuerySpec d = net::decode_query(r);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(d.type, QueryType::kMotif);
+  EXPECT_EQ(d.colors, q.colors);
+  EXPECT_EQ(d.motif, q.motif);
+  EXPECT_EQ(service::query_fingerprint(d), service::query_fingerprint(q));
+}
+
 TEST(NetProtocol, ResultCodecRoundTrip) {
   QueryResult res;
   res.found = true;
@@ -525,6 +549,21 @@ TEST(NetServer, AnswersBitIdenticalToInProcess) {
     q.weights.resize(40);
     for (std::size_t i = 0; i < q.weights.size(); ++i)
       q.weights[i] = static_cast<std::uint32_t>(i % 5);
+    queries.push_back(q);
+  }
+  {
+    QuerySpec q;
+    q.type = QueryType::kMotif;
+    q.lane = Lane::kBatch;
+    q.graph = "g";
+    q.k = 3;
+    q.max_rounds = 2;
+    q.seed = 17;
+    q.certify = true;
+    q.colors.resize(40);
+    for (std::size_t i = 0; i < q.colors.size(); ++i)
+      q.colors[i] = static_cast<std::uint32_t>(i % 3);
+    q.motif = {0, 1, 2};
     queries.push_back(q);
   }
 
@@ -817,6 +856,100 @@ TEST_F(NetCorruptionTest, MalformedBodyIsPerMessageErrorConnectionSurvives) {
   EXPECT_EQ(decode_error_body(resp).code, net::ErrorCode::kProtocol);
   EXPECT_TRUE(raw_ping_ok(fd, 8));
   EXPECT_GE(server_->stats().protocol_errors, 1u);
+  ::close(fd);
+}
+
+/// A well-formed motif query frame for graph `g` (the demo 40-vertex gnp),
+/// encoded by the real codec — corruption tests then damage the bytes.
+QuerySpec motif_query(const std::string& graph, std::uint64_t seed = 17) {
+  QuerySpec q;
+  q.type = QueryType::kMotif;
+  q.lane = Lane::kBatch;
+  q.graph = graph;
+  q.k = 3;
+  q.max_rounds = 2;
+  q.seed = seed;
+  q.colors.resize(40);
+  for (std::size_t i = 0; i < q.colors.size(); ++i)
+    q.colors[i] = static_cast<std::uint32_t>(i % 3);
+  q.motif = {0, 1, 2};
+  return q;
+}
+
+TEST_F(NetCorruptionTest, TruncatedMotifColorListIsPerMessageError) {
+  svc_->add_graph("g", service::build_graph(demo_graph("g")));
+  const int fd = raw_connect(server_->port());
+  ASSERT_GE(fd, 0);
+  net::WireWriter w;
+  net::encode_query(w, motif_query("g"));
+  auto body = w.take();
+  // Chop the frame mid color list: the count survives, half the elements
+  // do not. The decoder must fault on the missing bytes, not read the
+  // next frame's.
+  body.resize(body.size() - 70);
+  const auto frame = net::make_frame(net::FrameType::kQueryReq, 11, 0, body);
+  ASSERT_TRUE(send_all(fd, frame.data(), frame.size()));
+
+  RawFrame resp;
+  ASSERT_TRUE(recv_frame(fd, resp));
+  EXPECT_EQ(resp.h.type, static_cast<std::uint16_t>(net::FrameType::kError));
+  EXPECT_EQ(resp.h.msg_id, 11u);
+  EXPECT_EQ(decode_error_body(resp).code, net::ErrorCode::kProtocol);
+  EXPECT_TRUE(raw_ping_ok(fd, 12));
+  ::close(fd);
+}
+
+TEST_F(NetCorruptionTest, MotifCountBombThrowsBeforeAllocation) {
+  svc_->add_graph("g", service::build_graph(demo_graph("g")));
+  const int fd = raw_connect(server_->port());
+  ASSERT_GE(fd, 0);
+  net::WireWriter w;
+  net::encode_query(w, motif_query("g"));
+  auto body = w.take();
+  // The motif multiset count is the last vector in the body: its u32
+  // count sits 4 * 3 + 4 bytes from the end (3 elements + the count).
+  // Rewrite it to claim 2^31 elements; count() must reject it against the
+  // 12 bytes actually remaining, before any resize happens.
+  const std::size_t count_off = body.size() - (4u * 3 + 4);
+  body[count_off] = 0x00;
+  body[count_off + 1] = 0x00;
+  body[count_off + 2] = 0x00;
+  body[count_off + 3] = 0x80;
+  const auto frame = net::make_frame(net::FrameType::kQueryReq, 21, 0, body);
+  ASSERT_TRUE(send_all(fd, frame.data(), frame.size()));
+
+  RawFrame resp;
+  ASSERT_TRUE(recv_frame(fd, resp));
+  EXPECT_EQ(resp.h.type, static_cast<std::uint16_t>(net::FrameType::kError));
+  EXPECT_EQ(resp.h.msg_id, 21u);
+  EXPECT_EQ(decode_error_body(resp).code, net::ErrorCode::kProtocol);
+  EXPECT_TRUE(raw_ping_ok(fd, 22));
+  ::close(fd);
+}
+
+TEST_F(NetCorruptionTest, UnknownMotifColorIsTypedValidationError) {
+  svc_->add_graph("g", service::build_graph(demo_graph("g")));
+  const int fd = raw_connect(server_->port());
+  ASSERT_GE(fd, 0);
+  // Framing-wise this query is perfect; semantically it asks for color 9,
+  // which no vertex carries. That is a client bug, caught by service
+  // validation and returned as the same typed error a local submit throws.
+  QuerySpec q = motif_query("g");
+  q.motif = {0, 1, 9};
+  net::WireWriter w;
+  net::encode_query(w, q);
+  const auto frame =
+      net::make_frame(net::FrameType::kQueryReq, 31, 0, w.take());
+  ASSERT_TRUE(send_all(fd, frame.data(), frame.size()));
+
+  RawFrame resp;
+  ASSERT_TRUE(recv_frame(fd, resp));
+  EXPECT_EQ(resp.h.type, static_cast<std::uint16_t>(net::FrameType::kError));
+  EXPECT_EQ(resp.h.msg_id, 31u);
+  const net::ErrorFrame e = decode_error_body(resp);
+  EXPECT_EQ(e.code, net::ErrorCode::kValidation);
+  EXPECT_EQ(e.s1, "motif");
+  EXPECT_TRUE(raw_ping_ok(fd, 32));
   ::close(fd);
 }
 

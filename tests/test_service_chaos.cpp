@@ -21,11 +21,12 @@
 #include <vector>
 
 #include "core/detect_par.hpp"
+#include "core/motif.hpp"
 #include "core/tree_template.hpp"
+#include "fixtures.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gfsmall.hpp"
 #include "graph/csr.hpp"
-#include "graph/generators.hpp"
 #include "partition/multilevel.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/trace.hpp"
@@ -37,6 +38,7 @@
 namespace {
 
 using namespace midas;
+using fixtures::graph_name;
 using service::DetectionService;
 using service::Lane;
 using service::QueryResult;
@@ -46,18 +48,7 @@ using service::ServiceOptions;
 
 constexpr int kGraphs = 4;
 constexpr int kQueries = 200;
-
-std::string graph_name(int i) { return "g" + std::to_string(i); }
-
-graph::Graph make_graph(int i) {
-  Xoshiro256 rng(1000u + static_cast<std::uint64_t>(i));
-  switch (i % 4) {
-    case 0: return graph::erdos_renyi_gnm(14, 24, rng);
-    case 1: return graph::erdos_renyi_gnm(90, 360, rng);
-    case 2: return graph::barabasi_albert(70, 3, rng);
-    default: return graph::road_network(64, 0.9, rng);
-  }
-}
+constexpr std::uint32_t kPalette = 3;  // motif-query color count
 
 /// Same deterministic draw as the fault-free soak (shifted base seed so the
 /// two suites exercise different mixes).
@@ -65,7 +56,9 @@ QuerySpec draw_query(Xoshiro256& rng, int qi) {
   QuerySpec q;
   const std::uint64_t t = rng.below(4);
   q.type = t == 0 ? QueryType::kTree
-                  : (t == 1 ? QueryType::kScan : QueryType::kPath);
+                  : (t == 1 ? QueryType::kScan
+                            : (t == 2 ? QueryType::kMotif
+                                      : QueryType::kPath));
   q.graph = graph_name(static_cast<int>(rng.below(kGraphs)));
   q.lane = rng.below(3) == 0 ? Lane::kInteractive : Lane::kBatch;
   q.k = 3 + static_cast<int>(rng.below(3));  // 3..5
@@ -84,14 +77,6 @@ QuerySpec draw_query(Xoshiro256& rng, int qi) {
                                 i);
   }
   return q;
-}
-
-std::vector<std::uint32_t> draw_weights(std::uint32_t n,
-                                        std::uint64_t seed) {
-  Xoshiro256 rng(seed * 31 + 7);
-  std::vector<std::uint32_t> w(n);
-  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(4));
-  return w;
 }
 
 core::MidasOptions engine_options(const QuerySpec& q) {
@@ -140,6 +125,13 @@ QueryResult reference_run(const graph::Graph& g, const QuerySpec& q) {
         out.rounds_run = q.rounds();
         break;
       }
+      case QueryType::kMotif: {
+        const auto r = core::midas_motif(g, part, q.colors, q.motif, opt, f);
+        out.found = r.found;
+        out.rounds_run = r.rounds_run;
+        out.found_round = r.found_round;
+        break;
+      }
     }
   };
   if (q.field_bits == 8)
@@ -186,7 +178,8 @@ struct SoakRun {
 
 SoakRun run_chaos_soak(const std::vector<QuerySpec>& specs) {
   DetectionService svc(chaos_options());
-  for (int i = 0; i < kGraphs; ++i) svc.add_graph(graph_name(i), make_graph(i));
+  for (int i = 0; i < kGraphs; ++i)
+    svc.add_graph(graph_name(i), fixtures::make_graph(i));
 
   std::vector<std::shared_future<QueryResult>> futs;
   futs.reserve(specs.size());
@@ -207,9 +200,13 @@ std::vector<QuerySpec> draw_soak_specs(
   specs.reserve(kQueries);
   for (int qi = 0; qi < kQueries; ++qi) {
     QuerySpec q = draw_query(rng, qi);
-    if (q.type == QueryType::kScan) {
-      const auto gi = static_cast<std::size_t>(q.graph[1] - '0');
-      q.weights = draw_weights(graphs[gi].num_vertices(), q.seed);
+    const auto gi = static_cast<std::size_t>(q.graph[1] - '0');
+    if (q.type == QueryType::kScan)
+      q.weights = fixtures::draw_weights(graphs[gi].num_vertices(), q.seed);
+    if (q.type == QueryType::kMotif) {
+      q.colors = fixtures::draw_colors(graphs[gi].num_vertices(), kPalette,
+                                       q.seed);
+      q.motif = fixtures::draw_motif(q.colors, q.k, q.seed);
     }
     specs.push_back(std::move(q));
   }
@@ -236,7 +233,7 @@ void expect_same_answer(const QueryResult& got, const QueryResult& want,
 
 TEST(ServiceChaos, TwoHundredMixedQueriesSurviveSeededChaosBitExact) {
   std::vector<graph::Graph> graphs;
-  for (int i = 0; i < kGraphs; ++i) graphs.push_back(make_graph(i));
+  for (int i = 0; i < kGraphs; ++i) graphs.push_back(fixtures::make_graph(i));
   const auto specs = draw_soak_specs(graphs);
 
   const SoakRun run = run_chaos_soak(specs);
@@ -274,7 +271,7 @@ TEST(ServiceChaos, TwoHundredMixedQueriesSurviveSeededChaosBitExact) {
 
 TEST(ServiceChaos, IdenticalRerunReproducesAnswersAndInjectedFailures) {
   std::vector<graph::Graph> graphs;
-  for (int i = 0; i < kGraphs; ++i) graphs.push_back(make_graph(i));
+  for (int i = 0; i < kGraphs; ++i) graphs.push_back(fixtures::make_graph(i));
   const auto specs = draw_soak_specs(graphs);
 
   const SoakRun a = run_chaos_soak(specs);

@@ -1,10 +1,11 @@
 // Service soak: a seeded mix of ~200 heterogeneous queries (k-path /
-// k-tree / scan, both kernels, several field widths and geometries) over
-// random graphs, pushed through a concurrent DetectionService — then every
-// answer compared bit-exactly against a fresh single-query engine run, and
-// on the tiny instances against the exact brute-force oracles. Runs under
-// the TSan and ASan ctest labels, so it is also the data-race gate for the
-// service's worker pool, dedup map, and artifact cache.
+// k-tree / scan / motif, both kernels, several field widths and
+// geometries) over random graphs, pushed through a concurrent
+// DetectionService — then every answer compared bit-exactly against a
+// fresh single-query engine run, and on the tiny instances against the
+// exact brute-force oracles. Runs under the TSan and ASan ctest labels, so
+// it is also the data-race gate for the service's worker pool, dedup map,
+// and artifact cache.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -13,19 +14,21 @@
 
 #include "baseline/brute_force.hpp"
 #include "core/detect_par.hpp"
+#include "core/motif.hpp"
 #include "core/tree_template.hpp"
 #include "gf/gf256.hpp"
 #include "gf/gfsmall.hpp"
 #include "graph/csr.hpp"
-#include "graph/generators.hpp"
 #include "partition/multilevel.hpp"
 #include "service/query.hpp"
 #include "service/service.hpp"
+#include "fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace midas;
+using fixtures::graph_name;
 using service::DetectionService;
 using service::Lane;
 using service::QueryResult;
@@ -34,27 +37,16 @@ using service::QueryType;
 
 constexpr int kGraphs = 4;
 constexpr int kQueries = 200;
-
-std::string graph_name(int i) { return "g" + std::to_string(i); }
-
-graph::Graph make_graph(int i) {
-  // Small enough that brute-force oracles stay affordable on the smallest,
-  // varied enough to cover sparse/dense and heavy-tailed shapes.
-  Xoshiro256 rng(1000u + static_cast<std::uint64_t>(i));
-  switch (i % 4) {
-    case 0: return graph::erdos_renyi_gnm(14, 24, rng);   // oracle-sized
-    case 1: return graph::erdos_renyi_gnm(90, 360, rng);
-    case 2: return graph::barabasi_albert(70, 3, rng);
-    default: return graph::road_network(64, 0.9, rng);
-  }
-}
+constexpr std::uint32_t kPalette = 3;  // motif-query color count
 
 /// The same deterministic draw the service run and the reference run use.
 QuerySpec draw_query(Xoshiro256& rng, int qi) {
   QuerySpec q;
   const std::uint64_t t = rng.below(4);
   q.type = t == 0 ? QueryType::kTree
-                  : (t == 1 ? QueryType::kScan : QueryType::kPath);
+                  : (t == 1 ? QueryType::kScan
+                            : (t == 2 ? QueryType::kMotif
+                                      : QueryType::kPath));
   q.graph = graph_name(static_cast<int>(rng.below(kGraphs)));
   q.lane = rng.below(3) == 0 ? Lane::kInteractive : Lane::kBatch;
   q.k = 3 + static_cast<int>(rng.below(3));  // 3..5
@@ -74,14 +66,6 @@ QuerySpec draw_query(Xoshiro256& rng, int qi) {
                                 i);
   }
   return q;
-}
-
-std::vector<std::uint32_t> draw_weights(std::uint32_t n,
-                                        std::uint64_t seed) {
-  Xoshiro256 rng(seed * 31 + 7);
-  std::vector<std::uint32_t> w(n);
-  for (auto& x : w) x = static_cast<std::uint32_t>(rng.below(4));
-  return w;
 }
 
 core::MidasOptions engine_options(const QuerySpec& q) {
@@ -133,6 +117,14 @@ QueryResult reference_run(const graph::Graph& g, const QuerySpec& q) {
         out.vtime = r.vtime;
         break;
       }
+      case QueryType::kMotif: {
+        const auto r = core::midas_motif(g, part, q.colors, q.motif, opt, f);
+        out.found = r.found;
+        out.rounds_run = r.rounds_run;
+        out.found_round = r.found_round;
+        out.vtime = r.vtime;
+        break;
+      }
     }
   };
   if (q.field_bits == 8)
@@ -149,8 +141,8 @@ TEST(ServiceSoak, ConcurrentMixedQueriesBitIdenticalToFreshRuns) {
       {.workers = 4, .queue_capacity = kQueries, .cache_capacity = 6});
   std::vector<graph::Graph> graphs;
   for (int i = 0; i < kGraphs; ++i) {
-    graphs.push_back(make_graph(i));
-    svc.add_graph(graph_name(i), make_graph(i));
+    graphs.push_back(fixtures::make_graph(i));
+    svc.add_graph(graph_name(i), fixtures::make_graph(i));
   }
 
   Xoshiro256 rng(42);
@@ -158,9 +150,13 @@ TEST(ServiceSoak, ConcurrentMixedQueriesBitIdenticalToFreshRuns) {
   specs.reserve(kQueries);
   for (int qi = 0; qi < kQueries; ++qi) {
     QuerySpec q = draw_query(rng, qi);
-    if (q.type == QueryType::kScan) {
-      const auto gi = static_cast<std::size_t>(q.graph[1] - '0');
-      q.weights = draw_weights(graphs[gi].num_vertices(), q.seed);
+    const auto gi = static_cast<std::size_t>(q.graph[1] - '0');
+    if (q.type == QueryType::kScan)
+      q.weights = fixtures::draw_weights(graphs[gi].num_vertices(), q.seed);
+    if (q.type == QueryType::kMotif) {
+      q.colors = fixtures::draw_colors(graphs[gi].num_vertices(), kPalette,
+                                       q.seed);
+      q.motif = fixtures::draw_motif(q.colors, q.k, q.seed);
     }
     specs.push_back(std::move(q));
   }
@@ -200,6 +196,8 @@ TEST(ServiceSoak, ConcurrentMixedQueriesBitIdenticalToFreshRuns) {
         graph::GraphBuilder tb(static_cast<graph::VertexId>(q.k));
         for (const auto& [a, b] : q.tree_edges) tb.add_edge(a, b);
         EXPECT_TRUE(baseline::has_tree_embedding(graphs[gi], tb.build()));
+      } else if (q.type == QueryType::kMotif) {
+        EXPECT_TRUE(baseline::has_motif(graphs[gi], q.colors, q.motif));
       }
     }
     if (gi == 0 && q.type == QueryType::kScan) {
